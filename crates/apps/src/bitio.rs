@@ -1,0 +1,259 @@
+//! Bit-level I/O and a small canonical Huffman code.
+//!
+//! The jpeg decoder's Huffman stages need a real prefix code. We use a
+//! canonical Huffman code over the 13 JPEG size categories (0..=12), with
+//! the code lengths of the standard luminance DC table's shape: shorter
+//! codes for the common small categories.
+
+use hic_profiling::{Buf, Profiler};
+
+/// Code lengths per size category (0..=12), canonical-Huffman style.
+pub const CATEGORY_LENGTHS: [u8; 13] = [2, 2, 3, 3, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+
+/// A canonical Huffman code: `(code, length)` per symbol.
+#[derive(Debug, Clone)]
+pub struct CanonicalCode {
+    codes: Vec<(u32, u8)>,
+}
+
+impl CanonicalCode {
+    /// Build the canonical code for the given per-symbol lengths.
+    pub fn new(lengths: &[u8]) -> Self {
+        // Canonical assignment: sort symbols by (length, symbol), assign
+        // increasing code values, left-shifting when the length grows.
+        let mut order: Vec<usize> = (0..lengths.len()).collect();
+        order.sort_by_key(|&s| (lengths[s], s));
+        let mut codes = vec![(0u32, 0u8); lengths.len()];
+        let mut code = 0u32;
+        let mut prev_len = 0u8;
+        for &s in &order {
+            let len = lengths[s];
+            code <<= len - prev_len;
+            codes[s] = (code, len);
+            code += 1;
+            prev_len = len;
+        }
+        CanonicalCode { codes }
+    }
+
+    /// The standard category code used by both Huffman kernels.
+    pub fn categories() -> Self {
+        CanonicalCode::new(&CATEGORY_LENGTHS)
+    }
+
+    /// `(code, length)` of a symbol.
+    pub fn encode(&self, symbol: usize) -> (u32, u8) {
+        self.codes[symbol]
+    }
+
+    /// Decode one symbol by walking bits from `reader`. Returns the symbol.
+    ///
+    /// # Panics
+    /// If the bit sequence matches no code (corrupt stream).
+    pub fn decode(&self, mut next_bit: impl FnMut() -> u32) -> usize {
+        let mut acc = 0u32;
+        let mut len = 0u8;
+        loop {
+            acc = (acc << 1) | next_bit();
+            len += 1;
+            if let Some(sym) = self
+                .codes
+                .iter()
+                .position(|&(c, l)| l == len && c == acc)
+            {
+                return sym;
+            }
+            assert!(len <= 32, "corrupt Huffman stream");
+        }
+    }
+}
+
+/// Append-only bit writer over a plain byte vector (host-side encoding is
+/// not a kernel, so it needs no instrumentation).
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bitpos: u8,
+}
+
+impl BitWriter {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write the low `len` bits of `value`, MSB first.
+    pub fn put(&mut self, value: u32, len: u8) {
+        for i in (0..len).rev() {
+            let bit = (value >> i) & 1;
+            if self.bitpos == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= (bit as u8) << (7 - self.bitpos);
+            self.bitpos = (self.bitpos + 1) % 8;
+        }
+    }
+
+    /// Finish and return the bytes (zero-padded in the last byte).
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Instrumented bit reader over a profiled byte buffer: every byte fetch
+/// goes through the profiler, so the Huffman kernels' input traffic is
+/// measured exactly as QUAD would see it.
+pub struct BitReader<'a> {
+    buf: &'a Buf<u8>,
+    byte: usize,
+    bit: u8,
+    cached: u8,
+    cached_at: Option<usize>,
+}
+
+impl<'a> BitReader<'a> {
+    /// Start reading at the beginning of `buf`.
+    pub fn new(buf: &'a Buf<u8>) -> Self {
+        BitReader {
+            buf,
+            byte: 0,
+            bit: 0,
+            cached: 0,
+            cached_at: None,
+        }
+    }
+
+    /// Read one bit (MSB first). Each underlying byte is fetched through
+    /// the profiler once (a hardware bit-reader latches the current byte).
+    pub fn next_bit(&mut self, p: &mut Profiler) -> u32 {
+        if self.cached_at != Some(self.byte) {
+            self.cached = self.buf.get(p, self.byte);
+            self.cached_at = Some(self.byte);
+        }
+        let bit = (self.cached >> (7 - self.bit)) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.byte += 1;
+        }
+        bit as u32
+    }
+
+    /// Read `len` bits as an unsigned value.
+    pub fn take(&mut self, p: &mut Profiler, len: u8) -> u32 {
+        let mut v = 0;
+        for _ in 0..len {
+            v = (v << 1) | self.next_bit(p);
+        }
+        v
+    }
+}
+
+/// JPEG-style magnitude coding: a value's size category and its offset
+/// bits.
+pub fn category_of(v: i32) -> u8 {
+    let mut m = v.unsigned_abs();
+    let mut c = 0u8;
+    while m > 0 {
+        m >>= 1;
+        c += 1;
+    }
+    c
+}
+
+/// Encode a value's offset bits given its category (JPEG's one's-complement
+/// trick for negatives).
+pub fn magnitude_bits(v: i32, category: u8) -> u32 {
+    if v >= 0 {
+        v as u32
+    } else {
+        (v + (1 << category) - 1) as u32
+    }
+}
+
+/// Recover a value from its category and offset bits.
+pub fn magnitude_decode(bits: u32, category: u8) -> i32 {
+    if category == 0 {
+        return 0;
+    }
+    let half = 1u32 << (category - 1);
+    if bits >= half {
+        bits as i32
+    } else {
+        bits as i32 - (1 << category) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_profiling::Arena;
+
+    #[test]
+    fn canonical_code_is_prefix_free() {
+        let c = CanonicalCode::categories();
+        for a in 0..13 {
+            for b in 0..13 {
+                if a == b {
+                    continue;
+                }
+                let (ca, la) = c.encode(a);
+                let (cb, lb) = c.encode(b);
+                if la <= lb {
+                    // a's code must not prefix b's.
+                    assert_ne!(ca, cb >> (lb - la), "{a} prefixes {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bits_round_trip_through_writer_and_reader() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0b0110, 4);
+        w.put(0xABCD, 16);
+        let bytes = w.finish();
+
+        let mut p = Profiler::new();
+        let f = p.register("f");
+        let mut arena = Arena::new();
+        let mut buf: Buf<u8> = Buf::new(&mut arena, bytes.len());
+        buf.fill_with(&mut p, f, |i| bytes[i]);
+        p.enter(f);
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.take(&mut p, 3), 0b101);
+        assert_eq!(r.take(&mut p, 4), 0b0110);
+        assert_eq!(r.take(&mut p, 16), 0xABCD);
+        p.exit();
+    }
+
+    #[test]
+    fn huffman_round_trips_every_symbol() {
+        let c = CanonicalCode::categories();
+        for sym in 0..13 {
+            let (code, len) = c.encode(sym);
+            let mut bits: Vec<u32> = (0..len).rev().map(|i| (code >> i) & 1).collect();
+            bits.push(1); // trailing noise must not be consumed
+            let mut it = bits.into_iter();
+            let got = c.decode(|| it.next().unwrap());
+            assert_eq!(got, sym);
+            assert_eq!(it.count(), 1, "decode overconsumed for {sym}");
+        }
+    }
+
+    #[test]
+    fn magnitude_coding_round_trips() {
+        for v in -1000..=1000 {
+            let c = category_of(v);
+            let bits = magnitude_bits(v, c);
+            assert_eq!(magnitude_decode(bits, c), v, "v={v}");
+            assert!(bits < (1 << c.max(1)));
+        }
+        assert_eq!(category_of(0), 0);
+        assert_eq!(category_of(1), 1);
+        assert_eq!(category_of(-1), 1);
+        assert_eq!(category_of(255), 8);
+    }
+}

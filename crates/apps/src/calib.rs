@@ -1,0 +1,273 @@
+//! Paper-calibrated application specifications.
+//!
+//! The measured specs (from the instrumented runs in this crate) exercise
+//! the full profiling→design pipeline, but their absolute timings reflect
+//! our synthetic workload sizes, not the ML510 runs of the paper. For the
+//! table/figure reproductions we therefore provide *calibrated* specs: the
+//! kernel structure of each application (which is what each module's
+//! profiled run exhibits) with compute cycles, byte volumes and host
+//! residue chosen so that the baseline and hybrid systems land on the
+//! paper's operating points:
+//!
+//! | app   | comm/comp | kernels vs base | app vs base | solution    |
+//! |-------|-----------|-----------------|-------------|-------------|
+//! | canny | ~2.2      | 2.12×           | 1.83×       | NoC, SM, P  |
+//! | jpeg  | 3.63      | 3.08×           | 2.87×       | NoC, SM, P  |
+//! | klt   | ~0.9      | 1.55×           | 1.26×       | SM          |
+//! | fluid | ~1.63     | 1.60×           | 1.59×       | NoC         |
+//!
+//! (jpeg's 3.63 comm/comp ratio and the speed-ups are printed in the
+//! paper; the other ratios are chosen so the mean is the paper's 2.09.)
+//! All byte constants are multiples of 128 (one PLB burst) so the
+//! cycle-level bus agrees exactly with the analytic θ.
+
+use hic_fabric::resource::Resources;
+use hic_fabric::time::Frequency;
+use hic_fabric::{AppSpec, CommEdge, HostSpec, KernelSpec};
+
+fn kernel_clock() -> Frequency {
+    Frequency::from_mhz(100)
+}
+
+/// All four calibrated applications, in the paper's order.
+pub fn all() -> Vec<AppSpec> {
+    vec![canny(), jpeg(), klt(), fluid()]
+}
+
+/// Canny edge detection: five kernels, two shared pairs, NoC for the
+/// gradient fan-out, hysteresis output streaming (P).
+pub fn canny() -> AppSpec {
+    let k = |id: u32, name: &str, cycles: u64, sw: u64, r: (u64, u64)| {
+        KernelSpec::new(id, name, cycles, sw, Resources::new(r.0, r.1))
+    };
+    // Σ τ = 1 000 000 cycles (10 ms); Σ sw = 23 896 000 host cycles.
+    let kernels = vec![
+        k(0, "gaussian_smooth", 300_000, 7_168_000, (2_400, 3_300)),
+        k(1, "derivative_x_y", 150_000, 3_584_000, (1_500, 2_200)),
+        k(2, "magnitude_x_y", 150_000, 3_584_000, (1_178, 1_819)),
+        k(3, "non_max_supp", 200_000, 4_780_000, (1_800, 2_600)),
+        k(4, "apply_hysteresis", 200_000, 4_780_000, (2_000, 2_600)).streamable(),
+    ];
+    AppSpec::new(
+        "canny",
+        HostSpec::powerpc_400mhz(),
+        kernel_clock(),
+        kernels,
+        vec![
+            CommEdge::h2k(0u32, 2_999_936),  // image in
+            CommEdge::k2k(0u32, 1u32, 1_599_872), // smoothed (SM pair 1)
+            CommEdge::k2k(1u32, 2u32, 1_200_000), // dx/dy → magnitude
+            CommEdge::k2k(1u32, 3u32, 1_000_064), // dx/dy → NMS
+            CommEdge::k2k(2u32, 3u32, 899_968),   // magnitude → NMS
+            CommEdge::k2k(3u32, 4u32, 390_016),   // NMS → hysteresis (SM pair 2)
+            CommEdge::k2h(4u32, 899_968),    // edge map out
+        ],
+        1_844_000, // 4.61 ms of host-resident work @ 400 MHz
+    )
+    .expect("calibrated canny is valid")
+}
+
+/// The jpeg decoder of Section V-B: `huff_ac_dec` duplicable (and
+/// duplicated), `dquantz_lum → j_rev_dct` shared pair, NoC for the Huffman
+/// fan-in, `j_rev_dct` streams its host I/O.
+pub fn jpeg() -> AppSpec {
+    let k = |id: u32, name: &str, cycles: u64, sw: u64, r: (u64, u64)| {
+        KernelSpec::new(id, name, cycles, sw, Resources::new(r.0, r.1))
+    };
+    // Σ τ = 400 000 cycles (4 ms); Σ sw = 6 116 000 host cycles.
+    let kernels = vec![
+        k(0, "huff_dc_dec", 60_000, 917_400, (1_600, 1_700)),
+        k(1, "huff_ac_dec", 160_000, 2_446_400, (5_459, 4_852)).duplicable(),
+        k(2, "dquantz_lum", 80_000, 1_223_200, (1_200, 1_300)),
+        k(3, "j_rev_dct", 100_000, 1_529_000, (2_448, 3_870)).streamable(),
+    ];
+    AppSpec::new(
+        "jpeg",
+        HostSpec::powerpc_400mhz(),
+        kernel_clock(),
+        kernels,
+        vec![
+            CommEdge::h2k(0u32, 600_064),   // DC bitstream
+            CommEdge::h2k(1u32, 623_232),   // AC bitstream
+            CommEdge::k2k(0u32, 1u32, 484_864), // DC values → AC assembly
+            CommEdge::k2k(1u32, 2u32, 1_000_064), // coefficient blocks
+            CommEdge::k2k(2u32, 3u32, 2_000_000), // dequantized blocks (SM)
+            CommEdge::h2k(3u32, 299_904),   // cosine basis / control
+            CommEdge::k2h(3u32, 800_000),   // pixels out
+        ],
+        206_800, // ≈0.52 ms of host-resident work
+    )
+    .expect("calibrated jpeg is valid")
+}
+
+/// KLT feature tracking: one shared pair, no NoC, no parallel transforms,
+/// and a large host-resident remainder.
+pub fn klt() -> AppSpec {
+    let k = |id: u32, name: &str, cycles: u64, sw: u64, r: (u64, u64)| {
+        KernelSpec::new(id, name, cycles, sw, Resources::new(r.0, r.1))
+    };
+    // Σ τ = 1 000 000 cycles (10 ms); Σ sw = 32 264 000 host cycles.
+    let kernels = vec![
+        k(0, "compute_gradients", 350_000, 11_292_000, (1_273, 1_742)),
+        k(1, "compute_goodness", 350_000, 11_292_000, (1_200, 1_800)),
+        k(2, "track_features", 300_000, 9_680_000, (1_200, 1_700)),
+    ];
+    AppSpec::new(
+        "klt",
+        HostSpec::powerpc_400mhz(),
+        kernel_clock(),
+        kernels,
+        vec![
+            CommEdge::h2k(0u32, 399_872),  // frame for gradients
+            CommEdge::k2h(0u32, 299_904),  // gradient maps back to host
+            CommEdge::h2k(1u32, 500_096),  // frame + window config
+            CommEdge::k2k(1u32, 2u32, 2_157_440), // goodness map (SM pair)
+            CommEdge::k2h(2u32, 245_120),  // feature list out
+        ],
+        5_469_000, // ≈13.7 ms of host-resident work: the big SW part
+    )
+    .expect("calibrated klt is valid")
+}
+
+/// Stam's fluid solver: no exclusive pairs, pure NoC solution, no
+/// streaming.
+pub fn fluid() -> AppSpec {
+    let k = |id: u32, name: &str, cycles: u64, sw: u64, r: (u64, u64)| {
+        KernelSpec::new(id, name, cycles, sw, Resources::new(r.0, r.1))
+    };
+    // Σ τ = 2 000 000 cycles (20 ms); Σ sw = 22 090 000 host cycles.
+    let kernels = vec![
+        k(0, "add_source", 200_000, 2_209_000, (2_077, 3_605)),
+        k(1, "diffuse", 700_000, 7_731_500, (6_000, 9_000)),
+        k(2, "advect", 600_000, 6_627_000, (5_500, 8_500)),
+        k(3, "project", 500_000, 5_522_500, (4_500, 7_500)),
+    ];
+    AppSpec::new(
+        "fluid",
+        HostSpec::powerpc_400mhz(),
+        kernel_clock(),
+        kernels,
+        vec![
+            CommEdge::h2k(0u32, 4_999_936),  // fields in
+            CommEdge::k2k(0u32, 1u32, 2_400_000), // sourced density
+            CommEdge::k2k(0u32, 2u32, 500_096),   // flux-correction bounds
+            CommEdge::k2k(1u32, 2u32, 1_500_032), // diffused density
+            CommEdge::k2k(1u32, 3u32, 400_000),   // relaxation weights
+            CommEdge::k2k(2u32, 3u32, 1_512_064), // advected velocity
+            CommEdge::h2k(3u32, 1_000_064),  // boundary data
+            CommEdge::k2h(3u32, 2_239_872),  // new fields out
+        ],
+        223_600, // ≈0.56 ms of host-resident work
+    )
+    .expect("calibrated fluid is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_core::{design, DesignConfig, Variant};
+
+    #[test]
+    fn all_calibrated_apps_validate() {
+        for app in all() {
+            assert!(app.validate().is_ok(), "{}", app.name);
+            assert!(app.n_kernels() >= 3);
+        }
+    }
+
+    #[test]
+    fn comm_comp_ratios_match_fig4() {
+        // Ratio of baseline communication to computation time (Fig. 4).
+        let cfg = DesignConfig::default();
+        let mut ratios = Vec::new();
+        for app in all() {
+            let plan = design(&app, &cfg, Variant::Baseline).unwrap();
+            let est = plan.estimate();
+            ratios.push((app.name.clone(), est.comm_comp_ratio()));
+        }
+        let jpeg = ratios.iter().find(|r| r.0 == "jpeg").unwrap().1;
+        assert!((jpeg - 3.63).abs() < 0.05, "jpeg ratio {jpeg}");
+        let mean = ratios.iter().map(|r| r.1).sum::<f64>() / 4.0;
+        assert!((mean - 2.09).abs() < 0.08, "mean ratio {mean}");
+    }
+
+    #[test]
+    fn jpeg_speedups_match_table3() {
+        let cfg = DesignConfig::default();
+        let app = jpeg();
+        let plan = design(&app, &cfg, Variant::Hybrid).unwrap();
+        let est = plan.estimate();
+        let k_base = est.kernel_speedup_vs_baseline();
+        let a_base = est.app_speedup_vs_baseline();
+        assert!((k_base - 3.08).abs() / 3.08 < 0.10, "kernel vs base {k_base}");
+        assert!((a_base - 2.87).abs() / 2.87 < 0.10, "app vs base {a_base}");
+        let k_sw = est.kernel_speedup_vs_sw();
+        let a_sw = est.app_speedup_vs_sw();
+        assert!((k_sw - 2.5).abs() / 2.5 < 0.10, "kernel vs sw {k_sw}");
+        assert!((a_sw - 2.33).abs() / 2.33 < 0.10, "app vs sw {a_sw}");
+    }
+
+    #[test]
+    fn klt_is_sm_only_and_matches_table3() {
+        let cfg = DesignConfig::default();
+        let plan = design(&klt(), &cfg, Variant::Hybrid).unwrap();
+        assert_eq!(plan.solution_label(), "SM");
+        assert!(plan.noc.is_none());
+        assert_eq!(plan.sm_pairs.len(), 1);
+        let est = plan.estimate();
+        let k = est.kernel_speedup_vs_baseline();
+        let a = est.app_speedup_vs_baseline();
+        assert!((k - 1.55).abs() / 1.55 < 0.10, "{k}");
+        assert!((a - 1.26).abs() / 1.26 < 0.10, "{a}");
+        assert!((est.kernel_speedup_vs_sw() - 6.58).abs() / 6.58 < 0.10);
+    }
+
+    #[test]
+    fn fluid_is_noc_only_solution() {
+        let cfg = DesignConfig::default();
+        let plan = design(&fluid(), &cfg, Variant::Hybrid).unwrap();
+        assert_eq!(plan.solution_label(), "NoC");
+        assert!(plan.sm_pairs.is_empty());
+        let est = plan.estimate();
+        assert!((est.kernel_speedup_vs_baseline() - 1.60).abs() / 1.60 < 0.10);
+        assert!((est.app_speedup_vs_baseline() - 1.59).abs() / 1.59 < 0.10);
+    }
+
+    #[test]
+    fn canny_uses_all_three_mechanisms() {
+        let cfg = DesignConfig::default();
+        let plan = design(&canny(), &cfg, Variant::Hybrid).unwrap();
+        let label = plan.solution_label();
+        assert!(label.contains("NoC") && label.contains("SM") && label.contains('P'), "{label}");
+        assert_eq!(plan.sm_pairs.len(), 2);
+        let est = plan.estimate();
+        assert!((est.kernel_speedup_vs_baseline() - 2.12).abs() / 2.12 < 0.10);
+        assert!((est.app_speedup_vs_baseline() - 1.83).abs() / 1.83 < 0.10);
+    }
+
+    #[test]
+    fn jpeg_duplicates_huff_ac() {
+        let cfg = DesignConfig::default();
+        let plan = design(&jpeg(), &cfg, Variant::Hybrid).unwrap();
+        assert_eq!(plan.duplicated.len(), 1);
+        let (orig, _clone) = plan.duplicated[0];
+        assert_eq!(plan.app.kernel(orig).name, "huff_ac_dec");
+        assert_eq!(plan.app.n_kernels(), 5);
+    }
+
+    #[test]
+    fn klt_max_app_speedup_vs_sw_matches_headline() {
+        // The abstract's 3.72× overall speed-up belongs to KLT.
+        let cfg = DesignConfig::default();
+        let mut best = ("", 0.0f64);
+        for app in all() {
+            let plan = design(&app, &cfg, Variant::Hybrid).unwrap();
+            let s = plan.estimate().app_speedup_vs_sw();
+            if s > best.1 {
+                best = (Box::leak(app.name.clone().into_boxed_str()), s);
+            }
+        }
+        assert_eq!(best.0, "klt");
+        assert!((best.1 - 3.72).abs() / 3.72 < 0.10, "{}", best.1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Canny edge detection (Canny, PAMI 1986) — instrumented pipeline.
+//!
+//! Five hardware-candidate stages over a synthetic image:
+//! `gaussian_smooth → derivative_x_y → magnitude_x_y → non_max_supp →
+//! apply_hysteresis`. The stage decomposition follows the classic
+//! reference implementation the paper accelerates; the exclusive
+//! producer/consumer pairs (`gaussian_smooth → derivative_x_y` and
+//! `non_max_supp → apply_hysteresis`) are exactly the ones the design
+//! algorithm turns into shared-local-memory pairs.
+
+use crate::common::{build_measured_app, synth_pixel, KernelDecl};
+use hic_fabric::resource::Resources;
+use hic_fabric::AppSpec;
+use hic_profiling::{Arena, Buf, CommGraph, Profiler};
+
+/// Result of a profiled Canny run.
+#[derive(Debug)]
+pub struct CannyRun {
+    /// Function-level communication graph.
+    pub graph: CommGraph,
+    /// Measured application spec.
+    pub app: AppSpec,
+    /// Detected edge pixels.
+    pub edge_pixels: usize,
+    /// Image dimensions.
+    pub size: (usize, usize),
+}
+
+/// Run the profiled pipeline on a `w × h` synthetic image.
+pub fn run_profiled(w: usize, h: usize, seed: u64) -> CannyRun {
+    assert!(w >= 8 && h >= 8, "image too small for 3×3 stencils");
+    let mut prof = Profiler::new();
+    let main = prof.register("main");
+    let f_gauss = prof.register("gaussian_smooth");
+    let f_deriv = prof.register("derivative_x_y");
+    let f_mag = prof.register("magnitude_x_y");
+    let f_nms = prof.register("non_max_supp");
+    let f_hyst = prof.register("apply_hysteresis");
+    let mut arena = Arena::new();
+
+    // Host: synthetic image with a bright square (strong edges) + noise.
+    let mut image: Buf<f32> = Buf::new(&mut arena, w * h);
+    image.fill_with(&mut prof, main, |i| {
+        let (x, y) = (i % w, i / w);
+        let inside =
+            x > w / 4 && x < 3 * w / 4 && y > h / 4 && y < 3 * h / 4;
+        (if inside { 200.0 } else { 40.0 }) + synth_pixel(x, y, seed) * 0.05
+    });
+
+    // Kernel: Gaussian smoothing (3×3 binomial).
+    let mut smoothed: Buf<f32> = Buf::new(&mut arena, w * h);
+    {
+        prof.enter(f_gauss);
+        const K: [f32; 9] = [1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0];
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = 0f32;
+                for dy in 0..3usize {
+                    for dx in 0..3usize {
+                        let sx = (x + dx).saturating_sub(1).min(w - 1);
+                        let sy = (y + dy).saturating_sub(1).min(h - 1);
+                        acc += image.get(&mut prof, sy * w + sx) * K[dy * 3 + dx];
+                    }
+                }
+                smoothed.set(&mut prof, y * w + x, acc / 16.0);
+            }
+        }
+        prof.exit();
+    }
+
+    // Kernel: x/y derivatives (central differences).
+    let mut dx: Buf<f32> = Buf::new(&mut arena, w * h);
+    let mut dy: Buf<f32> = Buf::new(&mut arena, w * h);
+    {
+        prof.enter(f_deriv);
+        for y in 0..h {
+            for x in 0..w {
+                let xp = smoothed.get(&mut prof, y * w + (x + 1).min(w - 1));
+                let xm = smoothed.get(&mut prof, y * w + x.saturating_sub(1));
+                let yp = smoothed.get(&mut prof, (y + 1).min(h - 1) * w + x);
+                let ym = smoothed.get(&mut prof, y.saturating_sub(1) * w + x);
+                dx.set(&mut prof, y * w + x, xp - xm);
+                dy.set(&mut prof, y * w + x, yp - ym);
+            }
+        }
+        prof.exit();
+    }
+
+    // Kernel: gradient magnitude.
+    let mut mag: Buf<f32> = Buf::new(&mut arena, w * h);
+    {
+        prof.enter(f_mag);
+        for i in 0..w * h {
+            let gx = dx.get(&mut prof, i);
+            let gy = dy.get(&mut prof, i);
+            mag.set(&mut prof, i, (gx * gx + gy * gy).sqrt());
+        }
+        prof.exit();
+    }
+
+    // Kernel: non-maximum suppression (4-sector quantized direction).
+    let mut nms: Buf<f32> = Buf::new(&mut arena, w * h);
+    {
+        prof.enter(f_nms);
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                let m = mag.get(&mut prof, y * w + x);
+                let gx = dx.get(&mut prof, y * w + x);
+                let gy = dy.get(&mut prof, y * w + x);
+                let (n1, n2) = if gx.abs() >= gy.abs() {
+                    (mag.get(&mut prof, y * w + x - 1), mag.get(&mut prof, y * w + x + 1))
+                } else {
+                    (mag.get(&mut prof, (y - 1) * w + x), mag.get(&mut prof, (y + 1) * w + x))
+                };
+                nms.set(&mut prof, y * w + x, if m >= n1 && m >= n2 { m } else { 0.0 });
+            }
+        }
+        prof.exit();
+    }
+
+    // Kernel: double-threshold hysteresis (one propagation sweep pair).
+    let mut edges: Buf<u8> = Buf::new(&mut arena, w * h);
+    let edge_pixels;
+    {
+        prof.enter(f_hyst);
+        let hi = 40.0f32;
+        let lo = 15.0f32;
+        for i in 0..w * h {
+            let m = nms.get(&mut prof, i);
+            edges.set(&mut prof, i, if m >= hi { 2 } else if m >= lo { 1 } else { 0 });
+        }
+        // Promote weak pixels adjacent to strong ones (forward + backward).
+        for pass in 0..2 {
+            let range: Box<dyn Iterator<Item = usize>> = if pass == 0 {
+                Box::new(1..(h - 1) * w - 1)
+            } else {
+                Box::new((1..(h - 1) * w - 1).rev())
+            };
+            for i in range {
+                if edges.get(&mut prof, i) == 1 {
+                    let any_strong = [i - 1, i + 1, i - w, i + w]
+                        .iter()
+                        .any(|&j| edges.get(&mut prof, j) == 2);
+                    if any_strong {
+                        edges.set(&mut prof, i, 2);
+                    }
+                }
+            }
+        }
+        let mut count = 0usize;
+        for i in 0..w * h {
+            let v = edges.get(&mut prof, i);
+            edges.set(&mut prof, i, if v == 2 { 255 } else { 0 });
+            if v == 2 {
+                count += 1;
+            }
+        }
+        edge_pixels = count;
+        prof.exit();
+    }
+
+    // Host consumes the edge map.
+    {
+        prof.enter(main);
+        for i in 0..w * h {
+            let _ = edges.get(&mut prof, i);
+        }
+        prof.exit();
+    }
+
+    let graph = prof.graph();
+    let app = build_measured_app(
+        "canny",
+        &prof,
+        &graph,
+        &[
+            KernelDecl::new("gaussian_smooth", Resources::new(2_200, 2_100)),
+            KernelDecl::new("derivative_x_y", Resources::new(1_400, 1_300)),
+            KernelDecl::new("magnitude_x_y", Resources::new(1_100, 1_000)),
+            KernelDecl::new("non_max_supp", Resources::new(1_900, 1_800)),
+            KernelDecl::new("apply_hysteresis", Resources::new(2_000, 1_900)).streamable(),
+        ],
+    );
+
+    CannyRun {
+        graph,
+        app,
+        edge_pixels,
+        size: (w, h),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_fabric::KernelId;
+
+    fn run() -> CannyRun {
+        run_profiled(32, 32, 11)
+    }
+
+    #[test]
+    fn detects_the_square_outline() {
+        let r = run();
+        // The bright square has a perimeter of roughly 4 × w/2 pixels;
+        // the detector must find a comparable count, not zero and not the
+        // whole image.
+        let (w, h) = r.size;
+        assert!(r.edge_pixels > w, "too few edges: {}", r.edge_pixels);
+        assert!(r.edge_pixels < w * h / 4, "too many edges: {}", r.edge_pixels);
+    }
+
+    #[test]
+    fn pipeline_edges_exist_in_graph() {
+        let r = run();
+        let g = &r.graph;
+        let chain = [
+            ("gaussian_smooth", "derivative_x_y"),
+            ("derivative_x_y", "magnitude_x_y"),
+            ("magnitude_x_y", "non_max_supp"),
+            ("derivative_x_y", "non_max_supp"),
+            ("non_max_supp", "apply_hysteresis"),
+        ];
+        for (a, b) in chain {
+            let fa = g.function_id(a).unwrap();
+            let fb = g.function_id(b).unwrap();
+            assert!(g.bytes(fa, fb) > 0, "{a} → {b} missing");
+        }
+    }
+
+    #[test]
+    fn gaussian_feeds_derivative_exclusively() {
+        let r = run();
+        let v = r.app.volumes(KernelId::new(0));
+        // gaussian_smooth's entire kernel-side output goes to
+        // derivative_x_y: the SM-pair precondition.
+        assert_eq!(
+            v.kernel_out,
+            r.app.bytes_between(
+                hic_fabric::Endpoint::Kernel(KernelId::new(0)),
+                hic_fabric::Endpoint::Kernel(KernelId::new(1))
+            )
+        );
+    }
+
+    #[test]
+    fn derivative_has_two_consumers() {
+        let r = run();
+        let g = &r.graph;
+        let deriv = g.function_id("derivative_x_y").unwrap();
+        // dx/dy feed both magnitude and NMS — so (deriv, mag) must NOT
+        // qualify as an exclusive pair.
+        assert!(g.edges_from(deriv).count() >= 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run().app, run().app);
+    }
+}

@@ -1,0 +1,190 @@
+//! Shared machinery for building measured [`AppSpec`]s from profiled runs.
+
+use hic_fabric::resource::Resources;
+use hic_fabric::time::Frequency;
+use hic_fabric::{AppSpec, FunctionId, HostSpec, KernelId, KernelSpec};
+use hic_profiling::{CommGraph, Profiler};
+use std::collections::BTreeMap;
+
+/// Cycle-derivation constants for measured mode.
+///
+/// Without HDL synthesis we derive kernel timings from the instrumented
+/// memory traffic: a pipelined hardware kernel is modeled as sustaining one
+/// word-sized (4-byte) operation per kernel-clock cycle, while the host
+/// software spends `SW_CYCLES_PER_ACCESS` host cycles per touched word
+/// (load/compute/store plus loop overhead of a scalar in-order core). The
+/// constants are deliberately conservative; the paper-calibrated specs in
+/// [`crate::calib`] are what the table/figure reproductions use.
+pub const HW_BYTES_PER_CYCLE: u64 = 4;
+/// Host cycles per touched word in software mode.
+pub const SW_CYCLES_PER_ACCESS: u64 = 10;
+
+/// Declaration of one hardware-promoted function.
+#[derive(Debug, Clone)]
+pub struct KernelDecl {
+    /// Profiled function name.
+    pub name: &'static str,
+    /// LUT/register estimate of the kernel datapath.
+    pub resources: Resources,
+    /// Whether the kernel tolerates duplication.
+    pub duplicable: bool,
+    /// Whether the kernel can stream.
+    pub streamable: bool,
+}
+
+impl KernelDecl {
+    /// A kernel with default (non-duplicable, non-streaming) traits.
+    pub fn new(name: &'static str, resources: Resources) -> Self {
+        KernelDecl {
+            name,
+            resources,
+            duplicable: false,
+            streamable: false,
+        }
+    }
+
+    /// Mark duplicable.
+    pub fn duplicable(mut self) -> Self {
+        self.duplicable = true;
+        self
+    }
+
+    /// Mark streamable.
+    pub fn streamable(mut self) -> Self {
+        self.streamable = true;
+        self
+    }
+}
+
+/// Build a measured [`AppSpec`] from a finished profiled run.
+///
+/// `kernels` lists the functions promoted to hardware (the paper's
+/// `L_hw`); every other profiled function stays on the host. Kernel cycle
+/// counts derive from each function's instrumented traffic via the
+/// constants above; `host_cycles` accumulates the traffic of all
+/// non-promoted functions.
+pub fn build_measured_app(
+    name: &str,
+    prof: &Profiler,
+    graph: &CommGraph,
+    kernels: &[KernelDecl],
+) -> AppSpec {
+    let mut kernel_of: BTreeMap<FunctionId, KernelId> = BTreeMap::new();
+    let mut specs = Vec::with_capacity(kernels.len());
+    for (i, decl) in kernels.iter().enumerate() {
+        let fid = graph
+            .function_id(decl.name)
+            .unwrap_or_else(|| panic!("function {} was never profiled", decl.name));
+        let kid = KernelId::new(i as u32);
+        kernel_of.insert(fid, kid);
+        let stats = prof.fn_stats(fid);
+        let touched = stats.bytes_read + stats.bytes_written;
+        let mut spec = KernelSpec::new(
+            kid,
+            decl.name,
+            (touched / HW_BYTES_PER_CYCLE).max(1),
+            (touched / HW_BYTES_PER_CYCLE).max(1) * SW_CYCLES_PER_ACCESS,
+            decl.resources,
+        );
+        spec.duplicable = decl.duplicable;
+        spec.streamable = decl.streamable;
+        specs.push(spec);
+    }
+
+    let host_cycles: u64 = (0..prof.n_functions() as u32)
+        .map(FunctionId::new)
+        .filter(|f| !kernel_of.contains_key(f))
+        .map(|f| {
+            let s = prof.fn_stats(f);
+            (s.bytes_read + s.bytes_written) / HW_BYTES_PER_CYCLE * SW_CYCLES_PER_ACCESS
+        })
+        .sum();
+
+    let edges = graph.collapse(&kernel_of);
+    AppSpec::new(
+        name,
+        HostSpec::powerpc_400mhz(),
+        Frequency::from_mhz(100),
+        specs,
+        edges,
+        host_cycles,
+    )
+    .expect("profiled app must collapse to a valid AppSpec")
+}
+
+/// Deterministic pseudo-random pixel generator (xorshift-based) for
+/// synthetic workloads: reproducible without threading an RNG through the
+/// application code.
+pub fn synth_pixel(x: usize, y: usize, seed: u64) -> f32 {
+    let mut v = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((x as u64) << 32 | y as u64);
+    v ^= v >> 33;
+    v = v.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    v ^= v >> 33;
+    (v & 0xFF) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_fabric::Endpoint;
+    use hic_profiling::{Arena, Buf};
+
+    #[test]
+    fn measured_app_derives_cycles_from_traffic() {
+        let mut prof = Profiler::new();
+        let main = prof.register("main");
+        let work = prof.register("work");
+        let mut arena = Arena::new();
+        let mut input: Buf<u32> = Buf::new(&mut arena, 64);
+        let mut output: Buf<u32> = Buf::new(&mut arena, 64);
+        input.fill_with(&mut prof, main, |i| i as u32);
+        prof.enter(work);
+        for i in 0..64 {
+            let v = input.get(&mut prof, i);
+            output.set(&mut prof, i, v + 1);
+        }
+        prof.exit();
+        prof.enter(main);
+        for i in 0..64 {
+            let _ = output.get(&mut prof, i);
+        }
+        prof.exit();
+
+        let graph = prof.graph();
+        let app = build_measured_app(
+            "t",
+            &prof,
+            &graph,
+            &[KernelDecl::new("work", Resources::new(100, 100))],
+        );
+        assert_eq!(app.n_kernels(), 1);
+        // work touched 64 reads + 64 writes of 4 bytes = 512 bytes.
+        assert_eq!(app.kernel(KernelId::new(0)).compute_cycles, 128);
+        assert_eq!(app.kernel(KernelId::new(0)).sw_cycles, 1280);
+        // Edges: host→work 256 B, work→host 256 B.
+        assert_eq!(
+            app.bytes_between(Endpoint::Host, Endpoint::Kernel(KernelId::new(0))),
+            256
+        );
+        assert_eq!(
+            app.bytes_between(Endpoint::Kernel(KernelId::new(0)), Endpoint::Host),
+            256
+        );
+        assert!(app.host_cycles > 0);
+    }
+
+    #[test]
+    fn synth_pixel_is_deterministic_and_bounded() {
+        for x in 0..16 {
+            for y in 0..16 {
+                let a = synth_pixel(x, y, 7);
+                let b = synth_pixel(x, y, 7);
+                assert_eq!(a, b);
+                assert!((0.0..=255.0).contains(&a));
+            }
+        }
+        assert_ne!(synth_pixel(1, 2, 7), synth_pixel(2, 1, 7));
+    }
+}

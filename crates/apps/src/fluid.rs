@@ -1,0 +1,334 @@
+//! Real-time fluid simulation (Stam, GDC 2003) — instrumented pipeline.
+//!
+//! Jos Stam's stable-fluids density solver on a 2D grid, decomposed into
+//! the four kernels an accelerator would instantiate: `add_source`,
+//! `diffuse` (Gauss–Seidel relaxation), `advect` (semi-Lagrangian
+//! backtrace) and `project` (pressure solve + gradient subtraction on the
+//! velocity field). The dataflow is deliberately *not* pairwise exclusive
+//! (diffuse feeds both advect and project; project consumes from two
+//! producers) — which is why the design algorithm ends up with a pure
+//! NoC solution for this application, as Table IV reports.
+
+use crate::common::{build_measured_app, KernelDecl};
+use hic_fabric::resource::Resources;
+use hic_fabric::AppSpec;
+use hic_profiling::{Arena, Buf, CommGraph, Profiler};
+
+/// Result of a profiled fluid step.
+#[derive(Debug)]
+pub struct FluidRun {
+    /// Function-level communication graph.
+    pub graph: CommGraph,
+    /// Measured application spec.
+    pub app: AppSpec,
+    /// Total density before the step.
+    pub mass_before: f64,
+    /// Total density after the step.
+    pub mass_after: f64,
+    /// Mean |divergence| of the velocity field after projection.
+    pub divergence_after: f64,
+}
+
+/// Run one profiled solver step on an `n × n` grid (plus boundary ring).
+pub fn run_profiled(n: usize, seed: u64) -> FluidRun {
+    assert!(n >= 8);
+    let w = n + 2; // boundary ring
+    let idx = |x: usize, y: usize| y * w + x;
+    let dt = 0.1f32;
+    let diff = 0.0001f32;
+    let _ = seed;
+
+    let mut prof = Profiler::new();
+    let main = prof.register("main");
+    let f_src = prof.register("add_source");
+    let f_dif = prof.register("diffuse");
+    let f_adv = prof.register("advect");
+    let f_prj = prof.register("project");
+    let mut arena = Arena::new();
+
+    // Host: initial density and a swirling velocity field.
+    let mut dens0: Buf<f32> = Buf::new(&mut arena, w * w);
+    dens0.fill_with(&mut prof, main, |i| {
+        let (x, y) = (i % w, i / w);
+        let cx = x as f32 - w as f32 / 2.0;
+        let cy = y as f32 - w as f32 / 2.0;
+        (-(cx * cx + cy * cy) / 16.0).exp() * 100.0
+    });
+    let mut u: Buf<f32> = Buf::new(&mut arena, w * w);
+    let mut v: Buf<f32> = Buf::new(&mut arena, w * w);
+    u.fill_with(&mut prof, main, |i| {
+        let y = (i / w) as f32 - w as f32 / 2.0;
+        -y * 0.05
+    });
+    v.fill_with(&mut prof, main, |i| {
+        let x = (i % w) as f32 - w as f32 / 2.0;
+        x * 0.05
+    });
+    // Host: per-frame density sources.
+    let mut sources: Buf<f32> = Buf::new(&mut arena, w * w);
+    sources.fill_with(&mut prof, main, |i| {
+        let (x, y) = (i % w, i / w);
+        if x == w / 4 && y == w / 4 {
+            50.0
+        } else {
+            0.0
+        }
+    });
+
+    let mass_before: f64 = dens0.values().iter().map(|&d| d as f64).sum();
+
+    // Kernel: add_source.
+    let mut dens_s: Buf<f32> = Buf::new(&mut arena, w * w);
+    {
+        prof.enter(f_src);
+        for i in 0..w * w {
+            let d = dens0.get(&mut prof, i) + dt * sources.get(&mut prof, i);
+            dens_s.set(&mut prof, i, d);
+        }
+        prof.exit();
+    }
+
+    // Kernel: diffuse (Gauss–Seidel, 8 iterations).
+    let mut dens_d: Buf<f32> = Buf::new(&mut arena, w * w);
+    {
+        prof.enter(f_dif);
+        let a = dt * diff * (n * n) as f32;
+        for i in 0..w * w {
+            let x = dens_s.get(&mut prof, i);
+            dens_d.set(&mut prof, i, x);
+        }
+        for _ in 0..8 {
+            for y in 1..=n {
+                for x in 1..=n {
+                    let s = dens_s.get(&mut prof, idx(x, y));
+                    let nb = dens_d.get(&mut prof, idx(x - 1, y))
+                        + dens_d.get(&mut prof, idx(x + 1, y))
+                        + dens_d.get(&mut prof, idx(x, y - 1))
+                        + dens_d.get(&mut prof, idx(x, y + 1));
+                    dens_d.set(&mut prof, idx(x, y), (s + a * nb) / (1.0 + 4.0 * a));
+                }
+            }
+        }
+        prof.exit();
+    }
+
+    // Kernel: advect (semi-Lagrangian; also re-advects the velocity field
+    // so `project` consumes data from both `diffuse` and `advect`).
+    let mut dens_a: Buf<f32> = Buf::new(&mut arena, w * w);
+    let mut u_a: Buf<f32> = Buf::new(&mut arena, w * w);
+    let mut v_a: Buf<f32> = Buf::new(&mut arena, w * w);
+    {
+        prof.enter(f_adv);
+        let dt0 = dt * n as f32;
+        for y in 1..=n {
+            for x in 1..=n {
+                let uu = u.get(&mut prof, idx(x, y));
+                let vv = v.get(&mut prof, idx(x, y));
+                let fx = (x as f32 - dt0 * uu).clamp(0.5, n as f32 + 0.5);
+                let fy = (y as f32 - dt0 * vv).clamp(0.5, n as f32 + 0.5);
+                let (x0, y0) = (fx.floor() as usize, fy.floor() as usize);
+                let (sx, sy) = (fx - x0 as f32, fy - y0 as f32);
+                let bilerp = |p: &mut Profiler, b: &Buf<f32>| {
+                    b.get(p, idx(x0, y0)) * (1.0 - sx) * (1.0 - sy)
+                        + b.get(p, idx(x0 + 1, y0)) * sx * (1.0 - sy)
+                        + b.get(p, idx(x0, y0 + 1)) * (1.0 - sx) * sy
+                        + b.get(p, idx(x0 + 1, y0 + 1)) * sx * sy
+                };
+                let d = bilerp(&mut prof, &dens_d);
+                // Flux-correction clamp (MacCormack-style): the advected
+                // value may not exceed the pre-diffusion field's extremes
+                // at the backtrace cell. This also makes `add_source` a
+                // second producer for `advect`.
+                let corners = [
+                    dens_s.get(&mut prof, idx(x0, y0)),
+                    dens_s.get(&mut prof, idx(x0 + 1, y0)),
+                    dens_s.get(&mut prof, idx(x0, y0 + 1)),
+                    dens_s.get(&mut prof, idx(x0 + 1, y0 + 1)),
+                ];
+                let lo = corners.iter().copied().fold(f32::INFINITY, f32::min) - 1.0;
+                let hi = corners.iter().copied().fold(f32::NEG_INFINITY, f32::max) + 1.0;
+                let d = d.clamp(lo, hi);
+                dens_a.set(&mut prof, idx(x, y), d);
+                let ua = bilerp(&mut prof, &u);
+                let va = bilerp(&mut prof, &v);
+                u_a.set(&mut prof, idx(x, y), ua);
+                v_a.set(&mut prof, idx(x, y), va);
+            }
+        }
+        prof.exit();
+    }
+
+    // Kernel: project (make the advected velocity divergence-free; reads
+    // the diffused density only for the boundary-weighting refinement, so
+    // it consumes from two producers).
+    let mut div: Buf<f32> = Buf::new(&mut arena, w * w);
+    let mut p: Buf<f32> = Buf::new(&mut arena, w * w);
+    let divergence_after;
+    {
+        prof.enter(f_prj);
+        let hh = 1.0 / n as f32;
+        for y in 1..=n {
+            for x in 1..=n {
+                let d = -0.5
+                    * hh
+                    * (u_a.get(&mut prof, idx(x + 1, y)) - u_a.get(&mut prof, idx(x - 1, y))
+                        + v_a.get(&mut prof, idx(x, y + 1))
+                        - v_a.get(&mut prof, idx(x, y - 1)));
+                div.set(&mut prof, idx(x, y), d);
+                p.set(&mut prof, idx(x, y), 0.0);
+            }
+        }
+        for _ in 0..16 {
+            for y in 1..=n {
+                for x in 1..=n {
+                    let nb = p.get(&mut prof, idx(x - 1, y))
+                        + p.get(&mut prof, idx(x + 1, y))
+                        + p.get(&mut prof, idx(x, y - 1))
+                        + p.get(&mut prof, idx(x, y + 1));
+                    let d = div.get(&mut prof, idx(x, y));
+                    // Density-weighted relaxation (consumes diffuse output):
+                    // heavier fluid relaxes marginally slower.
+                    let wgt = 1.0 + dens_d.get(&mut prof, idx(x, y)) * 1e-4;
+                    p.set(&mut prof, idx(x, y), (d + nb) / (4.0 * wgt));
+                }
+            }
+        }
+        let mut total_div = 0f64;
+        for y in 1..=n {
+            for x in 1..=n {
+                let du = 0.5 * (p.get(&mut prof, idx(x + 1, y)) - p.get(&mut prof, idx(x - 1, y)))
+                    / hh;
+                let dv = 0.5 * (p.get(&mut prof, idx(x, y + 1)) - p.get(&mut prof, idx(x, y - 1)))
+                    / hh;
+                u_a.update(&mut prof, idx(x, y), |v| v - du);
+                v_a.update(&mut prof, idx(x, y), |v| v - dv);
+            }
+        }
+        for y in 1..=n {
+            for x in 1..=n {
+                let d = -0.5
+                    * hh
+                    * (u_a.get(&mut prof, idx(x + 1, y)) - u_a.get(&mut prof, idx(x - 1, y))
+                        + v_a.get(&mut prof, idx(x, y + 1))
+                        - v_a.get(&mut prof, idx(x, y - 1)));
+                total_div += (d as f64).abs();
+            }
+        }
+        divergence_after = total_div / (n * n) as f64;
+        prof.exit();
+    }
+
+    // Host: consume the new density and velocity fields.
+    let mass_after;
+    {
+        prof.enter(main);
+        let mut total = 0f64;
+        for i in 0..w * w {
+            total += dens_a.get(&mut prof, i) as f64;
+            let _ = u_a.get(&mut prof, i);
+            let _ = v_a.get(&mut prof, i);
+        }
+        mass_after = total;
+        prof.exit();
+    }
+
+    let graph = prof.graph();
+    let app = build_measured_app(
+        "fluid",
+        &prof,
+        &graph,
+        &[
+            KernelDecl::new("add_source", Resources::new(900, 1_400)),
+            KernelDecl::new("diffuse", Resources::new(2_400, 3_600)),
+            KernelDecl::new("advect", Resources::new(2_800, 4_200)),
+            KernelDecl::new("project", Resources::new(2_600, 3_900)),
+        ],
+    );
+
+    FluidRun {
+        graph,
+        app,
+        mass_before,
+        mass_after,
+        divergence_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run() -> FluidRun {
+        run_profiled(16, 3)
+    }
+
+    #[test]
+    fn density_stays_bounded_and_positive() {
+        let r = run();
+        assert!(r.mass_before > 0.0);
+        assert!(r.mass_after > 0.0);
+        // Semi-Lagrangian advection is dissipative but must not explode.
+        assert!(
+            r.mass_after < r.mass_before * 1.5,
+            "{} vs {}",
+            r.mass_after,
+            r.mass_before
+        );
+    }
+
+    #[test]
+    fn projection_reduces_divergence() {
+        let r = run();
+        // The swirling initial field has |div| ~ O(1); after projection
+        // the mean divergence must be small.
+        assert!(
+            r.divergence_after < 0.05,
+            "divergence {} still large",
+            r.divergence_after
+        );
+    }
+
+    #[test]
+    fn no_exclusive_pair_exists() {
+        // The defining property: the design algorithm must find no SM pair
+        // (Table IV lists "NoC" as fluid's solution).
+        let r = run();
+        for e in r.app.k2k_edges() {
+            let i = e.src.kernel().unwrap();
+            let j = e.dst.kernel().unwrap();
+            let qualify = hic_xbar::SharedMemPair::qualify(
+                i,
+                j,
+                e.bytes,
+                &r.app.volumes(i),
+                &r.app.volumes(j),
+            );
+            assert!(
+                qualify.is_none(),
+                "unexpected exclusive pair {i}→{j} — fluid should be NoC-only"
+            );
+        }
+    }
+
+    #[test]
+    fn dataflow_edges_exist() {
+        let r = run();
+        let g = &r.graph;
+        for (a, b) in [
+            ("add_source", "diffuse"),
+            ("add_source", "advect"),
+            ("diffuse", "advect"),
+            ("diffuse", "project"),
+            ("advect", "project"),
+        ] {
+            let fa = g.function_id(a).unwrap();
+            let fb = g.function_id(b).unwrap();
+            assert!(g.bytes(fa, fb) > 0, "{a} → {b} missing");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run().app, run().app);
+    }
+}

@@ -1,0 +1,408 @@
+//! The jpeg decoder — the paper's Section V-B case study.
+//!
+//! A real (simplified but faithful) JPEG-style pipeline over synthetic
+//! image data. The host encodes: forward DCT per 8×8 block, quantization
+//! with the standard luminance table, DPCM for the DC terms and
+//! run-length coding for the AC terms, both entropy-coded with a canonical
+//! Huffman category code into two bitstreams. The four decoder stages are
+//! the paper's hardware kernels:
+//!
+//! * `huff_dc_dec` — Huffman-decodes the DC stream and undoes the DPCM,
+//!   producing the per-block DC values;
+//! * `huff_ac_dec` — Huffman-decodes the AC run-length stream, merges in
+//!   the DC values (the `huff_dc_dec → huff_ac_dec` edge of Fig. 5) and
+//!   assembles the quantized coefficient blocks (most compute-intensive;
+//!   duplicable, as the paper duplicates it);
+//! * `dquantz_lum` — dequantizes with the (hardware-constant) luminance
+//!   table, feeding `j_rev_dct` exclusively — the shared-local-memory pair;
+//! * `j_rev_dct` — the inverse DCT, consuming the dequantized coefficients
+//!   *and* the host-built cosine basis table (hence its `R3` class).
+
+// Index loops over fixed-size port/coefficient arrays read more
+// naturally than iterator chains here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::bitio::{
+    category_of, magnitude_bits, magnitude_decode, BitReader, BitWriter, CanonicalCode,
+};
+use crate::common::{build_measured_app, KernelDecl};
+use hic_fabric::resource::Resources;
+use hic_fabric::AppSpec;
+use hic_profiling::{Arena, Buf, CommGraph, Profiler};
+
+/// Block edge length.
+pub const BLOCK: usize = 8;
+
+/// The ISO/IEC 10918-1 example luminance quantization table (a hardware
+/// constant inside the `dquantz_lum` kernel).
+pub const QTABLE: [i32; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Zig-zag scan order of an 8×8 block.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+const EOB_RUN: u32 = 63;
+
+/// Result of a profiled decoder run.
+#[derive(Debug)]
+pub struct JpegRun {
+    /// The function-level communication graph (Fig. 5).
+    pub graph: CommGraph,
+    /// Measured application spec for the design algorithm.
+    pub app: AppSpec,
+    /// Maximum absolute reconstruction error vs the original image
+    /// (bounded by quantization loss).
+    pub max_abs_error: f64,
+    /// Number of 8×8 blocks decoded.
+    pub blocks: usize,
+}
+
+fn cos_basis() -> [f32; 64] {
+    let mut t = [0f32; 64];
+    for x in 0..8 {
+        for u in 0..8 {
+            let cu = if u == 0 {
+                (1.0f32 / 2.0).sqrt()
+            } else {
+                1.0
+            };
+            t[x * 8 + u] = 0.5
+                * cu
+                * (((2 * x + 1) as f32) * (u as f32) * std::f32::consts::PI / 16.0).cos();
+        }
+    }
+    t
+}
+
+/// Forward 8×8 DCT of `block` (row-major) using the same basis.
+fn fdct(block: &[f32; 64], basis: &[f32; 64]) -> [f32; 64] {
+    // F(u,v) = Σx Σy f(x,y)·b[x][u]·b[y][v]
+    let mut out = [0f32; 64];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0f32;
+            for x in 0..8 {
+                for y in 0..8 {
+                    acc += block[y * 8 + x] * basis[x * 8 + u] * basis[y * 8 + v];
+                }
+            }
+            out[v * 8 + u] = acc;
+        }
+    }
+    out
+}
+
+/// Run the full encode (host) + profiled decode (kernels) pipeline.
+pub fn run_profiled(blocks_w: usize, blocks_h: usize, seed: u64) -> JpegRun {
+    let n_blocks = blocks_w * blocks_h;
+    let w = blocks_w * BLOCK;
+    let h = blocks_h * BLOCK;
+    let basis = cos_basis();
+    let code = CanonicalCode::categories();
+
+    let mut prof = Profiler::new();
+    let main = prof.register("main");
+    let frontend = prof.register("encode_frontend");
+    let f_dc = prof.register("huff_dc_dec");
+    let f_ac = prof.register("huff_ac_dec");
+    let f_dq = prof.register("dquantz_lum");
+    let f_idct = prof.register("j_rev_dct");
+    let mut arena = Arena::new();
+
+    // --- Host: synthesize the image. ---
+    let mut image: Buf<f32> = Buf::new(&mut arena, w * h);
+    image.fill_with(&mut prof, main, |i| {
+        let (x, y) = (i % w, i / w);
+        // Smooth gradient + texture so the spectrum is non-trivial.
+        let base = (x as f32 * 1.7 + y as f32 * 2.3) % 96.0;
+        base + crate::common::synth_pixel(x, y, seed) * 0.25
+    });
+
+    // --- Host: encode. Quantized coefficients kept aside (uninstrumented)
+    //     only to bound the reconstruction error in tests. ---
+    let mut dc_writer = BitWriter::new();
+    let mut ac_writer = BitWriter::new();
+    {
+        prof.enter(frontend);
+        let mut prev_dc = 0i32;
+        for by in 0..blocks_h {
+            for bx in 0..blocks_w {
+                let mut block = [0f32; 64];
+                for y in 0..8 {
+                    for x in 0..8 {
+                        block[y * 8 + x] =
+                            image.get(&mut prof, (by * 8 + y) * w + bx * 8 + x) - 128.0;
+                    }
+                }
+                let freq = fdct(&block, &basis);
+                let mut q = [0i32; 64];
+                for i in 0..64 {
+                    q[i] = (freq[i] / QTABLE[i] as f32).round() as i32;
+                }
+                // DC: DPCM + category code.
+                let diff = q[0] - prev_dc;
+                prev_dc = q[0];
+                let c = category_of(diff);
+                let (hc, hl) = code.encode(c as usize);
+                dc_writer.put(hc, hl);
+                dc_writer.put(magnitude_bits(diff, c), c);
+                // AC: zig-zag run-length + category code.
+                let mut run = 0u32;
+                for &zi in &ZIGZAG[1..] {
+                    let v = q[zi];
+                    if v == 0 {
+                        run += 1;
+                        continue;
+                    }
+                    ac_writer.put(run, 6);
+                    let c = category_of(v);
+                    let (hc, hl) = code.encode(c as usize);
+                    ac_writer.put(hc, hl);
+                    ac_writer.put(magnitude_bits(v, c), c);
+                    run = 0;
+                }
+                ac_writer.put(EOB_RUN, 6); // end of block
+            }
+        }
+        prof.exit();
+    }
+    let dc_bytes = dc_writer.finish();
+    let ac_bytes = ac_writer.finish();
+
+    // Bitstreams land in host memory; the kernels fetch them from there.
+    let mut dc_stream: Buf<u8> = Buf::new(&mut arena, dc_bytes.len());
+    dc_stream.fill_with(&mut prof, frontend, |i| dc_bytes[i]);
+    let mut ac_stream: Buf<u8> = Buf::new(&mut arena, ac_bytes.len());
+    ac_stream.fill_with(&mut prof, frontend, |i| ac_bytes[i]);
+    // The cosine basis table the IDCT kernel loads from the host.
+    let mut basis_buf: Buf<f32> = Buf::new(&mut arena, 64);
+    basis_buf.fill_with(&mut prof, main, |i| basis[i]);
+
+    // --- Kernel 1: huff_dc_dec. ---
+    let mut dc_values: Buf<i32> = Buf::new(&mut arena, n_blocks);
+    {
+        prof.enter(f_dc);
+        let mut reader = BitReader::new(&dc_stream);
+        let mut dc = 0i32;
+        for b in 0..n_blocks {
+            let c = code.decode(|| reader.next_bit(&mut prof)) as u8;
+            let bits = reader.take(&mut prof, c);
+            dc += magnitude_decode(bits, c);
+            dc_values.set(&mut prof, b, dc);
+        }
+        prof.exit();
+    }
+
+    // --- Kernel 2: huff_ac_dec (merges DC, assembles blocks). ---
+    let mut coeffs: Buf<i32> = Buf::new(&mut arena, n_blocks * 64);
+    {
+        prof.enter(f_ac);
+        let mut reader = BitReader::new(&ac_stream);
+        for b in 0..n_blocks {
+            let mut block = [0i32; 64];
+            block[0] = dc_values.get(&mut prof, b);
+            let mut zi = 1usize;
+            loop {
+                let run = reader.take(&mut prof, 6);
+                if run == EOB_RUN {
+                    break;
+                }
+                zi += run as usize;
+                let c = code.decode(|| reader.next_bit(&mut prof)) as u8;
+                let bits = reader.take(&mut prof, c);
+                block[ZIGZAG[zi]] = magnitude_decode(bits, c);
+                zi += 1;
+            }
+            for (i, &v) in block.iter().enumerate() {
+                coeffs.set(&mut prof, b * 64 + i, v);
+            }
+        }
+        prof.exit();
+    }
+
+    // --- Kernel 3: dquantz_lum (QTABLE is a hardware constant). ---
+    let mut dequant: Buf<i32> = Buf::new(&mut arena, n_blocks * 64);
+    {
+        prof.enter(f_dq);
+        for b in 0..n_blocks {
+            for i in 0..64 {
+                let v = coeffs.get(&mut prof, b * 64 + i);
+                dequant.set(&mut prof, b * 64 + i, v * QTABLE[i]);
+            }
+        }
+        prof.exit();
+    }
+
+    // --- Kernel 4: j_rev_dct. ---
+    let mut recon: Buf<f32> = Buf::new(&mut arena, w * h);
+    {
+        prof.enter(f_idct);
+        for by in 0..blocks_h {
+            for bx in 0..blocks_w {
+                let b = by * blocks_w + bx;
+                // Separable IDCT: columns (over v) then rows (over u).
+                let mut tmp = [0f32; 64];
+                for u in 0..8 {
+                    for y in 0..8 {
+                        let mut acc = 0f32;
+                        for v in 0..8 {
+                            let bv = basis_buf.get(&mut prof, y * 8 + v);
+                            let f = dequant.get(&mut prof, b * 64 + v * 8 + u);
+                            acc += f as f32 * bv;
+                        }
+                        tmp[y * 8 + u] = acc;
+                    }
+                }
+                for y in 0..8 {
+                    for x in 0..8 {
+                        let mut acc = 0f32;
+                        for u in 0..8 {
+                            let bu = basis_buf.get(&mut prof, x * 8 + u);
+                            acc += tmp[y * 8 + u] * bu;
+                        }
+                        recon.set(&mut prof, (by * 8 + y) * w + bx * 8 + x, acc + 128.0);
+                    }
+                }
+            }
+        }
+        prof.exit();
+    }
+
+    // --- Host: consume the result and measure the error. ---
+    let mut max_err = 0f64;
+    {
+        prof.enter(main);
+        for i in 0..w * h {
+            let err = (recon.get(&mut prof, i) - image.values()[i]).abs() as f64;
+            if err > max_err {
+                max_err = err;
+            }
+        }
+        prof.exit();
+    }
+
+    let graph = prof.graph();
+    let app = build_measured_app(
+        "jpeg",
+        &prof,
+        &graph,
+        &[
+            KernelDecl::new("huff_dc_dec", Resources::new(1_600, 1_500)),
+            KernelDecl::new("huff_ac_dec", Resources::new(5_459, 5_400))
+                .duplicable()
+                .streamable(),
+            KernelDecl::new("dquantz_lum", Resources::new(1_200, 1_200)),
+            KernelDecl::new("j_rev_dct", Resources::new(2_448, 2_490)).streamable(),
+        ],
+    );
+
+    JpegRun {
+        graph,
+        app,
+        max_abs_error: max_err,
+        blocks: n_blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_fabric::{Endpoint, KernelId};
+
+    fn run() -> JpegRun {
+        run_profiled(4, 4, 2026)
+    }
+
+    #[test]
+    fn reconstruction_error_is_bounded_by_quantization() {
+        let r = run();
+        assert_eq!(r.blocks, 16);
+        // Quantization with the standard table on ±128 data loses a few
+        // tens of grey levels worst-case (HF quantizers reach 121).
+        assert!(
+            r.max_abs_error < 70.0,
+            "max error {} too large — decode broken",
+            r.max_abs_error
+        );
+        assert!(r.max_abs_error > 0.0, "suspiciously exact — lossless?");
+    }
+
+    #[test]
+    fn fig5_edges_are_present() {
+        let r = run();
+        let g = &r.graph;
+        let dc = g.function_id("huff_dc_dec").unwrap();
+        let ac = g.function_id("huff_ac_dec").unwrap();
+        let dq = g.function_id("dquantz_lum").unwrap();
+        let idct = g.function_id("j_rev_dct").unwrap();
+        let front = g.function_id("encode_frontend").unwrap();
+        let main = g.function_id("main").unwrap();
+        // The structural edges of the paper's Fig. 5.
+        assert!(g.bytes(front, dc) > 0, "host→huff_dc");
+        assert!(g.bytes(front, ac) > 0, "host→huff_ac");
+        assert!(g.bytes(dc, ac) > 0, "huff_dc→huff_ac");
+        assert!(g.bytes(ac, dq) > 0, "huff_ac→dquantz");
+        assert!(g.bytes(dq, idct) > 0, "dquantz→j_rev_dct");
+        assert!(g.bytes(main, idct) > 0, "host(basis)→j_rev_dct");
+        assert!(g.bytes(idct, main) > 0, "j_rev_dct→host");
+        // And the paper's exclusivity: dquantz sends to j_rev_dct only.
+        assert_eq!(g.edges_from(dq).count(), 1);
+    }
+
+    #[test]
+    fn dquantz_feeds_idct_exclusively_in_the_collapsed_app() {
+        let r = run();
+        let dq = KernelId::new(2);
+        let idct = KernelId::new(3);
+        let v = r.app.volumes(dq);
+        assert_eq!(
+            v.kernel_out,
+            r.app
+                .bytes_between(Endpoint::Kernel(dq), Endpoint::Kernel(idct))
+        );
+        assert_eq!(v.host_out, 0);
+        let vi = r.app.volumes(idct);
+        assert_eq!(vi.kernel_in, v.kernel_out);
+        assert!(vi.host_in > 0, "IDCT loads the host basis table");
+    }
+
+    #[test]
+    fn huff_ac_is_the_hotter_huffman_kernel_and_duplicable() {
+        let r = run();
+        let dc = KernelId::new(0);
+        let ac = KernelId::new(1);
+        assert!(
+            r.app.kernel(ac).compute_cycles > r.app.kernel(dc).compute_cycles,
+            "AC decoding does strictly more work than DC"
+        );
+        assert!(r.app.kernel(ac).duplicable);
+        assert!(!r.app.kernel(dc).duplicable);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = run();
+        let b = run();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.app, b.app);
+    }
+
+    #[test]
+    fn larger_images_move_more_data() {
+        let small = run_profiled(2, 2, 1);
+        let large = run_profiled(4, 4, 1);
+        assert!(large.graph.total_bytes() > small.graph.total_bytes());
+    }
+}

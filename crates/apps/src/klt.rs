@@ -1,0 +1,278 @@
+//! KLT feature tracking (Shi & Tomasi, CVPR 1994) — instrumented pipeline.
+//!
+//! Three hardware-candidate stages: `compute_gradients` over the first
+//! frame, `compute_goodness` (the minimum eigenvalue of the 3×3-window
+//! structure tensor — the "good features to track" criterion) feeding
+//! `track_features` (one-step Lucas–Kanade translation estimation against
+//! a shifted second frame) exclusively — the shared-local-memory pair the
+//! design algorithm finds for this application. A large host-resident part
+//! (pyramid bookkeeping, feature list maintenance) matches the paper's
+//! KLT profile, where the application-level speed-up (1.26×) is far below
+//! the kernel-level one (1.55×).
+
+use crate::common::{build_measured_app, synth_pixel, KernelDecl};
+use hic_fabric::resource::Resources;
+use hic_fabric::AppSpec;
+use hic_profiling::{Arena, Buf, CommGraph, Profiler};
+
+/// A tracked feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Feature {
+    /// Position in the first frame.
+    pub x: usize,
+    /// Position in the first frame.
+    pub y: usize,
+    /// Estimated displacement to the second frame.
+    pub du: f32,
+    /// Estimated displacement to the second frame.
+    pub dv: f32,
+}
+
+/// Result of a profiled KLT run.
+#[derive(Debug)]
+pub struct KltRun {
+    /// Function-level communication graph.
+    pub graph: CommGraph,
+    /// Measured application spec.
+    pub app: AppSpec,
+    /// Tracked features with displacement estimates.
+    pub features: Vec<Feature>,
+    /// The true shift applied between the synthetic frames.
+    pub true_shift: (f32, f32),
+}
+
+fn frame_value(x: usize, y: usize, w: usize, h: usize, seed: u64, shift: (f32, f32)) -> f32 {
+    // Smooth blobby texture sampled with a sub-pixel shift (bilinear).
+    let sample = |fx: f32, fy: f32| -> f32 {
+        let xi = fx.floor().max(0.0) as usize;
+        let yi = fy.floor().max(0.0) as usize;
+        let xa = (xi + 1).min(w - 1);
+        let ya = (yi + 1).min(h - 1);
+        let tx = fx - xi as f32;
+        let ty = fy - yi as f32;
+        let p = |x: usize, y: usize| {
+            let blob = (((x as f32) * 0.7).sin() + ((y as f32) * 0.9).cos()) * 60.0;
+            blob + synth_pixel(x, y, seed) * 0.1 + 128.0
+        };
+        p(xi, yi) * (1.0 - tx) * (1.0 - ty)
+            + p(xa, yi) * tx * (1.0 - ty)
+            + p(xi, ya) * (1.0 - tx) * ty
+            + p(xa, ya) * tx * ty
+    };
+    sample(x as f32 - shift.0, y as f32 - shift.1)
+}
+
+/// Run the profiled tracker on `w × h` synthetic frames.
+pub fn run_profiled(w: usize, h: usize, n_features: usize, seed: u64) -> KltRun {
+    assert!(w >= 16 && h >= 16);
+    let true_shift = (0.6f32, -0.4f32);
+
+    let mut prof = Profiler::new();
+    let main = prof.register("main");
+    let f_grad = prof.register("compute_gradients");
+    let f_good = prof.register("compute_goodness");
+    let f_track = prof.register("track_features");
+    let mut arena = Arena::new();
+
+    // Host: two frames (second is the first shifted by `true_shift`).
+    let mut frame0: Buf<f32> = Buf::new(&mut arena, w * h);
+    frame0.fill_with(&mut prof, main, |i| {
+        frame_value(i % w, i / w, w, h, seed, (0.0, 0.0))
+    });
+    let mut frame1: Buf<f32> = Buf::new(&mut arena, w * h);
+    frame1.fill_with(&mut prof, main, |i| {
+        frame_value(i % w, i / w, w, h, seed, true_shift)
+    });
+
+    // Kernel: spatial gradients of frame 0.
+    let mut gx: Buf<f32> = Buf::new(&mut arena, w * h);
+    let mut gy: Buf<f32> = Buf::new(&mut arena, w * h);
+    {
+        prof.enter(f_grad);
+        for y in 0..h {
+            for x in 0..w {
+                let xp = frame0.get(&mut prof, y * w + (x + 1).min(w - 1));
+                let xm = frame0.get(&mut prof, y * w + x.saturating_sub(1));
+                let yp = frame0.get(&mut prof, (y + 1).min(h - 1) * w + x);
+                let ym = frame0.get(&mut prof, y.saturating_sub(1) * w + x);
+                gx.set(&mut prof, y * w + x, (xp - xm) * 0.5);
+                gy.set(&mut prof, y * w + x, (yp - ym) * 0.5);
+            }
+        }
+        prof.exit();
+    }
+
+    // Kernel: trackability (min eigenvalue of the structure tensor).
+    let mut goodness: Buf<f32> = Buf::new(&mut arena, w * h);
+    {
+        prof.enter(f_good);
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                let (mut sxx, mut sxy, mut syy) = (0f32, 0f32, 0f32);
+                for dy in 0..3usize {
+                    for dx in 0..3usize {
+                        let i = (y + dy - 1) * w + (x + dx - 1);
+                        let a = gx.get(&mut prof, i);
+                        let b = gy.get(&mut prof, i);
+                        sxx += a * a;
+                        sxy += a * b;
+                        syy += b * b;
+                    }
+                }
+                let tr = sxx + syy;
+                let det = sxx * syy - sxy * sxy;
+                let disc = (tr * tr / 4.0 - det).max(0.0).sqrt();
+                goodness.set(&mut prof, y * w + x, tr / 2.0 - disc); // λ_min
+            }
+        }
+        prof.exit();
+    }
+
+    // Kernel: select the best features and track them (one LK step).
+    // `track_features` is the exclusive consumer of `goodness`.
+    let mut out: Buf<f32> = Buf::new(&mut arena, n_features * 4);
+    let mut features = Vec::with_capacity(n_features);
+    {
+        prof.enter(f_track);
+        // Greedy top-N selection with a minimum separation of 4 px.
+        let mut picked: Vec<(usize, usize, f32)> = Vec::new();
+        for y in 2..h - 2 {
+            for x in 2..w - 2 {
+                let g = goodness.get(&mut prof, y * w + x);
+                if picked
+                    .iter()
+                    .all(|&(px, py, _)| px.abs_diff(x) + py.abs_diff(y) >= 4)
+                {
+                    picked.push((x, y, g));
+                    picked.sort_by(|a, b| b.2.total_cmp(&a.2));
+                    picked.truncate(n_features);
+                } else if let Some(p) = picked
+                    .iter_mut()
+                    .find(|p| p.0.abs_diff(x) + p.1.abs_diff(y) < 4 && p.2 < g)
+                {
+                    *p = (x, y, g);
+                }
+            }
+        }
+        // One Lucas–Kanade translation step per feature over a 5×5 window.
+        for (fi, &(x, y, _)) in picked.iter().enumerate() {
+            let (mut sxx, mut sxy, mut syy, mut sxt, mut syt) = (0f32, 0f32, 0f32, 0f32, 0f32);
+            for dy in 0..5usize {
+                for dx in 0..5usize {
+                    let xx = (x + dx).saturating_sub(2).min(w - 1);
+                    let yy = (y + dy).saturating_sub(2).min(h - 1);
+                    let i = yy * w + xx;
+                    let a = gx.get(&mut prof, i);
+                    let b = gy.get(&mut prof, i);
+                    let dt = frame1.get(&mut prof, i) - frame0.get(&mut prof, i);
+                    sxx += a * a;
+                    sxy += a * b;
+                    syy += b * b;
+                    sxt += a * dt;
+                    syt += b * dt;
+                }
+            }
+            let det = sxx * syy - sxy * sxy;
+            let (du, dv) = if det.abs() > 1e-6 {
+                ((-(syy * sxt - sxy * syt)) / det, (-(sxx * syt - sxy * sxt)) / det)
+            } else {
+                (0.0, 0.0)
+            };
+            out.set(&mut prof, fi * 4, x as f32);
+            out.set(&mut prof, fi * 4 + 1, y as f32);
+            out.set(&mut prof, fi * 4 + 2, du);
+            out.set(&mut prof, fi * 4 + 3, dv);
+            features.push(Feature { x, y, du, dv });
+        }
+        prof.exit();
+    }
+
+    // Host: heavy feature-list post-processing (the big software part of
+    // KLT: pyramid bookkeeping, list maintenance, visualization).
+    {
+        prof.enter(main);
+        for _ in 0..32 {
+            for i in 0..out.len() {
+                let _ = out.get(&mut prof, i);
+            }
+        }
+        prof.exit();
+    }
+
+    let graph = prof.graph();
+    let app = build_measured_app(
+        "klt",
+        &prof,
+        &graph,
+        &[
+            KernelDecl::new("compute_gradients", Resources::new(1_400, 1_500)),
+            KernelDecl::new("compute_goodness", Resources::new(1_700, 1_800)),
+            KernelDecl::new("track_features", Resources::new(1_500, 1_900)),
+        ],
+    );
+
+    KltRun {
+        graph,
+        app,
+        features,
+        true_shift,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_fabric::KernelId;
+
+    fn run() -> KltRun {
+        run_profiled(32, 32, 8, 5)
+    }
+
+    #[test]
+    fn tracker_recovers_the_synthetic_shift() {
+        let r = run();
+        assert_eq!(r.features.len(), 8);
+        // Median displacement should be close to the true shift (a single
+        // LK step on a smooth texture converges most of the way).
+        let mut dus: Vec<f32> = r.features.iter().map(|f| f.du).collect();
+        let mut dvs: Vec<f32> = r.features.iter().map(|f| f.dv).collect();
+        dus.sort_by(f32::total_cmp);
+        dvs.sort_by(f32::total_cmp);
+        let (mu, mv) = (dus[dus.len() / 2], dvs[dvs.len() / 2]);
+        assert!((mu - r.true_shift.0).abs() < 0.4, "du median {mu}");
+        assert!((mv - r.true_shift.1).abs() < 0.4, "dv median {mv}");
+    }
+
+    #[test]
+    fn goodness_feeds_tracker_exclusively() {
+        let r = run();
+        let good = KernelId::new(1);
+        let track = KernelId::new(2);
+        let v = r.app.volumes(good);
+        assert!(v.kernel_out > 0);
+        assert_eq!(
+            v.kernel_out,
+            r.app.bytes_between(
+                hic_fabric::Endpoint::Kernel(good),
+                hic_fabric::Endpoint::Kernel(track)
+            )
+        );
+    }
+
+    #[test]
+    fn host_part_is_substantial() {
+        // KLT's defining trait in the paper: a big software remainder.
+        let r = run();
+        assert!(r.app.host_cycles > 0);
+        let kernel_sw: u64 = r.app.kernels.iter().map(|k| k.sw_cycles).sum();
+        assert!(
+            r.app.host_cycles * 10 > kernel_sw,
+            "host part should not be negligible"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run().app, run().app);
+    }
+}

@@ -1,0 +1,31 @@
+//! # hic-apps — the four experimental applications
+//!
+//! Real, instrumented implementations of the paper's evaluation workloads,
+//! each decomposed into the hardware-kernel stages the paper accelerates:
+//!
+//! * [`canny`] — Canny edge detection (Canny, PAMI 1986);
+//! * [`jpeg`] — the PowerStone-style jpeg decoder of Section V-B
+//!   (`huff_dc_dec`, `huff_ac_dec`, `dquantz_lum`, `j_rev_dct`);
+//! * [`klt`] — the KLT feature tracker (Shi & Tomasi, CVPR 1994);
+//! * [`fluid`] — Stam's real-time stable-fluids solver (GDC 2003).
+//!
+//! Each module's `run_profiled` executes the *actual computation* on
+//! synthetic inputs under the QUAD-style profiler and returns both the
+//! function-level communication graph (Fig. 5) and a measured
+//! [`hic_fabric::AppSpec`] ready for interconnect synthesis.
+//!
+//! [`calib`] additionally provides paper-calibrated specs whose timings
+//! land on the published operating points — those drive the table/figure
+//! reproductions in `hic-bench`. [`common`] documents how measured cycle
+//! counts are derived, and [`bitio`] holds the decoder's canonical Huffman
+//! machinery.
+
+#![warn(missing_docs)]
+
+pub mod bitio;
+pub mod calib;
+pub mod canny;
+pub mod common;
+pub mod fluid;
+pub mod jpeg;
+pub mod klt;

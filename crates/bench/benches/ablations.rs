@@ -1,0 +1,99 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! shared-memory-first ordering, adaptive mapping, duplication-overhead
+//! sensitivity and traffic-aware placement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hic_bench::experiments as exp;
+use hic_core::{explore, pareto_front, DesignConfig};
+use std::hint::black_box;
+
+fn ablation_sm_vs_noc(c: &mut Criterion) {
+    let a = exp::ablation_sm_vs_noc();
+    println!(
+        "[ablation:sm-vs-noc] NoC pair {:?} vs SM pair {:?} → {:.1}x LUTs",
+        a.noc_pair, a.sm_pair, a.lut_ratio
+    );
+    c.bench_function("ablation_sm_vs_noc", |b| {
+        b.iter(|| black_box(exp::ablation_sm_vs_noc()))
+    });
+}
+
+fn ablation_mapping(c: &mut Criterion) {
+    for m in exp::ablation_mapping() {
+        println!(
+            "[ablation:mapping] {}: adaptive {:?} vs blanket {:?} ({} routers saved)",
+            m.app, m.adaptive, m.blanket, m.routers_saved
+        );
+    }
+    c.bench_function("ablation_mapping", |b| {
+        b.iter(|| black_box(exp::ablation_mapping()))
+    });
+}
+
+fn ablation_duplication(c: &mut Criterion) {
+    for d in exp::ablation_duplication() {
+        println!(
+            "[ablation:duplication] O={} → duplicated={} speedup={:.2}x",
+            d.overhead_cycles, d.duplicated, d.kernels_vs_baseline
+        );
+    }
+    c.bench_function("ablation_duplication_sweep", |b| {
+        b.iter(|| black_box(exp::ablation_duplication()))
+    });
+}
+
+fn ablation_placement(c: &mut Criterion) {
+    for p in exp::ablation_placement() {
+        println!(
+            "[ablation:placement] {}: optimized {:.2} vs naive {:.2} mean hops",
+            p.app, p.optimized_hops, p.naive_hops
+        );
+    }
+    c.bench_function("ablation_placement", |b| {
+        b.iter(|| black_box(exp::ablation_placement()))
+    });
+}
+
+fn ablation_dse(c: &mut Criterion) {
+    let app = hic_apps::calib::jpeg();
+    let cfg = DesignConfig::default();
+    let points = explore(&app, &cfg).expect("fits");
+    for p in pareto_front(&points) {
+        println!(
+            "[ablation:dse] pareto: {:<16} {} / {} LUTs",
+            p.label, p.kernels, p.resources.luts
+        );
+    }
+    c.bench_function("ablation_dse_16_subsets", |b| {
+        b.iter(|| black_box(explore(&app, &cfg).expect("fits")))
+    });
+}
+
+fn ablation_link_width(c: &mut Criterion) {
+    for l in exp::ablation_link_width() {
+        println!(
+            "[ablation:link-width] {}-byte flits → cosim/analytic {:.3}",
+            l.flit_bytes, l.slowdown_vs_analytic
+        );
+    }
+    let mut g = c.benchmark_group("ablation_link_width");
+    g.sample_size(10);
+    g.bench_function("jpeg_cosim_16B", |b| {
+        use hic_core::{design, DesignConfig, Variant};
+        let cfg = DesignConfig {
+            flit_payload: 16,
+            ..exp::config()
+        };
+        let plan = design(&hic_apps::calib::jpeg(), &cfg, Variant::Hybrid).expect("fits");
+        b.iter(|| black_box(hic_sim::cosimulate(&plan)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_sm_vs_noc, ablation_mapping, ablation_duplication, ablation_placement,
+              ablation_dse, ablation_link_width
+}
+criterion_main!(benches);

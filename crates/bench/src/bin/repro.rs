@@ -1,0 +1,273 @@
+//! Regenerate the paper's tables and figures on the terminal.
+//!
+//! ```text
+//! cargo run --release -p hic-bench --bin repro -- all
+//! cargo run --release -p hic-bench --bin repro -- table3
+//! cargo run --release -p hic-bench --bin repro -- fig9 --json
+//! ```
+
+use hic_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let all = what == "all";
+    let mut matched = false;
+
+    if all || what == "fig4" {
+        matched = true;
+        fig4(json);
+    }
+    if all || what == "table2" {
+        matched = true;
+        table2(json);
+    }
+    if all || what == "fig5" {
+        matched = true;
+        fig5();
+    }
+    if all || what == "fig6" {
+        matched = true;
+        println!("{}", exp::fig6());
+    }
+    if all || what == "table3" || what == "fig7" {
+        matched = true;
+        table3(json);
+    }
+    if all || what == "table4" {
+        matched = true;
+        table4(json);
+    }
+    if all || what == "fig8" {
+        matched = true;
+        fig8(json);
+    }
+    if all || what == "fig9" {
+        matched = true;
+        fig9(json);
+    }
+    if all || what == "ablations" {
+        matched = true;
+        ablations(json);
+    }
+    if !matched {
+        eprintln!(
+            "unknown experiment '{what}'; expected one of: all fig4 table2 fig5 fig6 table3 fig7 table4 fig8 fig9 ablations"
+        );
+        std::process::exit(2);
+    }
+}
+
+fn fig4(json: bool) {
+    let rows = exp::fig4();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    println!("== Fig. 4: baseline system vs software ==");
+    println!(
+        "{:<8} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "app", "app x", "(paper)", "kernel x", "(paper)", "comm/comp"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>10.2} {:>12.2} {:>10.2} {:>12.2} {:>10.2}",
+            r.app,
+            r.app_speedup,
+            r.paper_app_speedup,
+            r.kernel_speedup,
+            r.paper_kernel_speedup,
+            r.comm_comp
+        );
+    }
+    println!();
+}
+
+fn table2(json: bool) {
+    let rows = exp::table2();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    println!("== Table II: interconnect component utilization ==");
+    println!("{:<20} {:>8} {:>8} {:>12}", "component", "LUTs", "regs", "Fmax");
+    for r in rows {
+        let fmax = r
+            .fmax_mhz
+            .map_or("N/A".to_string(), |f| format!("{f:.1}MHz"));
+        println!("{:<20} {:>8} {:>8} {:>12}", r.component, r.luts, r.regs, fmax);
+    }
+    println!();
+}
+
+fn fig5() {
+    let (dot, table) = exp::fig5();
+    println!("== Fig. 5: jpeg data-communication profile (real decoder run) ==");
+    println!("{table}");
+    println!("--- Graphviz DOT ---");
+    println!("{dot}");
+}
+
+fn table3(json: bool) {
+    let rows = exp::table3();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    println!("== Table III / Fig. 7: proposed-system speed-ups ==");
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} {:>9}   {:>9} {:>12}  solution",
+        "app", "app/sw", "krn/sw", "app/base", "krn/base", "sim(a/b)", "paper"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>9.2} {:>9.2} {:>9.2} {:>9.2}   {:>9.2} {:>3.2}/{:.2}/{:.2}/{:.2}  {}",
+            r.app,
+            r.app_vs_sw,
+            r.kernels_vs_sw,
+            r.app_vs_baseline,
+            r.kernels_vs_baseline,
+            r.sim_app_vs_baseline,
+            r.paper[0],
+            r.paper[1],
+            r.paper[2],
+            r.paper[3],
+            r.solution
+        );
+    }
+    println!();
+}
+
+fn table4(json: bool) {
+    let rows = exp::table4();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    println!("== Table IV: whole-system LUTs/registers ==");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>9} {:>9}  solution",
+        "app", "baseline", "ours", "NoC-only", "ΔLUT%", "Δreg%"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>6}/{:<7} {:>6}/{:<7} {:>6}/{:<7} {:>8.1}% {:>8.1}%  {}",
+            r.app,
+            r.baseline.0,
+            r.baseline.1,
+            r.ours.0,
+            r.ours.1,
+            r.noc_only.0,
+            r.noc_only.1,
+            r.lut_saving_vs_noc_only * 100.0,
+            r.reg_saving_vs_noc_only * 100.0,
+            r.solution
+        );
+        println!(
+            "{:<8} {:>6}/{:<7} {:>6}/{:<7} {:>6}/{:<7}  (paper)",
+            "",
+            r.paper[0].0,
+            r.paper[0].1,
+            r.paper[1].0,
+            r.paper[1].1,
+            r.paper[2].0,
+            r.paper[2].1
+        );
+    }
+    println!();
+}
+
+fn fig8(json: bool) {
+    let rows = exp::fig8();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    println!("== Fig. 8: interconnect resources normalized to kernels ==");
+    println!("{:<8} {:>10} {:>10}", "app", "LUT ratio", "reg ratio");
+    for r in rows {
+        println!("{:<8} {:>10.3} {:>10.3}", r.app, r.lut_ratio, r.reg_ratio);
+    }
+    println!();
+}
+
+fn fig9(json: bool) {
+    let rows = exp::fig9();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    println!("== Fig. 9: energy normalized to the baseline ==");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10}",
+        "app", "norm energy", "power ratio", "saving"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>12.3} {:>12.3} {:>9.1}%",
+            r.app,
+            r.normalized_energy,
+            r.power_ratio,
+            r.saving * 100.0
+        );
+    }
+    println!();
+}
+
+fn ablations(json: bool) {
+    let sm = exp::ablation_sm_vs_noc();
+    let mapping = exp::ablation_mapping();
+    let dup = exp::ablation_duplication();
+    let place = exp::ablation_placement();
+    let links = exp::ablation_link_width();
+    if json {
+        let v = serde_json::json!({
+            "sm_vs_noc": sm,
+            "mapping": mapping,
+            "duplication": dup,
+            "placement": place,
+            "link_width": links,
+        });
+        println!("{}", serde_json::to_string_pretty(&v).unwrap());
+        return;
+    }
+    println!("== Ablations ==");
+    println!(
+        "SM vs NoC pair: NoC {}/{} vs SM {}/{} LUT/regs  (ratio {:.1}x)",
+        sm.noc_pair.0, sm.noc_pair.1, sm.sm_pair.0, sm.sm_pair.1, sm.lut_ratio
+    );
+    println!("\nAdaptive mapping vs blanket attach:");
+    for m in mapping {
+        println!(
+            "  {:<8} adaptive {}/{} vs blanket {}/{}  ({} routers saved)",
+            m.app, m.adaptive.0, m.adaptive.1, m.blanket.0, m.blanket.1, m.routers_saved
+        );
+    }
+    println!("\nDuplication overhead sweep (jpeg):");
+    for d in dup {
+        println!(
+            "  O = {:>7} cycles: duplicated = {:<5} kernels-vs-baseline = {:.2}x",
+            d.overhead_cycles, d.duplicated, d.kernels_vs_baseline
+        );
+    }
+    println!("\nPlacement (bytes-weighted mean hops):");
+    for p in place {
+        println!(
+            "  {:<8} optimized {:.2} vs naive {:.2}",
+            p.app, p.optimized_hops, p.naive_hops
+        );
+    }
+    println!("\nLink-width sweep (jpeg, flit-level co-simulation vs Δn model):");
+    for l in links {
+        println!(
+            "  {:>2}-byte flits: cosim/analytic = {:.3}",
+            l.flit_bytes, l.slowdown_vs_analytic
+        );
+    }
+}

@@ -1,0 +1,638 @@
+//! Regeneration of every table and figure in the paper's evaluation.
+//!
+//! Each function returns structured rows so both the `repro` binary and
+//! the test/bench suites consume the same computation. All experiment
+//! inputs are the calibrated application specs of `hic_apps::calib`
+//! (except Fig. 5/6, which run the *real* instrumented jpeg decoder).
+
+use crate::paper;
+use hic_apps::calib;
+use hic_core::{design, DesignConfig, InterconnectPlan, Variant};
+use hic_fabric::resource::ComponentKind;
+use hic_fabric::AppSpec;
+use hic_sim::{simulate, simulate_software, PowerModel};
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// The design configuration every experiment uses.
+pub fn config() -> DesignConfig {
+    DesignConfig::default()
+}
+
+/// The three plans (baseline, hybrid, NoC-only) of one application.
+pub fn plans(app: &AppSpec) -> (InterconnectPlan, InterconnectPlan, InterconnectPlan) {
+    let cfg = config();
+    (
+        design(app, &cfg, Variant::Baseline).expect("baseline fits"),
+        design(app, &cfg, Variant::Hybrid).expect("hybrid fits"),
+        design(app, &cfg, Variant::NocOnly).expect("noc-only fits"),
+    )
+}
+
+// ---------------------------------------------------------------- Fig. 4
+
+/// One row of Fig. 4: the baseline system against software.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Row {
+    /// Application.
+    pub app: String,
+    /// Baseline overall-application speed-up vs software.
+    pub app_speedup: f64,
+    /// Baseline kernel speed-up vs software.
+    pub kernel_speedup: f64,
+    /// Communication-to-computation time ratio in the baseline.
+    pub comm_comp: f64,
+    /// The paper's (derived) values for the same row.
+    pub paper_app_speedup: f64,
+    /// The paper's (derived) kernel speed-up.
+    pub paper_kernel_speedup: f64,
+}
+
+/// Fig. 4: baseline-vs-software speed-up and comm/comp ratio per app.
+pub fn fig4() -> Vec<Fig4Row> {
+    calib::all()
+        .par_iter()
+        .map(|app| {
+            let plan = design(app, &config(), Variant::Baseline).expect("fits");
+            let est = plan.estimate();
+            let (p_app, p_k) = paper::baseline_vs_sw(&app.name);
+            Fig4Row {
+                app: app.name.clone(),
+                app_speedup: est.app_speedup_vs_sw(),
+                kernel_speedup: est.kernel_speedup_vs_sw(),
+                comm_comp: est.comm_comp_ratio(),
+                paper_app_speedup: p_app,
+                paper_kernel_speedup: p_k,
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- Table II
+
+/// One row of Table II.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Component name.
+    pub component: String,
+    /// LUTs.
+    pub luts: u64,
+    /// Registers.
+    pub regs: u64,
+    /// Maximum frequency in MHz (`None` = N/A).
+    pub fmax_mhz: Option<f64>,
+}
+
+/// Table II: interconnect component costs.
+pub fn table2() -> Vec<Table2Row> {
+    ComponentKind::ALL
+        .iter()
+        .map(|&c| Table2Row {
+            component: c.name().to_string(),
+            luts: c.cost().luts,
+            regs: c.cost().regs,
+            fmax_mhz: c.fmax().map(|f| f.as_mhz_f64()),
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------- Fig. 5 / 6
+
+/// Fig. 5: the jpeg communication profile from the *real* instrumented
+/// decoder run. Returns (DOT graph, plain-text table).
+pub fn fig5() -> (String, String) {
+    let run = hic_apps::jpeg::run_profiled(4, 4, 2026);
+    (
+        run.graph.to_dot("jpeg data communication profile"),
+        run.graph.to_table(),
+    )
+}
+
+/// Fig. 6: the synthesized hybrid system for the jpeg decoder, as a
+/// human-readable report.
+pub fn fig6() -> String {
+    let app = calib::jpeg();
+    let plan = design(&app, &config(), Variant::Hybrid).expect("fits");
+    format!(
+        "Proposed system for the jpeg decoder (Fig. 6)\n{}",
+        plan.describe()
+    )
+}
+
+// ------------------------------------------------------ Table III / Fig 7
+
+/// One row of Table III (plus DES-validation columns).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Application.
+    pub app: String,
+    /// Proposed system, app speed-up vs software (analytic model).
+    pub app_vs_sw: f64,
+    /// Proposed system, kernel speed-up vs software.
+    pub kernels_vs_sw: f64,
+    /// Proposed system, app speed-up vs baseline.
+    pub app_vs_baseline: f64,
+    /// Proposed system, kernel speed-up vs baseline.
+    pub kernels_vs_baseline: f64,
+    /// The same app-vs-baseline speed-up measured by the discrete-event
+    /// simulator (dataflow semantics, cycle-level bus).
+    pub sim_app_vs_baseline: f64,
+    /// Solution label (Table IV column 5).
+    pub solution: String,
+    /// Paper values for the four speed-up columns.
+    pub paper: [f64; 4],
+}
+
+/// Table III: speed-up of the proposed system w.r.t. software and the
+/// baseline.
+pub fn table3() -> Vec<Table3Row> {
+    calib::all()
+        .par_iter()
+        .map(|app| {
+            let cfg = config();
+            let base_plan = design(app, &cfg, Variant::Baseline).expect("fits");
+            let hyb_plan = design(app, &cfg, Variant::Hybrid).expect("fits");
+            let est = hyb_plan.estimate();
+            let sw = simulate_software(app);
+            let base_sim = simulate(&base_plan);
+            let hyb_sim = simulate(&hyb_plan);
+            let _ = sw;
+            let p = paper::row(&app.name);
+            Table3Row {
+                app: app.name.clone(),
+                app_vs_sw: est.app_speedup_vs_sw(),
+                kernels_vs_sw: est.kernel_speedup_vs_sw(),
+                app_vs_baseline: est.app_speedup_vs_baseline(),
+                kernels_vs_baseline: est.kernel_speedup_vs_baseline(),
+                sim_app_vs_baseline: base_sim.app_time.as_ps() as f64
+                    / hyb_sim.app_time.as_ps() as f64,
+                solution: hyb_plan.solution_label(),
+                paper: [
+                    p.app_vs_sw,
+                    p.kernels_vs_sw,
+                    p.app_vs_baseline,
+                    p.kernels_vs_baseline,
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Fig. 7 uses the same data as Table III plus the Fig. 4 baseline
+/// series; returns (fig4 rows, table3 rows).
+pub fn fig7() -> (Vec<Fig4Row>, Vec<Table3Row>) {
+    (fig4(), table3())
+}
+
+// --------------------------------------------------------------- Table IV
+
+/// One row of Table IV.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4Row {
+    /// Application.
+    pub app: String,
+    /// Baseline system LUTs/registers.
+    pub baseline: (u64, u64),
+    /// Proposed system LUTs/registers.
+    pub ours: (u64, u64),
+    /// NoC-only system LUTs/registers.
+    pub noc_only: (u64, u64),
+    /// Solution label.
+    pub solution: String,
+    /// LUT saving of ours vs NoC-only (fraction).
+    pub lut_saving_vs_noc_only: f64,
+    /// Register saving of ours vs NoC-only (fraction).
+    pub reg_saving_vs_noc_only: f64,
+    /// Paper's three resource columns.
+    pub paper: [(u64, u64); 3],
+}
+
+/// Table IV: whole-system resource utilization across the three variants.
+pub fn table4() -> Vec<Table4Row> {
+    calib::all()
+        .par_iter()
+        .map(|app| {
+            let (base, hyb, noc) = plans(app);
+            let b = base.resources().total();
+            let o = hyb.resources().total();
+            let n = noc.resources().total();
+            let p = paper::row(&app.name);
+            Table4Row {
+                app: app.name.clone(),
+                baseline: (b.luts, b.regs),
+                ours: (o.luts, o.regs),
+                noc_only: (n.luts, n.regs),
+                solution: hyb.solution_label(),
+                lut_saving_vs_noc_only: 1.0 - o.luts as f64 / n.luts as f64,
+                reg_saving_vs_noc_only: 1.0 - o.regs as f64 / n.regs as f64,
+                paper: [p.baseline_resources, p.ours_resources, p.noc_only_resources],
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 8
+
+/// One bar pair of Fig. 8.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Row {
+    /// Application.
+    pub app: String,
+    /// Interconnect LUTs normalized to kernel LUTs.
+    pub lut_ratio: f64,
+    /// Interconnect registers normalized to kernel registers.
+    pub reg_ratio: f64,
+}
+
+/// Fig. 8: interconnect resources normalized to computing resources.
+pub fn fig8() -> Vec<Fig8Row> {
+    calib::all()
+        .par_iter()
+        .map(|app| {
+            let plan = design(app, &config(), Variant::Hybrid).expect("fits");
+            let (l, r) = plan.resources().interconnect_over_kernels();
+            Fig8Row {
+                app: app.name.clone(),
+                lut_ratio: l,
+                reg_ratio: r,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 9
+
+/// One bar of Fig. 9.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Row {
+    /// Application.
+    pub app: String,
+    /// Energy of the proposed system normalized to the baseline's.
+    pub normalized_energy: f64,
+    /// Power ratio (ours / baseline) — "almost identical" in the paper.
+    pub power_ratio: f64,
+    /// Energy saving as a fraction.
+    pub saving: f64,
+}
+
+/// Fig. 9: energy consumption normalized to the baseline system.
+pub fn fig9() -> Vec<Fig9Row> {
+    let power = PowerModel::ml510_default();
+    calib::all()
+        .par_iter()
+        .map(|app| {
+            let cfg = config();
+            let base = design(app, &cfg, Variant::Baseline).expect("fits");
+            let hyb = design(app, &cfg, Variant::Hybrid).expect("fits");
+            let base_est = base.estimate();
+            let hyb_est = hyb.estimate();
+            let br = base.resources().total();
+            let hr = hyb.resources().total();
+            let norm = power.normalized_energy(
+                (hr, hyb_est.app),
+                (br, base_est.app),
+            );
+            Fig9Row {
+                app: app.name.clone(),
+                normalized_energy: norm,
+                power_ratio: power.power_w(hr) / power.power_w(br),
+                saving: 1.0 - norm,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- Ablations
+
+/// Ablation: resource cost of connecting a two-kernel pair by shared
+/// memory vs by NoC (the ratio motivating Algorithm 1's ordering).
+#[derive(Debug, Clone, Serialize)]
+pub struct SmVsNocAblation {
+    /// Four routers + two kernel NAs + two memory NAs.
+    pub noc_pair: (u64, u64),
+    /// One crossbar.
+    pub sm_pair: (u64, u64),
+    /// LUT ratio (the paper's "5× larger").
+    pub lut_ratio: f64,
+}
+
+/// The shared-memory-vs-NoC pair-cost ablation.
+pub fn ablation_sm_vs_noc() -> SmVsNocAblation {
+    let (noc, sm) = hic_fabric::resource::sm_vs_noc_pair_costs();
+    SmVsNocAblation {
+        noc_pair: (noc.luts, noc.regs),
+        sm_pair: (sm.luts, sm.regs),
+        lut_ratio: noc.luts as f64 / sm.luts as f64,
+    }
+}
+
+/// Ablation: adaptive mapping vs blanket attach-everything mapping, per
+/// application — the router/adapter resources saved.
+#[derive(Debug, Clone, Serialize)]
+pub struct MappingAblation {
+    /// Application.
+    pub app: String,
+    /// Interconnect resources under the adaptive mapping.
+    pub adaptive: (u64, u64),
+    /// Interconnect resources under the blanket mapping.
+    pub blanket: (u64, u64),
+    /// Routers saved by the adaptive mapping.
+    pub routers_saved: usize,
+}
+
+/// The adaptive-mapping ablation.
+pub fn ablation_mapping() -> Vec<MappingAblation> {
+    calib::all()
+        .par_iter()
+        .map(|app| {
+            let (_, hyb, noc) = plans(app);
+            let a = hyb.resources().interconnect.total();
+            let b = noc.resources().interconnect.total();
+            let ra = hyb.noc.as_ref().map_or(0, |n| n.routers());
+            let rb = noc.noc.as_ref().map_or(0, |n| n.routers());
+            MappingAblation {
+                app: app.name.clone(),
+                adaptive: (a.luts, a.regs),
+                blanket: (b.luts, b.regs),
+                routers_saved: rb - ra,
+            }
+        })
+        .collect()
+}
+
+/// Ablation: duplication-overhead sweep — at which overhead `O` does
+/// duplicating jpeg's `huff_ac_dec` stop paying off (Δdp ≤ 0)?
+#[derive(Debug, Clone, Serialize)]
+pub struct DuplicationSweepPoint {
+    /// Overhead in kernel cycles.
+    pub overhead_cycles: u64,
+    /// Whether the algorithm still duplicates.
+    pub duplicated: bool,
+    /// Hybrid kernel speed-up vs baseline at this overhead.
+    pub kernels_vs_baseline: f64,
+}
+
+/// The duplication-overhead sweep on the jpeg application.
+pub fn ablation_duplication() -> Vec<DuplicationSweepPoint> {
+    let app = calib::jpeg();
+    [0u64, 1_000, 10_000, 40_000, 79_000, 81_000, 200_000]
+        .par_iter()
+        .map(|&o| {
+            let cfg = DesignConfig {
+                dup_overhead_cycles: o,
+                ..config()
+            };
+            let plan = design(&app, &cfg, Variant::Hybrid).expect("fits");
+            DuplicationSweepPoint {
+                overhead_cycles: o,
+                duplicated: !plan.duplicated.is_empty(),
+                kernels_vs_baseline: plan.estimate().kernel_speedup_vs_baseline(),
+            }
+        })
+        .collect()
+}
+
+/// Ablation: NoC link width vs the Δn hiding assumption. The paper's
+/// model assumes the NoC fully hides kernel-to-kernel traffic behind
+/// computation; the flit-level co-simulation measures when that is true.
+#[derive(Debug, Clone, Serialize)]
+pub struct LinkWidthPoint {
+    /// Flit payload in bytes (link width / 8).
+    pub flit_bytes: u32,
+    /// Co-simulated kernel time over the analytic kernel time for jpeg
+    /// (1.0 = hiding assumption holds).
+    pub slowdown_vs_analytic: f64,
+}
+
+/// The link-width sweep on the jpeg application.
+pub fn ablation_link_width() -> Vec<LinkWidthPoint> {
+    [2u32, 4, 8, 16, 32]
+        .par_iter()
+        .map(|&flit_bytes| {
+            let cfg = DesignConfig {
+                flit_payload: flit_bytes,
+                ..config()
+            };
+            let plan = design(&calib::jpeg(), &cfg, Variant::Hybrid).expect("fits");
+            let res = hic_sim::cosimulate(&plan);
+            LinkWidthPoint {
+                flit_bytes,
+                slowdown_vs_analytic: res.slowdown_vs_analytic(),
+            }
+        })
+        .collect()
+}
+
+/// Ablation: traffic-aware placement vs naive placement — mean weighted
+/// hop count on each app's NoC traffic.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlacementAblation {
+    /// Application (apps without a NoC are skipped).
+    pub app: String,
+    /// Mean bytes-weighted hops under the optimizer.
+    pub optimized_hops: f64,
+    /// Mean bytes-weighted hops under index-order placement.
+    pub naive_hops: f64,
+}
+
+/// The placement ablation.
+pub fn ablation_placement() -> Vec<PlacementAblation> {
+    use hic_fabric::MemoryId;
+    use hic_noc::{place_naive, NocNode, Traffic};
+    calib::all()
+        .iter()
+        .filter_map(|app| {
+            let (_, hyb, _) = plans(app);
+            let noc = hyb.noc.as_ref()?;
+            let nodes: Vec<NocNode> = noc.placement.slots.keys().copied().collect();
+            let sm: Vec<(hic_fabric::KernelId, hic_fabric::KernelId)> = hyb
+                .sm_pairs
+                .iter()
+                .map(|p| (p.producer, p.consumer))
+                .collect();
+            let traffic: Traffic = hyb
+                .app
+                .k2k_edges()
+                .filter_map(|e| {
+                    let (i, j) = (e.src.kernel()?, e.dst.kernel()?);
+                    if sm.contains(&(i, j)) {
+                        return None;
+                    }
+                    let a = NocNode::Kernel(i);
+                    let b = NocNode::Memory(MemoryId(j.0));
+                    (nodes.contains(&a) && nodes.contains(&b)).then_some((a, b, e.bytes))
+                })
+                .collect();
+            if traffic.is_empty() {
+                return None;
+            }
+            let naive = place_naive(&nodes);
+            Some(PlacementAblation {
+                app: app.name.clone(),
+                optimized_hops: noc.placement.mean_hops(&traffic),
+                naive_hops: naive.mean_hops(&traffic),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_reproduces_the_papers_shape() {
+        let rows = fig4();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            // Within 10% of the derived paper values.
+            let rel = (r.app_speedup - r.paper_app_speedup).abs() / r.paper_app_speedup;
+            assert!(rel < 0.10, "{}: {} vs {}", r.app, r.app_speedup, r.paper_app_speedup);
+        }
+        // jpeg baseline is slower than software.
+        let jpeg = rows.iter().find(|r| r.app == "jpeg").unwrap();
+        assert!(jpeg.app_speedup < 1.0);
+        assert!((jpeg.comm_comp - paper::JPEG_COMM_COMP).abs() < 0.05);
+        // Mean ratio ≈ 2.09.
+        let mean = rows.iter().map(|r| r.comm_comp).sum::<f64>() / 4.0;
+        assert!((mean - paper::MEAN_COMM_COMP).abs() < 0.1, "{mean}");
+    }
+
+    #[test]
+    fn table3_is_within_ten_percent_of_paper() {
+        for r in table3() {
+            let ours = [
+                r.app_vs_sw,
+                r.kernels_vs_sw,
+                r.app_vs_baseline,
+                r.kernels_vs_baseline,
+            ];
+            for (o, p) in ours.iter().zip(r.paper.iter()) {
+                let rel = (o - p).abs() / p;
+                assert!(rel < 0.10, "{}: {o} vs paper {p}", r.app);
+            }
+            // The DES agrees on who wins (speed-up > 1 both ways).
+            assert!(r.sim_app_vs_baseline > 1.0, "{}", r.app);
+        }
+    }
+
+    #[test]
+    fn table4_claims_hold() {
+        let rows = table4();
+        for r in &rows {
+            assert!(r.ours.0 <= r.noc_only.0, "{}", r.app);
+            assert!(r.baseline.0 <= r.ours.0, "{}", r.app);
+            // Baseline columns are calibrated to the paper exactly.
+            assert_eq!((r.baseline.0, r.baseline.1), r.paper[0], "{}", r.app);
+        }
+        // Maximum LUT saving vs NoC-only ≈ the paper's 33.1% (KLT).
+        let max = rows
+            .iter()
+            .map(|r| r.lut_saving_vs_noc_only)
+            .fold(0.0, f64::max);
+        // Ours: ~40% (our blanket NoC-only mapping for KLT carries one
+        // more mux+adapter set than the paper's); paper: 33.1%. The
+        // qualitative claim — KLT saves the most, roughly a third — holds.
+        assert!((max - paper::MAX_LUT_SAVING_VS_NOC_ONLY).abs() < 0.10, "{max}");
+        let klt = rows.iter().find(|r| r.app == "klt").unwrap();
+        assert_eq!(klt.solution, "SM");
+        // KLT hybrid = baseline + one crossbar, exactly as in the paper.
+        assert_eq!(klt.ours.0 - klt.baseline.0, 201);
+        assert_eq!(klt.ours.1 - klt.baseline.1, 200);
+        // jpeg "ours" lands on the paper's exact figure.
+        let jpeg = rows.iter().find(|r| r.app == "jpeg").unwrap();
+        assert_eq!(jpeg.ours, (20_837, 20_900));
+    }
+
+    #[test]
+    fn fig8_interconnect_stays_below_kernels() {
+        // "The interconnect uses only 40.7% resources compared to the
+        // resources used for computing at most."
+        for r in fig8() {
+            assert!(r.lut_ratio < 0.65, "{}: {}", r.app, r.lut_ratio);
+            assert!(r.lut_ratio > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig9_energy_savings_match_shape() {
+        let rows = fig9();
+        for r in &rows {
+            assert!(r.normalized_energy < 1.0, "{}", r.app);
+            // Power "almost identical": within 6%.
+            assert!((r.power_ratio - 1.0).abs() < 0.06, "{}", r.app);
+        }
+        let max = rows.iter().map(|r| r.saving).fold(0.0, f64::max);
+        assert!((max - paper::MAX_ENERGY_SAVING).abs() < 0.07, "max saving {max}");
+        let jpeg = rows.iter().find(|r| r.app == "jpeg").unwrap();
+        assert!(jpeg.saving > 0.55, "jpeg saves the most: {}", jpeg.saving);
+    }
+
+    #[test]
+    fn fig6_mentions_the_papers_structure() {
+        let report = fig6();
+        assert!(report.contains("huff_ac_dec"));
+        assert!(report.contains("shared local memory: dquantz_lum -> j_rev_dct"));
+        assert!(report.contains("duplicated: huff_ac_dec"));
+        // huff_dc_dec maps to {K2,M1} as the paper derives.
+        assert!(report.contains("huff_dc_dec"), "{report}");
+        let line = report
+            .lines()
+            .find(|l| l.contains("huff_dc_dec"))
+            .unwrap();
+        assert!(line.contains("{R2,S1}"), "{line}");
+        assert!(line.contains("{K2,M1}"), "{line}");
+    }
+
+    #[test]
+    fn fig5_real_profile_has_the_papers_edges() {
+        let (dot, table) = fig5();
+        for f in [
+            "huff_dc_dec",
+            "huff_ac_dec",
+            "dquantz_lum",
+            "j_rev_dct",
+        ] {
+            assert!(dot.contains(f));
+            assert!(table.contains(f));
+        }
+    }
+
+    #[test]
+    fn ablations_are_consistent() {
+        let sm = ablation_sm_vs_noc();
+        assert!(sm.lut_ratio >= 5.0, "{}", sm.lut_ratio);
+
+        for m in ablation_mapping() {
+            assert!(m.adaptive.0 <= m.blanket.0, "{}", m.app);
+        }
+
+        let dup = ablation_duplication();
+        assert!(dup.first().unwrap().duplicated);
+        assert!(!dup.last().unwrap().duplicated);
+        // Speed-up degrades monotonically (weakly) with overhead.
+        for w in dup.windows(2) {
+            assert!(
+                w[0].kernels_vs_baseline >= w[1].kernels_vs_baseline - 1e-9,
+                "{:?}",
+                w
+            );
+        }
+
+        for p in ablation_placement() {
+            assert!(p.optimized_hops <= p.naive_hops + 1e-9, "{}", p.app);
+        }
+
+        // Wider links hide more: the slowdown is non-increasing and
+        // approaches 1 at 32-byte flits.
+        let lw = ablation_link_width();
+        for w in lw.windows(2) {
+            assert!(
+                w[1].slowdown_vs_analytic <= w[0].slowdown_vs_analytic + 1e-6,
+                "{w:?}"
+            );
+        }
+        assert!(lw.last().unwrap().slowdown_vs_analytic < 1.10);
+        assert!(lw.first().unwrap().slowdown_vs_analytic > 1.15);
+    }
+}

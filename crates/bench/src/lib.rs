@@ -1,0 +1,14 @@
+//! # hic-bench — experiment harness and benchmarks
+//!
+//! [`experiments`] regenerates every table and figure of the paper's
+//! evaluation section from the calibrated applications (and, for
+//! Fig. 5/6, from the real instrumented jpeg decoder); [`paper`] holds the
+//! published numbers for side-by-side comparison. The `repro` binary
+//! prints any experiment (`cargo run -p hic-bench --bin repro -- all`);
+//! the Criterion benches under `benches/` time the substrate and run one
+//! bench per table/figure.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;

@@ -1,0 +1,147 @@
+//! The paper's published numbers, for paper-vs-measured comparison.
+//!
+//! Table III and Table IV are transcribed verbatim; the Fig. 4 baseline
+//! speed-ups are derived from Table III's two column pairs (baseline =
+//! vs-SW ÷ vs-baseline), which reproduces every aggregate the paper
+//! states (max kernel 4.23×, max app 2.93×, jpeg < 1, means 1.62×/1.98×).
+
+/// One application's published results.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// Application name.
+    pub app: &'static str,
+    /// Proposed system, overall application speed-up vs software.
+    pub app_vs_sw: f64,
+    /// Proposed system, kernels speed-up vs software.
+    pub kernels_vs_sw: f64,
+    /// Proposed system, overall application speed-up vs baseline.
+    pub app_vs_baseline: f64,
+    /// Proposed system, kernels speed-up vs baseline.
+    pub kernels_vs_baseline: f64,
+    /// Table IV: baseline system LUTs/registers.
+    pub baseline_resources: (u64, u64),
+    /// Table IV: proposed system LUTs/registers.
+    pub ours_resources: (u64, u64),
+    /// Table IV: NoC-only system LUTs/registers.
+    pub noc_only_resources: (u64, u64),
+    /// Table IV: solution label.
+    pub solution: &'static str,
+}
+
+/// Table III + Table IV, verbatim.
+pub const PAPER: [PaperRow; 4] = [
+    PaperRow {
+        app: "canny",
+        app_vs_sw: 3.15,
+        kernels_vs_sw: 3.88,
+        app_vs_baseline: 1.83,
+        kernels_vs_baseline: 2.12,
+        baseline_resources: (9_926, 12_707),
+        ours_resources: (15_227, 18_657),
+        noc_only_resources: (17_894, 21_059),
+        solution: "NoC, SM, P",
+    },
+    PaperRow {
+        app: "jpeg",
+        app_vs_sw: 2.33,
+        kernels_vs_sw: 2.5,
+        app_vs_baseline: 2.87,
+        kernels_vs_baseline: 3.08,
+        baseline_resources: (11_755, 11_910),
+        ours_resources: (20_837, 20_900),
+        noc_only_resources: (23_180, 23_188),
+        solution: "NoC, SM, P",
+    },
+    PaperRow {
+        app: "klt",
+        app_vs_sw: 3.72,
+        kernels_vs_sw: 6.58,
+        app_vs_baseline: 1.26,
+        kernels_vs_baseline: 1.55,
+        baseline_resources: (4_721, 5_430),
+        ours_resources: (4_921, 5_631),
+        noc_only_resources: (7_358, 8_070),
+        solution: "SM",
+    },
+    PaperRow {
+        app: "fluid",
+        app_vs_sw: 1.66,
+        kernels_vs_sw: 1.68,
+        app_vs_baseline: 1.59,
+        kernels_vs_baseline: 1.60,
+        baseline_resources: (19_125, 28_793),
+        ours_resources: (24_156, 36_100),
+        noc_only_resources: (24_552, 36_110),
+        solution: "NoC",
+    },
+];
+
+/// Published row by name.
+pub fn row(app: &str) -> &'static PaperRow {
+    PAPER
+        .iter()
+        .find(|r| r.app == app)
+        .unwrap_or_else(|| panic!("unknown app {app}"))
+}
+
+/// Fig. 4 derived baseline-vs-SW speed-ups.
+pub fn baseline_vs_sw(app: &str) -> (f64, f64) {
+    let r = row(app);
+    (
+        r.app_vs_sw / r.app_vs_baseline,
+        r.kernels_vs_sw / r.kernels_vs_baseline,
+    )
+}
+
+/// The paper's jpeg communication-to-computation ratio.
+pub const JPEG_COMM_COMP: f64 = 3.63;
+/// The paper's mean communication-to-computation ratio.
+pub const MEAN_COMM_COMP: f64 = 2.09;
+/// The paper's maximum energy saving (jpeg), as a fraction.
+pub const MAX_ENERGY_SAVING: f64 = 0.665;
+/// Maximum LUT saving of hybrid vs NoC-only (KLT), as a fraction.
+pub const MAX_LUT_SAVING_VS_NOC_ONLY: f64 = 0.331;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_fig4_aggregates_match_the_papers_prose() {
+        // "speed-ups of up to 4.23× for the kernels and 2.93× for the
+        // overall application", "jpeg slower than SW", "in average 1.62×
+        // overall, 1.98× kernels".
+        let rows: Vec<(f64, f64)> = PAPER.iter().map(|r| baseline_vs_sw(r.app)).collect();
+        let max_app = rows.iter().map(|r| r.0).fold(0.0, f64::max);
+        let max_k = rows.iter().map(|r| r.1).fold(0.0, f64::max);
+        assert!((max_app - 2.93).abs() < 0.03, "{max_app}");
+        assert!((max_k - 4.23).abs() < 0.03, "{max_k}");
+        let (jpeg_app, jpeg_k) = baseline_vs_sw("jpeg");
+        assert!(jpeg_app < 1.0 && jpeg_k < 1.0);
+        let mean_app = rows.iter().map(|r| r.0).sum::<f64>() / 4.0;
+        let mean_k = rows.iter().map(|r| r.1).sum::<f64>() / 4.0;
+        assert!((mean_app - 1.62).abs() < 0.02, "{mean_app}");
+        assert!((mean_k - 1.98).abs() < 0.02, "{mean_k}");
+    }
+
+    #[test]
+    fn table4_savings_match_the_papers_prose() {
+        // "saves up to 33.1% LUTs and 30.2% registers compared to the
+        // NoC-only system" — both maxima belong to KLT.
+        let mut max_lut = 0.0f64;
+        let mut max_reg = 0.0f64;
+        for r in &PAPER {
+            max_lut = max_lut.max(1.0 - r.ours_resources.0 as f64 / r.noc_only_resources.0 as f64);
+            max_reg = max_reg.max(1.0 - r.ours_resources.1 as f64 / r.noc_only_resources.1 as f64);
+        }
+        assert!((max_lut - 0.331).abs() < 0.002, "{max_lut}");
+        assert!((max_reg - 0.302).abs() < 0.002, "{max_reg}");
+    }
+
+    #[test]
+    fn klt_ours_minus_baseline_is_one_crossbar() {
+        let r = row("klt");
+        assert_eq!(r.ours_resources.0 - r.baseline_resources.0, 200);
+        assert_eq!(r.ours_resources.1 - r.baseline_resources.1, 201);
+    }
+}

@@ -1,0 +1,126 @@
+//! Bus parameters and the analytic per-byte cost θ.
+
+use hic_fabric::time::{Frequency, Time};
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of the shared bus.
+///
+/// A transaction of `n` bytes is segmented into bursts of
+/// `burst_beats × data_width` bytes; each burst pays `setup_cycles` of
+/// arbitration/address phase plus one cycle per beat. This is the shape of
+/// a PLB burst transfer with an SDRAM slave: the setup covers arbitration
+/// and the memory's first-access latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusConfig {
+    /// Bus clock (100 MHz in the paper's prototype).
+    pub clock: Frequency,
+    /// Bytes per data beat (8 for the 64-bit PLB).
+    pub data_width: u32,
+    /// Beats per burst (16 for PLB burst transfers).
+    pub burst_beats: u32,
+    /// Overhead cycles per burst: arbitration + address phase + slave
+    /// first-access latency.
+    pub setup_cycles: u32,
+}
+
+impl BusConfig {
+    /// The paper's platform: 64-bit PLB at 100 MHz, 16-beat bursts,
+    /// 4 cycles of per-burst overhead.
+    pub fn plb_100mhz() -> Self {
+        BusConfig {
+            clock: Frequency::from_mhz(100),
+            data_width: 8,
+            burst_beats: 16,
+            setup_cycles: 4,
+        }
+    }
+
+    /// Bytes moved by one full burst.
+    pub fn burst_bytes(&self) -> u64 {
+        self.data_width as u64 * self.burst_beats as u64
+    }
+
+    /// Bus cycles occupied by a transaction of `bytes` bytes.
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let full = bytes / self.burst_bytes();
+        let rem = bytes % self.burst_bytes();
+        let mut cycles = full * (self.setup_cycles as u64 + self.burst_beats as u64);
+        if rem > 0 {
+            cycles += self.setup_cycles as u64 + rem.div_ceil(self.data_width as u64);
+        }
+        cycles
+    }
+
+    /// Wall time of a transaction of `bytes` bytes with no contention.
+    pub fn transfer_time(&self, bytes: u64) -> Time {
+        self.clock.cycles(self.transfer_cycles(bytes))
+    }
+
+    /// The paper's `θ`: asymptotic average time per byte, in picoseconds.
+    ///
+    /// Large transfers amortize the setup, so
+    /// `θ = (setup + beats) / (beats × width)` cycles per byte.
+    pub fn theta_ps_per_byte(&self) -> f64 {
+        let cycles_per_burst = (self.setup_cycles + self.burst_beats) as f64;
+        let period_ps = self.clock.period().as_ps() as f64;
+        cycles_per_burst * period_ps / self.burst_bytes() as f64
+    }
+
+    /// Communication time of `bytes` bytes under the analytic model
+    /// `D × θ`, rounded to the nearest picosecond.
+    pub fn theta_time(&self, bytes: u64) -> Time {
+        Time::from_ps((bytes as f64 * self.theta_ps_per_byte()).round() as u64)
+    }
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig::plb_100mhz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plb_burst_shape() {
+        let b = BusConfig::plb_100mhz();
+        assert_eq!(b.burst_bytes(), 128);
+        // One full burst: 4 setup + 16 beats = 20 cycles.
+        assert_eq!(b.transfer_cycles(128), 20);
+        // 129 bytes: one full burst + 1-byte tail (setup + 1 beat).
+        assert_eq!(b.transfer_cycles(129), 25);
+        assert_eq!(b.transfer_cycles(0), 0);
+        // Sub-beat transfer still pays setup + 1 beat.
+        assert_eq!(b.transfer_cycles(1), 5);
+    }
+
+    #[test]
+    fn theta_matches_large_transfer_average() {
+        let b = BusConfig::plb_100mhz();
+        let bytes = 1 << 20;
+        let measured = b.transfer_time(bytes).as_ps() as f64 / bytes as f64;
+        let theta = b.theta_ps_per_byte();
+        assert!((measured - theta).abs() / theta < 1e-3);
+        // PLB: 20 cycles / 128 B at 10 ns/cycle = 1562.5 ps/B.
+        assert!((theta - 1562.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theta_time_rounds_to_ps() {
+        let b = BusConfig::plb_100mhz();
+        assert_eq!(b.theta_time(128), Time::from_ps(200_000));
+        assert_eq!(b.theta_time(0), Time::ZERO);
+    }
+
+    #[test]
+    fn small_transfers_are_worse_than_theta() {
+        let b = BusConfig::plb_100mhz();
+        let per_byte_small = b.transfer_time(8).as_ps() as f64 / 8.0;
+        assert!(per_byte_small > b.theta_ps_per_byte());
+    }
+}

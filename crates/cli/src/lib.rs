@@ -1,0 +1,534 @@
+//! # hic-cli — command-line front end
+//!
+//! The `hic` binary drives the whole toolflow over JSON application specs:
+//!
+//! ```text
+//! hic generate --shape chain --kernels 6 --seed 7 > app.json
+//! hic design app.json                      # synthesize + describe
+//! hic design app.json --variant noc-only --json
+//! hic estimate app.json                    # all three variants side by side
+//! hic simulate app.json --frames 16
+//! hic profile jpeg                         # run a real profiled app, emit its spec
+//! ```
+//!
+//! All command logic lives in this library so it is unit-testable; `main`
+//! only forwards `std::env::args` and prints.
+
+#![warn(missing_docs)]
+
+use hic_core::{design, DesignConfig, InterconnectPlan, Variant};
+use serde::Serialize;
+use hic_fabric::synthetic::{generate, Shape, SyntheticSpec};
+use hic_fabric::AppSpec;
+use hic_sim::{simulate, simulate_runs, simulate_software};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Synthesize an interconnect for an app spec file.
+    Design {
+        /// Path to the AppSpec JSON.
+        path: String,
+        /// System variant.
+        variant: Variant,
+        /// Emit the full plan as JSON instead of the description.
+        json: bool,
+    },
+    /// Compare all three variants on an app spec.
+    Estimate {
+        /// Path to the AppSpec JSON.
+        path: String,
+    },
+    /// Simulate the hybrid system.
+    Simulate {
+        /// Path to the AppSpec JSON.
+        path: String,
+        /// Number of back-to-back frames.
+        frames: u64,
+    },
+    /// Generate a synthetic app spec to stdout.
+    Generate {
+        /// Dataflow shape.
+        shape: Shape,
+        /// Kernel count.
+        kernels: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Run one of the built-in profiled applications and emit its measured
+    /// spec as JSON.
+    Profile {
+        /// One of `canny`, `jpeg`, `klt`, `fluid`.
+        app: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Errors from parsing or running a command.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// I/O problem.
+    Io(std::io::Error),
+    /// Malformed app spec.
+    Json(serde_json::Error),
+    /// The design stage failed.
+    Design(hic_core::DesignError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Json(e) => write!(f, "json error: {e}"),
+            CliError::Design(e) => write!(f, "design error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
+impl From<hic_core::DesignError> for CliError {
+    fn from(e: hic_core::DesignError) -> Self {
+        CliError::Design(e)
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parse a command line (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "design" => {
+            let path = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError::Usage("design needs an app.json path".into()))?
+                .clone();
+            let variant = match flag_value(args, "--variant").unwrap_or("hybrid") {
+                "hybrid" => Variant::Hybrid,
+                "baseline" => Variant::Baseline,
+                "noc-only" => Variant::NocOnly,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown variant '{other}' (hybrid|baseline|noc-only)"
+                    )))
+                }
+            };
+            Ok(Command::Design {
+                path,
+                variant,
+                json: args.iter().any(|a| a == "--json"),
+            })
+        }
+        "estimate" => Ok(Command::Estimate {
+            path: args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("estimate needs an app.json path".into()))?
+                .clone(),
+        }),
+        "simulate" => Ok(Command::Simulate {
+            path: args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError::Usage("simulate needs an app.json path".into()))?
+                .clone(),
+            frames: flag_value(args, "--frames")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| CliError::Usage(format!("bad --frames '{v}'")))
+                })
+                .transpose()?
+                .unwrap_or(1)
+                .max(1),
+        }),
+        "generate" => {
+            let shape = match flag_value(args, "--shape").unwrap_or("chain") {
+                "chain" => Shape::Chain,
+                "fanout" => Shape::FanOut,
+                "diamond" => Shape::Diamond,
+                "random" => Shape::Random { density_pct: 35 },
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown shape '{other}' (chain|fanout|diamond|random)"
+                    )))
+                }
+            };
+            let kernels = flag_value(args, "--kernels")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| CliError::Usage(format!("bad --kernels '{v}'")))
+                })
+                .transpose()?
+                .unwrap_or(4);
+            if kernels < 2 {
+                return Err(CliError::Usage("--kernels must be ≥ 2".into()));
+            }
+            let seed = flag_value(args, "--seed")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| CliError::Usage(format!("bad --seed '{v}'")))
+                })
+                .transpose()?
+                .unwrap_or(42);
+            Ok(Command::Generate {
+                shape,
+                kernels,
+                seed,
+            })
+        }
+        "profile" => Ok(Command::Profile {
+            app: args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("profile needs an app name".into()))?
+                .clone(),
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "hic — Hybrid Interconnect Compiler
+
+USAGE:
+  hic design   <app.json> [--variant hybrid|baseline|noc-only] [--json]
+  hic estimate <app.json>
+  hic simulate <app.json> [--frames N]
+  hic generate [--shape chain|fanout|diamond|random] [--kernels N] [--seed S]
+  hic profile  <canny|jpeg|klt|fluid>
+  hic help
+"
+}
+
+/// JSON-friendly plan summary (the raw [`InterconnectPlan`] uses typed map
+/// keys that JSON cannot express).
+#[derive(Debug, Serialize)]
+pub struct PlanSummary {
+    /// Variant name.
+    pub variant: &'static str,
+    /// Table IV-style solution label.
+    pub solution: String,
+    /// Names of duplicated kernels.
+    pub duplicated: Vec<String>,
+    /// Shared pairs as (producer, consumer, bytes, mode).
+    pub sm_pairs: Vec<(String, String, u64, String)>,
+    /// Per-kernel class/attachment/mux count, keyed by kernel name.
+    pub kernels: std::collections::BTreeMap<String, (String, String, u32)>,
+    /// Router count if a NoC exists.
+    pub noc_routers: Option<usize>,
+    /// Whole-system LUTs/registers.
+    pub resources: (u64, u64),
+    /// Estimated speed-ups (vs software, vs baseline) for the application.
+    pub app_speedups: (f64, f64),
+}
+
+impl PlanSummary {
+    /// Summarize a plan.
+    pub fn of(plan: &InterconnectPlan) -> PlanSummary {
+        let est = plan.estimate();
+        let r = plan.resources().total();
+        PlanSummary {
+            variant: plan.variant.name(),
+            solution: plan.solution_label(),
+            duplicated: plan
+                .duplicated
+                .iter()
+                .map(|&(o, _)| plan.app.kernel(o).name.clone())
+                .collect(),
+            sm_pairs: plan
+                .sm_pairs
+                .iter()
+                .map(|p| {
+                    (
+                        plan.app.kernel(p.producer).name.clone(),
+                        plan.app.kernel(p.consumer).name.clone(),
+                        p.bytes,
+                        format!("{:?}", p.mode),
+                    )
+                })
+                .collect(),
+            kernels: plan
+                .kernels
+                .iter()
+                .map(|(k, e)| {
+                    (
+                        plan.app.kernel(*k).name.clone(),
+                        (e.class.to_string(), e.attach.to_string(), e.port_plan.muxes),
+                    )
+                })
+                .collect(),
+            noc_routers: plan.noc.as_ref().map(|n| n.routers()),
+            resources: (r.luts, r.regs),
+            app_speedups: (est.app_speedup_vs_sw(), est.app_speedup_vs_baseline()),
+        }
+    }
+}
+
+fn load_app(path: &str) -> Result<AppSpec, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let app: AppSpec = serde_json::from_str(&text)?;
+    app.validate()
+        .map_err(|e| CliError::Usage(format!("invalid app spec: {e}")))?;
+    Ok(app)
+}
+
+/// Execute a command, returning the text to print.
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    let cfg = DesignConfig::default();
+    match cmd {
+        Command::Help => Ok(usage().to_string()),
+        Command::Design {
+            path,
+            variant,
+            json,
+        } => {
+            let app = load_app(&path)?;
+            let plan = design(&app, &cfg, variant)?;
+            if json {
+                Ok(serde_json::to_string_pretty(&PlanSummary::of(&plan))?)
+            } else {
+                Ok(plan.describe())
+            }
+        }
+        Command::Estimate { path } => {
+            let app = load_app(&path)?;
+            let mut out = String::new();
+            let sw = simulate_software(&app);
+            writeln!(out, "application: {} ({} kernels)", app.name, app.n_kernels()).unwrap();
+            writeln!(out, "software: {}", sw.app_time).unwrap();
+            writeln!(
+                out,
+                "{:<10} {:>14} {:>10} {:>12} {:>14}",
+                "variant", "app time", "vs sw", "vs baseline", "LUTs/regs"
+            )
+            .unwrap();
+            for variant in [Variant::Baseline, Variant::Hybrid, Variant::NocOnly] {
+                let plan = design(&app, &cfg, variant)?;
+                let est = plan.estimate();
+                let r = plan.resources().total();
+                writeln!(
+                    out,
+                    "{:<10} {:>14} {:>9.2}x {:>11.2}x {:>14}",
+                    variant.name(),
+                    est.app.to_string(),
+                    est.app_speedup_vs_sw(),
+                    est.app_speedup_vs_baseline(),
+                    r.to_string()
+                )
+                .unwrap();
+            }
+            Ok(out)
+        }
+        Command::Simulate { path, frames } => {
+            let app = load_app(&path)?;
+            let plan = design(&app, &cfg, Variant::Hybrid)?;
+            let mut out = String::new();
+            if frames == 1 {
+                let r = simulate(&plan);
+                writeln!(out, "hybrid app time: {}", r.app_time).unwrap();
+                writeln!(out, "comm/comp ratio: {:.2}", r.comm_comp_ratio()).unwrap();
+            } else {
+                let r = simulate_runs(&plan, frames);
+                writeln!(out, "{frames} frames, makespan {}", r.makespan).unwrap();
+                writeln!(
+                    out,
+                    "steady-state interval {} ({:.1} fps)",
+                    r.steady_interval,
+                    r.steady_fps()
+                )
+                .unwrap();
+            }
+            Ok(out)
+        }
+        Command::Generate {
+            shape,
+            kernels,
+            seed,
+        } => {
+            let spec = SyntheticSpec {
+                shape,
+                kernels,
+                ..SyntheticSpec::default()
+            };
+            let app = generate(&spec, &mut StdRng::seed_from_u64(seed));
+            Ok(serde_json::to_string_pretty(&app)?)
+        }
+        Command::Profile { app } => {
+            let (spec, graph) = match app.as_str() {
+                "canny" => {
+                    let r = hic_apps::canny::run_profiled(64, 64, 42);
+                    (r.app, r.graph)
+                }
+                "jpeg" => {
+                    let r = hic_apps::jpeg::run_profiled(8, 8, 42);
+                    (r.app, r.graph)
+                }
+                "klt" => {
+                    let r = hic_apps::klt::run_profiled(48, 48, 12, 42);
+                    (r.app, r.graph)
+                }
+                "fluid" => {
+                    let r = hic_apps::fluid::run_profiled(24, 42);
+                    (r.app, r.graph)
+                }
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown app '{other}' (canny|jpeg|klt|fluid)"
+                    )))
+                }
+            };
+            let mut out = String::new();
+            writeln!(out, "// measured communication profile:").unwrap();
+            for line in graph.to_table().lines() {
+                writeln!(out, "// {line}").unwrap();
+            }
+            out.push_str(&serde_json::to_string_pretty(&spec)?);
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_design_with_flags() {
+        let cmd = parse(&argv("design app.json --variant noc-only --json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Design {
+                path: "app.json".into(),
+                variant: Variant::NocOnly,
+                json: true
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_variant_and_missing_path() {
+        assert!(matches!(
+            parse(&argv("design app.json --variant bogus")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse(&argv("design")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parses_generate_defaults() {
+        let cmd = parse(&argv("generate")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                shape: Shape::Chain,
+                kernels: 4,
+                seed: 42
+            }
+        );
+    }
+
+    #[test]
+    fn empty_args_mean_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert!(run(Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_then_design_round_trips() {
+        let json = run(Command::Generate {
+            shape: Shape::Diamond,
+            kernels: 5,
+            seed: 3,
+        })
+        .unwrap();
+        let dir = std::env::temp_dir().join("hic_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("app.json");
+        std::fs::write(&path, &json).unwrap();
+        let out = run(Command::Design {
+            path: path.to_string_lossy().into_owned(),
+            variant: Variant::Hybrid,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("solution"), "{out}");
+        let est = run(Command::Estimate {
+            path: path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(est.contains("baseline"));
+        assert!(est.contains("hybrid"));
+    }
+
+    #[test]
+    fn simulate_parses_frames() {
+        let cmd = parse(&argv("simulate app.json --frames 8")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simulate {
+                path: "app.json".into(),
+                frames: 8
+            }
+        );
+    }
+
+    #[test]
+    fn design_plan_json_is_parseable() {
+        let json = run(Command::Generate {
+            shape: Shape::Chain,
+            kernels: 4,
+            seed: 9,
+        })
+        .unwrap();
+        let dir = std::env::temp_dir().join("hic_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("app.json");
+        std::fs::write(&path, &json).unwrap();
+        let out = run(Command::Design {
+            path: path.to_string_lossy().into_owned(),
+            variant: Variant::Hybrid,
+            json: true,
+        })
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["variant"], "hybrid");
+        assert!(v.get("kernels").is_some());
+        assert!(v["app_speedups"][0].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn profile_rejects_unknown_app() {
+        assert!(matches!(
+            run(Command::Profile { app: "nope".into() }),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

@@ -1,0 +1,13 @@
+//! The `hic` binary: parse, run, print.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match hic_cli::parse(&args).and_then(hic_cli::run) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{}", hic_cli::usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Communication-topology classification of kernels.
+//!
+//! Section IV-B of the paper partitions each kernel's communication into
+//! one of nine classes: where it *receives* input from (other kernels only
+//! `R1`, the host only `R2`, or both `R3`) crossed with where its output is
+//! *sent* (`S1`/`S2`/`S3` likewise).
+//!
+//! Two degenerate classes are added beyond the paper's 3×3 grid: a kernel
+//! whose residual communication (after shared-local-memory extraction) has
+//! no input, or no output, at all. These arise precisely for SM-paired
+//! kernels — e.g. the paper's `dquantz_lum`, whose entire output leaves
+//! through the shared memory — and they are what lets the adaptive mapping
+//! drop NoC attachments the 3×3 grid would keep.
+
+use hic_fabric::kernel::DataVolumes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where a kernel's input comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecvClass {
+    /// `R1`: from other kernels only.
+    R1,
+    /// `R2`: from the host only.
+    R2,
+    /// `R3`: from both other kernels and the host.
+    R3,
+    /// No input at all (degenerate; not in the paper's grid).
+    None,
+}
+
+/// Where a kernel's output goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SendClass {
+    /// `S1`: to other kernels only.
+    S1,
+    /// `S2`: to the host only.
+    S2,
+    /// `S3`: to both other kernels and the host.
+    S3,
+    /// No output at all (degenerate; not in the paper's grid).
+    None,
+}
+
+/// A kernel's communication-topology class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CommClass {
+    /// Input side.
+    pub recv: RecvClass,
+    /// Output side.
+    pub send: SendClass,
+}
+
+impl CommClass {
+    /// Classify a kernel from its (possibly residual) data volumes.
+    pub fn of(v: &DataVolumes) -> CommClass {
+        let recv = match (v.kernel_in > 0, v.host_in > 0) {
+            (true, true) => RecvClass::R3,
+            (true, false) => RecvClass::R1,
+            (false, true) => RecvClass::R2,
+            (false, false) => RecvClass::None,
+        };
+        let send = match (v.kernel_out > 0, v.host_out > 0) {
+            (true, true) => SendClass::S3,
+            (true, false) => SendClass::S1,
+            (false, true) => SendClass::S2,
+            (false, false) => SendClass::None,
+        };
+        CommClass { recv, send }
+    }
+
+    /// Whether the kernel receives data from other kernels (needs a NoC
+    /// path into its local memory).
+    pub fn receives_from_kernels(self) -> bool {
+        matches!(self.recv, RecvClass::R1 | RecvClass::R3)
+    }
+
+    /// Whether the kernel sends data to other kernels (needs a NoC
+    /// injection path).
+    pub fn sends_to_kernels(self) -> bool {
+        matches!(self.send, SendClass::S1 | SendClass::S3)
+    }
+
+    /// Whether the kernel exchanges any data with the host (its local
+    /// memory must stay reachable from the bus).
+    pub fn touches_host(self) -> bool {
+        matches!(self.recv, RecvClass::R2 | RecvClass::R3)
+            || matches!(self.send, SendClass::S2 | SendClass::S3)
+    }
+}
+
+impl fmt::Display for CommClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = match self.recv {
+            RecvClass::R1 => "R1",
+            RecvClass::R2 => "R2",
+            RecvClass::R3 => "R3",
+            RecvClass::None => "R-",
+        };
+        let s = match self.send {
+            SendClass::S1 => "S1",
+            SendClass::S2 => "S2",
+            SendClass::S3 => "S3",
+            SendClass::None => "S-",
+        };
+        write!(f, "{{{r},{s}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vol(host_in: u64, kernel_in: u64, host_out: u64, kernel_out: u64) -> DataVolumes {
+        DataVolumes {
+            host_in,
+            kernel_in,
+            host_out,
+            kernel_out,
+        }
+    }
+
+    #[test]
+    fn all_nine_paper_classes() {
+        let cases = [
+            (vol(0, 1, 0, 1), RecvClass::R1, SendClass::S1),
+            (vol(0, 1, 1, 0), RecvClass::R1, SendClass::S2),
+            (vol(0, 1, 1, 1), RecvClass::R1, SendClass::S3),
+            (vol(1, 0, 0, 1), RecvClass::R2, SendClass::S1),
+            (vol(1, 0, 1, 0), RecvClass::R2, SendClass::S2),
+            (vol(1, 0, 1, 1), RecvClass::R2, SendClass::S3),
+            (vol(1, 1, 0, 1), RecvClass::R3, SendClass::S1),
+            (vol(1, 1, 1, 0), RecvClass::R3, SendClass::S2),
+            (vol(1, 1, 1, 1), RecvClass::R3, SendClass::S3),
+        ];
+        for (v, r, s) in cases {
+            let c = CommClass::of(&v);
+            assert_eq!(c.recv, r, "{v:?}");
+            assert_eq!(c.send, s, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_classes() {
+        assert_eq!(CommClass::of(&vol(0, 0, 1, 0)).recv, RecvClass::None);
+        assert_eq!(CommClass::of(&vol(1, 0, 0, 0)).send, SendClass::None);
+    }
+
+    #[test]
+    fn predicates() {
+        let c = CommClass::of(&vol(1, 1, 0, 1)); // {R3, S1}
+        assert!(c.receives_from_kernels());
+        assert!(c.sends_to_kernels());
+        assert!(c.touches_host());
+
+        let c = CommClass::of(&vol(0, 1, 0, 0)); // {R1, S-}: SM producer shape
+        assert!(c.receives_from_kernels());
+        assert!(!c.sends_to_kernels());
+        assert!(!c.touches_host());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(CommClass::of(&vol(1, 0, 0, 1)).to_string(), "{R2,S1}");
+        assert_eq!(CommClass::of(&vol(0, 1, 0, 0)).to_string(), "{R1,S-}");
+    }
+}

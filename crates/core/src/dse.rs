@@ -1,0 +1,235 @@
+//! Design-space exploration over the mechanism lattice.
+//!
+//! Algorithm 1 commits to a fixed mechanism ordering (duplication →
+//! shared memory → NoC → parallel). This module asks the question the
+//! paper's Table IV answers for two points — "what does each mechanism
+//! buy?" — across the whole 2⁴ lattice of mechanism subsets, and extracts
+//! the Pareto front over (kernel execution time, LUT usage). A useful
+//! sanity property, asserted in the tests: the full Algorithm 1 point is
+//! always on the front (nothing dominates it), and the baseline holds the
+//! minimum-resource corner.
+
+use crate::design::{design_custom, DesignConfig, DesignError, DesignKnobs, InterconnectPlan};
+use hic_fabric::resource::Resources;
+use hic_fabric::time::Time;
+use hic_fabric::AppSpec;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated mechanism subset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DsePoint {
+    /// The mechanism selection.
+    pub knobs: DesignKnobs,
+    /// Human-readable label (e.g. "sm+noc").
+    pub label: String,
+    /// Analytic kernel execution time.
+    pub kernels: Time,
+    /// Whole-system resources.
+    pub resources: Resources,
+    /// Solution label of the synthesized plan.
+    pub solution: String,
+}
+
+impl DsePoint {
+    /// `self` dominates `other` (no worse in both axes, better in one).
+    pub fn dominates(&self, other: &DsePoint) -> bool {
+        let t = self.kernels <= other.kernels;
+        let r = self.resources.luts <= other.resources.luts;
+        let strict = self.kernels < other.kernels || self.resources.luts < other.resources.luts;
+        t && r && strict
+    }
+}
+
+fn label(k: DesignKnobs) -> String {
+    let mut parts = Vec::new();
+    if k.duplication {
+        parts.push("dup");
+    }
+    if k.shared_memory {
+        parts.push("sm");
+    }
+    if k.noc {
+        parts.push("noc");
+    }
+    if k.parallel {
+        parts.push("par");
+    }
+    if parts.is_empty() {
+        "baseline".to_string()
+    } else {
+        parts.join("+")
+    }
+}
+
+/// Evaluate all 16 mechanism subsets (adaptive mapping always on).
+pub fn explore(app: &AppSpec, cfg: &DesignConfig) -> Result<Vec<DsePoint>, DesignError> {
+    let mut points = Vec::with_capacity(16);
+    for bits in 0u8..16 {
+        let knobs = DesignKnobs {
+            duplication: bits & 1 != 0,
+            shared_memory: bits & 2 != 0,
+            noc: bits & 4 != 0,
+            parallel: bits & 8 != 0,
+            adaptive_mapping: true,
+        };
+        let plan = design_custom(app, cfg, knobs)?;
+        points.push(point_of(&plan, knobs));
+    }
+    Ok(points)
+}
+
+fn point_of(plan: &InterconnectPlan, knobs: DesignKnobs) -> DsePoint {
+    let est = plan.estimate();
+    DsePoint {
+        knobs,
+        label: label(knobs),
+        kernels: est.kernels,
+        resources: plan.resources().total(),
+        solution: plan.solution_label(),
+    }
+}
+
+/// The non-dominated subset of `points`, sorted by execution time.
+pub fn pareto_front(points: &[DsePoint]) -> Vec<DsePoint> {
+    let mut front: Vec<DsePoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.dominates(p)))
+        .cloned()
+        .collect();
+    front.sort_by_key(|p| (p.kernels, p.resources.luts));
+    // Equal points (same time and resources) collapse to one.
+    front.dedup_by(|a, b| a.kernels == b.kernels && a.resources == b.resources);
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{design, Variant};
+    use hic_fabric::time::Frequency;
+    use hic_fabric::{CommEdge, HostSpec, KernelSpec};
+
+    fn app() -> AppSpec {
+        let mk = |id: u32, name: &str, dup: bool| {
+            let mut k =
+                KernelSpec::new(id, name, 150_000, 1_200_000, Resources::new(2_000, 2_000))
+                    .streamable();
+            k.duplicable = dup;
+            k
+        };
+        AppSpec::new(
+            "dse",
+            HostSpec::default(),
+            Frequency::from_mhz(100),
+            vec![
+                mk(0, "a", true),
+                mk(1, "b", false),
+                mk(2, "c", false),
+                mk(3, "d", false),
+            ],
+            vec![
+                CommEdge::h2k(0u32, 512_000),
+                // a → b is an exclusive pair; b fans out to c and d.
+                CommEdge::k2k(0u32, 1u32, 512_000),
+                CommEdge::k2k(1u32, 2u32, 256_000),
+                CommEdge::k2k(1u32, 3u32, 64_000),
+                CommEdge::k2h(2u32, 128_000),
+                CommEdge::k2h(3u32, 64_000),
+            ],
+            100_000,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn explores_all_sixteen_subsets() {
+        let points = explore(&app(), &DesignConfig::default()).unwrap();
+        assert_eq!(points.len(), 16);
+        let labels: std::collections::BTreeSet<&str> =
+            points.iter().map(|p| p.label.as_str()).collect();
+        assert!(labels.contains("baseline"));
+        assert!(labels.contains("dup+sm+noc+par"));
+    }
+
+    #[test]
+    fn algorithm1_point_is_on_the_pareto_front() {
+        let cfg = DesignConfig::default();
+        let points = explore(&app(), &cfg).unwrap();
+        let front = pareto_front(&points);
+        let full = design(&app(), &cfg, Variant::Hybrid).unwrap();
+        let full_est = full.estimate();
+        // Nothing strictly dominates the full Algorithm 1 configuration.
+        let full_point = points
+            .iter()
+            .find(|p| p.label == "dup+sm+noc+par")
+            .unwrap();
+        assert!(
+            !points.iter().any(|q| q.dominates(full_point)),
+            "{front:#?}"
+        );
+        assert_eq!(full_point.kernels, full_est.kernels);
+    }
+
+    #[test]
+    fn baseline_holds_the_low_resource_corner() {
+        let points = explore(&app(), &DesignConfig::default()).unwrap();
+        let min_luts = points.iter().map(|p| p.resources.luts).min().unwrap();
+        let baseline = points.iter().find(|p| p.label == "baseline").unwrap();
+        assert_eq!(baseline.resources.luts, min_luts);
+    }
+
+    #[test]
+    fn each_mechanism_alone_never_hurts_time() {
+        let cfg = DesignConfig::default();
+        let points = explore(&app(), &cfg).unwrap();
+        let base = points.iter().find(|p| p.label == "baseline").unwrap();
+        for single in ["dup", "sm", "noc", "par"] {
+            let p = points.iter().find(|p| p.label == single).unwrap();
+            assert!(
+                p.kernels <= base.kernels,
+                "{single}: {} vs baseline {}",
+                p.kernels,
+                base.kernels
+            );
+        }
+    }
+
+    #[test]
+    fn front_is_mutually_non_dominating_and_sorted() {
+        let points = explore(&app(), &DesignConfig::default()).unwrap();
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        for a in &front {
+            for b in &front {
+                assert!(!a.dominates(b), "{} dominates {}", a.label, b.label);
+            }
+        }
+        for w in front.windows(2) {
+            assert!(w[0].kernels <= w[1].kernels);
+        }
+    }
+
+    #[test]
+    fn sm_only_subset_keeps_noc_off() {
+        let cfg = DesignConfig::default();
+        let knobs = DesignKnobs {
+            duplication: false,
+            shared_memory: true,
+            noc: false,
+            parallel: false,
+            adaptive_mapping: true,
+        };
+        let plan = design_custom(&app(), &cfg, knobs).unwrap();
+        assert!(plan.noc.is_none());
+        assert!(!plan.sm_pairs.is_empty());
+        // Uncovered kernel edges fell back to the bus.
+        assert!(!plan.bus_fallback.is_empty());
+        // And the estimate accounts them: slower than full hybrid, faster
+        // than or equal to baseline.
+        let full = design(&app(), &cfg, Variant::Hybrid).unwrap().estimate();
+        let base = design(&app(), &cfg, Variant::Baseline).unwrap().estimate();
+        let est = plan.estimate();
+        assert!(est.kernels >= full.kernels);
+        assert!(est.kernels <= base.kernels);
+    }
+}

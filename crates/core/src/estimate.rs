@@ -1,0 +1,175 @@
+//! FPGA resource estimation of a synthesized plan (Table IV / Fig. 8).
+
+use crate::design::InterconnectPlan;
+use hic_fabric::resource::{ComponentKind, Resources};
+use hic_xbar::SharingMode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Interconnect resource breakdown of one system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InterconnectResources {
+    /// The system bus (present in every variant).
+    pub bus: Resources,
+    /// NoC routers.
+    pub routers: Resources,
+    /// Kernel network adapters.
+    pub na_kernels: Resources,
+    /// Local-memory network adapters.
+    pub na_mems: Resources,
+    /// Shared-pair crossbars.
+    pub crossbars: Resources,
+    /// BRAM port multiplexers.
+    pub muxes: Resources,
+}
+
+impl InterconnectResources {
+    /// Total interconnect resources.
+    pub fn total(&self) -> Resources {
+        self.bus + self.routers + self.na_kernels + self.na_mems + self.crossbars + self.muxes
+    }
+}
+
+impl fmt::Display for InterconnectResources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bus {} + routers {} + NA(k) {} + NA(m) {} + xbar {} + mux {} = {}",
+            self.bus,
+            self.routers,
+            self.na_kernels,
+            self.na_mems,
+            self.crossbars,
+            self.muxes,
+            self.total()
+        )
+    }
+}
+
+/// Whole-system resource estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemResources {
+    /// Sum of all kernel datapaths (duplicated instances included).
+    pub kernels: Resources,
+    /// Interconnect breakdown.
+    pub interconnect: InterconnectResources,
+}
+
+impl SystemResources {
+    /// Total system resources (kernels + interconnect).
+    pub fn total(&self) -> Resources {
+        self.kernels + self.interconnect.total()
+    }
+
+    /// Fig. 8's metric: interconnect resources normalized to kernel
+    /// (computing) resources, per dimension.
+    pub fn interconnect_over_kernels(&self) -> (f64, f64) {
+        let i = self.interconnect.total();
+        (i.lut_ratio(self.kernels), i.reg_ratio(self.kernels))
+    }
+}
+
+impl InterconnectPlan {
+    /// Estimate the plan's whole-system resource usage.
+    pub fn resources(&self) -> SystemResources {
+        let kernels: Resources = self.app.kernels.iter().map(|k| k.resources).sum();
+
+        let mut ic = InterconnectResources {
+            bus: ComponentKind::Bus.cost(),
+            ..Default::default()
+        };
+        if let Some(noc) = &self.noc {
+            ic.routers = ComponentKind::NocRouter.cost() * noc.routers() as u64;
+            ic.na_kernels = ComponentKind::NaKernel.cost() * noc.kernel_nodes.len() as u64;
+            ic.na_mems = ComponentKind::NaLocalMem.cost() * noc.mem_nodes.len() as u64;
+        }
+        let n_crossbars = self
+            .sm_pairs
+            .iter()
+            .filter(|p| p.mode == SharingMode::Crossbar)
+            .count() as u64;
+        ic.crossbars = ComponentKind::Crossbar.cost() * n_crossbars;
+        ic.muxes = self
+            .kernels
+            .values()
+            .map(|e| e.port_plan.resources())
+            .sum();
+
+        SystemResources {
+            kernels,
+            interconnect: ic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::design::{design, DesignConfig, Variant};
+    use hic_fabric::resource::Resources;
+    use hic_fabric::time::Frequency;
+    use hic_fabric::{AppSpec, CommEdge, HostSpec, KernelSpec};
+
+    fn app() -> AppSpec {
+        AppSpec::new(
+            "t",
+            HostSpec::default(),
+            Frequency::from_mhz(100),
+            vec![
+                KernelSpec::new(0u32, "a", 100_000, 600_000, Resources::new(2_000, 2_000)),
+                KernelSpec::new(1u32, "b", 100_000, 600_000, Resources::new(2_000, 2_000)),
+                KernelSpec::new(2u32, "c", 100_000, 600_000, Resources::new(2_000, 2_000)),
+            ],
+            vec![
+                CommEdge::h2k(0u32, 64_000),
+                CommEdge::k2k(0u32, 1u32, 32_000),
+                CommEdge::k2k(0u32, 2u32, 8_000),
+                CommEdge::k2k(1u32, 2u32, 32_000),
+                CommEdge::k2h(2u32, 16_000),
+            ],
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn baseline_is_kernels_plus_bus() {
+        let plan = design(&app(), &DesignConfig::default(), Variant::Baseline).unwrap();
+        let r = plan.resources();
+        assert_eq!(r.kernels, Resources::new(6_000, 6_000));
+        assert_eq!(r.interconnect.total(), Resources::new(1_048, 188));
+        assert_eq!(r.total(), Resources::new(7_048, 6_188));
+    }
+
+    #[test]
+    fn hybrid_uses_less_than_noc_only() {
+        // The headline claim behind Table IV: same app, hybrid ≤ NoC-only.
+        let cfg = DesignConfig::default();
+        let hybrid = design(&app(), &cfg, Variant::Hybrid).unwrap();
+        let noc_only = design(&app(), &cfg, Variant::NocOnly).unwrap();
+        let h = hybrid.resources().total();
+        let n = noc_only.resources().total();
+        assert!(h.luts < n.luts, "{h} vs {n}");
+        assert!(h.regs < n.regs, "{h} vs {n}");
+    }
+
+    #[test]
+    fn noc_only_counts_all_adapters_and_muxes() {
+        let plan = design(&app(), &DesignConfig::default(), Variant::NocOnly).unwrap();
+        let r = plan.resources();
+        // 3 kernels, all {K2,M3}: 6 routers, 3+3 adapters, 3 muxes
+        // (core + bus + NA on each dual-port BRAM).
+        assert_eq!(r.interconnect.routers, Resources::new(309 * 6, 353 * 6));
+        assert_eq!(r.interconnect.na_kernels, Resources::new(396 * 3, 426 * 3));
+        assert_eq!(r.interconnect.na_mems, Resources::new(60 * 3, 114 * 3));
+        assert_eq!(r.interconnect.muxes, Resources::new(100 * 3, 100 * 3));
+        assert_eq!(r.interconnect.crossbars, Resources::ZERO);
+    }
+
+    #[test]
+    fn fig8_normalization_is_finite_and_positive() {
+        let plan = design(&app(), &DesignConfig::default(), Variant::Hybrid).unwrap();
+        let (l, r) = plan.resources().interconnect_over_kernels();
+        assert!(l > 0.0 && l.is_finite());
+        assert!(r > 0.0 && r.is_finite());
+    }
+}

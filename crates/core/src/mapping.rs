@@ -1,0 +1,269 @@
+//! The adaptive mapping function (Table I of the paper).
+//!
+//! `f : Communication → Interconnect` decides, per kernel, whether the
+//! kernel datapath attaches to the NoC (`K2`) or not (`K1`), and whether
+//! its local memory attaches to the system communication infrastructure
+//! (`M1`), the NoC (`M2`) or both (`M3`). The derivation below reproduces
+//! Table I exactly on the paper's nine classes and extends it naturally to
+//! the degenerate (post-shared-memory) classes:
+//!
+//! * the kernel goes on the NoC iff it still *sends* to other kernels;
+//! * the memory gets a NoC adapter iff the kernel still *receives* from
+//!   other kernels (producers write into it through the NoC);
+//! * the memory keeps its bus connection iff any host traffic remains.
+//!
+//! The paper notes `{K1, M2}` is infeasible "as the result of the HW
+//! accelerator will be inaccessible by any other function" — under the
+//! derivation it can only appear for a kernel whose entire output leaves
+//! through a shared local memory, where the result *is* accessible (the
+//! pair's crossbar). [`Attach::validate`] enforces exactly that.
+
+use crate::classify::CommClass;
+use hic_fabric::resource::Resources;
+use hic_mem::bram::{MemAgent, PortPlan};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Kernel-to-NoC attachment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelAttach {
+    /// `K1`: the kernel is not connected to the NoC.
+    K1,
+    /// `K2`: the kernel injects into the NoC through a kernel network
+    /// adapter.
+    K2,
+}
+
+/// Local-memory attachment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemAttach {
+    /// The memory is reached by neither bus nor NoC (its kernel
+    /// communicates exclusively through a shared local memory).
+    None,
+    /// `M1`: connected to the communication infrastructure (bus) only.
+    M1,
+    /// `M2`: connected to the NoC only.
+    M2,
+    /// `M3`: connected to both.
+    M3,
+}
+
+impl MemAttach {
+    /// Whether the memory has a bus-side connection.
+    pub fn on_bus(self) -> bool {
+        matches!(self, MemAttach::M1 | MemAttach::M3)
+    }
+
+    /// Whether the memory has a NoC adapter.
+    pub fn on_noc(self) -> bool {
+        matches!(self, MemAttach::M2 | MemAttach::M3)
+    }
+}
+
+/// One kernel's interconnect attachment: the Table I output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Attach {
+    /// Kernel side.
+    pub kernel: KernelAttach,
+    /// Local-memory side.
+    pub mem: MemAttach,
+}
+
+impl Attach {
+    /// Check the paper's feasibility rule: `{K1, M2}` (kernel off the NoC,
+    /// memory reachable only through the NoC) leaves the result
+    /// inaccessible — unless the kernel's output leaves through a shared
+    /// local memory (`sm_output` true).
+    pub fn validate(self, sm_output: bool) -> Result<(), InfeasibleAttach> {
+        if self.kernel == KernelAttach::K1 && self.mem == MemAttach::M2 && !sm_output {
+            return Err(InfeasibleAttach);
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Attach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kernel {
+            KernelAttach::K1 => "K1",
+            KernelAttach::K2 => "K2",
+        };
+        let m = match self.mem {
+            MemAttach::None => "M-",
+            MemAttach::M1 => "M1",
+            MemAttach::M2 => "M2",
+            MemAttach::M3 => "M3",
+        };
+        write!(f, "{{{k},{m}}}")
+    }
+}
+
+/// Error for an infeasible `{K1, M2}` attachment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InfeasibleAttach;
+
+impl fmt::Display for InfeasibleAttach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{K1,M2}} leaves the kernel's result inaccessible (Table I)"
+        )
+    }
+}
+
+impl std::error::Error for InfeasibleAttach {}
+
+/// The adaptive mapping function `f : Communication → Interconnect`.
+pub fn adaptive_map(class: CommClass) -> Attach {
+    let noc_recv = class.receives_from_kernels();
+    let noc_send = class.sends_to_kernels();
+    let bus_side = class.touches_host();
+    let kernel = if noc_send {
+        KernelAttach::K2
+    } else {
+        KernelAttach::K1
+    };
+    let mem = match (bus_side, noc_recv) {
+        (true, true) => MemAttach::M3,
+        (true, false) => MemAttach::M1,
+        (false, true) => MemAttach::M2,
+        (false, false) => MemAttach::None,
+    };
+    Attach { kernel, mem }
+}
+
+/// Port plan of the kernel's local memory under an attachment.
+///
+/// The base agent is the kernel core, unless `behind_crossbar` (the memory
+/// belongs to a crossbar-mode shared pair, where the crossbar takes the
+/// core-side port for both kernels). A bus-side attachment adds the bus
+/// agent; a NoC-side attachment adds the memory network adapter; a
+/// direct-mode shared pair's consumer adds the peer kernel.
+pub fn mem_port_plan(
+    attach: Attach,
+    behind_crossbar: bool,
+    direct_peer: bool,
+    native_ports: u32,
+) -> PortPlan {
+    let mut agents = vec![if behind_crossbar {
+        MemAgent::Crossbar
+    } else {
+        MemAgent::KernelCore
+    }];
+    if attach.mem.on_bus() {
+        agents.push(MemAgent::Bus);
+    }
+    if attach.mem.on_noc() {
+        agents.push(MemAgent::NocAdapter);
+    }
+    if direct_peer {
+        agents.push(MemAgent::PeerKernel);
+    }
+    PortPlan::plan(&agents, native_ports).expect("kernel core/crossbar is always an agent")
+}
+
+/// Resource cost of the mapping-dependent glue of one kernel: its NoC
+/// adapters and any memory-port multiplexers. (Routers are counted by the
+/// NoC plan, crossbars by the shared-memory pairs.)
+pub fn attach_glue_cost(attach: Attach, port_plan: &PortPlan) -> Resources {
+    use hic_fabric::resource::ComponentKind;
+    let mut r = Resources::ZERO;
+    if attach.kernel == KernelAttach::K2 {
+        r += ComponentKind::NaKernel.cost();
+    }
+    if attach.mem.on_noc() {
+        r += ComponentKind::NaLocalMem.cost();
+    }
+    r + port_plan.resources()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{RecvClass, SendClass};
+
+    fn c(recv: RecvClass, send: SendClass) -> CommClass {
+        CommClass { recv, send }
+    }
+
+    /// The complete Table I.
+    #[test]
+    fn table_one_is_reproduced_exactly() {
+        use KernelAttach::*;
+        use MemAttach::*;
+        let table = [
+            (c(RecvClass::R1, SendClass::S1), K2, M2),
+            (c(RecvClass::R1, SendClass::S2), K1, M3),
+            (c(RecvClass::R3, SendClass::S2), K1, M3),
+            (c(RecvClass::R1, SendClass::S3), K2, M3),
+            (c(RecvClass::R3, SendClass::S1), K2, M3),
+            (c(RecvClass::R3, SendClass::S3), K2, M3),
+            (c(RecvClass::R2, SendClass::S1), K2, M1),
+            (c(RecvClass::R2, SendClass::S3), K2, M1),
+            (c(RecvClass::R2, SendClass::S2), K1, M1),
+        ];
+        for (class, k, m) in table {
+            let a = adaptive_map(class);
+            assert_eq!(a.kernel, k, "{class}");
+            assert_eq!(a.mem, m, "{class}");
+        }
+    }
+
+    #[test]
+    fn paper_core_classes_never_produce_k1_m2() {
+        for recv in [RecvClass::R1, RecvClass::R2, RecvClass::R3] {
+            for send in [SendClass::S1, SendClass::S2, SendClass::S3] {
+                let a = adaptive_map(c(recv, send));
+                assert!(a.validate(false).is_ok(), "{}", c(recv, send));
+            }
+        }
+    }
+
+    #[test]
+    fn sm_producer_degenerate_class_is_k1_m2_and_valid_with_sm() {
+        // dquantz_lum after SM extraction: receives from kernels over the
+        // NoC, output leaves through the shared memory.
+        let a = adaptive_map(c(RecvClass::R1, SendClass::None));
+        assert_eq!(a.kernel, KernelAttach::K1);
+        assert_eq!(a.mem, MemAttach::M2);
+        assert!(a.validate(true).is_ok());
+        assert_eq!(a.validate(false), Err(InfeasibleAttach));
+    }
+
+    #[test]
+    fn fully_detached_kernel_maps_to_none() {
+        let a = adaptive_map(c(RecvClass::None, SendClass::None));
+        assert_eq!(a.kernel, KernelAttach::K1);
+        assert_eq!(a.mem, MemAttach::None);
+    }
+
+    #[test]
+    fn huff_ac_port_plan_needs_mux() {
+        // {R3,S1} → {K2,M3}: core + bus + NoC adapter on a dual-port BRAM.
+        let a = adaptive_map(c(RecvClass::R3, SendClass::S1));
+        let plan = mem_port_plan(a, false, false, 2);
+        assert_eq!(plan.muxes, 1);
+    }
+
+    #[test]
+    fn crossbar_member_frees_the_core_port() {
+        // j_rev_dct: {R2,S2}-residual ({K1,M1}) but behind the crossbar:
+        // crossbar + bus = 2 agents, no mux.
+        let a = adaptive_map(c(RecvClass::R2, SendClass::S2));
+        let plan = mem_port_plan(a, true, false, 2);
+        assert!(plan.is_native());
+        assert_eq!(plan.agents, vec![MemAgent::Bus, MemAgent::Crossbar]);
+    }
+
+    #[test]
+    fn glue_cost_counts_adapters_and_muxes() {
+        use hic_fabric::resource::ComponentKind;
+        let a = adaptive_map(c(RecvClass::R3, SendClass::S1)); // {K2,M3}
+        let plan = mem_port_plan(a, false, false, 2);
+        let cost = attach_glue_cost(a, &plan);
+        let expected = ComponentKind::NaKernel.cost()
+            + ComponentKind::NaLocalMem.cost()
+            + ComponentKind::Multiplexer.cost();
+        assert_eq!(cost, expected);
+    }
+}

@@ -1,0 +1,161 @@
+//! The paper's analytic performance model (Section IV-A).
+//!
+//! All formulas operate on wall time ([`Time`]); byte counts are converted
+//! through the bus's per-byte cost θ. The functions are deliberately tiny
+//! and named after the paper's Δ terms so the design algorithm and the
+//! benches read like the paper:
+//!
+//! * Eq. 2 — [`baseline_total`]: `T_b = Σ τ_i + Σ (D_in + D_out)·θ`
+//! * [`delta_c`] — shared local memory: `Δc = 2·D_ij·θ`
+//! * [`delta_n`] — NoC: `Δn = Σ (D_in^K + D_out^K)·θ`
+//! * [`delta_p1`] — host-transfer pipelining:
+//!   `Δp1 = min(D_in^H·θ/2, τ/2) + min(D_out^H·θ/2, τ/2) − O`
+//! * [`delta_p2`] — kernel-to-kernel streaming: `Δp2 = min(τ_i/2, τ_j/2) − O`
+//! * [`delta_dp`] — duplication: `Δdp = τ/2 − O`
+
+use hic_fabric::time::Time;
+use hic_fabric::{AppSpec, KernelId};
+
+/// Multiply a byte count by θ (picoseconds per byte).
+pub fn comm_time(bytes: u64, theta_ps_per_byte: f64) -> Time {
+    Time::from_ps((bytes as f64 * theta_ps_per_byte).round() as u64)
+}
+
+/// Computation wall time of one kernel, `τ_i`.
+pub fn tau(app: &AppSpec, k: KernelId) -> Time {
+    app.kernel_clock.cycles(app.kernel(k).compute_cycles)
+}
+
+/// Total kernel computation time `Σ τ_i`.
+pub fn total_tau(app: &AppSpec) -> Time {
+    app.kernel_clock.cycles(app.total_compute_cycles())
+}
+
+/// Total baseline communication time `Σ (D_i(in) + D_i(out))·θ`.
+pub fn baseline_comm(app: &AppSpec, theta: f64) -> Time {
+    comm_time(app.total_baseline_bytes(), theta)
+}
+
+/// Eq. 2: total baseline execution time of the kernels.
+pub fn baseline_total(app: &AppSpec, theta: f64) -> Time {
+    total_tau(app) + baseline_comm(app, theta)
+}
+
+/// `Δc = 2·D_ij·θ`: saving from sharing the local memories of an exclusive
+/// pair moving `d_ij` bytes.
+pub fn delta_c(d_ij: u64, theta: f64) -> Time {
+    comm_time(2 * d_ij, theta)
+}
+
+/// `Δn = Σ (D_i(in)^K + D_i(out)^K)·θ`: saving from routing all
+/// kernel-to-kernel traffic over the NoC, overlapped with computation.
+pub fn delta_n(app: &AppSpec, theta: f64) -> Time {
+    let kernel_side: u64 = app.kernel_ids().map(|k| app.volumes(k).kernel_side()).sum();
+    comm_time(kernel_side, theta)
+}
+
+/// `Δp1`: pipelining the host transfers of one kernel against its
+/// computation, with streaming overhead `o`. Returns [`Time::ZERO`] when
+/// the formula is non-positive (the transform would not pay off).
+pub fn delta_p1(host_in: u64, host_out: u64, tau_i: Time, theta: f64, o: Time) -> Time {
+    let half_tau = Time::from_ps(tau_i.as_ps() / 2);
+    let gain_in = comm_time(host_in, theta).as_ps() / 2;
+    let gain_out = comm_time(host_out, theta).as_ps() / 2;
+    let gain = Time::from_ps(gain_in.min(half_tau.as_ps()))
+        + Time::from_ps(gain_out.min(half_tau.as_ps()));
+    gain.saturating_sub(o)
+}
+
+/// `Δp2 = min(τ_i/2, τ_j/2) − O`: overlapping a streaming consumer with its
+/// producer. Returns [`Time::ZERO`] when non-positive.
+pub fn delta_p2(tau_i: Time, tau_j: Time, o: Time) -> Time {
+    Time::from_ps(tau_i.as_ps().min(tau_j.as_ps()) / 2).saturating_sub(o)
+}
+
+/// `Δdp = τ_i/2 − O`: halving a duplicable kernel's wall time. Returns
+/// [`Time::ZERO`] when non-positive.
+pub fn delta_dp(tau_i: Time, o: Time) -> Time {
+    Time::from_ps(tau_i.as_ps() / 2).saturating_sub(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_fabric::resource::Resources;
+    use hic_fabric::{CommEdge, HostSpec, KernelSpec};
+    use hic_fabric::time::Frequency;
+
+    const THETA: f64 = 1562.5; // ps/byte, the PLB default
+
+    fn app() -> AppSpec {
+        AppSpec::new(
+            "t",
+            HostSpec::default(),
+            Frequency::from_mhz(100),
+            vec![
+                KernelSpec::new(0u32, "a", 100_000, 800_000, Resources::new(1, 1)),
+                KernelSpec::new(1u32, "b", 200_000, 900_000, Resources::new(1, 1)),
+            ],
+            vec![
+                CommEdge::h2k(0u32, 64_000),
+                CommEdge::k2k(0u32, 1u32, 32_000),
+                CommEdge::k2h(1u32, 16_000),
+            ],
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn eq2_decomposes_into_compute_plus_comm() {
+        let a = app();
+        // Compute: 300k cycles @ 100 MHz = 3 ms.
+        assert_eq!(total_tau(&a), Time::from_ms(3));
+        // Baseline bytes: K0 in 64k out 32k, K1 in 32k out 16k = 144k.
+        let comm = baseline_comm(&a, THETA);
+        assert_eq!(comm, Time::from_ps((144_000.0 * THETA) as u64));
+        assert_eq!(baseline_total(&a, THETA), total_tau(&a) + comm);
+    }
+
+    #[test]
+    fn delta_n_counts_kernel_side_twice() {
+        // The 32k k2k edge is counted once leaving K0 and once entering K1.
+        let a = app();
+        assert_eq!(delta_n(&a, THETA), comm_time(64_000, THETA));
+    }
+
+    #[test]
+    fn delta_c_is_double_the_segment() {
+        assert_eq!(delta_c(32_000, THETA), comm_time(64_000, THETA));
+    }
+
+    #[test]
+    fn delta_p1_is_bounded_by_half_tau() {
+        let tau = Time::from_us(10);
+        // Huge host transfers: the gain saturates at τ/2 per direction.
+        let d = delta_p1(1 << 30, 1 << 30, tau, THETA, Time::ZERO);
+        assert_eq!(d, Time::from_us(10));
+        // Tiny transfers: gain is half the transfer time each way.
+        let d = delta_p1(1000, 1000, tau, THETA, Time::ZERO);
+        assert_eq!(d, comm_time(1000, THETA));
+    }
+
+    #[test]
+    fn deltas_saturate_at_zero_under_overhead() {
+        let tau = Time::from_ns(10);
+        assert_eq!(delta_dp(tau, Time::from_us(1)), Time::ZERO);
+        assert_eq!(delta_p2(tau, tau, Time::from_us(1)), Time::ZERO);
+        assert_eq!(delta_p1(0, 0, tau, THETA, Time::ZERO), Time::ZERO);
+    }
+
+    #[test]
+    fn delta_p2_uses_the_smaller_kernel() {
+        let d = delta_p2(Time::from_us(10), Time::from_us(4), Time::from_us(1));
+        assert_eq!(d, Time::from_us(1)); // 4/2 − 1
+    }
+
+    #[test]
+    fn delta_dp_halves_tau() {
+        assert_eq!(delta_dp(Time::from_us(10), Time::ZERO), Time::from_us(5));
+    }
+}

@@ -1,0 +1,285 @@
+//! Analytic execution-time estimation of a plan.
+//!
+//! Composes the Δ terms of [`crate::model`] exactly as Section IV does:
+//! the baseline pays Eq. 2; the hybrid/NoC systems hide all kernel-side
+//! communication (shared pairs move nothing, NoC transfers overlap the
+//! producers' computation leaving only a per-edge tail residual), and the
+//! parallel transforms shave Δp1/Δp2 off what remains. The discrete-event
+//! simulator in `hic-sim` models the same system event-by-event; the
+//! integration suite checks the two agree.
+
+use crate::design::{InterconnectPlan, ParallelTransform, Variant};
+use crate::model;
+use hic_fabric::time::Time;
+use hic_fabric::{KernelId, MemoryId};
+use hic_noc::{LatencyModel, NocNode};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Execution-time estimate of one plan, with the software and baseline
+/// references it is compared against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfEstimate {
+    /// All kernels executed as software on the host.
+    pub sw_kernels: Time,
+    /// Software application time (kernels + non-accelerated host part).
+    pub sw_app: Time,
+    /// Baseline (Eq. 2) kernel time for the same app.
+    pub baseline_kernels: Time,
+    /// Baseline application time.
+    pub baseline_app: Time,
+    /// This plan's kernel time.
+    pub kernels: Time,
+    /// This plan's application time.
+    pub app: Time,
+    /// Compute component of `kernels`.
+    pub compute: Time,
+    /// Communication component of `kernels`.
+    pub comm: Time,
+}
+
+impl PerfEstimate {
+    /// Speed-up of this plan's application time vs software.
+    pub fn app_speedup_vs_sw(&self) -> f64 {
+        self.sw_app.as_ps() as f64 / self.app.as_ps() as f64
+    }
+
+    /// Speed-up of this plan's kernel time vs software.
+    pub fn kernel_speedup_vs_sw(&self) -> f64 {
+        self.sw_kernels.as_ps() as f64 / self.kernels.as_ps() as f64
+    }
+
+    /// Speed-up of this plan's application time vs the baseline system.
+    pub fn app_speedup_vs_baseline(&self) -> f64 {
+        self.baseline_app.as_ps() as f64 / self.app.as_ps() as f64
+    }
+
+    /// Speed-up of this plan's kernel time vs the baseline system.
+    pub fn kernel_speedup_vs_baseline(&self) -> f64 {
+        self.baseline_kernels.as_ps() as f64 / self.kernels.as_ps() as f64
+    }
+
+    /// Communication-to-computation ratio (Fig. 4's second series).
+    pub fn comm_comp_ratio(&self) -> f64 {
+        self.comm.as_ps() as f64 / self.compute.as_ps() as f64
+    }
+}
+
+impl InterconnectPlan {
+    /// Analytic performance estimate of this plan.
+    pub fn estimate(&self) -> PerfEstimate {
+        let app = &self.app;
+        let theta = self.config.theta();
+        let host_clock = app.host.clock;
+
+        // Software reference: every kernel's function on the host, plus the
+        // host-resident remainder.
+        let sw_kernels = host_clock.cycles(app.kernels.iter().map(|k| k.sw_cycles).sum());
+        let host_part = host_clock.cycles(app.host_cycles);
+        let sw_app = sw_kernels + host_part;
+
+        // Baseline reference (Eq. 2) on the *same* elaborated app.
+        let baseline_kernels = model::baseline_total(app, theta);
+        let baseline_app = baseline_kernels + host_part;
+
+        let (compute, comm) = match self.variant {
+            Variant::Baseline => (model::total_tau(app), model::baseline_comm(app, theta)),
+            Variant::Hybrid | Variant::NocOnly => {
+                let mut compute = model::total_tau(app);
+                // Kernel-side traffic is hidden: shared pairs move nothing;
+                // NoC transfers overlap computation, leaving the tail of the
+                // last packet per edge.
+                let mut comm = Time::ZERO;
+                for k in app.kernel_ids() {
+                    let v = app.volumes(k);
+                    comm += model::comm_time(v.host_in + v.host_out, theta);
+                }
+                // Edges served by neither mechanism cross the bus twice,
+                // exactly as in the baseline.
+                for e in &self.bus_fallback {
+                    comm += model::comm_time(2 * e.bytes, theta);
+                }
+                comm += self.noc_residual();
+                // Case 1: host-transfer pipelining.
+                for t in &self.parallel {
+                    if let ParallelTransform::HostPipeline { saving, .. } = t {
+                        comm = comm.saturating_sub(*saving);
+                    }
+                }
+                // Case 2 + duplication shorten the compute critical path.
+                // Duplication is already materialized in the kernel table
+                // (two half-τ instances, run in parallel: subtract one
+                // instance's τ from the serial sum per duplicated pair).
+                for &(orig, clone) in &self.duplicated {
+                    let par = model::tau(app, orig).min(model::tau(app, clone));
+                    compute = compute.saturating_sub(par);
+                }
+                for t in &self.parallel {
+                    if let ParallelTransform::KernelPipeline { saving, .. } = t {
+                        compute = compute.saturating_sub(*saving);
+                    }
+                }
+                // The overlap cannot shrink below the longest single kernel.
+                let floor = app
+                    .kernel_ids()
+                    .map(|k| model::tau(app, k))
+                    .max()
+                    .unwrap_or(Time::ZERO);
+                (compute.max(floor), comm)
+            }
+        };
+
+        let kernels = compute + comm;
+        PerfEstimate {
+            sw_kernels,
+            sw_app,
+            baseline_kernels,
+            baseline_app,
+            kernels,
+            app: kernels + host_part,
+            compute,
+            comm,
+        }
+    }
+
+    /// The non-hidden remainder of NoC transfers: per kernel→kernel edge
+    /// not absorbed by a shared pair, the tail of the last packet
+    /// (hops + 1 cycles at the NoC clock).
+    pub fn noc_residual(&self) -> Time {
+        let Some(noc) = &self.noc else {
+            return Time::ZERO;
+        };
+        let lm = LatencyModel::new(noc.config);
+        let sm: BTreeSet<(KernelId, KernelId)> = self
+            .sm_pairs
+            .iter()
+            .map(|p| (p.producer, p.consumer))
+            .collect();
+        let mut total = Time::ZERO;
+        for e in self.app.k2k_edges() {
+            let (Some(i), Some(j)) = (e.src.kernel(), e.dst.kernel()) else {
+                continue;
+            };
+            if self.variant == Variant::Hybrid && sm.contains(&(i, j)) {
+                continue;
+            }
+            let src = NocNode::Kernel(i);
+            let dst = NocNode::Memory(MemoryId(j.0));
+            if let (Some(&a), Some(&b)) = (
+                noc.placement.slots.get(&src),
+                noc.placement.slots.get(&dst),
+            ) {
+                let cycles = lm.tail_residual_cycles(a, b);
+                total += noc.config.clock.cycles(cycles);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::design::{design, DesignConfig, Variant};
+    use hic_fabric::resource::Resources;
+    use hic_fabric::time::{Frequency, Time};
+    use hic_fabric::{AppSpec, CommEdge, HostSpec, KernelSpec};
+
+    fn app(streamable: bool) -> AppSpec {
+        let mk = |id: u32, name: &str| {
+            let k = KernelSpec::new(id, name, 200_000, 1_600_000, Resources::new(1_000, 1_000));
+            if streamable {
+                k.streamable()
+            } else {
+                k
+            }
+        };
+        AppSpec::new(
+            "t",
+            HostSpec::default(),
+            Frequency::from_mhz(100),
+            vec![mk(0, "a"), mk(1, "b"), mk(2, "c")],
+            vec![
+                CommEdge::h2k(0u32, 512_000),
+                CommEdge::k2k(0u32, 1u32, 256_000),
+                CommEdge::k2k(0u32, 2u32, 64_000),
+                CommEdge::k2k(1u32, 2u32, 256_000),
+                CommEdge::k2h(2u32, 128_000),
+            ],
+            400_000,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn baseline_matches_eq2() {
+        let plan = design(&app(false), &DesignConfig::default(), Variant::Baseline).unwrap();
+        let est = plan.estimate();
+        // Compute: 600k cycles @100 MHz = 6 ms. Comm: per-kernel totals =
+        // (512+320)k + (256+256)k + (320+128)k = 1792k bytes × 1562.5 ps.
+        assert_eq!(est.compute, Time::from_ms(6));
+        assert_eq!(est.comm, Time::from_ps((1_792_000.0 * 1562.5) as u64));
+        assert_eq!(est.kernels, est.compute + est.comm);
+        assert_eq!(est.baseline_kernels, est.kernels);
+        // App adds the host part: 400k cycles @400 MHz = 1 ms.
+        assert_eq!(est.app, est.kernels + Time::from_ms(1));
+    }
+
+    #[test]
+    fn hybrid_hides_kernel_side_traffic() {
+        let cfg = DesignConfig::default();
+        let base = design(&app(false), &cfg, Variant::Baseline)
+            .unwrap()
+            .estimate();
+        let hyb = design(&app(false), &cfg, Variant::Hybrid).unwrap().estimate();
+        assert!(hyb.kernels < base.kernels);
+        // Hybrid communication only pays host-side bytes (+ tiny residual):
+        // host bytes = 512k + 128k = 640k.
+        let host_comm = Time::from_ps((640_000.0 * 1562.5) as u64);
+        assert!(hyb.comm >= host_comm);
+        assert!(hyb.comm < host_comm + Time::from_us(10));
+    }
+
+    #[test]
+    fn streaming_improves_hybrid_further() {
+        let cfg = DesignConfig::default();
+        let plain = design(&app(false), &cfg, Variant::Hybrid).unwrap().estimate();
+        let streamed = design(&app(true), &cfg, Variant::Hybrid).unwrap().estimate();
+        assert!(streamed.kernels < plain.kernels);
+    }
+
+    #[test]
+    fn hybrid_and_noc_only_perform_similarly() {
+        // The paper: "our system achieves the same performance and uses
+        // less resources than the NoC-only system".
+        let cfg = DesignConfig::default();
+        let hyb = design(&app(true), &cfg, Variant::Hybrid).unwrap().estimate();
+        let noc = design(&app(true), &cfg, Variant::NocOnly).unwrap().estimate();
+        let ratio = hyb.kernels.as_ps() as f64 / noc.kernels.as_ps() as f64;
+        assert!((ratio - 1.0).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn speedup_accessors_are_consistent() {
+        let plan = design(&app(true), &DesignConfig::default(), Variant::Hybrid).unwrap();
+        let est = plan.estimate();
+        assert!(est.app_speedup_vs_sw() > 0.0);
+        assert!(est.kernel_speedup_vs_baseline() >= 1.0);
+        // vs-SW speedup = vs-baseline speedup × baseline-vs-SW speedup.
+        let lhs = est.app_speedup_vs_sw();
+        let rhs =
+            est.app_speedup_vs_baseline() * (est.sw_app.as_ps() as f64 / est.baseline_app.as_ps() as f64);
+        assert!((lhs - rhs).abs() / lhs < 1e-9);
+    }
+
+    #[test]
+    fn compute_floor_is_longest_kernel() {
+        // Extreme streaming cannot push compute below the longest kernel.
+        let mut a = app(true);
+        for k in &mut a.kernels {
+            k.compute_cycles = 1_000;
+        }
+        let plan = design(&a, &DesignConfig::default(), Variant::Hybrid).unwrap();
+        let est = plan.estimate();
+        assert!(est.compute >= Time::from_us(10)); // 1000 cycles @ 100 MHz
+    }
+}

@@ -1,0 +1,171 @@
+//! Human-readable plan reports and local-memory sizing.
+
+use crate::design::InterconnectPlan;
+use hic_fabric::KernelId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+impl InterconnectPlan {
+    /// Bytes each kernel's local memory must hold: the largest of its
+    /// total input working set and its host-bound output staging (outputs
+    /// to other kernels stream out and need no staging in the producer).
+    /// Shared-pair consumers additionally host the shared segment, which
+    /// is already part of their `kernel_in`.
+    ///
+    /// This drives BRAM provisioning: a Virtex-5 BRAM holds 36 kbit
+    /// (4.5 KB), so `bytes.div_ceil(4608)` blocks per kernel.
+    pub fn bram_requirements(&self) -> BTreeMap<KernelId, u64> {
+        self.app
+            .kernel_ids()
+            .map(|k| {
+                let v = self.app.volumes(k);
+                (k, v.total_in().max(v.host_out))
+            })
+            .collect()
+    }
+
+    /// Total 36-kbit BRAM blocks the plan's local memories need.
+    pub fn bram_blocks(&self) -> u64 {
+        const BRAM_BYTES: u64 = 4608; // 36 kbit
+        self.bram_requirements()
+            .values()
+            .map(|b| b.div_ceil(BRAM_BYTES).max(1))
+            .sum()
+    }
+
+    /// A multi-line human-readable description of the plan: mechanisms,
+    /// per-kernel classes/attachments, NoC shape and resource totals. Used
+    /// by the `repro -- fig6` report and the examples.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{} plan for '{}' — solution: {}",
+            self.variant.name(),
+            self.app.name,
+            self.solution_label()
+        )
+        .unwrap();
+        for &(orig, clone) in &self.duplicated {
+            writeln!(
+                out,
+                "  duplicated: {} -> instances {} and {}",
+                self.app.kernel(orig).name,
+                orig,
+                clone
+            )
+            .unwrap();
+        }
+        for p in &self.sm_pairs {
+            writeln!(
+                out,
+                "  shared local memory: {} -> {} ({} bytes, {:?})",
+                self.app.kernel(p.producer).name,
+                self.app.kernel(p.consumer).name,
+                p.bytes,
+                p.mode
+            )
+            .unwrap();
+        }
+        for (k, e) in &self.kernels {
+            writeln!(
+                out,
+                "  {:<18} class {:<8} attach {:<8} muxes {}",
+                self.app.kernel(*k).name,
+                e.class.to_string(),
+                e.attach.to_string(),
+                e.port_plan.muxes
+            )
+            .unwrap();
+        }
+        if let Some(noc) = &self.noc {
+            writeln!(
+                out,
+                "  NoC: {} routers on a {}x{} mesh",
+                noc.routers(),
+                noc.placement.mesh.w,
+                noc.placement.mesh.h
+            )
+            .unwrap();
+            for (node, coord) in &noc.placement.slots {
+                writeln!(out, "    {node} @ {coord}").unwrap();
+            }
+        }
+        if !self.bus_fallback.is_empty() {
+            writeln!(
+                out,
+                "  bus fallback: {} kernel edge(s) cross the bus twice",
+                self.bus_fallback.len()
+            )
+            .unwrap();
+        }
+        let r = self.resources();
+        writeln!(
+            out,
+            "  resources: kernels {} + interconnect {} = {} ({} BRAM blocks)",
+            r.kernels,
+            r.interconnect.total(),
+            r.total(),
+            self.bram_blocks()
+        )
+        .unwrap();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::design::{design, DesignConfig, Variant};
+    use hic_fabric::resource::Resources;
+    use hic_fabric::time::Frequency;
+    use hic_fabric::{AppSpec, CommEdge, HostSpec, KernelId, KernelSpec};
+
+    fn app() -> AppSpec {
+        AppSpec::new(
+            "rep",
+            HostSpec::default(),
+            Frequency::from_mhz(100),
+            vec![
+                KernelSpec::new(0u32, "alpha", 10_000, 80_000, Resources::new(500, 500)),
+                KernelSpec::new(1u32, "beta", 10_000, 80_000, Resources::new(500, 500)),
+            ],
+            vec![
+                CommEdge::h2k(0u32, 10_000),
+                CommEdge::k2k(0u32, 1u32, 5_000),
+                CommEdge::k2h(1u32, 2_000),
+            ],
+            1_000,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn describe_names_every_kernel_and_the_solution() {
+        let plan = design(&app(), &DesignConfig::default(), Variant::Hybrid).unwrap();
+        let d = plan.describe();
+        assert!(d.contains("alpha"));
+        assert!(d.contains("beta"));
+        assert!(d.contains("solution"));
+        assert!(d.contains("resources:"));
+    }
+
+    #[test]
+    fn bram_requirements_cover_the_working_set() {
+        let plan = design(&app(), &DesignConfig::default(), Variant::Baseline).unwrap();
+        let req = plan.bram_requirements();
+        // alpha: input 10k bytes, no host output → 10k.
+        assert_eq!(req[&KernelId::new(0)], 10_000);
+        // beta: input 5k, host output 2k → 5k.
+        assert_eq!(req[&KernelId::new(1)], 5_000);
+        // 10k → 3 blocks, 5k → 2 blocks.
+        assert_eq!(plan.bram_blocks(), 5);
+    }
+
+    #[test]
+    fn every_kernel_needs_at_least_one_block() {
+        let mut a = app();
+        a.edges = vec![CommEdge::h2k(0u32, 1)];
+        let plan = design(&a, &DesignConfig::default(), Variant::Baseline).unwrap();
+        assert_eq!(plan.bram_blocks(), 2); // one per kernel, minimum
+    }
+}

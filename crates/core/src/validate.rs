@@ -1,0 +1,241 @@
+//! Whole-plan invariant checking.
+//!
+//! [`InterconnectPlan::check_invariants`] re-derives every structural rule
+//! a well-formed plan must satisfy and reports the first violation. The
+//! design algorithm is tested to always produce valid plans; external
+//! tools that deserialize or hand-edit plans (the CLI's JSON path, future
+//! runtime controllers) use this as their admission check.
+
+use crate::design::InterconnectPlan;
+use crate::mapping::KernelAttach;
+use hic_fabric::KernelId;
+use hic_noc::NocNode;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A violated plan invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanViolation {
+    /// The embedded application fails its own validation.
+    InvalidApp(String),
+    /// A kernel participates in more than one shared pair.
+    KernelInTwoPairs(KernelId),
+    /// A shared pair references a kernel outside the app.
+    PairKernelUnknown(KernelId),
+    /// A shared pair whose producer/consumer volumes do not satisfy the
+    /// exclusivity precondition.
+    PairNotExclusive(KernelId, KernelId),
+    /// A kernel is marked `K2` but the plan has no NoC.
+    AttachedWithoutNoc(KernelId),
+    /// A `K2` kernel is missing from the NoC's kernel-node list (or vice
+    /// versa).
+    NocKernelListMismatch,
+    /// A NoC-attached memory is missing from the placement.
+    Unplaced(String),
+    /// Placement assigns two nodes to the same router.
+    PlacementOverlap(String),
+    /// A plan entry exists for a kernel the app does not contain.
+    EntryForUnknownKernel(KernelId),
+    /// A kernel of the app has no plan entry.
+    MissingEntry(KernelId),
+}
+
+impl fmt::Display for PlanViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanViolation::InvalidApp(e) => write!(f, "invalid app: {e}"),
+            PlanViolation::KernelInTwoPairs(k) => write!(f, "{k} in two shared pairs"),
+            PlanViolation::PairKernelUnknown(k) => write!(f, "pair references unknown {k}"),
+            PlanViolation::PairNotExclusive(i, j) => {
+                write!(f, "pair {i}->{j} is not exclusive")
+            }
+            PlanViolation::AttachedWithoutNoc(k) => write!(f, "{k} is K2 but no NoC exists"),
+            PlanViolation::NocKernelListMismatch => write!(f, "K2 set != NoC kernel nodes"),
+            PlanViolation::Unplaced(n) => write!(f, "{n} not placed on the mesh"),
+            PlanViolation::PlacementOverlap(c) => write!(f, "two nodes at {c}"),
+            PlanViolation::EntryForUnknownKernel(k) => write!(f, "entry for unknown {k}"),
+            PlanViolation::MissingEntry(k) => write!(f, "no entry for {k}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanViolation {}
+
+impl InterconnectPlan {
+    /// Check every structural invariant; `Ok(())` for a well-formed plan.
+    pub fn check_invariants(&self) -> Result<(), PlanViolation> {
+        self.app
+            .validate()
+            .map_err(|e| PlanViolation::InvalidApp(e.to_string()))?;
+
+        // Plan entries cover exactly the app's kernels.
+        let app_kernels: BTreeSet<KernelId> = self.app.kernel_ids().collect();
+        for &k in self.kernels.keys() {
+            if !app_kernels.contains(&k) {
+                return Err(PlanViolation::EntryForUnknownKernel(k));
+            }
+        }
+        for &k in &app_kernels {
+            if !self.kernels.contains_key(&k) {
+                return Err(PlanViolation::MissingEntry(k));
+            }
+        }
+
+        // Shared pairs: known kernels, disjoint, exclusive.
+        let mut used = BTreeSet::new();
+        for p in &self.sm_pairs {
+            for k in [p.producer, p.consumer] {
+                if !app_kernels.contains(&k) {
+                    return Err(PlanViolation::PairKernelUnknown(k));
+                }
+                if !used.insert(k) {
+                    return Err(PlanViolation::KernelInTwoPairs(k));
+                }
+            }
+            let vi = self.app.volumes(p.producer);
+            let vj = self.app.volumes(p.consumer);
+            if vi.kernel_out != p.bytes || vj.kernel_in != p.bytes {
+                return Err(PlanViolation::PairNotExclusive(p.producer, p.consumer));
+            }
+        }
+
+        // Attachment / NoC consistency.
+        let k2: BTreeSet<KernelId> = self
+            .kernels
+            .iter()
+            .filter(|(_, e)| e.attach.kernel == KernelAttach::K2)
+            .map(|(&k, _)| k)
+            .collect();
+        match &self.noc {
+            None => {
+                if let Some(&k) = k2.first() {
+                    return Err(PlanViolation::AttachedWithoutNoc(k));
+                }
+            }
+            Some(noc) => {
+                let listed: BTreeSet<KernelId> = noc.kernel_nodes.iter().copied().collect();
+                if listed != k2 {
+                    return Err(PlanViolation::NocKernelListMismatch);
+                }
+                // Every listed node is placed, on a distinct router.
+                let mut seen = BTreeSet::new();
+                for node in noc
+                    .kernel_nodes
+                    .iter()
+                    .map(|&k| NocNode::Kernel(k))
+                    .chain(
+                        noc.mem_nodes
+                            .iter()
+                            .map(|&k| NocNode::Memory(hic_fabric::MemoryId(k.0))),
+                    )
+                {
+                    let Some(&coord) = noc.placement.slots.get(&node) else {
+                        return Err(PlanViolation::Unplaced(node.to_string()));
+                    };
+                    if !seen.insert(coord) {
+                        return Err(PlanViolation::PlacementOverlap(coord.to_string()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{design, DesignConfig, Variant};
+    use hic_fabric::resource::Resources;
+    use hic_fabric::time::Frequency;
+    use hic_fabric::{AppSpec, CommEdge, HostSpec, KernelSpec};
+
+    fn app() -> AppSpec {
+        AppSpec::new(
+            "v",
+            HostSpec::default(),
+            Frequency::from_mhz(100),
+            vec![
+                KernelSpec::new(0u32, "a", 50_000, 400_000, Resources::new(1_000, 1_000)),
+                KernelSpec::new(1u32, "b", 50_000, 400_000, Resources::new(1_000, 1_000)),
+                KernelSpec::new(2u32, "c", 50_000, 400_000, Resources::new(1_000, 1_000)),
+            ],
+            vec![
+                CommEdge::h2k(0u32, 128_000),
+                CommEdge::k2k(0u32, 1u32, 64_000),
+                CommEdge::k2k(0u32, 2u32, 32_000),
+                CommEdge::k2k(1u32, 2u32, 64_000),
+                CommEdge::k2h(2u32, 64_000),
+            ],
+            10_000,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn algorithm_output_is_always_valid() {
+        let cfg = DesignConfig::default();
+        for variant in [Variant::Baseline, Variant::Hybrid, Variant::NocOnly] {
+            let plan = design(&app(), &cfg, variant).unwrap();
+            plan.check_invariants()
+                .unwrap_or_else(|v| panic!("{variant:?}: {v}"));
+        }
+    }
+
+    #[test]
+    fn tampered_pair_is_rejected() {
+        let cfg = DesignConfig::default();
+        let mut plan = design(&app(), &cfg, Variant::Hybrid).unwrap();
+        // Forge a pair that is not exclusive (kernel 0 sends to both 1 & 2).
+        plan.sm_pairs.push(hic_xbar::SharedMemPair {
+            producer: hic_fabric::KernelId::new(0),
+            consumer: hic_fabric::KernelId::new(1),
+            bytes: 64_000,
+            mode: hic_xbar::SharingMode::Crossbar,
+        });
+        let err = plan.check_invariants().unwrap_err();
+        assert!(matches!(
+            err,
+            PlanViolation::PairNotExclusive(_, _) | PlanViolation::KernelInTwoPairs(_)
+        ));
+    }
+
+    #[test]
+    fn dropped_noc_is_rejected() {
+        let cfg = DesignConfig::default();
+        let mut plan = design(&app(), &cfg, Variant::NocOnly).unwrap();
+        assert!(plan.noc.is_some());
+        plan.noc = None;
+        assert!(matches!(
+            plan.check_invariants(),
+            Err(PlanViolation::AttachedWithoutNoc(_))
+        ));
+    }
+
+    #[test]
+    fn missing_entry_is_rejected() {
+        let cfg = DesignConfig::default();
+        let mut plan = design(&app(), &cfg, Variant::Baseline).unwrap();
+        plan.kernels.remove(&hic_fabric::KernelId::new(1));
+        assert_eq!(
+            plan.check_invariants(),
+            Err(PlanViolation::MissingEntry(hic_fabric::KernelId::new(1)))
+        );
+    }
+
+    #[test]
+    fn placement_overlap_is_rejected() {
+        let cfg = DesignConfig::default();
+        let mut plan = design(&app(), &cfg, Variant::NocOnly).unwrap();
+        let noc = plan.noc.as_mut().unwrap();
+        // Move every node to the same router.
+        let origin = hic_noc::Coord::new(0, 0);
+        for coord in noc.placement.slots.values_mut() {
+            *coord = origin;
+        }
+        assert!(matches!(
+            plan.check_invariants(),
+            Err(PlanViolation::PlacementOverlap(_))
+        ));
+    }
+}

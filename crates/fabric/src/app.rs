@@ -1,0 +1,424 @@
+//! Application specification: the distilled input of the design algorithm.
+//!
+//! An [`AppSpec`] is what remains of an application after hardware/software
+//! partitioning and communication profiling: a host, a set of hardware
+//! kernels and the producer→consumer byte flows between them (and between
+//! them and the host). `hic-profiling` produces the function-level
+//! communication graph; collapsing every host-side function into the single
+//! [`Endpoint::Host`] yields the edges stored here — which is precisely the
+//! granularity at which the paper's Algorithm 1 and adaptive mapping
+//! function operate.
+
+use crate::host::HostSpec;
+use crate::ids::KernelId;
+use crate::kernel::{DataVolumes, KernelSpec};
+use crate::time::Frequency;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One side of a communication edge.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Endpoint {
+    /// The host processor (all software functions collapsed together).
+    Host,
+    /// A hardware kernel.
+    Kernel(KernelId),
+}
+
+impl Endpoint {
+    /// The kernel id if this endpoint is a kernel.
+    pub fn kernel(self) -> Option<KernelId> {
+        match self {
+            Endpoint::Kernel(k) => Some(k),
+            Endpoint::Host => None,
+        }
+    }
+
+    /// True for [`Endpoint::Host`].
+    pub fn is_host(self) -> bool {
+        matches!(self, Endpoint::Host)
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Host => write!(f, "host"),
+            Endpoint::Kernel(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+/// A directed producer→consumer flow: `src` sends `bytes` bytes to `dst`
+/// over one application run (the paper's `[HW_i → HW_j : D_ij]` notation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommEdge {
+    /// Producer.
+    pub src: Endpoint,
+    /// Consumer.
+    pub dst: Endpoint,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Number of unique memory addresses involved (QUAD's UMA metric);
+    /// `0` when unknown.
+    pub umas: u64,
+}
+
+impl CommEdge {
+    /// Edge with unknown UMA count.
+    pub fn new(src: Endpoint, dst: Endpoint, bytes: u64) -> Self {
+        CommEdge {
+            src,
+            dst,
+            bytes,
+            umas: 0,
+        }
+    }
+
+    /// Kernel→kernel edge shorthand.
+    pub fn k2k(src: impl Into<KernelId>, dst: impl Into<KernelId>, bytes: u64) -> Self {
+        CommEdge::new(
+            Endpoint::Kernel(src.into()),
+            Endpoint::Kernel(dst.into()),
+            bytes,
+        )
+    }
+
+    /// Host→kernel edge shorthand.
+    pub fn h2k(dst: impl Into<KernelId>, bytes: u64) -> Self {
+        CommEdge::new(Endpoint::Host, Endpoint::Kernel(dst.into()), bytes)
+    }
+
+    /// Kernel→host edge shorthand.
+    pub fn k2h(src: impl Into<KernelId>, bytes: u64) -> Self {
+        CommEdge::new(Endpoint::Kernel(src.into()), Endpoint::Host, bytes)
+    }
+}
+
+/// Errors detected by [`AppSpec::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppSpecError {
+    /// A kernel's `id` field does not match its table position.
+    KernelIdMismatch {
+        /// Position in the kernel table.
+        index: usize,
+        /// The id the kernel claims.
+        found: KernelId,
+    },
+    /// An edge references a kernel that is not in the table.
+    UnknownKernel(KernelId),
+    /// An edge has the host on both sides; host-internal traffic never
+    /// reaches the accelerator fabric and must not appear in an `AppSpec`.
+    HostToHostEdge,
+    /// An edge has the same kernel on both sides.
+    SelfLoop(KernelId),
+    /// Two edges share the same (src, dst) pair; merge them instead.
+    DuplicateEdge(Endpoint, Endpoint),
+}
+
+impl fmt::Display for AppSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppSpecError::KernelIdMismatch { index, found } => {
+                write!(f, "kernel at index {index} has id {found}")
+            }
+            AppSpecError::UnknownKernel(k) => write!(f, "edge references unknown kernel {k}"),
+            AppSpecError::HostToHostEdge => write!(f, "host-to-host edge"),
+            AppSpecError::SelfLoop(k) => write!(f, "self loop on {k}"),
+            AppSpecError::DuplicateEdge(s, d) => write!(f, "duplicate edge {s} -> {d}"),
+        }
+    }
+}
+
+impl std::error::Error for AppSpecError {}
+
+/// A fully-profiled application ready for interconnect synthesis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Application name (e.g. "jpeg").
+    pub name: String,
+    /// The host processor.
+    pub host: HostSpec,
+    /// Clock of the kernel/bus domain (100 MHz in the paper).
+    pub kernel_clock: Frequency,
+    /// Hardware kernels, indexed by `KernelId`.
+    pub kernels: Vec<KernelSpec>,
+    /// Producer→consumer flows.
+    pub edges: Vec<CommEdge>,
+    /// Host cycles spent in the software-only parts of the application
+    /// (functions never promoted to hardware). Included in overall
+    /// application time; identical across all system variants.
+    pub host_cycles: u64,
+}
+
+impl AppSpec {
+    /// Construct and validate.
+    pub fn new(
+        name: impl Into<String>,
+        host: HostSpec,
+        kernel_clock: Frequency,
+        kernels: Vec<KernelSpec>,
+        edges: Vec<CommEdge>,
+        host_cycles: u64,
+    ) -> Result<Self, AppSpecError> {
+        let spec = AppSpec {
+            name: name.into(),
+            host,
+            kernel_clock,
+            kernels,
+            edges,
+            host_cycles,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Check structural invariants; see [`AppSpecError`].
+    pub fn validate(&self) -> Result<(), AppSpecError> {
+        for (index, k) in self.kernels.iter().enumerate() {
+            if k.id.index() != index {
+                return Err(AppSpecError::KernelIdMismatch { index, found: k.id });
+            }
+        }
+        let mut seen = BTreeMap::new();
+        for e in &self.edges {
+            for ep in [e.src, e.dst] {
+                if let Endpoint::Kernel(k) = ep {
+                    if k.index() >= self.kernels.len() {
+                        return Err(AppSpecError::UnknownKernel(k));
+                    }
+                }
+            }
+            if e.src.is_host() && e.dst.is_host() {
+                return Err(AppSpecError::HostToHostEdge);
+            }
+            if e.src == e.dst {
+                if let Endpoint::Kernel(k) = e.src {
+                    return Err(AppSpecError::SelfLoop(k));
+                }
+            }
+            if seen.insert((e.src, e.dst), e.bytes).is_some() {
+                return Err(AppSpecError::DuplicateEdge(e.src, e.dst));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of kernels.
+    pub fn n_kernels(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Iterate over all kernel ids.
+    pub fn kernel_ids(&self) -> impl Iterator<Item = KernelId> + '_ {
+        (0..self.kernels.len() as u32).map(KernelId::new)
+    }
+
+    /// Look up a kernel by id.
+    pub fn kernel(&self, id: KernelId) -> &KernelSpec {
+        &self.kernels[id.index()]
+    }
+
+    /// Derive the Eq. (1) data volumes of a kernel from the edge list.
+    pub fn volumes(&self, id: KernelId) -> DataVolumes {
+        let mut v = DataVolumes::default();
+        for e in &self.edges {
+            if e.dst == Endpoint::Kernel(id) {
+                match e.src {
+                    Endpoint::Host => v.host_in += e.bytes,
+                    Endpoint::Kernel(_) => v.kernel_in += e.bytes,
+                }
+            }
+            if e.src == Endpoint::Kernel(id) {
+                match e.dst {
+                    Endpoint::Host => v.host_out += e.bytes,
+                    Endpoint::Kernel(_) => v.kernel_out += e.bytes,
+                }
+            }
+        }
+        v
+    }
+
+    /// All kernel→kernel edges.
+    pub fn k2k_edges(&self) -> impl Iterator<Item = &CommEdge> + '_ {
+        self.edges
+            .iter()
+            .filter(|e| !e.src.is_host() && !e.dst.is_host())
+    }
+
+    /// Bytes flowing from `src` to `dst`, zero if no edge exists.
+    pub fn bytes_between(&self, src: Endpoint, dst: Endpoint) -> u64 {
+        self.edges
+            .iter()
+            .filter(|e| e.src == src && e.dst == dst)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Kernels in dependency order (producers before consumers), or
+    /// `None` when the kernel-to-kernel graph has a cycle. The design
+    /// algorithm and both simulators share this order.
+    pub fn topo_order(&self) -> Option<Vec<KernelId>> {
+        let n = self.n_kernels();
+        let mut indeg = vec![0usize; n];
+        for e in self.k2k_edges() {
+            indeg[e.dst.kernel().expect("k2k edge").index()] += 1;
+        }
+        let mut queue: Vec<KernelId> = self
+            .kernel_ids()
+            .filter(|k| indeg[k.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(k) = queue.pop() {
+            order.push(k);
+            for e in self.k2k_edges() {
+                if e.src == Endpoint::Kernel(k) {
+                    let j = e.dst.kernel().expect("k2k edge");
+                    indeg[j.index()] -= 1;
+                    if indeg[j.index()] == 0 {
+                        queue.push(j);
+                    }
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Total computation cycles of all kernels `Σ τ_i` (kernel clock).
+    pub fn total_compute_cycles(&self) -> u64 {
+        self.kernels.iter().map(|k| k.compute_cycles).sum()
+    }
+
+    /// Total bytes moved in the baseline system
+    /// `Σ (D_i(in) + D_i(out))` — every byte crosses the bus twice when it
+    /// travels kernel→kernel (once out, once back in), which the per-kernel
+    /// sum counts correctly.
+    pub fn total_baseline_bytes(&self) -> u64 {
+        self.kernel_ids().map(|k| self.volumes(k).total()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::Resources;
+
+    fn k(id: u32, name: &str) -> KernelSpec {
+        KernelSpec::new(id, name, 1000, 8000, Resources::new(100, 100))
+    }
+
+    fn two_kernel_app(edges: Vec<CommEdge>) -> Result<AppSpec, AppSpecError> {
+        AppSpec::new(
+            "t",
+            HostSpec::default(),
+            Frequency::from_mhz(100),
+            vec![k(0, "a"), k(1, "b")],
+            edges,
+            0,
+        )
+    }
+
+    #[test]
+    fn volumes_derive_from_edges() {
+        let app = two_kernel_app(vec![
+            CommEdge::h2k(0u32, 100),
+            CommEdge::k2k(0u32, 1u32, 40),
+            CommEdge::k2h(1u32, 60),
+        ])
+        .unwrap();
+        let v0 = app.volumes(KernelId::new(0));
+        assert_eq!(
+            v0,
+            DataVolumes {
+                host_in: 100,
+                kernel_in: 0,
+                host_out: 0,
+                kernel_out: 40
+            }
+        );
+        let v1 = app.volumes(KernelId::new(1));
+        assert_eq!(
+            v1,
+            DataVolumes {
+                host_in: 0,
+                kernel_in: 40,
+                host_out: 60,
+                kernel_out: 0
+            }
+        );
+        // Baseline bytes: K0 moves 100+40, K1 moves 40+60 -> the k2k 40
+        // bytes are counted twice, once per bus crossing.
+        assert_eq!(app.total_baseline_bytes(), 240);
+    }
+
+    #[test]
+    fn rejects_unknown_kernel() {
+        let err = two_kernel_app(vec![CommEdge::h2k(7u32, 1)]).unwrap_err();
+        assert_eq!(err, AppSpecError::UnknownKernel(KernelId::new(7)));
+    }
+
+    #[test]
+    fn rejects_self_loop_and_host_loop() {
+        let err = two_kernel_app(vec![CommEdge::k2k(0u32, 0u32, 1)]).unwrap_err();
+        assert_eq!(err, AppSpecError::SelfLoop(KernelId::new(0)));
+        let err =
+            two_kernel_app(vec![CommEdge::new(Endpoint::Host, Endpoint::Host, 1)]).unwrap_err();
+        assert_eq!(err, AppSpecError::HostToHostEdge);
+    }
+
+    #[test]
+    fn rejects_duplicate_edges() {
+        let err = two_kernel_app(vec![CommEdge::h2k(0u32, 1), CommEdge::h2k(0u32, 2)])
+            .unwrap_err();
+        assert!(matches!(err, AppSpecError::DuplicateEdge(_, _)));
+    }
+
+    #[test]
+    fn rejects_misnumbered_kernels() {
+        let res = AppSpec::new(
+            "t",
+            HostSpec::default(),
+            Frequency::from_mhz(100),
+            vec![k(1, "a")],
+            vec![],
+            0,
+        );
+        assert!(matches!(
+            res,
+            Err(AppSpecError::KernelIdMismatch { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let app = two_kernel_app(vec![CommEdge::k2k(0u32, 1u32, 4)]).unwrap();
+        let order = app.topo_order().unwrap();
+        assert_eq!(order.len(), 2);
+        let pos = |k: KernelId| order.iter().position(|&x| x == k).unwrap();
+        assert!(pos(KernelId::new(0)) < pos(KernelId::new(1)));
+    }
+
+    #[test]
+    fn topo_order_detects_cycles() {
+        // Bypass validation to build a cyclic graph directly.
+        let mut app = two_kernel_app(vec![CommEdge::k2k(0u32, 1u32, 4)]).unwrap();
+        app.edges.push(CommEdge::k2k(1u32, 0u32, 4));
+        assert!(app.topo_order().is_none());
+    }
+
+    #[test]
+    fn bytes_between_sums_matching_edges() {
+        let app = two_kernel_app(vec![CommEdge::k2k(0u32, 1u32, 40)]).unwrap();
+        assert_eq!(
+            app.bytes_between(Endpoint::Kernel(KernelId::new(0)), Endpoint::Kernel(KernelId::new(1))),
+            40
+        );
+        assert_eq!(
+            app.bytes_between(Endpoint::Kernel(KernelId::new(1)), Endpoint::Kernel(KernelId::new(0))),
+            0
+        );
+    }
+}

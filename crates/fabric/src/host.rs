@@ -1,0 +1,60 @@
+//! Host processor model.
+//!
+//! The paper's prototype hosts the application on the embedded PowerPC 440
+//! of the xc5vfx130t at 400 MHz; the kernels and the PLB bus run at 100 MHz.
+//! The host model only needs a clock (to convert software cycle counts into
+//! time) and a name; actual bus behaviour lives in `hic-bus`.
+
+use crate::time::{Frequency, Time};
+use serde::{Deserialize, Serialize};
+
+/// Static description of the host processor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Descriptive name, e.g. "PowerPC 440".
+    pub name: String,
+    /// Host clock frequency.
+    pub clock: Frequency,
+}
+
+impl HostSpec {
+    /// The paper's host: a PowerPC 440 at 400 MHz.
+    pub fn powerpc_400mhz() -> Self {
+        HostSpec {
+            name: "PowerPC 440".to_string(),
+            clock: Frequency::from_mhz(400),
+        }
+    }
+
+    /// Wall time of `cycles` host cycles.
+    pub fn cycles(&self, cycles: u64) -> Time {
+        self.clock.cycles(cycles)
+    }
+}
+
+impl Default for HostSpec {
+    fn default() -> Self {
+        HostSpec::powerpc_400mhz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powerpc_defaults() {
+        let h = HostSpec::default();
+        assert_eq!(h.clock, Frequency::from_mhz(400));
+        assert_eq!(h.cycles(400_000), Time::from_us(1000));
+    }
+
+    #[test]
+    fn cycle_conversion_uses_host_clock() {
+        let h = HostSpec {
+            name: "test".into(),
+            clock: Frequency::from_mhz(100),
+        };
+        assert_eq!(h.cycles(1), Time::from_ns(10));
+    }
+}

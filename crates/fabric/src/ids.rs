@@ -1,0 +1,97 @@
+//! Strongly-typed identifiers.
+//!
+//! Indices into the various tables of a system design are easy to mix up
+//! (kernel 3 vs. memory 3 vs. router 3). Newtypes make that a compile-time
+//! error instead of a silent simulation bug.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index, usable for table lookups.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a hardware kernel (an accelerator core in the
+    /// reconfigurable area).
+    KernelId,
+    "K"
+);
+
+id_type!(
+    /// Identifier of an application function. Both software functions that
+    /// stay on the host and functions promoted to hardware kernels carry a
+    /// `FunctionId` in the communication profile.
+    FunctionId,
+    "F"
+);
+
+id_type!(
+    /// Identifier of a local memory (a BRAM block attached to a kernel).
+    MemoryId,
+    "M"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(KernelId::new(3).to_string(), "K3");
+        assert_eq!(FunctionId::new(0).to_string(), "F0");
+        assert_eq!(MemoryId::new(12).to_string(), "M12");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let k = KernelId::from(7u32);
+        assert_eq!(k.index(), 7);
+        assert_eq!(KernelId::new(7), k);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(KernelId::new(1) < KernelId::new(2));
+        let mut v = vec![MemoryId::new(5), MemoryId::new(1), MemoryId::new(3)];
+        v.sort();
+        assert_eq!(v, vec![MemoryId::new(1), MemoryId::new(3), MemoryId::new(5)]);
+    }
+
+    #[test]
+    fn ids_of_different_kinds_are_distinct_types() {
+        // This is a compile-time property; the test documents the intent.
+        fn takes_kernel(_: KernelId) {}
+        takes_kernel(KernelId::new(0));
+    }
+}

@@ -1,0 +1,146 @@
+//! The hardware-kernel model of the paper's Eq. (1).
+//!
+//! A kernel `HW_i` is characterized by its computation time `τ_i` and four
+//! data volumes: input produced by the host (`D_i(in)^H`), input produced by
+//! other kernels (`D_i(in)^K`), output consumed by the host (`D_i(out)^H`)
+//! and output consumed by other kernels (`D_i(out)^K`). The distinction
+//! between host-side and kernel-side data is the whole point: only the
+//! kernel-side portion can be rerouted over the custom interconnect.
+
+use crate::ids::KernelId;
+use crate::resource::Resources;
+use serde::{Deserialize, Serialize};
+
+/// The four data volumes of Eq. (1), in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DataVolumes {
+    /// `D_i(in)^H` — input bytes produced by host functions.
+    pub host_in: u64,
+    /// `D_i(in)^K` — input bytes produced by other kernels.
+    pub kernel_in: u64,
+    /// `D_i(out)^H` — output bytes consumed by host functions.
+    pub host_out: u64,
+    /// `D_i(out)^K` — output bytes consumed by other kernels.
+    pub kernel_out: u64,
+}
+
+impl DataVolumes {
+    /// Total input `D_i(in) = D_i(in)^H + D_i(in)^K`.
+    pub fn total_in(&self) -> u64 {
+        self.host_in + self.kernel_in
+    }
+
+    /// Total output `D_i(out) = D_i(out)^H + D_i(out)^K`.
+    pub fn total_out(&self) -> u64 {
+        self.host_out + self.kernel_out
+    }
+
+    /// All bytes moved for this kernel in the baseline system, where every
+    /// input is fetched from the host and every output returned to it.
+    pub fn total(&self) -> u64 {
+        self.total_in() + self.total_out()
+    }
+
+    /// The kernel-to-kernel portion `D_i(in)^K + D_i(out)^K` — the traffic a
+    /// custom interconnect can take off the system bus.
+    pub fn kernel_side(&self) -> u64 {
+        self.kernel_in + self.kernel_out
+    }
+}
+
+/// Static description of one hardware kernel.
+///
+/// Timing note: `compute_cycles` counts cycles of the *kernel* clock domain
+/// (100 MHz in the paper's prototype) while `sw_cycles` counts cycles of the
+/// *host* clock (400 MHz). Conversions to wall time go through
+/// [`crate::time::Frequency::cycles`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelSpec {
+    /// Kernel identifier; must equal its position in [`crate::AppSpec`]'s
+    /// kernel table.
+    pub id: KernelId,
+    /// Function name (e.g. `huff_ac_dec`).
+    pub name: String,
+    /// `τ_i`: computation cycles per application run, in the kernel clock
+    /// domain.
+    pub compute_cycles: u64,
+    /// Cycles the same function takes in software on the host, in the host
+    /// clock domain (for SW-only comparison).
+    pub sw_cycles: u64,
+    /// LUT/register usage of the kernel datapath itself (interconnect
+    /// excluded).
+    pub resources: Resources,
+    /// Whether the kernel tolerates duplication: it can be instantiated
+    /// twice and fed disjoint halves of its input (Δdp transform).
+    pub duplicable: bool,
+    /// Whether the kernel can consume/produce data in streaming segments
+    /// (Δp1 host-transfer pipelining, Δp2 kernel-to-kernel pipelining).
+    pub streamable: bool,
+}
+
+impl KernelSpec {
+    /// Convenience constructor with duplication and streaming disabled.
+    pub fn new(
+        id: impl Into<KernelId>,
+        name: impl Into<String>,
+        compute_cycles: u64,
+        sw_cycles: u64,
+        resources: Resources,
+    ) -> Self {
+        KernelSpec {
+            id: id.into(),
+            name: name.into(),
+            compute_cycles,
+            sw_cycles,
+            resources,
+            duplicable: false,
+            streamable: false,
+        }
+    }
+
+    /// Builder-style: mark the kernel duplicable.
+    pub fn duplicable(mut self) -> Self {
+        self.duplicable = true;
+        self
+    }
+
+    /// Builder-style: mark the kernel streamable.
+    pub fn streamable(mut self) -> Self {
+        self.streamable = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_sums_follow_eq1() {
+        let v = DataVolumes {
+            host_in: 100,
+            kernel_in: 20,
+            host_out: 50,
+            kernel_out: 30,
+        };
+        assert_eq!(v.total_in(), 120);
+        assert_eq!(v.total_out(), 80);
+        assert_eq!(v.total(), 200);
+        assert_eq!(v.kernel_side(), 50);
+    }
+
+    #[test]
+    fn builder_flags() {
+        let k = KernelSpec::new(0u32, "k", 10, 40, Resources::new(1, 1));
+        assert!(!k.duplicable && !k.streamable);
+        let k = k.duplicable().streamable();
+        assert!(k.duplicable && k.streamable);
+    }
+
+    #[test]
+    fn default_volumes_are_zero() {
+        let v = DataVolumes::default();
+        assert_eq!(v.total(), 0);
+        assert_eq!(v.kernel_side(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # hic-fabric — hardware fabric substrate models
+//!
+//! Foundation types shared by every other HIC crate:
+//!
+//! * [`time`] — exact fixed-point simulation time (picoseconds), clock
+//!   frequencies and cycle/time conversion. FPGA accelerator systems are
+//!   multi-clock (the paper's host runs at 400 MHz, kernels and bus at
+//!   100 MHz), so all cross-domain arithmetic happens in [`time::Time`].
+//! * [`resource`] — additive LUT/register resource accounting and the
+//!   interconnect component cost table published as Table II of the paper
+//!   (bus, crossbar, NoC router, network adapters).
+//! * [`ids`] — strongly-typed identifiers for kernels, functions and
+//!   memories.
+//! * [`kernel`] — the hardware-kernel model of Eq. (1):
+//!   `HW_i(τ_i, D_i(in)^H, D_i(in)^K, D_i(out)^H, D_i(out)^K)`.
+//! * [`host`] — the host processor model (a PowerPC 440 in the paper).
+//! * [`app`] — an application specification: kernels + host functions +
+//!   the producer→consumer communication edges extracted by profiling.
+//! * [`synthetic`] — parameterized random application generation (chains,
+//!   fan-outs, diamonds, random DAGs) for benchmarks and fuzzing.
+//!
+//! The crate is deliberately free of simulation logic; it only defines the
+//! vocabulary in which the bus, NoC, crossbar, design algorithm and
+//! discrete-event simulator speak to each other.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod host;
+pub mod ids;
+pub mod kernel;
+pub mod resource;
+pub mod synthetic;
+pub mod time;
+
+pub use app::{AppSpec, CommEdge, Endpoint};
+pub use host::HostSpec;
+pub use ids::{FunctionId, KernelId, MemoryId};
+pub use kernel::{DataVolumes, KernelSpec};
+pub use resource::{ComponentKind, Resources};
+pub use time::{Frequency, Time};

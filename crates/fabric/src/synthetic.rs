@@ -1,0 +1,208 @@
+//! Synthetic application generator.
+//!
+//! Parameterized random applications for benchmarks, fuzzing and
+//! design-space studies: choose a dataflow shape (chain, fan-out, diamond,
+//! or random DAG), a kernel count and a communication intensity, and get a
+//! valid [`AppSpec`]. Deterministic for a given seed.
+
+use crate::app::{AppSpec, CommEdge};
+use crate::host::HostSpec;
+use crate::kernel::KernelSpec;
+use crate::resource::Resources;
+use crate::time::Frequency;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Dataflow shape of a generated application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Shape {
+    /// `host → k0 → k1 → … → k(n-1) → host`: the Canny/jpeg-like pipeline.
+    Chain,
+    /// `k0` fans out to every other kernel, all reduce to the host: a
+    /// scatter/gather accelerator.
+    FanOut,
+    /// Two parallel branches joining at the last kernel: the fluid-like
+    /// diamond.
+    Diamond,
+    /// Random DAG (edges only from lower to higher ids).
+    Random {
+        /// Probability of an edge between any (i < j) pair, in percent.
+        density_pct: u8,
+    },
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSpec {
+    /// Dataflow shape.
+    pub shape: Shape,
+    /// Number of kernels (≥ 2).
+    pub kernels: usize,
+    /// Mean compute cycles per kernel.
+    pub mean_compute_cycles: u64,
+    /// Mean bytes per communication edge.
+    pub mean_edge_bytes: u64,
+    /// Software slowdown factor (sw_cycles = compute_cycles × this).
+    pub sw_factor: u64,
+    /// Fraction of kernels marked streamable, in percent.
+    pub streamable_pct: u8,
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        SyntheticSpec {
+            shape: Shape::Chain,
+            kernels: 4,
+            mean_compute_cycles: 150_000,
+            mean_edge_bytes: 256_000,
+            sw_factor: 8,
+            streamable_pct: 50,
+        }
+    }
+}
+
+/// Generate an application. Always valid (panics only on `kernels < 2`).
+pub fn generate(spec: &SyntheticSpec, rng: &mut impl Rng) -> AppSpec {
+    assert!(spec.kernels >= 2, "need at least two kernels");
+    let n = spec.kernels;
+    let jitter = |rng: &mut dyn rand::RngCore, mean: u64| -> u64 {
+        // ±50% uniform jitter, at least 1.
+        let lo = mean / 2;
+        let hi = mean + mean / 2;
+        rng.gen_range(lo.max(1)..=hi.max(2))
+    };
+
+    let kernels: Vec<KernelSpec> = (0..n)
+        .map(|i| {
+            let cc = jitter(rng, spec.mean_compute_cycles);
+            let mut k = KernelSpec::new(
+                i as u32,
+                format!("k{i}"),
+                cc,
+                cc * spec.sw_factor,
+                Resources::new(rng.gen_range(800..4_000), rng.gen_range(800..4_000)),
+            );
+            k.streamable = rng.gen_range(0u8..100) < spec.streamable_pct;
+            k
+        })
+        .collect();
+
+    let eb = |rng: &mut dyn rand::RngCore| -> u64 {
+        // Round to a bus burst so θ is exact.
+        (jitter(rng, spec.mean_edge_bytes) / 128).max(1) * 128
+    };
+
+    let mut edges: Vec<CommEdge> = Vec::new();
+    match spec.shape {
+        Shape::Chain => {
+            edges.push(CommEdge::h2k(0u32, eb(rng)));
+            for i in 0..n - 1 {
+                edges.push(CommEdge::k2k(i as u32, (i + 1) as u32, eb(rng)));
+            }
+            edges.push(CommEdge::k2h((n - 1) as u32, eb(rng)));
+        }
+        Shape::FanOut => {
+            edges.push(CommEdge::h2k(0u32, eb(rng)));
+            for i in 1..n {
+                edges.push(CommEdge::k2k(0u32, i as u32, eb(rng)));
+                edges.push(CommEdge::k2h(i as u32, eb(rng)));
+            }
+        }
+        Shape::Diamond => {
+            edges.push(CommEdge::h2k(0u32, eb(rng)));
+            let last = (n - 1) as u32;
+            for i in 1..n - 1 {
+                edges.push(CommEdge::k2k(0u32, i as u32, eb(rng)));
+                edges.push(CommEdge::k2k(i as u32, last, eb(rng)));
+            }
+            edges.push(CommEdge::k2h(last, eb(rng)));
+        }
+        Shape::Random { density_pct } => {
+            edges.push(CommEdge::h2k(0u32, eb(rng)));
+            for i in 0..n {
+                for j in i + 1..n {
+                    if rng.gen_range(0..100) < density_pct.min(100) {
+                        edges.push(CommEdge::k2k(i as u32, j as u32, eb(rng)));
+                    }
+                }
+            }
+            edges.push(CommEdge::k2h((n - 1) as u32, eb(rng)));
+        }
+    }
+
+    AppSpec::new(
+        format!("synthetic-{:?}-{}", spec.shape, n),
+        HostSpec::powerpc_400mhz(),
+        Frequency::from_mhz(100),
+        kernels,
+        edges,
+        jitter(rng, spec.mean_compute_cycles),
+    )
+    .expect("generated app is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen(shape: Shape, n: usize, seed: u64) -> AppSpec {
+        let spec = SyntheticSpec {
+            shape,
+            kernels: n,
+            ..SyntheticSpec::default()
+        };
+        generate(&spec, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn all_shapes_generate_valid_dags() {
+        for shape in [
+            Shape::Chain,
+            Shape::FanOut,
+            Shape::Diamond,
+            Shape::Random { density_pct: 40 },
+        ] {
+            for n in [2usize, 4, 9] {
+                let app = gen(shape, n, 7);
+                assert!(app.validate().is_ok(), "{shape:?} n={n}");
+                assert!(app.topo_order().is_some(), "{shape:?} n={n}");
+                assert_eq!(app.n_kernels(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_is_a_chain() {
+        let app = gen(Shape::Chain, 5, 1);
+        assert_eq!(app.k2k_edges().count(), 4);
+        let order = app.topo_order().unwrap();
+        // Chain topo order is the identity.
+        assert_eq!(order, app.kernel_ids().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gen(Shape::Random { density_pct: 50 }, 6, 9);
+        let b = gen(Shape::Random { density_pct: 50 }, 6, 9);
+        let c = gen(Shape::Random { density_pct: 50 }, 6, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edge_bytes_are_burst_aligned() {
+        let app = gen(Shape::FanOut, 6, 3);
+        for e in &app.edges {
+            assert_eq!(e.bytes % 128, 0, "{e:?}");
+            assert!(e.bytes > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn one_kernel_panics() {
+        gen(Shape::Chain, 1, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! BRAM bank planning.
+//!
+//! A Virtex-5 block RAM holds 36 kbit and can be configured in several
+//! aspect ratios (32k×1 … 1k×36, or split as two independent 18 kbit
+//! halves). A kernel's local memory of a given capacity and port width is
+//! realized as a *bank* of such blocks: enough blocks in parallel to cover
+//! the port width, replicated in depth to cover the capacity. This module
+//! computes that arrangement — the last resource dimension of a system
+//! (Table IV counts LUTs/registers; BRAMs bound how many kernels fit in
+//! practice).
+
+use serde::{Deserialize, Serialize};
+
+/// Usable configurations of one 36 kbit block (width in bits × depth).
+/// Parity bits included for the ×9/×18/×36 shapes, as in the silicon.
+pub const BLOCK_SHAPES: [(u32, u32); 6] = [
+    (1, 32_768),
+    (2, 16_384),
+    (4, 8_192),
+    (9, 4_096),
+    (18, 2_048),
+    (36, 1_024),
+];
+
+/// A realized local-memory bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankPlan {
+    /// Blocks wired in parallel to supply the port width.
+    pub blocks_wide: u32,
+    /// Block rows stacked to supply the depth.
+    pub blocks_deep: u32,
+    /// The per-block shape used (width bits, depth words).
+    pub shape: (u32, u32),
+    /// Capacity actually provided, in bytes (≥ requested).
+    pub bytes: u64,
+}
+
+impl BankPlan {
+    /// Total 36 kbit blocks consumed.
+    pub fn blocks(&self) -> u32 {
+        self.blocks_wide * self.blocks_deep
+    }
+
+    /// Overprovisioning factor (provided / requested); 1.0 = perfect fit.
+    pub fn overhead(&self, requested_bytes: u64) -> f64 {
+        if requested_bytes == 0 {
+            return 1.0;
+        }
+        self.bytes as f64 / requested_bytes as f64
+    }
+}
+
+/// Plan the cheapest bank (fewest blocks, ties broken by least
+/// overprovisioned bytes) providing `bytes` of capacity behind a
+/// `port_width_bits`-wide port.
+pub fn plan_banks(bytes: u64, port_width_bits: u32) -> BankPlan {
+    assert!(port_width_bits > 0, "zero-width port");
+    let bytes = bytes.max(1);
+    let words_needed = |shape_w: u32| -> u64 {
+        // Depth in port words: total bits / port width, rounded up.
+        let _ = shape_w;
+        (bytes * 8).div_ceil(port_width_bits as u64)
+    };
+    let mut best: Option<BankPlan> = None;
+    for &(w, d) in &BLOCK_SHAPES {
+        let wide = port_width_bits.div_ceil(w);
+        let deep = words_needed(w).div_ceil(d as u64) as u32;
+        let provided_bits = wide as u64 * deep as u64 * (w as u64 * d as u64);
+        let plan = BankPlan {
+            blocks_wide: wide,
+            blocks_deep: deep,
+            shape: (w, d),
+            bytes: provided_bits / 8,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                plan.blocks() < b.blocks()
+                    || (plan.blocks() == b.blocks() && plan.bytes < b.bytes)
+            }
+        };
+        if better {
+            best = Some(plan);
+        }
+    }
+    best.expect("BLOCK_SHAPES is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_memory_fits_one_block() {
+        // 4 KB behind a 32-bit port: one 36 kbit block in ×36 shape.
+        let p = plan_banks(4_096, 32);
+        assert_eq!(p.blocks(), 1);
+        assert!(p.bytes >= 4_096);
+    }
+
+    #[test]
+    fn capacity_always_covered() {
+        for bytes in [1u64, 100, 4_608, 10_000, 1 << 16, 1 << 20] {
+            for width in [8u32, 32, 64] {
+                let p = plan_banks(bytes, width);
+                assert!(
+                    p.bytes >= bytes,
+                    "{bytes}B @ {width}b: provided {} only",
+                    p.bytes
+                );
+                // Width actually covered.
+                assert!(p.blocks_wide * p.shape.0 >= width);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_ports_need_parallel_blocks() {
+        // A 64-bit port cannot be served by one ×36 block.
+        let p = plan_banks(1_024, 64);
+        assert!(p.blocks_wide >= 2);
+    }
+
+    #[test]
+    fn blocks_scale_linearly_with_capacity() {
+        let small = plan_banks(1 << 14, 32); // 16 KB
+        let large = plan_banks(1 << 17, 32); // 128 KB
+        let ratio = large.blocks() as f64 / small.blocks() as f64;
+        assert!((6.0..=10.0).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn overhead_is_bounded_for_aligned_sizes() {
+        // Power-of-two capacities behind a 32-bit port waste little.
+        let p = plan_banks(1 << 15, 32);
+        assert!(p.overhead(1 << 15) <= 1.15, "{}", p.overhead(1 << 15));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-width")]
+    fn zero_width_port_panics() {
+        plan_banks(100, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # hic-mem — on-chip and off-chip memory models
+//!
+//! Two memory substrates of the paper's platform:
+//!
+//! * [`bram`] — the dual-port block RAMs used as kernel local memories.
+//!   BRAM ports are the scarce resource that shapes the shared-local-memory
+//!   solution: a Virtex BRAM has exactly two ports, one of which is normally
+//!   taken by the host/bus connection, so sharing memories between kernels
+//!   needs either the 2×2 crossbar or (when the consumer kernel has no host
+//!   traffic) a direct connection; and a local memory touched by more agents
+//!   than it has ports needs a multiplexer — exactly the situation of the
+//!   duplicated `huff_ac_dec` kernels in the paper's jpeg system.
+//! * [`sdram`] — the off-chip main memory behind the host, modeled with a
+//!   fixed access latency plus per-byte streaming bandwidth. The bus
+//!   simulator composes this into end-to-end transfer times.
+//! * [`banking`] — BRAM bank planning: how many 36 kbit blocks, in which
+//!   aspect ratio, realize a local memory of a given capacity and port
+//!   width.
+
+#![warn(missing_docs)]
+
+pub mod banking;
+pub mod bram;
+pub mod sdram;
+
+pub use banking::{plan_banks, BankPlan};
+pub use bram::{BramSpec, MemAgent, PortPlan, PortPlanError};
+pub use sdram::SdramSpec;

@@ -1,0 +1,96 @@
+//! Off-chip SDRAM main-memory timing model.
+//!
+//! The paper's host keeps application data in off-chip SDRAM; every baseline
+//! transfer host↔kernel therefore pays main-memory access cost in addition
+//! to bus occupancy. We model the classic first-word-latency + streaming
+//! bandwidth shape: a burst of `n` bytes takes
+//! `first_access_cycles + ceil(n / bytes_per_cycle)` memory-clock cycles.
+
+use hic_fabric::time::{Frequency, Time};
+use serde::{Deserialize, Serialize};
+
+/// Static description of the off-chip main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SdramSpec {
+    /// Memory controller clock.
+    pub clock: Frequency,
+    /// Cycles from request to first data beat (row activate + CAS).
+    pub first_access_cycles: u64,
+    /// Bytes streamed per cycle once the burst is open.
+    pub bytes_per_cycle: u64,
+}
+
+impl SdramSpec {
+    /// A DDR2-333-class part behind a 100 MHz controller, matching the
+    /// ML510's off-chip memory order of magnitude.
+    pub fn ml510_default() -> Self {
+        SdramSpec {
+            clock: Frequency::from_mhz(100),
+            first_access_cycles: 12,
+            bytes_per_cycle: 8,
+        }
+    }
+
+    /// Cycles to move `bytes` in one burst.
+    pub fn burst_cycles(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.first_access_cycles + bytes.div_ceil(self.bytes_per_cycle)
+    }
+
+    /// Wall time to move `bytes` in one burst.
+    pub fn burst_time(&self, bytes: u64) -> Time {
+        self.clock.cycles(self.burst_cycles(bytes))
+    }
+
+    /// Effective bandwidth of a burst of `bytes`, in bytes/second.
+    pub fn effective_bandwidth(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        bytes as f64 / self.burst_time(bytes).as_secs_f64()
+    }
+}
+
+impl Default for SdramSpec {
+    fn default() -> Self {
+        SdramSpec::ml510_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_cost_nothing() {
+        let s = SdramSpec::default();
+        assert_eq!(s.burst_cycles(0), 0);
+        assert_eq!(s.burst_time(0), Time::ZERO);
+    }
+
+    #[test]
+    fn burst_shape_latency_plus_stream() {
+        let s = SdramSpec {
+            clock: Frequency::from_mhz(100),
+            first_access_cycles: 10,
+            bytes_per_cycle: 8,
+        };
+        assert_eq!(s.burst_cycles(1), 11);
+        assert_eq!(s.burst_cycles(8), 11);
+        assert_eq!(s.burst_cycles(9), 12);
+        assert_eq!(s.burst_cycles(64), 18);
+        assert_eq!(s.burst_time(64), Time::from_ns(180));
+    }
+
+    #[test]
+    fn bandwidth_approaches_peak_for_long_bursts() {
+        let s = SdramSpec::ml510_default();
+        // Peak = 8 B/cycle at 100 MHz = 800 MB/s.
+        let bw_long = s.effective_bandwidth(1 << 20);
+        let bw_short = s.effective_bandwidth(16);
+        assert!(bw_long > 0.99 * 800e6, "{bw_long}");
+        assert!(bw_short < 0.25 * 800e6, "{bw_short}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Packets and flits.
+//!
+//! A message entering the NoC is segmented into packets; a packet is
+//! serialized into flits (flow-control digits), the unit of buffer
+//! allocation and link traversal in a wormhole network. The head flit
+//! carries the route; body flits follow the path the head opened; the tail
+//! flit releases it.
+
+use crate::topology::Coord;
+use serde::{Deserialize, Serialize};
+
+/// Unique packet identifier within one network run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PacketId(pub u64);
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlitKind {
+    /// First flit; carries routing information.
+    Head,
+    /// Middle flit.
+    Body,
+    /// Last flit; releases the wormhole path. A single-flit packet is
+    /// `HeadTail`.
+    Tail,
+    /// Head and tail at once (single-flit packet).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// Whether this flit opens a path (head of a packet).
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// Whether this flit closes a path (tail of a packet).
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// One flit in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// Head/body/tail marker.
+    pub kind: FlitKind,
+    /// Destination router (copied into every flit so the simulator never
+    /// needs a side table; real routers keep it only in the head).
+    pub dst: Coord,
+    /// Payload bytes carried (the tail flit may be partial).
+    pub payload: u32,
+}
+
+/// A packet to be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Identifier (assigned by the network on injection).
+    pub id: PacketId,
+    /// Source router.
+    pub src: Coord,
+    /// Destination router.
+    pub dst: Coord,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+impl Packet {
+    /// Serialize into flits of `flit_payload` bytes each.
+    ///
+    /// Zero-byte packets still produce one `HeadTail` flit: a message
+    /// exists even when empty (it signals availability).
+    pub fn flitize(&self, flit_payload: u32) -> Vec<Flit> {
+        assert!(flit_payload > 0, "flit payload must be positive");
+        let n = (self.bytes.div_ceil(flit_payload as u64)).max(1) as usize;
+        (0..n)
+            .map(|i| {
+                let kind = match (i, n) {
+                    (0, 1) => FlitKind::HeadTail,
+                    (0, _) => FlitKind::Head,
+                    (i, n) if i == n - 1 => FlitKind::Tail,
+                    _ => FlitKind::Body,
+                };
+                let carried = if i == n - 1 {
+                    (self.bytes - (n as u64 - 1) * flit_payload as u64).min(flit_payload as u64)
+                        as u32
+                } else {
+                    flit_payload
+                };
+                Flit {
+                    packet: self.id,
+                    kind,
+                    dst: self.dst,
+                    payload: carried,
+                }
+            })
+            .collect()
+    }
+
+    /// Number of flits at a given flit payload size.
+    pub fn flit_count(&self, flit_payload: u32) -> u64 {
+        self.bytes.div_ceil(flit_payload as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(bytes: u64) -> Packet {
+        Packet {
+            id: PacketId(1),
+            src: Coord::new(0, 0),
+            dst: Coord::new(1, 1),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn single_flit_packet_is_headtail() {
+        let flits = pkt(3).flitize(4);
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::HeadTail);
+        assert_eq!(flits[0].payload, 3);
+        assert!(flits[0].kind.is_head() && flits[0].kind.is_tail());
+    }
+
+    #[test]
+    fn multi_flit_structure() {
+        let flits = pkt(10).flitize(4);
+        assert_eq!(flits.len(), 3);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Body);
+        assert_eq!(flits[2].kind, FlitKind::Tail);
+        assert_eq!(flits[2].payload, 2);
+        let total: u64 = flits.iter().map(|f| f.payload as u64).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn zero_byte_packet_still_signals() {
+        let flits = pkt(0).flitize(4);
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].payload, 0);
+        assert_eq!(pkt(0).flit_count(4), 1);
+    }
+
+    #[test]
+    fn exact_multiple_has_full_tail() {
+        let flits = pkt(8).flitize(4);
+        assert_eq!(flits.len(), 2);
+        assert_eq!(flits[1].payload, 4);
+    }
+
+    #[test]
+    fn flit_count_matches_flitize() {
+        for bytes in [0u64, 1, 4, 5, 127, 128, 1000] {
+            assert_eq!(pkt(bytes).flit_count(4), pkt(bytes).flitize(4).len() as u64);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # hic-noc — flit-level 2D-mesh network-on-chip
+//!
+//! The NoC half of the paper's hybrid interconnect: a wormhole-switched 2D
+//! mesh with XY routing and weighted-round-robin output arbitration,
+//! following the scalable QoS router of Heisswolf et al. (ISPAW 2012) that
+//! the paper adapts into its system.
+//!
+//! * [`topology`] — mesh coordinates, XY routing, Manhattan distances.
+//! * [`flit`] — packets and their flit serialization.
+//! * [`router`] — the five-port input-buffered wormhole router and its WRR
+//!   arbiter.
+//! * [`network`] — the cycle-stepped network: inject/decide/apply phases,
+//!   delivery records, latency and throughput statistics.
+//! * [`adapter`] — kernel and local-memory network adapters (Table II
+//!   costs) and message segmentation.
+//! * [`placement`] — traffic-weighted node placement (exhaustive for the
+//!   paper-scale instances, greedy descent beyond).
+//! * [`latency`] — the closed-form no-load latency model used by the
+//!   full-system simulator, validated against the flit simulator.
+//! * [`traffic`] — synthetic traffic patterns (uniform, transpose,
+//!   complement, hotspot, neighbor) and offered-load/latency sweeps.
+//! * [`qos`] — traffic-proportional WRR weight derivation (the QoS knob of
+//!   the Heisswolf router), programmed per router×input-port.
+
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod flit;
+pub mod latency;
+pub mod network;
+pub mod placement;
+pub mod qos;
+pub mod router;
+pub mod traffic;
+pub mod topology;
+
+pub use adapter::{AdapterKind, AdapterSpec};
+pub use flit::{Flit, FlitKind, Packet, PacketId};
+pub use latency::LatencyModel;
+pub use network::{DeliveredPacket, DrainTimeout, Network, NocConfig};
+pub use placement::{place, place_exhaustive, place_greedy, place_naive, NocNode, Placement, Traffic};
+pub use qos::{derive_weights, WeightPlan};
+pub use router::{Router, WrrArbiter, PORTS};
+pub use traffic::{load_sweep, LoadPoint, Pattern};
+pub use topology::{Coord, Direction, Mesh, Routing};

@@ -1,0 +1,492 @@
+//! The cycle-stepped mesh network.
+//!
+//! Every [`step`](Network::step) advances one NoC clock cycle in three
+//! phases: inject (node→local FIFO), decide (all routers arbitrate against
+//! a pre-move buffer-space snapshot), apply (flits traverse one router and
+//! land in the neighbor's input FIFO or eject). Using a snapshot for the
+//! space check makes the update order-independent: a link carries at most
+//! one flit per cycle and a FIFO is never overfilled.
+
+// Index loops over fixed-size port/coefficient arrays read more
+// naturally than iterator chains here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::flit::{Flit, Packet, PacketId};
+use crate::router::{Move, Router, PORTS};
+use crate::topology::{Coord, Direction, Mesh, Routing};
+use hic_fabric::time::Frequency;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Static NoC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Mesh dimensions.
+    pub mesh: Mesh,
+    /// NoC clock. The Heisswolf router synthesizes at 150 MHz (Table II);
+    /// in-system it is clocked with the 100 MHz kernel domain.
+    pub clock: Frequency,
+    /// Flit payload in bytes (4 = 32-bit links).
+    pub flit_payload: u32,
+    /// Input FIFO depth in flits.
+    pub buffer_flits: usize,
+    /// Routing algorithm.
+    pub routing: Routing,
+}
+
+impl NocConfig {
+    /// The configuration used throughout the paper reproduction: 32-bit
+    /// links, 4-flit buffers, 100 MHz, mesh sized to the node count.
+    pub fn paper_default(mesh: Mesh) -> Self {
+        NocConfig {
+            mesh,
+            clock: Frequency::from_mhz(100),
+            flit_payload: 4,
+            buffer_flits: 4,
+            routing: Routing::Xy,
+        }
+    }
+}
+
+/// A packet that completed its journey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveredPacket {
+    /// Packet id.
+    pub id: PacketId,
+    /// Source router.
+    pub src: Coord,
+    /// Destination router.
+    pub dst: Coord,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Cycle the packet was handed to the source node.
+    pub injected: u64,
+    /// Cycle the tail flit ejected at the destination.
+    pub delivered: u64,
+}
+
+impl DeliveredPacket {
+    /// End-to-end latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.delivered - self.injected
+    }
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    src: Coord,
+    dst: Coord,
+    bytes: u64,
+    injected: u64,
+}
+
+/// Error from [`Network::run_until_drained`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainTimeout {
+    /// Packets still undelivered when the cycle budget ran out.
+    pub undelivered: usize,
+}
+
+impl std::fmt::Display for DrainTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "network failed to drain: {} packets in flight",
+            self.undelivered
+        )
+    }
+}
+
+impl std::error::Error for DrainTimeout {}
+
+/// The mesh network simulator.
+#[derive(Debug)]
+pub struct Network {
+    cfg: NocConfig,
+    routers: Vec<Router>,
+    inject: Vec<VecDeque<Flit>>,
+    inflight: HashMap<PacketId, InFlight>,
+    delivered: Vec<DeliveredPacket>,
+    cycle: u64,
+    next_id: u64,
+    space_scratch: Vec<[bool; PORTS]>,
+}
+
+impl Network {
+    /// Build an idle network.
+    pub fn new(cfg: NocConfig) -> Self {
+        let routers = (0..cfg.mesh.len())
+            .map(|i| Router::new(cfg.mesh.coord(i), cfg.buffer_flits))
+            .collect();
+        Network {
+            cfg,
+            routers,
+            inject: vec![VecDeque::new(); cfg.mesh.len()],
+            inflight: HashMap::new(),
+            delivered: Vec::new(),
+            cycle: 0,
+            next_id: 0,
+            space_scratch: vec![[false; PORTS]; cfg.mesh.len()],
+        }
+    }
+
+    /// Jump the clock forward to `cycle` without stepping. Only valid when
+    /// the network is completely idle (nothing would have moved anyway).
+    ///
+    /// # Panics
+    /// If traffic is in flight, or `cycle` is in the past.
+    pub fn advance_idle_to(&mut self, cycle: u64) {
+        assert!(self.is_drained(), "advance_idle_to with traffic in flight");
+        assert!(cycle >= self.cycle, "cannot rewind the network clock");
+        self.cycle = cycle;
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Program the WRR weights of one router's output arbiters.
+    pub fn set_router_weights(&mut self, at: Coord, weights: [u32; PORTS]) {
+        assert!(self.cfg.mesh.contains(at), "router off mesh");
+        let idx = self.cfg.mesh.index(at);
+        self.routers[idx].set_weights(weights);
+    }
+
+    /// Hand a message to the source node for injection. The message is
+    /// serialized into flits and trickles into the network as buffer space
+    /// allows.
+    pub fn send(&mut self, src: Coord, dst: Coord, bytes: u64) -> PacketId {
+        assert!(self.cfg.mesh.contains(src), "src off mesh");
+        assert!(self.cfg.mesh.contains(dst), "dst off mesh");
+        let id = PacketId(self.next_id);
+        self.next_id += 1;
+        let pkt = Packet {
+            id,
+            src,
+            dst,
+            bytes,
+        };
+        let node = self.cfg.mesh.index(src);
+        for flit in pkt.flitize(self.cfg.flit_payload) {
+            self.inject[node].push_back(flit);
+        }
+        self.inflight.insert(
+            id,
+            InFlight {
+                src,
+                dst,
+                bytes,
+                injected: self.cycle,
+            },
+        );
+        id
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        let mesh = self.cfg.mesh;
+        let local = Direction::Local.index();
+
+        // Phase 0: injection into local input FIFOs.
+        for (node, queue) in self.inject.iter_mut().enumerate() {
+            while !queue.is_empty() && self.routers[node].has_space(local) {
+                let flit = queue.pop_front().expect("checked non-empty");
+                self.routers[node].accept(local, flit);
+            }
+        }
+
+        // Phase 1: snapshot downstream space (scratch buffer, no alloc).
+        let mut space = std::mem::take(&mut self.space_scratch);
+        for (i, r) in self.routers.iter().enumerate() {
+            for d in Direction::ALL {
+                space[i][d.index()] = match d {
+                    Direction::Local => true, // ejection is always ready
+                    _ => mesh
+                        .neighbor(r.coord, d)
+                        .map(|n| self.routers[mesh.index(n)].has_space(d.opposite().index()))
+                        .unwrap_or(false),
+                };
+            }
+        }
+
+        // Phase 2: decide everywhere against the snapshot.
+        let mut all_moves: Vec<(usize, Vec<Move>)> = Vec::with_capacity(self.routers.len());
+        for i in 0..self.routers.len() {
+            let moves = self.routers[i].decide_routed(mesh, self.cfg.routing, space[i]);
+            if !moves.is_empty() {
+                all_moves.push((i, moves));
+            }
+        }
+
+        // Phase 3: apply.
+        for (i, moves) in all_moves {
+            for mv in moves {
+                let flit = self.routers[i].apply(mv);
+                if mv.output == local {
+                    if flit.kind.is_tail() {
+                        let fin = self
+                            .inflight
+                            .remove(&flit.packet)
+                            .expect("tail of unknown packet");
+                        self.delivered.push(DeliveredPacket {
+                            id: flit.packet,
+                            src: fin.src,
+                            dst: fin.dst,
+                            bytes: fin.bytes,
+                            injected: fin.injected,
+                            delivered: self.cycle + 1,
+                        });
+                    }
+                } else {
+                    let from = self.routers[i].coord;
+                    let dir = Direction::ALL[mv.output];
+                    let n = mesh.neighbor(from, dir).expect("move off the mesh edge");
+                    let n_idx = mesh.index(n);
+                    self.routers[n_idx].accept(dir.opposite().index(), flit);
+                }
+            }
+        }
+
+        self.space_scratch = space;
+        self.cycle += 1;
+    }
+
+    /// True when no traffic remains anywhere.
+    pub fn is_drained(&self) -> bool {
+        self.inflight.is_empty() && self.inject.iter().all(|q| q.is_empty())
+    }
+
+    /// Step until drained or until `max_cycles` more cycles have elapsed.
+    pub fn run_until_drained(&mut self, max_cycles: u64) -> Result<u64, DrainTimeout> {
+        let start = self.cycle;
+        while !self.is_drained() {
+            if self.cycle - start >= max_cycles {
+                return Err(DrainTimeout {
+                    undelivered: self.inflight.len(),
+                });
+            }
+            self.step();
+        }
+        Ok(self.cycle - start)
+    }
+
+    /// Packets delivered so far, in delivery order.
+    pub fn delivered(&self) -> &[DeliveredPacket] {
+        &self.delivered
+    }
+
+    /// Mean end-to-end latency of delivered packets, in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered.is_empty() {
+            return 0.0;
+        }
+        self.delivered.iter().map(|p| p.latency()).sum::<u64>() as f64
+            / self.delivered.len() as f64
+    }
+
+    /// Maximum end-to-end latency of delivered packets, in cycles.
+    pub fn max_latency(&self) -> u64 {
+        self.delivered.iter().map(|p| p.latency()).max().unwrap_or(0)
+    }
+
+    /// Delivered payload bytes per cycle over the elapsed simulation.
+    pub fn throughput(&self) -> f64 {
+        if self.cycle == 0 {
+            return 0.0;
+        }
+        self.delivered.iter().map(|p| p.bytes).sum::<u64>() as f64 / self.cycle as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(w: u16, h: u16) -> Network {
+        Network::new(NocConfig::paper_default(Mesh::new(w, h)))
+    }
+
+    #[test]
+    fn single_packet_no_load_latency() {
+        let mut n = net(3, 3);
+        // 2 hops (East, East) + ejection; 1 flit.
+        n.send(Coord::new(0, 0), Coord::new(2, 0), 4);
+        n.run_until_drained(100).unwrap();
+        let d = n.delivered()[0];
+        // Inject + route through 3 routers, eject on the last: h + 1 = 3.
+        assert_eq!(d.latency(), 3);
+    }
+
+    #[test]
+    fn multi_flit_latency_adds_serialization() {
+        let mut n = net(3, 3);
+        n.send(Coord::new(0, 0), Coord::new(2, 0), 16); // 4 flits
+        n.run_until_drained(100).unwrap();
+        // Tail trails head by 3 cycles: 3 + 3 = 6.
+        assert_eq!(n.delivered()[0].latency(), 6);
+    }
+
+    #[test]
+    fn local_delivery_works() {
+        let mut n = net(2, 2);
+        n.send(Coord::new(1, 1), Coord::new(1, 1), 4);
+        n.run_until_drained(10).unwrap();
+        assert_eq!(n.delivered().len(), 1);
+        assert_eq!(n.delivered()[0].latency(), 1); // same-node turnaround
+    }
+
+    #[test]
+    fn all_packets_delivered_under_random_traffic() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut n = net(4, 4);
+        let mesh = Mesh::new(4, 4);
+        let mut sent = 0u64;
+        for _ in 0..200 {
+            let s = mesh.coord(rng.gen_range(0..mesh.len()));
+            let d = mesh.coord(rng.gen_range(0..mesh.len()));
+            let bytes = rng.gen_range(0..64);
+            n.send(s, d, bytes);
+            sent += 1;
+            // Interleave some stepping so injection queues drain.
+            for _ in 0..rng.gen_range(0..4) {
+                n.step();
+            }
+        }
+        n.run_until_drained(100_000).unwrap();
+        assert_eq!(n.delivered().len() as u64, sent);
+        let payload: u64 = n.delivered().iter().map(|p| p.bytes).sum();
+        assert!(payload > 0);
+    }
+
+    #[test]
+    fn contention_serializes_on_shared_link() {
+        // Two sources send to the same destination through the same final
+        // link; total time must exceed either packet alone.
+        let mut solo = net(3, 1);
+        solo.send(Coord::new(0, 0), Coord::new(2, 0), 64);
+        let solo_cycles = solo.run_until_drained(1000).unwrap();
+
+        let mut n = net(3, 1);
+        n.send(Coord::new(0, 0), Coord::new(2, 0), 64);
+        n.send(Coord::new(1, 0), Coord::new(2, 0), 64);
+        n.run_until_drained(1000).unwrap();
+        assert_eq!(n.delivered().len(), 2);
+        let last = n.delivered().iter().map(|p| p.delivered).max().unwrap();
+        assert!(last > solo_cycles, "{last} vs {solo_cycles}");
+    }
+
+    #[test]
+    fn drain_timeout_reports_undelivered() {
+        let mut n = net(2, 1);
+        n.send(Coord::new(0, 0), Coord::new(1, 0), 1 << 20);
+        let err = n.run_until_drained(3).unwrap_err();
+        assert_eq!(err.undelivered, 1);
+    }
+
+    #[test]
+    fn parallel_disjoint_flows_do_not_interfere() {
+        // Row 0 and row 1 flows never share a link under XY routing, so
+        // both finish in the solo time.
+        let mut solo = net(4, 2);
+        solo.send(Coord::new(0, 0), Coord::new(3, 0), 256);
+        let solo_cycles = solo.run_until_drained(10_000).unwrap();
+
+        let mut n = net(4, 2);
+        n.send(Coord::new(0, 0), Coord::new(3, 0), 256);
+        n.send(Coord::new(0, 1), Coord::new(3, 1), 256);
+        let both_cycles = n.run_until_drained(10_000).unwrap();
+        assert_eq!(solo_cycles, both_cycles);
+    }
+
+    #[test]
+    fn west_first_delivers_everything_under_random_traffic() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        let mesh = Mesh::new(4, 4);
+        let mut n = Network::new(NocConfig {
+            routing: Routing::WestFirst,
+            ..NocConfig::paper_default(mesh)
+        });
+        let mut sent_bytes = 0u64;
+        let mut sent = 0usize;
+        for _ in 0..300 {
+            let s = mesh.coord(rng.gen_range(0..mesh.len()));
+            let d = mesh.coord(rng.gen_range(0..mesh.len()));
+            let bytes = rng.gen_range(0..96);
+            n.send(s, d, bytes);
+            sent += 1;
+            sent_bytes += bytes;
+            for _ in 0..rng.gen_range(0..3) {
+                n.step();
+            }
+        }
+        n.run_until_drained(500_000)
+            .expect("west-first must be deadlock-free");
+        assert_eq!(n.delivered().len(), sent);
+        assert_eq!(
+            n.delivered().iter().map(|p| p.bytes).sum::<u64>(),
+            sent_bytes
+        );
+        // Minimal routing: every latency respects the Manhattan bound.
+        for p in n.delivered() {
+            assert!(p.latency() > p.src.manhattan(p.dst) as u64);
+        }
+    }
+
+    #[test]
+    fn adaptive_routing_routes_around_a_congested_column() {
+        // Persistent north→south traffic saturates column x=1; a flow from
+        // (0,0) to (1,2) that XY would force through that column can adapt
+        // under west-first (go south along x=0, enter the column late).
+        let mesh = Mesh::new(3, 3);
+        let run = |routing: Routing| -> f64 {
+            let mut n = Network::new(NocConfig {
+                routing,
+                ..NocConfig::paper_default(mesh)
+            });
+            for round in 0..120 {
+                n.send(Coord::new(1, 0), Coord::new(1, 2), 32); // column hog
+                if round % 2 == 0 {
+                    n.send(Coord::new(0, 0), Coord::new(1, 2), 8); // victim
+                }
+                for _ in 0..4 {
+                    n.step();
+                }
+            }
+            let _ = n.run_until_drained(200_000);
+            let lat: Vec<u64> = n
+                .delivered()
+                .iter()
+                .filter(|p| p.src == Coord::new(0, 0))
+                .map(|p| p.latency())
+                .collect();
+            lat.iter().sum::<u64>() as f64 / lat.len() as f64
+        };
+        let xy = run(Routing::Xy);
+        let wf = run(Routing::WestFirst);
+        assert!(
+            wf <= xy * 1.05,
+            "adaptive west-first should not lose: wf {wf:.1} vs xy {xy:.1}"
+        );
+    }
+
+    #[test]
+    fn throughput_and_latency_stats() {
+        let mut n = net(2, 1);
+        n.send(Coord::new(0, 0), Coord::new(1, 0), 4);
+        n.send(Coord::new(0, 0), Coord::new(1, 0), 4);
+        n.run_until_drained(100).unwrap();
+        assert!(n.mean_latency() > 0.0);
+        assert!(n.max_latency() >= n.mean_latency() as u64);
+        assert!(n.throughput() > 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Placement of kernels and local memories onto mesh routers.
+//!
+//! The paper's rule: "a kernel and its communicating local memories should
+//! be mapped to the NoC routers in such a way that the distance of these
+//! routers is shortest" — ideally adjacent. We solve the general problem:
+//! given the traffic matrix between NoC nodes, find the assignment of nodes
+//! to router coordinates minimizing total `bytes × hops` (XY hop count ==
+//! Manhattan distance). Exhaustive search for small instances (≤ 8 nodes,
+//! the sizes the paper's applications produce), greedy pairwise-swap
+//! descent with random restarts beyond that.
+
+// Index loops over fixed-size port/coefficient arrays read more
+// naturally than iterator chains here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::topology::{Coord, Mesh};
+use hic_fabric::{KernelId, MemoryId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A node attached to the NoC: a kernel datapath (through a kernel NA) or a
+/// local memory (through a memory NA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NocNode {
+    /// A hardware kernel.
+    Kernel(KernelId),
+    /// A local memory.
+    Memory(MemoryId),
+}
+
+impl fmt::Display for NocNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocNode::Kernel(k) => write!(f, "kernel {k}"),
+            NocNode::Memory(m) => write!(f, "mem {m}"),
+        }
+    }
+}
+
+/// Traffic between two NoC nodes, in bytes per application run.
+pub type Traffic = Vec<(NocNode, NocNode, u64)>;
+
+/// An assignment of NoC nodes to router coordinates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The mesh the nodes are placed on.
+    pub mesh: Mesh,
+    /// Node → router coordinate.
+    pub slots: BTreeMap<NocNode, Coord>,
+}
+
+impl Placement {
+    /// Coordinate of a node.
+    ///
+    /// # Panics
+    /// If the node was not placed.
+    pub fn coord(&self, n: NocNode) -> Coord {
+        self.slots[&n]
+    }
+
+    /// Total cost `Σ bytes × hops` of a traffic matrix under this
+    /// placement.
+    pub fn cost(&self, traffic: &Traffic) -> u64 {
+        traffic
+            .iter()
+            .map(|&(a, b, bytes)| {
+                bytes * self.coord(a).manhattan(self.coord(b)) as u64
+            })
+            .sum()
+    }
+
+    /// Mean hop distance over traffic pairs, weighted by bytes.
+    pub fn mean_hops(&self, traffic: &Traffic) -> f64 {
+        let bytes: u64 = traffic.iter().map(|t| t.2).sum();
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.cost(traffic) as f64 / bytes as f64
+    }
+}
+
+/// Place `nodes` on the smallest mesh that holds them, minimizing
+/// `Σ bytes × hops` over `traffic`.
+///
+/// Instances of up to 8 nodes are solved exactly by permutation search
+/// (8! = 40320 candidates); larger instances use greedy swap descent with
+/// `restarts` random restarts (deterministic for a given `rng`).
+pub fn place(nodes: &[NocNode], traffic: &Traffic, rng: &mut impl Rng) -> Placement {
+    assert!(!nodes.is_empty(), "cannot place zero nodes");
+    let mesh = Mesh::at_least(nodes.len());
+    if nodes.len() <= 8 {
+        place_exhaustive(mesh, nodes, traffic)
+    } else {
+        place_greedy(mesh, nodes, traffic, rng, 8)
+    }
+}
+
+/// Exact placement by exhaustive permutation over the first `n` router
+/// slots of `mesh`.
+pub fn place_exhaustive(mesh: Mesh, nodes: &[NocNode], traffic: &Traffic) -> Placement {
+    assert!(mesh.len() >= nodes.len());
+    let slots: Vec<Coord> = (0..mesh.len()).map(|i| mesh.coord(i)).collect();
+    let mut order: Vec<usize> = (0..nodes.len()).collect();
+    let mut best: Option<(u64, Placement)> = None;
+    permute(&mut order, 0, &mut |perm| {
+        let placement = Placement {
+            mesh,
+            slots: nodes
+                .iter()
+                .zip(perm.iter())
+                .map(|(&n, &s)| (n, slots[s]))
+                .collect(),
+        };
+        let c = placement.cost(traffic);
+        if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
+            best = Some((c, placement));
+        }
+    });
+    best.expect("at least one permutation").1
+}
+
+fn permute(order: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == order.len() {
+        visit(order);
+        return;
+    }
+    for i in k..order.len() {
+        order.swap(k, i);
+        permute(order, k + 1, visit);
+        order.swap(k, i);
+    }
+}
+
+/// Greedy pairwise-swap descent from random initial assignments.
+pub fn place_greedy(
+    mesh: Mesh,
+    nodes: &[NocNode],
+    traffic: &Traffic,
+    rng: &mut impl Rng,
+    restarts: usize,
+) -> Placement {
+    assert!(mesh.len() >= nodes.len());
+    let all_slots: Vec<Coord> = (0..mesh.len()).map(|i| mesh.coord(i)).collect();
+    let mut best: Option<(u64, Placement)> = None;
+
+    for _ in 0..restarts.max(1) {
+        let mut slots = all_slots.clone();
+        slots.shuffle(rng);
+        let mut assign: Vec<Coord> = slots[..nodes.len()].to_vec();
+        let mut cost = cost_of(mesh, nodes, &assign, traffic);
+        // Swap descent until no improving pairwise swap exists. Swaps also
+        // consider unused slots (as "virtual nodes"), letting nodes migrate
+        // into empty corners.
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for i in 0..nodes.len() {
+                // Try moving node i to every other slot (occupied → swap).
+                for s in 0..all_slots.len() {
+                    let target = all_slots[s];
+                    if assign[i] == target {
+                        continue;
+                    }
+                    let mut cand = assign.clone();
+                    if let Some(j) = cand.iter().position(|&c| c == target) {
+                        cand.swap(i, j);
+                    } else {
+                        cand[i] = target;
+                    }
+                    let c = cost_of(mesh, nodes, &cand, traffic);
+                    if c < cost {
+                        cost = c;
+                        assign = cand;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        let placement = Placement {
+            mesh,
+            slots: nodes.iter().copied().zip(assign.iter().copied()).collect(),
+        };
+        if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+            best = Some((cost, placement));
+        }
+    }
+    best.expect("restarts >= 1").1
+}
+
+fn cost_of(_mesh: Mesh, nodes: &[NocNode], assign: &[Coord], traffic: &Traffic) -> u64 {
+    let idx: BTreeMap<NocNode, Coord> = nodes.iter().copied().zip(assign.iter().copied()).collect();
+    traffic
+        .iter()
+        .map(|&(a, b, bytes)| bytes * idx[&a].manhattan(idx[&b]) as u64)
+        .sum()
+}
+
+/// A placement that ignores traffic (nodes in index order). The ablation
+/// baseline for the optimizer.
+pub fn place_naive(nodes: &[NocNode]) -> Placement {
+    let mesh = Mesh::at_least(nodes.len());
+    Placement {
+        mesh,
+        slots: nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, mesh.coord(i)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn k(i: u32) -> NocNode {
+        NocNode::Kernel(KernelId::new(i))
+    }
+    fn m(i: u32) -> NocNode {
+        NocNode::Memory(MemoryId::new(i))
+    }
+
+    #[test]
+    fn heavy_pair_is_placed_adjacent() {
+        let nodes = vec![k(0), k(1), m(0), m(1)];
+        let traffic = vec![(k(0), m(1), 1_000_000), (k(1), m(0), 1)];
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = place(&nodes, &traffic, &mut rng);
+        assert_eq!(p.coord(k(0)).manhattan(p.coord(m(1))), 1);
+    }
+
+    #[test]
+    fn exhaustive_beats_or_matches_naive() {
+        let nodes = vec![k(0), k(1), k(2), m(0), m(1), m(2)];
+        let traffic = vec![
+            (k(0), m(1), 500),
+            (k(1), m(2), 400),
+            (k(2), m(0), 300),
+            (k(0), m(2), 100),
+        ];
+        let naive = place_naive(&nodes);
+        let opt = place_exhaustive(naive.mesh, &nodes, &traffic);
+        assert!(opt.cost(&traffic) <= naive.cost(&traffic));
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_small_instance() {
+        let nodes = vec![k(0), k(1), m(0), m(1)];
+        let traffic = vec![
+            (k(0), m(0), 10),
+            (k(0), m(1), 90),
+            (k(1), m(0), 80),
+            (k(1), m(1), 20),
+        ];
+        let mesh = Mesh::at_least(nodes.len());
+        let exact = place_exhaustive(mesh, &nodes, &traffic);
+        let mut rng = StdRng::seed_from_u64(42);
+        let greedy = place_greedy(mesh, &nodes, &traffic, &mut rng, 8);
+        assert_eq!(greedy.cost(&traffic), exact.cost(&traffic));
+    }
+
+    #[test]
+    fn large_instance_uses_greedy_and_is_sane() {
+        let nodes: Vec<NocNode> = (0..10).map(k).collect();
+        // A ring of heavy traffic.
+        let traffic: Traffic = (0..10)
+            .map(|i| (k(i), k((i + 1) % 10), 100))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = place(&nodes, &traffic, &mut rng);
+        let naive = place_naive(&nodes);
+        assert!(p.cost(&traffic) <= naive.cost(&traffic));
+        // All nodes placed on distinct routers.
+        let mut coords: Vec<Coord> = p.slots.values().copied().collect();
+        coords.sort();
+        coords.dedup();
+        assert_eq!(coords.len(), nodes.len());
+    }
+
+    #[test]
+    fn zero_traffic_mean_hops_is_zero() {
+        let nodes = vec![k(0), k(1)];
+        let p = place_naive(&nodes);
+        assert_eq!(p.mean_hops(&vec![]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero nodes")]
+    fn empty_placement_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        place(&[], &vec![], &mut rng);
+    }
+}

@@ -1,0 +1,348 @@
+//! 2D-mesh topology, coordinates and XY routing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A router coordinate on the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column.
+    pub x: u16,
+    /// Row.
+    pub y: u16,
+}
+
+impl Coord {
+    /// Construct a coordinate.
+    pub const fn new(x: u16, y: u16) -> Self {
+        Coord { x, y }
+    }
+
+    /// Manhattan distance to `other` — the hop count of an XY route.
+    pub fn manhattan(self, other: Coord) -> u32 {
+        (self.x.abs_diff(other.x) + self.y.abs_diff(other.y)) as u32
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// Router port directions. `Local` is the node-attachment port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Toward decreasing y.
+    North,
+    /// Toward increasing x.
+    East,
+    /// Toward increasing y.
+    South,
+    /// Toward decreasing x.
+    West,
+    /// The local (ejection/injection) port.
+    Local,
+}
+
+impl Direction {
+    /// All five directions, in port-index order.
+    pub const ALL: [Direction; 5] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+        Direction::Local,
+    ];
+
+    /// Port index (0..5).
+    pub const fn index(self) -> usize {
+        match self {
+            Direction::North => 0,
+            Direction::East => 1,
+            Direction::South => 2,
+            Direction::West => 3,
+            Direction::Local => 4,
+        }
+    }
+
+    /// The opposite direction (`Local` is its own opposite).
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+            Direction::Local => Direction::Local,
+        }
+    }
+}
+
+/// Routing algorithm for the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Routing {
+    /// Dimension-ordered (deterministic, deadlock-free).
+    Xy,
+    /// West-first turn model (partially adaptive, deadlock-free): a packet
+    /// travels all the way west first; in the remaining quadrant it may
+    /// adaptively pick among the minimal east/north/south directions.
+    WestFirst,
+}
+
+/// A `w × h` 2D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh {
+    /// Width (columns).
+    pub w: u16,
+    /// Height (rows).
+    pub h: u16,
+}
+
+impl Mesh {
+    /// Construct a mesh. Panics on zero dimensions.
+    pub fn new(w: u16, h: u16) -> Self {
+        assert!(w > 0 && h > 0, "mesh dimensions must be positive");
+        Mesh { w, h }
+    }
+
+    /// Smallest (most square) mesh with at least `n` routers. Squarer
+    /// meshes minimize worst-case XY distance for a given router count.
+    pub fn at_least(n: usize) -> Self {
+        assert!(n > 0);
+        let mut w = 1u16;
+        while (w as usize) * (w as usize) < n {
+            w += 1;
+        }
+        let h = (n as u16).div_ceil(w);
+        Mesh::new(w, h.max(1))
+    }
+
+    /// Number of routers.
+    pub fn len(self) -> usize {
+        self.w as usize * self.h as usize
+    }
+
+    /// True for the degenerate 0-router mesh (cannot be constructed; kept
+    /// for API completeness).
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear router index of a coordinate.
+    pub fn index(self, c: Coord) -> usize {
+        debug_assert!(self.contains(c));
+        c.y as usize * self.w as usize + c.x as usize
+    }
+
+    /// Coordinate of a linear router index.
+    pub fn coord(self, i: usize) -> Coord {
+        Coord::new((i % self.w as usize) as u16, (i / self.w as usize) as u16)
+    }
+
+    /// Whether the coordinate is on the mesh.
+    pub fn contains(self, c: Coord) -> bool {
+        c.x < self.w && c.y < self.h
+    }
+
+    /// The neighbor of `c` in direction `d`, if any.
+    pub fn neighbor(self, c: Coord, d: Direction) -> Option<Coord> {
+        let n = match d {
+            Direction::North => Coord::new(c.x, c.y.checked_sub(1)?),
+            Direction::South => Coord::new(c.x, c.y + 1),
+            Direction::West => Coord::new(c.x.checked_sub(1)?, c.y),
+            Direction::East => Coord::new(c.x + 1, c.y),
+            Direction::Local => return None,
+        };
+        self.contains(n).then_some(n)
+    }
+
+    /// Dimension-ordered (XY) routing: the output direction a flit at `at`
+    /// takes toward `dst`. X is fully resolved before Y; at the destination
+    /// the flit ejects through `Local`. XY routing on a mesh is minimal and
+    /// deadlock-free, which is why it is the default in FPGA NoCs.
+    pub fn xy_route(self, at: Coord, dst: Coord) -> Direction {
+        if at.x < dst.x {
+            Direction::East
+        } else if at.x > dst.x {
+            Direction::West
+        } else if at.y < dst.y {
+            Direction::South
+        } else if at.y > dst.y {
+            Direction::North
+        } else {
+            Direction::Local
+        }
+    }
+
+    /// Minimal output directions toward `dst` under a routing algorithm.
+    /// At the destination the only option is `Local`.
+    pub fn route_options(self, at: Coord, dst: Coord, algo: Routing) -> Vec<Direction> {
+        if at == dst {
+            return vec![Direction::Local];
+        }
+        let mut opts = Vec::with_capacity(2);
+        let west = dst.x < at.x;
+        let east = dst.x > at.x;
+        let north = dst.y < at.y;
+        let south = dst.y > at.y;
+        match algo {
+            Routing::Xy => {
+                opts.push(self.xy_route(at, dst));
+            }
+            Routing::WestFirst => {
+                // Turn model: all turns into West are forbidden, so a
+                // westbound packet must go West first (no adaptivity);
+                // otherwise any minimal direction among {E, N, S} is legal.
+                if west {
+                    // Any later turn into West is forbidden, so the whole
+                    // westward component must be consumed immediately.
+                    opts.push(Direction::West);
+                } else {
+                    if east {
+                        opts.push(Direction::East);
+                    }
+                    if north {
+                        opts.push(Direction::North);
+                    }
+                    if south {
+                        opts.push(Direction::South);
+                    }
+                }
+            }
+        }
+        debug_assert!(!opts.is_empty());
+        opts
+    }
+
+    /// The full XY path from `src` to `dst`, inclusive of both endpoints.
+    pub fn xy_path(self, src: Coord, dst: Coord) -> Vec<Coord> {
+        let mut path = vec![src];
+        let mut at = src;
+        while at != dst {
+            let d = self.xy_route(at, dst);
+            at = self.neighbor(at, d).expect("XY route leaves the mesh");
+            path.push(at);
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_coord_round_trip() {
+        let m = Mesh::new(3, 2);
+        for i in 0..m.len() {
+            assert_eq!(m.index(m.coord(i)), i);
+        }
+        assert_eq!(m.coord(4), Coord::new(1, 1));
+    }
+
+    #[test]
+    fn at_least_prefers_square() {
+        assert_eq!(Mesh::at_least(1), Mesh::new(1, 1));
+        assert_eq!(Mesh::at_least(4), Mesh::new(2, 2));
+        assert_eq!(Mesh::at_least(5), Mesh::new(3, 2));
+        assert_eq!(Mesh::at_least(9), Mesh::new(3, 3));
+        assert_eq!(Mesh::at_least(10), Mesh::new(4, 3));
+    }
+
+    #[test]
+    fn neighbors_respect_edges() {
+        let m = Mesh::new(2, 2);
+        let origin = Coord::new(0, 0);
+        assert_eq!(m.neighbor(origin, Direction::North), None);
+        assert_eq!(m.neighbor(origin, Direction::West), None);
+        assert_eq!(m.neighbor(origin, Direction::East), Some(Coord::new(1, 0)));
+        assert_eq!(m.neighbor(origin, Direction::South), Some(Coord::new(0, 1)));
+        assert_eq!(m.neighbor(origin, Direction::Local), None);
+    }
+
+    #[test]
+    fn xy_route_resolves_x_first() {
+        let m = Mesh::new(4, 4);
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(2, 3);
+        assert_eq!(m.xy_route(src, dst), Direction::East);
+        assert_eq!(m.xy_route(Coord::new(2, 0), dst), Direction::South);
+        assert_eq!(m.xy_route(dst, dst), Direction::Local);
+    }
+
+    #[test]
+    fn xy_path_has_manhattan_hops() {
+        let m = Mesh::new(4, 4);
+        let src = Coord::new(0, 3);
+        let dst = Coord::new(3, 0);
+        let path = m.xy_path(src, dst);
+        assert_eq!(path.len() as u32, src.manhattan(dst) + 1);
+        assert_eq!(path.first(), Some(&src));
+        assert_eq!(path.last(), Some(&dst));
+        // Consecutive nodes are mesh neighbors.
+        for w in path.windows(2) {
+            assert_eq!(w[0].manhattan(w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn route_options_xy_is_singleton_and_matches_xy_route() {
+        let m = Mesh::new(4, 4);
+        for si in 0..m.len() {
+            for di in 0..m.len() {
+                let (s, d) = (m.coord(si), m.coord(di));
+                let opts = m.route_options(s, d, Routing::Xy);
+                assert_eq!(opts, vec![m.xy_route(s, d)]);
+            }
+        }
+    }
+
+    #[test]
+    fn west_first_options_are_minimal_and_legal() {
+        let m = Mesh::new(4, 4);
+        for si in 0..m.len() {
+            for di in 0..m.len() {
+                let (s, d) = (m.coord(si), m.coord(di));
+                for o in m.route_options(s, d, Routing::WestFirst) {
+                    if s == d {
+                        assert_eq!(o, Direction::Local);
+                        continue;
+                    }
+                    // Every option is a minimal step: distance decreases.
+                    let n = m.neighbor(s, o).expect("option stays on mesh");
+                    assert_eq!(n.manhattan(d) + 1, s.manhattan(d));
+                    // West-first invariant: West appears iff dst is west,
+                    // and then it is the only option.
+                    if d.x < s.x {
+                        assert_eq!(
+                            m.route_options(s, d, Routing::WestFirst),
+                            vec![Direction::West]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn west_first_is_adaptive_in_the_east_quadrant() {
+        let m = Mesh::new(4, 4);
+        let opts = m.route_options(Coord::new(0, 0), Coord::new(2, 2), Routing::WestFirst);
+        assert_eq!(opts.len(), 2); // East and South both minimal and legal
+    }
+
+    #[test]
+    fn opposite_directions() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+        assert_eq!(Direction::North.opposite(), Direction::South);
+        assert_eq!(Direction::Local.opposite(), Direction::Local);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mesh_panics() {
+        Mesh::new(0, 3);
+    }
+}

@@ -1,0 +1,247 @@
+//! Synthetic traffic patterns and load–latency characterization.
+//!
+//! The classic NoC evaluation methodology: inject packets under a given
+//! spatial pattern at a controlled offered load and measure the latency
+//! distribution. Used by the benches to characterize the Heisswolf-style
+//! router beyond the four paper workloads, and by the saturation tests.
+
+use crate::network::{Network, NocConfig};
+use crate::topology::{Coord, Mesh};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Spatial traffic patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Destination drawn uniformly at random.
+    Uniform,
+    /// `(x, y) → (y, x)` — stresses the mesh diagonal.
+    Transpose,
+    /// `(x, y) → (w-1-x, h-1-y)` — bit-complement-style worst case.
+    Complement,
+    /// Everyone sends to one node — the extreme hotspot.
+    Hotspot(Coord),
+    /// Nearest neighbor (east, wrapping within the row) — the best case.
+    Neighbor,
+}
+
+impl Pattern {
+    /// Destination of a packet from `src` under this pattern.
+    pub fn destination(self, src: Coord, mesh: Mesh, rng: &mut impl Rng) -> Coord {
+        match self {
+            Pattern::Uniform => mesh.coord(rng.gen_range(0..mesh.len())),
+            Pattern::Transpose => {
+                
+                Coord::new(src.y.min(mesh.w - 1), src.x.min(mesh.h - 1))
+            }
+            Pattern::Complement => Coord::new(mesh.w - 1 - src.x, mesh.h - 1 - src.y),
+            Pattern::Hotspot(h) => h,
+            Pattern::Neighbor => Coord::new((src.x + 1) % mesh.w, src.y),
+        }
+    }
+}
+
+/// Result of one load point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// Offered load in flits per node per cycle.
+    pub offered: f64,
+    /// Accepted throughput in payload bytes per cycle (network total).
+    pub throughput: f64,
+    /// Mean packet latency in cycles.
+    pub mean_latency: f64,
+    /// 99th-percentile packet latency in cycles.
+    pub p99_latency: u64,
+    /// Packets delivered during the measurement window.
+    pub delivered: usize,
+}
+
+/// Run a load sweep: for each offered load (flits/node/cycle), inject
+/// `pattern` traffic for `warmup + measure` cycles and report the measured
+/// point. Packet size is fixed at `packet_bytes`.
+pub fn load_sweep(
+    cfg: NocConfig,
+    pattern: Pattern,
+    loads: &[f64],
+    packet_bytes: u64,
+    warmup: u64,
+    measure: u64,
+    rng: &mut impl Rng,
+) -> Vec<LoadPoint> {
+    loads
+        .iter()
+        .map(|&offered| run_load_point(cfg, pattern, offered, packet_bytes, warmup, measure, rng))
+        .collect()
+}
+
+fn run_load_point(
+    cfg: NocConfig,
+    pattern: Pattern,
+    offered: f64,
+    packet_bytes: u64,
+    warmup: u64,
+    measure: u64,
+    rng: &mut impl Rng,
+) -> LoadPoint {
+    let mesh = cfg.mesh;
+    let mut net = Network::new(cfg);
+    let flits_per_packet = packet_bytes.div_ceil(cfg.flit_payload as u64).max(1);
+    // Bernoulli injection per node per cycle with probability
+    // offered / flits_per_packet (so the *flit* injection rate is
+    // `offered`).
+    let p_inject = (offered / flits_per_packet as f64).min(1.0);
+    let total = warmup + measure;
+    for cycle in 0..total {
+        for n in 0..mesh.len() {
+            if rng.gen_bool(p_inject) {
+                let src = mesh.coord(n);
+                let dst = pattern.destination(src, mesh, rng);
+                net.send(src, dst, packet_bytes);
+            }
+        }
+        net.step();
+        let _ = cycle;
+    }
+    // Drain what's in flight so latency percentiles are complete, but
+    // count *throughput* only over packets that completed inside the
+    // measurement window — otherwise the drain would make the accepted
+    // rate equal the offered rate even past saturation.
+    let _ = net.run_until_drained(200_000);
+
+    let measured: Vec<u64> = net
+        .delivered()
+        .iter()
+        .filter(|p| p.injected >= warmup)
+        .map(|p| p.latency())
+        .collect();
+    let mut sorted = measured.clone();
+    sorted.sort_unstable();
+    let mean = if measured.is_empty() {
+        0.0
+    } else {
+        measured.iter().sum::<u64>() as f64 / measured.len() as f64
+    };
+    let p99 = sorted
+        .get(sorted.len().saturating_sub(1).min(sorted.len() * 99 / 100))
+        .copied()
+        .unwrap_or(0);
+    let bytes: u64 = net
+        .delivered()
+        .iter()
+        .filter(|p| p.injected >= warmup && p.delivered <= total)
+        .map(|p| p.bytes)
+        .sum();
+    LoadPoint {
+        offered,
+        throughput: bytes as f64 / measure as f64,
+        mean_latency: mean,
+        p99_latency: p99,
+        delivered: measured.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_fabric::time::Frequency;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> NocConfig {
+        NocConfig {
+            mesh: Mesh::new(4, 4),
+            clock: Frequency::from_mhz(100),
+            flit_payload: 4,
+            buffer_flits: 4,
+            routing: crate::topology::Routing::Xy,
+        }
+    }
+
+    #[test]
+    fn patterns_stay_on_mesh() {
+        let mesh = Mesh::new(4, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [
+            Pattern::Uniform,
+            Pattern::Transpose,
+            Pattern::Complement,
+            Pattern::Hotspot(Coord::new(1, 1)),
+            Pattern::Neighbor,
+        ] {
+            for i in 0..mesh.len() {
+                let d = p.destination(mesh.coord(i), mesh, &mut rng);
+                assert!(mesh.contains(d), "{p:?} produced {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn complement_is_an_involution() {
+        let mesh = Mesh::new(4, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..mesh.len() {
+            let src = mesh.coord(i);
+            let d = Pattern::Complement.destination(src, mesh, &mut rng);
+            let dd = Pattern::Complement.destination(d, mesh, &mut rng);
+            assert_eq!(dd, src);
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let points = load_sweep(
+            cfg(),
+            Pattern::Uniform,
+            &[0.02, 0.30],
+            16,
+            200,
+            800,
+            &mut rng,
+        );
+        assert_eq!(points.len(), 2);
+        assert!(points[0].delivered > 0);
+        assert!(
+            points[1].mean_latency > points[0].mean_latency,
+            "{points:?}"
+        );
+    }
+
+    #[test]
+    fn neighbor_traffic_outperforms_hotspot() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let neighbor = load_sweep(cfg(), Pattern::Neighbor, &[0.2], 16, 200, 800, &mut rng);
+        let hotspot = load_sweep(
+            cfg(),
+            Pattern::Hotspot(Coord::new(0, 0)),
+            &[0.2],
+            16,
+            200,
+            800,
+            &mut rng,
+        );
+        assert!(
+            neighbor[0].mean_latency < hotspot[0].mean_latency,
+            "neighbor {:?} vs hotspot {:?}",
+            neighbor[0],
+            hotspot[0]
+        );
+    }
+
+    #[test]
+    fn throughput_saturates_under_heavy_load() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let points = load_sweep(
+            cfg(),
+            Pattern::Uniform,
+            &[0.1, 0.9],
+            16,
+            200,
+            600,
+            &mut rng,
+        );
+        // Offered 9x more, accepted must grow sub-linearly (saturation).
+        assert!(points[1].throughput < points[0].throughput * 9.0);
+        assert!(points[1].throughput > points[0].throughput * 0.8);
+    }
+}

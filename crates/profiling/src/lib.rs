@@ -1,0 +1,37 @@
+//! # hic-profiling — QUAD-style data-communication profiling
+//!
+//! A reimplementation of the measurement core of the QUAD toolset
+//! (Ostadzadeh et al., ARC 2010), which the paper uses to obtain the
+//! quantitative data-communication profile that drives interconnect
+//! synthesis.
+//!
+//! QUAD instruments a running application and attributes every memory read
+//! to the function that last wrote the address, accumulating per
+//! (producer, consumer) pair the number of bytes transferred and the number
+//! of Unique Memory Addresses (UMAs) involved. The output is a communication
+//! graph like the paper's Fig. 5.
+//!
+//! The original QUAD observes native binaries through dynamic binary
+//! instrumentation (Pin). Here the applications are Rust functions that
+//! perform their memory traffic through an instrumented [`buffer::Buf`]
+//! over a virtual address space — same attribution semantics, no DBI
+//! needed. The tracer is exact, not sampled:
+//!
+//! * a **write** of byte `a` by function `f` sets `shadow[a] = f`;
+//! * a **read** of byte `a` by function `g` with `shadow[a] = f`, `f ≠ g`,
+//!   adds one byte to the edge `f → g` and inserts `a` into the edge's UMA
+//!   set.
+//!
+//! [`graph::CommGraph`] is the queryable result; it exports Graphviz DOT
+//! (Fig. 5) and collapses to the kernel-level [`hic_fabric::CommEdge`] list
+//! that the design algorithm consumes.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod graph;
+pub mod profiler;
+
+pub use buffer::{Arena, Buf};
+pub use graph::{CommGraph, GraphEdge};
+pub use profiler::{FnGuard, Profiler};

@@ -1,0 +1,336 @@
+//! The shadow-memory tracer.
+
+use crate::graph::{CommGraph, GraphEdge};
+use hic_fabric::FunctionId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Accumulator for one producer→consumer pair.
+#[derive(Debug, Default, Clone)]
+struct PairAcc {
+    bytes: u64,
+    umas: HashSet<u64>,
+}
+
+/// Per-function access counters (useful for locating compute hot spots and
+/// for sanity checks).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FnStats {
+    /// Bytes written by the function.
+    pub bytes_written: u64,
+    /// Bytes read by the function (from any producer, including itself).
+    pub bytes_read: u64,
+    /// Reads of addresses nobody has written (uninitialized reads) — these
+    /// are attributed to no edge and usually indicate a workload bug.
+    pub cold_reads: u64,
+    /// Times the function was entered (QUAD reports per-call averages;
+    /// divide the byte counters by this).
+    pub calls: u64,
+}
+
+impl FnStats {
+    /// Mean bytes touched (read + written) per call; 0 when never called.
+    pub fn bytes_per_call(&self) -> u64 {
+        (self.bytes_read + self.bytes_written)
+            .checked_div(self.calls)
+            .unwrap_or(0)
+    }
+}
+
+/// The QUAD-style profiler. See the crate docs for the attribution rules.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    names: Vec<String>,
+    stack: Vec<FunctionId>,
+    shadow: HashMap<u64, FunctionId>,
+    pairs: HashMap<(FunctionId, FunctionId), PairAcc>,
+    stats: Vec<FnStats>,
+}
+
+impl Profiler {
+    /// A fresh profiler with no functions registered.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Register a function name and get its id. Registering the same name
+    /// twice returns the same id.
+    pub fn register(&mut self, name: &str) -> FunctionId {
+        if let Some(pos) = self.names.iter().position(|n| n == name) {
+            return FunctionId::new(pos as u32);
+        }
+        self.names.push(name.to_string());
+        self.stats.push(FnStats::default());
+        FunctionId::new((self.names.len() - 1) as u32)
+    }
+
+    /// Name of a registered function.
+    pub fn name(&self, f: FunctionId) -> &str {
+        &self.names[f.index()]
+    }
+
+    /// Number of registered functions.
+    pub fn n_functions(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Enter a function: subsequent accesses are attributed to it.
+    pub fn enter(&mut self, f: FunctionId) {
+        assert!(f.index() < self.names.len(), "unregistered function {f}");
+        self.stats[f.index()].calls += 1;
+        self.stack.push(f);
+    }
+
+    /// Leave the current function.
+    ///
+    /// # Panics
+    /// If no function is active.
+    pub fn exit(&mut self) {
+        self.stack.pop().expect("exit() with empty function stack");
+    }
+
+    /// RAII variant of [`enter`](Self::enter)/[`exit`](Self::exit).
+    pub fn scope(&mut self, f: FunctionId) -> FnGuard<'_> {
+        self.enter(f);
+        FnGuard { prof: self }
+    }
+
+    /// The currently executing function.
+    ///
+    /// # Panics
+    /// If no function is active — every access must happen inside a scope,
+    /// otherwise attribution would silently drop traffic.
+    pub fn current(&self) -> FunctionId {
+        *self
+            .stack
+            .last()
+            .expect("memory access outside any function scope")
+    }
+
+    /// Record a write of `len` bytes at virtual address `addr`.
+    pub fn write(&mut self, addr: u64, len: u64) {
+        let cur = self.current();
+        self.stats[cur.index()].bytes_written += len;
+        for a in addr..addr + len {
+            self.shadow.insert(a, cur);
+        }
+    }
+
+    /// Record a read of `len` bytes at virtual address `addr`, attributing
+    /// each byte to its last writer.
+    pub fn read(&mut self, addr: u64, len: u64) {
+        let cur = self.current();
+        self.stats[cur.index()].bytes_read += len;
+        for a in addr..addr + len {
+            match self.shadow.get(&a) {
+                Some(&w) if w != cur => {
+                    let acc = self.pairs.entry((w, cur)).or_default();
+                    acc.bytes += 1;
+                    acc.umas.insert(a);
+                }
+                Some(_) => {} // self-communication is function-local, not an edge
+                None => self.stats[cur.index()].cold_reads += 1,
+            }
+        }
+    }
+
+    /// Access counters of a function.
+    pub fn fn_stats(&self, f: FunctionId) -> FnStats {
+        self.stats[f.index()]
+    }
+
+    /// Total bytes attributed to cross-function edges so far.
+    pub fn total_edge_bytes(&self) -> u64 {
+        self.pairs.values().map(|p| p.bytes).sum()
+    }
+
+    /// Snapshot the communication graph.
+    pub fn graph(&self) -> CommGraph {
+        let mut edges: Vec<GraphEdge> = self
+            .pairs
+            .iter()
+            .map(|(&(src, dst), acc)| GraphEdge {
+                src,
+                dst,
+                bytes: acc.bytes,
+                umas: acc.umas.len() as u64,
+            })
+            .collect();
+        edges.sort_by_key(|e| (e.src, e.dst));
+        CommGraph {
+            functions: self.names.clone(),
+            edges,
+        }
+    }
+}
+
+/// Guard returned by [`Profiler::scope`]; calls `exit` on drop.
+pub struct FnGuard<'a> {
+    prof: &'a mut Profiler,
+}
+
+impl std::ops::Deref for FnGuard<'_> {
+    type Target = Profiler;
+    fn deref(&self) -> &Profiler {
+        self.prof
+    }
+}
+
+impl std::ops::DerefMut for FnGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Profiler {
+        self.prof
+    }
+}
+
+impl Drop for FnGuard<'_> {
+    fn drop(&mut self) {
+        self.prof.exit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_after_write_creates_edge() {
+        let mut p = Profiler::new();
+        let a = p.register("producer");
+        let b = p.register("consumer");
+        p.enter(a);
+        p.write(100, 8);
+        p.exit();
+        p.enter(b);
+        p.read(100, 8);
+        p.exit();
+        let g = p.graph();
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.edges[0].src, a);
+        assert_eq!(g.edges[0].dst, b);
+        assert_eq!(g.edges[0].bytes, 8);
+        assert_eq!(g.edges[0].umas, 8);
+    }
+
+    #[test]
+    fn repeated_reads_count_bytes_but_umas_once() {
+        let mut p = Profiler::new();
+        let a = p.register("a");
+        let b = p.register("b");
+        p.enter(a);
+        p.write(0, 4);
+        p.exit();
+        p.enter(b);
+        p.read(0, 4);
+        p.read(0, 4);
+        p.exit();
+        let g = p.graph();
+        assert_eq!(g.edges[0].bytes, 8);
+        assert_eq!(g.edges[0].umas, 4);
+    }
+
+    #[test]
+    fn self_reads_are_not_edges() {
+        let mut p = Profiler::new();
+        let a = p.register("a");
+        p.enter(a);
+        p.write(0, 16);
+        p.read(0, 16);
+        p.exit();
+        assert!(p.graph().edges.is_empty());
+        assert_eq!(p.fn_stats(a).bytes_read, 16);
+    }
+
+    #[test]
+    fn overwrite_changes_attribution() {
+        let mut p = Profiler::new();
+        let a = p.register("a");
+        let b = p.register("b");
+        let c = p.register("c");
+        p.enter(a);
+        p.write(0, 4);
+        p.exit();
+        p.enter(b);
+        p.write(0, 4); // b overwrites a's data without reading it
+        p.exit();
+        p.enter(c);
+        p.read(0, 4);
+        p.exit();
+        let g = p.graph();
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!((g.edges[0].src, g.edges[0].dst), (b, c));
+    }
+
+    #[test]
+    fn cold_reads_are_counted_not_attributed() {
+        let mut p = Profiler::new();
+        let a = p.register("a");
+        p.enter(a);
+        p.read(1000, 4);
+        p.exit();
+        assert!(p.graph().edges.is_empty());
+        assert_eq!(p.fn_stats(a).cold_reads, 4);
+    }
+
+    #[test]
+    fn nested_scopes_attribute_to_innermost() {
+        let mut p = Profiler::new();
+        let outer = p.register("outer");
+        let inner = p.register("inner");
+        p.enter(outer);
+        p.write(0, 1);
+        p.enter(inner);
+        p.write(1, 1);
+        p.exit();
+        p.write(2, 1);
+        p.exit();
+        p.enter(inner);
+        p.read(0, 3); // 2 bytes from outer, 1 self byte
+        p.exit();
+        let g = p.graph();
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.edges[0].bytes, 2);
+    }
+
+    #[test]
+    fn scope_guard_exits_on_drop() {
+        let mut p = Profiler::new();
+        let a = p.register("a");
+        {
+            let mut g = p.scope(a);
+            g.write(0, 1);
+        }
+        assert!(p.stack.is_empty());
+    }
+
+    #[test]
+    fn calls_are_counted_and_averaged() {
+        let mut p = Profiler::new();
+        let a = p.register("a");
+        for _ in 0..4 {
+            p.enter(a);
+            p.write(0, 8);
+            p.exit();
+        }
+        let st = p.fn_stats(a);
+        assert_eq!(st.calls, 4);
+        assert_eq!(st.bytes_per_call(), 8);
+        assert_eq!(FnStats::default().bytes_per_call(), 0);
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut p = Profiler::new();
+        let a1 = p.register("f");
+        let a2 = p.register("f");
+        assert_eq!(a1, a2);
+        assert_eq!(p.n_functions(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside any function scope")]
+    fn access_outside_scope_panics() {
+        let mut p = Profiler::new();
+        p.register("a");
+        p.write(0, 1);
+    }
+}

@@ -1,0 +1,311 @@
+//! Flit-level co-simulation.
+//!
+//! [`crate::system::simulate`] models NoC transfers with the closed-form
+//! tail-residual latency — the paper's own assumption that the NoC fully
+//! hides kernel-to-kernel traffic behind computation (Δn). This module
+//! replaces that assumption with the *actual* flit-level mesh: every
+//! kernel-to-kernel message is segmented into packets by the network
+//! adapter, injected into the wormhole network while its producer
+//! computes, and the consumer waits for the real delivery of the last
+//! flit — congestion, serialization and backpressure included.
+//!
+//! The interesting output is the gap between the two: with the default
+//! 32-bit links, a communication-dominated application like jpeg cannot
+//! fully hide its kernel traffic (the link is slower than the paper's
+//! Δn assumes); widening the flits recovers the analytic behaviour. The
+//! `cosim` tests and the EXPERIMENTS.md ablation quantify this.
+
+use crate::system::{simulate, KernelTiming};
+use hic_core::{InterconnectPlan, Variant};
+use hic_fabric::time::Time;
+use hic_fabric::{KernelId, MemoryId};
+use hic_noc::{AdapterKind, AdapterSpec, Network, NocNode, PacketId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of a co-simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CosimResult {
+    /// Kernel-phase makespan with real NoC transfer times.
+    pub kernel_time: Time,
+    /// Application time.
+    pub app_time: Time,
+    /// NoC cycles elapsed.
+    pub noc_cycles: u64,
+    /// Packets delivered through the mesh.
+    pub packets: usize,
+    /// Per-kernel timings.
+    pub per_kernel: BTreeMap<KernelId, KernelTiming>,
+    /// The transfer-level result for the same plan (for comparison).
+    pub analytic_kernel_time: Time,
+}
+
+impl CosimResult {
+    /// How much slower the flit-level run is than the analytic-residual
+    /// run (1.0 = the Δn hiding assumption holds exactly).
+    pub fn slowdown_vs_analytic(&self) -> f64 {
+        self.kernel_time.as_ps() as f64 / self.analytic_kernel_time.as_ps() as f64
+    }
+}
+
+/// Co-simulate one run of a hybrid/NoC-only plan. Baseline plans have no
+/// NoC; they fall through to the transfer-level simulator.
+pub fn cosimulate(plan: &InterconnectPlan) -> CosimResult {
+    let analytic = simulate(plan);
+    let Some(noc) = &plan.noc else {
+        return CosimResult {
+            kernel_time: analytic.kernel_time,
+            app_time: analytic.app_time,
+            noc_cycles: 0,
+            packets: 0,
+            per_kernel: analytic.per_kernel.clone(),
+            analytic_kernel_time: analytic.kernel_time,
+        };
+    };
+    assert!(
+        plan.variant != Variant::Baseline,
+        "baseline plans have no NoC"
+    );
+
+    let app = &plan.app;
+    let bus = plan.config.bus;
+    let clock = noc.config.clock;
+    let adapter = AdapterSpec::paper_default(AdapterKind::Kernel);
+    let mut net = Network::new(noc.config);
+    let sm: BTreeSet<(KernelId, KernelId)> = plan
+        .sm_pairs
+        .iter()
+        .map(|p| (p.producer, p.consumer))
+        .collect();
+    let fallback: BTreeSet<(KernelId, KernelId)> = plan
+        .bus_fallback
+        .iter()
+        .filter_map(|e| Some((e.src.kernel()?, e.dst.kernel()?)))
+        .collect();
+
+    // Host input transfers, as in the transfer-level simulator.
+    let order = topo(app);
+    let mut host_in_done: BTreeMap<KernelId, Time> = BTreeMap::new();
+    let mut bus_free = Time::ZERO;
+    for &k in &order {
+        let v = app.volumes(k);
+        if v.host_in > 0 {
+            bus_free += bus.transfer_time(v.host_in);
+            host_in_done.insert(k, bus_free);
+        } else {
+            host_in_done.insert(k, Time::ZERO);
+        }
+    }
+
+    // Packet ids in flight per (producer, consumer) edge, and a cursor
+    // into the network's append-only delivery log so each delivery is
+    // examined once.
+    let mut edge_packets: BTreeMap<(KernelId, KernelId), Vec<PacketId>> = BTreeMap::new();
+    let mut delivered_at: BTreeMap<PacketId, u64> = BTreeMap::new();
+    let mut scan_pos = 0usize;
+    let mut timing: BTreeMap<KernelId, KernelTiming> = BTreeMap::new();
+    let mut makespan = Time::ZERO;
+
+    let to_cycles = |t: Time| -> u64 { clock.cycles_ceil(t) };
+    let to_time = |c: u64| -> Time { clock.cycles(c) };
+
+    for &k in &order {
+        // Wait for kernel-side inputs: SM pairs at producer finish,
+        // NoC edges at real flit delivery, fallback over the bus.
+        let mut ready = host_in_done[&k];
+        for e in app
+            .k2k_edges()
+            .filter(|e| e.dst == hic_fabric::Endpoint::Kernel(k))
+        {
+            let i = e.src.kernel().expect("k2k edge");
+            let prod_end = timing[&i].compute_end;
+            let arrival = if sm.contains(&(i, k)) {
+                prod_end
+            } else if fallback.contains(&(i, k)) {
+                let dur = bus.transfer_time(e.bytes);
+                let start = prod_end.max(bus_free);
+                bus_free = start + dur + dur;
+                bus_free
+            } else if let Some(ids) = edge_packets.get(&(i, k)) {
+                // Step the mesh until every packet of this edge landed,
+                // consuming the delivery log incrementally.
+                let mut remaining: BTreeSet<PacketId> = ids
+                    .iter()
+                    .copied()
+                    .filter(|id| !delivered_at.contains_key(id))
+                    .collect();
+                let mut guard = 0u64;
+                loop {
+                    let log = net.delivered();
+                    while scan_pos < log.len() {
+                        let p = log[scan_pos];
+                        delivered_at.insert(p.id, p.delivered);
+                        remaining.remove(&p.id);
+                        scan_pos += 1;
+                    }
+                    if remaining.is_empty() {
+                        break;
+                    }
+                    net.step();
+                    guard += 1;
+                    assert!(guard < 100_000_000, "co-simulation wedged");
+                }
+                let last = ids
+                    .iter()
+                    .map(|id| delivered_at[id])
+                    .max()
+                    .unwrap_or(0);
+                to_time(last).max(prod_end)
+            } else {
+                prod_end
+            };
+            ready = ready.max(arrival);
+        }
+
+        let tau = app.kernel_clock.cycles(app.kernel(k).compute_cycles);
+        let compute_start = ready;
+        let compute_end = compute_start + tau;
+
+        // Stream this kernel's NoC output while it computes: inject the
+        // packets starting at compute_start (never in the network's past).
+        for e in app
+            .k2k_edges()
+            .filter(|e| e.src == hic_fabric::Endpoint::Kernel(k))
+        {
+            let j = e.dst.kernel().expect("k2k edge");
+            if sm.contains(&(k, j)) || fallback.contains(&(k, j)) {
+                continue;
+            }
+            let (src_slot, dst_slot) = (
+                noc.placement.slots.get(&NocNode::Kernel(k)),
+                noc.placement.slots.get(&NocNode::Memory(MemoryId(j.0))),
+            );
+            let (Some(&src), Some(&dst)) = (src_slot, dst_slot) else {
+                continue;
+            };
+            let inj = to_cycles(compute_start).max(net.cycle());
+            if net.is_drained() {
+                net.advance_idle_to(inj);
+            } else {
+                while net.cycle() < inj {
+                    net.step();
+                }
+            }
+            let ids: Vec<PacketId> = adapter
+                .segment(e.bytes)
+                .into_iter()
+                .map(|b| net.send(src, dst, b))
+                .collect();
+            edge_packets.insert((k, j), ids);
+        }
+
+        // Host output over the bus.
+        let v = app.volumes(k);
+        let drained = if v.host_out > 0 {
+            let dur = bus.transfer_time(v.host_out);
+            let start = compute_end.max(bus_free);
+            bus_free = start + dur;
+            start + dur
+        } else {
+            compute_end
+        };
+        makespan = makespan.max(drained);
+        timing.insert(
+            k,
+            KernelTiming {
+                compute_start,
+                compute_end,
+                drained,
+            },
+        );
+    }
+
+    let host = app.host.clock.cycles(app.host_cycles);
+    CosimResult {
+        kernel_time: makespan,
+        app_time: makespan + host,
+        noc_cycles: net.cycle(),
+        packets: net.delivered().len(),
+        per_kernel: timing,
+        analytic_kernel_time: analytic.kernel_time,
+    }
+}
+
+fn topo(app: &hic_fabric::AppSpec) -> Vec<KernelId> {
+    app.topo_order().expect("cyclic communication graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_core::{design, DesignConfig, Variant};
+
+    fn jpeg_like(flit_payload: u32) -> (InterconnectPlan, CosimResult) {
+        let app = hic_apps::calib::jpeg();
+        let cfg = DesignConfig {
+            flit_payload,
+            ..DesignConfig::default()
+        };
+        let plan = design(&app, &cfg, Variant::Hybrid).expect("fits");
+        let res = cosimulate(&plan);
+        (plan, res)
+    }
+
+    #[test]
+    fn cosim_delivers_every_packet_and_is_ordered() {
+        let (_, res) = jpeg_like(4);
+        assert!(res.packets > 0);
+        for t in res.per_kernel.values() {
+            assert!(t.compute_start <= t.compute_end);
+            assert!(t.compute_end <= t.drained);
+        }
+        assert!(res.kernel_time >= res.analytic_kernel_time);
+    }
+
+    #[test]
+    fn narrow_links_cannot_fully_hide_jpegs_traffic() {
+        // With 32-bit links (4 B/flit, 400 MB/s at 100 MHz) the NoC is
+        // slower than jpeg's producers: the Δn full-hiding assumption
+        // breaks and the co-simulation runs measurably slower than the
+        // analytic model.
+        let (_, res) = jpeg_like(4);
+        assert!(
+            res.slowdown_vs_analytic() > 1.10,
+            "expected visible serialization, got {:.3}",
+            res.slowdown_vs_analytic()
+        );
+    }
+
+    #[test]
+    fn wide_links_recover_the_papers_hiding_assumption() {
+        // 128-bit links (16 B/flit, 1.6 GB/s) outrun the producers: the
+        // co-simulated time approaches the analytic one.
+        let (_, res) = jpeg_like(16);
+        assert!(
+            res.slowdown_vs_analytic() < 1.15,
+            "wide links should hide traffic, got {:.3}",
+            res.slowdown_vs_analytic()
+        );
+    }
+
+    #[test]
+    fn baseline_plan_falls_through() {
+        let app = hic_apps::calib::klt();
+        let plan = design(&app, &DesignConfig::default(), Variant::Baseline).expect("fits");
+        let res = cosimulate(&plan);
+        assert_eq!(res.packets, 0);
+        assert_eq!(res.kernel_time, res.analytic_kernel_time);
+    }
+
+    #[test]
+    fn sm_only_plan_has_no_noc_packets() {
+        // KLT's hybrid is SM-only: no NoC → cosim equals the transfer-level
+        // simulator.
+        let app = hic_apps::calib::klt();
+        let plan = design(&app, &DesignConfig::default(), Variant::Hybrid).expect("fits");
+        assert!(plan.noc.is_none());
+        let res = cosimulate(&plan);
+        assert_eq!(res.packets, 0);
+        assert_eq!(res.kernel_time, res.analytic_kernel_time);
+    }
+}

@@ -1,0 +1,31 @@
+//! # hic-sim — full-system simulation and energy estimation
+//!
+//! Executes a synthesized [`hic_core::InterconnectPlan`] end to end:
+//!
+//! * [`system`] — transfer-level event-driven execution in software,
+//!   baseline, hybrid and NoC-only modes, producing makespans, per-kernel
+//!   timings and the communication/computation busy-time split that Fig. 4
+//!   reports.
+//! * [`energy`] — the affine power model and the normalized-energy metric
+//!   of Fig. 9.
+//! * [`reconfig`] — runtime-reconfiguration planning (the paper's stated
+//!   future work): per-app tailored interconnects vs a static union,
+//!   with partial-reconfiguration time/energy amortization.
+//! * [`cosim`] — flit-level co-simulation: kernel traffic runs through the
+//!   real wormhole mesh instead of the closed-form residual, quantifying
+//!   when the paper's Δn full-hiding assumption actually holds.
+
+#![warn(missing_docs)]
+
+pub mod cosim;
+pub mod energy;
+pub mod reconfig;
+pub mod system;
+
+pub use cosim::{cosimulate, CosimResult};
+pub use energy::PowerModel;
+pub use reconfig::{
+    compare as compare_reconfig_strategies, evaluate as evaluate_reconfig, union_interconnect,
+    AppPhase, ReconfigSpec, Strategy, StrategyReport,
+};
+pub use system::{simulate, simulate_runs, simulate_software, KernelTiming, RunResult, RunsResult};

@@ -1,0 +1,290 @@
+//! Runtime reconfiguration planning — the paper's stated next step:
+//! "Runtime reconfigurability is the next step in our work such that each
+//! application can dispose of its best interconnect infrastructure."
+//!
+//! Given a workload mix (a sequence of applications, each run a number of
+//! times before switching), two deployment strategies are modeled:
+//!
+//! * **per-app reconfiguration** — every application gets its tailored
+//!   hybrid interconnect; each switch pays a partial-reconfiguration
+//!   latency and energy for the whole accelerator region;
+//! * **static union** — one superset interconnect (the component-wise
+//!   maximum over the per-app interconnects) stays resident; switches
+//!   reconfigure only the kernel region (a configurable fraction of the
+//!   full reconfiguration cost), but every run pays the union
+//!   interconnect's higher static power, and the union must fit the FPGA.
+//!
+//! The interesting output is the crossover: short-lived phases favour the
+//! static union (reconfiguration amortizes badly), long-running phases
+//! favour tailored per-app interconnects (lower power per run).
+
+use crate::energy::PowerModel;
+use crate::system::simulate;
+use hic_core::{design, DesignConfig, DesignError, InterconnectPlan, Variant};
+use hic_fabric::resource::Resources;
+use hic_fabric::time::Time;
+use hic_fabric::AppSpec;
+use serde::{Deserialize, Serialize};
+
+/// Partial-reconfiguration cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigSpec {
+    /// Time to reconfigure the whole accelerator region (kernels +
+    /// interconnect). ICAP-era Virtex-5 partial reconfiguration of a
+    /// region this size is tens of milliseconds.
+    pub full_reconfig_time: Time,
+    /// Energy of one full reconfiguration, in joules.
+    pub full_reconfig_energy_j: f64,
+    /// Fraction of the full cost that reconfiguring only the kernel
+    /// region costs (the static-union strategy keeps the interconnect).
+    pub kernel_region_fraction: f64,
+}
+
+impl ReconfigSpec {
+    /// ML510-scale defaults: 40 ms / 0.1 J full region, kernels ≈ 70% of
+    /// the region.
+    pub fn ml510_default() -> Self {
+        ReconfigSpec {
+            full_reconfig_time: Time::from_ms(40),
+            full_reconfig_energy_j: 0.1,
+            kernel_region_fraction: 0.7,
+        }
+    }
+
+    /// Cost of a kernel-region-only reconfiguration.
+    pub fn kernel_reconfig_time(&self) -> Time {
+        Time::from_ps(
+            (self.full_reconfig_time.as_ps() as f64 * self.kernel_region_fraction) as u64,
+        )
+    }
+
+    /// Energy of a kernel-region-only reconfiguration.
+    pub fn kernel_reconfig_energy_j(&self) -> f64 {
+        self.full_reconfig_energy_j * self.kernel_region_fraction
+    }
+}
+
+impl Default for ReconfigSpec {
+    fn default() -> Self {
+        ReconfigSpec::ml510_default()
+    }
+}
+
+/// One phase of the workload: an application executed `runs` times.
+#[derive(Debug, Clone)]
+pub struct AppPhase {
+    /// The application.
+    pub app: AppSpec,
+    /// Back-to-back runs before the workload switches.
+    pub runs: u64,
+}
+
+/// Deployment strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Tailored interconnect per application, full reconfiguration on
+    /// every switch.
+    PerAppReconfig,
+    /// One union interconnect; only kernels are swapped.
+    StaticUnion,
+}
+
+/// Evaluation of one strategy on one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyReport {
+    /// Which strategy.
+    pub strategy: Strategy,
+    /// Total wall time (runs + reconfigurations).
+    pub total_time: Time,
+    /// Total energy in joules (runs + reconfigurations).
+    pub total_energy_j: f64,
+    /// Peak resource usage across the workload.
+    pub peak_resources: Resources,
+    /// Number of reconfigurations performed (including the initial load).
+    pub reconfigurations: u64,
+    /// Whether every configuration fits the budget.
+    pub feasible: bool,
+}
+
+/// The component-wise union of the interconnects of several plans: enough
+/// routers, adapters, crossbars and muxes to host any of them (and the one
+/// shared bus).
+pub fn union_interconnect(plans: &[InterconnectPlan]) -> Resources {
+    fn rmax(a: Resources, b: Resources) -> Resources {
+        Resources::new(a.luts.max(b.luts), a.regs.max(b.regs))
+    }
+    let mut u = hic_core::InterconnectResources::default();
+    for p in plans {
+        let ic = p.resources().interconnect;
+        u.routers = rmax(u.routers, ic.routers);
+        u.na_kernels = rmax(u.na_kernels, ic.na_kernels);
+        u.na_mems = rmax(u.na_mems, ic.na_mems);
+        u.crossbars = rmax(u.crossbars, ic.crossbars);
+        u.muxes = rmax(u.muxes, ic.muxes);
+    }
+    // The bus is shared (every plan has exactly one).
+    u.bus = hic_fabric::resource::ComponentKind::Bus.cost();
+    u.total()
+}
+
+/// Evaluate a strategy over a workload.
+pub fn evaluate(
+    phases: &[AppPhase],
+    cfg: &DesignConfig,
+    power: &PowerModel,
+    rc: &ReconfigSpec,
+    strategy: Strategy,
+) -> Result<StrategyReport, DesignError> {
+    assert!(!phases.is_empty(), "empty workload");
+    let plans: Vec<InterconnectPlan> = phases
+        .iter()
+        .map(|p| design(&p.app, cfg, Variant::Hybrid))
+        .collect::<Result<_, _>>()?;
+
+    let union_ic = union_interconnect(&plans);
+
+    let mut total_time = Time::ZERO;
+    let mut total_energy = 0.0;
+    let mut peak = Resources::ZERO;
+    let mut feasible = true;
+    let switches = phases.len() as u64;
+
+    for (phase, plan) in phases.iter().zip(&plans) {
+        let run = simulate(plan);
+        let sys = plan.resources();
+        let resident = match strategy {
+            Strategy::PerAppReconfig => sys.total(),
+            // Union interconnect + this app's kernels.
+            Strategy::StaticUnion => sys.kernels + union_ic,
+        };
+        if !resident.fits_in(cfg.resource_budget) {
+            feasible = false;
+        }
+        peak = Resources::new(peak.luts.max(resident.luts), peak.regs.max(resident.regs));
+        let phase_time = Time::from_ps(run.app_time.as_ps() * phase.runs);
+        total_time += phase_time;
+        total_energy += power.power_w(resident) * phase_time.as_secs_f64();
+    }
+
+    let (switch_time, switch_energy) = match strategy {
+        Strategy::PerAppReconfig => (rc.full_reconfig_time, rc.full_reconfig_energy_j),
+        Strategy::StaticUnion => (rc.kernel_reconfig_time(), rc.kernel_reconfig_energy_j()),
+    };
+    total_time += Time::from_ps(switch_time.as_ps() * switches);
+    total_energy += switch_energy * switches as f64;
+
+    Ok(StrategyReport {
+        strategy,
+        total_time,
+        total_energy_j: total_energy,
+        peak_resources: peak,
+        reconfigurations: switches,
+        feasible,
+    })
+}
+
+/// Evaluate both strategies side by side.
+pub fn compare(
+    phases: &[AppPhase],
+    cfg: &DesignConfig,
+    power: &PowerModel,
+    rc: &ReconfigSpec,
+) -> Result<(StrategyReport, StrategyReport), DesignError> {
+    Ok((
+        evaluate(phases, cfg, power, rc, Strategy::PerAppReconfig)?,
+        evaluate(phases, cfg, power, rc, Strategy::StaticUnion)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_apps::calib;
+
+    fn workload(runs: u64) -> Vec<AppPhase> {
+        calib::all()
+            .into_iter()
+            .map(|app| AppPhase { app, runs })
+            .collect()
+    }
+
+    fn setup() -> (DesignConfig, PowerModel, ReconfigSpec) {
+        (
+            DesignConfig::default(),
+            PowerModel::ml510_default(),
+            ReconfigSpec::ml510_default(),
+        )
+    }
+
+    #[test]
+    fn both_strategies_are_feasible_on_the_paper_workload() {
+        let (cfg, power, rc) = setup();
+        let (per_app, union) = compare(&workload(3), &cfg, &power, &rc).unwrap();
+        assert!(per_app.feasible);
+        assert!(union.feasible);
+        assert_eq!(per_app.reconfigurations, 4);
+        assert_eq!(union.reconfigurations, 4);
+    }
+
+    #[test]
+    fn short_phases_favour_the_static_union_in_time() {
+        let (cfg, power, rc) = setup();
+        let (per_app, union) = compare(&workload(1), &cfg, &power, &rc).unwrap();
+        assert!(
+            union.total_time < per_app.total_time,
+            "union {} vs per-app {}",
+            union.total_time,
+            per_app.total_time
+        );
+    }
+
+    #[test]
+    fn union_pays_more_power_per_run() {
+        let (cfg, power, rc) = setup();
+        // With many runs per phase, reconfiguration amortizes away and the
+        // per-app tailored interconnects' lower power wins on energy.
+        let (per_app, union) = compare(&workload(100_000), &cfg, &power, &rc).unwrap();
+        assert!(
+            per_app.total_energy_j < union.total_energy_j,
+            "per-app {} J vs union {} J",
+            per_app.total_energy_j,
+            union.total_energy_j
+        );
+    }
+
+    #[test]
+    fn union_peak_resources_dominate_every_plan() {
+        let (cfg, _, _) = setup();
+        let plans: Vec<_> = calib::all()
+            .iter()
+            .map(|a| design(a, &cfg, Variant::Hybrid).unwrap())
+            .collect();
+        let u = union_interconnect(&plans);
+        for p in &plans {
+            let ic = p.resources().interconnect.total();
+            assert!(ic.luts <= u.luts);
+            assert!(ic.regs <= u.regs);
+        }
+    }
+
+    #[test]
+    fn infeasible_when_budget_is_tight() {
+        let (mut cfg, power, rc) = setup();
+        cfg.resource_budget = Resources::new(25_000, 25_000); // fluid won't fit
+        // design() itself succeeds for apps that fit; shrink further so the
+        // union + largest kernels overflow but individual designs pass.
+        let phases = workload(1);
+        let result = evaluate(&phases, &cfg, &power, &rc, Strategy::StaticUnion);
+        // An app alone already over budget (Err) is also a valid outcome.
+        if let Ok(report) = result {
+            assert!(!report.feasible);
+        }
+    }
+
+    #[test]
+    fn kernel_region_reconfig_is_cheaper() {
+        let rc = ReconfigSpec::ml510_default();
+        assert!(rc.kernel_reconfig_time() < rc.full_reconfig_time);
+        assert!(rc.kernel_reconfig_energy_j() < rc.full_reconfig_energy_j);
+    }
+}

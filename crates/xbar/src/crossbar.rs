@@ -1,0 +1,210 @@
+//! The address-decoded crossbar.
+//!
+//! The paper's 2×2 crossbar "switches data from the cores to the
+//! corresponding local memory based on the address of data" — a purely
+//! combinational decode with no protocol translation, hence zero
+//! communication overhead. The model generalizes to N ports for the
+//! ablation benches, with cost scaled from the measured 2×2 instance
+//! (Table II: 201 LUTs / 200 registers). A crossbar's switching fabric
+//! grows with the port product, so an N×N instance is costed at
+//! `(N/2)² ×` the 2×2 cost.
+
+use hic_fabric::resource::{ComponentKind, Resources};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open address range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddrRange {
+    /// First address.
+    pub start: u64,
+    /// One past the last address.
+    pub end: u64,
+}
+
+impl AddrRange {
+    /// Construct; panics if `end < start`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(end >= start, "inverted address range");
+        AddrRange { start, end }
+    }
+
+    /// Whether `addr` falls inside the range.
+    pub fn contains(&self, addr: u64) -> bool {
+        (self.start..self.end).contains(&addr)
+    }
+
+    /// Whether two ranges overlap.
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True for an empty range.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start, self.end)
+    }
+}
+
+/// Errors from [`Crossbar::new`] and [`Crossbar::route`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrossbarError {
+    /// Two output ranges overlap — the decode would be ambiguous.
+    OverlappingRanges(usize, usize),
+    /// An address hit no output range.
+    Unmapped(u64),
+    /// A crossbar needs at least one output.
+    NoOutputs,
+}
+
+impl fmt::Display for CrossbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossbarError::OverlappingRanges(a, b) => {
+                write!(f, "output ranges {a} and {b} overlap")
+            }
+            CrossbarError::Unmapped(addr) => write!(f, "address {addr:#x} hits no output"),
+            CrossbarError::NoOutputs => write!(f, "crossbar with no outputs"),
+        }
+    }
+}
+
+impl std::error::Error for CrossbarError {}
+
+/// An N-input, M-output address-decoded crossbar.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crossbar {
+    /// Number of input (master) ports.
+    pub inputs: usize,
+    /// Address range owned by each output (memory) port.
+    pub outputs: Vec<AddrRange>,
+}
+
+impl Crossbar {
+    /// Build a crossbar; validates that output ranges are disjoint.
+    pub fn new(inputs: usize, outputs: Vec<AddrRange>) -> Result<Self, CrossbarError> {
+        if outputs.is_empty() {
+            return Err(CrossbarError::NoOutputs);
+        }
+        for i in 0..outputs.len() {
+            for j in i + 1..outputs.len() {
+                if outputs[i].overlaps(&outputs[j]) {
+                    return Err(CrossbarError::OverlappingRanges(i, j));
+                }
+            }
+        }
+        Ok(Crossbar { inputs, outputs })
+    }
+
+    /// The paper's 2×2 instance: two kernels over two BRAMs, each BRAM
+    /// owning `bram_bytes` of the shared address space (memory 0 first).
+    pub fn two_by_two(bram_bytes: u64) -> Self {
+        Crossbar::new(
+            2,
+            vec![
+                AddrRange::new(0, bram_bytes),
+                AddrRange::new(bram_bytes, 2 * bram_bytes),
+            ],
+        )
+        .expect("disjoint by construction")
+    }
+
+    /// Output port an address decodes to.
+    pub fn route(&self, addr: u64) -> Result<usize, CrossbarError> {
+        self.outputs
+            .iter()
+            .position(|r| r.contains(addr))
+            .ok_or(CrossbarError::Unmapped(addr))
+    }
+
+    /// FPGA cost, scaled from the measured 2×2 instance by the port
+    /// product (`201/200` LUT/registers at 2×2, Table II).
+    pub fn cost(&self) -> Resources {
+        let base = ComponentKind::Crossbar.cost();
+        let scale_num = (self.inputs * self.outputs.len()) as u64;
+        Resources::new(base.luts * scale_num / 4, base.regs * scale_num / 4)
+    }
+
+    /// Extra transfer latency introduced by the crossbar, in cycles.
+    /// Always zero: the decode is combinational and no data re-formatting
+    /// happens (the property the paper leans on to prefer shared memory
+    /// over the NoC for pairs).
+    pub fn latency_cycles(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two_routes_by_address() {
+        let x = Crossbar::two_by_two(0x1000);
+        assert_eq!(x.route(0x0), Ok(0));
+        assert_eq!(x.route(0xfff), Ok(0));
+        assert_eq!(x.route(0x1000), Ok(1));
+        assert_eq!(x.route(0x1fff), Ok(1));
+        assert_eq!(x.route(0x2000), Err(CrossbarError::Unmapped(0x2000)));
+    }
+
+    #[test]
+    fn overlapping_ranges_rejected() {
+        let err = Crossbar::new(
+            2,
+            vec![AddrRange::new(0, 10), AddrRange::new(5, 15)],
+        )
+        .unwrap_err();
+        assert_eq!(err, CrossbarError::OverlappingRanges(0, 1));
+    }
+
+    #[test]
+    fn empty_outputs_rejected() {
+        assert_eq!(Crossbar::new(2, vec![]), Err(CrossbarError::NoOutputs));
+    }
+
+    #[test]
+    fn cost_matches_table2_at_2x2_and_scales() {
+        let x2 = Crossbar::two_by_two(0x100);
+        assert_eq!(x2.cost(), Resources::new(201, 200));
+        let x4 = Crossbar::new(
+            4,
+            (0..4).map(|i| AddrRange::new(i * 16, (i + 1) * 16)).collect(),
+        )
+        .unwrap();
+        assert_eq!(x4.cost(), Resources::new(201 * 4, 200 * 4));
+    }
+
+    #[test]
+    fn crossbar_adds_no_latency() {
+        assert_eq!(Crossbar::two_by_two(64).latency_cycles(), 0);
+    }
+
+    #[test]
+    fn range_helpers() {
+        let r = AddrRange::new(10, 20);
+        assert_eq!(r.len(), 10);
+        assert!(!r.is_empty());
+        assert!(r.contains(10));
+        assert!(!r.contains(20));
+        assert!(r.overlaps(&AddrRange::new(19, 25)));
+        assert!(!r.overlaps(&AddrRange::new(20, 25)));
+        assert!(AddrRange::new(5, 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        AddrRange::new(10, 5);
+    }
+}

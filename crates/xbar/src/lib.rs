@@ -1,0 +1,26 @@
+//! # hic-xbar — crossbar and shared-local-memory interconnect
+//!
+//! The shared-memory half of the paper's hybrid interconnect. When exactly
+//! two kernels communicate exclusively with each other
+//! (`D_i(out)^K = D_j(in)^K = D_ij`), their local memories can be shared so
+//! the data segment moves **zero** times instead of twice over the bus
+//! (saving `Δc = 2·D_ij·θ`):
+//!
+//! * in the general case a 2×2 crossbar switches the two kernels onto the
+//!   two BRAMs by address, with no protocol overhead ("the crossbar does
+//!   not introduce any communication overhead because it does not change
+//!   the structure of data");
+//! * when the consumer has no host traffic at all
+//!   (`D_j(in)^H = D_j(out)^H = 0`), its BRAM has a spare port and the
+//!   kernels share directly, without even the crossbar.
+//!
+//! [`crossbar`] models the address-decoded switch; [`shared`] models the
+//! pairing decision and its cost/benefit.
+
+#![warn(missing_docs)]
+
+pub mod crossbar;
+pub mod shared;
+
+pub use crossbar::{AddrRange, Crossbar, CrossbarError};
+pub use shared::{SharedMemPair, SharingMode};

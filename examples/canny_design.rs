@@ -1,0 +1,68 @@
+//! Canny edge detection through the full flow: real profiled run, then the
+//! per-stage design decisions (who shares memory, who goes on the NoC),
+//! then a side-by-side of the analytic model and the discrete-event
+//! simulator.
+//!
+//! ```text
+//! cargo run --example canny_design
+//! ```
+
+use hic::apps::canny;
+use hic::core::{design, DesignConfig, Variant};
+use hic::sim::simulate;
+
+fn main() {
+    let run = canny::run_profiled(64, 64, 42);
+    let (w, h) = run.size;
+    println!(
+        "canny on a {w}x{h} synthetic frame: {} edge pixels detected\n",
+        run.edge_pixels
+    );
+
+    println!("profiled producer→consumer flows:");
+    println!("{}", run.graph.to_table());
+
+    let cfg = DesignConfig::default();
+    let plan = design(&run.app, &cfg, Variant::Hybrid).expect("fits");
+
+    println!("design decisions ({}):", plan.solution_label());
+    for p in &plan.sm_pairs {
+        println!(
+            "  SM pair: {} -> {} ({} bytes, {:?})",
+            plan.app.kernel(p.producer).name,
+            plan.app.kernel(p.consumer).name,
+            p.bytes,
+            p.mode
+        );
+    }
+    for (k, e) in &plan.kernels {
+        println!(
+            "  {:<18} {} -> {}",
+            plan.app.kernel(*k).name,
+            e.class,
+            e.attach
+        );
+    }
+    if let Some(noc) = &plan.noc {
+        println!(
+            "  NoC: {} routers, placement:",
+            noc.routers()
+        );
+        for (node, coord) in &noc.placement.slots {
+            println!("    {node} @ {coord}");
+        }
+    }
+
+    println!("\nmodel vs simulation:");
+    for variant in [Variant::Baseline, Variant::Hybrid] {
+        let plan = design(&run.app, &cfg, variant).expect("fits");
+        let est = plan.estimate();
+        let sim = simulate(&plan);
+        println!(
+            "  {:<10} analytic kernels {:>12}  simulated kernels {:>12}",
+            variant.name(),
+            est.kernels,
+            sim.kernel_time
+        );
+    }
+}

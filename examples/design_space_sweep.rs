@@ -1,0 +1,84 @@
+//! Design-space exploration: where does each interconnect win?
+//!
+//! Sweeps the kernel-to-kernel traffic share of a synthetic pipeline and
+//! reports, per operating point, the hybrid system's speed-up over the
+//! baseline and its resource overhead — showing the crossover the paper's
+//! Fig. 4/Table III imply: bus-only is fine when kernels barely talk to
+//! each other; the custom interconnect pays off as the kernel-side share
+//! grows (jpeg being the extreme at comm/comp ≈ 3.63).
+//!
+//! ```text
+//! cargo run --example design_space_sweep
+//! ```
+
+use hic::core::{design, DesignConfig, Variant};
+use hic::fabric::resource::Resources;
+use hic::fabric::time::Frequency;
+use hic::fabric::{AppSpec, CommEdge, HostSpec, KernelSpec};
+
+/// A four-kernel pipeline moving `total_bytes` of traffic, a `k2k_share`
+/// fraction of which flows kernel→kernel.
+fn pipeline(total_bytes: u64, k2k_share: f64) -> AppSpec {
+    let k2k = ((total_bytes as f64 * k2k_share) as u64 / 384) * 128;
+    let host = total_bytes - 3 * k2k;
+    let host_in = host / 2 / 128 * 128;
+    let host_out = host - host_in * 2;
+    AppSpec::new(
+        "sweep",
+        HostSpec::powerpc_400mhz(),
+        Frequency::from_mhz(100),
+        (0..4)
+            .map(|i| {
+                KernelSpec::new(
+                    i as u32,
+                    format!("k{i}"),
+                    150_000,
+                    1_200_000,
+                    Resources::new(2_000, 2_000),
+                )
+            })
+            .collect(),
+        vec![
+            CommEdge::h2k(0u32, host_in.max(128)),
+            CommEdge::k2k(0u32, 1u32, k2k.max(128)),
+            CommEdge::k2k(1u32, 2u32, k2k.max(128)),
+            CommEdge::k2k(2u32, 3u32, k2k.max(128)),
+            CommEdge::h2k(3u32, host_in.max(128)),
+            CommEdge::k2h(3u32, host_out.max(128)),
+        ],
+        200_000,
+    )
+    .expect("valid sweep app")
+}
+
+fn main() {
+    let cfg = DesignConfig::default();
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>10}",
+        "k2k share", "speedup", "comm/comp", "extra LUTs", "solution"
+    );
+    for share in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8] {
+        let app = pipeline(8 << 20, share);
+        let base = design(&app, &cfg, Variant::Baseline).expect("fits");
+        let hyb = design(&app, &cfg, Variant::Hybrid).expect("fits");
+        let est = hyb.estimate();
+        let extra = hyb
+            .resources()
+            .total()
+            .saturating_sub(base.resources().total());
+        println!(
+            "{:>9.0}% {:>11.2}x {:>12.2} {:>14} {:>10}",
+            share * 100.0,
+            est.kernel_speedup_vs_baseline(),
+            base.estimate().comm_comp_ratio(),
+            extra.luts,
+            hyb.solution_label(),
+        );
+    }
+    println!(
+        "\nReading: with (almost) no kernel-to-kernel traffic the custom \
+         interconnect cannot help (speed-up ≈ 1); as the share grows, the \
+         hybrid's win grows toward — and past — the jpeg-like regime at a \
+         constant, small resource premium."
+    );
+}

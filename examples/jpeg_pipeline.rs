@@ -1,0 +1,83 @@
+//! The paper's Section V-B case study end to end: run the *real* jpeg
+//! decoder under the QUAD-style profiler, print its communication profile
+//! (Fig. 5), synthesize the hybrid interconnect (Fig. 6) from the measured
+//! profile, and simulate all system variants.
+//!
+//! ```text
+//! cargo run --example jpeg_pipeline
+//! ```
+
+use hic::apps::jpeg;
+use hic::core::{design, DesignConfig, Variant};
+use hic::sim::{simulate, simulate_software, PowerModel};
+
+fn main() {
+    // 1. Run the real decoder (8×8 blocks of a 64×64 synthetic image)
+    //    under the profiler.
+    let run = jpeg::run_profiled(8, 8, 7);
+    println!(
+        "decoded {} blocks, max reconstruction error {:.2} grey levels\n",
+        run.blocks, run.max_abs_error
+    );
+
+    // 2. The measured communication profile — the paper's Fig. 5.
+    println!("data communication profile (QUAD view):");
+    println!("{}", run.graph.to_table());
+
+    // 3. Synthesize the custom interconnect from the *measured* profile.
+    let cfg = DesignConfig::default();
+    let plan = design(&run.app, &cfg, Variant::Hybrid).expect("fits");
+    println!("synthesized interconnect: {}", plan.solution_label());
+    for &(orig, clone) in &plan.duplicated {
+        println!(
+            "  duplicated {} into {} + {}",
+            plan.app.kernel(orig).name,
+            orig,
+            clone
+        );
+    }
+    for p in &plan.sm_pairs {
+        println!(
+            "  shared local memory: {} -> {} ({:?})",
+            plan.app.kernel(p.producer).name,
+            plan.app.kernel(p.consumer).name,
+            p.mode
+        );
+    }
+    for (k, e) in &plan.kernels {
+        println!(
+            "  {:<16} {} -> {} ({} mux)",
+            plan.app.kernel(*k).name,
+            e.class,
+            e.attach,
+            e.port_plan.muxes
+        );
+    }
+
+    // 4. Compare the variants on the measured app.
+    println!();
+    let sw = simulate_software(&run.app);
+    println!("software:  {:>12}", sw.app_time);
+    let power = PowerModel::ml510_default();
+    let base = design(&run.app, &cfg, Variant::Baseline).expect("fits");
+    let base_sim = simulate(&base);
+    for variant in [Variant::Baseline, Variant::Hybrid, Variant::NocOnly] {
+        let plan = design(&run.app, &cfg, variant).expect("fits");
+        let sim = simulate(&plan);
+        let res = plan.resources().total();
+        let energy = power.energy_j(res, sim.app_time);
+        println!(
+            "{:<10} {:>12}  ({:.2}x vs baseline)  {:>6} LUTs  {:.2} mJ",
+            format!("{}:", variant.name()),
+            sim.app_time,
+            base_sim.app_time.as_ps() as f64 / sim.app_time.as_ps() as f64,
+            res.luts,
+            energy * 1e3,
+        );
+    }
+
+    // 5. Emit the DOT graph for visual inspection.
+    let dot_path = std::env::temp_dir().join("jpeg_profile.dot");
+    std::fs::write(&dot_path, run.graph.to_dot("jpeg")).expect("write DOT");
+    println!("\nFig. 5 DOT graph written to {}", dot_path.display());
+}

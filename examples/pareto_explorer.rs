@@ -1,0 +1,51 @@
+//! Design-space exploration: evaluate all 16 mechanism subsets of
+//! Algorithm 1 on the jpeg decoder and print the Pareto front over
+//! (kernel execution time, LUTs).
+//!
+//! ```text
+//! cargo run --example pareto_explorer
+//! ```
+
+use hic::apps::calib;
+use hic::core::{explore, pareto_front, DesignConfig};
+
+fn main() {
+    let app = calib::jpeg();
+    let cfg = DesignConfig::default();
+    let points = explore(&app, &cfg).expect("all subsets fit");
+
+    println!("all 16 mechanism subsets on the jpeg decoder:\n");
+    println!(
+        "{:<16} {:>14} {:>10} {:>14}",
+        "mechanisms", "kernel time", "LUTs", "solution"
+    );
+    let mut sorted = points.clone();
+    sorted.sort_by_key(|p| p.kernels);
+    for p in &sorted {
+        println!(
+            "{:<16} {:>14} {:>10} {:>14}",
+            p.label,
+            p.kernels.to_string(),
+            p.resources.luts,
+            p.solution
+        );
+    }
+
+    let front = pareto_front(&points);
+    println!("\nPareto front (time × LUTs):");
+    for p in &front {
+        println!(
+            "  {:<16} {:>14} {:>10} LUTs",
+            p.label,
+            p.kernels.to_string(),
+            p.resources.luts
+        );
+    }
+    println!(
+        "\nAlgorithm 1's full configuration sits at the fast end of the \
+         front; the cheap end stays at the baseline's LUT count (the \
+         parallel transforms are resource-free, so 'par' shares it). \
+         Intermediate subsets show what each mechanism individually buys — \
+         the quantitative version of the paper's Table IV 'Solution' column."
+    );
+}

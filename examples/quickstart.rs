@@ -1,0 +1,93 @@
+//! Quickstart: describe an accelerator application, synthesize its custom
+//! interconnect, and compare the three system variants.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hic::core::{design, DesignConfig, Variant};
+use hic::fabric::resource::Resources;
+use hic::fabric::time::Frequency;
+use hic::fabric::{AppSpec, CommEdge, HostSpec, KernelSpec};
+use hic::sim::{simulate, simulate_software};
+
+fn main() {
+    // An application with four hardware kernels: a pre-processing stage
+    // fed by the host, a compute pair that talk only to each other (a
+    // shared-local-memory candidate), and a post-processing stage fanning
+    // back to the host.
+    let app = AppSpec::new(
+        "quickstart",
+        HostSpec::powerpc_400mhz(),
+        Frequency::from_mhz(100),
+        vec![
+            KernelSpec::new(0u32, "preprocess", 120_000, 1_000_000, Resources::new(2_000, 2_000))
+                .streamable(),
+            KernelSpec::new(1u32, "transform", 200_000, 1_700_000, Resources::new(3_000, 3_000)),
+            KernelSpec::new(2u32, "reduce", 150_000, 1_200_000, Resources::new(2_500, 2_500)),
+            KernelSpec::new(3u32, "postprocess", 90_000, 700_000, Resources::new(1_500, 1_500)),
+        ],
+        vec![
+            CommEdge::h2k(0u32, 1_024_000),       // host → preprocess
+            CommEdge::k2k(0u32, 1u32, 512_000),   // preprocess → transform
+            CommEdge::k2k(0u32, 3u32, 64_000),    // preprocess → postprocess
+            CommEdge::k2k(1u32, 2u32, 512_000),   // transform → reduce (exclusive!)
+            CommEdge::k2k(2u32, 3u32, 128_000),   // reduce → postprocess
+            CommEdge::k2h(3u32, 256_000),         // postprocess → host
+        ],
+        400_000, // host-resident cycles
+    )
+    .expect("valid application");
+
+    let cfg = DesignConfig::default();
+    println!("application: {} ({} kernels)\n", app.name, app.n_kernels());
+
+    // Software reference.
+    let sw = simulate_software(&app);
+    println!("software-only:  app {:>12}", sw.app_time);
+
+    for variant in [Variant::Baseline, Variant::Hybrid, Variant::NocOnly] {
+        let plan = design(&app, &cfg, variant).expect("fits the FPGA");
+        let est = plan.estimate();
+        let sim = simulate(&plan);
+        let res = plan.resources();
+        println!(
+            "{:<15} app {:>12} (sim {:>12})  {:>5.2}x vs sw  resources {}",
+            format!("{}:", variant.name()),
+            est.app,
+            sim.app_time,
+            est.app_speedup_vs_sw(),
+            res.total(),
+        );
+        if variant == Variant::Hybrid {
+            println!("\n  synthesized hybrid interconnect:");
+            println!("    solution: {}", plan.solution_label());
+            for p in &plan.sm_pairs {
+                println!(
+                    "    shared local memory: {} -> {} ({} bytes, {:?})",
+                    plan.app.kernel(p.producer).name,
+                    plan.app.kernel(p.consumer).name,
+                    p.bytes,
+                    p.mode
+                );
+            }
+            for (k, e) in &plan.kernels {
+                println!(
+                    "    {:<12} class {:<8} -> attach {}",
+                    plan.app.kernel(*k).name,
+                    e.class.to_string(),
+                    e.attach
+                );
+            }
+            if let Some(noc) = &plan.noc {
+                println!(
+                    "    NoC: {} routers on a {}x{} mesh",
+                    noc.routers(),
+                    noc.placement.mesh.w,
+                    noc.placement.mesh.h
+                );
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Multi-frame streaming: what the custom interconnect buys when the
+//! accelerator processes a video stream rather than one frame.
+//!
+//! The baseline host re-orchestrates every frame, so frames serialize. The
+//! hybrid interconnect lets successive frames pipeline through the kernel
+//! chain — the steady-state frame interval drops below the single-frame
+//! latency, multiplying the paper's single-run speed-up.
+//!
+//! ```text
+//! cargo run --example streaming_frames
+//! ```
+
+use hic::apps::calib;
+use hic::core::{design, DesignConfig, Variant};
+use hic::sim::{simulate, simulate_runs};
+
+fn main() {
+    let cfg = DesignConfig::default();
+    let frames = 16;
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>12} {:>10}",
+        "app", "base 1-frame", "hyb 1-frame", "hyb interval", "stream x", "fps"
+    );
+    for app in calib::all() {
+        let base = design(&app, &cfg, Variant::Baseline).expect("fits");
+        let hyb = design(&app, &cfg, Variant::Hybrid).expect("fits");
+        let base_one = simulate(&base).app_time;
+        let hyb_one = simulate(&hyb).app_time;
+        let runs = simulate_runs(&hyb, frames);
+        let stream_speedup =
+            base_one.as_ps() as f64 / runs.steady_interval.as_ps() as f64;
+        println!(
+            "{:<8} {:>14} {:>14} {:>14} {:>11.2}x {:>10.1}",
+            app.name,
+            base_one,
+            hyb_one,
+            runs.steady_interval,
+            stream_speedup,
+            runs.steady_fps()
+        );
+    }
+    println!(
+        "\n'stream x' compares the baseline's per-frame cost against the \
+         hybrid's steady-state frame interval over a {frames}-frame burst: \
+         pipelining across frames adds to the paper's single-frame gains."
+    );
+}

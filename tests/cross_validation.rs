@@ -1,0 +1,138 @@
+//! Cross-cutting integration: flit-level co-simulation vs the analytic
+//! model on every paper application, multi-frame streaming consistency,
+//! runtime-reconfiguration planning, routing algorithms, and plan diffing.
+
+use hic::apps::calib;
+use hic::core::{design, plan_diff, DesignConfig, Variant};
+use hic::noc::{Mesh, Network, NocConfig, Routing};
+use hic::sim::{
+    compare_reconfig_strategies, cosimulate, simulate, simulate_runs, AppPhase, PowerModel,
+    ReconfigSpec,
+};
+
+#[test]
+fn cosim_brackets_analytic_on_every_app() {
+    // Flit-level transfers can only add time over the full-hiding model,
+    // and with the default 32-bit links the excess stays bounded on the
+    // paper workloads.
+    let cfg = DesignConfig::default();
+    for app in calib::all() {
+        let plan = design(&app, &cfg, Variant::Hybrid).expect("fits");
+        let res = cosimulate(&plan);
+        let s = res.slowdown_vs_analytic();
+        assert!(s >= 0.98, "{}: {s}", app.name);
+        assert!(s < 1.6, "{}: flit-level blowup {s}", app.name);
+    }
+}
+
+#[test]
+fn wide_links_close_the_cosim_gap_everywhere() {
+    let cfg = DesignConfig {
+        flit_payload: 32,
+        ..DesignConfig::default()
+    };
+    for app in calib::all() {
+        let plan = design(&app, &cfg, Variant::Hybrid).expect("fits");
+        let res = cosimulate(&plan);
+        assert!(
+            res.slowdown_vs_analytic() < 1.12,
+            "{}: {}",
+            app.name,
+            res.slowdown_vs_analytic()
+        );
+    }
+}
+
+#[test]
+fn streaming_interval_never_exceeds_single_frame_latency() {
+    let cfg = DesignConfig::default();
+    for app in calib::all() {
+        let plan = design(&app, &cfg, Variant::Hybrid).expect("fits");
+        let one = simulate(&plan).app_time;
+        let runs = simulate_runs(&plan, 12);
+        assert!(
+            runs.steady_interval <= one,
+            "{}: interval {} vs single {}",
+            app.name,
+            runs.steady_interval,
+            one
+        );
+        // Total makespan is consistent with the per-frame records.
+        assert_eq!(runs.frame_done.len(), 12);
+        assert_eq!(runs.makespan, *runs.frame_done.last().unwrap());
+    }
+}
+
+#[test]
+fn reconfig_strategies_are_consistent_with_plan_resources() {
+    let cfg = DesignConfig::default();
+    let power = PowerModel::ml510_default();
+    let rc = ReconfigSpec::ml510_default();
+    let phases: Vec<AppPhase> = calib::all()
+        .into_iter()
+        .map(|app| AppPhase { app, runs: 10 })
+        .collect();
+    let (per_app, union) = compare_reconfig_strategies(&phases, &cfg, &power, &rc).unwrap();
+    assert!(per_app.feasible && union.feasible);
+    // The union strategy's peak cannot be below the per-app strategy's
+    // peak for the same workload (it hosts a superset interconnect).
+    assert!(union.peak_resources.luts >= per_app.peak_resources.luts);
+    // Both strategies performed the same number of switches.
+    assert_eq!(per_app.reconfigurations, union.reconfigurations);
+}
+
+#[test]
+fn plan_diff_is_reflexive_and_detects_variant_changes() {
+    let cfg = DesignConfig::default();
+    for app in calib::all() {
+        let hyb = design(&app, &cfg, Variant::Hybrid).unwrap();
+        let hyb2 = design(&app, &cfg, Variant::Hybrid).unwrap();
+        assert!(plan_diff(&hyb, &hyb2).is_empty(), "{}", app.name);
+        let base = design(&app, &cfg, Variant::Baseline).unwrap();
+        let d = plan_diff(&base, &hyb);
+        assert!(!d.is_empty(), "{}: hybrid must differ from baseline", app.name);
+        assert!(d.luts_delta > 0, "{}", app.name);
+    }
+}
+
+#[test]
+fn both_routings_deliver_identical_payload_totals() {
+    // Same traffic, both routing algorithms: identical delivery sets
+    // (counts and bytes), possibly different orders/latencies.
+    let mesh = Mesh::new(4, 4);
+    let traffic: Vec<(usize, usize, u64)> = (0..40)
+        .map(|i| ((i * 3) % 16, (i * 7 + 5) % 16, (i as u64 * 37) % 300))
+        .collect();
+    let run = |routing: Routing| {
+        let mut net = Network::new(NocConfig {
+            routing,
+            ..NocConfig::paper_default(mesh)
+        });
+        for &(s, d, b) in &traffic {
+            net.send(mesh.coord(s), mesh.coord(d), b);
+        }
+        net.run_until_drained(1_000_000).expect("drains");
+        let mut bytes: Vec<u64> = net.delivered().iter().map(|p| p.bytes).collect();
+        bytes.sort_unstable();
+        (net.delivered().len(), bytes)
+    };
+    let (nx, bx) = run(Routing::Xy);
+    let (nw, bw) = run(Routing::WestFirst);
+    assert_eq!(nx, nw);
+    assert_eq!(bx, bw);
+}
+
+#[test]
+fn energy_model_tracks_cosim_times_consistently() {
+    // Energy via the co-simulated time is ≥ energy via the analytic time
+    // (same power, more time).
+    let cfg = DesignConfig::default();
+    let power = PowerModel::ml510_default();
+    let app = calib::jpeg();
+    let plan = design(&app, &cfg, Variant::Hybrid).unwrap();
+    let res = cosimulate(&plan);
+    let r = plan.resources().total();
+    let e_cosim = power.energy_j(r, res.app_time);
+    let e_analytic = power.energy_j(r, simulate(&plan).app_time);
+    assert!(e_cosim >= e_analytic);
+}

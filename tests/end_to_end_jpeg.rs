@@ -1,0 +1,144 @@
+//! End-to-end reproduction of the paper's jpeg case study (Section V-B):
+//! the *measured* profile from the real decoder and the *calibrated* spec
+//! must both drive Algorithm 1 into the structure of Fig. 6.
+
+use hic::apps::{calib, jpeg};
+use hic::core::{design, DesignConfig, KernelAttach, MemAttach, Variant};
+use hic::sim::{simulate, simulate_software};
+use hic::xbar::SharingMode;
+
+fn kernel_entry<'a>(
+    plan: &'a hic::core::InterconnectPlan,
+    name: &str,
+) -> (&'a hic::core::KernelPlanEntry, hic::fabric::KernelId) {
+    let k = plan
+        .app
+        .kernel_ids()
+        .find(|&k| plan.app.kernel(k).name == name)
+        .unwrap_or_else(|| panic!("kernel {name} not in plan"));
+    (&plan.kernels[&k], k)
+}
+
+#[test]
+fn calibrated_jpeg_reproduces_fig6_structure() {
+    let app = calib::jpeg();
+    let plan = design(&app, &DesignConfig::default(), Variant::Hybrid).expect("fits");
+
+    // Line 3-4: huff_ac_dec is duplicated.
+    assert_eq!(plan.duplicated.len(), 1);
+    assert_eq!(plan.app.kernel(plan.duplicated[0].0).name, "huff_ac_dec");
+    assert_eq!(plan.app.kernel(plan.duplicated[0].1).name, "huff_ac_dec#2");
+
+    // Lines 9-10: dquantz_lum → j_rev_dct share local memories through the
+    // crossbar (j_rev_dct has host traffic).
+    assert_eq!(plan.sm_pairs.len(), 1);
+    let p = plan.sm_pairs[0];
+    assert_eq!(plan.app.kernel(p.producer).name, "dquantz_lum");
+    assert_eq!(plan.app.kernel(p.consumer).name, "j_rev_dct");
+    assert_eq!(p.mode, SharingMode::Crossbar);
+
+    // Adaptive mapping (Table I), exactly as Section V-B derives:
+    // huff_dc_dec: {R2,S1} → {K2,M1}.
+    let (dc, _) = kernel_entry(&plan, "huff_dc_dec");
+    assert_eq!(dc.attach.kernel, KernelAttach::K2);
+    assert_eq!(dc.attach.mem, MemAttach::M1);
+    assert_eq!(dc.port_plan.muxes, 0);
+
+    // Both huff_ac instances: {R3,S1} → {K2,M3}, and their dual-port BRAMs
+    // are touched by host + NoC adapter + core → one mux each (the paper's
+    // multiplexer discussion).
+    for name in ["huff_ac_dec", "huff_ac_dec#2"] {
+        let (ac, _) = kernel_entry(&plan, name);
+        assert_eq!(ac.attach.kernel, KernelAttach::K2, "{name}");
+        assert_eq!(ac.attach.mem, MemAttach::M3, "{name}");
+        assert_eq!(ac.port_plan.muxes, 1, "{name}");
+    }
+
+    // dquantz_lum: receives over the NoC, sends through the shared memory:
+    // kernel off the NoC, memory on the NoC only.
+    let (dq, _) = kernel_entry(&plan, "dquantz_lum");
+    assert_eq!(dq.attach.kernel, KernelAttach::K1);
+    assert_eq!(dq.attach.mem, MemAttach::M2);
+    assert!(dq.behind_crossbar);
+
+    // j_rev_dct: residual traffic is host-only → {K1,M1}, behind the
+    // crossbar.
+    let (idct, _) = kernel_entry(&plan, "j_rev_dct");
+    assert_eq!(idct.attach.kernel, KernelAttach::K1);
+    assert_eq!(idct.attach.mem, MemAttach::M1);
+    assert!(idct.behind_crossbar);
+
+    // NoC: 3 kernel nodes (huff_dc + 2× huff_ac) and 3 memory nodes
+    // (2× huff_ac LM + dquantz LM) → 6 routers.
+    let noc = plan.noc.as_ref().expect("jpeg uses a NoC");
+    assert_eq!(noc.kernel_nodes.len(), 3);
+    assert_eq!(noc.mem_nodes.len(), 3);
+    assert_eq!(noc.routers(), 6);
+}
+
+#[test]
+fn measured_jpeg_profile_drives_the_same_key_decisions() {
+    // The real decoder's measured profile must produce the same structural
+    // decisions as the calibrated spec: the same SM pair and the same
+    // duplication. The measured workload is a few thousand kernel cycles,
+    // so the transform overheads are scaled down accordingly (with the
+    // ML510-scale default of 1000 cycles, the algorithm correctly refuses
+    // to duplicate a 1125-cycle kernel).
+    let run = jpeg::run_profiled(4, 4, 99);
+    let cfg = DesignConfig {
+        dup_overhead_cycles: 100,
+        stream_overhead_cycles: 100,
+        ..DesignConfig::default()
+    };
+    let plan = design(&run.app, &cfg, Variant::Hybrid).expect("fits");
+
+    assert_eq!(plan.sm_pairs.len(), 1);
+    let p = plan.sm_pairs[0];
+    assert_eq!(plan.app.kernel(p.producer).name, "dquantz_lum");
+    assert_eq!(plan.app.kernel(p.consumer).name, "j_rev_dct");
+
+    assert_eq!(plan.duplicated.len(), 1);
+    assert_eq!(plan.app.kernel(plan.duplicated[0].0).name, "huff_ac_dec");
+
+    let (dc, _) = kernel_entry(&plan, "huff_dc_dec");
+    assert_eq!(dc.attach.kernel, KernelAttach::K2);
+    assert_eq!(dc.attach.mem, MemAttach::M1);
+}
+
+#[test]
+fn jpeg_variant_ordering_holds_in_simulation() {
+    // software > baseline (jpeg's baseline is SLOWER than software — the
+    // paper's most distinctive claim) and hybrid beats both.
+    let app = calib::jpeg();
+    let cfg = DesignConfig::default();
+    let sw = simulate_software(&app);
+    let base = simulate(&design(&app, &cfg, Variant::Baseline).expect("fits"));
+    let hyb = simulate(&design(&app, &cfg, Variant::Hybrid).expect("fits"));
+    assert!(
+        base.app_time > sw.app_time,
+        "baseline {} must be slower than software {}",
+        base.app_time,
+        sw.app_time
+    );
+    assert!(hyb.app_time < sw.app_time);
+    assert!(hyb.app_time < base.app_time);
+}
+
+#[test]
+fn jpeg_resource_totals_track_table4() {
+    let app = calib::jpeg();
+    let cfg = DesignConfig::default();
+    let base = design(&app, &cfg, Variant::Baseline).expect("fits");
+    let hyb = design(&app, &cfg, Variant::Hybrid).expect("fits");
+    let noc = design(&app, &cfg, Variant::NocOnly).expect("fits");
+    let (b, h, n) = (
+        base.resources().total(),
+        hyb.resources().total(),
+        noc.resources().total(),
+    );
+    assert_eq!((b.luts, b.regs), (11_755, 11_910)); // paper, exact
+    assert_eq!((h.luts, h.regs), (20_837, 20_900)); // paper, exact
+    // NoC-only within 2% of the paper's 23 180 / 23 188.
+    assert!((n.luts as f64 - 23_180.0).abs() / 23_180.0 < 0.02, "{n}");
+    assert!((n.regs as f64 - 23_188.0).abs() / 23_188.0 < 0.02, "{n}");
+}

@@ -1,0 +1,138 @@
+//! Cross-validation of the three performance views:
+//! the closed-form model (Eq. 2 + Δ terms), the transfer-level
+//! discrete-event simulator, and the cycle-level bus/NoC substrates.
+
+use hic::apps::calib;
+use hic::bus::{BusConfig, CycleBus, Request};
+use hic::core::{design, DesignConfig, Variant};
+use hic::noc::{LatencyModel, Mesh, Network, NocConfig};
+use hic::sim::simulate;
+
+#[test]
+fn baseline_simulation_matches_eq2_on_all_apps() {
+    // The DES executes the baseline exactly as Section III-A describes,
+    // so it must land on Eq. 2 up to bus-burst quantization (< 0.1% on
+    // the calibrated byte counts, which are multiples of one burst).
+    let cfg = DesignConfig::default();
+    for app in calib::all() {
+        let plan = design(&app, &cfg, Variant::Baseline).expect("fits");
+        let est = plan.estimate();
+        let sim = simulate(&plan);
+        let rel = (sim.kernel_time.as_ps() as f64 - est.kernels.as_ps() as f64).abs()
+            / est.kernels.as_ps() as f64;
+        assert!(
+            rel < 1e-3,
+            "{}: sim {} vs Eq.2 {}",
+            app.name,
+            sim.kernel_time,
+            est.kernels
+        );
+    }
+}
+
+#[test]
+fn hybrid_simulation_brackets_the_analytic_model() {
+    // The dataflow DES overlaps host transfers with other kernels'
+    // computation, which the paper's serial model does not credit — so the
+    // simulated hybrid must be at least as fast as the model, and within a
+    // factor reflecting that extra overlap (≤35% on these workloads).
+    let cfg = DesignConfig::default();
+    for app in calib::all() {
+        let plan = design(&app, &cfg, Variant::Hybrid).expect("fits");
+        let est = plan.estimate();
+        let sim = simulate(&plan);
+        assert!(
+            sim.kernel_time.as_ps() as f64 <= est.kernels.as_ps() as f64 * 1.02,
+            "{}: sim {} slower than model {}",
+            app.name,
+            sim.kernel_time,
+            est.kernels
+        );
+        assert!(
+            sim.kernel_time.as_ps() as f64 >= est.kernels.as_ps() as f64 * 0.65,
+            "{}: sim {} implausibly faster than model {}",
+            app.name,
+            sim.kernel_time,
+            est.kernels
+        );
+    }
+}
+
+#[test]
+fn theta_matches_cycle_bus_on_burst_multiples() {
+    let bus = BusConfig::plb_100mhz();
+    for bytes in [128u64, 1_280, 131_072, 2_000_000] {
+        let analytic = bus.theta_time(bytes);
+        let mut cycle = CycleBus::new(bus);
+        let trace = cycle.run(&[Request::at_start(0, bytes)]);
+        assert_eq!(
+            trace.makespan, analytic,
+            "{bytes} bytes: cycle bus vs θ model"
+        );
+    }
+}
+
+#[test]
+fn cycle_bus_contention_exceeds_analytic_sum_never() {
+    // Serialized transfers: total occupancy equals the sum of individual
+    // transfer times; the analytic model is a lower bound on makespan.
+    let bus = BusConfig::plb_100mhz();
+    let reqs: Vec<Request> = (0..8).map(|i| Request::at_start(i % 4, 12_800)).collect();
+    let mut cycle = CycleBus::new(bus);
+    let trace = cycle.run(&reqs);
+    let sum: u64 = reqs.iter().map(|r| bus.transfer_time(r.bytes).as_ps()).sum();
+    assert_eq!(trace.busy.as_ps(), sum);
+    assert_eq!(trace.makespan.as_ps(), sum); // all ready at t=0 → no idle
+}
+
+#[test]
+fn noc_latency_model_matches_flit_simulator_across_the_mesh() {
+    let cfg = NocConfig::paper_default(Mesh::new(5, 5));
+    let model = LatencyModel::new(cfg);
+    let mesh = Mesh::new(5, 5);
+    for (si, di, bytes) in [
+        (0usize, 24usize, 4u64),
+        (0, 24, 400),
+        (12, 12, 64),
+        (4, 20, 1),
+        (7, 18, 1024),
+    ] {
+        let (src, dst) = (mesh.coord(si), mesh.coord(di));
+        let mut net = Network::new(cfg);
+        net.send(src, dst, bytes);
+        net.run_until_drained(100_000).expect("drains");
+        assert_eq!(
+            net.delivered()[0].latency(),
+            model.packet_cycles(src, dst, bytes),
+            "{src}->{dst} {bytes}B"
+        );
+    }
+}
+
+#[test]
+fn hybrid_never_loses_to_baseline_and_noc_only_matches_hybrid() {
+    let cfg = DesignConfig::default();
+    for app in calib::all() {
+        let base = simulate(&design(&app, &cfg, Variant::Baseline).expect("fits"));
+        let hyb = simulate(&design(&app, &cfg, Variant::Hybrid).expect("fits"));
+        let noc = simulate(&design(&app, &cfg, Variant::NocOnly).expect("fits"));
+        assert!(hyb.kernel_time <= base.kernel_time, "{}", app.name);
+        // "Our system achieves the same performance ... as the NoC-only
+        // system" — within 5%.
+        let rel = (hyb.kernel_time.as_ps() as f64 - noc.kernel_time.as_ps() as f64).abs()
+            / noc.kernel_time.as_ps() as f64;
+        assert!(rel < 0.05, "{}: hybrid vs noc-only {rel}", app.name);
+    }
+}
+
+#[test]
+fn comm_comp_ratio_agrees_between_model_and_des_for_baseline() {
+    let cfg = DesignConfig::default();
+    for app in calib::all() {
+        let plan = design(&app, &cfg, Variant::Baseline).expect("fits");
+        let est = plan.estimate();
+        let sim = simulate(&plan);
+        let rel = (sim.comm_comp_ratio() - est.comm_comp_ratio()).abs() / est.comm_comp_ratio();
+        assert!(rel < 1e-3, "{}: {rel}", app.name);
+    }
+}

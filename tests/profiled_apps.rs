@@ -1,0 +1,100 @@
+//! End-to-end behaviour of the real instrumented applications across
+//! workload sizes: profiles scale sensibly, every measured app survives
+//! the full design→simulate pipeline, and the decoder chain stays
+//! numerically correct as it grows.
+
+use hic::apps::{canny, fluid, jpeg, klt};
+use hic::core::{design, DesignConfig, Variant};
+use hic::sim::simulate;
+
+#[test]
+fn every_measured_app_designs_and_simulates() {
+    let cfg = DesignConfig {
+        // Measured workloads are small; scale the transform overheads.
+        dup_overhead_cycles: 100,
+        stream_overhead_cycles: 100,
+        ..DesignConfig::default()
+    };
+    let apps = vec![
+        canny::run_profiled(32, 32, 1).app,
+        jpeg::run_profiled(4, 4, 1).app,
+        klt::run_profiled(32, 32, 8, 1).app,
+        fluid::run_profiled(16, 1).app,
+    ];
+    for app in apps {
+        for variant in [Variant::Baseline, Variant::Hybrid, Variant::NocOnly] {
+            let plan = design(&app, &cfg, variant)
+                .unwrap_or_else(|e| panic!("{}/{:?}: {e}", app.name, variant));
+            let run = simulate(&plan);
+            assert!(run.kernel_time > hic::fabric::Time::ZERO, "{}", app.name);
+            assert!(run.app_time >= run.kernel_time, "{}", app.name);
+        }
+    }
+}
+
+#[test]
+fn jpeg_profile_scales_linearly_in_blocks() {
+    let small = jpeg::run_profiled(2, 2, 3);
+    let large = jpeg::run_profiled(4, 4, 3);
+    // 4× the blocks → roughly 4× the decoder traffic (within 2×–6×,
+    // generous for fixed costs like the basis table).
+    let ratio = large.graph.total_bytes() as f64 / small.graph.total_bytes() as f64;
+    assert!(
+        (2.0..6.0).contains(&ratio),
+        "traffic ratio {ratio} for 4x blocks"
+    );
+    // Reconstruction stays within quantization loss at both sizes (the
+    // standard luminance table quantizes HF coefficients by up to 121, so
+    // worst-case pixel error lands in the tens of grey levels).
+    assert!(small.max_abs_error < 70.0, "{}", small.max_abs_error);
+    assert!(large.max_abs_error < 70.0, "{}", large.max_abs_error);
+}
+
+#[test]
+fn canny_profile_scales_with_image_area() {
+    let small = canny::run_profiled(16, 16, 4);
+    let large = canny::run_profiled(32, 32, 4);
+    let ratio = large.graph.total_bytes() as f64 / small.graph.total_bytes() as f64;
+    assert!(
+        (3.0..6.0).contains(&ratio),
+        "4x pixels should mean ~4x traffic, got {ratio}"
+    );
+}
+
+#[test]
+fn fluid_divergence_improves_with_grid_resolution() {
+    // The projection solves the same continuous problem; per-cell
+    // divergence must stay small at both resolutions.
+    let coarse = fluid::run_profiled(8, 5);
+    let fine = fluid::run_profiled(24, 5);
+    assert!(coarse.divergence_after < 0.1, "{}", coarse.divergence_after);
+    assert!(fine.divergence_after < 0.1, "{}", fine.divergence_after);
+}
+
+#[test]
+fn klt_tracks_across_sizes_and_feature_counts() {
+    for (size, nf) in [(24usize, 4usize), (40, 10)] {
+        let run = klt::run_profiled(size, size, nf, 8);
+        assert_eq!(run.features.len(), nf, "size {size}");
+        // At least half the features track the shift to within half a
+        // pixel in each axis.
+        let good = run
+            .features
+            .iter()
+            .filter(|f| {
+                (f.du - run.true_shift.0).abs() < 0.5 && (f.dv - run.true_shift.1).abs() < 0.5
+            })
+            .count();
+        assert!(good * 2 >= nf, "size {size}: only {good}/{nf} tracked");
+    }
+}
+
+#[test]
+fn measured_jpeg_exclusive_pair_survives_size_changes() {
+    for blocks in [2usize, 3, 4] {
+        let run = jpeg::run_profiled(blocks, blocks, 17);
+        let dq = run.graph.function_id("dquantz_lum").unwrap();
+        // dquantz always sends to exactly one consumer: j_rev_dct.
+        assert_eq!(run.graph.edges_from(dq).count(), 1, "blocks={blocks}");
+    }
+}

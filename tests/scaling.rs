@@ -1,0 +1,128 @@
+//! Scaling behaviour of the design algorithm on synthetic workloads: the
+//! trends the paper argues from (bus degrades with kernel count, the
+//! hybrid's advantage grows with communication intensity, interconnect
+//! resources grow linearly in attached nodes) hold across generated
+//! applications, not just the four calibrated ones.
+
+use hic::core::{design, DesignConfig, Variant};
+use hic::fabric::synthetic::{generate, Shape, SyntheticSpec};
+use hic::sim::simulate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spec(shape: Shape, kernels: usize, edge_bytes: u64) -> SyntheticSpec {
+    SyntheticSpec {
+        shape,
+        kernels,
+        mean_edge_bytes: edge_bytes,
+        ..SyntheticSpec::default()
+    }
+}
+
+#[test]
+fn hybrid_advantage_grows_with_kernel_count_on_chains() {
+    // Longer chains → more kernel-to-kernel traffic the baseline drags
+    // through the bus twice → larger hybrid speed-up.
+    let cfg = DesignConfig::default();
+    let mut speedups = Vec::new();
+    for n in [3usize, 6, 12] {
+        let app = generate(&spec(Shape::Chain, n, 512_000), &mut StdRng::seed_from_u64(5));
+        let hyb = design(&app, &cfg, Variant::Hybrid).expect("fits");
+        speedups.push(hyb.estimate().kernel_speedup_vs_baseline());
+    }
+    // Longer chains beat the shortest one (jitter in the generated
+    // workloads makes strict monotonicity too brittle to assert).
+    assert!(
+        speedups[2] > speedups[0],
+        "n=12 ({:.2}) should beat n=3 ({:.2})",
+        speedups[2],
+        speedups[0]
+    );
+    assert!(
+        speedups.iter().all(|&s| s > 1.5),
+        "chains must benefit substantially: {speedups:?}"
+    );
+}
+
+#[test]
+fn interconnect_resources_grow_linearly_with_attached_nodes() {
+    let cfg = DesignConfig::default();
+    let mut per_kernel_costs = Vec::new();
+    for n in [4usize, 8, 12] {
+        let app = generate(&spec(Shape::Chain, n, 256_000), &mut StdRng::seed_from_u64(9));
+        let hyb = design(&app, &cfg, Variant::Hybrid).expect("fits");
+        let ic = hyb.resources().interconnect.total().luts;
+        per_kernel_costs.push(ic as f64 / n as f64);
+    }
+    // Roughly constant per-kernel interconnect cost (within 2.5× across
+    // the sweep — shared pairs vs NoC attachments shift the mix).
+    let max = per_kernel_costs.iter().cloned().fold(0.0, f64::max);
+    let min = per_kernel_costs.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(max / min < 2.5, "{per_kernel_costs:?}");
+}
+
+#[test]
+fn fan_out_apps_prefer_the_noc_and_diamonds_can_pair() {
+    let cfg = DesignConfig::default();
+    let fan = generate(&spec(Shape::FanOut, 6, 256_000), &mut StdRng::seed_from_u64(2));
+    let fan_plan = design(&fan, &cfg, Variant::Hybrid).expect("fits");
+    // k0 sends to many consumers: no exclusive pair can contain it.
+    assert!(fan_plan
+        .sm_pairs
+        .iter()
+        .all(|p| p.producer != hic::fabric::KernelId::new(0)));
+    assert!(fan_plan.noc.is_some(), "fan-out needs the NoC");
+
+    // A 3-kernel diamond degenerates to a chain head: k0→k1→k2 with
+    // k0→k2? No — diamond(3) is 0→1→2, which pairs fully.
+    let chain3 = generate(&spec(Shape::Diamond, 3, 256_000), &mut StdRng::seed_from_u64(2));
+    let plan3 = design(&chain3, &cfg, Variant::Hybrid).expect("fits");
+    assert!(!plan3.sm_pairs.is_empty());
+}
+
+#[test]
+fn simulated_speedups_track_analytic_across_shapes_and_sizes() {
+    let cfg = DesignConfig::default();
+    for (shape, seed) in [
+        (Shape::Chain, 11u64),
+        (Shape::FanOut, 12),
+        (Shape::Diamond, 13),
+        (Shape::Random { density_pct: 30 }, 14),
+    ] {
+        for n in [4usize, 7] {
+            let app = generate(&spec(shape, n, 384_000), &mut StdRng::seed_from_u64(seed));
+            let base = design(&app, &cfg, Variant::Baseline).expect("fits");
+            let hyb = design(&app, &cfg, Variant::Hybrid).expect("fits");
+            let analytic = hyb.estimate().kernel_speedup_vs_baseline();
+            let sim = simulate(&base).kernel_time.as_ps() as f64
+                / simulate(&hyb).kernel_time.as_ps() as f64;
+            // The DES must agree on the winner. No upper bound: the
+            // dataflow simulator additionally parallelizes independent
+            // branches (random DAGs, fan-outs), which the paper's serial
+            // Σταυ model deliberately does not credit — its speed-up can
+            // legitimately exceed the analytic one severalfold there.
+            assert!(sim >= analytic * 0.9, "{shape:?} n={n}: sim {sim} vs {analytic}");
+            assert!(sim.is_finite() && sim > 0.0);
+        }
+    }
+}
+
+#[test]
+fn communication_intensity_sweep_shows_the_crossover() {
+    // At tiny edge sizes the custom interconnect buys nearly nothing; at
+    // large sizes the hybrid wins big — the design-space story of the
+    // paper's Fig. 4 in synthetic form.
+    let cfg = DesignConfig::default();
+    let speedup_at = |bytes: u64| -> f64 {
+        let app = generate(&spec(Shape::Chain, 5, bytes), &mut StdRng::seed_from_u64(3));
+        design(&app, &cfg, Variant::Hybrid)
+            .expect("fits")
+            .estimate()
+            .kernel_speedup_vs_baseline()
+    };
+    let light = speedup_at(1_280);
+    let heavy = speedup_at(2_560_000);
+    assert!(light < 1.25, "light traffic should barely matter: {light}");
+    assert!(heavy > 2.0, "heavy traffic should pay off big: {heavy}");
+    assert!(heavy > light);
+}
