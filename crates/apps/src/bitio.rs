@@ -56,11 +56,7 @@ impl CanonicalCode {
         loop {
             acc = (acc << 1) | next_bit();
             len += 1;
-            if let Some(sym) = self
-                .codes
-                .iter()
-                .position(|&(c, l)| l == len && c == acc)
-            {
+            if let Some(sym) = self.codes.iter().position(|&(c, l)| l == len && c == acc) {
                 return sym;
             }
             assert!(len <= 32, "corrupt Huffman stream");

@@ -54,13 +54,13 @@ pub fn canny() -> AppSpec {
         kernel_clock(),
         kernels,
         vec![
-            CommEdge::h2k(0u32, 2_999_936),  // image in
+            CommEdge::h2k(0u32, 2_999_936),       // image in
             CommEdge::k2k(0u32, 1u32, 1_599_872), // smoothed (SM pair 1)
             CommEdge::k2k(1u32, 2u32, 1_200_000), // dx/dy → magnitude
             CommEdge::k2k(1u32, 3u32, 1_000_064), // dx/dy → NMS
             CommEdge::k2k(2u32, 3u32, 899_968),   // magnitude → NMS
             CommEdge::k2k(3u32, 4u32, 390_016),   // NMS → hysteresis (SM pair 2)
-            CommEdge::k2h(4u32, 899_968),    // edge map out
+            CommEdge::k2h(4u32, 899_968),         // edge map out
         ],
         1_844_000, // 4.61 ms of host-resident work @ 400 MHz
     )
@@ -87,13 +87,13 @@ pub fn jpeg() -> AppSpec {
         kernel_clock(),
         kernels,
         vec![
-            CommEdge::h2k(0u32, 600_064),   // DC bitstream
-            CommEdge::h2k(1u32, 623_232),   // AC bitstream
-            CommEdge::k2k(0u32, 1u32, 484_864), // DC values → AC assembly
+            CommEdge::h2k(0u32, 600_064),         // DC bitstream
+            CommEdge::h2k(1u32, 623_232),         // AC bitstream
+            CommEdge::k2k(0u32, 1u32, 484_864),   // DC values → AC assembly
             CommEdge::k2k(1u32, 2u32, 1_000_064), // coefficient blocks
             CommEdge::k2k(2u32, 3u32, 2_000_000), // dequantized blocks (SM)
-            CommEdge::h2k(3u32, 299_904),   // cosine basis / control
-            CommEdge::k2h(3u32, 800_000),   // pixels out
+            CommEdge::h2k(3u32, 299_904),         // cosine basis / control
+            CommEdge::k2h(3u32, 800_000),         // pixels out
         ],
         206_800, // ≈0.52 ms of host-resident work
     )
@@ -118,11 +118,11 @@ pub fn klt() -> AppSpec {
         kernel_clock(),
         kernels,
         vec![
-            CommEdge::h2k(0u32, 399_872),  // frame for gradients
-            CommEdge::k2h(0u32, 299_904),  // gradient maps back to host
-            CommEdge::h2k(1u32, 500_096),  // frame + window config
+            CommEdge::h2k(0u32, 399_872),         // frame for gradients
+            CommEdge::k2h(0u32, 299_904),         // gradient maps back to host
+            CommEdge::h2k(1u32, 500_096),         // frame + window config
             CommEdge::k2k(1u32, 2u32, 2_157_440), // goodness map (SM pair)
-            CommEdge::k2h(2u32, 245_120),  // feature list out
+            CommEdge::k2h(2u32, 245_120),         // feature list out
         ],
         5_469_000, // ≈13.7 ms of host-resident work: the big SW part
     )
@@ -148,14 +148,14 @@ pub fn fluid() -> AppSpec {
         kernel_clock(),
         kernels,
         vec![
-            CommEdge::h2k(0u32, 4_999_936),  // fields in
+            CommEdge::h2k(0u32, 4_999_936),       // fields in
             CommEdge::k2k(0u32, 1u32, 2_400_000), // sourced density
             CommEdge::k2k(0u32, 2u32, 500_096),   // flux-correction bounds
             CommEdge::k2k(1u32, 2u32, 1_500_032), // diffused density
             CommEdge::k2k(1u32, 3u32, 400_000),   // relaxation weights
             CommEdge::k2k(2u32, 3u32, 1_512_064), // advected velocity
-            CommEdge::h2k(3u32, 1_000_064),  // boundary data
-            CommEdge::k2h(3u32, 2_239_872),  // new fields out
+            CommEdge::h2k(3u32, 1_000_064),       // boundary data
+            CommEdge::k2h(3u32, 2_239_872),       // new fields out
         ],
         223_600, // ≈0.56 ms of host-resident work
     )
@@ -199,7 +199,10 @@ mod tests {
         let est = plan.estimate();
         let k_base = est.kernel_speedup_vs_baseline();
         let a_base = est.app_speedup_vs_baseline();
-        assert!((k_base - 3.08).abs() / 3.08 < 0.10, "kernel vs base {k_base}");
+        assert!(
+            (k_base - 3.08).abs() / 3.08 < 0.10,
+            "kernel vs base {k_base}"
+        );
         assert!((a_base - 2.87).abs() / 2.87 < 0.10, "app vs base {a_base}");
         let k_sw = est.kernel_speedup_vs_sw();
         let a_sw = est.app_speedup_vs_sw();
@@ -238,7 +241,10 @@ mod tests {
         let cfg = DesignConfig::default();
         let plan = design(&canny(), &cfg, Variant::Hybrid).unwrap();
         let label = plan.solution_label();
-        assert!(label.contains("NoC") && label.contains("SM") && label.contains('P'), "{label}");
+        assert!(
+            label.contains("NoC") && label.contains("SM") && label.contains('P'),
+            "{label}"
+        );
         assert_eq!(plan.sm_pairs.len(), 2);
         let est = plan.estimate();
         assert!((est.kernel_speedup_vs_baseline() - 2.12).abs() / 2.12 < 0.10);

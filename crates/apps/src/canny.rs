@@ -42,8 +42,7 @@ pub fn run_profiled(w: usize, h: usize, seed: u64) -> CannyRun {
     let mut image: Buf<f32> = Buf::new(&mut arena, w * h);
     image.fill_with(&mut prof, main, |i| {
         let (x, y) = (i % w, i / w);
-        let inside =
-            x > w / 4 && x < 3 * w / 4 && y > h / 4 && y < 3 * h / 4;
+        let inside = x > w / 4 && x < 3 * w / 4 && y > h / 4 && y < 3 * h / 4;
         (if inside { 200.0 } else { 40.0 }) + synth_pixel(x, y, seed) * 0.05
     });
 
@@ -108,11 +107,21 @@ pub fn run_profiled(w: usize, h: usize, seed: u64) -> CannyRun {
                 let gx = dx.get(&mut prof, y * w + x);
                 let gy = dy.get(&mut prof, y * w + x);
                 let (n1, n2) = if gx.abs() >= gy.abs() {
-                    (mag.get(&mut prof, y * w + x - 1), mag.get(&mut prof, y * w + x + 1))
+                    (
+                        mag.get(&mut prof, y * w + x - 1),
+                        mag.get(&mut prof, y * w + x + 1),
+                    )
                 } else {
-                    (mag.get(&mut prof, (y - 1) * w + x), mag.get(&mut prof, (y + 1) * w + x))
+                    (
+                        mag.get(&mut prof, (y - 1) * w + x),
+                        mag.get(&mut prof, (y + 1) * w + x),
+                    )
                 };
-                nms.set(&mut prof, y * w + x, if m >= n1 && m >= n2 { m } else { 0.0 });
+                nms.set(
+                    &mut prof,
+                    y * w + x,
+                    if m >= n1 && m >= n2 { m } else { 0.0 },
+                );
             }
         }
         prof.exit();
@@ -127,7 +136,17 @@ pub fn run_profiled(w: usize, h: usize, seed: u64) -> CannyRun {
         let lo = 15.0f32;
         for i in 0..w * h {
             let m = nms.get(&mut prof, i);
-            edges.set(&mut prof, i, if m >= hi { 2 } else if m >= lo { 1 } else { 0 });
+            edges.set(
+                &mut prof,
+                i,
+                if m >= hi {
+                    2
+                } else if m >= lo {
+                    1
+                } else {
+                    0
+                },
+            );
         }
         // Promote weak pixels adjacent to strong ones (forward + backward).
         for pass in 0..2 {
@@ -207,7 +226,11 @@ mod tests {
         // whole image.
         let (w, h) = r.size;
         assert!(r.edge_pixels > w, "too few edges: {}", r.edge_pixels);
-        assert!(r.edge_pixels < w * h / 4, "too many edges: {}", r.edge_pixels);
+        assert!(
+            r.edge_pixels < w * h / 4,
+            "too many edges: {}",
+            r.edge_pixels
+        );
     }
 
     #[test]

@@ -196,10 +196,10 @@ pub fn run_profiled(n: usize, seed: u64) -> FluidRun {
         let mut total_div = 0f64;
         for y in 1..=n {
             for x in 1..=n {
-                let du = 0.5 * (p.get(&mut prof, idx(x + 1, y)) - p.get(&mut prof, idx(x - 1, y)))
-                    / hh;
-                let dv = 0.5 * (p.get(&mut prof, idx(x, y + 1)) - p.get(&mut prof, idx(x, y - 1)))
-                    / hh;
+                let du =
+                    0.5 * (p.get(&mut prof, idx(x + 1, y)) - p.get(&mut prof, idx(x - 1, y))) / hh;
+                let dv =
+                    0.5 * (p.get(&mut prof, idx(x, y + 1)) - p.get(&mut prof, idx(x, y - 1))) / hh;
                 u_a.update(&mut prof, idx(x, y), |v| v - du);
                 v_a.update(&mut prof, idx(x, y), |v| v - dv);
             }

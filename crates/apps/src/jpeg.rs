@@ -48,9 +48,9 @@ pub const QTABLE: [i32; 64] = [
 
 /// Zig-zag scan order of an 8×8 block.
 pub const ZIGZAG: [usize; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 const EOB_RUN: u32 = 63;
@@ -73,14 +73,9 @@ fn cos_basis() -> [f32; 64] {
     let mut t = [0f32; 64];
     for x in 0..8 {
         for u in 0..8 {
-            let cu = if u == 0 {
-                (1.0f32 / 2.0).sqrt()
-            } else {
-                1.0
-            };
-            t[x * 8 + u] = 0.5
-                * cu
-                * (((2 * x + 1) as f32) * (u as f32) * std::f32::consts::PI / 16.0).cos();
+            let cu = if u == 0 { (1.0f32 / 2.0).sqrt() } else { 1.0 };
+            t[x * 8 + u] =
+                0.5 * cu * (((2 * x + 1) as f32) * (u as f32) * std::f32::consts::PI / 16.0).cos();
         }
     }
     t

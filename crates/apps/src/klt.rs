@@ -174,7 +174,10 @@ pub fn run_profiled(w: usize, h: usize, n_features: usize, seed: u64) -> KltRun 
             }
             let det = sxx * syy - sxy * sxy;
             let (du, dv) = if det.abs() > 1e-6 {
-                ((-(syy * sxt - sxy * syt)) / det, (-(sxx * syt - sxy * sxt)) / det)
+                (
+                    (-(syy * sxt - sxy * syt)) / det,
+                    (-(sxx * syt - sxy * sxt)) / det,
+                )
             } else {
                 (0.0, 0.0)
             };

@@ -13,7 +13,11 @@ fn bench_fig4(c: &mut Criterion) {
     for r in &rows {
         println!(
             "[fig4] {}: app {:.2}x (paper {:.2}x), kernels {:.2}x (paper {:.2}x), comm/comp {:.2}",
-            r.app, r.app_speedup, r.paper_app_speedup, r.kernel_speedup, r.paper_kernel_speedup,
+            r.app,
+            r.app_speedup,
+            r.paper_app_speedup,
+            r.kernel_speedup,
+            r.paper_kernel_speedup,
             r.comm_comp
         );
     }

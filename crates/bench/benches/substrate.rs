@@ -137,12 +137,9 @@ fn bench_design(c: &mut Criterion) {
 
 fn bench_noc_load_sweep(c: &mut Criterion) {
     use hic_noc::{load_sweep, NocConfig as NC, Pattern};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     let cfg = NC::paper_default(Mesh::new(4, 4));
     // Print a small load–latency curve so bench logs double as a NoC
     // characterization record.
-    let mut rng = StdRng::seed_from_u64(11);
     for p in load_sweep(
         cfg,
         Pattern::Uniform,
@@ -150,7 +147,7 @@ fn bench_noc_load_sweep(c: &mut Criterion) {
         16,
         300,
         1_200,
-        &mut rng,
+        11,
     ) {
         println!(
             "[noc-load] offered {:.2} → mean latency {:.1} cyc, p99 {} cyc, thpt {:.1} B/cyc",
@@ -160,19 +157,41 @@ fn bench_noc_load_sweep(c: &mut Criterion) {
     let mut g = c.benchmark_group("noc_load");
     g.sample_size(10);
     g.bench_function("uniform_0p3_4x4", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(12);
-            black_box(load_sweep(
-                cfg,
-                Pattern::Uniform,
-                &[0.3],
-                16,
-                100,
-                400,
-                &mut rng,
-            ))
-        })
+        b.iter(|| black_box(load_sweep(cfg, Pattern::Uniform, &[0.3], 16, 100, 400, 12)))
     });
+    g.finish();
+}
+
+fn bench_noc_fastpath(c: &mut Criterion) {
+    use hic_noc::reference::{drive_uniform, ReferenceNetwork};
+    use hic_noc::RecordMode;
+
+    // Simulated cycles/second of the fast path vs. the pre-optimization
+    // reference stepper, 8×8 uniform Bernoulli traffic at three loads.
+    // The `repro` binary records the same comparison into BENCH_noc.json.
+    const CYCLES: u64 = 2_000;
+    let mesh = Mesh::new(8, 8);
+    let cfg = NocConfig::paper_default(mesh);
+    let mut g = c.benchmark_group("noc_fastpath");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(CYCLES));
+    for load in [0.1f64, 0.5, 0.9] {
+        g.bench_with_input(BenchmarkId::new("fast", load), &load, |b, &load| {
+            b.iter(|| {
+                let mut net = Network::new(cfg);
+                net.set_record_mode(RecordMode::Stats);
+                drive_uniform(&mut net, mesh, load, 16, cfg.flit_payload, CYCLES, 99);
+                black_box(net.stats().delivered())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("reference", load), &load, |b, &load| {
+            b.iter(|| {
+                let mut net = ReferenceNetwork::new(cfg);
+                drive_uniform(&mut net, mesh, load, 16, cfg.flit_payload, CYCLES, 99);
+                black_box(net.delivered().len())
+            })
+        });
+    }
     g.finish();
 }
 
@@ -182,6 +201,7 @@ criterion_group!(
     bench_noc,
     bench_profiler,
     bench_design,
-    bench_noc_load_sweep
+    bench_noc_load_sweep,
+    bench_noc_fastpath
 );
 criterion_main!(benches);

@@ -56,9 +56,16 @@ fn main() {
         matched = true;
         ablations(json);
     }
+    // Deliberately not part of `all`: it's a wall-clock benchmark, so it
+    // belongs to explicit invocations (`repro -- bench-noc`), which write
+    // the machine-readable record to BENCH_noc.json.
+    if what == "bench-noc" {
+        matched = true;
+        bench_noc();
+    }
     if !matched {
         eprintln!(
-            "unknown experiment '{what}'; expected one of: all fig4 table2 fig5 fig6 table3 fig7 table4 fig8 fig9 ablations"
+            "unknown experiment '{what}'; expected one of: all fig4 table2 fig5 fig6 table3 fig7 table4 fig8 fig9 ablations bench-noc"
         );
         std::process::exit(2);
     }
@@ -96,12 +103,18 @@ fn table2(json: bool) {
         return;
     }
     println!("== Table II: interconnect component utilization ==");
-    println!("{:<20} {:>8} {:>8} {:>12}", "component", "LUTs", "regs", "Fmax");
+    println!(
+        "{:<20} {:>8} {:>8} {:>12}",
+        "component", "LUTs", "regs", "Fmax"
+    );
     for r in rows {
         let fmax = r
             .fmax_mhz
             .map_or("N/A".to_string(), |f| format!("{f:.1}MHz"));
-        println!("{:<20} {:>8} {:>8} {:>12}", r.component, r.luts, r.regs, fmax);
+        println!(
+            "{:<20} {:>8} {:>8} {:>12}",
+            r.component, r.luts, r.regs, fmax
+        );
     }
     println!();
 }
@@ -171,13 +184,7 @@ fn table4(json: bool) {
         );
         println!(
             "{:<8} {:>6}/{:<7} {:>6}/{:<7} {:>6}/{:<7}  (paper)",
-            "",
-            r.paper[0].0,
-            r.paper[0].1,
-            r.paper[1].0,
-            r.paper[1].1,
-            r.paper[2].0,
-            r.paper[2].1
+            "", r.paper[0].0, r.paper[0].1, r.paper[1].0, r.paper[1].1, r.paper[2].0, r.paper[2].1
         );
     }
     println!();
@@ -218,6 +225,24 @@ fn fig9(json: bool) {
         );
     }
     println!();
+}
+
+fn bench_noc() {
+    let rows = hic_bench::nocperf::measure(8, 20_000, 3);
+    println!("== NoC fast path vs reference stepper (8x8 uniform) ==");
+    println!(
+        "{:<8} {:>12} {:>16} {:>16} {:>9}",
+        "offered", "delivered", "fast cyc/s", "reference cyc/s", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<8.2} {:>12} {:>16.0} {:>16.0} {:>8.2}x",
+            r.offered, r.delivered, r.fast_cycles_per_sec, r.reference_cycles_per_sec, r.speedup
+        );
+    }
+    let out = serde_json::to_string_pretty(&rows).unwrap();
+    std::fs::write("BENCH_noc.json", &out).expect("write BENCH_noc.json");
+    println!("\nwrote BENCH_noc.json");
 }
 
 fn ablations(json: bool) {

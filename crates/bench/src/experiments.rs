@@ -288,10 +288,7 @@ pub fn fig9() -> Vec<Fig9Row> {
             let hyb_est = hyb.estimate();
             let br = base.resources().total();
             let hr = hyb.resources().total();
-            let norm = power.normalized_energy(
-                (hr, hyb_est.app),
-                (br, base_est.app),
-            );
+            let norm = power.normalized_energy((hr, hyb_est.app), (br, base_est.app));
             Fig9Row {
                 app: app.name.clone(),
                 normalized_energy: norm,
@@ -487,7 +484,13 @@ mod tests {
         for r in &rows {
             // Within 10% of the derived paper values.
             let rel = (r.app_speedup - r.paper_app_speedup).abs() / r.paper_app_speedup;
-            assert!(rel < 0.10, "{}: {} vs {}", r.app, r.app_speedup, r.paper_app_speedup);
+            assert!(
+                rel < 0.10,
+                "{}: {} vs {}",
+                r.app,
+                r.app_speedup,
+                r.paper_app_speedup
+            );
         }
         // jpeg baseline is slower than software.
         let jpeg = rows.iter().find(|r| r.app == "jpeg").unwrap();
@@ -533,7 +536,10 @@ mod tests {
         // Ours: ~40% (our blanket NoC-only mapping for KLT carries one
         // more mux+adapter set than the paper's); paper: 33.1%. The
         // qualitative claim — KLT saves the most, roughly a third — holds.
-        assert!((max - paper::MAX_LUT_SAVING_VS_NOC_ONLY).abs() < 0.10, "{max}");
+        assert!(
+            (max - paper::MAX_LUT_SAVING_VS_NOC_ONLY).abs() < 0.10,
+            "{max}"
+        );
         let klt = rows.iter().find(|r| r.app == "klt").unwrap();
         assert_eq!(klt.solution, "SM");
         // KLT hybrid = baseline + one crossbar, exactly as in the paper.
@@ -563,7 +569,10 @@ mod tests {
             assert!((r.power_ratio - 1.0).abs() < 0.06, "{}", r.app);
         }
         let max = rows.iter().map(|r| r.saving).fold(0.0, f64::max);
-        assert!((max - paper::MAX_ENERGY_SAVING).abs() < 0.07, "max saving {max}");
+        assert!(
+            (max - paper::MAX_ENERGY_SAVING).abs() < 0.07,
+            "max saving {max}"
+        );
         let jpeg = rows.iter().find(|r| r.app == "jpeg").unwrap();
         assert!(jpeg.saving > 0.55, "jpeg saves the most: {}", jpeg.saving);
     }
@@ -576,10 +585,7 @@ mod tests {
         assert!(report.contains("duplicated: huff_ac_dec"));
         // huff_dc_dec maps to {K2,M1} as the paper derives.
         assert!(report.contains("huff_dc_dec"), "{report}");
-        let line = report
-            .lines()
-            .find(|l| l.contains("huff_dc_dec"))
-            .unwrap();
+        let line = report.lines().find(|l| l.contains("huff_dc_dec")).unwrap();
         assert!(line.contains("{R2,S1}"), "{line}");
         assert!(line.contains("{K2,M1}"), "{line}");
     }
@@ -587,12 +593,7 @@ mod tests {
     #[test]
     fn fig5_real_profile_has_the_papers_edges() {
         let (dot, table) = fig5();
-        for f in [
-            "huff_dc_dec",
-            "huff_ac_dec",
-            "dquantz_lum",
-            "j_rev_dct",
-        ] {
+        for f in ["huff_dc_dec", "huff_ac_dec", "dquantz_lum", "j_rev_dct"] {
             assert!(dot.contains(f));
             assert!(table.contains(f));
         }

@@ -11,4 +11,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod nocperf;
 pub mod paper;

@@ -217,9 +217,7 @@ mod tests {
     #[test]
     fn round_robin_alternates_between_masters() {
         let mut b = bus();
-        let reqs: Vec<Request> = (0..6)
-            .map(|i| Request::at_start(i % 2, 128))
-            .collect();
+        let reqs: Vec<Request> = (0..6).map(|i| Request::at_start(i % 2, 128)).collect();
         let tr = b.run(&reqs);
         let order: Vec<usize> = tr.grants.iter().map(|g| g.master).collect();
         assert_eq!(order, vec![0, 1, 0, 1, 0, 1]);

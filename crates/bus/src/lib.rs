@@ -21,11 +21,11 @@
 #![warn(missing_docs)]
 
 pub mod arbiter;
-pub mod dma;
 pub mod config;
 pub mod cycle;
+pub mod dma;
 
 pub use arbiter::{Arbiter, FixedPriority, RoundRobin};
-pub use dma::{Descriptor, DmaSpec};
 pub use config::BusConfig;
 pub use cycle::{BusTrace, CycleBus, Grant, Request};
+pub use dma::{Descriptor, DmaSpec};

@@ -17,12 +17,12 @@
 #![warn(missing_docs)]
 
 use hic_core::{design, DesignConfig, InterconnectPlan, Variant};
-use serde::Serialize;
 use hic_fabric::synthetic::{generate, Shape, SyntheticSpec};
 use hic_fabric::AppSpec;
 use hic_sim::{simulate, simulate_runs, simulate_software};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::Serialize;
 use std::fmt::Write as _;
 
 /// A parsed command.
@@ -318,7 +318,13 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let app = load_app(&path)?;
             let mut out = String::new();
             let sw = simulate_software(&app);
-            writeln!(out, "application: {} ({} kernels)", app.name, app.n_kernels()).unwrap();
+            writeln!(
+                out,
+                "application: {} ({} kernels)",
+                app.name,
+                app.n_kernels()
+            )
+            .unwrap();
             writeln!(out, "software: {}", sw.app_time).unwrap();
             writeln!(
                 out,

@@ -443,8 +443,7 @@ fn design_with(
         // {K1,M2} is feasible when the kernel's output leaves through a
         // shared local memory — or when it produces no output at all, in
         // which case there is no result to make reachable.
-        let sm_output = sm_pairs.iter().any(|p| p.producer == k)
-            || app.volumes(k).total_out() == 0;
+        let sm_output = sm_pairs.iter().any(|p| p.producer == k) || app.volumes(k).total_out() == 0;
         attach
             .validate(sm_output)
             .expect("adaptive mapping produced infeasible attachment");

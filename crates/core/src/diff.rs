@@ -131,7 +131,13 @@ mod tests {
                 KernelSpec::new(1u32, "ac", 160_000, 2_400_000, Resources::new(5_000, 4_800))
                     .duplicable(),
                 KernelSpec::new(2u32, "dq", 80_000, 1_200_000, Resources::new(1_200, 1_300)),
-                KernelSpec::new(3u32, "idct", 100_000, 1_500_000, Resources::new(2_400, 3_800)),
+                KernelSpec::new(
+                    3u32,
+                    "idct",
+                    100_000,
+                    1_500_000,
+                    Resources::new(2_400, 3_800),
+                ),
             ],
             vec![
                 CommEdge::h2k(0u32, 600_064),
@@ -167,7 +173,10 @@ mod tests {
             .push(hic_fabric::CommEdge::k2k(1u32, 3u32, 128_000));
         let new = design(&app, &cfg, Variant::Hybrid).unwrap();
         let d = diff(&old, &new);
-        assert!(d.sm_removed.contains(&("dq".into(), "idct".into())), "{d:?}");
+        assert!(
+            d.sm_removed.contains(&("dq".into(), "idct".into())),
+            "{d:?}"
+        );
         assert!(!deployable_without_reconfig(&old, &new));
     }
 

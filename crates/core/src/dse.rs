@@ -111,9 +111,8 @@ mod tests {
 
     fn app() -> AppSpec {
         let mk = |id: u32, name: &str, dup: bool| {
-            let mut k =
-                KernelSpec::new(id, name, 150_000, 1_200_000, Resources::new(2_000, 2_000))
-                    .streamable();
+            let mut k = KernelSpec::new(id, name, 150_000, 1_200_000, Resources::new(2_000, 2_000))
+                .streamable();
             k.duplicable = dup;
             k
         };
@@ -159,10 +158,7 @@ mod tests {
         let full = design(&app(), &cfg, Variant::Hybrid).unwrap();
         let full_est = full.estimate();
         // Nothing strictly dominates the full Algorithm 1 configuration.
-        let full_point = points
-            .iter()
-            .find(|p| p.label == "dup+sm+noc+par")
-            .unwrap();
+        let full_point = points.iter().find(|p| p.label == "dup+sm+noc+par").unwrap();
         assert!(
             !points.iter().any(|q| q.dominates(full_point)),
             "{front:#?}"

@@ -89,11 +89,7 @@ impl InterconnectPlan {
             .filter(|p| p.mode == SharingMode::Crossbar)
             .count() as u64;
         ic.crossbars = ComponentKind::Crossbar.cost() * n_crossbars;
-        ic.muxes = self
-            .kernels
-            .values()
-            .map(|e| e.port_plan.resources())
-            .sum();
+        ic.muxes = self.kernels.values().map(|e| e.port_plan.resources()).sum();
 
         SystemResources {
             kernels,

@@ -82,8 +82,8 @@ pub fn delta_dp(tau_i: Time, o: Time) -> Time {
 mod tests {
     use super::*;
     use hic_fabric::resource::Resources;
-    use hic_fabric::{CommEdge, HostSpec, KernelSpec};
     use hic_fabric::time::Frequency;
+    use hic_fabric::{CommEdge, HostSpec, KernelSpec};
 
     const THETA: f64 = 1562.5; // ps/byte, the PLB default
 

@@ -165,10 +165,9 @@ impl InterconnectPlan {
             }
             let src = NocNode::Kernel(i);
             let dst = NocNode::Memory(MemoryId(j.0));
-            if let (Some(&a), Some(&b)) = (
-                noc.placement.slots.get(&src),
-                noc.placement.slots.get(&dst),
-            ) {
+            if let (Some(&a), Some(&b)) =
+                (noc.placement.slots.get(&src), noc.placement.slots.get(&dst))
+            {
                 let cycles = lm.tail_residual_cycles(a, b);
                 total += noc.config.clock.cycles(cycles);
             }
@@ -230,7 +229,9 @@ mod tests {
         let base = design(&app(false), &cfg, Variant::Baseline)
             .unwrap()
             .estimate();
-        let hyb = design(&app(false), &cfg, Variant::Hybrid).unwrap().estimate();
+        let hyb = design(&app(false), &cfg, Variant::Hybrid)
+            .unwrap()
+            .estimate();
         assert!(hyb.kernels < base.kernels);
         // Hybrid communication only pays host-side bytes (+ tiny residual):
         // host bytes = 512k + 128k = 640k.
@@ -242,8 +243,12 @@ mod tests {
     #[test]
     fn streaming_improves_hybrid_further() {
         let cfg = DesignConfig::default();
-        let plain = design(&app(false), &cfg, Variant::Hybrid).unwrap().estimate();
-        let streamed = design(&app(true), &cfg, Variant::Hybrid).unwrap().estimate();
+        let plain = design(&app(false), &cfg, Variant::Hybrid)
+            .unwrap()
+            .estimate();
+        let streamed = design(&app(true), &cfg, Variant::Hybrid)
+            .unwrap()
+            .estimate();
         assert!(streamed.kernels < plain.kernels);
     }
 
@@ -252,8 +257,12 @@ mod tests {
         // The paper: "our system achieves the same performance and uses
         // less resources than the NoC-only system".
         let cfg = DesignConfig::default();
-        let hyb = design(&app(true), &cfg, Variant::Hybrid).unwrap().estimate();
-        let noc = design(&app(true), &cfg, Variant::NocOnly).unwrap().estimate();
+        let hyb = design(&app(true), &cfg, Variant::Hybrid)
+            .unwrap()
+            .estimate();
+        let noc = design(&app(true), &cfg, Variant::NocOnly)
+            .unwrap()
+            .estimate();
         let ratio = hyb.kernels.as_ps() as f64 / noc.kernels.as_ps() as f64;
         assert!((ratio - 1.0).abs() < 0.02, "ratio {ratio}");
     }
@@ -266,8 +275,8 @@ mod tests {
         assert!(est.kernel_speedup_vs_baseline() >= 1.0);
         // vs-SW speedup = vs-baseline speedup × baseline-vs-SW speedup.
         let lhs = est.app_speedup_vs_sw();
-        let rhs =
-            est.app_speedup_vs_baseline() * (est.sw_app.as_ps() as f64 / est.baseline_app.as_ps() as f64);
+        let rhs = est.app_speedup_vs_baseline()
+            * (est.sw_app.as_ps() as f64 / est.baseline_app.as_ps() as f64);
         assert!((lhs - rhs).abs() / lhs < 1e-9);
     }
 

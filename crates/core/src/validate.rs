@@ -119,16 +119,11 @@ impl InterconnectPlan {
                 }
                 // Every listed node is placed, on a distinct router.
                 let mut seen = BTreeSet::new();
-                for node in noc
-                    .kernel_nodes
-                    .iter()
-                    .map(|&k| NocNode::Kernel(k))
-                    .chain(
-                        noc.mem_nodes
-                            .iter()
-                            .map(|&k| NocNode::Memory(hic_fabric::MemoryId(k.0))),
-                    )
-                {
+                for node in noc.kernel_nodes.iter().map(|&k| NocNode::Kernel(k)).chain(
+                    noc.mem_nodes
+                        .iter()
+                        .map(|&k| NocNode::Memory(hic_fabric::MemoryId(k.0))),
+                ) {
                     let Some(&coord) = noc.placement.slots.get(&node) else {
                         return Err(PlanViolation::Unplaced(node.to_string()));
                     };

@@ -18,9 +18,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// One side of a communication edge.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Endpoint {
     /// The host processor (all software functions collapsed together).
     Host,
@@ -371,8 +369,7 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_edges() {
-        let err = two_kernel_app(vec![CommEdge::h2k(0u32, 1), CommEdge::h2k(0u32, 2)])
-            .unwrap_err();
+        let err = two_kernel_app(vec![CommEdge::h2k(0u32, 1), CommEdge::h2k(0u32, 2)]).unwrap_err();
         assert!(matches!(err, AppSpecError::DuplicateEdge(_, _)));
     }
 
@@ -413,11 +410,17 @@ mod tests {
     fn bytes_between_sums_matching_edges() {
         let app = two_kernel_app(vec![CommEdge::k2k(0u32, 1u32, 40)]).unwrap();
         assert_eq!(
-            app.bytes_between(Endpoint::Kernel(KernelId::new(0)), Endpoint::Kernel(KernelId::new(1))),
+            app.bytes_between(
+                Endpoint::Kernel(KernelId::new(0)),
+                Endpoint::Kernel(KernelId::new(1))
+            ),
             40
         );
         assert_eq!(
-            app.bytes_between(Endpoint::Kernel(KernelId::new(1)), Endpoint::Kernel(KernelId::new(0))),
+            app.bytes_between(
+                Endpoint::Kernel(KernelId::new(1)),
+                Endpoint::Kernel(KernelId::new(0))
+            ),
             0
         );
     }

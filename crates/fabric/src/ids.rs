@@ -85,7 +85,10 @@ mod tests {
         assert!(KernelId::new(1) < KernelId::new(2));
         let mut v = vec![MemoryId::new(5), MemoryId::new(1), MemoryId::new(3)];
         v.sort();
-        assert_eq!(v, vec![MemoryId::new(1), MemoryId::new(3), MemoryId::new(5)]);
+        assert_eq!(
+            v,
+            vec![MemoryId::new(1), MemoryId::new(3), MemoryId::new(5)]
+        );
     }
 
     #[test]

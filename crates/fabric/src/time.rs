@@ -156,9 +156,7 @@ impl fmt::Display for Time {
 /// Kilohertz granularity represents every frequency in the paper exactly
 /// (345.8 MHz = 345 800 kHz, 874.2 MHz = 874 200 kHz) while keeping the
 /// period computation in integer arithmetic.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Frequency {
     khz: u64,
 }

@@ -75,8 +75,7 @@ pub fn plan_banks(bytes: u64, port_width_bits: u32) -> BankPlan {
         let better = match &best {
             None => true,
             Some(b) => {
-                plan.blocks() < b.blocks()
-                    || (plan.blocks() == b.blocks() && plan.bytes < b.bytes)
+                plan.blocks() < b.blocks() || (plan.blocks() == b.blocks() && plan.bytes < b.bytes)
             }
         };
         if better {

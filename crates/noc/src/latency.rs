@@ -119,7 +119,13 @@ mod tests {
     #[test]
     fn tail_residual_is_small() {
         let (m, _) = model_and_net(4, 4);
-        assert_eq!(m.tail_residual_cycles(Coord::new(0, 0), Coord::new(3, 3)), 7);
-        assert_eq!(m.tail_residual_cycles(Coord::new(1, 1), Coord::new(1, 1)), 1);
+        assert_eq!(
+            m.tail_residual_cycles(Coord::new(0, 0), Coord::new(3, 3)),
+            7
+        );
+        assert_eq!(
+            m.tail_residual_cycles(Coord::new(1, 1), Coord::new(1, 1)),
+            1
+        );
     }
 }

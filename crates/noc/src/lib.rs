@@ -10,7 +10,11 @@
 //! * [`router`] — the five-port input-buffered wormhole router and its WRR
 //!   arbiter.
 //! * [`network`] — the cycle-stepped network: inject/decide/apply phases,
-//!   delivery records, latency and throughput statistics.
+//!   delivery records, latency and throughput statistics. Implemented as a
+//!   zero-allocation fast path (active-router set, slab packet tracking,
+//!   streaming statistics) proven cycle-exact against [`reference`].
+//! * [`reference`] — the original straightforward stepper, kept as the
+//!   executable specification the fast path is property-tested against.
 //! * [`adapter`] — kernel and local-memory network adapters (Table II
 //!   costs) and message segmentation.
 //! * [`placement`] — traffic-weighted node placement (exhaustive for the
@@ -30,16 +34,20 @@ pub mod latency;
 pub mod network;
 pub mod placement;
 pub mod qos;
+pub mod reference;
 pub mod router;
-pub mod traffic;
 pub mod topology;
+pub mod traffic;
 
 pub use adapter::{AdapterKind, AdapterSpec};
 pub use flit::{Flit, FlitKind, Packet, PacketId};
 pub use latency::LatencyModel;
-pub use network::{DeliveredPacket, DrainTimeout, Network, NocConfig};
-pub use placement::{place, place_exhaustive, place_greedy, place_naive, NocNode, Placement, Traffic};
+pub use network::{DeliveredPacket, DrainTimeout, Network, NocConfig, NocStats, RecordMode};
+pub use placement::{
+    place, place_exhaustive, place_greedy, place_naive, NocNode, Placement, Traffic,
+};
 pub use qos::{derive_weights, WeightPlan};
-pub use router::{Router, WrrArbiter, PORTS};
-pub use traffic::{load_sweep, LoadPoint, Pattern};
+pub use reference::ReferenceNetwork;
+pub use router::{MoveSet, Router, WrrArbiter, PORTS};
 pub use topology::{Coord, Direction, Mesh, Routing};
+pub use traffic::{load_sweep, LoadPoint, Pattern};

@@ -1,22 +1,90 @@
 //! The cycle-stepped mesh network.
 //!
 //! Every [`step`](Network::step) advances one NoC clock cycle in three
-//! phases: inject (node→local FIFO), decide (all routers arbitrate against
+//! phases: inject (node→local FIFO), decide (routers arbitrate against
 //! a pre-move buffer-space snapshot), apply (flits traverse one router and
 //! land in the neighbor's input FIFO or eject). Using a snapshot for the
 //! space check makes the update order-independent: a link carries at most
 //! one flit per cycle and a FIFO is never overfilled.
+//!
+//! # The zero-allocation fast path
+//!
+//! This implementation is cycle-exact with the original stepper (kept as
+//! [`crate::reference::ReferenceNetwork`]; the `cycle_exact` property test
+//! drives both through randomized traffic and asserts identical per-packet
+//! delivery cycles) but restructured so the hot loop neither allocates nor
+//! touches idle routers:
+//!
+//! - **Active-router bitset.** Only routers holding buffered flits or
+//!   pending injections are visited, walked in index order straight off a
+//!   bitmask (sequential access into the per-router state arrays).
+//!   Skipping an idle router is observably a no-op in the original
+//!   semantics: its decide produces no moves, and
+//!   [`crate::router::WrrArbiter::grant`] returns early *without touching
+//!   credits* when nothing requests, so arbiter state is preserved. A
+//!   router left holding an output lock with empty FIFOs (a worm stalled
+//!   upstream) is likewise inert until a flit arrives, which re-activates
+//!   it. Retirement is fused into the apply phase: a router can only go
+//!   idle by moving its flits out.
+//! - **Flat FIFO storage with per-router masks.** All input-FIFO flits
+//!   live in one flat ring array, with occupancy counts, a non-empty-port
+//!   bitmask and a locked-output bitmask mirrored alongside — the decide
+//!   work is proportional to the ports actually in use, not `PORTS`.
+//! - **Fused snapshot + decide, deferred apply.** Deciding mutates only the
+//!   router's own locks/arbiters and reads only neighbor FIFO *lengths*,
+//!   which no decide changes — so the downstream-space snapshot is
+//!   computed lazily per direction as the decision logic first asks for
+//!   it, while all FIFO mutations wait for the apply phase. Decisions are
+//!   collected in a reusable scratch vector of packed one-byte moves;
+//!   nothing is heap-allocated per cycle in the steady state.
+//! - **Slab packet tracking.** [`PacketId`]s are assigned monotonically, so
+//!   in-flight packets live in a sliding slab indexed by `id - base`
+//!   instead of a `HashMap`.
+//! - **Streaming statistics.** Delivery count, latency sum/max, payload
+//!   bytes and an exact integer latency histogram accumulate on the fly
+//!   ([`NocStats`]); the full per-packet log is opt-in via [`RecordMode`],
+//!   so long saturation runs no longer grow memory with the delivered
+//!   count.
+//!
+//! Within one cycle the *order* of entries in the delivered log is not
+//! guaranteed to match the reference; every per-packet field, including
+//! the delivery cycle, is identical.
 
 // Index loops over fixed-size port/coefficient arrays read more
 // naturally than iterator chains here.
 #![allow(clippy::needless_range_loop)]
 
-use crate::flit::{Flit, Packet, PacketId};
-use crate::router::{Move, Router, PORTS};
+use crate::flit::{Flit, FlitKind, Packet, PacketId};
+use crate::router::{OutputLock, WrrArbiter, PORTS};
 use crate::topology::{Coord, Direction, Mesh, Routing};
 use hic_fabric::time::Frequency;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+/// `OPP[d]` = `Direction::ALL[d].opposite().index()`, as a table so the
+/// hot loop does no enum round-trips.
+const OPP: [usize; PORTS] = [2, 3, 0, 1, 4];
+
+/// One decided move packed into a byte: input port (bits 0–2), output
+/// port (bits 3–5), tail flag (bit 6).
+#[inline]
+fn pack_move(input: usize, output: usize, is_tail: bool) -> u8 {
+    (input | (output << 3) | ((is_tail as usize) << 6)) as u8
+}
+
+#[inline]
+fn unpack_move(pm: u8) -> (usize, usize, bool) {
+    ((pm & 7) as usize, ((pm >> 3) & 7) as usize, pm & 0x40 != 0)
+}
+
+/// The moves one router decided this cycle, packed small so the decide →
+/// apply hand-off copies 12 bytes per router instead of a full `MoveSet`.
+#[derive(Debug, Clone, Copy)]
+struct PackedMoves {
+    router: u32,
+    n: u8,
+    moves: [u8; PORTS],
+}
 
 /// Static NoC parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -80,6 +148,142 @@ struct InFlight {
     injected: u64,
 }
 
+/// How much per-packet delivery information the network retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecordMode {
+    /// Keep every [`DeliveredPacket`] for the lifetime of the network (the
+    /// historical behaviour, and the default).
+    #[default]
+    Full,
+    /// Keep delivered packets only until the caller consumes them with
+    /// [`Network::drain_events`]; memory is bounded by the drain cadence
+    /// instead of the total delivered count.
+    Events,
+    /// Keep no per-packet log at all — only the streaming [`NocStats`]
+    /// (and the optional stats window) accumulate.
+    Stats,
+}
+
+/// Streaming delivery statistics, accumulated as packets eject. Gives the
+/// same answers as a scan over the full delivery log — including an exact
+/// p99, via an integer latency histogram — without retaining the log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NocStats {
+    delivered: u64,
+    latency_sum: u64,
+    latency_max: u64,
+    bytes: u64,
+    /// `hist[l]` = packets delivered with latency exactly `l` cycles.
+    hist: Vec<u64>,
+}
+
+impl NocStats {
+    fn record(&mut self, latency: u64, bytes: u64) {
+        self.delivered += 1;
+        self.latency_sum += latency;
+        self.latency_max = self.latency_max.max(latency);
+        self.bytes += bytes;
+        let slot = latency as usize;
+        if slot >= self.hist.len() {
+            self.hist.resize(slot + 1, 0);
+        }
+        self.hist[slot] += 1;
+    }
+
+    /// Packets delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total payload bytes delivered.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Sum of end-to-end latencies, in cycles.
+    pub fn latency_sum(&self) -> u64 {
+        self.latency_sum
+    }
+
+    /// Mean end-to-end latency in cycles (0 when nothing delivered).
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.delivered as f64
+        }
+    }
+
+    /// Maximum end-to-end latency in cycles.
+    pub fn max_latency(&self) -> u64 {
+        self.latency_max
+    }
+
+    /// Exact 99th-percentile latency: the latency at sorted index
+    /// `min(n-1, n·99/100)`, matching a sort over the full log.
+    pub fn p99_latency(&self) -> u64 {
+        if self.delivered == 0 {
+            return 0;
+        }
+        let idx = (self.delivered - 1).min(self.delivered * 99 / 100);
+        let mut seen = 0u64;
+        for (latency, &n) in self.hist.iter().enumerate() {
+            seen += n;
+            if seen > idx {
+                return latency as u64;
+            }
+        }
+        unreachable!("histogram counts sum to the delivered count")
+    }
+
+    /// The latency histogram (`[l]` = deliveries with latency `l`).
+    pub fn histogram(&self) -> &[u64] {
+        &self.hist
+    }
+}
+
+/// In-flight packet table exploiting monotonic [`PacketId`] assignment: a
+/// sliding window of slots indexed by `id - base`, advanced as the oldest
+/// packets complete. O(1) insert/remove with no hashing.
+#[derive(Debug, Default)]
+struct PacketSlab {
+    base: u64,
+    slots: VecDeque<Option<InFlight>>,
+    live: usize,
+}
+
+impl PacketSlab {
+    /// Insert the next packet; `id` must be `base + slots.len()`.
+    fn insert(&mut self, id: PacketId, f: InFlight) {
+        debug_assert_eq!(id.0, self.base + self.slots.len() as u64);
+        self.slots.push_back(Some(f));
+        self.live += 1;
+    }
+
+    fn remove(&mut self, id: PacketId) -> Option<InFlight> {
+        let idx = id.0.checked_sub(self.base)? as usize;
+        let f = self.slots.get_mut(idx)?.take();
+        if f.is_some() {
+            self.live -= 1;
+            // Slide the window past completed packets so slot count tracks
+            // the in-flight span, not the total ever sent.
+            while matches!(self.slots.front(), Some(None)) {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+        }
+        f
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
 /// Error from [`Network::run_until_drained`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DrainTimeout {
@@ -99,35 +303,149 @@ impl std::fmt::Display for DrainTimeout {
 
 impl std::error::Error for DrainTimeout {}
 
-/// The mesh network simulator.
+/// The mesh network simulator (see the module docs for the fast-path
+/// design and its cycle-exactness guarantee).
 #[derive(Debug)]
 pub struct Network {
     cfg: NocConfig,
-    routers: Vec<Router>,
     inject: Vec<VecDeque<Flit>>,
-    inflight: HashMap<PacketId, InFlight>,
+    inflight: PacketSlab,
     delivered: Vec<DeliveredPacket>,
+    record: RecordMode,
+    stats: NocStats,
+    window_from: Option<u64>,
+    window: NocStats,
     cycle: u64,
     next_id: u64,
-    space_scratch: Vec<[bool; PORTS]>,
+    /// Bitset of routers with buffered flits or pending injections; the
+    /// decide loop walks set bits in index order (sequential access into
+    /// the per-router arrays below).
+    active_bits: Vec<u64>,
+    /// Reusable per-cycle decision buffer.
+    moves_scratch: Vec<PackedMoves>,
+    /// Neighbor router index per output direction (`u32::MAX` at a mesh
+    /// edge and for Local), precomputed so the hot loop does no
+    /// coordinate arithmetic.
+    nbr: Vec<[u32; PORTS]>,
+    /// Flits buffered per (router, input port): the length of the
+    /// corresponding ring in `fifo`. One contiguous array, so space
+    /// snapshots and occupancy checks don't chase pointers.
+    port_occ: Vec<[u32; PORTS]>,
+    /// Flits awaiting injection per router (mirrors `inject` lengths).
+    pending: Vec<u32>,
+    /// All input-FIFO storage, flat: ring `(router, port)` occupies
+    /// `cap` slots starting at `(router * PORTS + port) * cap`. Replaces
+    /// per-router `VecDeque`s so the whole mesh's buffered flits share a
+    /// few cache lines.
+    fifo: Vec<Flit>,
+    /// Ring head offset per `(router, port)`.
+    fifo_head: Vec<u8>,
+    /// Bitmask of non-empty input ports per router (mirrors `port_occ`).
+    occ_mask: Vec<u8>,
+    /// Wormhole output locks per router.
+    locks: Vec<[Option<OutputLock>; PORTS]>,
+    /// Bitmask of locked outputs per router (mirrors `locks`).
+    lock_mask: Vec<u8>,
+    /// Output arbiters per router.
+    arbs: Vec<[WrrArbiter; PORTS]>,
+    /// Router coordinate by index (avoids a runtime division per lookup).
+    coords: Vec<Coord>,
 }
 
 impl Network {
     /// Build an idle network.
     pub fn new(cfg: NocConfig) -> Self {
-        let routers = (0..cfg.mesh.len())
-            .map(|i| Router::new(cfg.mesh.coord(i), cfg.buffer_flits))
+        assert!(
+            (1..=u8::MAX as usize).contains(&cfg.buffer_flits),
+            "buffer depth must be 1..=255 flits"
+        );
+        let nbr = (0..cfg.mesh.len())
+            .map(|i| {
+                let at = cfg.mesh.coord(i);
+                std::array::from_fn(|d| match Direction::ALL[d] {
+                    Direction::Local => u32::MAX,
+                    dir => cfg
+                        .mesh
+                        .neighbor(at, dir)
+                        .map(|n| cfg.mesh.index(n) as u32)
+                        .unwrap_or(u32::MAX),
+                })
+            })
             .collect();
+        let idle = Flit {
+            packet: PacketId(0),
+            kind: FlitKind::HeadTail,
+            dst: Coord::new(0, 0),
+            payload: 0,
+        };
         Network {
             cfg,
-            routers,
             inject: vec![VecDeque::new(); cfg.mesh.len()],
-            inflight: HashMap::new(),
+            inflight: PacketSlab::default(),
             delivered: Vec::new(),
+            record: RecordMode::default(),
+            stats: NocStats::default(),
+            window_from: None,
+            window: NocStats::default(),
             cycle: 0,
             next_id: 0,
-            space_scratch: vec![[false; PORTS]; cfg.mesh.len()],
+            active_bits: vec![0; cfg.mesh.len().div_ceil(64)],
+            moves_scratch: Vec::new(),
+            nbr,
+            port_occ: vec![[0; PORTS]; cfg.mesh.len()],
+            pending: vec![0; cfg.mesh.len()],
+            fifo: vec![idle; cfg.mesh.len() * PORTS * cfg.buffer_flits],
+            fifo_head: vec![0; cfg.mesh.len() * PORTS],
+            occ_mask: vec![0; cfg.mesh.len()],
+            locks: vec![[None; PORTS]; cfg.mesh.len()],
+            lock_mask: vec![0; cfg.mesh.len()],
+            arbs: (0..cfg.mesh.len())
+                .map(|_| std::array::from_fn(|_| WrrArbiter::uniform()))
+                .collect(),
+            coords: (0..cfg.mesh.len()).map(|i| cfg.mesh.coord(i)).collect(),
         }
+    }
+
+    /// Front flit of a FIFO the caller knows is non-empty (its `occ_mask`
+    /// bit is set).
+    #[inline]
+    fn fifo_front_unchecked(&self, router: usize, port: usize) -> Flit {
+        debug_assert!(self.port_occ[router][port] > 0, "front of empty FIFO");
+        let rp = router * PORTS + port;
+        self.fifo[rp * self.cfg.buffer_flits + self.fifo_head[rp] as usize]
+    }
+
+    #[inline]
+    fn fifo_push(&mut self, router: usize, port: usize, flit: Flit) {
+        let cap = self.cfg.buffer_flits;
+        let len = self.port_occ[router][port] as usize;
+        debug_assert!(len < cap, "input FIFO overflow");
+        let rp = router * PORTS + port;
+        // Conditional wrap instead of `%`: cap is a runtime value, so a
+        // modulo would put a hardware divide on the address path.
+        let mut slot = self.fifo_head[rp] as usize + len;
+        if slot >= cap {
+            slot -= cap;
+        }
+        self.fifo[rp * cap + slot] = flit;
+        self.port_occ[router][port] += 1;
+        self.occ_mask[router] |= 1 << port;
+    }
+
+    #[inline]
+    fn fifo_pop(&mut self, router: usize, port: usize) -> Flit {
+        debug_assert!(self.port_occ[router][port] > 0, "pop from empty FIFO");
+        let cap = self.cfg.buffer_flits;
+        let rp = router * PORTS + port;
+        let head = self.fifo_head[rp] as usize;
+        let flit = self.fifo[rp * cap + head];
+        let next = head + 1;
+        self.fifo_head[rp] = if next == cap { 0 } else { next } as u8;
+        self.port_occ[router][port] -= 1;
+        if self.port_occ[router][port] == 0 {
+            self.occ_mask[router] &= !(1 << port);
+        }
+        flit
     }
 
     /// Jump the clock forward to `cycle` without stepping. Only valid when
@@ -151,11 +469,23 @@ impl Network {
         self.cycle
     }
 
+    /// Choose how much per-packet information to retain (see
+    /// [`RecordMode`]). Set this before injecting traffic; switching modes
+    /// mid-run does not clear what the previous mode already logged.
+    pub fn set_record_mode(&mut self, mode: RecordMode) {
+        self.record = mode;
+    }
+
+    /// The current record mode.
+    pub fn record_mode(&self) -> RecordMode {
+        self.record
+    }
+
     /// Program the WRR weights of one router's output arbiters.
     pub fn set_router_weights(&mut self, at: Coord, weights: [u32; PORTS]) {
         assert!(self.cfg.mesh.contains(at), "router off mesh");
         let idx = self.cfg.mesh.index(at);
-        self.routers[idx].set_weights(weights);
+        self.arbs[idx] = std::array::from_fn(|_| WrrArbiter::new(weights));
     }
 
     /// Hand a message to the source node for injection. The message is
@@ -175,6 +505,7 @@ impl Network {
         let node = self.cfg.mesh.index(src);
         for flit in pkt.flitize(self.cfg.flit_payload) {
             self.inject[node].push_back(flit);
+            self.pending[node] += 1;
         }
         self.inflight.insert(
             id,
@@ -185,81 +516,244 @@ impl Network {
                 injected: self.cycle,
             },
         );
+        self.activate(node);
         id
     }
 
+    #[inline]
+    fn activate(&mut self, router: usize) {
+        self.active_bits[router >> 6] |= 1 << (router & 63);
+    }
+
+    fn deliver(&mut self, id: PacketId, fin: InFlight) {
+        let delivered = self.cycle + 1;
+        let latency = delivered - fin.injected;
+        self.stats.record(latency, fin.bytes);
+        if let Some(from) = self.window_from {
+            if fin.injected >= from {
+                self.window.record(latency, fin.bytes);
+            }
+        }
+        if !matches!(self.record, RecordMode::Stats) {
+            self.delivered.push(DeliveredPacket {
+                id,
+                src: fin.src,
+                dst: fin.dst,
+                bytes: fin.bytes,
+                injected: fin.injected,
+                delivered,
+            });
+        }
+    }
+
     /// Advance one cycle.
+    ///
+    /// One pass over the active bitset fuses injection with the decide
+    /// phase (injection only fills a router's own Local FIFO, which no
+    /// other router's space snapshot reads), then a second pass applies
+    /// the decided moves and retires routers that went idle. Deciding
+    /// never touches FIFOs, so every router still decides against the
+    /// pre-move state; per-router masks (`occ_mask`, `lock_mask`) keep the
+    /// decide work proportional to the ports actually in use, and the
+    /// downstream-space snapshot is computed lazily, one direction at a
+    /// time, as the decision logic first asks for it.
     pub fn step(&mut self) {
         let mesh = self.cfg.mesh;
+        let routing = self.cfg.routing;
         let local = Direction::Local.index();
+        let cap = self.cfg.buffer_flits as u32;
 
-        // Phase 0: injection into local input FIFOs.
-        for (node, queue) in self.inject.iter_mut().enumerate() {
-            while !queue.is_empty() && self.routers[node].has_space(local) {
-                let flit = queue.pop_front().expect("checked non-empty");
-                self.routers[node].accept(local, flit);
-            }
-        }
+        let mut moves = std::mem::take(&mut self.moves_scratch);
+        moves.clear();
+        for w in 0..self.active_bits.len() {
+            let mut word = self.active_bits[w];
+            while word != 0 {
+                let i = (w << 6) | word.trailing_zeros() as usize;
+                word &= word - 1;
 
-        // Phase 1: snapshot downstream space (scratch buffer, no alloc).
-        let mut space = std::mem::take(&mut self.space_scratch);
-        for (i, r) in self.routers.iter().enumerate() {
-            for d in Direction::ALL {
-                space[i][d.index()] = match d {
-                    Direction::Local => true, // ejection is always ready
-                    _ => mesh
-                        .neighbor(r.coord, d)
-                        .map(|n| self.routers[mesh.index(n)].has_space(d.opposite().index()))
-                        .unwrap_or(false),
-                };
-            }
-        }
+                // Injection into the Local FIFO. Every active router has
+                // pending flits or buffered flits, so after this loop its
+                // occupancy mask is necessarily non-empty.
+                while self.pending[i] > 0 && self.port_occ[i][local] < cap {
+                    let flit = self.inject[i].pop_front().expect("pending > 0");
+                    self.fifo_push(i, local, flit);
+                    self.pending[i] -= 1;
+                }
+                let occ = self.occ_mask[i];
+                debug_assert!(occ != 0, "idle router on the active list");
 
-        // Phase 2: decide everywhere against the snapshot.
-        let mut all_moves: Vec<(usize, Vec<Move>)> = Vec::with_capacity(self.routers.len());
-        for i in 0..self.routers.len() {
-            let moves = self.routers[i].decide_routed(mesh, self.cfg.routing, space[i]);
-            if !moves.is_empty() {
-                all_moves.push((i, moves));
-            }
-        }
+                // Lazy downstream-space snapshot: `space`/`known` bitmaps
+                // fill in per direction on first use. FIFO lengths don't
+                // change until apply, so laziness observes the same
+                // snapshot the eager version would.
+                let nbr = self.nbr[i];
+                let mut known: u8 = 1 << local; // ejection is always ready
+                let mut space: u8 = 1 << local;
+                macro_rules! has_space {
+                    ($d:expr) => {{
+                        let d: usize = $d;
+                        let bit = 1u8 << d;
+                        if known & bit == 0 {
+                            known |= bit;
+                            let ok = match nbr[d] {
+                                u32::MAX => false,
+                                n => self.port_occ[n as usize][OPP[d]] < cap,
+                            };
+                            if ok {
+                                space |= bit;
+                            }
+                        }
+                        space & bit != 0
+                    }};
+                }
 
-        // Phase 3: apply.
-        for (i, moves) in all_moves {
-            for mv in moves {
-                let flit = self.routers[i].apply(mv);
-                if mv.output == local {
-                    if flit.kind.is_tail() {
-                        let fin = self
-                            .inflight
-                            .remove(&flit.packet)
-                            .expect("tail of unknown packet");
-                        self.delivered.push(DeliveredPacket {
-                            id: flit.packet,
-                            src: fin.src,
-                            dst: fin.dst,
-                            bytes: fin.bytes,
-                            injected: fin.injected,
-                            delivered: self.cycle + 1,
-                        });
+                let mut busy: u8 = 0;
+                let mut n_moves = 0usize;
+                let mut packed = [0u8; PORTS];
+
+                // Phase 1: continue established wormholes.
+                let mut lm = self.lock_mask[i];
+                while lm != 0 {
+                    let d = lm.trailing_zeros() as usize;
+                    lm &= lm - 1;
+                    let lock = self.locks[i][d].expect("lock_mask bit without a lock");
+                    let ib = 1u8 << lock.input;
+                    if busy & ib != 0 || occ & ib == 0 || !has_space!(d) {
+                        continue;
                     }
-                } else {
-                    let from = self.routers[i].coord;
-                    let dir = Direction::ALL[mv.output];
-                    let n = mesh.neighbor(from, dir).expect("move off the mesh edge");
-                    let n_idx = mesh.index(n);
-                    self.routers[n_idx].accept(dir.opposite().index(), flit);
+                    let front = self.fifo_front_unchecked(i, lock.input);
+                    if front.packet == lock.packet {
+                        busy |= ib;
+                        packed[n_moves] = pack_move(lock.input, d, front.kind.is_tail());
+                        n_moves += 1;
+                    }
+                }
+
+                // A head flit's requested output depends only on the space
+                // snapshot, so it is computed once per input: `req[d]`
+                // collects the requesters of output `d` as a bitmask of
+                // input ports. An input requests exactly one output, so
+                // the masks stay valid through the arbitration phase.
+                let mut req = [0u8; PORTS];
+                let mut req_outs: u8 = 0;
+                let mut rm = occ & !busy;
+                while rm != 0 {
+                    let p = rm.trailing_zeros() as usize;
+                    rm &= rm - 1;
+                    let front = self.fifo_front_unchecked(i, p);
+                    if front.kind.is_head() {
+                        let opts = mesh.route_choices(self.coords[i], front.dst, routing);
+                        let sl = opts.as_slice();
+                        // First option whose downstream has space, else the
+                        // first option (wait there).
+                        let mut pick = sl[0].index();
+                        for o in sl {
+                            let oi = o.index();
+                            if has_space!(oi) {
+                                pick = oi;
+                                break;
+                            }
+                        }
+                        req[pick] |= 1 << p;
+                        req_outs |= 1 << pick;
+                    }
+                }
+
+                // Phase 2: arbitrate free outputs among head flits.
+                let mut am = req_outs & !self.lock_mask[i];
+                while am != 0 {
+                    let d = am.trailing_zeros() as usize;
+                    am &= am - 1;
+                    if !has_space!(d) {
+                        continue;
+                    }
+                    let mask = req[d];
+                    let winner = if mask & (mask - 1) == 0 {
+                        // Sole requester: it earns its weight and
+                        // immediately pays the round total (= its own
+                        // weight), so granting without consulting the
+                        // arbiter leaves its credits exactly as `grant`
+                        // would.
+                        mask.trailing_zeros() as usize
+                    } else {
+                        let requesting = std::array::from_fn(|p| mask & (1 << p) != 0);
+                        self.arbs[i][d].grant(requesting).expect("mask non-empty")
+                    };
+                    let front = self.fifo_front_unchecked(i, winner);
+                    let tail = front.kind.is_tail();
+                    if !tail {
+                        self.locks[i][d] = Some(OutputLock {
+                            input: winner,
+                            packet: front.packet,
+                        });
+                        self.lock_mask[i] |= 1 << d;
+                    }
+                    packed[n_moves] = pack_move(winner, d, tail);
+                    n_moves += 1;
+                }
+
+                if n_moves != 0 {
+                    moves.push(PackedMoves {
+                        router: i as u32,
+                        n: n_moves as u8,
+                        moves: packed,
+                    });
                 }
             }
         }
 
-        self.space_scratch = space;
+        // Apply, with retirement fused in: a router can only go idle by
+        // moving its flits out, so only routers with moves need the idle
+        // check. (A push from a later move re-activates its receiver, in
+        // either order.) Skipping an idle router afterwards is exact: its
+        // decide is a no-op that mutates nothing.
+        for &set in &moves {
+            let i = set.router as usize;
+            for &pm in &set.moves[..set.n as usize] {
+                let (input, output, tail) = unpack_move(pm);
+                let flit = self.fifo_pop(i, input);
+                if tail {
+                    self.locks[i][output] = None;
+                    self.lock_mask[i] &= !(1 << output);
+                }
+                if output == local {
+                    if flit.kind.is_tail() {
+                        let fin = self
+                            .inflight
+                            .remove(flit.packet)
+                            .expect("tail of unknown packet");
+                        self.deliver(flit.packet, fin);
+                    }
+                } else {
+                    let n_idx = self.nbr[i][output] as usize;
+                    self.fifo_push(n_idx, OPP[output], flit);
+                    self.activate(n_idx);
+                }
+            }
+            if self.occ_mask[i] == 0 && self.pending[i] == 0 {
+                self.active_bits[i >> 6] &= !(1 << (i & 63));
+            }
+        }
+        self.moves_scratch = moves;
+
         self.cycle += 1;
     }
 
-    /// True when no traffic remains anywhere.
+    /// Routers currently on the active list (holding flits or pending
+    /// injections) — an observability hook for tuning, not part of the
+    /// cycle semantics.
+    pub fn active_routers(&self) -> usize {
+        self.active_bits
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// True when no traffic remains anywhere. (Flits only exist on behalf
+    /// of in-flight packets, so an empty packet table means every inject
+    /// queue and FIFO is empty too.)
     pub fn is_drained(&self) -> bool {
-        self.inflight.is_empty() && self.inject.iter().all(|q| q.is_empty())
+        self.inflight.is_empty()
     }
 
     /// Step until drained or until `max_cycles` more cycles have elapsed.
@@ -276,23 +770,49 @@ impl Network {
         Ok(self.cycle - start)
     }
 
-    /// Packets delivered so far, in delivery order.
+    /// The retained per-packet delivery log. Complete under
+    /// [`RecordMode::Full`]; under [`RecordMode::Events`] only what has
+    /// not been drained yet; always empty under [`RecordMode::Stats`].
     pub fn delivered(&self) -> &[DeliveredPacket] {
         &self.delivered
     }
 
+    /// Remove and return the packets delivered since the last drain (the
+    /// [`RecordMode::Events`] consumption API). Keeps the log's capacity,
+    /// so a steady drain cadence allocates nothing.
+    pub fn drain_events(&mut self) -> std::vec::Drain<'_, DeliveredPacket> {
+        self.delivered.drain(..)
+    }
+
+    /// Streaming statistics over every delivery since construction,
+    /// regardless of record mode.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Start (or restart) a measurement window: from now on, deliveries of
+    /// packets injected at or after cycle `injected_from` also accumulate
+    /// into [`window_stats`](Self::window_stats). Used by warmup/measure
+    /// protocols to exclude cold-start traffic without retaining a log.
+    pub fn begin_stats_window(&mut self, injected_from: u64) {
+        self.window_from = Some(injected_from);
+        self.window = NocStats::default();
+    }
+
+    /// Statistics of the current measurement window (all zeros when no
+    /// window was begun).
+    pub fn window_stats(&self) -> &NocStats {
+        &self.window
+    }
+
     /// Mean end-to-end latency of delivered packets, in cycles.
     pub fn mean_latency(&self) -> f64 {
-        if self.delivered.is_empty() {
-            return 0.0;
-        }
-        self.delivered.iter().map(|p| p.latency()).sum::<u64>() as f64
-            / self.delivered.len() as f64
+        self.stats.mean_latency()
     }
 
     /// Maximum end-to-end latency of delivered packets, in cycles.
     pub fn max_latency(&self) -> u64 {
-        self.delivered.iter().map(|p| p.latency()).max().unwrap_or(0)
+        self.stats.max_latency()
     }
 
     /// Delivered payload bytes per cycle over the elapsed simulation.
@@ -300,7 +820,7 @@ impl Network {
         if self.cycle == 0 {
             return 0.0;
         }
-        self.delivered.iter().map(|p| p.bytes).sum::<u64>() as f64 / self.cycle as f64
+        self.stats.bytes() as f64 / self.cycle as f64
     }
 }
 
@@ -488,5 +1008,115 @@ mod tests {
         assert!(n.mean_latency() > 0.0);
         assert!(n.max_latency() >= n.mean_latency() as u64);
         assert!(n.throughput() > 0.0);
+    }
+
+    #[test]
+    fn streaming_stats_match_the_full_log() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut n = net(4, 4);
+        let mesh = Mesh::new(4, 4);
+        for _ in 0..150 {
+            let s = mesh.coord(rng.gen_range(0..mesh.len()));
+            let d = mesh.coord(rng.gen_range(0..mesh.len()));
+            n.send(s, d, rng.gen_range(0..48));
+            for _ in 0..rng.gen_range(0..3) {
+                n.step();
+            }
+        }
+        n.run_until_drained(100_000).unwrap();
+
+        let log = n.delivered();
+        let count = log.len() as u64;
+        let sum: u64 = log.iter().map(|p| p.latency()).sum();
+        let max = log.iter().map(|p| p.latency()).max().unwrap();
+        let bytes: u64 = log.iter().map(|p| p.bytes).sum();
+        let mut sorted: Vec<u64> = log.iter().map(|p| p.latency()).collect();
+        sorted.sort_unstable();
+        let p99 = sorted[sorted.len().saturating_sub(1).min(sorted.len() * 99 / 100)];
+
+        let s = n.stats();
+        assert_eq!(s.delivered(), count);
+        assert_eq!(s.latency_sum(), sum);
+        assert_eq!(s.max_latency(), max);
+        assert_eq!(s.bytes(), bytes);
+        assert_eq!(s.p99_latency(), p99);
+        assert_eq!(s.histogram().iter().sum::<u64>(), count);
+    }
+
+    #[test]
+    fn stats_mode_keeps_no_per_packet_log() {
+        let mut n = net(3, 3);
+        n.set_record_mode(RecordMode::Stats);
+        for _ in 0..10 {
+            n.send(Coord::new(0, 0), Coord::new(2, 2), 16);
+        }
+        n.run_until_drained(10_000).unwrap();
+        assert!(n.delivered().is_empty());
+        assert_eq!(n.stats().delivered(), 10);
+        assert!(n.mean_latency() > 0.0);
+        assert!(n.throughput() > 0.0);
+    }
+
+    #[test]
+    fn events_mode_drains_incrementally() {
+        let mut n = net(3, 1);
+        n.set_record_mode(RecordMode::Events);
+        let a = n.send(Coord::new(0, 0), Coord::new(2, 0), 4);
+        n.run_until_drained(100).unwrap();
+        let first: Vec<_> = n.drain_events().collect();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].id, a);
+        assert!(n.delivered().is_empty());
+
+        let b = n.send(Coord::new(2, 0), Coord::new(0, 0), 4);
+        n.run_until_drained(100).unwrap();
+        let second: Vec<_> = n.drain_events().collect();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].id, b);
+        // The streaming stats still cover everything.
+        assert_eq!(n.stats().delivered(), 2);
+    }
+
+    #[test]
+    fn stats_window_filters_by_injection_cycle() {
+        let mut n = net(3, 1);
+        n.send(Coord::new(0, 0), Coord::new(2, 0), 4); // injected at 0
+        n.run_until_drained(100).unwrap();
+        let resume = n.cycle();
+        n.begin_stats_window(resume);
+        n.send(Coord::new(0, 0), Coord::new(2, 0), 8); // injected at `resume`
+        n.run_until_drained(100).unwrap();
+        assert_eq!(n.stats().delivered(), 2);
+        assert_eq!(n.window_stats().delivered(), 1);
+        assert_eq!(n.window_stats().bytes(), 8);
+    }
+
+    #[test]
+    fn active_set_retires_and_reactivates_routers() {
+        let mut n = net(4, 1);
+        n.send(Coord::new(0, 0), Coord::new(3, 0), 4);
+        n.run_until_drained(100).unwrap();
+        // Fully drained: the active set must be empty again.
+        assert_eq!(n.active_routers(), 0);
+        // And a later send must wake the path back up.
+        n.send(Coord::new(3, 0), Coord::new(0, 0), 4);
+        n.run_until_drained(100).unwrap();
+        assert_eq!(n.stats().delivered(), 2);
+        assert_eq!(n.active_routers(), 0);
+    }
+
+    #[test]
+    fn packet_slab_window_slides_past_completed_packets() {
+        let mut n = net(2, 1);
+        for i in 0..50u64 {
+            n.send(Coord::new(0, 0), Coord::new(1, 0), 4);
+            n.run_until_drained(100).unwrap();
+            // Everything up to id i is complete, so the slab window is
+            // empty and re-based past it — no growth with history.
+            assert_eq!(n.inflight.base, i + 1);
+            assert!(n.inflight.slots.is_empty());
+        }
     }
 }

@@ -66,9 +66,7 @@ impl Placement {
     pub fn cost(&self, traffic: &Traffic) -> u64 {
         traffic
             .iter()
-            .map(|&(a, b, bytes)| {
-                bytes * self.coord(a).manhattan(self.coord(b)) as u64
-            })
+            .map(|&(a, b, bytes)| bytes * self.coord(a).manhattan(self.coord(b)) as u64)
             .sum()
     }
 
@@ -268,9 +266,7 @@ mod tests {
     fn large_instance_uses_greedy_and_is_sane() {
         let nodes: Vec<NocNode> = (0..10).map(k).collect();
         // A ring of heavy traffic.
-        let traffic: Traffic = (0..10)
-            .map(|i| (k(i), k((i + 1) % 10), 100))
-            .collect();
+        let traffic: Traffic = (0..10).map(|i| (k(i), k((i + 1) % 10), 100)).collect();
         let mut rng = StdRng::seed_from_u64(3);
         let p = place(&nodes, &traffic, &mut rng);
         let naive = place_naive(&nodes);

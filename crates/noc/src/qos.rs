@@ -31,11 +31,7 @@ pub struct WeightPlan {
 
 /// Derive WRR weights from a traffic matrix (entries are
 /// `(source router, destination router, bytes)`).
-pub fn derive_weights(
-    mesh: Mesh,
-    traffic: &[(Coord, Coord, u64)],
-    max_weight: u32,
-) -> WeightPlan {
+pub fn derive_weights(mesh: Mesh, traffic: &[(Coord, Coord, u64)], max_weight: u32) -> WeightPlan {
     assert!(max_weight >= 1);
     // bytes crossing each (router, input port).
     let mut load: BTreeMap<Coord, [u64; PORTS]> = BTreeMap::new();
@@ -126,28 +122,34 @@ mod tests {
         let cfg = NocConfig::paper_default(mesh);
         let run = |weights: Option<WeightPlan>| -> (usize, usize) {
             let mut net = Network::new(cfg);
+            // Streaming consumption: count per-source deliveries from
+            // drained events instead of retaining the whole log.
+            net.set_record_mode(crate::network::RecordMode::Events);
             if let Some(w) = weights {
                 w.apply(&mut net);
             }
             // Saturate: both sources keep 4 packets of 16 B in flight.
             let mut from_w = 0usize;
             let mut from_l = 0usize;
-            for round in 0..200 {
+            let count = |net: &mut Network, from_w: &mut usize, from_l: &mut usize| {
+                for p in net.drain_events() {
+                    if p.src == Coord::new(0, 0) {
+                        *from_w += 1;
+                    } else {
+                        *from_l += 1;
+                    }
+                }
+            };
+            for _ in 0..200 {
                 net.send(Coord::new(0, 0), Coord::new(2, 0), 16);
                 net.send(Coord::new(1, 0), Coord::new(2, 0), 16);
                 for _ in 0..4 {
                     net.step();
                 }
-                let _ = round;
+                count(&mut net, &mut from_w, &mut from_l);
             }
             let _ = net.run_until_drained(100_000);
-            for p in net.delivered() {
-                if p.src == Coord::new(0, 0) {
-                    from_w += 1;
-                } else {
-                    from_l += 1;
-                }
-            }
+            count(&mut net, &mut from_w, &mut from_l);
             (from_w, from_l)
         };
 
@@ -178,29 +180,42 @@ mod tests {
         let cfg = NocConfig::paper_default(mesh);
         let mean_latency_per_src = |favour_west: bool| -> (f64, f64) {
             let mut net = Network::new(cfg);
+            // Streaming consumption: accumulate per-flow latency sums from
+            // drained events instead of retaining the whole log.
+            net.set_record_mode(crate::network::RecordMode::Events);
             if favour_west {
                 let mut w = [1u32; PORTS];
                 w[Direction::West.index()] = 6;
                 net.set_router_weights(Coord::new(1, 0), w);
             }
+            // (latency sum, count) per source.
+            let mut west = (0u64, 0u64);
+            let mut local = (0u64, 0u64);
+            let absorb = |net: &mut Network, west: &mut (u64, u64), local: &mut (u64, u64)| {
+                for p in net.drain_events() {
+                    let acc = if p.src == Coord::new(0, 0) {
+                        &mut *west
+                    } else {
+                        &mut *local
+                    };
+                    acc.0 += p.latency();
+                    acc.1 += 1;
+                }
+            };
             for _ in 0..150 {
                 net.send(Coord::new(0, 0), Coord::new(2, 0), 16);
                 net.send(Coord::new(1, 0), Coord::new(2, 0), 16);
                 for _ in 0..6 {
                     net.step();
                 }
+                absorb(&mut net, &mut west, &mut local);
             }
             let _ = net.run_until_drained(200_000);
-            let lat = |src: Coord| {
-                let v: Vec<u64> = net
-                    .delivered()
-                    .iter()
-                    .filter(|p| p.src == src)
-                    .map(|p| p.latency())
-                    .collect();
-                v.iter().sum::<u64>() as f64 / v.len() as f64
-            };
-            (lat(Coord::new(0, 0)), lat(Coord::new(1, 0)))
+            absorb(&mut net, &mut west, &mut local);
+            (
+                west.0 as f64 / west.1 as f64,
+                local.0 as f64 / local.1 as f64,
+            )
         };
         let (uw, ul) = mean_latency_per_src(false);
         let (fw, fl) = mean_latency_per_src(true);

@@ -89,6 +89,41 @@ pub enum Routing {
     WestFirst,
 }
 
+/// Fixed-capacity set of minimal route directions (at most three exist
+/// on a mesh under the supported algorithms). Returned by
+/// [`Mesh::route_choices`] so the simulator's inner loop allocates
+/// nothing per flit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteChoices {
+    dirs: [Direction; 3],
+    len: u8,
+}
+
+impl RouteChoices {
+    fn new() -> Self {
+        RouteChoices {
+            dirs: [Direction::Local; 3],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, d: Direction) {
+        self.dirs[self.len as usize] = d;
+        self.len += 1;
+    }
+
+    /// The options, in preference order.
+    pub fn as_slice(&self) -> &[Direction] {
+        &self.dirs[..self.len as usize]
+    }
+
+    /// The first (most preferred) option.
+    pub fn first(&self) -> Direction {
+        debug_assert!(self.len > 0, "empty route choices");
+        self.dirs[0]
+    }
+}
+
 /// A `w × h` 2D mesh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Mesh {
@@ -177,10 +212,19 @@ impl Mesh {
     /// Minimal output directions toward `dst` under a routing algorithm.
     /// At the destination the only option is `Local`.
     pub fn route_options(self, at: Coord, dst: Coord, algo: Routing) -> Vec<Direction> {
+        self.route_choices(at, dst, algo).as_slice().to_vec()
+    }
+
+    /// [`route_options`](Self::route_options) without heap allocation: the
+    /// supported algorithms offer at most three minimal directions, so the
+    /// result fits a fixed array. The simulator hot path calls this once
+    /// per buffered head flit per cycle.
+    pub fn route_choices(self, at: Coord, dst: Coord, algo: Routing) -> RouteChoices {
+        let mut opts = RouteChoices::new();
         if at == dst {
-            return vec![Direction::Local];
+            opts.push(Direction::Local);
+            return opts;
         }
-        let mut opts = Vec::with_capacity(2);
         let west = dst.x < at.x;
         let east = dst.x > at.x;
         let north = dst.y < at.y;
@@ -210,7 +254,7 @@ impl Mesh {
                 }
             }
         }
-        debug_assert!(!opts.is_empty());
+        debug_assert!(!opts.as_slice().is_empty());
         opts
     }
 
@@ -329,6 +373,21 @@ mod tests {
         let m = Mesh::new(4, 4);
         let opts = m.route_options(Coord::new(0, 0), Coord::new(2, 2), Routing::WestFirst);
         assert_eq!(opts.len(), 2); // East and South both minimal and legal
+    }
+
+    #[test]
+    fn route_choices_agree_with_route_options() {
+        let m = Mesh::new(5, 3);
+        for algo in [Routing::Xy, Routing::WestFirst] {
+            for si in 0..m.len() {
+                for di in 0..m.len() {
+                    let (s, d) = (m.coord(si), m.coord(di));
+                    let fixed = m.route_choices(s, d, algo);
+                    assert_eq!(fixed.as_slice().to_vec(), m.route_options(s, d, algo));
+                    assert_eq!(fixed.first(), m.route_options(s, d, algo)[0]);
+                }
+            }
+        }
     }
 
     #[test]

@@ -95,7 +95,12 @@ impl<T: Copy + Default> Buf<T> {
 
     /// Fill the whole buffer with values from `f(i)` under the given
     /// function scope (convenience for producing input data).
-    pub fn fill_with(&mut self, p: &mut Profiler, scope: FunctionId, mut f: impl FnMut(usize) -> T) {
+    pub fn fill_with(
+        &mut self,
+        p: &mut Profiler,
+        scope: FunctionId,
+        mut f: impl FnMut(usize) -> T,
+    ) {
         p.enter(scope);
         for i in 0..self.data.len() {
             let v = f(i);

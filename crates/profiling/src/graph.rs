@@ -156,8 +156,12 @@ impl CommGraph {
     /// Plain-text table of the edges (for terminal reports).
     pub fn to_table(&self) -> String {
         let mut out = String::new();
-        writeln!(out, "{:<20} {:<20} {:>12} {:>10}", "producer", "consumer", "bytes", "UMAs")
-            .unwrap();
+        writeln!(
+            out,
+            "{:<20} {:<20} {:>12} {:>10}",
+            "producer", "consumer", "bytes", "UMAs"
+        )
+        .unwrap();
         for e in &self.edges {
             writeln!(
                 out,
@@ -181,11 +185,36 @@ mod tests {
         CommGraph {
             functions: vec!["main".into(), "ka".into(), "kb".into(), "aux".into()],
             edges: vec![
-                GraphEdge { src: FunctionId::new(0), dst: FunctionId::new(1), bytes: 100, umas: 50 },
-                GraphEdge { src: FunctionId::new(1), dst: FunctionId::new(2), bytes: 40, umas: 40 },
-                GraphEdge { src: FunctionId::new(2), dst: FunctionId::new(0), bytes: 60, umas: 30 },
-                GraphEdge { src: FunctionId::new(0), dst: FunctionId::new(3), bytes: 10, umas: 10 },
-                GraphEdge { src: FunctionId::new(3), dst: FunctionId::new(0), bytes: 10, umas: 10 },
+                GraphEdge {
+                    src: FunctionId::new(0),
+                    dst: FunctionId::new(1),
+                    bytes: 100,
+                    umas: 50,
+                },
+                GraphEdge {
+                    src: FunctionId::new(1),
+                    dst: FunctionId::new(2),
+                    bytes: 40,
+                    umas: 40,
+                },
+                GraphEdge {
+                    src: FunctionId::new(2),
+                    dst: FunctionId::new(0),
+                    bytes: 60,
+                    umas: 30,
+                },
+                GraphEdge {
+                    src: FunctionId::new(0),
+                    dst: FunctionId::new(3),
+                    bytes: 10,
+                    umas: 10,
+                },
+                GraphEdge {
+                    src: FunctionId::new(3),
+                    dst: FunctionId::new(0),
+                    bytes: 10,
+                    umas: 10,
+                },
             ],
         }
     }

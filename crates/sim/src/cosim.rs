@@ -19,7 +19,7 @@ use crate::system::{simulate, KernelTiming};
 use hic_core::{InterconnectPlan, Variant};
 use hic_fabric::time::Time;
 use hic_fabric::{KernelId, MemoryId};
-use hic_noc::{AdapterKind, AdapterSpec, Network, NocNode, PacketId};
+use hic_noc::{AdapterKind, AdapterSpec, Network, NocNode, PacketId, RecordMode};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -72,6 +72,9 @@ pub fn cosimulate(plan: &InterconnectPlan) -> CosimResult {
     let clock = noc.config.clock;
     let adapter = AdapterSpec::paper_default(AdapterKind::Kernel);
     let mut net = Network::new(noc.config);
+    // The co-simulation consumes each delivery exactly once; event mode
+    // lets the network recycle its log instead of retaining every packet.
+    net.set_record_mode(RecordMode::Events);
     let sm: BTreeSet<(KernelId, KernelId)> = plan
         .sm_pairs
         .iter()
@@ -97,12 +100,11 @@ pub fn cosimulate(plan: &InterconnectPlan) -> CosimResult {
         }
     }
 
-    // Packet ids in flight per (producer, consumer) edge, and a cursor
-    // into the network's append-only delivery log so each delivery is
-    // examined once.
+    // Packet ids in flight per (producer, consumer) edge; deliveries are
+    // drained from the network as events, so each is examined once and
+    // the network never accumulates a log.
     let mut edge_packets: BTreeMap<(KernelId, KernelId), Vec<PacketId>> = BTreeMap::new();
     let mut delivered_at: BTreeMap<PacketId, u64> = BTreeMap::new();
-    let mut scan_pos = 0usize;
     let mut timing: BTreeMap<KernelId, KernelTiming> = BTreeMap::new();
     let mut makespan = Time::ZERO;
 
@@ -128,7 +130,7 @@ pub fn cosimulate(plan: &InterconnectPlan) -> CosimResult {
                 bus_free
             } else if let Some(ids) = edge_packets.get(&(i, k)) {
                 // Step the mesh until every packet of this edge landed,
-                // consuming the delivery log incrementally.
+                // draining delivery events as they occur.
                 let mut remaining: BTreeSet<PacketId> = ids
                     .iter()
                     .copied()
@@ -136,12 +138,9 @@ pub fn cosimulate(plan: &InterconnectPlan) -> CosimResult {
                     .collect();
                 let mut guard = 0u64;
                 loop {
-                    let log = net.delivered();
-                    while scan_pos < log.len() {
-                        let p = log[scan_pos];
+                    for p in net.drain_events() {
                         delivered_at.insert(p.id, p.delivered);
                         remaining.remove(&p.id);
-                        scan_pos += 1;
                     }
                     if remaining.is_empty() {
                         break;
@@ -150,11 +149,7 @@ pub fn cosimulate(plan: &InterconnectPlan) -> CosimResult {
                     guard += 1;
                     assert!(guard < 100_000_000, "co-simulation wedged");
                 }
-                let last = ids
-                    .iter()
-                    .map(|id| delivered_at[id])
-                    .max()
-                    .unwrap_or(0);
+                let last = ids.iter().map(|id| delivered_at[id]).max().unwrap_or(0);
                 to_time(last).max(prod_end)
             } else {
                 prod_end
@@ -225,7 +220,7 @@ pub fn cosimulate(plan: &InterconnectPlan) -> CosimResult {
         kernel_time: makespan,
         app_time: makespan + host,
         noc_cycles: net.cycle(),
-        packets: net.delivered().len(),
+        packets: net.stats().delivered() as usize,
         per_kernel: timing,
         analytic_kernel_time: analytic.kernel_time,
     }

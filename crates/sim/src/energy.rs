@@ -51,11 +51,7 @@ impl PowerModel {
 
     /// Energy of system A normalized to system B (Fig. 9's metric:
     /// `energy(ours) / energy(baseline)`).
-    pub fn normalized_energy(
-        &self,
-        ours: (Resources, Time),
-        baseline: (Resources, Time),
-    ) -> f64 {
+    pub fn normalized_energy(&self, ours: (Resources, Time), baseline: (Resources, Time)) -> f64 {
         self.energy_j(ours.0, ours.1) / self.energy_j(baseline.0, baseline.1)
     }
 }
@@ -105,7 +101,10 @@ mod tests {
         let m = PowerModel::ml510_default();
         let norm = m.normalized_energy(
             (Resources::new(20_837, 20_900), Time::from_ms(10)),
-            (Resources::new(11_755, 11_910), Time::from_ps(28_700_000_000)),
+            (
+                Resources::new(11_755, 11_910),
+                Time::from_ps(28_700_000_000),
+            ),
         );
         assert!(norm < 0.40, "{norm}");
         assert!(norm > 0.30, "{norm}");

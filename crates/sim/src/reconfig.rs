@@ -53,9 +53,7 @@ impl ReconfigSpec {
 
     /// Cost of a kernel-region-only reconfiguration.
     pub fn kernel_reconfig_time(&self) -> Time {
-        Time::from_ps(
-            (self.full_reconfig_time.as_ps() as f64 * self.kernel_region_fraction) as u64,
-        )
+        Time::from_ps((self.full_reconfig_time.as_ps() as f64 * self.kernel_region_fraction) as u64)
     }
 
     /// Energy of a kernel-region-only reconfiguration.
@@ -271,8 +269,8 @@ mod tests {
     fn infeasible_when_budget_is_tight() {
         let (mut cfg, power, rc) = setup();
         cfg.resource_budget = Resources::new(25_000, 25_000); // fluid won't fit
-        // design() itself succeeds for apps that fit; shrink further so the
-        // union + largest kernels overflow but individual designs pass.
+                                                              // design() itself succeeds for apps that fit; shrink further so the
+                                                              // union + largest kernels overflow but individual designs pass.
         let phases = workload(1);
         let result = evaluate(&phases, &cfg, &power, &rc, Strategy::StaticUnion);
         // An app alone already over budget (Err) is also a valid outcome.

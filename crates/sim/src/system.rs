@@ -122,8 +122,9 @@ pub fn simulate_runs(plan: &InterconnectPlan, frames: u64) -> RunsResult {
     match plan.variant {
         Variant::Baseline => {
             let single = simulate_baseline(plan).app_time;
-            let frame_done: Vec<Time> =
-                (1..=frames).map(|f| Time::from_ps(single.as_ps() * f)).collect();
+            let frame_done: Vec<Time> = (1..=frames)
+                .map(|f| Time::from_ps(single.as_ps() * f))
+                .collect();
             RunsResult {
                 makespan: *frame_done.last().expect("frames >= 1"),
                 steady_interval: single,
@@ -285,9 +286,10 @@ fn simulate_baseline(plan: &InterconnectPlan) -> RunResult {
 /// Per-kernel Δp1 split into its input and output halves, with the
 /// overhead charged once (to the output side).
 fn p1_savings(plan: &InterconnectPlan, k: KernelId) -> (Time, Time) {
-    let streams = plan.parallel.iter().any(
-        |t| matches!(t, ParallelTransform::HostPipeline { kernel, .. } if *kernel == k),
-    );
+    let streams = plan
+        .parallel
+        .iter()
+        .any(|t| matches!(t, ParallelTransform::HostPipeline { kernel, .. } if *kernel == k));
     if !streams {
         return (Time::ZERO, Time::ZERO);
     }
@@ -297,13 +299,11 @@ fn p1_savings(plan: &InterconnectPlan, k: KernelId) -> (Time, Time) {
     let tau = app.kernel_clock.cycles(app.kernel(k).compute_cycles);
     let half_tau = Time::from_ps(tau.as_ps() / 2);
     let o = plan.config.stream_overhead(app);
-    let in_gain = Time::from_ps(
-        ((v.host_in as f64 * theta / 2.0).round() as u64).min(half_tau.as_ps()),
-    );
-    let out_gain = Time::from_ps(
-        ((v.host_out as f64 * theta / 2.0).round() as u64).min(half_tau.as_ps()),
-    )
-    .saturating_sub(o);
+    let in_gain =
+        Time::from_ps(((v.host_in as f64 * theta / 2.0).round() as u64).min(half_tau.as_ps()));
+    let out_gain =
+        Time::from_ps(((v.host_out as f64 * theta / 2.0).round() as u64).min(half_tau.as_ps()))
+            .saturating_sub(o);
     (in_gain, out_gain)
 }
 
@@ -327,10 +327,7 @@ fn simulate_dataflow(plan: &InterconnectPlan) -> RunResult {
     let app = &plan.app;
     let bus = plan.config.bus;
     let order = topo_order(app);
-    let latency = plan
-        .noc
-        .as_ref()
-        .map(|n| LatencyModel::new(n.config));
+    let latency = plan.noc.as_ref().map(|n| LatencyModel::new(n.config));
     let sm: BTreeSet<(KernelId, KernelId)> = plan
         .sm_pairs
         .iter()
@@ -369,7 +366,10 @@ fn simulate_dataflow(plan: &InterconnectPlan) -> RunResult {
         // Host input availability (possibly overlapped by Case 1).
         let mut ready = host_in_done[&k].saturating_sub(p1_in);
         // Kernel-side inputs.
-        for e in app.k2k_edges().filter(|e| e.dst == hic_fabric::Endpoint::Kernel(k)) {
+        for e in app
+            .k2k_edges()
+            .filter(|e| e.dst == hic_fabric::Endpoint::Kernel(k))
+        {
             let i = e.src.kernel().expect("k2k edge");
             let prod_end = timing[&i].compute_end;
             let arrival = if fallback.contains(&(i, k)) {
@@ -389,10 +389,8 @@ fn simulate_dataflow(plan: &InterconnectPlan) -> RunResult {
                 // waits only for the tail of the last packet.
                 let src = NocNode::Kernel(i);
                 let dst = NocNode::Memory(MemoryId(k.0));
-                let residual = match (
-                    noc.placement.slots.get(&src),
-                    noc.placement.slots.get(&dst),
-                ) {
+                let residual = match (noc.placement.slots.get(&src), noc.placement.slots.get(&dst))
+                {
                     (Some(&a), Some(&b)) => {
                         let c = lm.tail_residual_cycles(a, b);
                         comm_busy += noc.config.clock.cycles(c);
@@ -588,10 +586,7 @@ mod tests {
                 KernelSpec::new(0u32, "a", 10, 10, Resources::ZERO),
                 KernelSpec::new(1u32, "b", 10, 10, Resources::ZERO),
             ],
-            vec![
-                CommEdge::k2k(0u32, 1u32, 10),
-                CommEdge::k2k(1u32, 0u32, 10),
-            ],
+            vec![CommEdge::k2k(0u32, 1u32, 10), CommEdge::k2k(1u32, 0u32, 10)],
             0,
         )
         .unwrap();

@@ -160,11 +160,7 @@ mod tests {
 
     #[test]
     fn overlapping_ranges_rejected() {
-        let err = Crossbar::new(
-            2,
-            vec![AddrRange::new(0, 10), AddrRange::new(5, 15)],
-        )
-        .unwrap_err();
+        let err = Crossbar::new(2, vec![AddrRange::new(0, 10), AddrRange::new(5, 15)]).unwrap_err();
         assert_eq!(err, CrossbarError::OverlappingRanges(0, 1));
     }
 
@@ -179,7 +175,9 @@ mod tests {
         assert_eq!(x2.cost(), Resources::new(201, 200));
         let x4 = Crossbar::new(
             4,
-            (0..4).map(|i| AddrRange::new(i * 16, (i + 1) * 16)).collect(),
+            (0..4)
+                .map(|i| AddrRange::new(i * 16, (i + 1) * 16))
+                .collect(),
         )
         .unwrap();
         assert_eq!(x4.cost(), Resources::new(201 * 4, 200 * 4));

@@ -44,10 +44,7 @@ fn main() {
         );
     }
     if let Some(noc) = &plan.noc {
-        println!(
-            "  NoC: {} routers, placement:",
-            noc.routers()
-        );
+        println!("  NoC: {} routers, placement:", noc.routers());
         for (node, coord) in &noc.placement.slots {
             println!("    {node} @ {coord}");
         }

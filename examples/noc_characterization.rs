@@ -7,8 +7,6 @@
 //! ```
 
 use hic::noc::{load_sweep, Coord, Mesh, NocConfig, Pattern, Routing};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let mesh = Mesh::new(4, 4);
@@ -32,8 +30,7 @@ fn main() {
                 routing,
                 ..NocConfig::paper_default(mesh)
             };
-            let mut rng = StdRng::seed_from_u64(99);
-            for p in load_sweep(cfg, pattern, &loads, 16, 300, 1_500, &mut rng) {
+            for p in load_sweep(cfg, pattern, &loads, 16, 300, 1_500, 99) {
                 println!(
                     "{:<14} {:>8.2} {:>12.1} {:>10} {:>12.1}",
                     name, p.offered, p.mean_latency, p.p99_latency, p.throughput

@@ -21,19 +21,43 @@ fn main() {
         HostSpec::powerpc_400mhz(),
         Frequency::from_mhz(100),
         vec![
-            KernelSpec::new(0u32, "preprocess", 120_000, 1_000_000, Resources::new(2_000, 2_000))
-                .streamable(),
-            KernelSpec::new(1u32, "transform", 200_000, 1_700_000, Resources::new(3_000, 3_000)),
-            KernelSpec::new(2u32, "reduce", 150_000, 1_200_000, Resources::new(2_500, 2_500)),
-            KernelSpec::new(3u32, "postprocess", 90_000, 700_000, Resources::new(1_500, 1_500)),
+            KernelSpec::new(
+                0u32,
+                "preprocess",
+                120_000,
+                1_000_000,
+                Resources::new(2_000, 2_000),
+            )
+            .streamable(),
+            KernelSpec::new(
+                1u32,
+                "transform",
+                200_000,
+                1_700_000,
+                Resources::new(3_000, 3_000),
+            ),
+            KernelSpec::new(
+                2u32,
+                "reduce",
+                150_000,
+                1_200_000,
+                Resources::new(2_500, 2_500),
+            ),
+            KernelSpec::new(
+                3u32,
+                "postprocess",
+                90_000,
+                700_000,
+                Resources::new(1_500, 1_500),
+            ),
         ],
         vec![
-            CommEdge::h2k(0u32, 1_024_000),       // host → preprocess
-            CommEdge::k2k(0u32, 1u32, 512_000),   // preprocess → transform
-            CommEdge::k2k(0u32, 3u32, 64_000),    // preprocess → postprocess
-            CommEdge::k2k(1u32, 2u32, 512_000),   // transform → reduce (exclusive!)
-            CommEdge::k2k(2u32, 3u32, 128_000),   // reduce → postprocess
-            CommEdge::k2h(3u32, 256_000),         // postprocess → host
+            CommEdge::h2k(0u32, 1_024_000),     // host → preprocess
+            CommEdge::k2k(0u32, 1u32, 512_000), // preprocess → transform
+            CommEdge::k2k(0u32, 3u32, 64_000),  // preprocess → postprocess
+            CommEdge::k2k(1u32, 2u32, 512_000), // transform → reduce (exclusive!)
+            CommEdge::k2k(2u32, 3u32, 128_000), // reduce → postprocess
+            CommEdge::k2h(3u32, 256_000),       // postprocess → host
         ],
         400_000, // host-resident cycles
     )

@@ -27,8 +27,7 @@ fn main() {
         let base_one = simulate(&base).app_time;
         let hyb_one = simulate(&hyb).app_time;
         let runs = simulate_runs(&hyb, frames);
-        let stream_speedup =
-            base_one.as_ps() as f64 / runs.steady_interval.as_ps() as f64;
+        let stream_speedup = base_one.as_ps() as f64 / runs.steady_interval.as_ps() as f64;
         println!(
             "{:<8} {:>14} {:>14} {:>14} {:>11.2}x {:>10.1}",
             app.name,

@@ -90,7 +90,11 @@ fn plan_diff_is_reflexive_and_detects_variant_changes() {
         assert!(plan_diff(&hyb, &hyb2).is_empty(), "{}", app.name);
         let base = design(&app, &cfg, Variant::Baseline).unwrap();
         let d = plan_diff(&base, &hyb);
-        assert!(!d.is_empty(), "{}: hybrid must differ from baseline", app.name);
+        assert!(
+            !d.is_empty(),
+            "{}: hybrid must differ from baseline",
+            app.name
+        );
         assert!(d.luts_delta > 0, "{}", app.name);
     }
 }

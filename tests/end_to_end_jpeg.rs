@@ -138,7 +138,7 @@ fn jpeg_resource_totals_track_table4() {
     );
     assert_eq!((b.luts, b.regs), (11_755, 11_910)); // paper, exact
     assert_eq!((h.luts, h.regs), (20_837, 20_900)); // paper, exact
-    // NoC-only within 2% of the paper's 23 180 / 23 188.
+                                                    // NoC-only within 2% of the paper's 23 180 / 23 188.
     assert!((n.luts as f64 - 23_180.0).abs() / 23_180.0 < 0.02, "{n}");
     assert!((n.regs as f64 - 23_188.0).abs() / 23_188.0 < 0.02, "{n}");
 }

@@ -80,7 +80,10 @@ fn cycle_bus_contention_exceeds_analytic_sum_never() {
     let reqs: Vec<Request> = (0..8).map(|i| Request::at_start(i % 4, 12_800)).collect();
     let mut cycle = CycleBus::new(bus);
     let trace = cycle.run(&reqs);
-    let sum: u64 = reqs.iter().map(|r| bus.transfer_time(r.bytes).as_ps()).sum();
+    let sum: u64 = reqs
+        .iter()
+        .map(|r| bus.transfer_time(r.bytes).as_ps())
+        .sum();
     assert_eq!(trace.busy.as_ps(), sum);
     assert_eq!(trace.makespan.as_ps(), sum); // all ready at t=0 → no idle
 }

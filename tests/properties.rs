@@ -30,10 +30,8 @@ fn arb_app() -> impl Strategy<Value = AppSpec> {
                 ),
                 n,
             );
-            let k2k = proptest::collection::vec(
-                (0usize..n, 0usize..n, 1u64..2_000_000u64),
-                0..(n * 2),
-            );
+            let k2k =
+                proptest::collection::vec((0usize..n, 0usize..n, 1u64..2_000_000u64), 0..(n * 2));
             let host_io = proptest::collection::vec(
                 (0usize..n, any::<bool>(), 0u64..3_000_000u64),
                 1..(n + 2),

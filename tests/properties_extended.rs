@@ -20,17 +20,24 @@ fn arb_shape() -> impl Strategy<Value = Shape> {
 }
 
 fn arb_knobs() -> impl Strategy<Value = DesignKnobs> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
-        |(duplication, shared_memory, noc, parallel, adaptive_mapping)| DesignKnobs {
-            duplication,
-            shared_memory,
-            noc,
-            parallel,
-            // Blanket mapping only means something with a NoC; keep the
-            // combination meaningful.
-            adaptive_mapping: adaptive_mapping || !noc,
-        },
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
     )
+        .prop_map(
+            |(duplication, shared_memory, noc, parallel, adaptive_mapping)| DesignKnobs {
+                duplication,
+                shared_memory,
+                noc,
+                parallel,
+                // Blanket mapping only means something with a NoC; keep the
+                // combination meaningful.
+                adaptive_mapping: adaptive_mapping || !noc,
+            },
+        )
 }
 
 proptest! {

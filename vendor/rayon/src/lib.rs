@@ -1,0 +1,121 @@
+//! Minimal rayon shim: `par_iter().map(..).collect()` over scoped OS
+//! threads, order-preserving. See `vendor/README.md`.
+
+/// Borrowing entry point: `items.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a borrowed slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every element, in parallel.
+    pub fn map<O, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        O: Send,
+        F: Fn(&'a T) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]; terminal `collect` runs the work.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, O: Send, F: Fn(&'a T) -> O + Sync> ParMap<'a, T, F> {
+    /// Run the map on scoped threads and collect in input order.
+    pub fn collect<C: FromParallel<O>>(self) -> C {
+        C::from_ordered(run_parallel(self.items, &self.f))
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallel<O> {
+    /// Build from results already in input order.
+    fn from_ordered(items: Vec<O>) -> Self;
+}
+
+impl<O> FromParallel<O> for Vec<O> {
+    fn from_ordered(items: Vec<O>) -> Self {
+        items
+    }
+}
+
+fn run_parallel<'a, T: Sync, O: Send>(items: &'a [T], f: &(impl Fn(&'a T) -> O + Sync)) -> Vec<O> {
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (slots, part) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, item) in slots.iter_mut().zip(part) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("worker filled slot"))
+        .collect()
+}
+
+/// The usual glob import surface.
+pub mod prelude {
+    pub use crate::{FromParallel, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -1,0 +1,555 @@
+//! Minimal serde shim: a self-describing content tree plus `Serialize` /
+//! `Deserialize` traits over it. See `vendor/README.md` for scope.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Self-describing serialized content — the data model both the derive
+/// macro and `serde_json` target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON null / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, Vec).
+    Seq(Vec<Content>),
+    /// Key-value map (structs, maps). Keys are arbitrary content; string
+    /// keys render directly in JSON, scalar keys are stringified.
+    Map(Vec<(Content, Content)>),
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Content::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self == *other
+    }
+}
+
+impl PartialEq<u64> for Content {
+    fn eq(&self, other: &u64) -> bool {
+        matches!(self, Content::U64(v) if v == other)
+    }
+}
+
+impl PartialEq<i64> for Content {
+    fn eq(&self, other: &i64) -> bool {
+        match self {
+            Content::I64(v) => v == other,
+            Content::U64(v) => i64::try_from(*v).is_ok_and(|v| v == *other),
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq<f64> for Content {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Content::F64(v) if v == other)
+    }
+}
+
+impl PartialEq<bool> for Content {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Content::Bool(v) if v == other)
+    }
+}
+
+impl Content {
+    /// Map entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Sequence elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Member of a map by string key (`serde_json::Value::get`).
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map()?.iter().find_map(|(k, v)| match k {
+            Content::Str(s) if s == key => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Numeric value as f64 (accepts any numeric representation).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(u) => Some(u as f64),
+            Content::I64(i) => Some(i as f64),
+            Content::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as u64 if non-negative and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(u) => Some(u),
+            Content::I64(i) if i >= 0 => Some(i as u64),
+            Content::F64(f) if f >= 0.0 && f.fract() == 0.0 => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as i64.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::U64(u) => i64::try_from(u).ok(),
+            Content::I64(i) => Some(i),
+            Content::F64(f) if f.fract() == 0.0 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Array elements (`serde_json::Value::as_array`).
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+}
+
+static NULL: Content = Content::Null;
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, i: usize) -> &Content {
+        self.as_seq().and_then(|s| s.get(i)).unwrap_or(&NULL)
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Construct from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into [`Content`].
+pub trait Serialize {
+    /// Serialize into the content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from [`Content`].
+pub trait Deserialize: Sized {
+    /// Deserialize from the content tree.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+
+    /// Value to use when a struct field is absent (`None` = required).
+    fn from_missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Derive-macro helper: look up a struct field, falling back to
+/// [`Deserialize::from_missing`] for optional fields.
+pub fn __field<T: Deserialize>(
+    map: &[(Content, Content)],
+    name: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    for (k, v) in map {
+        if let Content::Str(s) = k {
+            if s == name {
+                return T::from_content(v);
+            }
+        }
+    }
+    T::from_missing().ok_or_else(|| Error::custom(format!("missing field `{name}` in {ty}")))
+}
+
+// ------------------------------------------------------------ primitives
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_bool().ok_or_else(|| Error::custom("expected boolean"))
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let u = c.as_u64().ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(u).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let i = c.as_i64().ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(i).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(f64::from_content(c)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        // Real serde borrows from the input; this owned-content shim has
+        // nothing to borrow from, so leak. Only hit when deserializing
+        // structs with `&'static str` fields (small, test/tool-side data).
+        c.as_str()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let s = c.as_str().ok_or_else(|| Error::custom("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn from_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let seq = c.as_seq().ok_or_else(|| Error::custom("expected array"))?;
+        if seq.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                seq.len()
+            )));
+        }
+        let mut items = seq.iter().map(T::from_content);
+        // try_from on a collected Vec avoids unsafe uninit arrays.
+        let v: Result<Vec<T>, Error> = items.by_ref().collect();
+        v.map(|v| match v.try_into() {
+            Ok(arr) => arr,
+            Err(_) => unreachable!("length checked above"),
+        })
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$i.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let seq = c.as_seq().ok_or_else(|| Error::custom("expected tuple array"))?;
+                let mut it = seq.iter();
+                Ok(($(
+                    {
+                        let _ = $i;
+                        $t::from_content(it.next().ok_or_else(|| Error::custom("tuple too short"))?)?
+                    },
+                )+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+fn map_key_from_content<K: Deserialize>(k: &Content) -> Result<K, Error> {
+    if let Ok(key) = K::from_content(k) {
+        return Ok(key);
+    }
+    // JSON object keys are strings; recover integer-typed keys.
+    if let Content::Str(s) = k {
+        if let Ok(u) = s.parse::<u64>() {
+            return K::from_content(&Content::U64(u));
+        }
+        if let Ok(i) = s.parse::<i64>() {
+            return K::from_content(&Content::I64(i));
+        }
+        if let Ok(f) = s.parse::<f64>() {
+            return K::from_content(&Content::F64(f));
+        }
+    }
+    Err(Error::custom("unsupported map key"))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_map()
+            .ok_or_else(|| Error::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((map_key_from_content(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_map()
+            .ok_or_else(|| Error::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((map_key_from_content(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(_: &Content) -> Result<Self, Error> {
+        Ok(())
+    }
+}

@@ -1,0 +1,480 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote`): supports plain structs
+//! (named fields, tuple structs, unit structs) and enums (unit, tuple and
+//! struct variants), with optional simple type parameters. `#[serde(...)]`
+//! attributes are not supported — the repository does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Body {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum variants.
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+#[derive(Debug)]
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i);
+
+    // Skip a where clause, if any, up to the body or trailing semicolon.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+
+    let body = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Body::Unit,
+        }
+    } else if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        }
+    } else {
+        panic!("derive only supports structs and enums, found `{kind}`");
+    };
+
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if let Some(TokenTree::Group(_)) = tokens.get(*i) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `<...>` type parameters, returning the bare parameter names
+/// (lifetimes and const params are rejected — unused in this repo).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return params,
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while *i < tokens.len() && depth > 0 {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => at_param_start = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                panic!("serde shim derive does not support lifetime parameters")
+            }
+            TokenTree::Ident(id) if at_param_start && depth == 1 => {
+                let s = id.to_string();
+                if s == "const" {
+                    panic!("serde shim derive does not support const parameters");
+                }
+                params.push(s);
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        fields.push(name);
+        i += 1;
+        // skip `: Type` up to the next top-level comma
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0usize;
+    let mut saw_token_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                saw_token_since_comma = false;
+                count += 1;
+            }
+            _ => saw_token_since_comma = true,
+        }
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantBody::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantBody::Unit,
+        };
+        variants.push(Variant { name, body });
+        // skip an explicit discriminant and the trailing comma
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    variants
+}
+
+// ------------------------------------------------------------ generation
+
+fn impl_header(item: &Item, trait_path: &str, bound: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl {trait_path} for {}", item.name)
+    } else {
+        let params = item.generics.join(", ");
+        let bounds = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "impl<{params}> {trait_path} for {}<{params}> where {bounds}",
+            item.name
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let header = impl_header(item, "::serde::Serialize", "::serde::Serialize");
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Content::Str(\"{f}\".to_string()), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Map(vec![{entries}])")
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Seq(vec![{items}])")
+        }
+        Body::Unit => "::serde::Content::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| gen_serialize_variant(&item.name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "{header} {{\n    fn to_content(&self) -> ::serde::Content {{\n        {body}\n    }}\n}}"
+    )
+}
+
+fn gen_serialize_variant(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.body {
+        VariantBody::Unit => format!("{ty}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),"),
+        VariantBody::Tuple(n) => {
+            let binds = (0..*n).map(|i| format!("__f{i}")).collect::<Vec<_>>();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_content(__f0)".to_string()
+            } else {
+                let items = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Content::Seq(vec![{items}])")
+            };
+            format!(
+                "{ty}::{vn}({}) => ::serde::Content::Map(vec![\
+                 (::serde::Content::Str(\"{vn}\".to_string()), {payload})]),",
+                binds.join(", ")
+            )
+        }
+        VariantBody::Struct(fields) => {
+            let binds = fields.join(", ");
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Content::Str(\"{f}\".to_string()), \
+                         ::serde::Serialize::to_content({f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{ty}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![\
+                 (::serde::Content::Str(\"{vn}\".to_string()), \
+                 ::serde::Content::Map(vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let header = impl_header(item, "::serde::Deserialize", "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__m, \"{f}\", \"{name}\")?,"))
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!(
+                "let __m = c.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected map for {name}\"))?;\n        \
+                 Ok({name} {{\n            {inits}\n        }})"
+            )
+        }
+        Body::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_content(c)?))"),
+        Body::Tuple(n) => {
+            let gets = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_content(__s.get({i}).ok_or_else(|| \
+                         ::serde::Error::custom(\"tuple struct too short\"))?)?"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __s = c.as_seq().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n        \
+                 Ok({name}({gets}))"
+            )
+        }
+        Body::Unit => format!("Ok({name})"),
+        Body::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "{header} {{\n    fn from_content(c: &::serde::Content) -> \
+         Result<Self, ::serde::Error> {{\n        {body}\n    }}\n}}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms = variants
+        .iter()
+        .filter(|v| matches!(v.body, VariantBody::Unit))
+        .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+        .collect::<Vec<_>>()
+        .join("\n                ");
+    let payload_arms = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.body {
+                VariantBody::Unit => None,
+                VariantBody::Tuple(1) => Some(format!(
+                    "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_content(__v)?)),"
+                )),
+                VariantBody::Tuple(n) => {
+                    let gets = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_content(__s.get({i}).ok_or_else(|| \
+                                 ::serde::Error::custom(\"variant payload too short\"))?)?"
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    Some(format!(
+                        "\"{vn}\" => {{ let __s = __v.as_seq().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array payload\"))?; \
+                         return Ok({name}::{vn}({gets})); }}"
+                    ))
+                }
+                VariantBody::Struct(fields) => {
+                    let inits = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::__field(__m, \"{f}\", \"{name}::{vn}\")?,"))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    Some(format!(
+                        "\"{vn}\" => {{ let __m = __v.as_map().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected map payload\"))?; \
+                         return Ok({name}::{vn} {{ {inits} }}); }}"
+                    ))
+                }
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n                ");
+    format!(
+        "match c {{\n            \
+         ::serde::Content::Str(__s) => match __s.as_str() {{\n                \
+         {unit_arms}\n                \
+         _ => {{}}\n            }},\n            \
+         ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n                \
+         if let (::serde::Content::Str(__k), __v) = (&__entries[0].0, &__entries[0].1) {{\n                \
+         match __k.as_str() {{\n                \
+         {payload_arms}\n                \
+         _ => {{}}\n                }}\n                }}\n            }},\n            \
+         _ => {{}}\n        }}\n        \
+         Err(::serde::Error::custom(\"unknown variant for {name}\"))"
+    )
+}
