@@ -69,6 +69,9 @@ pub fn build_measured_app(
     graph: &CommGraph,
     kernels: &[KernelDecl],
 ) -> AppSpec {
+    // The one place in the pipeline that sees the finished profiler, so
+    // the run's profile totals are published here.
+    prof.publish_metrics(hic_obs::global(), "profile");
     let mut kernel_of: BTreeMap<FunctionId, KernelId> = BTreeMap::new();
     let mut specs = Vec::with_capacity(kernels.len());
     for (i, decl) in kernels.iter().enumerate() {

@@ -228,21 +228,23 @@ fn fig9(json: bool) {
 }
 
 fn bench_noc() {
-    let rows = hic_bench::nocperf::measure(8, 20_000, 3);
+    let run = hic_bench::nocperf::measure(8, 20_000, 3);
     println!("== NoC fast path vs reference stepper (8x8 uniform) ==");
     println!(
         "{:<8} {:>12} {:>16} {:>16} {:>9}",
         "offered", "delivered", "fast cyc/s", "reference cyc/s", "speedup"
     );
-    for r in &rows {
+    for r in &run.points {
         println!(
             "{:<8.2} {:>12} {:>16.0} {:>16.0} {:>8.2}x",
             r.offered, r.delivered, r.fast_cycles_per_sec, r.reference_cycles_per_sec, r.speedup
         );
     }
-    let out = serde_json::to_string_pretty(&rows).unwrap();
+    let out = serde_json::to_string_pretty(&run.points).unwrap();
     std::fs::write("BENCH_noc.json", &out).expect("write BENCH_noc.json");
-    println!("\nwrote BENCH_noc.json");
+    let sidecar = serde_json::to_string_pretty(&run.metrics).unwrap();
+    std::fs::write("BENCH_noc_metrics.json", &sidecar).expect("write BENCH_noc_metrics.json");
+    println!("\nwrote BENCH_noc.json + BENCH_noc_metrics.json");
 }
 
 fn ablations(json: bool) {

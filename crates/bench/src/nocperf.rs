@@ -8,7 +8,7 @@
 //! `bench-noc` subcommand records the result as `BENCH_noc.json`.
 
 use hic_noc::reference::{drive_schedule, uniform_schedule, ReferenceNetwork};
-use hic_noc::{Mesh, Network, NocConfig, RecordMode};
+use hic_noc::{Mesh, NetMetrics, Network, NocConfig, RecordMode};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -29,14 +29,38 @@ pub struct NocPerfPoint {
     pub speedup: f64,
 }
 
+/// The fast path's aggregate observability counters at one load point —
+/// the `BENCH_noc_metrics.json` sidecar of `repro bench-noc`.
+#[derive(Debug, Clone, Serialize)]
+pub struct NocMetricsPoint {
+    /// Offered load in flits/node/cycle.
+    pub offered: f64,
+    /// The network's always-on counters after the run.
+    pub metrics: NetMetrics,
+    /// Mean link utilization in [0, 1].
+    pub mean_link_utilization: f64,
+    /// Busiest-link utilization in [0, 1].
+    pub max_link_utilization: f64,
+}
+
+/// Result of [`measure`]: timing points plus the metrics sidecar.
+#[derive(Debug, Clone, Serialize)]
+pub struct NocPerfRun {
+    /// Timing comparison per load point.
+    pub points: Vec<NocPerfPoint>,
+    /// Fast-path network metrics per load point.
+    pub metrics: Vec<NocMetricsPoint>,
+}
+
 /// Time the fast path and the reference stepper on a `side`×`side` mesh
 /// under uniform Bernoulli traffic at 0.1/0.5/0.9 offered load. Each
 /// configuration runs `repeats` times; the best time is kept.
-pub fn measure(side: u16, cycles: u64, repeats: u32) -> Vec<NocPerfPoint> {
+pub fn measure(side: u16, cycles: u64, repeats: u32) -> NocPerfRun {
     assert!(repeats >= 1);
     let mesh = Mesh::new(side, side);
     let cfg = NocConfig::paper_default(mesh);
     let mut out = Vec::new();
+    let mut metrics = Vec::new();
     for offered in [0.1f64, 0.5, 0.9] {
         let seed = 0xB0C0 ^ (offered * 100.0) as u64;
         // Traffic is pregenerated so the timed region runs the stepper
@@ -46,6 +70,7 @@ pub fn measure(side: u16, cycles: u64, repeats: u32) -> Vec<NocPerfPoint> {
         let mut fast_best = f64::INFINITY;
         let mut ref_best = f64::INFINITY;
         let mut delivered = 0u64;
+        let mut net_metrics = NetMetrics::default();
         for _ in 0..repeats {
             let mut net = Network::new(cfg);
             net.set_record_mode(RecordMode::Stats);
@@ -53,6 +78,7 @@ pub fn measure(side: u16, cycles: u64, repeats: u32) -> Vec<NocPerfPoint> {
             drive_schedule(&mut net, &schedule, 16, cycles);
             fast_best = fast_best.min(t.elapsed().as_secs_f64());
             delivered = net.stats().delivered();
+            net_metrics = net.metrics();
 
             let mut net = ReferenceNetwork::new(cfg);
             let t = Instant::now();
@@ -74,8 +100,17 @@ pub fn measure(side: u16, cycles: u64, repeats: u32) -> Vec<NocPerfPoint> {
             reference_cycles_per_sec: cycles as f64 / ref_best,
             speedup: ref_best / fast_best,
         });
+        metrics.push(NocMetricsPoint {
+            offered,
+            metrics: net_metrics,
+            mean_link_utilization: net_metrics.mean_link_utilization(),
+            max_link_utilization: net_metrics.max_link_utilization(),
+        });
     }
-    out
+    NocPerfRun {
+        points: out,
+        metrics,
+    }
 }
 
 #[cfg(test)]
@@ -85,12 +120,20 @@ mod tests {
     #[test]
     fn measure_reports_all_three_loads_with_positive_rates() {
         // Tiny run: correctness of the harness, not a timing claim.
-        let rows = measure(4, 200, 1);
-        assert_eq!(rows.len(), 3);
-        for r in &rows {
+        let run = measure(4, 200, 1);
+        assert_eq!(run.points.len(), 3);
+        for r in &run.points {
             assert!(r.fast_cycles_per_sec > 0.0);
             assert!(r.reference_cycles_per_sec > 0.0);
             assert!(r.delivered > 0);
         }
+        assert_eq!(run.metrics.len(), 3);
+        for m in &run.metrics {
+            assert!(m.metrics.forwarded_flits > 0);
+            assert!(m.mean_link_utilization > 0.0);
+            assert!(m.max_link_utilization <= 1.0);
+        }
+        // Higher offered load must not move fewer flits.
+        assert!(run.metrics[2].metrics.forwarded_flits >= run.metrics[0].metrics.forwarded_flits);
     }
 }

@@ -85,11 +85,33 @@ impl BusTrace {
     }
 }
 
+/// Cumulative arbitration observability for a [`CycleBus`], accumulated
+/// across every [`CycleBus::run`] call on the same bus instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusMetrics {
+    /// Grants issued.
+    pub grants: u64,
+    /// Bytes moved across all grants.
+    pub bytes: u64,
+    /// Arbitration rounds where more than one master was ready — the
+    /// rounds where the arbiter actually had to choose.
+    pub contended_rounds: u64,
+    /// Grants that started later than their request's ready time.
+    pub delayed_grants: u64,
+    /// Total time grants spent waiting past ready, in picoseconds.
+    pub wait_ps: u64,
+    /// Total bus occupancy, in picoseconds.
+    pub busy_ps: u64,
+    /// Most masters ever ready in a single arbitration round.
+    pub peak_ready_masters: u64,
+}
+
 /// The cycle-level bus simulator.
 #[derive(Debug, Clone)]
 pub struct CycleBus<A = RoundRobin> {
     cfg: BusConfig,
     arbiter: A,
+    metrics: BusMetrics,
 }
 
 impl CycleBus<RoundRobin> {
@@ -98,6 +120,7 @@ impl CycleBus<RoundRobin> {
         CycleBus {
             cfg,
             arbiter: RoundRobin::new(),
+            metrics: BusMetrics::default(),
         }
     }
 }
@@ -105,12 +128,36 @@ impl CycleBus<RoundRobin> {
 impl<A: Arbiter> CycleBus<A> {
     /// A bus with a custom arbitration policy.
     pub fn with_arbiter(cfg: BusConfig, arbiter: A) -> Self {
-        CycleBus { cfg, arbiter }
+        CycleBus {
+            cfg,
+            arbiter,
+            metrics: BusMetrics::default(),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &BusConfig {
         &self.cfg
+    }
+
+    /// Cumulative arbitration metrics across every run on this bus.
+    pub fn metrics(&self) -> BusMetrics {
+        self.metrics
+    }
+
+    /// Publish the cumulative metrics into `reg` under `prefix.*`.
+    pub fn publish_metrics(&self, reg: &hic_obs::Registry, prefix: &str) {
+        let m = self.metrics;
+        reg.counter(&format!("{prefix}.grants")).add(m.grants);
+        reg.counter(&format!("{prefix}.bytes")).add(m.bytes);
+        reg.counter(&format!("{prefix}.contended_rounds"))
+            .add(m.contended_rounds);
+        reg.counter(&format!("{prefix}.delayed_grants"))
+            .add(m.delayed_grants);
+        reg.counter(&format!("{prefix}.wait_ps")).add(m.wait_ps);
+        reg.counter(&format!("{prefix}.busy_ps")).add(m.busy_ps);
+        reg.gauge(&format!("{prefix}.peak_ready_masters"))
+            .set(m.peak_ready_masters);
     }
 
     /// Serve all `requests` to completion and return the trace.
@@ -141,6 +188,13 @@ impl<A: Arbiter> CycleBus<A> {
                 .collect();
             ready_masters.sort_unstable();
             ready_masters.dedup();
+            if ready_masters.len() > 1 {
+                self.metrics.contended_rounds += 1;
+            }
+            self.metrics.peak_ready_masters = self
+                .metrics
+                .peak_ready_masters
+                .max(ready_masters.len() as u64);
             let master = self.arbiter.grant(&ready_masters);
             // Oldest ready request of the granted master (submission order).
             let pos = pending
@@ -152,13 +206,21 @@ impl<A: Arbiter> CycleBus<A> {
             let dur = self.cfg.transfer_time(req.bytes);
             let start = now;
             let end = start + dur;
+            let wait = start.saturating_sub(req.ready);
+            self.metrics.grants += 1;
+            self.metrics.bytes += req.bytes;
+            self.metrics.busy_ps += dur.as_ps();
+            self.metrics.wait_ps += wait.as_ps();
+            if wait > Time::ZERO {
+                self.metrics.delayed_grants += 1;
+            }
             grants.push(Grant {
                 request: idx,
                 master,
                 bytes: req.bytes,
                 start,
                 end,
-                wait: start.saturating_sub(req.ready),
+                wait,
             });
             busy += dur;
             now = end;
@@ -268,5 +330,44 @@ mod tests {
         ]);
         assert_eq!(tr.grants[1].start, Time::from_ns(2000));
         assert_eq!(tr.grants[1].wait, Time::from_ns(1500));
+    }
+
+    #[test]
+    fn metrics_track_grants_and_contention() {
+        let mut b = bus();
+        let tr = b.run(&[Request::at_start(0, 128), Request::at_start(1, 128)]);
+        let m = b.metrics();
+        assert_eq!(m.grants, 2);
+        assert_eq!(m.bytes, 256);
+        // Both masters were ready in the first round; only one in the second.
+        assert_eq!(m.contended_rounds, 1);
+        assert_eq!(m.peak_ready_masters, 2);
+        assert_eq!(m.delayed_grants, 1);
+        assert_eq!(m.wait_ps, tr.total_wait().as_ps());
+        assert_eq!(m.busy_ps, tr.busy.as_ps());
+    }
+
+    #[test]
+    fn metrics_accumulate_across_runs() {
+        let mut b = bus();
+        b.run(&[Request::at_start(0, 128)]);
+        b.run(&[Request::at_start(0, 128)]);
+        let m = b.metrics();
+        assert_eq!(m.grants, 2);
+        assert_eq!(m.contended_rounds, 0);
+        assert_eq!(m.delayed_grants, 0);
+    }
+
+    #[test]
+    fn publish_metrics_fills_a_registry() {
+        let mut b = bus();
+        b.run(&[Request::at_start(0, 128), Request::at_start(1, 128)]);
+        let reg = hic_obs::Registry::new();
+        b.publish_metrics(&reg, "bus");
+        let s = reg.snapshot();
+        assert_eq!(s.counters["bus.grants"], 2);
+        assert_eq!(s.counters["bus.contended_rounds"], 1);
+        assert!(s.counters["bus.wait_ps"] > 0);
+        assert_eq!(s.gauges["bus.peak_ready_masters"].last, 2);
     }
 }

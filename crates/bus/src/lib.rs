@@ -27,5 +27,5 @@ pub mod dma;
 
 pub use arbiter::{Arbiter, FixedPriority, RoundRobin};
 pub use config::BusConfig;
-pub use cycle::{BusTrace, CycleBus, Grant, Request};
+pub use cycle::{BusMetrics, BusTrace, CycleBus, Grant, Request};
 pub use dma::{Descriptor, DmaSpec};

@@ -64,6 +64,14 @@ pub enum Command {
         /// One of `canny`, `jpeg`, `klt`, `fluid`.
         app: String,
     },
+    /// Run the whole pipeline (profile → design → co-simulate → bus) on a
+    /// built-in app and emit the observability snapshot.
+    Report {
+        /// One of `canny`, `jpeg`, `klt`, `fluid`.
+        app: String,
+        /// Emit the `hic-obs/v1` JSON snapshot instead of the table.
+        json: bool,
+    },
     /// Print usage.
     Help,
 }
@@ -205,6 +213,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| CliError::Usage("profile needs an app name".into()))?
                 .clone(),
         }),
+        "report" => Ok(Command::Report {
+            app: args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError::Usage("report needs an app name".into()))?
+                .clone(),
+            json: args.iter().any(|a| a == "--json"),
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
@@ -220,6 +236,7 @@ USAGE:
   hic simulate <app.json> [--frames N]
   hic generate [--shape chain|fanout|diamond|random] [--kernels N] [--seed S]
   hic profile  <canny|jpeg|klt|fluid>
+  hic report   <canny|jpeg|klt|fluid> [--metrics] [--json]
   hic help
 "
 }
@@ -286,6 +303,35 @@ impl PlanSummary {
             app_speedups: (est.app_speedup_vs_sw(), est.app_speedup_vs_baseline()),
         }
     }
+}
+
+/// Run a built-in profiled application, returning its measured spec and
+/// communication graph. Profiling publishes `profile.*` metrics to the
+/// global registry as a side effect.
+fn run_profiled(app: &str) -> Result<(AppSpec, hic_profiling::CommGraph), CliError> {
+    Ok(match app {
+        "canny" => {
+            let r = hic_apps::canny::run_profiled(64, 64, 42);
+            (r.app, r.graph)
+        }
+        "jpeg" => {
+            let r = hic_apps::jpeg::run_profiled(8, 8, 42);
+            (r.app, r.graph)
+        }
+        "klt" => {
+            let r = hic_apps::klt::run_profiled(48, 48, 12, 42);
+            (r.app, r.graph)
+        }
+        "fluid" => {
+            let r = hic_apps::fluid::run_profiled(24, 42);
+            (r.app, r.graph)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown app '{other}' (canny|jpeg|klt|fluid)"
+            )))
+        }
+    })
 }
 
 fn load_app(path: &str) -> Result<AppSpec, CliError> {
@@ -384,29 +430,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             Ok(serde_json::to_string_pretty(&app)?)
         }
         Command::Profile { app } => {
-            let (spec, graph) = match app.as_str() {
-                "canny" => {
-                    let r = hic_apps::canny::run_profiled(64, 64, 42);
-                    (r.app, r.graph)
-                }
-                "jpeg" => {
-                    let r = hic_apps::jpeg::run_profiled(8, 8, 42);
-                    (r.app, r.graph)
-                }
-                "klt" => {
-                    let r = hic_apps::klt::run_profiled(48, 48, 12, 42);
-                    (r.app, r.graph)
-                }
-                "fluid" => {
-                    let r = hic_apps::fluid::run_profiled(24, 42);
-                    (r.app, r.graph)
-                }
-                other => {
-                    return Err(CliError::Usage(format!(
-                        "unknown app '{other}' (canny|jpeg|klt|fluid)"
-                    )))
-                }
-            };
+            let (spec, graph) = run_profiled(&app)?;
             let mut out = String::new();
             writeln!(out, "// measured communication profile:").unwrap();
             for line in graph.to_table().lines() {
@@ -415,7 +439,77 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             out.push_str(&serde_json::to_string_pretty(&spec)?);
             Ok(out)
         }
+        Command::Report { app, json } => {
+            let reg = hic_obs::global();
+            // Profile (publishes profile.*), design (design.* spans and
+            // decision counters), co-simulate (noc.* and cosim.*).
+            let (spec, _graph) = run_profiled(&app)?;
+            let plan = design(&spec, &cfg, Variant::Hybrid)?;
+            let _ = hic_sim::cosimulate(&plan);
+            // Bus contention: replay every kernel's host transfers through
+            // the cycle-level arbiter, one master per kernel, all ready at
+            // time zero — the congested-fetch scenario of Section III-A.
+            let mut bus = hic_bus::CycleBus::new(cfg.bus);
+            let mut requests = Vec::new();
+            for k in spec.kernel_ids() {
+                let v = spec.volumes(k);
+                if v.host_in > 0 {
+                    requests.push(hic_bus::Request::at_start(k.index(), v.host_in));
+                }
+                if v.host_out > 0 {
+                    requests.push(hic_bus::Request::at_start(k.index(), v.host_out));
+                }
+            }
+            bus.run(&requests);
+            bus.publish_metrics(reg, "bus");
+            let snap = reg.snapshot();
+            if json {
+                Ok(snap.to_json())
+            } else {
+                Ok(snap.render_table())
+            }
+        }
     }
+}
+
+/// Outcome of a failed [`dispatch`]: what to print and how to exit.
+#[derive(Debug)]
+pub struct Failure {
+    /// Process exit status (2 for command-line mistakes, 1 for runtime
+    /// failures).
+    pub exit_code: i32,
+    /// The error message.
+    pub message: String,
+    /// Whether the usage text should follow the message (only for
+    /// command-line mistakes; a failed run prints its error alone).
+    pub show_usage: bool,
+}
+
+/// Parse and execute in one step, classifying failures for the binary.
+///
+/// A bad command line (unparsable arguments, or a run that rejects an
+/// argument value) exits 2 with the usage text; a command that parsed fine
+/// but failed at runtime (missing file, bad JSON, infeasible design) exits
+/// 1 with just its error — dumping usage there buried the actual message
+/// and made every failure look like a typo.
+pub fn dispatch(args: &[String]) -> Result<String, Failure> {
+    let cmd = parse(args).map_err(|e| Failure {
+        exit_code: 2,
+        message: e.to_string(),
+        show_usage: true,
+    })?;
+    run(cmd).map_err(|e| match e {
+        CliError::Usage(_) => Failure {
+            exit_code: 2,
+            message: e.to_string(),
+            show_usage: true,
+        },
+        CliError::Io(_) | CliError::Json(_) | CliError::Design(_) => Failure {
+            exit_code: 1,
+            message: e.to_string(),
+            show_usage: false,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -536,5 +630,43 @@ mod tests {
             run(Command::Profile { app: "nope".into() }),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parses_report_with_flags() {
+        let cmd = parse(&argv("report jpeg --json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Report {
+                app: "jpeg".into(),
+                json: true
+            }
+        );
+        assert!(matches!(parse(&argv("report")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn dispatch_classifies_parse_errors_as_usage() {
+        // Unparsable command line: exit 2 and show usage.
+        let f = dispatch(&argv("design")).unwrap_err();
+        assert_eq!(f.exit_code, 2);
+        assert!(f.show_usage);
+        assert!(f.message.contains("usage error"));
+        let f = dispatch(&argv("frobnicate")).unwrap_err();
+        assert_eq!(f.exit_code, 2);
+        assert!(f.show_usage);
+    }
+
+    #[test]
+    fn dispatch_classifies_runtime_errors_as_failures() {
+        // Parsed fine, failed at runtime (missing file): exit 1, no usage
+        // dump. Regression: this used to exit 2 and print the usage text,
+        // indistinguishable from a typo.
+        let f = dispatch(&argv("design /no/such/file.json")).unwrap_err();
+        assert_eq!(f.exit_code, 1);
+        assert!(!f.show_usage);
+        assert!(f.message.contains("io error"), "{}", f.message);
+        // And a success path returns output.
+        assert!(dispatch(&argv("help")).unwrap().contains("USAGE"));
     }
 }

@@ -1,13 +1,18 @@
 //! The `hic` binary: parse, run, print.
+//!
+//! Exit codes: 0 on success, 2 for command-line mistakes (with usage), 1
+//! for runtime failures (error message only).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match hic_cli::parse(&args).and_then(hic_cli::run) {
+    match hic_cli::dispatch(&args) {
         Ok(out) => print!("{out}"),
-        Err(e) => {
-            eprintln!("{e}");
-            eprintln!("{}", hic_cli::usage());
-            std::process::exit(2);
+        Err(f) => {
+            eprintln!("{}", f.message);
+            if f.show_usage {
+                eprintln!("{}", hic_cli::usage());
+            }
+            std::process::exit(f.exit_code);
         }
     }
 }

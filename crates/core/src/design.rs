@@ -313,6 +313,8 @@ fn design_with(
     knobs: DesignKnobs,
 ) -> Result<InterconnectPlan, DesignError> {
     app.validate().expect("invalid AppSpec");
+    let reg = hic_obs::global();
+    reg.counter("design.runs").inc();
     let base_kernels: Resources = app.kernels.iter().map(|k| k.resources).sum();
     let base_need = base_kernels + ComponentKind::Bus.cost();
     if !base_need.fits_in(cfg.resource_budget) {
@@ -327,6 +329,7 @@ fn design_with(
     }
 
     // --- Lines 2–6: duplication of qualifying kernels. ---
+    let stage = reg.span("design.duplication");
     let mut app = app.clone();
     let mut duplicated = Vec::new();
     let mut used = base_need;
@@ -353,6 +356,8 @@ fn design_with(
     }
 
     // --- Lines 8–13: shared-local-memory pairing. ---
+    drop(stage);
+    let stage = reg.span("design.shared_memory");
     let mut sm_pairs: Vec<SharedMemPair> = Vec::new();
     if knobs.shared_memory {
         let mut edges: Vec<CommEdge> = app.k2k_edges().copied().collect();
@@ -376,6 +381,8 @@ fn design_with(
     }
 
     // --- Edges served by neither mechanism fall back to the bus. ---
+    drop(stage);
+    let stage = reg.span("design.mapping");
     let sm_covered: BTreeSet<(KernelId, KernelId)> =
         sm_pairs.iter().map(|p| (p.producer, p.consumer)).collect();
     let bus_fallback: Vec<CommEdge> = if knobs.noc {
@@ -461,6 +468,8 @@ fn design_with(
     }
 
     // --- NoC plan and placement. ---
+    drop(stage);
+    let stage = reg.span("design.placement");
     let kernel_nodes: Vec<KernelId> = app
         .kernel_ids()
         .filter(|k| kernels[k].attach.kernel == KernelAttach::K2)
@@ -508,6 +517,8 @@ fn design_with(
     };
 
     // --- Line 15: parallel solution, Cases 1 & 2. ---
+    drop(stage);
+    let stage = reg.span("design.parallel");
     let theta = cfg.theta();
     let o = cfg.stream_overhead(&app);
     let mut parallel = Vec::new();
@@ -546,6 +557,20 @@ fn design_with(
                 saving,
             });
         }
+    }
+
+    drop(stage);
+
+    // Mechanism decisions the run actually took, for `hic report`.
+    reg.counter("design.duplications")
+        .add(duplicated.len() as u64);
+    reg.counter("design.sm_pairs").add(sm_pairs.len() as u64);
+    reg.counter("design.parallel_transforms")
+        .add(parallel.len() as u64);
+    reg.counter("design.bus_fallback_edges")
+        .add(bus_fallback.len() as u64);
+    if let Some(n) = &noc {
+        reg.counter("design.noc_routers").add(n.routers() as u64);
     }
 
     Ok(InterconnectPlan {

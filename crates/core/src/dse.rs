@@ -63,6 +63,8 @@ fn label(k: DesignKnobs) -> String {
 
 /// Evaluate all 16 mechanism subsets (adaptive mapping always on).
 pub fn explore(app: &AppSpec, cfg: &DesignConfig) -> Result<Vec<DsePoint>, DesignError> {
+    let reg = hic_obs::global();
+    let _sweep = reg.span("dse.explore");
     let mut points = Vec::with_capacity(16);
     for bits in 0u8..16 {
         let knobs = DesignKnobs {
@@ -75,6 +77,7 @@ pub fn explore(app: &AppSpec, cfg: &DesignConfig) -> Result<Vec<DsePoint>, Desig
         let plan = design_custom(app, cfg, knobs)?;
         points.push(point_of(&plan, knobs));
     }
+    reg.counter("dse.points_evaluated").add(points.len() as u64);
     Ok(points)
 }
 
@@ -90,15 +93,31 @@ fn point_of(plan: &InterconnectPlan, knobs: DesignKnobs) -> DsePoint {
 }
 
 /// The non-dominated subset of `points`, sorted by execution time.
+///
+/// Dominance is non-strict on both axes with at least one strict
+/// improvement, so two points tied on both objectives never dominate each
+/// other — both survive the filter. Such ties are duplicates *in the
+/// objective plane* even when off-objective fields (register count, the
+/// mechanism label) differ, so the front keeps exactly one of each tie
+/// group, chosen deterministically as the lexicographically smallest
+/// label.
 pub fn pareto_front(points: &[DsePoint]) -> Vec<DsePoint> {
     let mut front: Vec<DsePoint> = points
         .iter()
         .filter(|p| !points.iter().any(|q| q.dominates(p)))
         .cloned()
         .collect();
-    front.sort_by_key(|p| (p.kernels, p.resources.luts));
-    // Equal points (same time and resources) collapse to one.
-    front.dedup_by(|a, b| a.kernels == b.kernels && a.resources == b.resources);
+    front.sort_by(|a, b| {
+        (a.kernels, a.resources.luts, a.label.as_str()).cmp(&(
+            b.kernels,
+            b.resources.luts,
+            b.label.as_str(),
+        ))
+    });
+    front.dedup_by(|a, b| a.kernels == b.kernels && a.resources.luts == b.resources.luts);
+    hic_obs::global()
+        .gauge("dse.pareto_size")
+        .set(front.len() as u64);
     front
 }
 
@@ -195,14 +214,64 @@ mod tests {
         let points = explore(&app(), &DesignConfig::default()).unwrap();
         let front = pareto_front(&points);
         assert!(!front.is_empty());
-        for a in &front {
-            for b in &front {
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
                 assert!(!a.dominates(b), "{} dominates {}", a.label, b.label);
+                assert!(
+                    i == j || a.kernels != b.kernels || a.resources.luts != b.resources.luts,
+                    "{} and {} are objective-plane duplicates",
+                    a.label,
+                    b.label
+                );
             }
         }
         for w in front.windows(2) {
             assert!(w[0].kernels <= w[1].kernels);
         }
+    }
+
+    fn point(label: &str, kernels_ns: u64, luts: u64, regs: u64) -> DsePoint {
+        DsePoint {
+            knobs: DesignKnobs::ALL,
+            label: label.to_string(),
+            kernels: Time::from_ns(kernels_ns),
+            resources: Resources::new(luts, regs),
+            solution: String::new(),
+        }
+    }
+
+    #[test]
+    fn equal_points_do_not_dominate_each_other() {
+        let a = point("a", 100, 500, 500);
+        let b = point("b", 100, 500, 900);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&a));
+    }
+
+    #[test]
+    fn objective_ties_collapse_to_the_smallest_label() {
+        // Same (time, LUTs); registers differ, so the old full-Resources
+        // dedup would have kept both.
+        let pts = vec![
+            point("zeta", 100, 500, 900),
+            point("alpha", 100, 500, 100),
+            point("mid", 50, 800, 100),
+        ];
+        let front = pareto_front(&pts);
+        assert_eq!(front.len(), 2);
+        assert_eq!(front[0].label, "mid");
+        assert_eq!(front[1].label, "alpha", "tie resolves to smallest label");
+    }
+
+    #[test]
+    fn tie_dedup_is_order_independent() {
+        let a = point("a", 100, 500, 900);
+        let b = point("b", 100, 500, 100);
+        let f1 = pareto_front(&[a.clone(), b.clone()]);
+        let f2 = pareto_front(&[b, a]);
+        assert_eq!(f1.len(), 1);
+        assert_eq!(f1[0].label, f2[0].label);
     }
 
     #[test]

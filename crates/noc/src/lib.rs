@@ -42,7 +42,9 @@ pub mod traffic;
 pub use adapter::{AdapterKind, AdapterSpec};
 pub use flit::{Flit, FlitKind, Packet, PacketId};
 pub use latency::LatencyModel;
-pub use network::{DeliveredPacket, DrainTimeout, Network, NocConfig, NocStats, RecordMode};
+pub use network::{
+    DeliveredPacket, DrainTimeout, NetMetrics, Network, NocConfig, NocStats, RecordMode,
+};
 pub use placement::{
     place, place_exhaustive, place_greedy, place_naive, NocNode, Placement, Traffic,
 };

@@ -242,6 +242,47 @@ impl NocStats {
     }
 }
 
+/// Aggregate of the always-on per-router observability counters,
+/// produced by [`Network::metrics`]. Link utilization is flits moved per
+/// link-cycle: `forwarded_flits / (links * cycles)` on average, and the
+/// busiest single link's `flits / cycles` at the max.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetMetrics {
+    /// Cycles simulated so far.
+    pub cycles: u64,
+    /// Flits that traversed an inter-router link.
+    pub forwarded_flits: u64,
+    /// Flits ejected at their destination's local port.
+    pub ejected_flits: u64,
+    /// Flits carried by the single busiest link.
+    pub busiest_link_flits: u64,
+    /// Inter-router links present in the mesh (directed).
+    pub links: u64,
+    /// Cycles routers spent active (holding flits or pending injections)
+    /// without moving anything — backpressure and lost arbitration.
+    pub stall_cycles: u64,
+    /// Deepest input-FIFO occupancy seen on any (router, port).
+    pub fifo_high_water: u32,
+}
+
+impl NetMetrics {
+    /// Mean utilization across all links (flits per link-cycle, 0..=1).
+    pub fn mean_link_utilization(&self) -> f64 {
+        if self.links == 0 || self.cycles == 0 {
+            return 0.0;
+        }
+        self.forwarded_flits as f64 / (self.links * self.cycles) as f64
+    }
+
+    /// Utilization of the busiest link (flits per cycle on it, 0..=1).
+    pub fn max_link_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.busiest_link_flits as f64 / self.cycles as f64
+    }
+}
+
 /// In-flight packet table exploiting monotonic [`PacketId`] assignment: a
 /// sliding window of slots indexed by `id - base`, advanced as the oldest
 /// packets complete. O(1) insert/remove with no hashing.
@@ -350,6 +391,15 @@ pub struct Network {
     arbs: Vec<[WrrArbiter; PORTS]>,
     /// Router coordinate by index (avoids a runtime division per lookup).
     coords: Vec<Coord>,
+    /// Flits moved per (router, output port). Non-Local ports count link
+    /// traversals; Local counts ejections. Plain adds on the apply path —
+    /// always on, aggregated by [`Network::metrics`].
+    link_flits: Vec<[u64; PORTS]>,
+    /// Input-FIFO occupancy high-water mark per (router, port).
+    fifo_hwm: Vec<[u8; PORTS]>,
+    /// Cycles each router sat on the active list without moving a flit
+    /// (backpressure / lost arbitration / full downstream buffers).
+    stall_cycles: Vec<u64>,
 }
 
 impl Network {
@@ -403,6 +453,9 @@ impl Network {
                 .map(|_| std::array::from_fn(|_| WrrArbiter::uniform()))
                 .collect(),
             coords: (0..cfg.mesh.len()).map(|i| cfg.mesh.coord(i)).collect(),
+            link_flits: vec![[0; PORTS]; cfg.mesh.len()],
+            fifo_hwm: vec![[0; PORTS]; cfg.mesh.len()],
+            stall_cycles: vec![0; cfg.mesh.len()],
         }
     }
 
@@ -428,8 +481,12 @@ impl Network {
             slot -= cap;
         }
         self.fifo[rp * cap + slot] = flit;
-        self.port_occ[router][port] += 1;
+        let occ = self.port_occ[router][port] + 1;
+        self.port_occ[router][port] = occ;
         self.occ_mask[router] |= 1 << port;
+        if occ as u8 > self.fifo_hwm[router][port] {
+            self.fifo_hwm[router][port] = occ as u8;
+        }
     }
 
     #[inline]
@@ -698,6 +755,10 @@ impl Network {
                         n: n_moves as u8,
                         moves: packed,
                     });
+                } else {
+                    // Active (it holds flits or pending injections) but
+                    // nothing moved: a stalled cycle for this router.
+                    self.stall_cycles[i] += 1;
                 }
             }
         }
@@ -712,6 +773,7 @@ impl Network {
             for &pm in &set.moves[..set.n as usize] {
                 let (input, output, tail) = unpack_move(pm);
                 let flit = self.fifo_pop(i, input);
+                self.link_flits[i][output] += 1;
                 if tail {
                     self.locks[i][output] = None;
                     self.lock_mask[i] &= !(1 << output);
@@ -737,6 +799,62 @@ impl Network {
         self.moves_scratch = moves;
 
         self.cycle += 1;
+    }
+
+    /// Aggregate the always-on per-router observability counters (see
+    /// [`NetMetrics`]). O(routers); call once per run, not per cycle.
+    pub fn metrics(&self) -> NetMetrics {
+        let local = Direction::Local.index();
+        let mut m = NetMetrics {
+            cycles: self.cycle,
+            ..NetMetrics::default()
+        };
+        for r in 0..self.link_flits.len() {
+            for p in 0..PORTS {
+                let flits = self.link_flits[r][p];
+                if p == local {
+                    m.ejected_flits += flits;
+                } else {
+                    m.forwarded_flits += flits;
+                    m.busiest_link_flits = m.busiest_link_flits.max(flits);
+                    if self.nbr[r][p] != u32::MAX {
+                        m.links += 1;
+                    }
+                }
+                m.fifo_high_water = m.fifo_high_water.max(self.fifo_hwm[r][p] as u32);
+            }
+            m.stall_cycles += self.stall_cycles[r];
+        }
+        m
+    }
+
+    /// Publish this network's aggregate metrics into `reg` under
+    /// `prefix.*` (counters for totals, gauges for utilization and
+    /// high-water marks, plus the exact latency histogram compressed into
+    /// the registry's log2 buckets).
+    pub fn publish_metrics(&self, reg: &hic_obs::Registry, prefix: &str) {
+        let m = self.metrics();
+        reg.counter(&format!("{prefix}.cycles")).add(m.cycles);
+        reg.counter(&format!("{prefix}.flits.forwarded"))
+            .add(m.forwarded_flits);
+        reg.counter(&format!("{prefix}.flits.ejected"))
+            .add(m.ejected_flits);
+        reg.counter(&format!("{prefix}.stall_cycles"))
+            .add(m.stall_cycles);
+        reg.counter(&format!("{prefix}.packets.delivered"))
+            .add(self.stats.delivered());
+        reg.counter(&format!("{prefix}.bytes.delivered"))
+            .add(self.stats.bytes());
+        reg.gauge(&format!("{prefix}.fifo.high_water"))
+            .set(m.fifo_high_water as u64);
+        reg.gauge(&format!("{prefix}.link.util_mean_permille"))
+            .set((m.mean_link_utilization() * 1000.0).round() as u64);
+        reg.gauge(&format!("{prefix}.link.util_max_permille"))
+            .set((m.max_link_utilization() * 1000.0).round() as u64);
+        let lat = reg.histogram(&format!("{prefix}.latency_cycles"));
+        for (latency, &n) in self.stats.histogram().iter().enumerate() {
+            lat.record_n(latency as u64, n);
+        }
     }
 
     /// Routers currently on the active list (holding flits or pending
@@ -1118,5 +1236,64 @@ mod tests {
             assert_eq!(n.inflight.base, i + 1);
             assert!(n.inflight.slots.is_empty());
         }
+    }
+
+    #[test]
+    fn metrics_count_link_traversals_and_ejections() {
+        let mut n = net(3, 1);
+        // 2 hops East + ejection; 4 flits.
+        n.send(Coord::new(0, 0), Coord::new(2, 0), 16);
+        n.run_until_drained(100).unwrap();
+        let m = n.metrics();
+        // Each of the 4 flits crosses 2 links and ejects once.
+        assert_eq!(m.forwarded_flits, 8);
+        assert_eq!(m.ejected_flits, 4);
+        // 3x1 mesh: 2 bidirectional edges = 4 directed links.
+        assert_eq!(m.links, 4);
+        assert!(m.fifo_high_water >= 1);
+        assert!(m.mean_link_utilization() > 0.0);
+        assert!(m.max_link_utilization() >= m.mean_link_utilization());
+        assert!(m.max_link_utilization() <= 1.0);
+    }
+
+    #[test]
+    fn contended_port_accrues_stall_cycles() {
+        // Two packets race for the same East output of the middle
+        // router; the loser waits, which must show up as stalls.
+        let mut n = net(3, 1);
+        n.send(Coord::new(0, 0), Coord::new(2, 0), 32);
+        n.send(Coord::new(1, 0), Coord::new(2, 0), 32);
+        n.run_until_drained(200).unwrap();
+        assert!(n.metrics().stall_cycles > 0);
+    }
+
+    #[test]
+    fn idle_network_reports_zero_metrics() {
+        let mut n = net(2, 2);
+        for _ in 0..10 {
+            n.step();
+        }
+        let m = n.metrics();
+        assert_eq!(m.forwarded_flits, 0);
+        assert_eq!(m.ejected_flits, 0);
+        assert_eq!(m.stall_cycles, 0);
+        assert_eq!(m.fifo_high_water, 0);
+        assert_eq!(m.mean_link_utilization(), 0.0);
+    }
+
+    #[test]
+    fn publish_metrics_fills_a_registry() {
+        let mut n = net(2, 1);
+        n.send(Coord::new(0, 0), Coord::new(1, 0), 8);
+        n.run_until_drained(100).unwrap();
+        let reg = hic_obs::Registry::new();
+        n.publish_metrics(&reg, "noc");
+        let s = reg.snapshot();
+        assert!(s.counters["noc.flits.forwarded"] > 0);
+        assert!(s.counters["noc.packets.delivered"] == 1);
+        assert!(s.counters["noc.cycles"] > 0);
+        assert!(s.gauges.contains_key("noc.link.util_mean_permille"));
+        let lat = &s.histograms["noc.latency_cycles"];
+        assert_eq!(lat.count, 1, "one delivered packet, one latency sample");
     }
 }

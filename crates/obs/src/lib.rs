@@ -1,0 +1,39 @@
+//! # hic-obs — the observability substrate
+//!
+//! Every stage of the HIC pipeline (profiler → Algorithm 1 → mapping →
+//! co-simulation → benchmarks) publishes its counters, gauges, histograms
+//! and stage timings here, so one snapshot describes a whole run. The
+//! primitives are deliberately minimal and dependency-free:
+//!
+//! * [`Counter`] — a monotonic `AtomicU64`; an increment is one relaxed
+//!   `fetch_add`, cheap enough to leave on in release builds.
+//! * [`Gauge`] — a last-value/high-water pair, for occupancy and
+//!   utilization readings.
+//! * [`Histogram`] — fixed log2 buckets (65 of them: one per power of two
+//!   plus a zero bucket), so recording is a `leading_zeros` and two
+//!   `fetch_add`s, with no allocation and no configuration.
+//! * [`Span`] — a wall-clock stage timer that records into a histogram on
+//!   drop. Spans honour [`Registry::set_spans_enabled`]: when disabled, a
+//!   span is a single branch and no clock is read.
+//! * [`Registry`] — a named, thread-safe home for all of the above,
+//!   cloneable (shared-handle semantics) with a process-wide default
+//!   ([`global`]).
+//! * [`Snapshot`] — a point-in-time copy of a registry, renderable as a
+//!   human table ([`Snapshot::render_table`]) or as the documented
+//!   machine-readable JSON schema ([`Snapshot::to_json`], schema id
+//!   `hic-obs/v1` — see the [`snapshot`] module docs).
+//!
+//! Hot loops (the NoC stepper, the cycle bus) do not touch the registry
+//! per event: they keep plain local counters and publish aggregates once
+//! per run. The registry is for cold-path accounting (design stages,
+//! profiler totals, co-sim run metrics) and for the final snapshot.
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+mod snapshot;
+
+pub use metrics::{bucket_bounds, bucket_of, Counter, Gauge, Histogram, BUCKETS};
+pub use registry::{global, Registry, Span};
+pub use snapshot::{BucketValue, GaugeValue, HistogramValue, Snapshot, SCHEMA};

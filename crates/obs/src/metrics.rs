@@ -1,0 +1,240 @@
+//! The metric primitives: counter, gauge, log2 histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+///
+/// All operations are relaxed atomics: metric reads need no ordering
+/// relative to other memory, only eventual self-consistency.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value reading with a high-water mark.
+///
+/// `set` stores the reading and raises the high-water mark; the two are
+/// reported together so a snapshot shows both "where it is" and "where it
+/// peaked".
+#[derive(Debug, Default)]
+pub struct Gauge {
+    last: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge {
+            last: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a reading.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.last.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The most recent reading.
+    pub fn get(&self) -> u64 {
+        self.last.load(Ordering::Relaxed)
+    }
+
+    /// The largest reading ever set.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i - 1]`.
+pub const BUCKETS: usize = 65;
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The inclusive `[lo, hi]` value range of bucket `i`.
+///
+/// # Panics
+/// If `i >= BUCKETS`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket index {i} out of range");
+    match i {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+/// A fixed-shape log2 histogram.
+///
+/// Recording a sample is a `leading_zeros` plus three relaxed
+/// `fetch_add`s; there is nothing to configure and nothing allocates.
+/// The invariant the property tests pin down: the bucket counts always
+/// sum to the sample count.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` samples of the same value (bulk import from an exact
+    /// external histogram, e.g. the NoC latency log).
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// A copy of the bucket counts.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_last_and_max() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.max(), 7);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_u64_range() {
+        // Every bucket starts where the previous one ended.
+        let mut expect_lo = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expect_lo, "bucket {i}");
+            assert!(hi >= lo);
+            expect_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expect_lo, 0, "last bucket must end at u64::MAX");
+    }
+
+    #[test]
+    fn values_land_inside_their_bucket_bounds() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_of(v));
+            assert!(lo <= v && v <= hi, "{v} not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_sums() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(100);
+        h.record_n(5, 3);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 116);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 6);
+        assert!((h.mean() - 116.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_n_zero_is_a_no_op() {
+        let h = Histogram::new();
+        h.record_n(9, 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 0);
+    }
+}

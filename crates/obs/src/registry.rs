@@ -1,0 +1,239 @@
+//! The named metric registry and span timers.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::{GaugeValue, HistogramValue, Snapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Inner {
+    spans_enabled: AtomicBool,
+    slots: Mutex<BTreeMap<String, Slot>>,
+}
+
+/// A named home for metrics, shared by handle ([`Clone`] aliases the same
+/// store). Lookups get-or-create; callers on warm paths should cache the
+/// returned `Arc` handle rather than re-resolving the name per event.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with spans enabled.
+    pub fn new() -> Self {
+        Registry {
+            inner: Arc::new(Inner {
+                spans_enabled: AtomicBool::new(true),
+                slots: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Turn span timing on or off. Counters and gauges are unaffected —
+    /// they are cheap enough to stay on; spans additionally read the
+    /// clock, which this switch removes down to a single branch.
+    pub fn set_spans_enabled(&self, on: bool) {
+        self.inner.spans_enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether spans currently time anything.
+    pub fn spans_enabled(&self) -> bool {
+        self.inner.spans_enabled.load(Ordering::Relaxed)
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut slots = self.inner.slots.lock().unwrap();
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Counter(Arc::new(Counter::new())))
+        {
+            Slot::Counter(c) => Arc::clone(c),
+            _ => panic!("metric '{name}' is not a counter"),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut slots = self.inner.slots.lock().unwrap();
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Gauge(Arc::new(Gauge::new())))
+        {
+            Slot::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric '{name}' is not a gauge"),
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut slots = self.inner.slots.lock().unwrap();
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Histogram(Arc::new(Histogram::new())))
+        {
+            Slot::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric '{name}' is not a histogram"),
+        }
+    }
+
+    /// Start timing a stage. On drop the elapsed wall time lands, in
+    /// nanoseconds, in the histogram `"<name>.ns"`. When spans are
+    /// disabled this is one branch: no clock read, no recording.
+    pub fn span(&self, name: &str) -> Span {
+        if !self.spans_enabled() {
+            return Span { active: None };
+        }
+        Span {
+            active: Some((self.histogram(&format!("{name}.ns")), Instant::now())),
+        }
+    }
+
+    /// Remove every metric (a fresh start for one-process test runs).
+    pub fn clear(&self) {
+        self.inner.slots.lock().unwrap().clear();
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let slots = self.inner.slots.lock().unwrap();
+        let mut snap = Snapshot::default();
+        for (name, slot) in slots.iter() {
+            match slot {
+                Slot::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Slot::Gauge(g) => {
+                    snap.gauges.insert(
+                        name.clone(),
+                        GaugeValue {
+                            last: g.get(),
+                            max: g.max(),
+                        },
+                    );
+                }
+                Slot::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), HistogramValue::of(h));
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A running stage timer (see [`Registry::span`]).
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct Span {
+    active: Option<(Arc<Histogram>, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((hist, started)) = self.active.take() {
+            hist.record(started.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// The process-wide default registry. Everything in the pipeline that is
+/// not handed an explicit registry publishes here; `hic report` snapshots
+/// it after a run.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_get_or_create_and_share() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.counter("a").inc();
+        assert_eq!(r.counter("a").get(), 3);
+    }
+
+    #[test]
+    fn clones_alias_the_same_store() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r.counter("x").inc();
+        assert_eq!(r2.counter("x").get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("dual").inc();
+        r.gauge("dual");
+    }
+
+    #[test]
+    fn span_records_into_suffixed_histogram() {
+        let r = Registry::new();
+        {
+            let _s = r.span("stage");
+        }
+        assert_eq!(r.histogram("stage.ns").count(), 1);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let r = Registry::new();
+        r.set_spans_enabled(false);
+        {
+            let _s = r.span("stage");
+        }
+        assert!(!r.spans_enabled());
+        // The histogram was never even created.
+        assert!(r.snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn snapshot_copies_all_kinds() {
+        let r = Registry::new();
+        r.counter("c").add(5);
+        r.gauge("g").set(9);
+        r.histogram("h").record(4);
+        let s = r.snapshot();
+        assert_eq!(s.counters["c"], 5);
+        assert_eq!(s.gauges["g"].last, 9);
+        assert_eq!(s.histograms["h"].count, 1);
+        r.clear();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        global().counter("obs.test.global").inc();
+        assert!(global().counter("obs.test.global").get() >= 1);
+    }
+}

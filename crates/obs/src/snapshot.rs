@@ -1,0 +1,282 @@
+//! Point-in-time metric snapshots and their serialized forms.
+//!
+//! # The `hic-obs/v1` JSON schema
+//!
+//! [`Snapshot::to_json`] emits one JSON object:
+//!
+//! ```json
+//! {
+//!   "schema": "hic-obs/v1",
+//!   "counters":   { "<name>": <u64>, ... },
+//!   "gauges":     { "<name>": { "last": <u64>, "max": <u64> }, ... },
+//!   "histograms": { "<name>": {
+//!       "count": <u64>,            // samples recorded
+//!       "sum":   <u64>,            // saturating sum of sample values
+//!       "mean":  <f64>,
+//!       "buckets": [ { "lo": <u64>, "hi": <u64>, "count": <u64> }, ... ]
+//!   }, ... }
+//! }
+//! ```
+//!
+//! Buckets are log2 ranges (`[2^(i-1), 2^i - 1]`, plus a `[0, 0]` zero
+//! bucket); empty buckets are omitted, and the listed bucket counts sum
+//! to `count`. Span timers appear as histograms whose name carries a
+//! `.ns` suffix; their samples are wall-clock nanoseconds. The emitter is
+//! hand-rolled (this crate is dependency-free); names are escaped per
+//! JSON string rules, so any `serde_json`/`python -m json.tool` consumer
+//! can parse a snapshot.
+
+use crate::metrics::{bucket_bounds, Histogram, BUCKETS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema identifier carried by every serialized snapshot.
+pub const SCHEMA: &str = "hic-obs/v1";
+
+/// A gauge's serialized value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeValue {
+    /// Most recent reading.
+    pub last: u64,
+    /// High-water mark.
+    pub max: u64,
+}
+
+/// One non-empty histogram bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketValue {
+    /// Inclusive lower bound of the bucket's value range.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+    /// Samples that landed in the bucket.
+    pub count: u64,
+}
+
+/// A histogram's serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramValue {
+    /// Samples recorded.
+    pub count: u64,
+    /// Saturating sum of sample values.
+    pub sum: u64,
+    /// Mean sample value (0 when empty).
+    pub mean: f64,
+    /// The non-empty buckets, in value order.
+    pub buckets: Vec<BucketValue>,
+}
+
+impl HistogramValue {
+    /// Capture a histogram's current state.
+    pub fn of(h: &Histogram) -> Self {
+        let counts = h.bucket_counts();
+        let buckets = (0..BUCKETS)
+            .filter(|&i| counts[i] > 0)
+            .map(|i| {
+                let (lo, hi) = bucket_bounds(i);
+                BucketValue {
+                    lo,
+                    hi,
+                    count: counts[i],
+                }
+            })
+            .collect();
+        HistogramValue {
+            count: h.count(),
+            sum: h.sum(),
+            mean: h.mean(),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`crate::Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, GaugeValue>,
+    /// Histogram values by name.
+    pub histograms: BTreeMap<String, HistogramValue>,
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Snapshot {
+    /// True when no metric of any kind is present.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serialize to the `hic-obs/v1` JSON schema (see the module docs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": ");
+        push_json_str(&mut out, SCHEMA);
+        out.push_str(",\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_json_str(&mut out, name);
+            write!(out, ": {v}").unwrap();
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, g)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_json_str(&mut out, name);
+            write!(out, ": {{\"last\": {}, \"max\": {}}}", g.last, g.max).unwrap();
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_json_str(&mut out, name);
+            write!(
+                out,
+                ": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"buckets\": [",
+                h.count, h.sum, h.mean
+            )
+            .unwrap();
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                write!(
+                    out,
+                    "{{\"lo\": {}, \"hi\": {}, \"count\": {}}}",
+                    b.lo, b.hi, b.count
+                )
+                .unwrap();
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Render as an aligned human-readable table: counters, then gauges,
+    /// then histograms/spans (span rows show milliseconds).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let name_w = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        if !self.counters.is_empty() {
+            writeln!(out, "{:<name_w$} {:>16}", "counter", "value").unwrap();
+            for (name, v) in &self.counters {
+                writeln!(out, "{name:<name_w$} {v:>16}").unwrap();
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(out, "{:<name_w$} {:>16} {:>16}", "gauge", "last", "max").unwrap();
+            for (name, g) in &self.gauges {
+                writeln!(out, "{:<name_w$} {:>16} {:>16}", name, g.last, g.max).unwrap();
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(
+                out,
+                "{:<name_w$} {:>12} {:>16} {:>16}",
+                "histogram", "count", "mean", "total"
+            )
+            .unwrap();
+            for (name, h) in &self.histograms {
+                if name.ends_with(".ns") {
+                    // Span timers: report in milliseconds.
+                    writeln!(
+                        out,
+                        "{:<name_w$} {:>12} {:>14.3}ms {:>14.3}ms",
+                        name,
+                        h.count,
+                        h.mean / 1e6,
+                        h.sum as f64 / 1e6
+                    )
+                    .unwrap();
+                } else {
+                    writeln!(
+                        out,
+                        "{:<name_w$} {:>12} {:>16.2} {:>16}",
+                        name, h.count, h.mean, h.sum
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("noc.flits").add(17);
+        r.gauge("noc.fifo.hwm").set(3);
+        r.histogram("noc.latency").record(5);
+        r.histogram("noc.latency").record(5);
+        r.histogram("stage.ns").record(1_500_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_lists_every_metric_and_schema() {
+        let j = sample().to_json();
+        assert!(j.contains("\"schema\": \"hic-obs/v1\""));
+        assert!(j.contains("\"noc.flits\": 17"));
+        assert!(j.contains("\"last\": 3"));
+        assert!(j.contains("\"count\": 2"));
+    }
+
+    #[test]
+    fn json_bucket_counts_sum_to_count() {
+        let s = sample();
+        let h = &s.histograms["noc.latency"];
+        assert_eq!(h.buckets.iter().map(|b| b.count).sum::<u64>(), h.count);
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        let r = Registry::new();
+        r.counter("weird\"name\\with\u{1}ctl").inc();
+        let j = r.snapshot().to_json();
+        assert!(j.contains("weird\\\"name\\\\with\\u0001ctl"));
+    }
+
+    #[test]
+    fn table_mentions_every_name() {
+        let t = sample().render_table();
+        for name in ["noc.flits", "noc.fifo.hwm", "noc.latency", "stage.ns"] {
+            assert!(t.contains(name), "{t}");
+        }
+        assert!(t.contains("ms"), "span rows render as milliseconds: {t}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let s = Snapshot::default();
+        assert!(s.is_empty());
+        assert_eq!(s.render_table(), "");
+        assert!(s.to_json().contains("\"counters\": {"));
+    }
+}

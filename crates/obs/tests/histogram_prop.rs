@@ -1,0 +1,69 @@
+//! Property tests for the log2 histogram: whatever is recorded, the
+//! bucket counts sum to the sample count, every sample lands inside its
+//! bucket's bounds, and the sum tracks the recorded values.
+
+use hic_obs::{bucket_bounds, bucket_of, Histogram, Registry};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bucket_counts_sum_to_sample_count(
+        values in proptest::collection::vec(0u64..u64::MAX, 0..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(
+            h.bucket_counts().iter().sum::<u64>(),
+            h.count(),
+            "bucket counts must sum to the sample count"
+        );
+    }
+
+    #[test]
+    fn every_value_lands_in_its_bucket(values in proptest::collection::vec(0u64..u64::MAX, 1..100)) {
+        for &v in &values {
+            let (lo, hi) = bucket_bounds(bucket_of(v));
+            prop_assert!(lo <= v && v <= hi, "{} outside [{}, {}]", v, lo, hi);
+        }
+    }
+
+    #[test]
+    fn bulk_record_matches_singles(
+        pairs in proptest::collection::vec((0u64..10_000, 0u64..20), 0..40),
+    ) {
+        let bulk = Histogram::new();
+        let single = Histogram::new();
+        for &(v, n) in &pairs {
+            bulk.record_n(v, n);
+            for _ in 0..n {
+                single.record(v);
+            }
+        }
+        prop_assert_eq!(bulk.count(), single.count());
+        prop_assert_eq!(bulk.sum(), single.sum());
+        prop_assert_eq!(bulk.bucket_counts(), single.bucket_counts());
+    }
+
+    #[test]
+    fn registry_snapshot_preserves_the_sum_invariant(
+        values in proptest::collection::vec(0u64..1_000_000, 0..120),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("prop.h");
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hv = &snap.histograms["prop.h"];
+        prop_assert_eq!(
+            hv.buckets.iter().map(|b| b.count).sum::<u64>(),
+            hv.count,
+            "serialized bucket counts must sum to the serialized count"
+        );
+    }
+}

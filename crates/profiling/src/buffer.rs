@@ -24,9 +24,15 @@ impl Arena {
     }
 
     /// Reserve `bytes` bytes, 64-byte aligned, returning the base address.
+    ///
+    /// Zero-byte reservations still consume one granule: if consecutive
+    /// empty allocations returned the same base, two empty buffers would
+    /// alias and a later non-empty allocation could land on top of them,
+    /// letting the shadow memory fabricate communication edges between
+    /// functions that never touched the same data.
     pub fn alloc(&mut self, bytes: u64) -> u64 {
         let base = self.next;
-        self.next = (self.next + bytes + 63) & !63;
+        self.next = (self.next + bytes.max(1) + 63) & !63;
         base
     }
 }
@@ -156,6 +162,30 @@ mod tests {
         assert_eq!(g.edges.len(), 1);
         assert_eq!(g.edges[0].bytes, 16);
         assert_eq!(g.edges[0].umas, 16);
+    }
+
+    #[test]
+    fn zero_byte_allocations_do_not_alias() {
+        let mut a = Arena::new();
+        let e1 = a.alloc(0);
+        let e2 = a.alloc(0);
+        let full = a.alloc(64);
+        assert_ne!(e1, e2, "empty allocations must get distinct bases");
+        assert_ne!(e2, full, "a later buffer must not sit on an empty one");
+        assert!(e1 < e2 && e2 < full);
+    }
+
+    #[test]
+    fn empty_bufs_do_not_share_an_address_with_a_real_buf() {
+        // Regression: two zero-length buffers followed by a real one used
+        // to all report the same base address, so a write through the real
+        // buffer looked like a write to the empty ones too.
+        let mut arena = Arena::new();
+        let empty_a: Buf<u32> = Buf::new(&mut arena, 0);
+        let empty_b: Buf<u32> = Buf::new(&mut arena, 0);
+        let real: Buf<u32> = Buf::new(&mut arena, 4);
+        assert_ne!(empty_a.addr(0), empty_b.addr(0));
+        assert_ne!(empty_b.addr(0), real.addr(0));
     }
 
     #[test]

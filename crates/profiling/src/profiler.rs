@@ -144,6 +144,34 @@ impl Profiler {
         self.pairs.values().map(|p| p.bytes).sum()
     }
 
+    /// Publish the run's aggregate access statistics into `reg` under
+    /// `prefix.*`: total reads/writes/cold reads/calls across functions,
+    /// plus the discovered edge count and edge traffic.
+    pub fn publish_metrics(&self, reg: &hic_obs::Registry, prefix: &str) {
+        let mut read = 0u64;
+        let mut written = 0u64;
+        let mut cold = 0u64;
+        let mut calls = 0u64;
+        for s in &self.stats {
+            read += s.bytes_read;
+            written += s.bytes_written;
+            cold += s.cold_reads;
+            calls += s.calls;
+        }
+        reg.counter(&format!("{prefix}.functions"))
+            .add(self.names.len() as u64);
+        reg.counter(&format!("{prefix}.calls")).add(calls);
+        reg.counter(&format!("{prefix}.bytes.read")).add(read);
+        reg.counter(&format!("{prefix}.bytes.written")).add(written);
+        reg.counter(&format!("{prefix}.cold_reads")).add(cold);
+        reg.counter(&format!("{prefix}.edges"))
+            .add(self.pairs.len() as u64);
+        reg.counter(&format!("{prefix}.edge_bytes"))
+            .add(self.total_edge_bytes());
+        let umas: u64 = self.pairs.values().map(|p| p.umas.len() as u64).sum();
+        reg.counter(&format!("{prefix}.edge_umas")).add(umas);
+    }
+
     /// Snapshot the communication graph.
     pub fn graph(&self) -> CommGraph {
         let mut edges: Vec<GraphEdge> = self
@@ -332,5 +360,30 @@ mod tests {
         let mut p = Profiler::new();
         p.register("a");
         p.write(0, 1);
+    }
+
+    #[test]
+    fn publish_metrics_totals_match_the_profile() {
+        let mut p = Profiler::new();
+        let a = p.register("a");
+        let b = p.register("b");
+        p.enter(a);
+        p.write(0, 8);
+        p.exit();
+        p.enter(b);
+        p.read(0, 8);
+        p.read(100, 2); // cold
+        p.exit();
+        let reg = hic_obs::Registry::new();
+        p.publish_metrics(&reg, "profile");
+        let s = reg.snapshot();
+        assert_eq!(s.counters["profile.functions"], 2);
+        assert_eq!(s.counters["profile.calls"], 2);
+        assert_eq!(s.counters["profile.bytes.written"], 8);
+        assert_eq!(s.counters["profile.bytes.read"], 10);
+        assert_eq!(s.counters["profile.cold_reads"], 2);
+        assert_eq!(s.counters["profile.edges"], 1);
+        assert_eq!(s.counters["profile.edge_bytes"], 8);
+        assert_eq!(s.counters["profile.edge_umas"], 8);
     }
 }

@@ -51,6 +51,9 @@ impl CosimResult {
 /// Co-simulate one run of a hybrid/NoC-only plan. Baseline plans have no
 /// NoC; they fall through to the transfer-level simulator.
 pub fn cosimulate(plan: &InterconnectPlan) -> CosimResult {
+    let reg = hic_obs::global();
+    let _run = reg.span("cosim.run");
+    reg.counter("cosim.runs").inc();
     let analytic = simulate(plan);
     let Some(noc) = &plan.noc else {
         return CosimResult {
@@ -216,14 +219,23 @@ pub fn cosimulate(plan: &InterconnectPlan) -> CosimResult {
     }
 
     let host = app.host.clock.cycles(app.host_cycles);
-    CosimResult {
+    let result = CosimResult {
         kernel_time: makespan,
         app_time: makespan + host,
         noc_cycles: net.cycle(),
         packets: net.stats().delivered() as usize,
         per_kernel: timing,
         analytic_kernel_time: analytic.kernel_time,
-    }
+    };
+    // End-to-end run metrics plus the network's own aggregates.
+    net.publish_metrics(reg, "noc");
+    reg.counter("cosim.kernel_time_ps")
+        .add(result.kernel_time.as_ps());
+    reg.counter("cosim.app_time_ps")
+        .add(result.app_time.as_ps());
+    reg.gauge("cosim.slowdown_vs_analytic_permille")
+        .set((result.slowdown_vs_analytic() * 1000.0).round() as u64);
+    result
 }
 
 fn topo(app: &hic_fabric::AppSpec) -> Vec<KernelId> {
