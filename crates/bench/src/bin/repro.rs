@@ -63,9 +63,14 @@ fn main() {
         matched = true;
         bench_noc();
     }
+    // Same deal: wall-clock, explicit-only, writes BENCH_pipeline.json.
+    if what == "bench-pipeline" {
+        matched = true;
+        bench_pipeline();
+    }
     if !matched {
         eprintln!(
-            "unknown experiment '{what}'; expected one of: all fig4 table2 fig5 fig6 table3 fig7 table4 fig8 fig9 ablations bench-noc"
+            "unknown experiment '{what}'; expected one of: all fig4 table2 fig5 fig6 table3 fig7 table4 fig8 fig9 ablations bench-noc bench-pipeline"
         );
         std::process::exit(2);
     }
@@ -245,6 +250,31 @@ fn bench_noc() {
     let sidecar = serde_json::to_string_pretty(&run.metrics).unwrap();
     std::fs::write("BENCH_noc_metrics.json", &sidecar).expect("write BENCH_noc_metrics.json");
     println!("\nwrote BENCH_noc.json + BENCH_noc_metrics.json");
+}
+
+fn bench_pipeline() {
+    let p = hic_bench::pipelineperf::measure(None, 3);
+    println!("== Batch pipeline: warm vs cold over the four paper apps ==");
+    println!(
+        "{} jobs on {} workers; store {} bytes",
+        p.jobs, p.workers, p.store_bytes
+    );
+    println!(
+        "cold {:.3}s ({} misses) -> warm {:.3}s ({} hits)  speedup {:.1}x",
+        p.cold_secs, p.cold_stats.misses, p.warm_secs, p.warm_stats.hits, p.speedup
+    );
+    assert_eq!(
+        p.warm_stats.misses, 0,
+        "warm batch must perform zero recomputation"
+    );
+    assert!(
+        p.speedup >= 5.0,
+        "warm batch must be at least 5x faster than cold (got {:.1}x)",
+        p.speedup
+    );
+    let out = serde_json::to_string_pretty(&p).unwrap();
+    std::fs::write("BENCH_pipeline.json", &out).expect("write BENCH_pipeline.json");
+    println!("\nwrote BENCH_pipeline.json");
 }
 
 fn ablations(json: bool) {

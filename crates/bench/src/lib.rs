@@ -13,3 +13,4 @@
 pub mod experiments;
 pub mod nocperf;
 pub mod paper;
+pub mod pipelineperf;

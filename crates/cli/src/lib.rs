@@ -9,21 +9,50 @@
 //! hic estimate app.json                    # all three variants side by side
 //! hic simulate app.json --frames 16
 //! hic profile jpeg                         # run a real profiled app, emit its spec
+//! hic dse jpeg --json                      # the 2^4 knob lattice + Pareto front
+//! hic batch canny jpeg klt fluid --json    # parallel multi-app compilation
 //! ```
+//!
+//! The profiled-app commands (`profile`, `report`, `dse`, `batch`) and
+//! `design` run through the `hic-store/v1` artifact cache (default root
+//! `.hic-cache/`, overridable with `--cache-dir` or `HIC_CACHE_DIR`;
+//! `--no-cache` skips reads but still publishes results for later runs).
 //!
 //! All command logic lives in this library so it is unit-testable; `main`
 //! only forwards `std::env::args` and prints.
 
 #![warn(missing_docs)]
 
-use hic_core::{design, DesignConfig, InterconnectPlan, Variant};
+use hic_core::{design, pareto_front, DesignConfig, InterconnectPlan, Variant};
 use hic_fabric::synthetic::{generate, Shape, SyntheticSpec};
 use hic_fabric::AppSpec;
+use hic_pipeline::{stages, ArtifactStore, StoreConfig};
 use hic_sim::{simulate, simulate_runs, simulate_software};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::fmt::Write as _;
+
+/// Where (and whether) a command uses the `hic-store/v1` artifact cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheOpts {
+    /// Store root. `None` disables the store entirely (compute directly,
+    /// publish nothing) — used by hermetic tests; the parser always
+    /// resolves a directory.
+    pub dir: Option<String>,
+    /// `false` = `--no-cache`: never read, but still publish results.
+    pub read: bool,
+}
+
+impl CacheOpts {
+    /// No store at all: compute everything directly.
+    pub fn disabled() -> CacheOpts {
+        CacheOpts {
+            dir: None,
+            read: true,
+        }
+    }
+}
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +65,8 @@ pub enum Command {
         variant: Variant,
         /// Emit the full plan as JSON instead of the description.
         json: bool,
+        /// Artifact cache settings.
+        cache: CacheOpts,
     },
     /// Compare all three variants on an app spec.
     Estimate {
@@ -63,6 +94,8 @@ pub enum Command {
     Profile {
         /// One of `canny`, `jpeg`, `klt`, `fluid`.
         app: String,
+        /// Artifact cache settings.
+        cache: CacheOpts,
     },
     /// Run the whole pipeline (profile → design → co-simulate → bus) on a
     /// built-in app and emit the observability snapshot.
@@ -71,6 +104,30 @@ pub enum Command {
         app: String,
         /// Emit the `hic-obs/v1` JSON snapshot instead of the table.
         json: bool,
+        /// Artifact cache settings.
+        cache: CacheOpts,
+    },
+    /// Explore the 2⁴ mechanism lattice for a built-in app and print the
+    /// points plus the Pareto front.
+    Dse {
+        /// One of `canny`, `jpeg`, `klt`, `fluid`.
+        app: String,
+        /// Emit JSON instead of the table.
+        json: bool,
+        /// Artifact cache settings.
+        cache: CacheOpts,
+    },
+    /// Compile several built-in apps in parallel through the artifact
+    /// store (profile → 16 designs → co-simulation per app).
+    Batch {
+        /// Apps to compile, in report order.
+        apps: Vec<String>,
+        /// Worker threads (`None` = available parallelism).
+        jobs: Option<usize>,
+        /// Emit the `hic-batch/v1` JSON document instead of the table.
+        json: bool,
+        /// Artifact cache settings.
+        cache: CacheOpts,
     },
     /// Print usage.
     Help,
@@ -87,6 +144,8 @@ pub enum CliError {
     Json(serde_json::Error),
     /// The design stage failed.
     Design(hic_core::DesignError),
+    /// The artifact store or batch service failed.
+    Pipeline(hic_pipeline::PipelineError),
 }
 
 impl std::fmt::Display for CliError {
@@ -96,6 +155,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Json(e) => write!(f, "json error: {e}"),
             CliError::Design(e) => write!(f, "design error: {e}"),
+            CliError::Pipeline(e) => write!(f, "pipeline error: {e}"),
         }
     }
 }
@@ -117,12 +177,36 @@ impl From<hic_core::DesignError> for CliError {
         CliError::Design(e)
     }
 }
+impl From<hic_pipeline::PipelineError> for CliError {
+    fn from(e: hic_pipeline::PipelineError) -> Self {
+        // An unknown app name is an argument mistake, not a runtime
+        // failure — route it to the usage/exit-2 path.
+        match e {
+            hic_pipeline::PipelineError::UnknownApp(_) => CliError::Usage(e.to_string()),
+            other => CliError::Pipeline(other),
+        }
+    }
+}
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Resolve cache settings from flags and environment: `--cache-dir`
+/// beats `HIC_CACHE_DIR` beats the `.hic-cache` default; `--no-cache`
+/// disables reads (results are still published).
+fn cache_opts(args: &[String]) -> CacheOpts {
+    let dir = flag_value(args, "--cache-dir")
+        .map(String::from)
+        .or_else(|| std::env::var("HIC_CACHE_DIR").ok())
+        .unwrap_or_else(|| ".hic-cache".to_string());
+    CacheOpts {
+        dir: Some(dir),
+        read: !args.iter().any(|a| a == "--no-cache"),
+    }
 }
 
 /// Parse a command line (without the program name).
@@ -149,6 +233,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 path,
                 variant,
                 json: args.iter().any(|a| a == "--json"),
+                cache: cache_opts(args),
             })
         }
         "estimate" => Ok(Command::Estimate {
@@ -212,6 +297,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .get(1)
                 .ok_or_else(|| CliError::Usage("profile needs an app name".into()))?
                 .clone(),
+            cache: cache_opts(args),
         }),
         "report" => Ok(Command::Report {
             app: args
@@ -220,7 +306,59 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| CliError::Usage("report needs an app name".into()))?
                 .clone(),
             json: args.iter().any(|a| a == "--json"),
+            cache: cache_opts(args),
         }),
+        "dse" => {
+            let app = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError::Usage("dse needs an app name".into()))?
+                .clone();
+            if !stages::PAPER_APPS.contains(&app.as_str()) {
+                return Err(CliError::Usage(format!(
+                    "unknown app '{app}' (canny|jpeg|klt|fluid)"
+                )));
+            }
+            Ok(Command::Dse {
+                app,
+                json: args.iter().any(|a| a == "--json"),
+                cache: cache_opts(args),
+            })
+        }
+        "batch" => {
+            // Positional args up to the first flag are app names; flags
+            // take over from there so `batch jpeg --jobs 4 canny` reads as
+            // a mistake rather than silently compiling canny.
+            let apps: Vec<String> = args[1..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .cloned()
+                .collect();
+            if apps.is_empty() {
+                return Err(CliError::Usage("batch needs at least one app name".into()));
+            }
+            for app in &apps {
+                if !stages::PAPER_APPS.contains(&app.as_str()) {
+                    return Err(CliError::Usage(format!(
+                        "unknown app '{app}' (canny|jpeg|klt|fluid)"
+                    )));
+                }
+            }
+            let jobs = flag_value(args, "--jobs")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| CliError::Usage(format!("bad --jobs '{v}'")))
+                })
+                .transpose()?;
+            Ok(Command::Batch {
+                apps,
+                jobs,
+                json: args.iter().any(|a| a == "--json"),
+                cache: cache_opts(args),
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
@@ -237,7 +375,13 @@ USAGE:
   hic generate [--shape chain|fanout|diamond|random] [--kernels N] [--seed S]
   hic profile  <canny|jpeg|klt|fluid>
   hic report   <canny|jpeg|klt|fluid> [--metrics] [--json]
+  hic dse      <canny|jpeg|klt|fluid> [--json]
+  hic batch    <app>... [--jobs N] [--json]
   hic help
+
+CACHE (design, profile, report, dse, batch):
+  --cache-dir <dir>   artifact store root (default .hic-cache, or HIC_CACHE_DIR)
+  --no-cache          skip cache reads; results are still published
 "
 }
 
@@ -305,33 +449,26 @@ impl PlanSummary {
     }
 }
 
-/// Run a built-in profiled application, returning its measured spec and
-/// communication graph. Profiling publishes `profile.*` metrics to the
-/// global registry as a side effect.
-fn run_profiled(app: &str) -> Result<(AppSpec, hic_profiling::CommGraph), CliError> {
-    Ok(match app {
-        "canny" => {
-            let r = hic_apps::canny::run_profiled(64, 64, 42);
-            (r.app, r.graph)
-        }
-        "jpeg" => {
-            let r = hic_apps::jpeg::run_profiled(8, 8, 42);
-            (r.app, r.graph)
-        }
-        "klt" => {
-            let r = hic_apps::klt::run_profiled(48, 48, 12, 42);
-            (r.app, r.graph)
-        }
-        "fluid" => {
-            let r = hic_apps::fluid::run_profiled(24, 42);
-            (r.app, r.graph)
-        }
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown app '{other}' (canny|jpeg|klt|fluid)"
-            )))
-        }
-    })
+/// Open the artifact store a command asked for (`None` when the cache is
+/// disabled). Store trouble at open time (unwritable directory, …) is a
+/// runtime failure, not a usage mistake.
+fn open_store(cache: &CacheOpts) -> Result<Option<ArtifactStore>, CliError> {
+    match &cache.dir {
+        None => Ok(None),
+        Some(dir) => Ok(Some(ArtifactStore::open(StoreConfig::at(dir))?)),
+    }
+}
+
+/// Run a built-in profiled application through the store, returning its
+/// measured spec and communication graph. On a cache miss, profiling
+/// publishes `profile.*` metrics to the global registry as a side effect.
+fn run_profiled(
+    store: Option<&ArtifactStore>,
+    read: bool,
+    app: &str,
+) -> Result<(AppSpec, hic_profiling::CommGraph), CliError> {
+    let p = stages::profile(store, read, app)?;
+    Ok((p.spec, p.graph))
 }
 
 fn load_app(path: &str) -> Result<AppSpec, CliError> {
@@ -351,9 +488,11 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             path,
             variant,
             json,
+            cache,
         } => {
             let app = load_app(&path)?;
-            let plan = design(&app, &cfg, variant)?;
+            let store = open_store(&cache)?;
+            let plan = stages::design_variant(store.as_ref(), cache.read, &app, &cfg, variant)?;
             if json {
                 Ok(serde_json::to_string_pretty(&PlanSummary::of(&plan))?)
             } else {
@@ -429,8 +568,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let app = generate(&spec, &mut StdRng::seed_from_u64(seed));
             Ok(serde_json::to_string_pretty(&app)?)
         }
-        Command::Profile { app } => {
-            let (spec, graph) = run_profiled(&app)?;
+        Command::Profile { app, cache } => {
+            let store = open_store(&cache)?;
+            let (spec, graph) = run_profiled(store.as_ref(), cache.read, &app)?;
             let mut out = String::new();
             writeln!(out, "// measured communication profile:").unwrap();
             for line in graph.to_table().lines() {
@@ -439,13 +579,18 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             out.push_str(&serde_json::to_string_pretty(&spec)?);
             Ok(out)
         }
-        Command::Report { app, json } => {
+        Command::Report { app, json, cache } => {
             let reg = hic_obs::global();
+            let store = open_store(&cache)?;
+            let store = store.as_ref();
             // Profile (publishes profile.*), design (design.* spans and
-            // decision counters), co-simulate (noc.* and cosim.*).
-            let (spec, _graph) = run_profiled(&app)?;
-            let plan = design(&spec, &cfg, Variant::Hybrid)?;
-            let _ = hic_sim::cosimulate(&plan);
+            // decision counters), co-simulate (noc.* and cosim.*). Cache
+            // hits skip a stage's computation, so its counters reflect
+            // only what actually ran — plus the pipeline.* hit/miss
+            // counters saying why.
+            let (spec, _graph) = run_profiled(store, cache.read, &app)?;
+            let plan = stages::design_variant(store, cache.read, &spec, &cfg, Variant::Hybrid)?;
+            let _ = stages::cosim(store, cache.read, &plan)?;
             // Bus contention: replay every kernel's host transfers through
             // the cycle-level arbiter, one master per kernel, all ready at
             // time zero — the congested-fetch scenario of Section III-A.
@@ -467,6 +612,98 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 Ok(snap.to_json())
             } else {
                 Ok(snap.render_table())
+            }
+        }
+        Command::Dse { app, json, cache } => {
+            let store = open_store(&cache)?;
+            let store = store.as_ref();
+            let (spec, _graph) = run_profiled(store, cache.read, &app)?;
+            let points = stages::dse_points(store, cache.read, &spec, &cfg)?;
+            let front = pareto_front(&points);
+            if json {
+                let mut out = String::from("{\"schema\":\"hic-dse/v1\",\"app\":");
+                out.push_str(&serde_json::to_string(&app)?);
+                out.push_str(",\"points\":");
+                out.push_str(&serde_json::to_string(&points)?);
+                out.push_str(",\"pareto_front\":");
+                out.push_str(&serde_json::to_string(&front)?);
+                out.push('}');
+                Ok(out)
+            } else {
+                let mut out = String::new();
+                writeln!(out, "DSE over {} ({} points):", app, points.len()).unwrap();
+                writeln!(
+                    out,
+                    "{:<22} {:>14} {:>10} {:>10}  solution",
+                    "mechanisms", "kernel time", "LUTs", "regs"
+                )
+                .unwrap();
+                for p in &points {
+                    let starred = front.iter().any(|f| f.label == p.label);
+                    writeln!(
+                        out,
+                        "{:<22} {:>14} {:>10} {:>10}  {}{}",
+                        p.label,
+                        p.kernels.to_string(),
+                        p.resources.luts,
+                        p.resources.regs,
+                        p.solution,
+                        if starred { "  *" } else { "" }
+                    )
+                    .unwrap();
+                }
+                writeln!(out, "* = on the Pareto front (time, LUTs, regs)").unwrap();
+                Ok(out)
+            }
+        }
+        Command::Batch {
+            apps,
+            jobs,
+            json,
+            cache,
+        } => {
+            let mut opts = hic_pipeline::BatchOptions::new(
+                apps,
+                cache.dir.as_ref().map(std::path::PathBuf::from),
+            );
+            opts.jobs = jobs;
+            opts.read_cache = cache.read;
+            let out = hic_pipeline::run_batch(&opts)?;
+            if json {
+                Ok(hic_pipeline::batch::outcome_json(&out))
+            } else {
+                let mut s = String::new();
+                writeln!(
+                    s,
+                    "batch: {} apps, {} jobs on {} workers ({} hits / {} misses)",
+                    out.apps.len(),
+                    out.jobs_run,
+                    out.workers,
+                    out.stats.hits,
+                    out.stats.misses
+                )
+                .unwrap();
+                writeln!(
+                    s,
+                    "{:<8} {:>8} {:>16} {:>16} {:>10} {:>10}  solution",
+                    "app", "kernels", "cosim kernels", "cosim app", "vs sw", "vs base"
+                )
+                .unwrap();
+                for a in &out.apps {
+                    writeln!(
+                        s,
+                        "{:<8} {:>8} {:>16} {:>16} {:>9.2}x {:>9.2}x  {}",
+                        a.app,
+                        a.kernels,
+                        a.cosim_kernel_cycles,
+                        a.cosim_app_cycles,
+                        a.speedup_vs_sw,
+                        a.speedup_vs_baseline,
+                        a.solution
+                    )
+                    .unwrap();
+                }
+                Ok(s)
             }
         }
     }
@@ -504,11 +741,13 @@ pub fn dispatch(args: &[String]) -> Result<String, Failure> {
             message: e.to_string(),
             show_usage: true,
         },
-        CliError::Io(_) | CliError::Json(_) | CliError::Design(_) => Failure {
-            exit_code: 1,
-            message: e.to_string(),
-            show_usage: false,
-        },
+        CliError::Io(_) | CliError::Json(_) | CliError::Design(_) | CliError::Pipeline(_) => {
+            Failure {
+                exit_code: 1,
+                message: e.to_string(),
+                show_usage: false,
+            }
+        }
     })
 }
 
@@ -523,14 +762,33 @@ mod tests {
     #[test]
     fn parses_design_with_flags() {
         let cmd = parse(&argv("design app.json --variant noc-only --json")).unwrap();
-        assert_eq!(
-            cmd,
+        match cmd {
             Command::Design {
-                path: "app.json".into(),
-                variant: Variant::NocOnly,
-                json: true
+                path,
+                variant,
+                json,
+                cache,
+            } => {
+                assert_eq!(path, "app.json");
+                assert_eq!(variant, Variant::NocOnly);
+                assert!(json);
+                assert!(cache.dir.is_some(), "parser always resolves a cache dir");
+                assert!(cache.read);
             }
-        );
+            other => panic!("expected Design, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_flags_are_parsed() {
+        let cmd = parse(&argv("report jpeg --cache-dir /tmp/c --no-cache")).unwrap();
+        match cmd {
+            Command::Report { cache, .. } => {
+                assert_eq!(cache.dir.as_deref(), Some("/tmp/c"));
+                assert!(!cache.read, "--no-cache must disable reads");
+            }
+            other => panic!("expected Report, got {other:?}"),
+        }
     }
 
     #[test]
@@ -577,6 +835,7 @@ mod tests {
             path: path.to_string_lossy().into_owned(),
             variant: Variant::Hybrid,
             json: false,
+            cache: CacheOpts::disabled(),
         })
         .unwrap();
         assert!(out.contains("solution"), "{out}");
@@ -616,6 +875,7 @@ mod tests {
             path: path.to_string_lossy().into_owned(),
             variant: Variant::Hybrid,
             json: true,
+            cache: CacheOpts::disabled(),
         })
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
@@ -627,7 +887,10 @@ mod tests {
     #[test]
     fn profile_rejects_unknown_app() {
         assert!(matches!(
-            run(Command::Profile { app: "nope".into() }),
+            run(Command::Profile {
+                app: "nope".into(),
+                cache: CacheOpts::disabled()
+            }),
             Err(CliError::Usage(_))
         ));
     }
@@ -635,14 +898,92 @@ mod tests {
     #[test]
     fn parses_report_with_flags() {
         let cmd = parse(&argv("report jpeg --json")).unwrap();
-        assert_eq!(
-            cmd,
-            Command::Report {
-                app: "jpeg".into(),
-                json: true
+        match cmd {
+            Command::Report { app, json, .. } => {
+                assert_eq!(app, "jpeg");
+                assert!(json);
             }
-        );
+            other => panic!("expected Report, got {other:?}"),
+        }
         assert!(matches!(parse(&argv("report")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parses_dse_and_rejects_missing_app() {
+        let cmd = parse(&argv("dse canny --json")).unwrap();
+        match cmd {
+            Command::Dse { app, json, .. } => {
+                assert_eq!(app, "canny");
+                assert!(json);
+            }
+            other => panic!("expected Dse, got {other:?}"),
+        }
+        assert!(matches!(parse(&argv("dse")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv("dse --json")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_batch_and_validates_apps_at_parse_time() {
+        let cmd = parse(&argv("batch jpeg canny --jobs 4 --json")).unwrap();
+        match cmd {
+            Command::Batch {
+                apps, jobs, json, ..
+            } => {
+                assert_eq!(apps, vec!["jpeg".to_string(), "canny".to_string()]);
+                assert_eq!(jobs, Some(4));
+                assert!(json);
+            }
+            other => panic!("expected Batch, got {other:?}"),
+        }
+        // No apps, unknown app, bad --jobs: all command-line mistakes.
+        assert!(matches!(parse(&argv("batch")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv("batch doom")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("batch jpeg --jobs 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("batch jpeg --jobs lots")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn dse_runs_storeless_and_emits_the_lattice() {
+        let out = run(Command::Dse {
+            app: "jpeg".into(),
+            json: true,
+            cache: CacheOpts::disabled(),
+        })
+        .unwrap();
+        let v = serde_json::parse(&out).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str().unwrap(), "hic-dse/v1");
+        assert!(v.get("points").is_some());
+        assert!(v.get("pareto_front").is_some());
+    }
+
+    #[test]
+    fn dispatch_exit_codes_cover_the_new_commands() {
+        // Parse errors: exit 2 with usage. Unknown app names are caught at
+        // parse time for dse/batch, so no store directory is ever created
+        // for a mistyped command.
+        for bad in [
+            "dse",
+            "dse doom",
+            "batch",
+            "batch doom",
+            "batch jpeg --jobs 0",
+        ] {
+            let f = dispatch(&argv(bad)).unwrap_err();
+            assert_eq!(f.exit_code, 2, "'{bad}' must be a usage error");
+            assert!(f.show_usage, "'{bad}' must print usage");
+        }
     }
 
     #[test]

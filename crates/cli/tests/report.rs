@@ -2,13 +2,14 @@
 //! resulting snapshot is non-empty, schema-valid, and covers every metric
 //! family the observability layer promises.
 
-use hic_cli::{run, Command};
+use hic_cli::{run, CacheOpts, Command};
 
 #[test]
 fn report_json_covers_every_metric_family() {
     let out = run(Command::Report {
         app: "jpeg".into(),
         json: true,
+        cache: CacheOpts::disabled(),
     })
     .expect("report runs");
 
@@ -71,6 +72,7 @@ fn report_table_renders_the_same_families() {
     let out = run(Command::Report {
         app: "jpeg".into(),
         json: false,
+        cache: CacheOpts::disabled(),
     })
     .expect("report runs");
     for needle in [

@@ -1,0 +1,172 @@
+//! JSON-safe artifact forms of the pipeline's stage outputs.
+//!
+//! The artifact store persists stage outputs as JSON, but a raw
+//! [`InterconnectPlan`] does not survive the trip: its NoC placement maps
+//! [`NocNode`] (an enum) to coordinates, and JSON object keys are strings
+//! — the enum key serializes to its compact-JSON text and cannot be read
+//! back. [`PlanArtifact`] is the same data with that one map flattened to
+//! an entry list, plus `From`/`into_plan` conversions that round-trip
+//! exactly (asserted in the tests). Integer-keyed maps (`KernelId → …`)
+//! round-trip natively and stay as maps.
+
+use crate::design::{
+    DesignConfig, DesignKnobs, InterconnectPlan, KernelPlanEntry, NocPlan, ParallelTransform,
+    Variant,
+};
+use hic_fabric::{AppSpec, CommEdge, KernelId};
+use hic_noc::{Coord, NocConfig, NocNode, Placement};
+use hic_xbar::SharedMemPair;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// [`NocPlan`] with the placement map flattened for JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NocPlanArtifact {
+    /// NoC parameters.
+    pub config: NocConfig,
+    /// Placement entries `(node, coordinate)` in map order.
+    pub slots: Vec<(NocNode, Coord)>,
+    /// Kernels attached through a kernel NA.
+    pub kernel_nodes: Vec<KernelId>,
+    /// Kernels whose local memory is attached through a memory NA.
+    pub mem_nodes: Vec<KernelId>,
+}
+
+impl From<&NocPlan> for NocPlanArtifact {
+    fn from(n: &NocPlan) -> Self {
+        NocPlanArtifact {
+            config: n.config,
+            slots: n.placement.slots.iter().map(|(&k, &v)| (k, v)).collect(),
+            kernel_nodes: n.kernel_nodes.clone(),
+            mem_nodes: n.mem_nodes.clone(),
+        }
+    }
+}
+
+impl NocPlanArtifact {
+    /// Rebuild the typed [`NocPlan`].
+    pub fn into_noc_plan(self) -> NocPlan {
+        NocPlan {
+            placement: Placement {
+                mesh: self.config.mesh,
+                slots: self.slots.into_iter().collect(),
+            },
+            config: self.config,
+            kernel_nodes: self.kernel_nodes,
+            mem_nodes: self.mem_nodes,
+        }
+    }
+}
+
+/// A JSON-round-trippable [`InterconnectPlan`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanArtifact {
+    /// Which system this is.
+    pub variant: Variant,
+    /// The elaborated application.
+    pub app: AppSpec,
+    /// Duplications performed.
+    pub duplicated: Vec<(KernelId, KernelId)>,
+    /// Shared-local-memory pairs.
+    pub sm_pairs: Vec<SharedMemPair>,
+    /// The NoC, flattened.
+    pub noc: Option<NocPlanArtifact>,
+    /// Per-kernel classification, attachment and port plan.
+    pub kernels: BTreeMap<KernelId, KernelPlanEntry>,
+    /// Parallel transforms applied.
+    pub parallel: Vec<ParallelTransform>,
+    /// Edges served by neither a shared pair nor the NoC.
+    pub bus_fallback: Vec<CommEdge>,
+    /// The mechanism knobs the plan was built with.
+    pub knobs: DesignKnobs,
+    /// The configuration the plan was built under.
+    pub config: DesignConfig,
+}
+
+impl From<&InterconnectPlan> for PlanArtifact {
+    fn from(p: &InterconnectPlan) -> Self {
+        PlanArtifact {
+            variant: p.variant,
+            app: p.app.clone(),
+            duplicated: p.duplicated.clone(),
+            sm_pairs: p.sm_pairs.clone(),
+            noc: p.noc.as_ref().map(NocPlanArtifact::from),
+            kernels: p.kernels.clone(),
+            parallel: p.parallel.clone(),
+            bus_fallback: p.bus_fallback.clone(),
+            knobs: p.knobs,
+            config: p.config,
+        }
+    }
+}
+
+impl PlanArtifact {
+    /// Rebuild the typed [`InterconnectPlan`].
+    pub fn into_plan(self) -> InterconnectPlan {
+        InterconnectPlan {
+            variant: self.variant,
+            app: self.app,
+            duplicated: self.duplicated,
+            sm_pairs: self.sm_pairs,
+            noc: self.noc.map(NocPlanArtifact::into_noc_plan),
+            kernels: self.kernels,
+            parallel: self.parallel,
+            bus_fallback: self.bus_fallback,
+            knobs: self.knobs,
+            config: self.config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::design;
+    use hic_fabric::resource::Resources;
+    use hic_fabric::time::Frequency;
+    use hic_fabric::{HostSpec, KernelSpec};
+
+    fn app() -> AppSpec {
+        let mk = |id: u32, name: &str| {
+            KernelSpec::new(id, name, 120_000, 900_000, Resources::new(1_500, 1_500)).streamable()
+        };
+        AppSpec::new(
+            "artifact",
+            HostSpec::default(),
+            Frequency::from_mhz(100),
+            vec![mk(0, "a"), mk(1, "b"), mk(2, "c")],
+            vec![
+                CommEdge::h2k(0u32, 256_000),
+                CommEdge::k2k(0u32, 1u32, 128_000),
+                CommEdge::k2k(0u32, 2u32, 64_000),
+                CommEdge::k2k(1u32, 2u32, 96_000),
+                CommEdge::k2h(2u32, 64_000),
+            ],
+            80_000,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_round_trips_through_json_exactly() {
+        for variant in [Variant::Baseline, Variant::Hybrid, Variant::NocOnly] {
+            let plan = design(&app(), &DesignConfig::default(), variant).unwrap();
+            let art = PlanArtifact::from(&plan);
+            let json = serde_json::to_string(&art).unwrap();
+            let back: PlanArtifact = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, art, "{variant:?} artifact differs after JSON");
+            assert_eq!(back.into_plan(), plan, "{variant:?} plan differs");
+        }
+    }
+
+    #[test]
+    fn hybrid_artifact_keeps_the_placement() {
+        let plan = design(&app(), &DesignConfig::default(), Variant::Hybrid).unwrap();
+        let noc = plan.noc.as_ref().expect("hybrid app has a NoC");
+        let art = PlanArtifact::from(&plan);
+        let slots = &art.noc.as_ref().unwrap().slots;
+        assert_eq!(slots.len(), noc.placement.slots.len());
+        let rebuilt = art.clone().into_plan();
+        assert_eq!(rebuilt.noc.as_ref().unwrap().placement, noc.placement);
+    }
+}

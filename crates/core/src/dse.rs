@@ -13,6 +13,7 @@ use crate::design::{design_custom, DesignConfig, DesignError, DesignKnobs, Inter
 use hic_fabric::resource::Resources;
 use hic_fabric::time::Time;
 use hic_fabric::AppSpec;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One evaluated mechanism subset.
@@ -31,12 +32,21 @@ pub struct DsePoint {
 }
 
 impl DsePoint {
-    /// `self` dominates `other` (no worse in both axes, better in one).
+    /// `self` dominates `other`: no worse on any objective — kernel time,
+    /// LUTs *and* registers — and strictly better on at least one.
+    ///
+    /// Registers are a real objective, not a tie-breaker: LUT-only
+    /// dominance let a LUT-lean point knock out a register-lean one even
+    /// when the latter was the only way to fit a register-bound budget
+    /// (the `registers_are_an_objective_not_a_casualty` regression below).
     pub fn dominates(&self, other: &DsePoint) -> bool {
         let t = self.kernels <= other.kernels;
-        let r = self.resources.luts <= other.resources.luts;
-        let strict = self.kernels < other.kernels || self.resources.luts < other.resources.luts;
-        t && r && strict
+        let l = self.resources.luts <= other.resources.luts;
+        let r = self.resources.regs <= other.resources.regs;
+        let strict = self.kernels < other.kernels
+            || self.resources.luts < other.resources.luts
+            || self.resources.regs < other.resources.regs;
+        t && l && r && strict
     }
 }
 
@@ -61,27 +71,62 @@ fn label(k: DesignKnobs) -> String {
     }
 }
 
+/// The mechanism subset at position `bits` of the 2⁴ lattice (adaptive
+/// mapping always on). The bit assignment is part of the DSE's public
+/// contract: artifact-store keys and batch job identities derive from it.
+pub fn knobs_at(bits: u8) -> DesignKnobs {
+    DesignKnobs {
+        duplication: bits & 1 != 0,
+        shared_memory: bits & 2 != 0,
+        noc: bits & 4 != 0,
+        parallel: bits & 8 != 0,
+        adaptive_mapping: true,
+    }
+}
+
+/// The full knob lattice in evaluation order.
+pub fn lattice() -> Vec<DesignKnobs> {
+    (0u8..16).map(knobs_at).collect()
+}
+
 /// Evaluate all 16 mechanism subsets (adaptive mapping always on).
+///
+/// The lattice points are independent designs, so they run in parallel;
+/// each point's error is captured per-point and the first failure *in
+/// lattice order* is reported, keeping output — points, ordering, and
+/// error selection — byte-identical to [`explore_seq`] (asserted in the
+/// tests).
 pub fn explore(app: &AppSpec, cfg: &DesignConfig) -> Result<Vec<DsePoint>, DesignError> {
     let reg = hic_obs::global();
     let _sweep = reg.span("dse.explore");
-    let mut points = Vec::with_capacity(16);
-    for bits in 0u8..16 {
-        let knobs = DesignKnobs {
-            duplication: bits & 1 != 0,
-            shared_memory: bits & 2 != 0,
-            noc: bits & 4 != 0,
-            parallel: bits & 8 != 0,
-            adaptive_mapping: true,
-        };
-        let plan = design_custom(app, cfg, knobs)?;
-        points.push(point_of(&plan, knobs));
-    }
+    let bits: Vec<u8> = (0u8..16).collect();
+    let evaluated: Vec<Result<DsePoint, DesignError>> = bits
+        .par_iter()
+        .map(|&bits| {
+            let knobs = knobs_at(bits);
+            design_custom(app, cfg, knobs).map(|plan| point_of(&plan, knobs))
+        })
+        .collect();
+    let points = evaluated.into_iter().collect::<Result<Vec<_>, _>>()?;
     reg.counter("dse.points_evaluated").add(points.len() as u64);
     Ok(points)
 }
 
-fn point_of(plan: &InterconnectPlan, knobs: DesignKnobs) -> DsePoint {
+/// The sequential reference for [`explore`]: one lattice point at a time,
+/// stopping at the first failure.
+pub fn explore_seq(app: &AppSpec, cfg: &DesignConfig) -> Result<Vec<DsePoint>, DesignError> {
+    let mut points = Vec::with_capacity(16);
+    for bits in 0u8..16 {
+        let knobs = knobs_at(bits);
+        let plan = design_custom(app, cfg, knobs)?;
+        points.push(point_of(&plan, knobs));
+    }
+    Ok(points)
+}
+
+/// Evaluate one synthesized plan as a DSE point (public so the batch
+/// pipeline can rebuild points from cached plan artifacts).
+pub fn point_of(plan: &InterconnectPlan, knobs: DesignKnobs) -> DsePoint {
     let est = plan.estimate();
     DsePoint {
         knobs,
@@ -94,13 +139,12 @@ fn point_of(plan: &InterconnectPlan, knobs: DesignKnobs) -> DsePoint {
 
 /// The non-dominated subset of `points`, sorted by execution time.
 ///
-/// Dominance is non-strict on both axes with at least one strict
-/// improvement, so two points tied on both objectives never dominate each
-/// other — both survive the filter. Such ties are duplicates *in the
-/// objective plane* even when off-objective fields (register count, the
-/// mechanism label) differ, so the front keeps exactly one of each tie
-/// group, chosen deterministically as the lexicographically smallest
-/// label.
+/// Dominance is non-strict on every objective (time, LUTs, registers)
+/// with at least one strict improvement, so points tied on *all three*
+/// never dominate each other — both survive the filter. Such ties are
+/// duplicates in the objective space even when the mechanism label
+/// differs, so the front keeps exactly one of each tie group, chosen
+/// deterministically as the lexicographically smallest label.
 pub fn pareto_front(points: &[DsePoint]) -> Vec<DsePoint> {
     let mut front: Vec<DsePoint> = points
         .iter()
@@ -108,13 +152,24 @@ pub fn pareto_front(points: &[DsePoint]) -> Vec<DsePoint> {
         .cloned()
         .collect();
     front.sort_by(|a, b| {
-        (a.kernels, a.resources.luts, a.label.as_str()).cmp(&(
-            b.kernels,
-            b.resources.luts,
-            b.label.as_str(),
-        ))
+        (
+            a.kernels,
+            a.resources.luts,
+            a.resources.regs,
+            a.label.as_str(),
+        )
+            .cmp(&(
+                b.kernels,
+                b.resources.luts,
+                b.resources.regs,
+                b.label.as_str(),
+            ))
     });
-    front.dedup_by(|a, b| a.kernels == b.kernels && a.resources.luts == b.resources.luts);
+    front.dedup_by(|a, b| {
+        a.kernels == b.kernels
+            && a.resources.luts == b.resources.luts
+            && a.resources.regs == b.resources.regs
+    });
     hic_obs::global()
         .gauge("dse.pareto_size")
         .set(front.len() as u64);
@@ -218,8 +273,11 @@ mod tests {
             for (j, b) in front.iter().enumerate() {
                 assert!(!a.dominates(b), "{} dominates {}", a.label, b.label);
                 assert!(
-                    i == j || a.kernels != b.kernels || a.resources.luts != b.resources.luts,
-                    "{} and {} are objective-plane duplicates",
+                    i == j
+                        || a.kernels != b.kernels
+                        || a.resources.luts != b.resources.luts
+                        || a.resources.regs != b.resources.regs,
+                    "{} and {} are objective-space duplicates",
                     a.label,
                     b.label
                 );
@@ -228,6 +286,39 @@ mod tests {
         for w in front.windows(2) {
             assert!(w[0].kernels <= w[1].kernels);
         }
+    }
+
+    #[test]
+    fn parallel_explore_is_byte_identical_to_sequential() {
+        let cfg = DesignConfig::default();
+        let par = explore(&app(), &cfg).unwrap();
+        let seq = explore_seq(&app(), &cfg).unwrap();
+        assert_eq!(
+            serde_json::to_string(&par).unwrap(),
+            serde_json::to_string(&seq).unwrap(),
+            "parallel lattice sweep must preserve point ordering and values"
+        );
+        let par_front = pareto_front(&par);
+        let seq_front = pareto_front(&seq);
+        assert_eq!(
+            serde_json::to_string(&par_front).unwrap(),
+            serde_json::to_string(&seq_front).unwrap(),
+            "Pareto front must not depend on evaluation order"
+        );
+    }
+
+    #[test]
+    fn explore_surfaces_the_first_lattice_error() {
+        // A budget that fits nothing fails every point; the parallel path
+        // must report the same (first-in-order) error the sequential path
+        // stops at.
+        let cfg = DesignConfig {
+            resource_budget: Resources::new(10, 10),
+            ..DesignConfig::default()
+        };
+        let par = explore(&app(), &cfg).unwrap_err();
+        let seq = explore_seq(&app(), &cfg).unwrap_err();
+        assert_eq!(par, seq);
     }
 
     fn point(label: &str, kernels_ns: u64, luts: u64, regs: u64) -> DsePoint {
@@ -243,18 +334,42 @@ mod tests {
     #[test]
     fn equal_points_do_not_dominate_each_other() {
         let a = point("a", 100, 500, 500);
-        let b = point("b", 100, 500, 900);
+        let b = point("b", 100, 500, 500);
         assert!(!a.dominates(&b));
         assert!(!b.dominates(&a));
         assert!(!a.dominates(&a));
     }
 
     #[test]
+    fn registers_dominate_when_all_else_is_equal() {
+        // Same time and LUTs, fewer registers: a real improvement, so it
+        // dominates now that registers are an objective.
+        let lean = point("lean", 100, 500, 100);
+        let fat = point("fat", 100, 500, 900);
+        assert!(lean.dominates(&fat));
+        assert!(!fat.dominates(&lean));
+    }
+
+    #[test]
+    fn registers_are_an_objective_not_a_casualty() {
+        // Regression for the LUT-only dominance rule: `lut_lean` beat
+        // `reg_lean` on LUTs alone (time tied) and silently collapsed the
+        // register-dominated corner of the front. Neither dominates the
+        // other now, so both survive.
+        let lut_lean = point("lut_lean", 100, 500, 900);
+        let reg_lean = point("reg_lean", 100, 600, 100);
+        assert!(!lut_lean.dominates(&reg_lean));
+        assert!(!reg_lean.dominates(&lut_lean));
+        let front = pareto_front(&[lut_lean, reg_lean]);
+        assert_eq!(front.len(), 2, "register-lean point must stay: {front:#?}");
+    }
+
+    #[test]
     fn objective_ties_collapse_to_the_smallest_label() {
-        // Same (time, LUTs); registers differ, so the old full-Resources
-        // dedup would have kept both.
+        // Tied on all three objectives: duplicates in objective space, so
+        // the front keeps one, chosen by label.
         let pts = vec![
-            point("zeta", 100, 500, 900),
+            point("zeta", 100, 500, 100),
             point("alpha", 100, 500, 100),
             point("mid", 50, 800, 100),
         ];
@@ -266,7 +381,7 @@ mod tests {
 
     #[test]
     fn tie_dedup_is_order_independent() {
-        let a = point("a", 100, 500, 900);
+        let a = point("a", 100, 500, 100);
         let b = point("b", 100, 500, 100);
         let f1 = pareto_front(&[a.clone(), b.clone()]);
         let f2 = pareto_front(&[b, a]);

@@ -17,10 +17,15 @@
 //! * [`perf`] — execution-time estimation composing the Δ terms, with
 //!   speed-up accessors matching the paper's Table III and Fig. 4/7.
 //! * [`dse`] — design-space exploration over the 2⁴ mechanism lattice with
-//!   Pareto-front extraction (time × resources).
+//!   Pareto-front extraction (time × resources), evaluated in parallel.
+//! * [`artifact`] — JSON-round-trippable forms of stage outputs for the
+//!   `hic-pipeline` artifact store.
+//! * [`stablehash`] — process-independent content digests that key the
+//!   artifact store.
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod classify;
 pub mod design;
 pub mod diff;
@@ -30,16 +35,19 @@ pub mod mapping;
 pub mod model;
 pub mod perf;
 pub mod report;
+pub mod stablehash;
 pub mod validate;
 
+pub use artifact::{NocPlanArtifact, PlanArtifact};
 pub use classify::{CommClass, RecvClass, SendClass};
 pub use design::{
     design, design_custom, DesignConfig, DesignError, DesignKnobs, InterconnectPlan,
     KernelPlanEntry, NocPlan, ParallelTransform, Variant,
 };
 pub use diff::{deployable_without_reconfig, diff as plan_diff, PlanDiff};
-pub use dse::{explore, pareto_front, DsePoint};
+pub use dse::{explore, explore_seq, knobs_at, lattice, pareto_front, point_of, DsePoint};
 pub use estimate::{InterconnectResources, SystemResources};
 pub use mapping::{adaptive_map, mem_port_plan, Attach, KernelAttach, MemAttach};
 pub use perf::PerfEstimate;
+pub use stablehash::{stable_hash_bytes, stable_hash_json, StableHash, StableHasher};
 pub use validate::PlanViolation;

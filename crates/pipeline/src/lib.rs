@@ -1,0 +1,77 @@
+//! # hic-pipeline — artifact store + batch compilation service
+//!
+//! The per-app toolflow (profile → design → co-simulate → report) is
+//! pure: every stage is a deterministic function of its inputs. This
+//! crate exploits that twice over:
+//!
+//! * [`store`] — a content-addressed, versioned on-disk cache
+//!   (`hic-store/v1`, default root `.hic-cache/`). Stage outputs are
+//!   keyed by a stable hash of the stage name, the input artifact
+//!   digests, the [`hic_core::DesignConfig`]/[`hic_core::DesignKnobs`]
+//!   in effect, and a crate-version salt, so a result is reused if and
+//!   only if everything that produced it is unchanged.
+//! * [`batch`] — a work-stealing orchestrator that expresses a
+//!   multi-app compilation (including the 2⁴-point DSE lattice per app)
+//!   as a DAG of stage jobs and executes independent jobs across a
+//!   thread pool, with single-flight deduplication of identical jobs
+//!   and deterministic result ordering.
+//!
+//! [`stages`] holds the cached stage wrappers shared by both: each
+//! knows how to derive its key and how to compute on a miss.
+//!
+//! Everything observable is published through `hic-obs` under
+//! `pipeline.*`: per-stage hit/miss counters, single-flight waits,
+//! quarantine/eviction counts, and a queue-depth gauge.
+
+pub mod batch;
+pub mod stages;
+pub mod store;
+
+pub use batch::{run_batch, AppReport, BatchOptions, BatchOutcome};
+pub use stages::{ProfileArtifact, PAPER_APPS};
+pub use store::{stage_key, ArtifactStore, CacheStats, StoreConfig, STORE_SALT, STORE_SCHEMA};
+
+use hic_core::DesignError;
+
+/// Everything that can go wrong in the pipeline service.
+///
+/// `Clone` matters: a failed job's error is delivered to every dependent
+/// job and to every single-flight waiter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Filesystem trouble in the store.
+    Io(String),
+    /// An artifact failed to (de)serialize.
+    Json(String),
+    /// The design algorithm rejected the input.
+    Design(DesignError),
+    /// Not one of the built-in profiled applications.
+    UnknownApp(String),
+}
+
+impl From<std::io::Error> for PipelineError {
+    fn from(e: std::io::Error) -> Self {
+        PipelineError::Io(e.to_string())
+    }
+}
+
+impl From<DesignError> for PipelineError {
+    fn from(e: DesignError) -> Self {
+        PipelineError::Design(e)
+    }
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Io(m) => write!(f, "store I/O error: {m}"),
+            PipelineError::Json(m) => write!(f, "artifact serialization error: {m}"),
+            PipelineError::Design(e) => write!(f, "design error: {e}"),
+            PipelineError::UnknownApp(a) => {
+                write!(f, "unknown app '{a}' (canny|jpeg|klt|fluid)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}

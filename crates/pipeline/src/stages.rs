@@ -1,0 +1,278 @@
+//! Cached pipeline stages.
+//!
+//! Each stage here pairs a key derivation with a compute function and
+//! funnels both through [`ArtifactStore::get_or_compute`]. The key
+//! rules (part of the `hic-store/v1` contract, see `DESIGN.md` §10):
+//!
+//! * **profile** — hash of the app name and its fixed workload
+//!   parameters. Profiling the built-in apps is deterministic (seeded),
+//!   so the workload identity is the entire input.
+//! * **design** — hash of the profiled [`AppSpec`] artifact, the
+//!   [`DesignConfig`], the [`DesignKnobs`], and the variant label. A
+//!   changed budget, bus width, seed, or knob set changes the key.
+//! * **cosim** — hash of the full [`PlanArtifact`] JSON: co-simulation
+//!   depends on nothing but the plan.
+//! * **dse** — hash of the spec and config artifacts; the 2⁴ lattice is
+//!   implied by the stage semantics (and by the crate-version salt if it
+//!   ever grows).
+//!
+//! All stage functions accept `store: Option<&ArtifactStore>` — `None`
+//! computes directly, which keeps the CLI paths usable without a cache
+//! directory (hermetic tests, read-only filesystems).
+
+use crate::store::{stage_key, ArtifactStore};
+use crate::PipelineError;
+use hic_core::{
+    design, design_custom, stable_hash_json, DesignConfig, DesignKnobs, DsePoint, InterconnectPlan,
+    PlanArtifact, StableHash, Variant,
+};
+use hic_fabric::AppSpec;
+use hic_profiling::CommGraph;
+use hic_sim::CosimResult;
+use serde::{Deserialize, Serialize};
+
+/// The four applications evaluated in the paper, in its table order.
+pub const PAPER_APPS: [&str; 4] = ["canny", "jpeg", "klt", "fluid"];
+
+/// The profile stage's output: the measured spec plus the communication
+/// graph it was derived from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileArtifact {
+    /// The profiled application, ready for design.
+    pub spec: AppSpec,
+    /// The function-level communication graph (the paper's Fig. 5).
+    pub graph: CommGraph,
+}
+
+/// Run a built-in profiled application (uncached).
+pub fn run_profiled(app: &str) -> Result<ProfileArtifact, PipelineError> {
+    let (spec, graph) = match app {
+        "canny" => {
+            let r = hic_apps::canny::run_profiled(64, 64, 42);
+            (r.app, r.graph)
+        }
+        "jpeg" => {
+            let r = hic_apps::jpeg::run_profiled(8, 8, 42);
+            (r.app, r.graph)
+        }
+        "klt" => {
+            let r = hic_apps::klt::run_profiled(48, 48, 12, 42);
+            (r.app, r.graph)
+        }
+        "fluid" => {
+            let r = hic_apps::fluid::run_profiled(24, 42);
+            (r.app, r.graph)
+        }
+        other => return Err(PipelineError::UnknownApp(other.to_string())),
+    };
+    Ok(ProfileArtifact { spec, graph })
+}
+
+/// Workload parameters of the built-in apps — part of the profile key, so
+/// changing a workload invalidates its profiles.
+fn workload_params(app: &str) -> &'static [u64] {
+    match app {
+        "canny" => &[64, 64, 42],
+        "jpeg" => &[8, 8, 42],
+        "klt" => &[48, 48, 12, 42],
+        "fluid" => &[24, 42],
+        _ => &[],
+    }
+}
+
+/// Store key for the profile stage of `app`.
+pub fn profile_key(app: &str) -> StableHash {
+    stage_key("profile", &[stable_hash_json(&(app, workload_params(app)))])
+}
+
+/// Store key for a design of `spec` under `cfg`/`knobs` labeled `label`.
+pub fn design_key(
+    spec: &AppSpec,
+    cfg: &DesignConfig,
+    knobs: DesignKnobs,
+    label: &str,
+) -> StableHash {
+    stage_key(
+        "design",
+        &[
+            stable_hash_json(spec),
+            stable_hash_json(cfg),
+            stable_hash_json(&knobs),
+            stable_hash_json(&label),
+        ],
+    )
+}
+
+/// Store key for the co-simulation of `plan`.
+pub fn cosim_key(plan: &PlanArtifact) -> StableHash {
+    stage_key("cosim", &[stable_hash_json(plan)])
+}
+
+/// Store key for the DSE sweep of `spec` under `cfg`.
+pub fn dse_key(spec: &AppSpec, cfg: &DesignConfig) -> StableHash {
+    stage_key("dse", &[stable_hash_json(spec), stable_hash_json(cfg)])
+}
+
+/// Profile `app`, through the store when one is given.
+pub fn profile(
+    store: Option<&ArtifactStore>,
+    read_cache: bool,
+    app: &str,
+) -> Result<ProfileArtifact, PipelineError> {
+    match store {
+        None => run_profiled(app),
+        Some(s) => {
+            let app = app.to_string();
+            s.get_or_compute("profile", profile_key(&app), read_cache, move || {
+                run_profiled(&app)
+            })
+        }
+    }
+}
+
+/// Design `spec` for a named variant, through the store when one is given.
+pub fn design_variant(
+    store: Option<&ArtifactStore>,
+    read_cache: bool,
+    spec: &AppSpec,
+    cfg: &DesignConfig,
+    variant: Variant,
+) -> Result<InterconnectPlan, PipelineError> {
+    let knobs = variant.knobs();
+    cached_design(store, read_cache, spec, cfg, knobs, variant.name(), || {
+        design(spec, cfg, variant).map_err(PipelineError::from)
+    })
+}
+
+/// Design `spec` for an explicit knob set (a DSE lattice point), through
+/// the store when one is given. The label mirrors [`design_custom`]'s
+/// rule — `NONE` is a baseline, anything else a hybrid — so the all-on
+/// lattice point shares its artifact with [`Variant::Hybrid`].
+pub fn design_point(
+    store: Option<&ArtifactStore>,
+    read_cache: bool,
+    spec: &AppSpec,
+    cfg: &DesignConfig,
+    knobs: DesignKnobs,
+) -> Result<InterconnectPlan, PipelineError> {
+    let label = if knobs == DesignKnobs::NONE {
+        Variant::Baseline.name()
+    } else {
+        Variant::Hybrid.name()
+    };
+    cached_design(store, read_cache, spec, cfg, knobs, label, || {
+        design_custom(spec, cfg, knobs).map_err(PipelineError::from)
+    })
+}
+
+fn cached_design(
+    store: Option<&ArtifactStore>,
+    read_cache: bool,
+    spec: &AppSpec,
+    cfg: &DesignConfig,
+    knobs: DesignKnobs,
+    label: &str,
+    compute: impl FnOnce() -> Result<InterconnectPlan, PipelineError>,
+) -> Result<InterconnectPlan, PipelineError> {
+    match store {
+        None => compute(),
+        Some(s) => {
+            let key = design_key(spec, cfg, knobs, label);
+            // Plans cache as [`PlanArtifact`] — the store-safe flattening
+            // whose JSON round-trips exactly (NoC placement included).
+            let artifact: PlanArtifact =
+                s.get_or_compute("design", key, read_cache, move || {
+                    compute().map(|p| PlanArtifact::from(&p))
+                })?;
+            Ok(artifact.into_plan())
+        }
+    }
+}
+
+/// Co-simulate `plan`, through the store when one is given.
+pub fn cosim(
+    store: Option<&ArtifactStore>,
+    read_cache: bool,
+    plan: &InterconnectPlan,
+) -> Result<CosimResult, PipelineError> {
+    match store {
+        None => Ok(hic_sim::cosimulate(plan)),
+        Some(s) => {
+            let artifact = PlanArtifact::from(plan);
+            let key = cosim_key(&artifact);
+            s.get_or_compute("cosim", key, read_cache, move || {
+                Ok(hic_sim::cosimulate(plan))
+            })
+        }
+    }
+}
+
+/// Explore the full knob lattice for `spec`, through the store when one
+/// is given.
+pub fn dse_points(
+    store: Option<&ArtifactStore>,
+    read_cache: bool,
+    spec: &AppSpec,
+    cfg: &DesignConfig,
+) -> Result<Vec<DsePoint>, PipelineError> {
+    match store {
+        None => hic_core::explore(spec, cfg).map_err(PipelineError::from),
+        Some(s) => {
+            let key = dse_key(spec, cfg);
+            s.get_or_compute("dse", key, read_cache, move || {
+                hic_core::explore(spec, cfg).map_err(PipelineError::from)
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_and_cfg() -> (AppSpec, DesignConfig) {
+        let p = run_profiled("jpeg").unwrap();
+        (p.spec, DesignConfig::default())
+    }
+
+    #[test]
+    fn profile_keys_separate_apps() {
+        assert_ne!(profile_key("jpeg"), profile_key("canny"));
+    }
+
+    #[test]
+    fn design_key_tracks_the_config() {
+        let (spec, cfg) = spec_and_cfg();
+        let mut fatter = cfg;
+        fatter.resource_budget.luts += 1;
+        let k0 = design_key(&spec, &cfg, DesignKnobs::ALL, "hybrid");
+        assert_ne!(k0, design_key(&spec, &fatter, DesignKnobs::ALL, "hybrid"));
+        assert_ne!(k0, design_key(&spec, &cfg, DesignKnobs::NONE, "hybrid"));
+        assert_eq!(k0, design_key(&spec, &cfg, DesignKnobs::ALL, "hybrid"));
+    }
+
+    #[test]
+    fn hybrid_variant_and_all_knob_point_share_a_key() {
+        // `Variant::Hybrid.knobs() == ALL` and `design_point` labels the
+        // all-on point "hybrid", so the batch DAG can depend on lattice
+        // point 15 instead of designing the hybrid twice.
+        let (spec, cfg) = spec_and_cfg();
+        assert_eq!(
+            design_key(&spec, &cfg, Variant::Hybrid.knobs(), Variant::Hybrid.name()),
+            design_key(&spec, &cfg, DesignKnobs::ALL, "hybrid"),
+        );
+    }
+
+    #[test]
+    fn uncached_stages_match_the_direct_calls() {
+        let (spec, cfg) = spec_and_cfg();
+        let plan = design_variant(None, true, &spec, &cfg, Variant::Hybrid).unwrap();
+        let direct = design(&spec, &cfg, Variant::Hybrid).unwrap();
+        assert_eq!(
+            serde_json::to_string(&PlanArtifact::from(&plan)).unwrap(),
+            serde_json::to_string(&PlanArtifact::from(&direct)).unwrap()
+        );
+        let sim = cosim(None, true, &plan).unwrap();
+        assert_eq!(sim, hic_sim::cosimulate(&direct));
+    }
+}

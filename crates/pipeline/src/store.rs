@@ -1,0 +1,592 @@
+//! The content-addressed artifact store (`hic-store/v1`).
+//!
+//! Every pipeline stage output — measured profiles, interconnect plans,
+//! co-simulation results, DSE points — is persisted under a key that is a
+//! stable hash of *what produced it*: the stage name, the keys of its
+//! input artifacts, the [`DesignConfig`]/[`DesignKnobs`] in effect, and a
+//! crate-version salt. Re-running a stage with identical inputs resolves
+//! to the same key and is served from disk; changing any input changes
+//! the key, so stale artifacts are never returned — invalidation is
+//! structural, not time-based.
+//!
+//! # On-disk layout (`hic-store/v1`)
+//!
+//! ```text
+//! <root>/
+//!   VERSION                    # the literal schema id "hic-store/v1"
+//!   access.log                 # append-only key log, LRU recency source
+//!   objects/<kk>/<key32>.art   # kk = first two hex digits of the key
+//!   quarantine/<key32>.art     # objects that failed verification
+//! ```
+//!
+//! An object file is a one-line JSON header followed by the payload:
+//!
+//! ```text
+//! {"schema":"hic-store/v1","stage":"design","key":"<hex>","checksum":"<hex>","bytes":N}
+//! <compact JSON payload, exactly N bytes>
+//! ```
+//!
+//! The checksum is the [`stable_hash_bytes`] digest of the payload bytes.
+//! Reads verify header shape, key, byte count and checksum; any mismatch
+//! moves the file to `quarantine/` (for post-mortems) and reports a miss,
+//! so a corrupted cache degrades to recomputation, never to wrong
+//! answers. Writes go to a temporary file in the object's directory and
+//! are published with an atomic rename — readers see either the old
+//! object, the new object, or nothing, never a torn file.
+//!
+//! Eviction is LRU by total object bytes against a configurable cap:
+//! recency comes from `access.log` (appended on every publish and read
+//! hit), and the least-recently-used objects are deleted until the store
+//! fits. In-process, [`ArtifactStore::get_or_compute`] additionally
+//! single-flights identical concurrent jobs: one caller computes, the
+//! rest wait and share the result.
+
+use crate::PipelineError;
+use hic_core::stablehash::{stable_hash_bytes, StableHash, StableHasher};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The store schema id, written to `VERSION` and every object header.
+pub const STORE_SCHEMA: &str = "hic-store/v1";
+
+/// Salt mixed into every key: schema id plus the workspace version, so a
+/// new release (which may change any stage's semantics) starts from a
+/// logically empty cache instead of replaying artifacts it cannot trust.
+pub const STORE_SALT: &str = concat!("hic-store/v1:", env!("CARGO_PKG_VERSION"));
+
+/// Compute a stage key: salt + stage name + input digests, in order.
+pub fn stage_key(stage: &str, inputs: &[StableHash]) -> StableHash {
+    let mut h = StableHasher::new();
+    h.write_str(STORE_SALT).write_str(stage);
+    for i in inputs {
+        h.write_hash(*i);
+    }
+    h.finish()
+}
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding the store (created if absent).
+    pub root: PathBuf,
+    /// LRU eviction cap on total object bytes (`None` = unbounded).
+    pub max_bytes: Option<u64>,
+}
+
+impl StoreConfig {
+    /// A store at `root` with the cap taken from `HIC_CACHE_MAX_BYTES`
+    /// (unset or unparsable = unbounded).
+    pub fn at(root: impl Into<PathBuf>) -> StoreConfig {
+        StoreConfig {
+            root: root.into(),
+            max_bytes: std::env::var("HIC_CACHE_MAX_BYTES")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+        }
+    }
+}
+
+/// Per-run cache statistics (also published to `hic-obs` as
+/// `pipeline.store.*` / `pipeline.<stage>.*`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Reads served from disk.
+    pub hits: u64,
+    /// Reads that fell through to computation.
+    pub misses: u64,
+    /// Callers that waited on an identical in-flight computation instead
+    /// of repeating it.
+    pub singleflight_waits: u64,
+    /// Objects moved to `quarantine/` after failing verification.
+    pub quarantined: u64,
+    /// Objects deleted by LRU eviction.
+    pub evicted_objects: u64,
+    /// Bytes reclaimed by LRU eviction.
+    pub evicted_bytes: u64,
+    /// Per-stage `(hits, misses)`.
+    pub per_stage: BTreeMap<String, (u64, u64)>,
+}
+
+impl CacheStats {
+    /// True when every lookup this run was served from the store.
+    pub fn all_hits(&self) -> bool {
+        self.misses == 0 && self.hits > 0
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    singleflight_waits: AtomicU64,
+    quarantined: AtomicU64,
+    evicted_objects: AtomicU64,
+    evicted_bytes: AtomicU64,
+    per_stage: Mutex<BTreeMap<String, (u64, u64)>>,
+}
+
+/// One in-flight computation; waiters block on the condvar until the
+/// leader deposits the serialized payload (or its error).
+#[derive(Debug, Default)]
+struct Flight {
+    slot: Mutex<Option<Result<String, PipelineError>>>,
+    done: Condvar,
+}
+
+/// A handle to an on-disk artifact store. Cheap to clone-by-`Arc` at the
+/// caller's discretion; all methods take `&self`.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+    max_bytes: Option<u64>,
+    counters: Counters,
+    inflight: Mutex<HashMap<u128, Arc<Flight>>>,
+    log_lock: Mutex<()>,
+    tmp_seq: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// Open (creating if needed) the store at `cfg.root`.
+    pub fn open(cfg: StoreConfig) -> Result<ArtifactStore, PipelineError> {
+        let root = cfg.root;
+        fs::create_dir_all(root.join("objects"))?;
+        fs::create_dir_all(root.join("quarantine"))?;
+        let version = root.join("VERSION");
+        if !version.exists() {
+            fs::write(&version, format!("{STORE_SCHEMA}\n"))?;
+        }
+        Ok(ArtifactStore {
+            root,
+            max_bytes: cfg.max_bytes,
+            counters: Counters::default(),
+            inflight: Mutex::new(HashMap::new()),
+            log_lock: Mutex::new(()),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Where the object for `key` lives (the `hic-store/v1` layout
+    /// contract: `objects/<first two hex digits>/<key>.art`).
+    pub fn object_path(&self, key: StableHash) -> PathBuf {
+        let hex = key.to_hex();
+        self.root
+            .join("objects")
+            .join(&hex[..2])
+            .join(format!("{hex}.art"))
+    }
+
+    /// Where a quarantined object for `key` lands.
+    pub fn quarantine_path(&self, key: StableHash) -> PathBuf {
+        self.root
+            .join("quarantine")
+            .join(format!("{}.art", key.to_hex()))
+    }
+
+    /// This run's cache statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            singleflight_waits: self.counters.singleflight_waits.load(Ordering::Relaxed),
+            quarantined: self.counters.quarantined.load(Ordering::Relaxed),
+            evicted_objects: self.counters.evicted_objects.load(Ordering::Relaxed),
+            evicted_bytes: self.counters.evicted_bytes.load(Ordering::Relaxed),
+            per_stage: self.counters.per_stage.lock().unwrap().clone(),
+        }
+    }
+
+    fn count(&self, stage: &str, hit: bool) {
+        let reg = hic_obs::global();
+        let mut per_stage = self.counters.per_stage.lock().unwrap();
+        let entry = per_stage.entry(stage.to_string()).or_insert((0, 0));
+        if hit {
+            entry.0 += 1;
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            reg.counter("pipeline.store.hits").inc();
+            reg.counter(&format!("pipeline.{stage}.hits")).inc();
+        } else {
+            entry.1 += 1;
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            reg.counter("pipeline.store.misses").inc();
+            reg.counter(&format!("pipeline.{stage}.misses")).inc();
+        }
+    }
+
+    /// Load and verify the payload for `key`. Corrupt objects (bad
+    /// header, key mismatch, truncated payload, checksum mismatch) are
+    /// moved to `quarantine/` and reported as a miss.
+    pub fn load(&self, key: StableHash) -> Option<String> {
+        let path = self.object_path(key);
+        let text = fs::read_to_string(&path).ok()?;
+        match verify_object(key, &text) {
+            Some(payload) => {
+                self.touch(key);
+                Some(payload.to_string())
+            }
+            None => {
+                self.quarantine(key, &path);
+                None
+            }
+        }
+    }
+
+    fn quarantine(&self, key: StableHash, path: &Path) {
+        // Rename keeps the evidence; if even that fails (e.g. the file
+        // vanished concurrently) just make sure the bad object is gone.
+        let dst = self.quarantine_path(key);
+        if fs::rename(path, &dst).is_err() {
+            let _ = fs::remove_file(path);
+        }
+        self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+        hic_obs::global()
+            .counter("pipeline.store.quarantined")
+            .inc();
+    }
+
+    /// Atomically publish `payload` as the object for `key`.
+    pub fn publish(
+        &self,
+        key: StableHash,
+        stage: &str,
+        payload: &str,
+    ) -> Result<(), PipelineError> {
+        let path = self.object_path(key);
+        let dir = path.parent().expect("object path has a parent");
+        fs::create_dir_all(dir)?;
+        let header = object_header(key, stage, payload);
+        let tmp = dir.join(format!(
+            ".tmp.{}.{}.{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed),
+            key.to_hex()
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(header.as_bytes())?;
+            f.write_all(b"\n")?;
+            f.write_all(payload.as_bytes())?;
+            f.sync_all().ok();
+        }
+        fs::rename(&tmp, &path)?;
+        self.touch(key);
+        self.evict_to_cap();
+        Ok(())
+    }
+
+    /// The canonical cached-stage entry point.
+    ///
+    /// * `read_cache = true`: try the store first (counting a hit/miss for
+    ///   `stage`), compute on miss, publish the result.
+    /// * `read_cache = false` (`--no-cache`): never read, always compute —
+    ///   but still publish, so the cache warms for later runs.
+    ///
+    /// Identical concurrent calls (same `key`) are single-flighted: one
+    /// caller computes and publishes, the rest block and deserialize the
+    /// leader's payload.
+    pub fn get_or_compute<T, F>(
+        &self,
+        stage: &str,
+        key: StableHash,
+        read_cache: bool,
+        compute: F,
+    ) -> Result<T, PipelineError>
+    where
+        T: Serialize + serde::Deserialize,
+        F: FnOnce() -> Result<T, PipelineError>,
+    {
+        if read_cache {
+            if let Some(payload) = self.load(key) {
+                match serde_json::from_str::<T>(&payload) {
+                    Ok(v) => {
+                        self.count(stage, true);
+                        return Ok(v);
+                    }
+                    Err(_) => {
+                        // Verified bytes that no longer deserialize mean a
+                        // schema change the salt did not capture —
+                        // quarantine and recompute.
+                        self.quarantine(key, &self.object_path(key));
+                    }
+                }
+            }
+        }
+
+        // Single-flight: first caller for this key leads, others wait.
+        let (flight, leader) = {
+            let mut map = self.inflight.lock().unwrap();
+            match map.get(&key.0) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight::default());
+                    map.insert(key.0, Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+
+        if !leader {
+            self.counters
+                .singleflight_waits
+                .fetch_add(1, Ordering::Relaxed);
+            hic_obs::global()
+                .counter("pipeline.store.singleflight_waits")
+                .inc();
+            let mut slot = flight.slot.lock().unwrap();
+            while slot.is_none() {
+                slot = flight.done.wait(slot).unwrap();
+            }
+            return match slot.as_ref().expect("flight resolved") {
+                Ok(payload) => {
+                    self.count(stage, true);
+                    serde_json::from_str(payload)
+                        .map_err(|e| PipelineError::Json(format!("single-flight payload: {e}")))
+                }
+                Err(e) => Err(e.clone()),
+            };
+        }
+
+        self.count(stage, false);
+        let outcome = compute().and_then(|value| {
+            let payload = serde_json::to_string(&value)
+                .map_err(|e| PipelineError::Json(format!("serializing {stage} artifact: {e}")))?;
+            self.publish(key, stage, &payload)?;
+            Ok((value, payload))
+        });
+
+        let (result, ret) = match outcome {
+            Ok((value, payload)) => (Ok(payload), Ok(value)),
+            Err(e) => (Err(e.clone()), Err(e)),
+        };
+        *flight.slot.lock().unwrap() = Some(result);
+        flight.done.notify_all();
+        self.inflight.lock().unwrap().remove(&key.0);
+        ret
+    }
+
+    fn touch(&self, key: StableHash) {
+        let _guard = self.log_lock.lock().unwrap();
+        if let Ok(mut f) = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.root.join("access.log"))
+        {
+            let _ = writeln!(f, "{}", key.to_hex());
+        }
+    }
+
+    /// Every object currently in the store as `(key, path, bytes)`.
+    fn scan_objects(&self) -> Vec<(StableHash, PathBuf, u64)> {
+        let mut out = Vec::new();
+        let Ok(fans) = fs::read_dir(self.root.join("objects")) else {
+            return out;
+        };
+        for fan in fans.flatten() {
+            let Ok(entries) = fs::read_dir(fan.path()) else {
+                continue;
+            };
+            for e in entries.flatten() {
+                let path = e.path();
+                let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                    continue;
+                };
+                let Some(hex) = name.strip_suffix(".art") else {
+                    continue; // skips .tmp.* leftovers too
+                };
+                let Some(key) = StableHash::from_hex(hex) else {
+                    continue;
+                };
+                let bytes = e.metadata().map(|m| m.len()).unwrap_or(0);
+                out.push((key, path, bytes));
+            }
+        }
+        out.sort_by_key(|(k, _, _)| *k);
+        out
+    }
+
+    /// Total bytes of stored objects.
+    pub fn total_bytes(&self) -> u64 {
+        self.scan_objects().iter().map(|(_, _, b)| b).sum()
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.scan_objects().len()
+    }
+
+    /// Delete least-recently-used objects until the store fits the cap.
+    fn evict_to_cap(&self) {
+        let Some(cap) = self.max_bytes else { return };
+        let objects = self.scan_objects();
+        let mut total: u64 = objects.iter().map(|(_, _, b)| b).sum();
+        if total <= cap {
+            return;
+        }
+        // Recency from access.log: later lines are more recent; objects
+        // never logged (log lost or truncated) rank oldest.
+        let recency: HashMap<u128, usize> = {
+            let _guard = self.log_lock.lock().unwrap();
+            fs::read_to_string(self.root.join("access.log"))
+                .map(|text| {
+                    text.lines()
+                        .enumerate()
+                        .filter_map(|(i, l)| StableHash::from_hex(l.trim()).map(|k| (k.0, i)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let mut ordered = objects;
+        ordered.sort_by_key(|(k, _, _)| (recency.get(&k.0).copied().unwrap_or(0), *k));
+        let reg = hic_obs::global();
+        for (_, path, bytes) in ordered {
+            if total <= cap {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(bytes);
+                self.counters
+                    .evicted_objects
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .evicted_bytes
+                    .fetch_add(bytes, Ordering::Relaxed);
+                reg.counter("pipeline.store.evicted_objects").inc();
+                reg.counter("pipeline.store.evicted_bytes").add(bytes);
+            }
+        }
+    }
+}
+
+fn object_header(key: StableHash, stage: &str, payload: &str) -> String {
+    format!(
+        "{{\"schema\":\"{STORE_SCHEMA}\",\"stage\":\"{stage}\",\"key\":\"{}\",\"checksum\":\"{}\",\"bytes\":{}}}",
+        key.to_hex(),
+        stable_hash_bytes(payload.as_bytes()).to_hex(),
+        payload.len()
+    )
+}
+
+/// Verify an object file's text against `key`; the payload on success.
+fn verify_object(key: StableHash, text: &str) -> Option<&str> {
+    let (header, payload) = text.split_once('\n')?;
+    let h = serde_json::parse(header).ok()?;
+    if h.get("schema")?.as_str()? != STORE_SCHEMA {
+        return None;
+    }
+    if h.get("key")?.as_str()? != key.to_hex() {
+        return None;
+    }
+    if h.get("bytes")?.as_u64()? != payload.len() as u64 {
+        return None;
+    }
+    if h.get("checksum")?.as_str()? != stable_hash_bytes(payload.as_bytes()).to_hex() {
+        return None;
+    }
+    Some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(max_bytes: Option<u64>) -> ArtifactStore {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "hic-store-unit-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        ArtifactStore::open(StoreConfig {
+            root: dir,
+            max_bytes,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn publish_then_load_round_trips_and_logs_a_hit() {
+        let s = temp_store(None);
+        let key = stage_key("unit", &[stable_hash_bytes(b"x")]);
+        s.publish(key, "unit", "{\"v\":1}").unwrap();
+        assert_eq!(s.load(key).as_deref(), Some("{\"v\":1}"));
+        assert_eq!(s.object_count(), 1);
+        let _ = fs::remove_dir_all(s.root());
+    }
+
+    #[test]
+    fn verify_rejects_tampered_payload_and_header() {
+        let key = stage_key("unit", &[]);
+        let payload = "{\"v\":2}";
+        let good = format!("{}\n{}", object_header(key, "unit", payload), payload);
+        assert_eq!(verify_object(key, &good), Some(payload));
+        let flipped = good.replace("{\"v\":2}", "{\"v\":3}");
+        assert_eq!(verify_object(key, &flipped), None);
+        let wrong_key = stage_key("other", &[]);
+        assert_eq!(verify_object(wrong_key, &good), None);
+        assert_eq!(verify_object(key, "not a store file"), None);
+    }
+
+    #[test]
+    fn corrupt_object_is_quarantined_on_load() {
+        let s = temp_store(None);
+        let key = stage_key("unit", &[stable_hash_bytes(b"corrupt")]);
+        s.publish(key, "unit", "{\"v\":1}").unwrap();
+        // Flip payload bytes behind the store's back.
+        let path = s.object_path(key);
+        let text = fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"v\":1", "\"v\":9");
+        fs::write(&path, text).unwrap();
+        assert_eq!(s.load(key), None);
+        assert!(!path.exists(), "corrupt object must leave objects/");
+        assert!(s.quarantine_path(key).exists(), "and land in quarantine/");
+        assert_eq!(s.stats().quarantined, 1);
+        let _ = fs::remove_dir_all(s.root());
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_cap_and_recency() {
+        let s = temp_store(Some(400));
+        let keys: Vec<StableHash> = (0u8..4)
+            .map(|i| stage_key("unit", &[stable_hash_bytes(&[i])]))
+            .collect();
+        let payload = "x".repeat(120); // object ≈ 120 B payload + header
+        for (i, k) in keys.iter().enumerate() {
+            s.publish(*k, "unit", &format!("\"{}{}\"", payload, i))
+                .unwrap();
+        }
+        // Cap forces evictions; the most recently published keys survive.
+        assert!(s.total_bytes() <= 400, "total {}", s.total_bytes());
+        assert!(s.stats().evicted_objects >= 1);
+        assert!(
+            s.load(keys[3]).is_some(),
+            "most recent object must survive LRU"
+        );
+        let _ = fs::remove_dir_all(s.root());
+    }
+
+    #[test]
+    fn reading_refreshes_recency() {
+        let s = temp_store(None);
+        let a = stage_key("unit", &[stable_hash_bytes(b"a")]);
+        let b = stage_key("unit", &[stable_hash_bytes(b"b")]);
+        s.publish(a, "unit", "\"aaaa\"").unwrap();
+        s.publish(b, "unit", "\"bbbb\"").unwrap();
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(s.load(a).is_some());
+        let log = fs::read_to_string(s.root().join("access.log")).unwrap();
+        let last = log.lines().last().unwrap();
+        assert_eq!(last, a.to_hex(), "read must append to the access log");
+        let _ = fs::remove_dir_all(s.root());
+    }
+}

@@ -1,0 +1,145 @@
+//! Batch orchestrator integration tests: determinism vs the sequential
+//! reference, warm-run cache behaviour, and job dedup.
+
+use hic_pipeline::batch::{outcome_json, run_batch, sequential_report, BatchOptions};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_root(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "hic-batch-it-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn cold_batch_matches_the_sequential_pipeline_byte_for_byte() {
+    let root = temp_root("cold");
+    let mut opts = BatchOptions::new(vec!["jpeg".into(), "canny".into()], Some(root.clone()));
+    opts.jobs = Some(4);
+    let out = run_batch(&opts).unwrap();
+
+    assert_eq!(out.apps.len(), 2);
+    for report in &out.apps {
+        let seq = sequential_report(&report.app).unwrap();
+        assert_eq!(
+            serde_json::to_string(report).unwrap(),
+            serde_json::to_string(&seq).unwrap(),
+            "parallel batch output for {} must be byte-identical to the \
+             sequential per-app pipeline",
+            report.app
+        );
+    }
+    // Cold: every stage computed, nothing read.
+    assert_eq!(out.stats.hits, 0);
+    assert!(out.stats.misses > 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn warm_batch_recomputes_nothing() {
+    let root = temp_root("warm");
+    let mut opts = BatchOptions::new(vec!["klt".into(), "fluid".into()], Some(root.clone()));
+    opts.jobs = Some(4);
+
+    let cold = run_batch(&opts).unwrap();
+    let warm = run_batch(&opts).unwrap();
+
+    // The acceptance bar: a warm batch performs zero design/cosim
+    // recomputation — every stage job is a cache hit.
+    assert_eq!(warm.stats.misses, 0, "warm run must not recompute anything");
+    assert_eq!(
+        warm.stats.hits, cold.stats.misses,
+        "every cold miss becomes a warm hit"
+    );
+    for stage in ["profile", "design", "cosim"] {
+        let (hits, misses) = warm.stats.per_stage[stage];
+        assert_eq!(misses, 0, "stage {stage} recomputed on a warm run");
+        assert!(hits > 0, "stage {stage} saw no traffic on a warm run");
+    }
+
+    // And warm results are identical to cold ones.
+    assert_eq!(
+        serde_json::to_string(&warm.apps).unwrap(),
+        serde_json::to_string(&cold.apps).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn duplicate_apps_share_jobs_but_keep_their_report_slots() {
+    let root = temp_root("dup");
+    let opts = BatchOptions::new(vec!["jpeg".into(), "jpeg".into()], Some(root.clone()));
+    let out = run_batch(&opts).unwrap();
+
+    // 1 profile + 16 designs + 1 cosim — built once, reported twice.
+    assert_eq!(out.jobs_run, 18, "duplicate app must not duplicate jobs");
+    assert_eq!(out.apps.len(), 2, "but the caller still gets both slots");
+    assert_eq!(
+        serde_json::to_string(&out.apps[0]).unwrap(),
+        serde_json::to_string(&out.apps[1]).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn worker_count_does_not_change_the_output() {
+    let root1 = temp_root("w1");
+    let root8 = temp_root("w8");
+    let apps = vec!["canny".into(), "jpeg".into()];
+    let mut one = BatchOptions::new(apps.clone(), Some(root1.clone()));
+    one.jobs = Some(1);
+    let mut eight = BatchOptions::new(apps, Some(root8.clone()));
+    eight.jobs = Some(8);
+
+    let a = run_batch(&one).unwrap();
+    let b = run_batch(&eight).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a.apps).unwrap(),
+        serde_json::to_string(&b.apps).unwrap(),
+        "scheduling must not leak into the results"
+    );
+    let _ = std::fs::remove_dir_all(&root1);
+    let _ = std::fs::remove_dir_all(&root8);
+}
+
+#[test]
+fn unknown_app_fails_without_touching_the_pool() {
+    let out = run_batch(&BatchOptions::new(vec!["doom".into()], None));
+    match out {
+        Err(hic_pipeline::PipelineError::UnknownApp(a)) => assert_eq!(a, "doom"),
+        other => panic!("expected UnknownApp, got {other:?}"),
+    }
+}
+
+#[test]
+fn storeless_batch_works_and_reports_zero_stats() {
+    let out = run_batch(&BatchOptions::new(vec!["fluid".into()], None)).unwrap();
+    assert_eq!(out.apps.len(), 1);
+    assert_eq!(out.stats.hits + out.stats.misses, 0);
+    let seq = sequential_report("fluid").unwrap();
+    assert_eq!(
+        serde_json::to_string(&out.apps[0]).unwrap(),
+        serde_json::to_string(&seq).unwrap()
+    );
+}
+
+#[test]
+fn outcome_json_is_the_hic_batch_v1_document() {
+    let out = run_batch(&BatchOptions::new(vec!["jpeg".into()], None)).unwrap();
+    let doc = outcome_json(&out);
+    let v = serde_json::parse(&doc).unwrap();
+    assert_eq!(v.get("schema").unwrap().as_str().unwrap(), "hic-batch/v1");
+    assert!(v
+        .get("cache")
+        .unwrap()
+        .get("hits")
+        .unwrap()
+        .as_u64()
+        .is_some());
+    assert!(v.get("apps").is_some());
+}

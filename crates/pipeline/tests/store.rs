@@ -1,0 +1,202 @@
+//! Cache-correctness integration tests for the `hic-store/v1` artifact
+//! store: key sensitivity, corruption handling, `--no-cache` semantics,
+//! and single-flight deduplication.
+
+use hic_core::DesignConfig;
+use hic_pipeline::stages;
+use hic_pipeline::{ArtifactStore, PipelineError, StoreConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn temp_root(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "hic-store-it-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(tag: &str) -> ArtifactStore {
+    ArtifactStore::open(StoreConfig {
+        root: temp_root(tag),
+        max_bytes: None,
+    })
+    .unwrap()
+}
+
+#[test]
+fn design_key_changes_when_the_config_changes() {
+    let p = stages::run_profiled("jpeg").unwrap();
+    let cfg = DesignConfig::default();
+    let base = stages::design_key(&p.spec, &cfg, hic_core::DesignKnobs::ALL, "hybrid");
+
+    // Every config field is part of the key: perturb a few and watch the
+    // key move. A stale artifact can therefore never be returned for a
+    // changed configuration — the lookup simply misses.
+    let mut budget = cfg;
+    budget.resource_budget.luts += 1;
+    let mut flit = cfg;
+    flit.flit_payload += 1;
+    let mut seed = cfg;
+    seed.seed += 1;
+    for changed in [&budget, &flit, &seed] {
+        assert_ne!(
+            base,
+            stages::design_key(&p.spec, changed, hic_core::DesignKnobs::ALL, "hybrid"),
+            "a DesignConfig change must change the design key"
+        );
+    }
+
+    // And the key is a pure function: same inputs, same key.
+    assert_eq!(
+        base,
+        stages::design_key(&p.spec, &cfg, hic_core::DesignKnobs::ALL, "hybrid")
+    );
+}
+
+#[test]
+fn corrupted_blob_is_quarantined_and_recomputed() {
+    let s = open("corrupt");
+    let p = stages::run_profiled("canny").unwrap();
+    let cfg = DesignConfig::default();
+
+    let first =
+        stages::design_variant(Some(&s), true, &p.spec, &cfg, hic_core::Variant::Hybrid).unwrap();
+    assert_eq!(s.stats().misses, 1);
+
+    // Corrupt the stored object in place.
+    let key = stages::design_key(
+        &p.spec,
+        &cfg,
+        hic_core::Variant::Hybrid.knobs(),
+        hic_core::Variant::Hybrid.name(),
+    );
+    let path = s.object_path(key);
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, text.replace("\"parallel\":", "\"parallel!\":")).unwrap();
+
+    // The read detects the damage, quarantines the blob, recomputes, and
+    // republishes a good object.
+    let second =
+        stages::design_variant(Some(&s), true, &p.spec, &cfg, hic_core::Variant::Hybrid).unwrap();
+    let stats = s.stats();
+    assert_eq!(stats.quarantined, 1, "bad blob must be quarantined");
+    assert_eq!(stats.misses, 2, "and the read must fall through to compute");
+    assert!(s.quarantine_path(key).exists());
+    assert_eq!(
+        serde_json::to_string(&hic_core::PlanArtifact::from(&first)).unwrap(),
+        serde_json::to_string(&hic_core::PlanArtifact::from(&second)).unwrap(),
+        "recomputed plan matches the original"
+    );
+
+    // And the store healed: a third read is a clean hit.
+    stages::design_variant(Some(&s), true, &p.spec, &cfg, hic_core::Variant::Hybrid).unwrap();
+    assert_eq!(s.stats().hits, 1);
+    let _ = std::fs::remove_dir_all(s.root());
+}
+
+#[test]
+fn no_cache_bypasses_reads_but_still_publishes() {
+    let s = open("nocache");
+    let p = stages::run_profiled("fluid").unwrap();
+    let cfg = DesignConfig::default();
+
+    // Two no-read runs: both compute (miss), neither reads.
+    for _ in 0..2 {
+        stages::design_variant(Some(&s), false, &p.spec, &cfg, hic_core::Variant::Hybrid).unwrap();
+    }
+    let stats = s.stats();
+    assert_eq!(stats.hits, 0, "--no-cache must never read");
+    assert_eq!(stats.misses, 2, "every bypassing run computes");
+    assert_eq!(s.object_count(), 1, "but the result is still published");
+
+    // A read-enabled run now hits what the bypassing runs published.
+    stages::design_variant(Some(&s), true, &p.spec, &cfg, hic_core::Variant::Hybrid).unwrap();
+    assert_eq!(s.stats().hits, 1);
+    let _ = std::fs::remove_dir_all(s.root());
+}
+
+#[test]
+fn identical_concurrent_jobs_compute_once() {
+    let s = Arc::new(open("singleflight"));
+    let key = hic_pipeline::stage_key("unit", &[hic_core::stable_hash_bytes(b"sf")]);
+    let computations = Arc::new(AtomicU64::new(0));
+
+    const CALLERS: usize = 8;
+    let results: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CALLERS)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let computations = Arc::clone(&computations);
+                scope.spawn(move || -> u64 {
+                    s.get_or_compute("unit", key, true, || {
+                        computations.fetch_add(1, Ordering::SeqCst);
+                        // Stay in flight long enough for the others to pile
+                        // up behind the leader.
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                        Ok(42u64)
+                    })
+                    .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert!(results.iter().all(|&v| v == 42));
+    let stats = s.stats();
+    // Depending on arrival timing a caller may hit the already-published
+    // object instead of joining the flight — but the computation itself
+    // must have happened exactly once.
+    assert_eq!(
+        computations.load(Ordering::SeqCst),
+        1,
+        "single-flight: one computation for {CALLERS} identical callers"
+    );
+    assert_eq!(stats.misses, 1);
+    // Every non-leader is served without computing — either by joining
+    // the in-flight job or by hitting the just-published object; both
+    // paths count as hits.
+    assert_eq!(stats.hits, (CALLERS - 1) as u64);
+    let _ = std::fs::remove_dir_all(s.root());
+}
+
+#[test]
+fn a_leader_error_reaches_every_waiter() {
+    let s = Arc::new(open("sf-err"));
+    let key = hic_pipeline::stage_key("unit", &[hic_core::stable_hash_bytes(b"err")]);
+
+    let errors: Vec<PipelineError> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    s.get_or_compute::<u64, _>("unit", key, true, || {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        Err(PipelineError::Io("disk on fire".into()))
+                    })
+                    .unwrap_err()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for e in errors {
+        assert_eq!(e, PipelineError::Io("disk on fire".into()));
+    }
+    assert_eq!(s.object_count(), 0, "failed jobs publish nothing");
+    let _ = std::fs::remove_dir_all(s.root());
+}
+
+#[test]
+fn store_version_file_pins_the_schema() {
+    let s = open("version");
+    let v = std::fs::read_to_string(s.root().join("VERSION")).unwrap();
+    assert_eq!(v.trim(), hic_pipeline::STORE_SCHEMA);
+    let _ = std::fs::remove_dir_all(s.root());
+}

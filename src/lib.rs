@@ -14,6 +14,8 @@
 //! * [`sim`] — full-system discrete-event simulator, flit-level
 //!   co-simulation, energy model and reconfiguration planning
 //! * [`apps`] — the four experimental applications
+//! * [`pipeline`] — content-addressed artifact store (`hic-store/v1`)
+//!   and the parallel batch compilation service
 //!
 //! The `hic-cli` crate (binary `hic`) and the `hic-bench` crate (binary
 //! `repro`, Criterion benches) sit next to this facade; see the README.
@@ -24,6 +26,7 @@ pub use hic_core as core;
 pub use hic_fabric as fabric;
 pub use hic_mem as mem;
 pub use hic_noc as noc;
+pub use hic_pipeline as pipeline;
 pub use hic_profiling as profiling;
 pub use hic_sim as sim;
 pub use hic_xbar as xbar;
