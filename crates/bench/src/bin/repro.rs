@@ -249,7 +249,51 @@ fn bench_noc() {
     std::fs::write("BENCH_noc.json", &out).expect("write BENCH_noc.json");
     let sidecar = serde_json::to_string_pretty(&run.metrics).unwrap();
     std::fs::write("BENCH_noc_metrics.json", &sidecar).expect("write BENCH_noc_metrics.json");
-    println!("\nwrote BENCH_noc.json + BENCH_noc_metrics.json");
+
+    // Tracing overhead against the baseline just measured: the flight
+    // recorder must be cheap enough to leave compiled in (disabled
+    // within 5%) and usable under load sweeps (1-in-64 within 15%).
+    let overhead = hic_bench::nocperf::measure_trace_overhead(8, 20_000, 3, &run.points);
+    println!("\n== Flight-recorder overhead (8x8 uniform) ==");
+    println!(
+        "{:<8} {:>16} {:>16} {:>16} {:>9} {:>9} {:>8}",
+        "offered",
+        "baseline cyc/s",
+        "disabled cyc/s",
+        "1/64 cyc/s",
+        "disabled",
+        "sampled",
+        "events"
+    );
+    for p in &overhead {
+        println!(
+            "{:<8.2} {:>16.0} {:>16.0} {:>16.0} {:>8.2}x {:>8.2}x {:>8}",
+            p.offered,
+            p.baseline_cycles_per_sec,
+            p.disabled_cycles_per_sec,
+            p.sampled_cycles_per_sec,
+            p.disabled_ratio,
+            p.sampled_ratio,
+            p.sampled_events
+        );
+        assert!(
+            p.disabled_ratio >= 0.95,
+            "disabled tracing must stay within 5% of the untraced fast path \
+             (got {:.3} at load {})",
+            p.disabled_ratio,
+            p.offered
+        );
+        assert!(
+            p.sampled_ratio >= 0.85,
+            "1-in-64 sampled tracing must stay within 15% of the untraced fast \
+             path (got {:.3} at load {})",
+            p.sampled_ratio,
+            p.offered
+        );
+    }
+    let trace_sidecar = serde_json::to_string_pretty(&overhead).unwrap();
+    std::fs::write("BENCH_noc_trace.json", &trace_sidecar).expect("write BENCH_noc_trace.json");
+    println!("\nwrote BENCH_noc.json + BENCH_noc_metrics.json + BENCH_noc_trace.json");
 }
 
 fn bench_pipeline() {

@@ -9,6 +9,7 @@
 
 use hic_noc::reference::{drive_schedule, uniform_schedule, ReferenceNetwork};
 use hic_noc::{Mesh, NetMetrics, Network, NocConfig, RecordMode};
+use hic_obs::trace::{Category, Tracer};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -113,6 +114,99 @@ pub fn measure(side: u16, cycles: u64, repeats: u32) -> NocPerfRun {
     }
 }
 
+/// One load point of the tracing-overhead measurement — the
+/// `BENCH_noc_trace.json` sidecar of `repro bench-noc`.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceOverheadPoint {
+    /// Offered load in flits/node/cycle.
+    pub offered: f64,
+    /// Simulated cycles per run.
+    pub cycles: u64,
+    /// The untraced fast path at this load (the `BENCH_noc.json`
+    /// number the same `repro bench-noc` invocation records).
+    pub baseline_cycles_per_sec: f64,
+    /// Recorder attached, all categories disabled — the one-branch path.
+    pub disabled_cycles_per_sec: f64,
+    /// NoC tracing enabled with 1-in-64 packet sampling.
+    pub sampled_cycles_per_sec: f64,
+    /// `disabled / baseline` — the acceptance bar is ≥ 0.95.
+    pub disabled_ratio: f64,
+    /// `sampled / baseline` — the acceptance bar is ≥ 0.85.
+    pub sampled_ratio: f64,
+    /// Events the sampled run captured (sanity: nonzero).
+    pub sampled_events: usize,
+    /// Events the sampled run's ring overwrote (ideally zero).
+    pub sampled_dropped: u64,
+}
+
+/// Measure the wall-clock cost of the flight recorder on the same
+/// traffic [`measure`] times: once with a recorder attached but every
+/// category disabled (the always-compiled-in price), once with NoC
+/// tracing enabled at 1-in-64 packet sampling. `baseline` is the
+/// [`measure`] result from the same invocation, so the ratios compare
+/// like with like on the same machine.
+pub fn measure_trace_overhead(
+    side: u16,
+    cycles: u64,
+    repeats: u32,
+    baseline: &[NocPerfPoint],
+) -> Vec<TraceOverheadPoint> {
+    assert!(repeats >= 1);
+    let mesh = Mesh::new(side, side);
+    let cfg = NocConfig::paper_default(mesh);
+    let mut out = Vec::new();
+    for base in baseline {
+        let offered = base.offered;
+        let seed = 0xB0C0 ^ (offered * 100.0) as u64;
+        let schedule = uniform_schedule(mesh, offered, 16, cfg.flit_payload, cycles, seed);
+
+        let mut disabled_best = f64::INFINITY;
+        let mut sampled_best = f64::INFINITY;
+        let mut sampled_events = 0usize;
+        let mut sampled_dropped = 0u64;
+        for _ in 0..repeats {
+            // Disabled: the recorder is attached so every site pays its
+            // branch, but no category records.
+            let tracer = Tracer::new(1 << 16);
+            let mut net = Network::new(cfg);
+            net.set_record_mode(RecordMode::Stats);
+            net.attach_tracer(&tracer);
+            let t = Instant::now();
+            drive_schedule(&mut net, &schedule, 16, cycles);
+            disabled_best = disabled_best.min(t.elapsed().as_secs_f64());
+
+            // Sampled: full packet lifecycle for 1 in 64 causal ids.
+            let tracer = Tracer::new(1 << 16);
+            tracer.set_enabled(Category::Noc, true);
+            tracer.set_sample(Category::Noc, 64);
+            let mut net = Network::new(cfg);
+            net.set_record_mode(RecordMode::Stats);
+            net.attach_tracer(&tracer);
+            let t = Instant::now();
+            drive_schedule(&mut net, &schedule, 16, cycles);
+            sampled_best = sampled_best.min(t.elapsed().as_secs_f64());
+            let trace = tracer.take();
+            sampled_events = trace.events.len();
+            sampled_dropped = trace.dropped;
+        }
+
+        let disabled_cps = cycles as f64 / disabled_best;
+        let sampled_cps = cycles as f64 / sampled_best;
+        out.push(TraceOverheadPoint {
+            offered,
+            cycles,
+            baseline_cycles_per_sec: base.fast_cycles_per_sec,
+            disabled_cycles_per_sec: disabled_cps,
+            sampled_cycles_per_sec: sampled_cps,
+            disabled_ratio: disabled_cps / base.fast_cycles_per_sec,
+            sampled_ratio: sampled_cps / base.fast_cycles_per_sec,
+            sampled_events,
+            sampled_dropped,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +229,27 @@ mod tests {
         }
         // Higher offered load must not move fewer flits.
         assert!(run.metrics[2].metrics.forwarded_flits >= run.metrics[0].metrics.forwarded_flits);
+    }
+
+    #[test]
+    fn trace_overhead_harness_reports_every_load_point() {
+        // Tiny run: harness correctness only — the 5%/15% acceptance
+        // bars are wall-clock claims asserted by `repro bench-noc`,
+        // where run sizes are large enough for stable timing.
+        let run = measure(4, 200, 1);
+        let overhead = measure_trace_overhead(4, 200, 1, &run.points);
+        assert_eq!(overhead.len(), 3);
+        for p in &overhead {
+            assert!(p.disabled_cycles_per_sec > 0.0);
+            assert!(p.sampled_cycles_per_sec > 0.0);
+            assert!(p.disabled_ratio > 0.0);
+            assert!(p.sampled_ratio > 0.0);
+            assert!(
+                p.sampled_events > 0,
+                "1-in-64 sampling must still capture packets at load {}",
+                p.offered
+            );
+            assert_eq!(p.sampled_dropped, 0, "ring must not overflow");
+        }
     }
 }

@@ -9,6 +9,7 @@
 use crate::arbiter::{Arbiter, RoundRobin};
 use crate::config::BusConfig;
 use hic_fabric::time::Time;
+use hic_obs::trace::{Category, Detail, Event, Phase, Recorder, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// One transfer request.
@@ -112,6 +113,17 @@ pub struct CycleBus<A = RoundRobin> {
     cfg: BusConfig,
     arbiter: A,
     metrics: BusMetrics,
+    /// Flight-recorder hook for grant/contention events (`None` unless
+    /// the `bus` trace category was enabled at construction or a tracer
+    /// was attached explicitly). Timestamps are nanoseconds, tracks are
+    /// bus masters, the causal id is the request index.
+    trace: Option<Recorder>,
+}
+
+fn auto_trace() -> Option<Recorder> {
+    hic_obs::trace::global()
+        .enabled(Category::Bus)
+        .then(hic_obs::trace::recorder)
 }
 
 impl CycleBus<RoundRobin> {
@@ -121,6 +133,7 @@ impl CycleBus<RoundRobin> {
             cfg,
             arbiter: RoundRobin::new(),
             metrics: BusMetrics::default(),
+            trace: auto_trace(),
         }
     }
 }
@@ -132,7 +145,14 @@ impl<A: Arbiter> CycleBus<A> {
             cfg,
             arbiter,
             metrics: BusMetrics::default(),
+            trace: auto_trace(),
         }
+    }
+
+    /// Route this bus's grant/contention events to `tracer` (for tests
+    /// and tools that keep a private tracer instead of the global one).
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.trace = Some(tracer.recorder());
     }
 
     /// The configuration.
@@ -213,6 +233,38 @@ impl<A: Arbiter> CycleBus<A> {
             self.metrics.wait_ps += wait.as_ps();
             if wait > Time::ZERO {
                 self.metrics.delayed_grants += 1;
+            }
+            if let Some(tr) = &self.trace {
+                if tr.enabled(Category::Bus) {
+                    // The contention window first (the time between ready
+                    // and grant), then the occupancy window. Both are
+                    // retrospective `Complete` slices on the master's
+                    // track, in nanoseconds.
+                    if wait > Time::ZERO {
+                        tr.record(Event {
+                            ts: req.ready.as_ps() / 1000,
+                            dur: wait.as_ps() / 1000,
+                            id: idx as u64,
+                            arg: req.bytes,
+                            name: "stall",
+                            detail: Detail::EMPTY,
+                            phase: Phase::Complete,
+                            cat: Category::Bus,
+                            tid: master as u32,
+                        });
+                    }
+                    tr.record(Event {
+                        ts: start.as_ps() / 1000,
+                        dur: dur.as_ps() / 1000,
+                        id: idx as u64,
+                        arg: req.bytes,
+                        name: "grant",
+                        detail: Detail::EMPTY,
+                        phase: Phase::Complete,
+                        cat: Category::Bus,
+                        tid: master as u32,
+                    });
+                }
             }
             grants.push(Grant {
                 request: idx,
@@ -356,6 +408,23 @@ mod tests {
         assert_eq!(m.grants, 2);
         assert_eq!(m.contended_rounds, 0);
         assert_eq!(m.delayed_grants, 0);
+    }
+
+    #[test]
+    fn attached_tracer_records_grant_and_stall_windows() {
+        let t = hic_obs::trace::Tracer::new(256);
+        t.set_enabled(Category::Bus, true);
+        let mut b = bus();
+        b.attach_tracer(&t);
+        b.run(&[Request::at_start(0, 128), Request::at_start(1, 128)]);
+        let tr = t.take();
+        let grants: Vec<_> = tr.events.iter().filter(|e| e.name == "grant").collect();
+        assert_eq!(grants.len(), 2);
+        assert_eq!(grants[0].dur, 200, "128 B = 20 cycles @ 10 ns");
+        let stalls: Vec<_> = tr.events.iter().filter(|e| e.name == "stall").collect();
+        assert_eq!(stalls.len(), 1, "only the losing master stalls");
+        assert_eq!(stalls[0].dur, 200, "it waits out the winner's grant");
+        assert_eq!(stalls[0].tid, 1);
     }
 
     #[test]

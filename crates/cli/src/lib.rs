@@ -54,6 +54,17 @@ impl CacheOpts {
     }
 }
 
+/// Which subsystems a `hic trace` run records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Everything: batch pipeline plus a direct NoC/bus replay.
+    All,
+    /// NoC packet flows, bus arbitration, design and co-simulation only.
+    Noc,
+    /// Batch pipeline jobs only.
+    Batch,
+}
+
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -127,6 +138,21 @@ pub enum Command {
         /// Emit the `hic-batch/v1` JSON document instead of the table.
         json: bool,
         /// Artifact cache settings.
+        cache: CacheOpts,
+    },
+    /// Record a causal event trace of the pipeline on a built-in app and
+    /// export it as Chrome trace-event JSON (`hic-trace/v1`).
+    Trace {
+        /// One of `canny`, `jpeg`, `klt`, `fluid`.
+        app: String,
+        /// Which subsystems to record.
+        mode: TraceMode,
+        /// Keep 1 in N NoC packet flows (default 1 = every packet).
+        sample: u32,
+        /// Output path for the JSON trace (`-` = stdout).
+        out: String,
+        /// Artifact cache settings (reads are always skipped so every
+        /// stage actually runs and emits events; results still publish).
         cache: CacheOpts,
     },
     /// Print usage.
@@ -359,6 +385,46 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 cache: cache_opts(args),
             })
         }
+        "trace" => {
+            let app = args
+                .get(1)
+                .filter(|a| !a.starts_with('-'))
+                .ok_or_else(|| CliError::Usage("trace needs an app name".into()))?
+                .clone();
+            if !stages::PAPER_APPS.contains(&app.as_str()) {
+                return Err(CliError::Usage(format!(
+                    "unknown app '{app}' (canny|jpeg|klt|fluid)"
+                )));
+            }
+            let noc = args.iter().any(|a| a == "--noc");
+            let batch = args.iter().any(|a| a == "--batch");
+            if noc && batch {
+                return Err(CliError::Usage(
+                    "--noc and --batch are mutually exclusive".into(),
+                ));
+            }
+            let mode = match (noc, batch) {
+                (true, _) => TraceMode::Noc,
+                (_, true) => TraceMode::Batch,
+                _ => TraceMode::All,
+            };
+            let sample = flag_value(args, "--sample")
+                .map(|v| {
+                    v.parse::<u32>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| CliError::Usage(format!("bad --sample '{v}'")))
+                })
+                .transpose()?
+                .unwrap_or(1);
+            Ok(Command::Trace {
+                app,
+                mode,
+                sample,
+                out: flag_value(args, "-o").unwrap_or("trace.json").to_string(),
+                cache: cache_opts(args),
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
@@ -377,11 +443,19 @@ USAGE:
   hic report   <canny|jpeg|klt|fluid> [--metrics] [--json]
   hic dse      <canny|jpeg|klt|fluid> [--json]
   hic batch    <app>... [--jobs N] [--json]
+  hic trace    <canny|jpeg|klt|fluid> [--noc|--batch] [--sample N] [-o FILE]
   hic help
 
 CACHE (design, profile, report, dse, batch):
   --cache-dir <dir>   artifact store root (default .hic-cache, or HIC_CACHE_DIR)
   --no-cache          skip cache reads; results are still published
+
+TRACE:
+  records a flight-recorder event trace (hic-trace/v1) and writes Chrome
+  trace-event JSON loadable in Perfetto / chrome://tracing ('-o -' =
+  stdout). --noc limits recording to NoC/bus/design/sim, --batch to the
+  batch pipeline; --sample N keeps 1 in N NoC packet flows. Cache reads
+  are skipped so every stage runs and emits events.
 "
 }
 
@@ -477,6 +551,101 @@ fn load_app(path: &str) -> Result<AppSpec, CliError> {
     app.validate()
         .map_err(|e| CliError::Usage(format!("invalid app spec: {e}")))?;
     Ok(app)
+}
+
+/// Run the workload a `hic trace` invocation records: the batch pipeline
+/// (unless `--noc`) and a direct profile → design → co-simulate → bus
+/// replay (unless `--batch`). Cache reads are always skipped so every
+/// stage computes and emits events; results are still published.
+fn run_trace_workload(
+    app: &str,
+    mode: TraceMode,
+    cache: &CacheOpts,
+    cfg: &DesignConfig,
+) -> Result<(), CliError> {
+    if mode != TraceMode::Noc {
+        let mut opts = hic_pipeline::BatchOptions::new(
+            vec![app.to_string()],
+            cache.dir.as_ref().map(std::path::PathBuf::from),
+        );
+        opts.read_cache = false;
+        hic_pipeline::run_batch(&opts)?;
+    }
+    if mode != TraceMode::Batch {
+        // Storeless direct run: the NoC packet flows come from the flit
+        // co-simulation, which needs a plan with a mesh — fall back to
+        // the noc-only variant when the hybrid is SM-only.
+        let p = stages::profile(None, false, app)?;
+        let plan = stages::design_variant(None, false, &p.spec, cfg, Variant::Hybrid)?;
+        let plan = if plan.noc.is_some() {
+            plan
+        } else {
+            stages::design_variant(None, false, &p.spec, cfg, Variant::NocOnly)?
+        };
+        let _ = stages::cosim(None, false, &plan)?;
+        // Bus contention replay, as in `hic report`: every kernel's host
+        // transfers through the cycle-level arbiter, all ready at zero.
+        let mut bus = hic_bus::CycleBus::new(cfg.bus);
+        let mut requests = Vec::new();
+        for k in p.spec.kernel_ids() {
+            let v = p.spec.volumes(k);
+            if v.host_in > 0 {
+                requests.push(hic_bus::Request::at_start(k.index(), v.host_in));
+            }
+            if v.host_out > 0 {
+                requests.push(hic_bus::Request::at_start(k.index(), v.host_out));
+            }
+        }
+        bus.run(&requests);
+    }
+    Ok(())
+}
+
+/// The text summary a `hic trace` run prints: the generic flow/slice
+/// ranking plus the batch critical path and the worst bus stalls.
+fn trace_summary(trace: &hic_obs::trace::Trace) -> String {
+    use hic_obs::trace::{self as tr, Category};
+    let mut out = tr::summarize(trace);
+    let spans = tr::pair_spans(&trace.events);
+    // Critical-path job chain: per pipeline stage, the span that finished
+    // last — the one every dependent job had to wait for.
+    let chain: Vec<_> = ["profile", "design", "cosim"]
+        .iter()
+        .filter_map(|stage| {
+            spans
+                .iter()
+                .filter(|s| s.cat == Category::Batch && s.name == *stage)
+                .max_by_key(|s| s.ts + s.dur)
+        })
+        .collect();
+    if !chain.is_empty() {
+        writeln!(out, "critical path (batch):").unwrap();
+        for s in &chain {
+            writeln!(
+                out,
+                "  {} {}: {} us (t={}..{}, lane {})",
+                s.name,
+                s.detail.as_str(),
+                s.dur,
+                s.ts,
+                s.ts + s.dur,
+                s.tid
+            )
+            .unwrap();
+        }
+    }
+    let mut stalls: Vec<_> = spans
+        .iter()
+        .filter(|s| s.cat == Category::Bus && s.name == "stall")
+        .collect();
+    stalls.sort_by_key(|s| std::cmp::Reverse(s.dur));
+    if !stalls.is_empty() {
+        writeln!(out, "longest bus stalls:").unwrap();
+        for s in stalls.iter().take(5) {
+            writeln!(out, "  master {}: {} ns at t={}", s.tid, s.dur, s.ts).unwrap();
+        }
+    }
+    out
 }
 
 /// Execute a command, returning the text to print.
@@ -705,6 +874,53 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 }
                 Ok(s)
             }
+        }
+        Command::Trace {
+            app,
+            mode,
+            sample,
+            out,
+            cache,
+        } => {
+            use hic_obs::trace::{self as tr, Category};
+            let tracer = tr::global();
+            let cats: &[Category] = match mode {
+                TraceMode::All => &Category::ALL,
+                TraceMode::Noc => &[
+                    Category::Noc,
+                    Category::Bus,
+                    Category::Design,
+                    Category::Sim,
+                ],
+                TraceMode::Batch => &[Category::Batch],
+            };
+            for &c in cats {
+                tracer.set_enabled(c, true);
+            }
+            tracer.set_sample(Category::Noc, sample);
+            let ran = run_trace_workload(&app, mode, &cache, &cfg);
+            // Always disable and drain, even when the workload failed —
+            // the global tracer must not leak into later commands.
+            for &c in cats {
+                tracer.set_enabled(c, false);
+            }
+            let trace = tracer.take();
+            ran?;
+            let json = tr::export_chrome_json(&trace);
+            if out == "-" {
+                return Ok(json);
+            }
+            std::fs::write(&out, &json)?;
+            let mut s = trace_summary(&trace);
+            writeln!(
+                s,
+                "wrote {} events ({} bytes) to {}",
+                trace.events.len(),
+                json.len(),
+                out
+            )
+            .unwrap();
+            Ok(s)
         }
     }
 }
@@ -952,6 +1168,50 @@ mod tests {
             parse(&argv("batch jpeg --jobs lots")),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parses_trace_with_flags_and_defaults() {
+        let cmd = parse(&argv("trace canny --noc --sample 64 -o /tmp/t.json")).unwrap();
+        match cmd {
+            Command::Trace {
+                app,
+                mode,
+                sample,
+                out,
+                ..
+            } => {
+                assert_eq!(app, "canny");
+                assert_eq!(mode, TraceMode::Noc);
+                assert_eq!(sample, 64);
+                assert_eq!(out, "/tmp/t.json");
+            }
+            other => panic!("expected Trace, got {other:?}"),
+        }
+        match parse(&argv("trace jpeg")).unwrap() {
+            Command::Trace {
+                mode, sample, out, ..
+            } => {
+                assert_eq!(mode, TraceMode::All);
+                assert_eq!(sample, 1);
+                assert_eq!(out, "trace.json");
+            }
+            other => panic!("expected Trace, got {other:?}"),
+        }
+        // Missing app, unknown app, conflicting modes, bad --sample: all
+        // command-line mistakes.
+        for bad in [
+            "trace",
+            "trace doom",
+            "trace canny --noc --batch",
+            "trace canny --sample 0",
+            "trace canny --sample lots",
+        ] {
+            assert!(
+                matches!(parse(&argv(bad)), Err(CliError::Usage(_))),
+                "'{bad}' must be a usage error"
+            );
+        }
     }
 
     #[test]

@@ -315,6 +315,16 @@ fn design_with(
     app.validate().expect("invalid AppSpec");
     let reg = hic_obs::global();
     reg.counter("design.runs").inc();
+    // Whole-run trace slice, recorded retrospectively on success so the
+    // error paths below never leave a span open.
+    use hic_obs::trace::{self, Category};
+    let trace_t0 = trace::enabled(Category::Design).then(trace::now_us);
+    let trace_done = |plan: InterconnectPlan| {
+        if let Some(t0) = trace_t0 {
+            trace::complete(Category::Design, "design", &plan.app.name, t0);
+        }
+        plan
+    };
     let base_kernels: Resources = app.kernels.iter().map(|k| k.resources).sum();
     let base_need = base_kernels + ComponentKind::Bus.cost();
     if !base_need.fits_in(cfg.resource_budget) {
@@ -325,7 +335,7 @@ fn design_with(
     }
 
     if variant == Variant::Baseline {
-        return Ok(baseline_plan(app, cfg));
+        return Ok(trace_done(baseline_plan(app, cfg)));
     }
 
     // --- Lines 2–6: duplication of qualifying kernels. ---
@@ -573,7 +583,7 @@ fn design_with(
         reg.counter("design.noc_routers").add(n.routers() as u64);
     }
 
-    Ok(InterconnectPlan {
+    Ok(trace_done(InterconnectPlan {
         variant,
         app,
         duplicated,
@@ -584,7 +594,7 @@ fn design_with(
         bus_fallback,
         knobs,
         config: *cfg,
-    })
+    }))
 }
 
 /// The baseline system: every kernel `{K1, M1}`, no custom interconnect.

@@ -58,6 +58,7 @@ use crate::flit::{Flit, FlitKind, Packet, PacketId};
 use crate::router::{OutputLock, WrrArbiter, PORTS};
 use crate::topology::{Coord, Direction, Mesh, Routing};
 use hic_fabric::time::Frequency;
+use hic_obs::trace::{Category, Detail, Event, Phase, Recorder, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -400,6 +401,11 @@ pub struct Network {
     /// Cycles each router sat on the active list without moving a flit
     /// (backpressure / lost arbitration / full downstream buffers).
     stall_cycles: Vec<u64>,
+    /// Flight-recorder hook for packet-lifecycle flow events (`None`
+    /// unless the `noc` trace category was enabled at construction or a
+    /// tracer was attached explicitly). Timestamps are NoC cycles,
+    /// tracks are router indices, the causal id is the packet id.
+    trace: Option<Recorder>,
 }
 
 impl Network {
@@ -456,7 +462,21 @@ impl Network {
             link_flits: vec![[0; PORTS]; cfg.mesh.len()],
             fifo_hwm: vec![[0; PORTS]; cfg.mesh.len()],
             stall_cycles: vec![0; cfg.mesh.len()],
+            // Auto-attach to the process-global tracer only when the
+            // category is already on (e.g. under `hic trace`), so the
+            // default cost is a `None` check per instrumented site.
+            trace: hic_obs::trace::global()
+                .enabled(Category::Noc)
+                .then(hic_obs::trace::recorder),
         }
+    }
+
+    /// Route this network's packet-lifecycle events to `tracer` (used by
+    /// tests and tools that keep a private tracer instead of the global
+    /// one). Recording still honours the tracer's enabled categories and
+    /// its `noc` sampling divisor.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.trace = Some(tracer.recorder());
     }
 
     /// Front flit of a FIFO the caller knows is non-empty (its `occ_mask`
@@ -573,6 +593,21 @@ impl Network {
                 injected: self.cycle,
             },
         );
+        if let Some(tr) = &self.trace {
+            if tr.sampled(Category::Noc, id.0) {
+                tr.record(Event {
+                    ts: self.cycle,
+                    dur: 0,
+                    id: id.0,
+                    arg: bytes,
+                    name: "packet",
+                    detail: Detail::EMPTY,
+                    phase: Phase::FlowBegin,
+                    cat: Category::Noc,
+                    tid: node as u32,
+                });
+            }
+        }
         self.activate(node);
         id
     }
@@ -585,6 +620,26 @@ impl Network {
     fn deliver(&mut self, id: PacketId, fin: InFlight) {
         let delivered = self.cycle + 1;
         let latency = delivered - fin.injected;
+        if let Some(tr) = &self.trace {
+            if tr.sampled(Category::Noc, id.0) {
+                // `end_ts - begin_ts` equals `latency` by construction:
+                // the begin event carries the injection cycle and the
+                // tail ejects at `cycle + 1` — exactly the stepper's own
+                // accounting above. The latency also rides along in
+                // `arg` so trace consumers need no subtraction.
+                tr.record(Event {
+                    ts: delivered,
+                    dur: 0,
+                    id: id.0,
+                    arg: latency,
+                    name: "packet",
+                    detail: Detail::EMPTY,
+                    phase: Phase::FlowEnd,
+                    cat: Category::Noc,
+                    tid: self.cfg.mesh.index(fin.dst) as u32,
+                });
+            }
+        }
         self.stats.record(latency, fin.bytes);
         if let Some(from) = self.window_from {
             if fin.injected >= from {
@@ -763,6 +818,17 @@ impl Network {
             }
         }
 
+        // Per-hop tracing decisions hoisted out of the apply loop: one
+        // bool when disabled, the sampling divisor once when enabled.
+        let trace_on = self
+            .trace
+            .as_ref()
+            .is_some_and(|tr| tr.enabled(Category::Noc));
+        let trace_sample = match (&self.trace, trace_on) {
+            (Some(tr), true) => tr.sample(Category::Noc),
+            _ => 1,
+        };
+
         // Apply, with retirement fused in: a router can only go idle by
         // moving its flits out, so only routers with moves need the idle
         // check. (A push from a later move re-activates its receiver, in
@@ -787,6 +853,25 @@ impl Network {
                         self.deliver(flit.packet, fin);
                     }
                 } else {
+                    // One flow step per link traversal of the *head*
+                    // flit: the packet's forwarding path without the
+                    // body-flit noise.
+                    if trace_on && flit.kind.is_head() && flit.packet.0.is_multiple_of(trace_sample)
+                    {
+                        if let Some(tr) = &self.trace {
+                            tr.record(Event {
+                                ts: self.cycle + 1,
+                                dur: 0,
+                                id: flit.packet.0,
+                                arg: output as u64,
+                                name: "hop",
+                                detail: Detail::EMPTY,
+                                phase: Phase::FlowStep,
+                                cat: Category::Noc,
+                                tid: i as u32,
+                            });
+                        }
+                    }
                     let n_idx = self.nbr[i][output] as usize;
                     self.fifo_push(n_idx, OPP[output], flit);
                     self.activate(n_idx);

@@ -27,12 +27,17 @@
 //! per event: they keep plain local counters and publish aggregates once
 //! per run. The registry is for cold-path accounting (design stages,
 //! profiler totals, co-sim run metrics) and for the final snapshot.
+//!
+//! For *event-level* observation — who talked to whom and when — see the
+//! [`trace`] module: a bounded flight recorder of typed events with a
+//! Chrome trace-event/Perfetto exporter (schema `hic-trace/v1`).
 
 #![warn(missing_docs)]
 
 mod metrics;
 mod registry;
 mod snapshot;
+pub mod trace;
 
 pub use metrics::{bucket_bounds, bucket_of, Counter, Gauge, Histogram, BUCKETS};
 pub use registry::{global, Registry, Span};

@@ -193,6 +193,29 @@ impl Histogram {
     pub fn bucket_counts(&self) -> [u64; BUCKETS] {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as an **upper-bound estimate**:
+    /// log2 buckets lose the position of a sample inside its bucket, so
+    /// this returns the upper bound of the bucket the quantile rank
+    /// falls in. The true quantile lies within a factor of 2 below the
+    /// returned value (exactly 0 for the zero bucket). Returns 0 when
+    /// the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        // Rank of the quantile sample, 1-based, clamped into [1, n].
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.bucket_counts().iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        bucket_bounds(BUCKETS - 1).1
+    }
 }
 
 #[cfg(test)]
@@ -271,5 +294,38 @@ mod tests {
         h.record_n(9, 0);
         assert_eq!(h.count(), 0);
         assert_eq!(h.bucket_counts().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn quantiles_return_bucket_upper_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        // 100 samples of value 3 (bucket [2,3]) and 1 of value 1000
+        // (bucket [512,1023]).
+        h.record_n(3, 100);
+        h.record(1000);
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(0.95), 3);
+        assert_eq!(h.quantile(0.99), 3, "rank 100 still in the low bucket");
+        assert_eq!(h.quantile(1.0), 1023, "max sample's bucket upper bound");
+    }
+
+    #[test]
+    fn quantile_is_an_upper_bound_on_the_exact_value() {
+        let h = Histogram::new();
+        let mut values: Vec<u64> = (0..200).map(|i| i * i % 977).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.95, 0.99] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let est = h.quantile(q);
+            assert!(est >= exact, "q={q}: {est} < exact {exact}");
+            // Log2 buckets: the estimate is < 2× the exact value
+            // (bucket upper bound vs anything in the same bucket).
+            assert!(exact == 0 || est < exact.saturating_mul(2), "q={q}");
+        }
     }
 }

@@ -13,6 +13,9 @@
 //!       "count": <u64>,            // samples recorded
 //!       "sum":   <u64>,            // saturating sum of sample values
 //!       "mean":  <f64>,
+//!       "p50":   <u64>,            // quantile upper-bound estimates
+//!       "p95":   <u64>,            //   (log2 bucket upper bounds; the
+//!       "p99":   <u64>,            //   true value is within 2× below)
 //!       "buckets": [ { "lo": <u64>, "hi": <u64>, "count": <u64> }, ... ]
 //!   }, ... }
 //! }
@@ -62,6 +65,12 @@ pub struct HistogramValue {
     pub sum: u64,
     /// Mean sample value (0 when empty).
     pub mean: f64,
+    /// Median upper-bound estimate (see [`Histogram::quantile`]).
+    pub p50: u64,
+    /// 95th-percentile upper-bound estimate.
+    pub p95: u64,
+    /// 99th-percentile upper-bound estimate.
+    pub p99: u64,
     /// The non-empty buckets, in value order.
     pub buckets: Vec<BucketValue>,
 }
@@ -85,6 +94,9 @@ impl HistogramValue {
             count: h.count(),
             sum: h.sum(),
             mean: h.mean(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
             buckets,
         }
     }
@@ -101,7 +113,7 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistogramValue>,
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -145,8 +157,8 @@ impl Snapshot {
             push_json_str(&mut out, name);
             write!(
                 out,
-                ": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"buckets\": [",
-                h.count, h.sum, h.mean
+                ": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
+                h.count, h.sum, h.mean, h.p50, h.p95, h.p99
             )
             .unwrap();
             for (j, b) in h.buckets.iter().enumerate() {
@@ -192,10 +204,11 @@ impl Snapshot {
             }
         }
         if !self.histograms.is_empty() {
+            // p50/p95/p99 are upper-bound estimates (log2 bucket tops).
             writeln!(
                 out,
-                "{:<name_w$} {:>12} {:>16} {:>16}",
-                "histogram", "count", "mean", "total"
+                "{:<name_w$} {:>12} {:>16} {:>16} {:>12} {:>12} {:>12}",
+                "histogram", "count", "mean", "total", "p50≤", "p95≤", "p99≤"
             )
             .unwrap();
             for (name, h) in &self.histograms {
@@ -203,18 +216,21 @@ impl Snapshot {
                     // Span timers: report in milliseconds.
                     writeln!(
                         out,
-                        "{:<name_w$} {:>12} {:>14.3}ms {:>14.3}ms",
+                        "{:<name_w$} {:>12} {:>14.3}ms {:>14.3}ms {:>10.3}ms {:>10.3}ms {:>10.3}ms",
                         name,
                         h.count,
                         h.mean / 1e6,
-                        h.sum as f64 / 1e6
+                        h.sum as f64 / 1e6,
+                        h.p50 as f64 / 1e6,
+                        h.p95 as f64 / 1e6,
+                        h.p99 as f64 / 1e6
                     )
                     .unwrap();
                 } else {
                     writeln!(
                         out,
-                        "{:<name_w$} {:>12} {:>16.2} {:>16}",
-                        name, h.count, h.mean, h.sum
+                        "{:<name_w$} {:>12} {:>16.2} {:>16} {:>12} {:>12} {:>12}",
+                        name, h.count, h.mean, h.sum, h.p50, h.p95, h.p99
                     )
                     .unwrap();
                 }
@@ -246,6 +262,9 @@ mod tests {
         assert!(j.contains("\"noc.flits\": 17"));
         assert!(j.contains("\"last\": 3"));
         assert!(j.contains("\"count\": 2"));
+        // Two samples of 5 → every quantile lands in bucket [4, 7].
+        assert!(j.contains("\"p50\": 7"), "{j}");
+        assert!(j.contains("\"p99\": 7"), "{j}");
     }
 
     #[test]

@@ -26,9 +26,10 @@
 //! not completion order — wins, again matching the sequential run.
 
 use crate::stages;
-use crate::store::{ArtifactStore, CacheStats, StoreConfig};
+use crate::store::{ArtifactStore, CacheStats, StoreConfig, DEFAULT_LOG_MAX_BYTES};
 use crate::PipelineError;
 use hic_core::{pareto_front, point_of, DesignConfig, DsePoint, InterconnectPlan};
+use hic_obs::trace::{self, Category};
 use hic_sim::CosimResult;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -137,6 +138,7 @@ pub fn run_batch(opts: &BatchOptions) -> Result<BatchOutcome, PipelineError> {
         Some(dir) => Some(ArtifactStore::open(StoreConfig {
             root: dir.clone(),
             max_bytes: opts.max_bytes,
+            log_max_bytes: DEFAULT_LOG_MAX_BYTES,
         })?),
         None => None,
     };
@@ -191,6 +193,30 @@ pub fn run_batch(opts: &BatchOptions) -> Result<BatchOutcome, PipelineError> {
         plan_of.insert(app.clone(), (profile, designs, cosim));
     }
 
+    // Trace labels per job: a static stage name (the slice name must not
+    // allocate per event) plus a precomputed "app" / "app#bits" detail.
+    let labels: Vec<(&'static str, String)> = nodes
+        .iter()
+        .map(|n| match &n.kind {
+            JobKind::Profile { app } => ("profile", app.clone()),
+            JobKind::Design { profile, bits } => {
+                let JobKind::Profile { app } = &nodes[*profile].kind else {
+                    unreachable!("design depends on a profile")
+                };
+                ("design", format!("{app}#{bits}"))
+            }
+            JobKind::Cosim { design } => {
+                let JobKind::Design { profile, .. } = &nodes[*design].kind else {
+                    unreachable!("cosim depends on a design")
+                };
+                let JobKind::Profile { app } = &nodes[*profile].kind else {
+                    unreachable!("design depends on a profile")
+                };
+                ("cosim", app.clone())
+            }
+        })
+        .collect();
+
     // --- Run the pool. ---
     let total = nodes.len();
     let workers = opts
@@ -218,6 +244,17 @@ pub fn run_batch(opts: &BatchOptions) -> Result<BatchOutcome, PipelineError> {
     let waiting: Vec<Mutex<usize>> = nodes.iter().map(|n| Mutex::new(n.waiting)).collect();
     let depth = hic_obs::global().gauge("pipeline.queue.depth");
     depth.set(state.lock().unwrap().ready.len() as u64);
+    if trace::enabled(Category::Batch) {
+        for &job in &state.lock().unwrap().ready {
+            let (stage, detail) = &labels[job];
+            trace::instant(
+                Category::Batch,
+                "job.ready",
+                &format!("{stage} {detail}"),
+                job as u64,
+            );
+        }
+    }
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -236,7 +273,12 @@ pub fn run_batch(opts: &BatchOptions) -> Result<BatchOutcome, PipelineError> {
                     }
                 };
 
+                // The slice runs on this worker's lane (its thread-local
+                // recorder), so the trace shows per-lane occupancy.
+                let (stage, detail) = &labels[job];
+                trace::begin(Category::Batch, stage, detail);
                 let out = execute(&nodes[job].kind, &results, store, read, &cfg);
+                trace::end(Category::Batch, stage);
 
                 *results[job].lock().unwrap() = Some(out);
                 let mut st = state.lock().unwrap();
@@ -247,6 +289,15 @@ pub fn run_batch(opts: &BatchOptions) -> Result<BatchOutcome, PipelineError> {
                     if *w == 0 {
                         st.ready.push_back(dep);
                         depth.inc();
+                        if trace::enabled(Category::Batch) {
+                            let (ds, dd) = &labels[dep];
+                            trace::instant(
+                                Category::Batch,
+                                "job.ready",
+                                &format!("{ds} {dd}"),
+                                dep as u64,
+                            );
+                        }
                     }
                 }
                 // Every finisher wakes the pool: dependents may be ready,

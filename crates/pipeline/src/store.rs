@@ -69,6 +69,11 @@ pub fn stage_key(stage: &str, inputs: &[StableHash]) -> StableHash {
     h.finish()
 }
 
+/// Default size cap for `access.log` before compaction (1 MiB ≈ 30k
+/// entries — far beyond any realistic working set, so compaction is a
+/// safety valve, not a steady-state cost).
+pub const DEFAULT_LOG_MAX_BYTES: u64 = 1 << 20;
+
 /// Store configuration.
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
@@ -76,6 +81,12 @@ pub struct StoreConfig {
     pub root: PathBuf,
     /// LRU eviction cap on total object bytes (`None` = unbounded).
     pub max_bytes: Option<u64>,
+    /// Size cap for the `access.log` recency journal: when an append
+    /// pushes the file past this many bytes it is compacted in place
+    /// (entries deduplicated keeping the most recent occurrence, then
+    /// oldest entries dropped to half the cap), so the log stays bounded
+    /// across arbitrarily many batch runs.
+    pub log_max_bytes: u64,
 }
 
 impl StoreConfig {
@@ -87,6 +98,7 @@ impl StoreConfig {
             max_bytes: std::env::var("HIC_CACHE_MAX_BYTES")
                 .ok()
                 .and_then(|v| v.parse().ok()),
+            log_max_bytes: DEFAULT_LOG_MAX_BYTES,
         }
     }
 }
@@ -144,6 +156,7 @@ struct Flight {
 pub struct ArtifactStore {
     root: PathBuf,
     max_bytes: Option<u64>,
+    log_max_bytes: u64,
     counters: Counters,
     inflight: Mutex<HashMap<u128, Arc<Flight>>>,
     log_lock: Mutex<()>,
@@ -163,6 +176,7 @@ impl ArtifactStore {
         Ok(ArtifactStore {
             root,
             max_bytes: cfg.max_bytes,
+            log_max_bytes: cfg.log_max_bytes.max(1),
             counters: Counters::default(),
             inflight: Mutex::new(HashMap::new()),
             log_lock: Mutex::new(()),
@@ -206,6 +220,12 @@ impl ArtifactStore {
     }
 
     fn count(&self, stage: &str, hit: bool) {
+        hic_obs::trace::instant(
+            hic_obs::trace::Category::Batch,
+            if hit { "cache.hit" } else { "cache.miss" },
+            stage,
+            0,
+        );
         let reg = hic_obs::global();
         let mut per_stage = self.counters.per_stage.lock().unwrap();
         let entry = per_stage.entry(stage.to_string()).or_insert((0, 0));
@@ -260,6 +280,10 @@ impl ArtifactStore {
         stage: &str,
         payload: &str,
     ) -> Result<(), PipelineError> {
+        use hic_obs::trace::{self, Category};
+        // A retrospective slice recorded only when the write succeeds, so
+        // the `?` exits below can never leave a span unbalanced.
+        let t0 = trace::enabled(Category::Batch).then(trace::now_us);
         let path = self.object_path(key);
         let dir = path.parent().expect("object path has a parent");
         fs::create_dir_all(dir)?;
@@ -280,6 +304,9 @@ impl ArtifactStore {
         fs::rename(&tmp, &path)?;
         self.touch(key);
         self.evict_to_cap();
+        if let Some(t0) = t0 {
+            trace::complete(Category::Batch, "publish", stage, t0);
+        }
         Ok(())
     }
 
@@ -375,12 +402,50 @@ impl ArtifactStore {
 
     fn touch(&self, key: StableHash) {
         let _guard = self.log_lock.lock().unwrap();
-        if let Ok(mut f) = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(self.root.join("access.log"))
-        {
+        let path = self.root.join("access.log");
+        if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(&path) {
             let _ = writeln!(f, "{}", key.to_hex());
+            if f.metadata().map(|m| m.len()).unwrap_or(0) > self.log_max_bytes {
+                drop(f);
+                self.compact_access_log(&path);
+            }
+        }
+    }
+
+    /// Rewrite `access.log` in place (caller holds `log_lock`): keep each
+    /// key's *last* occurrence only — which preserves exactly the relative
+    /// recency order [`ArtifactStore::evict_to_cap`] derives from the log —
+    /// then drop oldest entries until the file fits half the cap, so
+    /// appends have headroom before the next compaction. Published via
+    /// tmp-file + rename like objects: readers never see a torn log.
+    fn compact_access_log(&self, path: &Path) {
+        let Ok(text) = fs::read_to_string(path) else {
+            return;
+        };
+        let mut last: HashMap<&str, usize> = HashMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let t = line.trim();
+            if StableHash::from_hex(t).is_some() {
+                last.insert(t, i);
+            }
+        }
+        let mut keep: Vec<(usize, &str)> = last.into_iter().map(|(k, i)| (i, k)).collect();
+        keep.sort_unstable();
+        let target = (self.log_max_bytes / 2) as usize;
+        let mut size: usize = keep.iter().map(|(_, k)| k.len() + 1).sum();
+        let mut start = 0;
+        while size > target && start < keep.len() {
+            size -= keep[start].1.len() + 1;
+            start += 1;
+        }
+        let mut out = String::with_capacity(size);
+        for (_, k) in &keep[start..] {
+            out.push_str(k);
+            out.push('\n');
+        }
+        let tmp = path.with_extension("log.tmp");
+        if fs::write(&tmp, &out).is_ok() {
+            let _ = fs::rename(&tmp, path);
         }
     }
 
@@ -509,6 +574,7 @@ mod tests {
         ArtifactStore::open(StoreConfig {
             root: dir,
             max_bytes,
+            log_max_bytes: DEFAULT_LOG_MAX_BYTES,
         })
         .unwrap()
     }
@@ -572,6 +638,45 @@ mod tests {
             s.load(keys[3]).is_some(),
             "most recent object must survive LRU"
         );
+        let _ = fs::remove_dir_all(s.root());
+    }
+
+    #[test]
+    fn access_log_compacts_at_the_size_cap() {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "hic-store-logcap-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        // Cap of 10 lines (33 bytes each: 32 hex digits + newline).
+        let s = ArtifactStore::open(StoreConfig {
+            root: dir,
+            max_bytes: None,
+            log_max_bytes: 330,
+        })
+        .unwrap();
+        let a = stage_key("unit", &[stable_hash_bytes(b"a")]);
+        let b = stage_key("unit", &[stable_hash_bytes(b"b")]);
+        s.publish(a, "unit", "\"aaaa\"").unwrap();
+        s.publish(b, "unit", "\"bbbb\"").unwrap();
+        // Hammer the log far past the cap with alternating touches.
+        for _ in 0..50 {
+            assert!(s.load(a).is_some());
+            assert!(s.load(b).is_some());
+        }
+        let log_path = s.root().join("access.log");
+        let len = fs::metadata(&log_path).unwrap().len();
+        assert!(len <= 330, "log stayed bounded, got {len} bytes");
+        // Compaction keeps last occurrences in recency order: `b` was
+        // touched after `a` most recently.
+        let text = fs::read_to_string(&log_path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let pa = lines.iter().rposition(|&l| l == a.to_hex());
+        let pb = lines.iter().rposition(|&l| l == b.to_hex());
+        assert!(pa.is_some() && pb.is_some(), "both keys survive: {text}");
+        assert!(pb > pa, "most recent touch stays last");
         let _ = fs::remove_dir_all(s.root());
     }
 

@@ -24,6 +24,7 @@ fn open(tag: &str) -> ArtifactStore {
     ArtifactStore::open(StoreConfig {
         root: temp_root(tag),
         max_bytes: None,
+        log_max_bytes: hic_pipeline::store::DEFAULT_LOG_MAX_BYTES,
     })
     .unwrap()
 }

@@ -51,11 +51,16 @@ impl CosimResult {
 /// Co-simulate one run of a hybrid/NoC-only plan. Baseline plans have no
 /// NoC; they fall through to the transfer-level simulator.
 pub fn cosimulate(plan: &InterconnectPlan) -> CosimResult {
+    use hic_obs::trace::{self, Category};
     let reg = hic_obs::global();
     let _run = reg.span("cosim.run");
     reg.counter("cosim.runs").inc();
+    let trace_t0 = trace::enabled(Category::Sim).then(trace::now_us);
     let analytic = simulate(plan);
     let Some(noc) = &plan.noc else {
+        if let Some(t0) = trace_t0 {
+            trace::complete(Category::Sim, "cosim", &plan.app.name, t0);
+        }
         return CosimResult {
             kernel_time: analytic.kernel_time,
             app_time: analytic.app_time,
@@ -235,6 +240,9 @@ pub fn cosimulate(plan: &InterconnectPlan) -> CosimResult {
         .add(result.app_time.as_ps());
     reg.gauge("cosim.slowdown_vs_analytic_permille")
         .set((result.slowdown_vs_analytic() * 1000.0).round() as u64);
+    if let Some(t0) = trace_t0 {
+        trace::complete(Category::Sim, "cosim", &plan.app.name, t0);
+    }
     result
 }
 
