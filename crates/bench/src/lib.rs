@@ -14,3 +14,4 @@ pub mod experiments;
 pub mod nocperf;
 pub mod paper;
 pub mod pipelineperf;
+pub mod regress;

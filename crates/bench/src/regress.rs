@@ -1,0 +1,486 @@
+//! The `repro check` performance-regression sentinel.
+//!
+//! Three `BENCH_*.json` sidecars are committed to the repository
+//! (`repro bench-noc`, `repro bench-pipeline`), but until now nothing
+//! ever compared a fresh run against them — throughput could silently
+//! erode between PRs. `repro check` closes the loop: it re-runs the NoC
+//! and pipeline benchmarks a few times, takes the **median** of each
+//! metric, and compares against the committed baseline with a noise band
+//! derived from the run-to-run **MAD** (median absolute deviation —
+//! robust to the one slow outlier a shared CI machine always produces).
+//!
+//! # What gates and what doesn't
+//!
+//! Absolute throughput (cycles/second) is machine-dependent: the
+//! committed numbers came from whatever machine ran the benches last,
+//! and CI hardware differs. Gating on them would make `check` fail on
+//! every slower machine and pass vacuously on faster ones. So the gate
+//! runs on **machine-portable ratios** — fast-vs-reference NoC speedup
+//! per load point and warm-vs-cold pipeline speedup — where both sides
+//! of the division ran on the *same* machine in the *same* process.
+//! Absolute numbers are still printed as non-gating `info` rows.
+//!
+//! # The band
+//!
+//! ```text
+//! threshold = baseline − (baseline · rel_floor  +  z · 1.4826 · MAD)
+//! REGRESSED ⇔ median < threshold   (or median < abs_min, if set)
+//! ```
+//!
+//! `rel_floor` is the genuine-regression budget (how much ratio loss we
+//! tolerate across machines and allocator/layout noise), and the MAD
+//! term widens the band when *this* machine's runs are noisy — a noisy
+//! environment earns a wider band instead of a flaky verdict. `1.4826`
+//! scales MAD to the standard deviation of a normal distribution, so
+//! `z` reads like a z-score.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// MAD multiplier (in normal-equivalent standard deviations).
+pub const MAD_Z: f64 = 3.0;
+
+/// Median of `xs` (not-NaN). Returns 0.0 on empty input.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation of `xs` around `med`.
+pub fn mad(xs: &[f64], med: f64) -> f64 {
+    let devs: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median(&devs)
+}
+
+/// One metric the sentinel evaluates.
+#[derive(Debug, Clone)]
+pub struct GateSpec {
+    /// Row label, e.g. `noc.speedup@0.5`.
+    pub name: String,
+    /// The committed baseline value.
+    pub baseline: f64,
+    /// Relative loss budget: the band is at least `baseline·rel_floor`
+    /// wide. Ignored for non-gating rows.
+    pub rel_floor: f64,
+    /// Optional hard floor — regressed if the median falls below it no
+    /// matter what the band says.
+    pub abs_min: Option<f64>,
+    /// `false` = informational row (absolute throughput): printed,
+    /// never regressed.
+    pub gating: bool,
+}
+
+/// Verdict for one gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Gating metric at or above its threshold.
+    Pass,
+    /// Gating metric below its threshold (or hard floor).
+    Regressed,
+    /// Non-gating row, reported for the record.
+    Info,
+    /// No fresh samples were collected for this baseline metric.
+    Missing,
+}
+
+impl Verdict {
+    /// Fixed-width display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Pass => "ok",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Info => "info",
+            Verdict::Missing => "MISSING",
+        }
+    }
+}
+
+/// One evaluated row of the verdict table.
+#[derive(Debug, Clone)]
+pub struct GateResult {
+    /// Row label.
+    pub name: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Median of the fresh samples.
+    pub median: f64,
+    /// MAD of the fresh samples.
+    pub mad: f64,
+    /// Pass/fail cut-off (baseline minus the band); 0 for info rows.
+    pub threshold: f64,
+    /// Number of fresh samples.
+    pub samples: usize,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Evaluate one gate against its fresh samples (see the module docs for
+/// the band formula).
+pub fn evaluate(spec: &GateSpec, samples: &[f64]) -> GateResult {
+    let med = median(samples);
+    let m = mad(samples, med);
+    let band = spec.baseline * spec.rel_floor + MAD_Z * 1.4826 * m;
+    let threshold = spec.baseline - band;
+    let verdict = if samples.is_empty() {
+        Verdict::Missing
+    } else if !spec.gating {
+        Verdict::Info
+    } else if med < threshold || spec.abs_min.is_some_and(|floor| med < floor) {
+        Verdict::Regressed
+    } else {
+        Verdict::Pass
+    };
+    GateResult {
+        name: spec.name.clone(),
+        baseline: spec.baseline,
+        median: med,
+        mad: m,
+        threshold: if spec.gating { threshold } else { 0.0 },
+        samples: samples.len(),
+        verdict,
+    }
+}
+
+/// The committed baseline values `check` gates against.
+#[derive(Debug, Clone, Default)]
+pub struct Baselines {
+    /// `(offered load, fast-vs-reference speedup)` from `BENCH_noc.json`.
+    pub noc_speedups: Vec<(f64, f64)>,
+    /// `(offered load, fast cycles/sec)` — informational only.
+    pub noc_throughput: Vec<(f64, f64)>,
+    /// Warm-vs-cold speedup from `BENCH_pipeline.json`.
+    pub pipeline_speedup: f64,
+}
+
+/// Load the committed sidecars from `dir`. Missing or malformed files
+/// are an error — the sentinel must not silently pass with nothing to
+/// compare against.
+pub fn load_baselines(dir: &Path) -> Result<Baselines, String> {
+    let read = |name: &str| -> Result<serde_json::Value, String> {
+        let path = dir.join(name);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        serde_json::parse(&text).map_err(|e| format!("cannot parse {name}: {e:?}"))
+    };
+    let f64_of = |v: &serde_json::Value, key: &str, ctx: &str| -> Result<f64, String> {
+        v.get(key)
+            .and_then(|x| x.as_f64())
+            .ok_or_else(|| format!("{ctx}: missing numeric '{key}'"))
+    };
+
+    let noc = read("BENCH_noc.json")?;
+    let points = noc
+        .as_seq()
+        .ok_or_else(|| "BENCH_noc.json: expected an array of load points".to_string())?;
+    let mut noc_speedups = Vec::new();
+    let mut noc_throughput = Vec::new();
+    for p in points {
+        let offered = f64_of(p, "offered", "BENCH_noc.json point")?;
+        noc_speedups.push((offered, f64_of(p, "speedup", "BENCH_noc.json point")?));
+        noc_throughput.push((
+            offered,
+            f64_of(p, "fast_cycles_per_sec", "BENCH_noc.json point")?,
+        ));
+    }
+    if noc_speedups.is_empty() {
+        return Err("BENCH_noc.json: no load points".into());
+    }
+
+    let pipe = read("BENCH_pipeline.json")?;
+    let pipeline_speedup = f64_of(&pipe, "speedup", "BENCH_pipeline.json")?;
+
+    Ok(Baselines {
+        noc_speedups,
+        noc_throughput,
+        pipeline_speedup,
+    })
+}
+
+/// Fresh benchmark samples, keyed by gate name.
+pub type Samples = BTreeMap<String, Vec<f64>>;
+
+/// Gate label for a NoC load point.
+fn noc_key(offered: f64) -> String {
+    format!("noc.speedup@{offered:.1}")
+}
+
+fn noc_tput_key(offered: f64) -> String {
+    format!("noc.cycles_per_sec@{offered:.1}")
+}
+
+/// Re-run the benchmarks and collect per-gate samples. `quick` trades
+/// statistical depth for CI latency: fewer and shorter runs (the
+/// rel_floor part of the band carries the verdict when MAD has little
+/// data).
+pub fn collect_samples(quick: bool) -> Samples {
+    let (cycles, noc_runs, pipe_runs) = if quick { (6_000, 2, 1) } else { (20_000, 3, 2) };
+    let mut samples: Samples = BTreeMap::new();
+    for _ in 0..noc_runs {
+        let run = crate::nocperf::measure(8, cycles, 1);
+        for p in &run.points {
+            samples
+                .entry(noc_key(p.offered))
+                .or_default()
+                .push(p.speedup);
+            samples
+                .entry(noc_tput_key(p.offered))
+                .or_default()
+                .push(p.fast_cycles_per_sec);
+        }
+    }
+    for _ in 0..pipe_runs {
+        let p = crate::pipelineperf::measure(None, 1);
+        samples
+            .entry("pipeline.speedup".into())
+            .or_default()
+            .push(p.speedup);
+    }
+    samples
+}
+
+/// The gate table for a set of baselines. The loss budgets are wide on
+/// purpose: `check` is a sentinel for *structural* regressions (an
+/// accidentally quadratic path, a lock in the hot loop), not a
+/// micro-benchmark judge — debug-vs-release, CPU-governor and
+/// neighbouring-load effects must not page anyone.
+pub fn gate_specs(b: &Baselines) -> Vec<GateSpec> {
+    let mut specs = Vec::new();
+    for &(offered, speedup) in &b.noc_speedups {
+        specs.push(GateSpec {
+            name: noc_key(offered),
+            baseline: speedup,
+            // The fast path is ≥2.2x everywhere; losing a third of the
+            // ratio means the fast path itself decayed.
+            rel_floor: 0.35,
+            abs_min: Some(1.2),
+            gating: true,
+        });
+    }
+    for &(offered, cps) in &b.noc_throughput {
+        specs.push(GateSpec {
+            name: noc_tput_key(offered),
+            baseline: cps,
+            rel_floor: 0.0,
+            abs_min: None,
+            gating: false,
+        });
+    }
+    specs.push(GateSpec {
+        name: "pipeline.speedup".into(),
+        baseline: b.pipeline_speedup,
+        // Warm-vs-cold varies with disk cache state; the hard floor is
+        // the same ≥5x bar `repro bench-pipeline` asserts.
+        rel_floor: 0.75,
+        abs_min: Some(5.0),
+        gating: true,
+    });
+    specs
+}
+
+/// The sentinel's outcome: every row plus the overall verdict.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// One row per gate, in spec order.
+    pub rows: Vec<GateResult>,
+    /// True when any gating row regressed (or had no samples).
+    pub regressed: bool,
+}
+
+/// Evaluate `samples` against `baselines` — the pure core of `repro
+/// check`, separated from benchmark execution so the regression and
+/// pass paths are unit-testable with synthetic samples.
+pub fn check(baselines: &Baselines, samples: &Samples) -> CheckReport {
+    static EMPTY: Vec<f64> = Vec::new();
+    let rows: Vec<GateResult> = gate_specs(baselines)
+        .iter()
+        .map(|spec| evaluate(spec, samples.get(&spec.name).unwrap_or(&EMPTY)))
+        .collect();
+    let regressed = rows
+        .iter()
+        .any(|r| matches!(r.verdict, Verdict::Regressed | Verdict::Missing));
+    CheckReport { rows, regressed }
+}
+
+/// Render the verdict table.
+pub fn render(report: &CheckReport) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<26} {:>12} {:>12} {:>12} {:>8} {:>4}  verdict",
+        "metric", "baseline", "median", "threshold", "mad", "n"
+    )
+    .unwrap();
+    for r in &report.rows {
+        writeln!(
+            out,
+            "{:<26} {:>12.3} {:>12.3} {:>12.3} {:>8.3} {:>4}  {}",
+            r.name,
+            r.baseline,
+            r.median,
+            r.threshold,
+            r.mad,
+            r.samples,
+            r.verdict.label()
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "\noverall: {}",
+        if report.regressed {
+            "REGRESSED — at least one gating metric fell below its noise band"
+        } else {
+            "ok — all gating metrics within their noise bands"
+        }
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baselines() -> Baselines {
+        Baselines {
+            noc_speedups: vec![(0.1, 3.43), (0.5, 2.36), (0.9, 2.21)],
+            noc_throughput: vec![(0.1, 497_000.0), (0.5, 91_000.0), (0.9, 81_000.0)],
+            pipeline_speedup: 30.0,
+        }
+    }
+
+    fn healthy_samples(b: &Baselines) -> Samples {
+        let mut s = Samples::new();
+        for &(offered, speedup) in &b.noc_speedups {
+            // Honest run-to-run jitter around the baseline.
+            s.insert(
+                noc_key(offered),
+                vec![speedup * 0.97, speedup * 1.02, speedup * 0.99],
+            );
+            s.insert(noc_tput_key(offered), vec![1.0, 1.0, 1.0]);
+        }
+        s.insert("pipeline.speedup".into(), vec![28.0, 31.0]);
+        s
+    }
+
+    #[test]
+    fn median_and_mad_are_robust_to_one_outlier() {
+        let xs = [3.0, 3.1, 2.9, 0.5];
+        let med = median(&xs);
+        assert!((med - 2.95).abs() < 1e-9);
+        // One catastrophic outlier barely moves MAD.
+        assert!(mad(&xs, med) < 0.3, "{}", mad(&xs, med));
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn healthy_run_passes_every_gate() {
+        let b = baselines();
+        let report = check(&b, &healthy_samples(&b));
+        assert!(!report.regressed, "{}", render(&report));
+        assert!(report
+            .rows
+            .iter()
+            .filter(|r| r.name.starts_with("noc.speedup") || r.name == "pipeline.speedup")
+            .all(|r| r.verdict == Verdict::Pass));
+        // Absolute throughput rows never gate, however absurd.
+        assert!(report
+            .rows
+            .iter()
+            .filter(|r| r.name.starts_with("noc.cycles_per_sec"))
+            .all(|r| r.verdict == Verdict::Info));
+    }
+
+    #[test]
+    fn synthetically_degraded_run_regresses() {
+        let b = baselines();
+        let mut s = healthy_samples(&b);
+        // The fast path decayed to ~reference speed at every load.
+        for &(offered, _) in &b.noc_speedups {
+            s.insert(noc_key(offered), vec![1.02, 1.05, 0.98]);
+        }
+        let report = check(&b, &s);
+        assert!(report.regressed, "{}", render(&report));
+        let degraded: Vec<_> = report
+            .rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Regressed)
+            .map(|r| r.name.clone())
+            .collect();
+        assert_eq!(
+            degraded,
+            vec!["noc.speedup@0.1", "noc.speedup@0.5", "noc.speedup@0.9"]
+        );
+        assert!(render(&report).contains("REGRESSED"));
+    }
+
+    #[test]
+    fn degraded_pipeline_speedup_trips_the_hard_floor() {
+        let b = baselines();
+        let mut s = healthy_samples(&b);
+        // Below the 5x hard floor even though MAD noise is tiny.
+        s.insert("pipeline.speedup".into(), vec![3.9, 4.1]);
+        let report = check(&b, &s);
+        assert!(report.regressed);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.name == "pipeline.speedup")
+            .unwrap();
+        assert_eq!(row.verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn noisy_environment_widens_the_band_instead_of_flaking() {
+        // Median sits 30% below baseline — outside the plain rel_floor
+        // band (threshold = 2.0·0.65 = 1.3 < 1.4? no: 1.4 > 1.3 passes
+        // anyway)… so use 40% below, which fails with zero MAD but must
+        // pass once run-to-run scatter widens the band.
+        let spec = GateSpec {
+            name: "x".into(),
+            baseline: 2.0,
+            rel_floor: 0.35,
+            abs_min: None,
+            gating: true,
+        };
+        let calm = evaluate(&spec, &[1.2, 1.2, 1.2]);
+        assert_eq!(calm.verdict, Verdict::Regressed);
+        let noisy = evaluate(&spec, &[1.2, 0.6, 2.4]);
+        assert_eq!(
+            noisy.verdict,
+            Verdict::Pass,
+            "threshold {} vs median {}",
+            noisy.threshold,
+            noisy.median
+        );
+    }
+
+    #[test]
+    fn missing_samples_fail_loudly() {
+        let b = baselines();
+        let report = check(&b, &Samples::new());
+        assert!(report.regressed);
+        assert!(report.rows.iter().all(|r| r.verdict == Verdict::Missing));
+    }
+
+    #[test]
+    fn committed_sidecars_load_as_baselines() {
+        // The real committed files at the repository root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let b = load_baselines(&root).expect("committed sidecars parse");
+        assert_eq!(b.noc_speedups.len(), 3);
+        assert!(b.noc_speedups.iter().all(|&(_, s)| s > 1.0));
+        assert!(b.pipeline_speedup > 5.0);
+    }
+}

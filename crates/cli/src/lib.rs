@@ -23,6 +23,8 @@
 
 #![warn(missing_docs)]
 
+pub mod top;
+
 use hic_core::{design, pareto_front, DesignConfig, InterconnectPlan, Variant};
 use hic_fabric::synthetic::{generate, Shape, SyntheticSpec};
 use hic_fabric::AppSpec;
@@ -137,8 +139,34 @@ pub enum Command {
         jobs: Option<usize>,
         /// Emit the `hic-batch/v1` JSON document instead of the table.
         json: bool,
+        /// Serve live Prometheus exposition at `127.0.0.1:<port>/metrics`
+        /// while the batch runs (with a background sampler attached).
+        serve_metrics: Option<u16>,
+        /// Keep serving this long after the batch completes, so scrapers
+        /// can catch the final state of a short run.
+        linger_ms: u64,
         /// Artifact cache settings.
         cache: CacheOpts,
+    },
+    /// Run a batch with a live terminal dashboard (sparklines of queue
+    /// depth, busy lanes, cache hit-rate, NoC flit rate) on stderr.
+    Top {
+        /// Apps to compile, in report order.
+        apps: Vec<String>,
+        /// Worker threads (`None` = available parallelism).
+        jobs: Option<usize>,
+        /// Sampler/redraw interval in milliseconds.
+        interval_ms: u64,
+        /// Artifact cache settings.
+        cache: CacheOpts,
+    },
+    /// Serve the process-global registry as Prometheus exposition — the
+    /// ad-hoc scrape target (`--for-ms` bounds the serve for scripts).
+    ServeMetrics {
+        /// Port to bind on 127.0.0.1.
+        port: u16,
+        /// Stop after this many milliseconds (`None` = until killed).
+        for_ms: Option<u64>,
     },
     /// Record a causal event trace of the pipeline on a built-in app and
     /// export it as Chrome trace-event JSON (`hic-trace/v1`).
@@ -219,6 +247,25 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Parse `flag`'s value as a positive integer (≥ 1), keeping the exit-2
+/// usage convention: absent → `Ok(None)`, unparsable or zero → a
+/// [`CliError::Usage`] naming the flag and the offending value.
+fn positive_flag<T>(args: &[String], flag: &str) -> Result<Option<T>, CliError>
+where
+    T: std::str::FromStr + PartialOrd + From<u8>,
+{
+    flag_value(args, flag)
+        .map(|v| {
+            v.parse::<T>()
+                .ok()
+                .filter(|n| *n >= T::from(1u8))
+                .ok_or_else(|| {
+                    CliError::Usage(format!("bad {flag} '{v}' (need a positive integer)"))
+                })
+        })
+        .transpose()
 }
 
 /// Resolve cache settings from flags and environment: `--cache-dir`
@@ -382,9 +429,46 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 apps,
                 jobs,
                 json: args.iter().any(|a| a == "--json"),
+                serve_metrics: positive_flag::<u16>(args, "--serve-metrics")?,
+                linger_ms: positive_flag::<u64>(args, "--linger-ms")?.unwrap_or(0),
                 cache: cache_opts(args),
             })
         }
+        "top" => {
+            let apps: Vec<String> = args[1..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .cloned()
+                .collect();
+            if apps.is_empty() {
+                return Err(CliError::Usage("top needs at least one app name".into()));
+            }
+            for app in &apps {
+                if !stages::PAPER_APPS.contains(&app.as_str()) {
+                    return Err(CliError::Usage(format!(
+                        "unknown app '{app}' (canny|jpeg|klt|fluid)"
+                    )));
+                }
+            }
+            let jobs = flag_value(args, "--jobs")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| CliError::Usage(format!("bad --jobs '{v}'")))
+                })
+                .transpose()?;
+            Ok(Command::Top {
+                apps,
+                jobs,
+                interval_ms: positive_flag::<u64>(args, "--interval-ms")?.unwrap_or(100),
+                cache: cache_opts(args),
+            })
+        }
+        "serve-metrics" => Ok(Command::ServeMetrics {
+            port: positive_flag::<u16>(args, "--port")?.unwrap_or(9184),
+            for_ms: positive_flag::<u64>(args, "--for-ms")?,
+        }),
         "trace" => {
             let app = args
                 .get(1)
@@ -442,7 +526,9 @@ USAGE:
   hic profile  <canny|jpeg|klt|fluid>
   hic report   <canny|jpeg|klt|fluid> [--metrics] [--json]
   hic dse      <canny|jpeg|klt|fluid> [--json]
-  hic batch    <app>... [--jobs N] [--json]
+  hic batch    <app>... [--jobs N] [--json] [--serve-metrics PORT] [--linger-ms MS]
+  hic top      <app>... [--jobs N] [--interval-ms MS]
+  hic serve-metrics [--port PORT] [--for-ms MS]
   hic trace    <canny|jpeg|klt|fluid> [--noc|--batch] [--sample N] [-o FILE]
   hic help
 
@@ -456,6 +542,14 @@ TRACE:
   stdout). --noc limits recording to NoC/bus/design/sim, --batch to the
   batch pipeline; --sample N keeps 1 in N NoC packet flows. Cache reads
   are skipped so every stage runs and emits events.
+
+TELEMETRY:
+  batch --serve-metrics PORT serves Prometheus text exposition at
+  http://127.0.0.1:PORT/metrics while the batch runs (--linger-ms keeps
+  it up after completion so scrapers catch short runs). top renders a
+  live sparkline dashboard on stderr while the batch executes.
+  serve-metrics is the ad-hoc scrape target (default port 9184; --for-ms
+  bounds it for scripts).
 "
 }
 
@@ -648,6 +742,42 @@ fn trace_summary(trace: &hic_obs::trace::Trace) -> String {
     out
 }
 
+/// The human-readable `hic batch` / `hic top` result table.
+fn batch_table(out: &hic_pipeline::BatchOutcome) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "batch: {} apps, {} jobs on {} workers ({} hits / {} misses)",
+        out.apps.len(),
+        out.jobs_run,
+        out.workers,
+        out.stats.hits,
+        out.stats.misses
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<8} {:>8} {:>16} {:>16} {:>10} {:>10}  solution",
+        "app", "kernels", "cosim kernels", "cosim app", "vs sw", "vs base"
+    )
+    .unwrap();
+    for a in &out.apps {
+        writeln!(
+            s,
+            "{:<8} {:>8} {:>16} {:>16} {:>9.2}x {:>9.2}x  {}",
+            a.app,
+            a.kernels,
+            a.cosim_kernel_cycles,
+            a.cosim_app_cycles,
+            a.speedup_vs_sw,
+            a.speedup_vs_baseline,
+            a.solution
+        )
+        .unwrap();
+    }
+    s
+}
+
 /// Execute a command, returning the text to print.
 pub fn run(cmd: Command) -> Result<String, CliError> {
     let cfg = DesignConfig::default();
@@ -829,6 +959,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             apps,
             jobs,
             json,
+            serve_metrics,
+            linger_ms,
             cache,
         } => {
             let mut opts = hic_pipeline::BatchOptions::new(
@@ -837,43 +969,78 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             );
             opts.jobs = jobs;
             opts.read_cache = cache.read;
-            let out = hic_pipeline::run_batch(&opts)?;
+            // Telemetry wrapper: sampler + /metrics endpoint for the
+            // duration of the run (plus the linger window). The banner
+            // goes to stderr so `--json` stdout stays machine-clean.
+            let mut telemetry = serve_metrics
+                .map(|port| -> Result<_, CliError> {
+                    let reg = hic_obs::global().clone();
+                    let store = hic_obs::timeseries::SeriesStore::new(
+                        hic_obs::timeseries::DEFAULT_SERIES_CAPACITY,
+                    );
+                    let sampler = hic_obs::Sampler::start(
+                        reg.clone(),
+                        store.clone(),
+                        std::time::Duration::from_millis(100),
+                    );
+                    let srv = hic_obs::MetricsServer::start(reg, Some(store), port)?;
+                    eprintln!("serving metrics at http://127.0.0.1:{}/metrics", srv.port());
+                    Ok((sampler, srv))
+                })
+                .transpose()?;
+            let out = hic_pipeline::run_batch(&opts);
+            if let Some((sampler, srv)) = &mut telemetry {
+                if linger_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(linger_ms));
+                }
+                sampler.stop();
+                srv.stop();
+            }
+            let out = out?;
             if json {
                 Ok(hic_pipeline::batch::outcome_json(&out))
             } else {
-                let mut s = String::new();
-                writeln!(
-                    s,
-                    "batch: {} apps, {} jobs on {} workers ({} hits / {} misses)",
-                    out.apps.len(),
-                    out.jobs_run,
-                    out.workers,
-                    out.stats.hits,
-                    out.stats.misses
-                )
-                .unwrap();
-                writeln!(
-                    s,
-                    "{:<8} {:>8} {:>16} {:>16} {:>10} {:>10}  solution",
-                    "app", "kernels", "cosim kernels", "cosim app", "vs sw", "vs base"
-                )
-                .unwrap();
-                for a in &out.apps {
-                    writeln!(
-                        s,
-                        "{:<8} {:>8} {:>16} {:>16} {:>9.2}x {:>9.2}x  {}",
-                        a.app,
-                        a.kernels,
-                        a.cosim_kernel_cycles,
-                        a.cosim_app_cycles,
-                        a.speedup_vs_sw,
-                        a.speedup_vs_baseline,
-                        a.solution
-                    )
-                    .unwrap();
-                }
-                Ok(s)
+                Ok(batch_table(&out))
             }
+        }
+        Command::Top {
+            apps,
+            jobs,
+            interval_ms,
+            cache,
+        } => {
+            let mut opts = hic_pipeline::BatchOptions::new(
+                apps,
+                cache.dir.as_ref().map(std::path::PathBuf::from),
+            );
+            opts.jobs = jobs;
+            opts.read_cache = cache.read;
+            let out = top::run(&opts, interval_ms)?;
+            Ok(batch_table(&out))
+        }
+        Command::ServeMetrics { port, for_ms } => {
+            let reg = hic_obs::global().clone();
+            let store =
+                hic_obs::timeseries::SeriesStore::new(hic_obs::timeseries::DEFAULT_SERIES_CAPACITY);
+            let mut sampler = hic_obs::Sampler::start(
+                reg.clone(),
+                store.clone(),
+                std::time::Duration::from_millis(100),
+            );
+            let mut srv = hic_obs::MetricsServer::start(reg, Some(store), port)?;
+            eprintln!("serving metrics at http://127.0.0.1:{}/metrics", srv.port());
+            match for_ms {
+                Some(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+                None => loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                },
+            }
+            sampler.stop();
+            srv.stop();
+            Ok(format!(
+                "served /metrics on port {port} for {}ms\n",
+                for_ms.unwrap_or(0)
+            ))
         }
         Command::Trace {
             app,

@@ -1,0 +1,253 @@
+//! The live `hic top` terminal dashboard.
+//!
+//! `hic top <app>...` runs the same batch DAG as `hic batch`, but with
+//! the continuous-telemetry sampler attached: a background
+//! [`hic_obs::Sampler`] snapshots the global registry into ring-buffer
+//! series while the pool executes, and this module renders those series
+//! as refreshing ANSI sparklines on stderr — queue depth, busy worker
+//! lanes, cache hit-rate, live NoC flit rate and job completions. Plain
+//! ANSI only (cursor-up + erase-line), no terminal library.
+//!
+//! Rendering is split from the refresh loop so the frame content is
+//! unit-testable: [`render_frame`] is a pure function of a
+//! [`SeriesStore`], and the loop in [`run`] only decides when to redraw.
+
+use hic_obs::timeseries::{SeriesStore, DEFAULT_SERIES_CAPACITY};
+use hic_obs::Sampler;
+use std::time::Duration;
+
+/// Eight-level block characters, lowest to highest.
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Sparkline width in points.
+const SPARK_WIDTH: usize = 32;
+
+/// Scale the last `width` values into the eight block characters. A flat
+/// series renders as a run of the lowest bar (so "no traffic" and "steady
+/// traffic" still look different via the `now` column, not the shape).
+pub fn sparkline(vals: &[f64], width: usize) -> String {
+    let tail = &vals[vals.len().saturating_sub(width)..];
+    if tail.is_empty() {
+        return String::new();
+    }
+    let lo = tail.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = tail.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    tail.iter()
+        .map(|&v| {
+            let idx = if span > 0.0 {
+                (((v - lo) / span) * 7.0).round() as usize
+            } else {
+                0
+            };
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Last-value history of one series, newest last (the sparkline input).
+fn history(store: &SeriesStore, name: &str) -> Vec<f64> {
+    store
+        .get(name)
+        .map(|s| s.points().map(|p| p.last).collect())
+        .unwrap_or_default()
+}
+
+fn last(store: &SeriesStore, name: &str) -> Option<f64> {
+    store.get(name).and_then(|s| s.last())
+}
+
+/// One dashboard row: label, sparkline, current-value text.
+fn row(out: &mut String, label: &str, vals: &[f64], now: &str) {
+    use std::fmt::Write as _;
+    writeln!(
+        out,
+        "  {label:<18} {:<width$}  {now}",
+        sparkline(vals, SPARK_WIDTH),
+        width = SPARK_WIDTH
+    )
+    .unwrap();
+}
+
+/// Render one dashboard frame from the sampler's series. Pure — the
+/// refresh loop and the tests share it. `total_jobs` caps the completion
+/// row when the DAG size is known.
+pub fn render_frame(store: &SeriesStore, total_jobs: Option<u64>) -> String {
+    let mut out = String::new();
+    let depth = history(store, "pipeline.queue.depth");
+    let busy = history(store, "pipeline.workers.busy");
+    let lanes = last(store, "pipeline.workers.total").unwrap_or(0.0) as u64;
+    let flits = history(store, "noc.live.flits_per_kcycle");
+    let hits = last(store, "pipeline.store.hits").unwrap_or(0.0);
+    let misses = last(store, "pipeline.store.misses").unwrap_or(0.0);
+    let hit_rate: Vec<f64> = {
+        // Pointwise hit ratio over time, from the two counter series.
+        let h = history(store, "pipeline.store.hits");
+        let m = history(store, "pipeline.store.misses");
+        h.iter()
+            .zip(m.iter().chain(std::iter::repeat(&0.0)))
+            .map(|(&h, &m)| if h + m > 0.0 { h / (h + m) } else { 0.0 })
+            .collect()
+    };
+    let done = last(store, "pipeline.jobs.completed").unwrap_or(0.0) as u64;
+    let jobs_rate = store.rate_per_sec("pipeline.jobs.completed", 5_000);
+
+    row(
+        &mut out,
+        "queue depth",
+        &depth,
+        &format!("now {}", depth.last().copied().unwrap_or(0.0) as u64),
+    );
+    row(
+        &mut out,
+        "workers busy",
+        &busy,
+        &format!(
+            "now {}/{}",
+            busy.last().copied().unwrap_or(0.0) as u64,
+            lanes
+        ),
+    );
+    row(
+        &mut out,
+        "cache hit-rate",
+        &hit_rate,
+        &format!(
+            "now {:.0}% ({} hits / {} misses)",
+            hit_rate.last().copied().unwrap_or(0.0) * 100.0,
+            hits as u64,
+            misses as u64
+        ),
+    );
+    row(
+        &mut out,
+        "noc flits/kcycle",
+        &flits,
+        &format!("now {}", flits.last().copied().unwrap_or(0.0) as u64),
+    );
+    let jobs_now = match (total_jobs, jobs_rate) {
+        (Some(t), Some(r)) => format!("done {done}/{t} ({r:.1} jobs/s)"),
+        (Some(t), None) => format!("done {done}/{t}"),
+        (None, Some(r)) => format!("done {done} ({r:.1} jobs/s)"),
+        (None, None) => format!("done {done}"),
+    };
+    row(
+        &mut out,
+        "jobs completed",
+        &history(store, "pipeline.jobs.completed"),
+        &jobs_now,
+    );
+    out
+}
+
+/// Number of lines [`render_frame`] emits (for the cursor-up redraw).
+const FRAME_LINES: usize = 5;
+
+/// Run the batch with a live dashboard on stderr: start a sampler at
+/// `interval`, execute the DAG on a helper thread, and redraw the frame
+/// until the run completes. Returns the batch outcome; the caller
+/// renders the final table. One frame is always drawn, and the final
+/// frame reflects the sampler's stop-time sample, so short cached runs
+/// still show their end state.
+pub fn run(
+    opts: &hic_pipeline::BatchOptions,
+    interval_ms: u64,
+) -> Result<hic_pipeline::BatchOutcome, hic_pipeline::PipelineError> {
+    let reg = hic_obs::global().clone();
+    let store = SeriesStore::new(DEFAULT_SERIES_CAPACITY);
+    let mut sampler = Sampler::start(
+        reg,
+        store.clone(),
+        Duration::from_millis(interval_ms.max(1)),
+    );
+    let total_jobs = Some((opts.apps.len() as u64) * 18);
+    let interval = Duration::from_millis(interval_ms.max(1));
+
+    let result = std::thread::scope(|scope| {
+        let worker = scope.spawn(|| hic_pipeline::run_batch(opts));
+        let mut first = true;
+        loop {
+            let finished = worker.is_finished();
+            let frame = render_frame(&store, total_jobs);
+            if first {
+                eprintln!(
+                    "hic top — {} app(s), sampling every {interval_ms} ms",
+                    opts.apps.len()
+                );
+                first = false;
+            } else {
+                // Cursor up over the previous frame; each row rewrites
+                // its line fully via erase-to-end.
+                eprint!("\x1b[{FRAME_LINES}A");
+            }
+            for line in frame.lines() {
+                eprintln!("{line}\x1b[K");
+            }
+            if finished {
+                break;
+            }
+            std::thread::sleep(interval);
+        }
+        worker.join().expect("batch worker panicked")
+    });
+    sampler.stop();
+    // Redraw once from the final stop-time sample so the dashboard's
+    // last frame matches the run's end state.
+    eprint!("\x1b[{FRAME_LINES}A");
+    for line in render_frame(&store, total_jobs).lines() {
+        eprintln!("{line}\x1b[K");
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_the_window() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 8);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+        // Flat series: all lowest bar.
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0], 8), "▁▁▁");
+        // Window keeps only the tail.
+        assert_eq!(sparkline(&[100.0, 0.0, 7.0], 2).chars().count(), 2);
+        assert_eq!(sparkline(&[], 8), "");
+    }
+
+    #[test]
+    fn frame_renders_all_rows_from_a_store() {
+        let store = SeriesStore::new(64);
+        for (i, t) in (0..10u64).map(|i| (i, i * 100)) {
+            store.record_at("pipeline.queue.depth", t, (10 - i) as f64);
+            store.record_at("pipeline.workers.busy", t, 4.0);
+            store.record_at("pipeline.workers.total", t, 4.0);
+            store.record_at("pipeline.store.hits", t, (i * 3) as f64);
+            store.record_at("pipeline.store.misses", t, i as f64);
+            store.record_at("noc.live.flits_per_kcycle", t, (i * 50) as f64);
+            store.record_at("pipeline.jobs.completed", t, i as f64);
+        }
+        let frame = render_frame(&store, Some(18));
+        assert_eq!(frame.lines().count(), FRAME_LINES);
+        assert!(frame.contains("queue depth"), "{frame}");
+        assert!(frame.contains("workers busy"), "{frame}");
+        assert!(frame.contains("now 4/4"), "{frame}");
+        assert!(frame.contains("cache hit-rate"), "{frame}");
+        assert!(frame.contains("75%"), "{frame}");
+        assert!(frame.contains("noc flits/kcycle"), "{frame}");
+        assert!(frame.contains("done 9/18"), "{frame}");
+        // Sparklines actually vary for the varying series.
+        let depth_line = frame.lines().next().unwrap();
+        assert!(
+            depth_line.contains('█') && depth_line.contains('▁'),
+            "{depth_line}"
+        );
+    }
+
+    #[test]
+    fn frame_tolerates_an_empty_store() {
+        let frame = render_frame(&SeriesStore::new(16), None);
+        assert_eq!(frame.lines().count(), FRAME_LINES);
+        assert!(frame.contains("done 0"), "{frame}");
+    }
+}

@@ -406,6 +406,25 @@ pub struct Network {
     /// tracer was attached explicitly). Timestamps are NoC cycles,
     /// tracks are router indices, the causal id is the packet id.
     trace: Option<Recorder>,
+    /// Periodic live-metric publication hook (`None` by default — the
+    /// hot loop pays one `Option` check per step). See
+    /// [`Network::attach_pulse`].
+    pulse: Option<Box<Pulse>>,
+}
+
+/// State for [`Network::attach_pulse`]: pre-resolved gauge handles plus
+/// the totals at the previous firing, so each pulse publishes a *window*
+/// reading (flits per kilocycle over the last `every` cycles) instead of
+/// a lifetime average that flattens out over long runs.
+#[derive(Debug)]
+struct Pulse {
+    every: u64,
+    next: u64,
+    last_flits: u64,
+    last_cycle: u64,
+    flits_per_kcycle: std::sync::Arc<hic_obs::Gauge>,
+    active_routers: std::sync::Arc<hic_obs::Gauge>,
+    inflight_packets: std::sync::Arc<hic_obs::Gauge>,
 }
 
 impl Network {
@@ -468,7 +487,62 @@ impl Network {
             trace: hic_obs::trace::global()
                 .enabled(Category::Noc)
                 .then(hic_obs::trace::recorder),
+            pulse: None,
         }
+    }
+
+    /// Publish live gauges into `reg` every `every` cycles while the
+    /// network steps: `<prefix>.live.flits_per_kcycle` (flits forwarded
+    /// per 1000 cycles over the last window), `<prefix>.live.active_routers`
+    /// and `<prefix>.live.inflight_packets`. This is the mid-run feed for
+    /// the continuous-telemetry sampler (`hic top`, `/metrics`) — the
+    /// end-of-run [`Network::publish_metrics`] totals are unaffected.
+    /// Costs one branch per [`Network::step`] plus an O(routers) sweep
+    /// once per window.
+    pub fn attach_pulse(&mut self, reg: &hic_obs::Registry, prefix: &str, every: u64) {
+        let every = every.max(1);
+        self.pulse = Some(Box::new(Pulse {
+            every,
+            next: self.cycle + every,
+            last_flits: self.forwarded_flits_total(),
+            last_cycle: self.cycle,
+            flits_per_kcycle: reg.gauge(&format!("{prefix}.live.flits_per_kcycle")),
+            active_routers: reg.gauge(&format!("{prefix}.live.active_routers")),
+            inflight_packets: reg.gauge(&format!("{prefix}.live.inflight_packets")),
+        }));
+    }
+
+    /// Lifetime forwarded-flit total (non-Local link traversals).
+    fn forwarded_flits_total(&self) -> u64 {
+        let local = Direction::Local.index();
+        let mut total = 0;
+        for per_router in &self.link_flits {
+            for (p, &flits) in per_router.iter().enumerate() {
+                if p != local {
+                    total += flits;
+                }
+            }
+        }
+        total
+    }
+
+    /// Cold path of the pulse hook: publish the window's live gauges and
+    /// schedule the next firing.
+    #[cold]
+    fn pulse_fire(&mut self) {
+        let flits = self.forwarded_flits_total();
+        let active = self.active_routers() as u64;
+        let inflight = self.inflight.len() as u64;
+        let Some(p) = &mut self.pulse else { return };
+        let dc = self.cycle - p.last_cycle;
+        if let Some(rate) = ((flits - p.last_flits) * 1000).checked_div(dc) {
+            p.flits_per_kcycle.set(rate);
+        }
+        p.active_routers.set(active);
+        p.inflight_packets.set(inflight);
+        p.last_flits = flits;
+        p.last_cycle = self.cycle;
+        p.next = self.cycle + p.every;
     }
 
     /// Route this network's packet-lifecycle events to `tracer` (used by
@@ -884,6 +958,9 @@ impl Network {
         self.moves_scratch = moves;
 
         self.cycle += 1;
+        if self.pulse.as_ref().is_some_and(|p| self.cycle >= p.next) {
+            self.pulse_fire();
+        }
     }
 
     /// Aggregate the always-on per-router observability counters (see
@@ -1380,5 +1457,48 @@ mod tests {
         assert!(s.gauges.contains_key("noc.link.util_mean_permille"));
         let lat = &s.histograms["noc.latency_cycles"];
         assert_eq!(lat.count, 1, "one delivered packet, one latency sample");
+    }
+
+    #[test]
+    fn pulse_publishes_live_gauges_mid_run() {
+        let mut n = net(4, 4);
+        let reg = hic_obs::Registry::new();
+        n.attach_pulse(&reg, "noc", 4);
+        for x in 0..4u16 {
+            n.send(Coord::new(x, 0), Coord::new(3 - x, 3), 64);
+        }
+        // Step only part of the run: the live gauges must be populated
+        // while traffic is still in flight, not just at the end.
+        for _ in 0..8 {
+            n.step();
+        }
+        let s = reg.snapshot();
+        assert!(s.gauges["noc.live.flits_per_kcycle"].last > 0);
+        assert!(s.gauges["noc.live.inflight_packets"].last > 0);
+        assert!(s.gauges["noc.live.active_routers"].last > 0);
+        n.run_until_drained(10_000).unwrap();
+        // The gauges are windowed: step through one more pulse window so
+        // the idle state is published.
+        for _ in 0..8 {
+            n.step();
+        }
+        let s = reg.snapshot();
+        assert_eq!(s.gauges["noc.live.inflight_packets"].last, 0);
+    }
+
+    #[test]
+    fn pulse_does_not_change_cycle_semantics() {
+        let mk = |pulse: bool| {
+            let mut n = net(4, 4);
+            if pulse {
+                n.attach_pulse(&hic_obs::Registry::new(), "noc", 2);
+            }
+            for x in 0..4u16 {
+                n.send(Coord::new(x, 0), Coord::new(3 - x, 3), 48);
+            }
+            n.run_until_drained(10_000).unwrap();
+            (n.cycle, n.stats.delivered())
+        };
+        assert_eq!(mk(false), mk(true));
     }
 }

@@ -1,0 +1,378 @@
+//! Prometheus text-format exposition and the zero-dependency `/metrics`
+//! HTTP endpoint.
+//!
+//! [`render_prometheus`] turns a [`Snapshot`] into the [Prometheus text
+//! exposition format] (version 0.0.4): every metric name is sanitized
+//! into the `[a-zA-Z_:][a-zA-Z0-9_:]*` charset and prefixed `hic_`,
+//! counters map to `counter`, gauges to a `gauge` pair (`…` and
+//! `…_max`), and histograms to `summary` rows (`quantile` labels plus
+//! `_sum`/`_count`). Output ordering is the registry's own `BTreeMap`
+//! order — deterministic and stable across scrapes, which the property
+//! tests rely on.
+//!
+//! [`MetricsServer`] is a deliberately tiny HTTP/1.1 responder on
+//! [`std::net::TcpListener`] — no dependency, one thread, connection per
+//! request — because its job is a localhost scrape target for
+//! `hic batch --serve-metrics` / `hic serve-metrics`, not a web server.
+//! When the server also holds a [`SeriesStore`], the exposition appends
+//! `hic_rate_per_sec{series="…"}` gauges derived from the sampler's
+//! sliding window, so a scraper sees live rates without computing them.
+//!
+//! [Prometheus text exposition format]:
+//! https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::registry::Registry;
+use crate::snapshot::Snapshot;
+use crate::timeseries::SeriesStore;
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Content-Type of the exposition body.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Window the `/metrics` endpoint derives `hic_rate_per_sec` over.
+pub const RATE_WINDOW_MS: u64 = 5_000;
+
+/// Sanitize a registry metric name into the Prometheus charset: the
+/// result starts with `[a-zA-Z_:]`, continues with `[a-zA-Z0-9_:]`,
+/// and carries the `hic_` namespace prefix (which also fixes names
+/// that would otherwise start with a digit).
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("hic_");
+    for c in name.chars() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Escape a label value per the exposition format (`\\`, `\"`, `\n`).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a snapshot in Prometheus text format. See the module docs for
+/// the mapping; ordering is stable (counters, then gauges, then
+/// histograms, each in name order).
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("# HELP hic_up 1 while this process exposes metrics\n");
+    out.push_str("# TYPE hic_up gauge\nhic_up 1\n");
+    for (name, v) in &snap.counters {
+        let m = metric_name(name);
+        writeln!(out, "# TYPE {m} counter").unwrap();
+        writeln!(out, "{m} {v}").unwrap();
+    }
+    for (name, g) in &snap.gauges {
+        let m = metric_name(name);
+        writeln!(out, "# TYPE {m} gauge").unwrap();
+        writeln!(out, "{m} {}", g.last).unwrap();
+        writeln!(out, "# TYPE {m}_max gauge").unwrap();
+        writeln!(out, "{m}_max {}", g.max).unwrap();
+    }
+    for (name, h) in &snap.histograms {
+        let m = metric_name(name);
+        writeln!(out, "# TYPE {m} summary").unwrap();
+        for (q, v) in [(0.5, h.p50), (0.95, h.p95), (0.99, h.p99)] {
+            writeln!(out, "{m}{{quantile=\"{q}\"}} {v}").unwrap();
+        }
+        writeln!(out, "{m}_sum {}", h.sum).unwrap();
+        writeln!(out, "{m}_count {}", h.count).unwrap();
+    }
+    out
+}
+
+/// [`render_prometheus`] plus sampler-derived sliding-window rates: one
+/// `hic_rate_per_sec{series="<name>"}` gauge per store series that has
+/// a defined rate over the trailing [`RATE_WINDOW_MS`].
+pub fn render_prometheus_with_rates(snap: &Snapshot, store: Option<&SeriesStore>) -> String {
+    let mut out = render_prometheus(snap);
+    let Some(store) = store else { return out };
+    let mut wrote_type = false;
+    for name in store.names() {
+        if let Some(rate) = store.rate_per_sec(&name, RATE_WINDOW_MS) {
+            if !wrote_type {
+                out.push_str("# TYPE hic_rate_per_sec gauge\n");
+                wrote_type = true;
+            }
+            writeln!(
+                out,
+                "hic_rate_per_sec{{series=\"{}\"}} {rate}",
+                escape_label(&name)
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// A minimal single-threaded HTTP responder serving the registry (and
+/// optional sampler store) at `GET /metrics`. Binds on localhost only.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `127.0.0.1:port` (`port` 0 = ephemeral; see
+    /// [`MetricsServer::port`]) and serve until stopped or dropped.
+    pub fn start(
+        reg: Registry,
+        store: Option<SeriesStore>,
+        port: u16,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("hic-obs-metrics".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                // Serve inline: one scrape at a time is
+                                // the whole design point.
+                                let _ = respond(stream, &reg, store.as_ref());
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                        }
+                    }
+                })
+                .expect("spawn metrics server thread")
+        };
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound port (useful with ephemeral binding).
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Read one request, write one response, close. Tolerates partial or
+/// garbage requests (responds 400) — a scrape target must never wedge
+/// on a bad client.
+fn respond(
+    mut stream: TcpStream,
+    reg: &Registry,
+    store: Option<&SeriesStore>,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 2048];
+    let n = stream.read(&mut buf).unwrap_or(0);
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, ctype, body) = match (method, path) {
+        ("GET", "/metrics") => {
+            let body = render_prometheus_with_rates(&reg.snapshot(), store);
+            ("200 OK", PROMETHEUS_CONTENT_TYPE, body)
+        }
+        ("GET", "/") => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "hic metrics endpoint — scrape /metrics\n".to_string(),
+        ),
+        ("GET", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".into(),
+        ),
+        _ => (
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "bad request\n".into(),
+        ),
+    };
+    let mut resp = String::with_capacity(body.len() + 128);
+    write!(
+        resp,
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    stream.write_all(resp.as_bytes())?;
+    stream.flush()
+}
+
+/// Fetch `path` from a local [`MetricsServer`] over one blocking
+/// connection — the scrape client used by tests and `hic top`'s
+/// self-checks; returns the response body.
+pub fn http_get_local(port: u16, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(("127.0.0.1", port))?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut out = String::new();
+    stream.read_to_string(&mut out)?;
+    match out.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Ok(out),
+    }
+}
+
+/// Validate one exposition document line-by-line: every line must be a
+/// comment (`# …`) or `name[{labels}] value` with a sanitized name and
+/// a parseable finite value. Returns the first offending line. Used by
+/// the property tests and the CI metrics-smoke job's local twin.
+pub fn validate_exposition(body: &str) -> Result<(), String> {
+    for (i, line) in body.lines().enumerate() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => return Err(format!("line {}: no value: {line:?}", i + 1)),
+        };
+        let name = match name_part.split_once('{') {
+            Some((n, rest)) => {
+                if !rest.ends_with('}') {
+                    return Err(format!("line {}: unterminated labels: {line:?}", i + 1));
+                }
+                n
+            }
+            None => name_part,
+        };
+        let valid_start = name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+        let valid_rest = name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+        if name.is_empty() || !valid_start || !valid_rest {
+            return Err(format!("line {}: bad metric name {name:?}", i + 1));
+        }
+        match value_part.parse::<f64>() {
+            Ok(v) if v.is_finite() => {}
+            _ => return Err(format!("line {}: bad value {value_part:?}", i + 1)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("noc.flits.forwarded").add(17);
+        r.gauge("pipeline.queue.depth").set(3);
+        r.histogram("design.total.ns").record(1_000_000);
+        r
+    }
+
+    #[test]
+    fn names_are_sanitized_into_the_prometheus_charset() {
+        assert_eq!(
+            metric_name("noc.flits.forwarded"),
+            "hic_noc_flits_forwarded"
+        );
+        assert_eq!(metric_name("weird name-2"), "hic_weird_name_2");
+        assert_eq!(metric_name("0starts.bad"), "hic_0starts_bad");
+    }
+
+    #[test]
+    fn exposition_covers_every_kind_and_validates() {
+        let body = render_prometheus(&sample_registry().snapshot());
+        assert!(body.contains("hic_up 1\n"));
+        assert!(body.contains("# TYPE hic_noc_flits_forwarded counter"));
+        assert!(body.contains("hic_noc_flits_forwarded 17"));
+        assert!(body.contains("hic_pipeline_queue_depth 3"));
+        assert!(body.contains("hic_pipeline_queue_depth_max 3"));
+        assert!(body.contains("hic_design_total_ns_count 1"));
+        assert!(body.contains("quantile=\"0.5\""));
+        validate_exposition(&body).unwrap();
+    }
+
+    #[test]
+    fn rates_appear_once_the_store_has_a_window() {
+        let reg = sample_registry();
+        let store = SeriesStore::new(32);
+        store.record_at("noc.flits.forwarded", 0, 0.0);
+        store.record_at("noc.flits.forwarded", 1000, 500.0);
+        let body = render_prometheus_with_rates(&reg.snapshot(), Some(&store));
+        assert!(
+            body.contains("hic_rate_per_sec{series=\"noc.flits.forwarded\"} 500"),
+            "{body}"
+        );
+        validate_exposition(&body).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_exposition("no_value_here").is_err());
+        assert!(validate_exposition("bad-name 1").is_err());
+        assert!(validate_exposition("name nan").is_err());
+        assert!(validate_exposition("name{unterminated 1").is_err());
+        validate_exposition("# a comment\nok_name 1.5\nok{l=\"x\"} 2").unwrap();
+    }
+
+    #[test]
+    fn server_serves_metrics_and_404s() {
+        let reg = sample_registry();
+        let mut srv = MetricsServer::start(reg, None, 0).unwrap();
+        let body = http_get_local(srv.port(), "/metrics").unwrap();
+        assert!(body.contains("hic_noc_flits_forwarded 17"), "{body}");
+        validate_exposition(&body).unwrap();
+        let index = http_get_local(srv.port(), "/").unwrap();
+        assert!(index.contains("/metrics"));
+        let missing = http_get_local(srv.port(), "/nope").unwrap();
+        assert!(missing.contains("not found"));
+        srv.stop();
+        // After stop, connecting fails (listener closed) or is refused.
+        assert!(TcpStream::connect(("127.0.0.1", srv.port())).is_err());
+    }
+}

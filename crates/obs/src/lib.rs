@@ -31,14 +31,26 @@
 //! For *event-level* observation — who talked to whom and when — see the
 //! [`trace`] module: a bounded flight recorder of typed events with a
 //! Chrome trace-event/Perfetto exporter (schema `hic-trace/v1`).
+//!
+//! For *continuous* observation of a long-running process, the
+//! [`timeseries`] module adds a background [`Sampler`] that snapshots a
+//! registry into fixed-capacity ring-buffer [`Series`] (2:1 downsampling
+//! on overflow, sliding-window rate queries), and the [`expo`] module
+//! serves the registry as Prometheus text format from a zero-dependency
+//! [`MetricsServer`] — the pieces behind `hic top`, `hic serve-metrics`
+//! and `hic batch --serve-metrics`.
 
 #![warn(missing_docs)]
 
+pub mod expo;
 mod metrics;
 mod registry;
 mod snapshot;
+pub mod timeseries;
 pub mod trace;
 
+pub use expo::{render_prometheus, validate_exposition, MetricsServer};
 pub use metrics::{bucket_bounds, bucket_of, Counter, Gauge, Histogram, BUCKETS};
 pub use registry::{global, Registry, Span};
 pub use snapshot::{BucketValue, GaugeValue, HistogramValue, Snapshot, SCHEMA};
+pub use timeseries::{Point, Sampler, Series, SeriesStore};

@@ -229,7 +229,10 @@ struct Ring {
     buf: Vec<Event>,
     /// Oldest slot (the next overwrite target) once the ring is full.
     next: usize,
-    dropped: u64,
+    /// Overwritten events, counted by the category of the event that was
+    /// lost (not the one that displaced it) — that's the subsystem whose
+    /// history now has a hole.
+    dropped: [u64; N_CATEGORIES],
 }
 
 impl Ring {
@@ -238,7 +241,7 @@ impl Ring {
             cap,
             buf: Vec::with_capacity(cap),
             next: 0,
-            dropped: 0,
+            dropped: [0; N_CATEGORIES],
         }
     }
 
@@ -246,18 +249,18 @@ impl Ring {
         if self.buf.len() < self.cap {
             self.buf.push(ev);
         } else {
+            self.dropped[self.buf[self.next].cat as usize] += 1;
             self.buf[self.next] = ev;
             self.next += 1;
             if self.next == self.cap {
                 self.next = 0;
             }
-            self.dropped += 1;
         }
     }
 
     /// Take everything, oldest first, leaving the ring empty (with its
     /// capacity re-reserved so recording stays allocation-free).
-    fn drain(&mut self) -> (Vec<Event>, u64) {
+    fn drain(&mut self) -> (Vec<Event>, [u64; N_CATEGORIES]) {
         let mut out = std::mem::replace(&mut self.buf, Vec::with_capacity(self.cap));
         if out.len() == self.cap {
             out.rotate_left(self.next);
@@ -294,8 +297,23 @@ pub struct Trace {
     /// All events, sorted by (pid, ts) — stable, so per-track recording
     /// order survives for equal timestamps.
     pub events: Vec<Event>,
-    /// Events overwritten before they could be drained.
+    /// Events overwritten before they could be drained (all categories).
     pub dropped: u64,
+    /// The overwritten events broken down by the category that lost
+    /// history, indexed like [`Category::ALL`] — nonzero entries mean
+    /// that category's summary is incomplete and the ring capacity or
+    /// sampling divisor needs raising.
+    pub dropped_by_category: [u64; 5],
+}
+
+impl Trace {
+    /// `(category, dropped)` for every category that lost events.
+    pub fn dropped_categories(&self) -> impl Iterator<Item = (Category, u64)> + '_ {
+        Category::ALL
+            .iter()
+            .map(|&c| (c, self.dropped_by_category[c as usize]))
+            .filter(|&(_, n)| n > 0)
+    }
 }
 
 impl Tracer {
@@ -383,14 +401,20 @@ impl Tracer {
     pub fn take(&self) -> Trace {
         let rings = self.inner.rings.lock().unwrap();
         let mut events = Vec::new();
-        let mut dropped = 0;
+        let mut dropped_by_category = [0u64; N_CATEGORIES];
         for ring in rings.iter() {
             let (evs, d) = ring.lock().unwrap().drain();
             events.extend(evs);
-            dropped += d;
+            for (total, n) in dropped_by_category.iter_mut().zip(d) {
+                *total += n;
+            }
         }
         events.sort_by_key(|e| (e.cat.pid(), e.ts));
-        Trace { events, dropped }
+        Trace {
+            events,
+            dropped: dropped_by_category.iter().sum(),
+            dropped_by_category,
+        }
     }
 }
 
@@ -914,6 +938,19 @@ pub fn summarize(trace: &Trace) -> String {
         trace.dropped
     )
     .unwrap();
+    if trace.dropped > 0 {
+        let by_cat: Vec<String> = trace
+            .dropped_categories()
+            .map(|(c, n)| format!("{}={n}", c.name()))
+            .collect();
+        writeln!(
+            out,
+            "warning: ring buffer overwrote events ({}) — summaries below \
+             are incomplete; raise --sample or the ring capacity",
+            by_cat.join(", ")
+        )
+        .unwrap();
+    }
     let mut fl = flows(&trace.events);
     fl.sort_by_key(|f| std::cmp::Reverse(f.end_ts.saturating_sub(f.begin_ts)));
     if !fl.is_empty() {
@@ -999,6 +1036,44 @@ mod tests {
         assert_eq!(tr.dropped, 6);
         let kept: Vec<u64> = tr.events.iter().map(|e| e.ts).collect();
         assert_eq!(kept, vec![6, 7, 8, 9], "the newest events survive");
+    }
+
+    #[test]
+    fn drops_are_attributed_to_the_overwritten_category() {
+        let t = Tracer::new(4);
+        t.enable_all();
+        let r = t.recorder();
+        // Fill the ring with Bus events, then push enough Noc events to
+        // overwrite all of them plus two of their own.
+        for i in 0..4u64 {
+            r.record(ev(Phase::Instant, Category::Bus, 0, i, "bus", 0));
+        }
+        for i in 0..6u64 {
+            r.record(ev(Phase::Instant, Category::Noc, 0, 10 + i, "noc", 0));
+        }
+        let tr = t.take();
+        assert_eq!(tr.dropped, 6);
+        assert_eq!(tr.dropped_by_category[Category::Bus as usize], 4);
+        assert_eq!(tr.dropped_by_category[Category::Noc as usize], 2);
+        let listed: Vec<(Category, u64)> = tr.dropped_categories().collect();
+        assert_eq!(
+            listed,
+            vec![(Category::Noc, 2), (Category::Bus, 4)],
+            "only lossy categories are listed, in Category::ALL order"
+        );
+        let summary = summarize(&tr);
+        assert!(summary.contains("warning:"), "{summary}");
+        assert!(summary.contains("noc=2"), "{summary}");
+        assert!(summary.contains("bus=4"), "{summary}");
+    }
+
+    #[test]
+    fn clean_trace_summary_has_no_warning() {
+        let t = Tracer::new(16);
+        t.enable_all();
+        let r = t.recorder();
+        r.instant(Category::Sim, "a", Detail::EMPTY, 0);
+        assert!(!summarize(&t.take()).contains("warning:"));
     }
 
     #[test]

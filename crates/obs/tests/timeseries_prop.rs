@@ -1,0 +1,139 @@
+//! Property tests for the time-series layer: downsampling never loses
+//! the min/max envelope or grows past capacity, sliding-window rates of
+//! monotone counters are non-negative, and the Prometheus exposition
+//! stays line-by-line valid with stable ordering under arbitrary
+//! registry contents.
+
+use hic_obs::timeseries::{Series, SeriesStore};
+use hic_obs::{render_prometheus, validate_exposition, Registry};
+use proptest::prelude::*;
+
+/// A lowercase dotted metric name as the rest of the pipeline uses.
+fn name_strat() -> impl Strategy<Value = String> {
+    (0u32..40, 0u32..8).prop_map(|(a, b)| format!("prop.m{a}.s{b}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn downsampling_preserves_the_envelope_and_respects_capacity(
+        cap in 2usize..32,
+        values in proptest::collection::vec(-1e6f64..1e6, 1..600),
+    ) {
+        let mut s = Series::new(cap);
+        for (i, &v) in values.iter().enumerate() {
+            s.push(i as u64 * 10, v);
+        }
+        prop_assert!(s.len() <= cap, "{} points exceed capacity {cap}", s.len());
+        prop_assert_eq!(s.total_samples(), values.len() as u64);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let (got_lo, got_hi) = s.envelope().expect("non-empty series");
+        prop_assert_eq!(got_lo, lo, "downsampling lost the min");
+        prop_assert_eq!(got_hi, hi, "downsampling lost the max");
+        prop_assert_eq!(s.last(), values.last().copied());
+    }
+
+    #[test]
+    fn per_point_sample_counts_account_for_every_push(
+        cap in 2usize..16,
+        n in 1usize..400,
+    ) {
+        let mut s = Series::new(cap);
+        for i in 0..n {
+            s.push(i as u64, i as f64);
+        }
+        // No point covers more than the current resolution (an odd
+        // trailing point from a downsample round may cover fewer), and
+        // the per-point counts account for every raw push.
+        let pts: Vec<_> = s.points().collect();
+        for p in &pts {
+            prop_assert!(p.samples <= s.resolution());
+        }
+        prop_assert_eq!(
+            pts.iter().map(|p| p.samples as u64).sum::<u64>(),
+            n as u64
+        );
+    }
+
+    #[test]
+    fn monotone_counter_rate_is_non_negative(
+        cap in 2usize..24,
+        increments in proptest::collection::vec(0u64..50, 2..300),
+        window_ms in 1u64..100_000,
+    ) {
+        let mut s = Series::new(cap);
+        let mut total = 0u64;
+        for (i, &inc) in increments.iter().enumerate() {
+            total += inc;
+            s.push(i as u64 * 7, total as f64);
+        }
+        if let Some(rate) = s.rate_per_sec(window_ms) {
+            prop_assert!(
+                rate >= 0.0,
+                "monotone counter produced negative rate {rate}"
+            );
+        }
+        if let Some(delta) = s.delta(window_ms) {
+            prop_assert!(delta >= 0.0, "negative delta {delta}");
+        }
+        for (_, d) in s.deltas() {
+            prop_assert!(d >= 0.0, "negative per-point delta {d}");
+        }
+    }
+
+    #[test]
+    fn exposition_is_valid_and_stably_ordered(
+        counters in proptest::collection::vec((name_strat(), 0u64..1_000_000), 0..12),
+        gauges in proptest::collection::vec((name_strat(), 0u64..1_000_000), 0..12),
+        histos in proptest::collection::vec(
+            (name_strat(), proptest::collection::vec(0u64..1_000_000, 1..20)),
+            0..6,
+        ),
+    ) {
+        // Kind-prefix the generated names: the registry (correctly)
+        // panics when one name is reused across metric kinds.
+        let reg = Registry::new();
+        for (name, v) in &counters {
+            reg.counter(&format!("c.{name}")).add(*v);
+        }
+        for (name, v) in &gauges {
+            reg.gauge(&format!("g.{name}")).set(*v);
+        }
+        for (name, vs) in &histos {
+            let h = reg.histogram(&format!("h.{name}"));
+            for &v in vs {
+                h.record(v);
+            }
+        }
+        let body = render_prometheus(&reg.snapshot());
+        let checked = validate_exposition(&body);
+        prop_assert!(checked.is_ok(), "invalid exposition: {:?}", checked);
+        prop_assert!(body.contains("hic_up 1"));
+        // Rendering the same registry twice yields byte-identical output
+        // (stable ordering is what makes scrape diffs meaningful).
+        prop_assert_eq!(body.clone(), render_prometheus(&reg.snapshot()));
+    }
+
+    #[test]
+    fn store_sampling_matches_registry_counters(
+        values in proptest::collection::vec(0u64..10_000, 1..40),
+    ) {
+        let reg = Registry::new();
+        let store = SeriesStore::new(64);
+        let c = reg.counter("prop.count");
+        let mut total = 0u64;
+        for &v in &values {
+            c.add(v);
+            total += v;
+            store.sample_registry(&reg);
+        }
+        let s = store.get("prop.count").expect("series recorded");
+        prop_assert_eq!(s.last(), Some(total as f64));
+        prop_assert_eq!(s.total_samples(), values.len() as u64);
+        for (_, d) in s.deltas() {
+            prop_assert!(d >= 0.0, "counter series must be monotone");
+        }
+    }
+}

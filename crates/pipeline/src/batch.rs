@@ -244,6 +244,13 @@ pub fn run_batch(opts: &BatchOptions) -> Result<BatchOutcome, PipelineError> {
     let waiting: Vec<Mutex<usize>> = nodes.iter().map(|n| Mutex::new(n.waiting)).collect();
     let depth = hic_obs::global().gauge("pipeline.queue.depth");
     depth.set(state.lock().unwrap().ready.len() as u64);
+    // Live pool telemetry for `hic top` / `/metrics`: lanes currently
+    // executing a job, total lanes, and a monotone completion counter the
+    // sampler can turn into a jobs/sec rate.
+    let busy = hic_obs::global().gauge("pipeline.workers.busy");
+    let total_lanes = hic_obs::global().gauge("pipeline.workers.total");
+    total_lanes.set(workers as u64);
+    let completed = hic_obs::global().counter("pipeline.jobs.completed");
     if trace::enabled(Category::Batch) {
         for &job in &state.lock().unwrap().ready {
             let (stage, detail) = &labels[job];
@@ -276,9 +283,12 @@ pub fn run_batch(opts: &BatchOptions) -> Result<BatchOutcome, PipelineError> {
                 // The slice runs on this worker's lane (its thread-local
                 // recorder), so the trace shows per-lane occupancy.
                 let (stage, detail) = &labels[job];
+                busy.inc();
                 trace::begin(Category::Batch, stage, detail);
                 let out = execute(&nodes[job].kind, &results, store, read, &cfg);
                 trace::end(Category::Batch, stage);
+                busy.dec();
+                completed.inc();
 
                 *results[job].lock().unwrap() = Some(out);
                 let mut st = state.lock().unwrap();

@@ -83,6 +83,10 @@ pub fn cosimulate(plan: &InterconnectPlan) -> CosimResult {
     // The co-simulation consumes each delivery exactly once; event mode
     // lets the network recycle its log instead of retaining every packet.
     net.set_record_mode(RecordMode::Events);
+    // Live flit-rate feed for the continuous-telemetry sampler: windowed
+    // gauges every 1024 cycles, so `hic top` and `/metrics` can watch
+    // flits/cycle mid-run instead of waiting for the end-of-run totals.
+    net.attach_pulse(reg, "noc", 1024);
     let sm: BTreeSet<(KernelId, KernelId)> = plan
         .sm_pairs
         .iter()
