@@ -74,9 +74,15 @@ fn main() {
         matched = true;
         check(args.iter().any(|a| a == "--quick"));
     }
+    // Explicit-only CI smoke: a short 64x64 hybrid-engine run that must
+    // drain with sane stats (scaling proof, not a wall-clock benchmark).
+    if what == "noc-scale" {
+        matched = true;
+        noc_scale();
+    }
     if !matched {
         eprintln!(
-            "unknown experiment '{what}'; expected one of: all fig4 table2 fig5 fig6 table3 fig7 table4 fig8 fig9 ablations bench-noc bench-pipeline check"
+            "unknown experiment '{what}'; expected one of: all fig4 table2 fig5 fig6 table3 fig7 table4 fig8 fig9 ablations bench-noc bench-pipeline check noc-scale"
         );
         std::process::exit(2);
     }
@@ -268,21 +274,59 @@ fn fig9(json: bool) {
 
 fn bench_noc() {
     let run = hic_bench::nocperf::measure(8, 20_000, 3);
-    println!("== NoC fast path vs reference stepper (8x8 uniform) ==");
+    println!("== NoC fast path vs reference stepper (8x8) ==");
     println!(
-        "{:<8} {:>12} {:>16} {:>16} {:>9}",
-        "offered", "delivered", "fast cyc/s", "reference cyc/s", "speedup"
+        "{:<8} {:>8} {:>12} {:>16} {:>16} {:>9}",
+        "point", "pattern", "delivered", "fast cyc/s", "reference cyc/s", "speedup"
     );
     for r in &run.points {
         println!(
-            "{:<8.2} {:>12} {:>16.0} {:>16.0} {:>8.2}x",
-            r.offered, r.delivered, r.fast_cycles_per_sec, r.reference_cycles_per_sec, r.speedup
+            "{:<8} {:>8} {:>12} {:>16.0} {:>16.0} {:>8.2}x",
+            r.label,
+            r.pattern,
+            r.delivered,
+            r.fast_cycles_per_sec,
+            r.reference_cycles_per_sec,
+            r.speedup
         );
     }
     let out = serde_json::to_string_pretty(&run.points).unwrap();
     std::fs::write("BENCH_noc.json", &out).expect("write BENCH_noc.json");
     let sidecar = serde_json::to_string_pretty(&run.metrics).unwrap();
     std::fs::write("BENCH_noc_metrics.json", &sidecar).expect("write BENCH_noc_metrics.json");
+
+    // Hybrid event-driven engine vs per-cycle stepping on the regimes
+    // the engine exists for: idle-heavy bursts must clear ≥5x, and the
+    // continuous-load point must not regress below 0.7x.
+    let hybrid = hic_bench::nocperf::measure_hybrid(3);
+    println!("\n== Hybrid engine vs per-cycle stepper ==");
+    println!(
+        "{:<12} {:>6} {:>10} {:>16} {:>16} {:>9} {:>12}",
+        "point", "mesh", "delivered", "hybrid cyc/s", "stepper cyc/s", "speedup", "skipped"
+    );
+    for p in &hybrid {
+        println!(
+            "{:<12} {:>3}x{:<3} {:>10} {:>16.0} {:>16.0} {:>8.2}x {:>12}",
+            p.label,
+            p.side,
+            p.side,
+            p.delivered,
+            p.hybrid_cycles_per_sec,
+            p.stepper_cycles_per_sec,
+            p.speedup,
+            p.skipped_cycles
+        );
+        if let Some(floor) = p.floor {
+            assert!(
+                p.speedup >= floor,
+                "hybrid engine must stay above {floor}x at point {} (got {:.2}x)",
+                p.label,
+                p.speedup
+            );
+        }
+    }
+    let hybrid_sidecar = serde_json::to_string_pretty(&hybrid).unwrap();
+    std::fs::write("BENCH_noc_hybrid.json", &hybrid_sidecar).expect("write BENCH_noc_hybrid.json");
 
     // Tracing overhead against the baseline just measured: the flight
     // recorder must be cheap enough to leave compiled in (disabled
@@ -370,9 +414,60 @@ fn bench_noc() {
     std::fs::write("BENCH_noc_sampler.json", &sampler_sidecar)
         .expect("write BENCH_noc_sampler.json");
     println!(
-        "\nwrote BENCH_noc.json + BENCH_noc_metrics.json + BENCH_noc_trace.json \
-         + BENCH_noc_sampler.json"
+        "\nwrote BENCH_noc.json + BENCH_noc_metrics.json + BENCH_noc_hybrid.json \
+         + BENCH_noc_trace.json + BENCH_noc_sampler.json"
     );
+}
+
+/// `repro noc-scale`: short 64×64 smoke run of the hybrid engine — the
+/// CI job that proves the engine scales to large meshes without claiming
+/// wall-clock numbers. Asserts the run drains, delivers traffic, and
+/// that skip-ahead actually engaged on the idle-heavy schedule.
+fn noc_scale() {
+    use hic_noc::reference::{bursty_schedule, schedule_hybrid};
+    use hic_noc::{HybridConfig, HybridNetwork, Mesh, NocConfig, RecordMode};
+    let mesh = Mesh::new(64, 64);
+    let cfg = NocConfig::paper_default(mesh);
+    let schedule = bursty_schedule(mesh, 0.1, 16, cfg.flit_payload, 4, 10_000, 20_000, 0x5CA1E);
+    let mut net = HybridNetwork::with_config(cfg, HybridConfig::default());
+    net.set_record_mode(RecordMode::Stats);
+    schedule_hybrid(&mut net, &schedule, 16);
+    let t = std::time::Instant::now();
+    net.run_until_drained(10_000_000)
+        .expect("64x64 hybrid run must drain");
+    let secs = t.elapsed().as_secs_f64();
+
+    let skip = net.skip_stats();
+    let m = net.metrics();
+    println!("== noc-scale: 64x64 hybrid smoke ==");
+    println!(
+        "cycles {} (stepped {}, skipped {}), delivered {}, forwarded flits {}, {:.2}s wall \
+         ({:.0} cyc/s), parallel={}",
+        net.cycle(),
+        skip.stepped_cycles,
+        skip.skipped_cycles,
+        net.stats().delivered(),
+        m.forwarded_flits,
+        secs,
+        net.cycle() as f64 / secs.max(1e-9),
+        net.is_parallel(),
+    );
+    assert!(net.is_drained());
+    assert_eq!(
+        net.stats().delivered() as usize,
+        schedule.len(),
+        "every scheduled packet must be delivered"
+    );
+    assert!(net.stats().delivered() > 0, "schedule produced no traffic");
+    assert!(
+        skip.skipped_cycles > skip.stepped_cycles,
+        "idle-heavy schedule must be dominated by skips"
+    );
+    assert!(
+        m.forwarded_flits > 0 && m.fifo_high_water >= 1,
+        "stats sanity: traffic must have crossed routers"
+    );
+    println!("ok");
 }
 
 fn bench_pipeline() {

@@ -7,8 +7,10 @@
 //! reports simulated cycles per wall-clock second; the `repro` binary's
 //! `bench-noc` subcommand records the result as `BENCH_noc.json`.
 
-use hic_noc::reference::{drive_schedule, uniform_schedule, ReferenceNetwork};
-use hic_noc::{Mesh, NetMetrics, Network, NocConfig, RecordMode};
+use hic_noc::reference::{
+    bursty_schedule, drive_schedule, schedule_hybrid, uniform_schedule, ReferenceNetwork,
+};
+use hic_noc::{HybridConfig, HybridNetwork, Mesh, NetMetrics, Network, NocConfig, RecordMode};
 use hic_obs::trace::{Category, Tracer};
 use serde::Serialize;
 use std::time::Instant;
@@ -16,7 +18,12 @@ use std::time::Instant;
 /// One measured load point of the fast-vs-reference comparison.
 #[derive(Debug, Clone, Serialize)]
 pub struct NocPerfPoint {
-    /// Offered load in flits/node/cycle.
+    /// Stable gate-key suffix (`noc.speedup@{label}` in `repro check`);
+    /// the offered load for uniform points, `"bursty"` for the on/off one.
+    pub label: String,
+    /// Traffic pattern: `"uniform"` or `"bursty"`.
+    pub pattern: String,
+    /// Offered load in flits/node/cycle (duty-cycle average for bursty).
     pub offered: f64,
     /// Simulated cycles per run.
     pub cycles: u64,
@@ -30,11 +37,51 @@ pub struct NocPerfPoint {
     pub speedup: f64,
 }
 
+/// One traffic pattern of the [`measure`] sweep.
+enum Load {
+    /// Continuous Bernoulli at this offered load.
+    Uniform(f64),
+    /// On/off bursts: `on` flits/node/cycle for the first `burst` cycles
+    /// of each `period`, silence for the rest.
+    Bursty { on: f64, burst: u64, period: u64 },
+}
+
+/// The sweep points [`measure`] times. The 0.1/0.5/0.9 trio is the
+/// classic load curve; 0.01 and the bursty point are idle-heavy regimes
+/// where the fast path's active-set walk (and, in [`measure_hybrid`],
+/// the hybrid engine's skip-ahead) should dominate.
+fn load_points() -> [(&'static str, Load); 5] {
+    [
+        ("0.01", Load::Uniform(0.01)),
+        ("0.1", Load::Uniform(0.1)),
+        ("0.5", Load::Uniform(0.5)),
+        ("0.9", Load::Uniform(0.9)),
+        (
+            "bursty",
+            Load::Bursty {
+                on: 0.5,
+                burst: 4,
+                period: 200,
+            },
+        ),
+    ]
+}
+
+/// The classic uniform 0.1/0.5/0.9 load points of a [`measure`] run —
+/// the subset the recorder/sampler overhead harnesses re-time.
+fn classic_uniform(points: &[NocPerfPoint]) -> impl Iterator<Item = &NocPerfPoint> {
+    points
+        .iter()
+        .filter(|p| p.pattern == "uniform" && p.offered >= 0.05)
+}
+
 /// The fast path's aggregate observability counters at one load point —
 /// the `BENCH_noc_metrics.json` sidecar of `repro bench-noc`.
 #[derive(Debug, Clone, Serialize)]
 pub struct NocMetricsPoint {
-    /// Offered load in flits/node/cycle.
+    /// Matching [`NocPerfPoint::label`].
+    pub label: String,
+    /// Offered load in flits/node/cycle (duty-cycle average for bursty).
     pub offered: f64,
     /// The network's always-on counters after the run.
     pub metrics: NetMetrics,
@@ -54,20 +101,43 @@ pub struct NocPerfRun {
 }
 
 /// Time the fast path and the reference stepper on a `side`×`side` mesh
-/// under uniform Bernoulli traffic at 0.1/0.5/0.9 offered load. Each
-/// configuration runs `repeats` times; the best time is kept.
+/// across the [`load_points`] sweep (uniform 0.01/0.1/0.5/0.9 plus one
+/// bursty on/off point). Each configuration runs `repeats` times; the
+/// best time is kept.
 pub fn measure(side: u16, cycles: u64, repeats: u32) -> NocPerfRun {
     assert!(repeats >= 1);
     let mesh = Mesh::new(side, side);
     let cfg = NocConfig::paper_default(mesh);
     let mut out = Vec::new();
     let mut metrics = Vec::new();
-    for offered in [0.1f64, 0.5, 0.9] {
-        let seed = 0xB0C0 ^ (offered * 100.0) as u64;
+    for (label, load) in load_points() {
         // Traffic is pregenerated so the timed region runs the stepper
         // alone, not the Bernoulli RNG (whose cost is identical for both
         // sides and would dilute the comparison).
-        let schedule = uniform_schedule(mesh, offered, 16, cfg.flit_payload, cycles, seed);
+        let (schedule, pattern, offered) = match load {
+            Load::Uniform(offered) => {
+                let seed = 0xB0C0 ^ (offered * 100.0) as u64;
+                (
+                    uniform_schedule(mesh, offered, 16, cfg.flit_payload, cycles, seed),
+                    "uniform",
+                    offered,
+                )
+            }
+            Load::Bursty { on, burst, period } => (
+                bursty_schedule(
+                    mesh,
+                    on,
+                    16,
+                    cfg.flit_payload,
+                    burst,
+                    period,
+                    cycles,
+                    0xB0C0 ^ 0xB57,
+                ),
+                "bursty",
+                on * burst as f64 / period as f64,
+            ),
+        };
         let mut fast_best = f64::INFINITY;
         let mut ref_best = f64::INFINITY;
         let mut delivered = 0u64;
@@ -90,10 +160,12 @@ pub fn measure(side: u16, cycles: u64, repeats: u32) -> NocPerfRun {
             assert_eq!(
                 delivered,
                 net.delivered().len() as u64,
-                "fast path and reference diverged at load {offered}"
+                "fast path and reference diverged at load point {label}"
             );
         }
         out.push(NocPerfPoint {
+            label: label.to_string(),
+            pattern: pattern.to_string(),
             offered,
             cycles,
             delivered,
@@ -102,6 +174,7 @@ pub fn measure(side: u16, cycles: u64, repeats: u32) -> NocPerfRun {
             speedup: ref_best / fast_best,
         });
         metrics.push(NocMetricsPoint {
+            label: label.to_string(),
             offered,
             metrics: net_metrics,
             mean_link_utilization: net_metrics.mean_link_utilization(),
@@ -157,7 +230,9 @@ pub struct TraceOverheadPoint {
 /// traced configurations, rather than reusing `baseline`'s rates:
 /// interleaving keeps all three configurations under the same machine
 /// conditions, so the ratios measure recorder cost instead of drift
-/// between benchmark phases. `baseline` supplies the load points.
+/// between benchmark phases. `baseline` supplies the load points; only
+/// the classic uniform 0.1/0.5/0.9 trio is re-timed — the idle-heavy
+/// sweep points exercise the engines, not the recorder.
 pub fn measure_trace_overhead(
     side: u16,
     cycles: u64,
@@ -168,7 +243,7 @@ pub fn measure_trace_overhead(
     let mesh = Mesh::new(side, side);
     let cfg = NocConfig::paper_default(mesh);
     let mut out = Vec::new();
-    for base in baseline {
+    for base in classic_uniform(baseline) {
         let offered = base.offered;
         let seed = 0xB0C0 ^ (offered * 100.0) as u64;
         let schedule = uniform_schedule(mesh, offered, 16, cfg.flit_payload, cycles, seed);
@@ -292,7 +367,8 @@ pub struct SamplerOverheadPoint {
 /// three telemetry configurations, rather than reusing `baseline`'s
 /// rates: interleaving keeps all four configurations under the same
 /// machine conditions, so the ratios measure telemetry cost instead of
-/// drift between benchmark phases. `baseline` supplies the load points.
+/// drift between benchmark phases. `baseline` supplies the load points;
+/// as with [`measure_trace_overhead`], only the classic uniform trio.
 pub fn measure_sampler_overhead(
     side: u16,
     cycles: u64,
@@ -305,7 +381,7 @@ pub fn measure_sampler_overhead(
     let mesh = Mesh::new(side, side);
     let cfg = NocConfig::paper_default(mesh);
     let mut out = Vec::new();
-    for base in baseline {
+    for base in classic_uniform(baseline) {
         let offered = base.offered;
         let seed = 0xB0C0 ^ (offered * 100.0) as u64;
         let schedule = uniform_schedule(mesh, offered, 16, cfg.flit_payload, cycles, seed);
@@ -384,28 +460,232 @@ pub fn measure_sampler_overhead(
     out
 }
 
+/// One configuration of the hybrid-engine vs per-cycle-stepper
+/// comparison — the `BENCH_noc_hybrid.json` sidecar of `repro bench-noc`.
+#[derive(Debug, Clone, Serialize)]
+pub struct NocHybridPoint {
+    /// Stable gate-key suffix (`noc.hybrid_speedup@{label}`).
+    pub label: String,
+    /// Mesh side (the run is `side`×`side`).
+    pub side: u16,
+    /// Traffic pattern: `"uniform"` or `"bursty"`.
+    pub pattern: String,
+    /// Simulated cycles both engines cover (the hybrid's drain cycle).
+    pub cycles: u64,
+    /// Packets delivered (identical for both engines).
+    pub delivered: u64,
+    /// Hybrid engine: simulated cycles per wall-clock second (best of N).
+    pub hybrid_cycles_per_sec: f64,
+    /// Per-cycle stepping driver on the same fast-path network.
+    pub stepper_cycles_per_sec: f64,
+    /// `stepper_secs / hybrid_secs` on the same simulated span.
+    pub speedup: f64,
+    /// Cycles the hybrid engine jumped over without stepping.
+    pub skipped_cycles: u64,
+    /// Cycles the hybrid engine actually stepped.
+    pub stepped_cycles: u64,
+    /// Hard speedup floor `repro check` gates on; `None` = info row.
+    pub floor: Option<f64>,
+}
+
+/// Time the hybrid event-driven engine against a per-cycle stepping
+/// driver of the *same* optimized network, on the traffic regimes the
+/// engine exists for:
+///
+/// * `bursty-32` — 32×32, short injection bursts separated by long
+///   quiescent gaps (the profiled-kernel-graph regime). Skip-ahead
+///   collapses the gaps; the gate is ≥ 5×.
+/// * `uniform-32` — 32×32 continuous load: nothing to skip, so this is
+///   the no-regression point (calendar + engine dispatch overhead must
+///   stay small; floor 0.7×).
+/// * `bursty-64` — 64×64 scaling datapoint, informational.
+///
+/// Both sides run the identical pregenerated schedule over the identical
+/// simulated span (the stepper is driven to the hybrid's drain cycle),
+/// so the ratio isolates engine cost. Cycle-exactness is asserted via
+/// the delivery counts.
+pub fn measure_hybrid(repeats: u32) -> Vec<NocHybridPoint> {
+    assert!(repeats >= 1);
+    struct Spec {
+        label: &'static str,
+        side: u16,
+        load: Load,
+        horizon: u64,
+        floor: Option<f64>,
+    }
+    let specs = [
+        Spec {
+            label: "bursty-32",
+            side: 32,
+            load: Load::Bursty {
+                on: 0.1,
+                burst: 4,
+                period: 100_000,
+            },
+            horizon: 400_000,
+            floor: Some(5.0),
+        },
+        Spec {
+            label: "uniform-32",
+            side: 32,
+            load: Load::Uniform(0.1),
+            horizon: 2_000,
+            floor: Some(0.7),
+        },
+        Spec {
+            label: "bursty-64",
+            side: 64,
+            load: Load::Bursty {
+                on: 0.1,
+                burst: 4,
+                period: 50_000,
+            },
+            horizon: 200_000,
+            floor: None,
+        },
+    ];
+
+    let mut out = Vec::new();
+    for spec in specs {
+        let mesh = Mesh::new(spec.side, spec.side);
+        let cfg = NocConfig::paper_default(mesh);
+        let (schedule, pattern) = match spec.load {
+            Load::Uniform(offered) => (
+                uniform_schedule(mesh, offered, 16, cfg.flit_payload, spec.horizon, 0x47B1),
+                "uniform",
+            ),
+            Load::Bursty { on, burst, period } => (
+                bursty_schedule(
+                    mesh,
+                    on,
+                    16,
+                    cfg.flit_payload,
+                    burst,
+                    period,
+                    spec.horizon,
+                    0x47B1,
+                ),
+                "bursty",
+            ),
+        };
+
+        let mut hybrid_best = f64::INFINITY;
+        let mut stepper_best = f64::INFINITY;
+        let mut end = 0u64;
+        let mut delivered = 0u64;
+        let mut skipped = 0u64;
+        let mut stepped = 0u64;
+        for _ in 0..repeats {
+            // Hybrid engine: calendar injection + next-event skip-ahead.
+            let mut hy = HybridNetwork::with_config(cfg, HybridConfig::default());
+            hy.set_record_mode(RecordMode::Stats);
+            schedule_hybrid(&mut hy, &schedule, 16);
+            let t = Instant::now();
+            hy.run_until_drained(20_000_000).expect("hybrid drains");
+            hybrid_best = hybrid_best.min(t.elapsed().as_secs_f64());
+            end = hy.cycle();
+            delivered = hy.stats().delivered();
+            skipped = hy.skip_stats().skipped_cycles;
+            stepped = hy.skip_stats().stepped_cycles;
+
+            // Stepping driver: the same fast-path network, stepped every
+            // cycle to the exact span the hybrid covered.
+            let mut net = Network::new(cfg);
+            net.set_record_mode(RecordMode::Stats);
+            let t = Instant::now();
+            drive_schedule(&mut net, &schedule, 16, end);
+            stepper_best = stepper_best.min(t.elapsed().as_secs_f64());
+            assert!(
+                net.is_drained(),
+                "stepper must drain by the hybrid's end cycle"
+            );
+            assert_eq!(
+                delivered,
+                net.stats().delivered(),
+                "hybrid and stepper diverged at point {}",
+                spec.label
+            );
+        }
+        out.push(NocHybridPoint {
+            label: spec.label.to_string(),
+            side: spec.side,
+            pattern: pattern.to_string(),
+            cycles: end,
+            delivered,
+            hybrid_cycles_per_sec: end as f64 / hybrid_best,
+            stepper_cycles_per_sec: end as f64 / stepper_best,
+            speedup: stepper_best / hybrid_best,
+            skipped_cycles: skipped,
+            stepped_cycles: stepped,
+            floor: spec.floor,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn measure_reports_all_three_loads_with_positive_rates() {
+    fn measure_reports_every_sweep_point_with_positive_rates() {
         // Tiny run: correctness of the harness, not a timing claim.
-        let run = measure(4, 200, 1);
-        assert_eq!(run.points.len(), 3);
+        let run = measure(4, 400, 1);
+        let labels: Vec<&str> = run.points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, ["0.01", "0.1", "0.5", "0.9", "bursty"]);
         for r in &run.points {
             assert!(r.fast_cycles_per_sec > 0.0);
             assert!(r.reference_cycles_per_sec > 0.0);
-            assert!(r.delivered > 0);
+            assert!(r.delivered > 0, "no traffic at point {}", r.label);
         }
-        assert_eq!(run.metrics.len(), 3);
+        assert_eq!(run.metrics.len(), 5);
         for m in &run.metrics {
             assert!(m.metrics.forwarded_flits > 0);
             assert!(m.mean_link_utilization > 0.0);
             assert!(m.max_link_utilization <= 1.0);
         }
         // Higher offered load must not move fewer flits.
-        assert!(run.metrics[2].metrics.forwarded_flits >= run.metrics[0].metrics.forwarded_flits);
+        let flits = |label: &str| {
+            run.metrics
+                .iter()
+                .find(|m| m.label == label)
+                .unwrap()
+                .metrics
+                .forwarded_flits
+        };
+        assert!(flits("0.9") >= flits("0.1"));
+        assert!(flits("0.1") >= flits("0.01"));
+    }
+
+    #[test]
+    fn hybrid_harness_covers_all_points_and_really_skips() {
+        // Harness correctness only — the ≥5x / ≥0.7x acceptance bars are
+        // wall-clock claims asserted by `repro bench-noc` in release.
+        let points = measure_hybrid(1);
+        let labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, ["bursty-32", "uniform-32", "bursty-64"]);
+        for p in &points {
+            assert!(p.delivered > 0, "no traffic at point {}", p.label);
+            assert!(p.hybrid_cycles_per_sec > 0.0);
+            assert!(p.stepper_cycles_per_sec > 0.0);
+            assert_eq!(
+                p.skipped_cycles + p.stepped_cycles,
+                p.cycles,
+                "skip accounting must cover the whole span at {}",
+                p.label
+            );
+            if p.pattern == "bursty" {
+                assert!(
+                    p.skipped_cycles > p.stepped_cycles,
+                    "idle-heavy point {} must be dominated by skips",
+                    p.label
+                );
+            }
+        }
+        // The gated point and the no-regression point are marked as such.
+        assert_eq!(points[0].floor, Some(5.0));
+        assert_eq!(points[1].floor, Some(0.7));
+        assert_eq!(points[2].floor, None);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The `repro check` performance-regression sentinel.
 //!
-//! Three `BENCH_*.json` sidecars are committed to the repository
+//! Several `BENCH_*.json` sidecars are committed to the repository
 //! (`repro bench-noc`, `repro bench-pipeline`), but until now nothing
 //! ever compared a fresh run against them — throughput could silently
 //! erode between PRs. `repro check` closes the loop: it re-runs the NoC
@@ -154,10 +154,13 @@ pub fn evaluate(spec: &GateSpec, samples: &[f64]) -> GateResult {
 /// The committed baseline values `check` gates against.
 #[derive(Debug, Clone, Default)]
 pub struct Baselines {
-    /// `(offered load, fast-vs-reference speedup)` from `BENCH_noc.json`.
-    pub noc_speedups: Vec<(f64, f64)>,
-    /// `(offered load, fast cycles/sec)` — informational only.
-    pub noc_throughput: Vec<(f64, f64)>,
+    /// `(point label, fast-vs-reference speedup)` from `BENCH_noc.json`.
+    pub noc_speedups: Vec<(String, f64)>,
+    /// `(point label, fast cycles/sec)` — informational only.
+    pub noc_throughput: Vec<(String, f64)>,
+    /// `(point label, hybrid-vs-stepper speedup, hard floor)` from
+    /// `BENCH_noc_hybrid.json`; `floor: None` rows are informational.
+    pub noc_hybrid: Vec<(String, f64, Option<f64>)>,
     /// Warm-vs-cold speedup from `BENCH_pipeline.json`.
     pub pipeline_speedup: f64,
 }
@@ -178,6 +181,13 @@ pub fn load_baselines(dir: &Path) -> Result<Baselines, String> {
             .ok_or_else(|| format!("{ctx}: missing numeric '{key}'"))
     };
 
+    let label_of = |v: &serde_json::Value, ctx: &str| -> Result<String, String> {
+        v.get("label")
+            .and_then(|x| x.as_str())
+            .map(str::to_string)
+            .ok_or_else(|| format!("{ctx}: missing string 'label'"))
+    };
+
     let noc = read("BENCH_noc.json")?;
     let points = noc
         .as_seq()
@@ -185,15 +195,31 @@ pub fn load_baselines(dir: &Path) -> Result<Baselines, String> {
     let mut noc_speedups = Vec::new();
     let mut noc_throughput = Vec::new();
     for p in points {
-        let offered = f64_of(p, "offered", "BENCH_noc.json point")?;
-        noc_speedups.push((offered, f64_of(p, "speedup", "BENCH_noc.json point")?));
+        let label = label_of(p, "BENCH_noc.json point")?;
+        noc_speedups.push((label.clone(), f64_of(p, "speedup", "BENCH_noc.json point")?));
         noc_throughput.push((
-            offered,
+            label,
             f64_of(p, "fast_cycles_per_sec", "BENCH_noc.json point")?,
         ));
     }
     if noc_speedups.is_empty() {
         return Err("BENCH_noc.json: no load points".into());
+    }
+
+    let hybrid = read("BENCH_noc_hybrid.json")?;
+    let points = hybrid
+        .as_seq()
+        .ok_or_else(|| "BENCH_noc_hybrid.json: expected an array of points".to_string())?;
+    let mut noc_hybrid = Vec::new();
+    for p in points {
+        let label = label_of(p, "BENCH_noc_hybrid.json point")?;
+        let speedup = f64_of(p, "speedup", "BENCH_noc_hybrid.json point")?;
+        // `floor` is honestly optional: absent or null means info-only.
+        let floor = p.get("floor").and_then(|x| x.as_f64());
+        noc_hybrid.push((label, speedup, floor));
+    }
+    if noc_hybrid.is_empty() {
+        return Err("BENCH_noc_hybrid.json: no points".into());
     }
 
     let pipe = read("BENCH_pipeline.json")?;
@@ -202,6 +228,7 @@ pub fn load_baselines(dir: &Path) -> Result<Baselines, String> {
     Ok(Baselines {
         noc_speedups,
         noc_throughput,
+        noc_hybrid,
         pipeline_speedup,
     })
 }
@@ -209,13 +236,19 @@ pub fn load_baselines(dir: &Path) -> Result<Baselines, String> {
 /// Fresh benchmark samples, keyed by gate name.
 pub type Samples = BTreeMap<String, Vec<f64>>;
 
-/// Gate label for a NoC load point.
-fn noc_key(offered: f64) -> String {
-    format!("noc.speedup@{offered:.1}")
+/// Gate label for a NoC load point. Keys are the point's stable string
+/// label, not a formatted offered load — `{offered:.1}` collapsed 0.01
+/// and a hypothetical 0.04 onto the same `@0.0` key.
+fn noc_key(label: &str) -> String {
+    format!("noc.speedup@{label}")
 }
 
-fn noc_tput_key(offered: f64) -> String {
-    format!("noc.cycles_per_sec@{offered:.1}")
+fn noc_tput_key(label: &str) -> String {
+    format!("noc.cycles_per_sec@{label}")
+}
+
+fn noc_hybrid_key(label: &str) -> String {
+    format!("noc.hybrid_speedup@{label}")
 }
 
 /// Re-run the benchmarks and collect per-gate samples. `quick` trades
@@ -223,19 +256,33 @@ fn noc_tput_key(offered: f64) -> String {
 /// rel_floor part of the band carries the verdict when MAD has little
 /// data).
 pub fn collect_samples(quick: bool) -> Samples {
-    let (cycles, noc_runs, pipe_runs) = if quick { (6_000, 2, 1) } else { (20_000, 3, 2) };
+    let (cycles, noc_runs, hybrid_runs, pipe_runs) = if quick {
+        (6_000, 2, 1, 1)
+    } else {
+        (20_000, 3, 2, 2)
+    };
     let mut samples: Samples = BTreeMap::new();
     for _ in 0..noc_runs {
         let run = crate::nocperf::measure(8, cycles, 1);
         for p in &run.points {
             samples
-                .entry(noc_key(p.offered))
+                .entry(noc_key(&p.label))
                 .or_default()
                 .push(p.speedup);
             samples
-                .entry(noc_tput_key(p.offered))
+                .entry(noc_tput_key(&p.label))
                 .or_default()
                 .push(p.fast_cycles_per_sec);
+        }
+    }
+    // The hybrid points are self-sized (mostly-idle spans are nearly
+    // free), so quick mode only trims the repeat count.
+    for _ in 0..hybrid_runs {
+        for p in crate::nocperf::measure_hybrid(1) {
+            samples
+                .entry(noc_hybrid_key(&p.label))
+                .or_default()
+                .push(p.speedup);
         }
     }
     for _ in 0..pipe_runs {
@@ -255,10 +302,10 @@ pub fn collect_samples(quick: bool) -> Samples {
 /// neighbouring-load effects must not page anyone.
 pub fn gate_specs(b: &Baselines) -> Vec<GateSpec> {
     let mut specs = Vec::new();
-    for &(offered, speedup) in &b.noc_speedups {
+    for (label, speedup) in &b.noc_speedups {
         specs.push(GateSpec {
-            name: noc_key(offered),
-            baseline: speedup,
+            name: noc_key(label),
+            baseline: *speedup,
             // The fast path is ≥2.2x everywhere; losing a third of the
             // ratio means the fast path itself decayed.
             rel_floor: 0.35,
@@ -266,13 +313,25 @@ pub fn gate_specs(b: &Baselines) -> Vec<GateSpec> {
             gating: true,
         });
     }
-    for &(offered, cps) in &b.noc_throughput {
+    for (label, cps) in &b.noc_throughput {
         specs.push(GateSpec {
-            name: noc_tput_key(offered),
-            baseline: cps,
+            name: noc_tput_key(label),
+            baseline: *cps,
             rel_floor: 0.0,
             abs_min: None,
             gating: false,
+        });
+    }
+    for (label, speedup, floor) in &b.noc_hybrid {
+        specs.push(GateSpec {
+            name: noc_hybrid_key(label),
+            baseline: *speedup,
+            // Skip-ahead ratios swing with how much of the span is idle;
+            // the hard floor from the sidecar carries the real claim
+            // (≥5x on the bursty point, ≥0.7x no-regression on uniform).
+            rel_floor: 0.5,
+            abs_min: *floor,
+            gating: floor.is_some(),
         });
     }
     specs.push(GateSpec {
@@ -353,21 +412,37 @@ mod tests {
 
     fn baselines() -> Baselines {
         Baselines {
-            noc_speedups: vec![(0.1, 3.43), (0.5, 2.36), (0.9, 2.21)],
-            noc_throughput: vec![(0.1, 497_000.0), (0.5, 91_000.0), (0.9, 81_000.0)],
+            noc_speedups: vec![
+                ("0.1".into(), 3.43),
+                ("0.5".into(), 2.36),
+                ("0.9".into(), 2.21),
+            ],
+            noc_throughput: vec![
+                ("0.1".into(), 497_000.0),
+                ("0.5".into(), 91_000.0),
+                ("0.9".into(), 81_000.0),
+            ],
+            noc_hybrid: vec![
+                ("bursty-32".into(), 40.0, Some(5.0)),
+                ("uniform-32".into(), 1.0, Some(0.7)),
+                ("bursty-64".into(), 25.0, None),
+            ],
             pipeline_speedup: 30.0,
         }
     }
 
     fn healthy_samples(b: &Baselines) -> Samples {
         let mut s = Samples::new();
-        for &(offered, speedup) in &b.noc_speedups {
+        for (label, speedup) in &b.noc_speedups {
             // Honest run-to-run jitter around the baseline.
             s.insert(
-                noc_key(offered),
+                noc_key(label),
                 vec![speedup * 0.97, speedup * 1.02, speedup * 0.99],
             );
-            s.insert(noc_tput_key(offered), vec![1.0, 1.0, 1.0]);
+            s.insert(noc_tput_key(label), vec![1.0, 1.0, 1.0]);
+        }
+        for (label, speedup, _) in &b.noc_hybrid {
+            s.insert(noc_hybrid_key(label), vec![speedup * 0.95, speedup * 1.01]);
         }
         s.insert("pipeline.speedup".into(), vec![28.0, 31.0]);
         s
@@ -400,6 +475,35 @@ mod tests {
             .iter()
             .filter(|r| r.name.starts_with("noc.cycles_per_sec"))
             .all(|r| r.verdict == Verdict::Info));
+        // Hybrid rows gate exactly when the sidecar carries a floor.
+        let verdict = |name: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("missing row {name}"))
+                .verdict
+        };
+        assert_eq!(verdict("noc.hybrid_speedup@bursty-32"), Verdict::Pass);
+        assert_eq!(verdict("noc.hybrid_speedup@uniform-32"), Verdict::Pass);
+        assert_eq!(verdict("noc.hybrid_speedup@bursty-64"), Verdict::Info);
+    }
+
+    #[test]
+    fn hybrid_speedup_below_its_hard_floor_regresses() {
+        let b = baselines();
+        let mut s = healthy_samples(&b);
+        // Skip-ahead collapsed: the gated bursty point runs at stepper
+        // speed, far below both the noise band and the ≥5x sidecar floor.
+        s.insert(noc_hybrid_key("bursty-32"), vec![0.98, 1.03]);
+        let report = check(&b, &s);
+        assert!(report.regressed, "{}", render(&report));
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.name == "noc.hybrid_speedup@bursty-32")
+            .unwrap();
+        assert_eq!(row.verdict, Verdict::Regressed);
     }
 
     #[test]
@@ -407,8 +511,8 @@ mod tests {
         let b = baselines();
         let mut s = healthy_samples(&b);
         // The fast path decayed to ~reference speed at every load.
-        for &(offered, _) in &b.noc_speedups {
-            s.insert(noc_key(offered), vec![1.02, 1.05, 0.98]);
+        for (label, _) in &b.noc_speedups {
+            s.insert(noc_key(label), vec![1.02, 1.05, 0.98]);
         }
         let report = check(&b, &s);
         assert!(report.regressed, "{}", render(&report));
@@ -479,8 +583,17 @@ mod tests {
         // The real committed files at the repository root.
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let b = load_baselines(&root).expect("committed sidecars parse");
-        assert_eq!(b.noc_speedups.len(), 3);
-        assert!(b.noc_speedups.iter().all(|&(_, s)| s > 1.0));
+        assert_eq!(b.noc_speedups.len(), 5);
+        assert!(b.noc_speedups.iter().all(|(_, s)| *s > 1.0));
+        assert_eq!(b.noc_hybrid.len(), 3);
+        // The gated bursty point's committed floor is the ≥5x claim.
+        let bursty = b
+            .noc_hybrid
+            .iter()
+            .find(|(l, _, _)| l == "bursty-32")
+            .expect("bursty-32 point");
+        assert_eq!(bursty.2, Some(5.0));
+        assert!(bursty.1 >= 5.0, "committed hybrid speedup {}", bursty.1);
         assert!(b.pipeline_speedup > 5.0);
     }
 }

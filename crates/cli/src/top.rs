@@ -5,8 +5,9 @@
 //! [`hic_obs::Sampler`] snapshots the global registry into ring-buffer
 //! series while the pool executes, and this module renders those series
 //! as refreshing ANSI sparklines on stderr — queue depth, busy worker
-//! lanes, cache hit-rate, live NoC flit rate and job completions. Plain
-//! ANSI only (cursor-up + erase-line), no terminal library.
+//! lanes, cache hit-rate, live NoC flit rate, hybrid-engine skip ratio
+//! and event density, and job completions. Plain ANSI only (cursor-up +
+//! erase-line), no terminal library.
 //!
 //! Rendering is split from the refresh loop so the frame content is
 //! unit-testable: [`render_frame`] is a pure function of a
@@ -89,6 +90,8 @@ pub fn render_frame(store: &SeriesStore, total_jobs: Option<u64>) -> String {
             .map(|(&h, &m)| if h + m > 0.0 { h / (h + m) } else { 0.0 })
             .collect()
     };
+    let skips = history(store, "noc.live.skip_permille");
+    let events = history(store, "noc.live.events_per_kcycle");
     let done = last(store, "pipeline.jobs.completed").unwrap_or(0.0) as u64;
     let jobs_rate = store.rate_per_sec("pipeline.jobs.completed", 5_000);
 
@@ -125,6 +128,21 @@ pub fn render_frame(store: &SeriesStore, total_jobs: Option<u64>) -> String {
         &flits,
         &format!("now {}", flits.last().copied().unwrap_or(0.0) as u64),
     );
+    // Hybrid-engine health: what share of simulated cycles were skipped
+    // over (next-event jumps) rather than stepped, and how dense the
+    // stepped cycles are in flit events.
+    row(
+        &mut out,
+        "noc skip-ratio",
+        &skips,
+        &format!("now {:.1}%", skips.last().copied().unwrap_or(0.0) / 10.0),
+    );
+    row(
+        &mut out,
+        "noc events/kcycle",
+        &events,
+        &format!("now {}", events.last().copied().unwrap_or(0.0) as u64),
+    );
     let jobs_now = match (total_jobs, jobs_rate) {
         (Some(t), Some(r)) => format!("done {done}/{t} ({r:.1} jobs/s)"),
         (Some(t), None) => format!("done {done}/{t}"),
@@ -141,7 +159,7 @@ pub fn render_frame(store: &SeriesStore, total_jobs: Option<u64>) -> String {
 }
 
 /// Number of lines [`render_frame`] emits (for the cursor-up redraw).
-const FRAME_LINES: usize = 5;
+const FRAME_LINES: usize = 7;
 
 /// Run the batch with a live dashboard on stderr: start a sampler at
 /// `interval`, execute the DAG on a helper thread, and redraw the frame
@@ -225,6 +243,8 @@ mod tests {
             store.record_at("pipeline.store.hits", t, (i * 3) as f64);
             store.record_at("pipeline.store.misses", t, i as f64);
             store.record_at("noc.live.flits_per_kcycle", t, (i * 50) as f64);
+            store.record_at("noc.live.skip_permille", t, 905.0);
+            store.record_at("noc.live.events_per_kcycle", t, (i * 20) as f64);
             store.record_at("pipeline.jobs.completed", t, i as f64);
         }
         let frame = render_frame(&store, Some(18));
@@ -235,6 +255,10 @@ mod tests {
         assert!(frame.contains("cache hit-rate"), "{frame}");
         assert!(frame.contains("75%"), "{frame}");
         assert!(frame.contains("noc flits/kcycle"), "{frame}");
+        assert!(frame.contains("noc skip-ratio"), "{frame}");
+        assert!(frame.contains("now 90.5%"), "{frame}");
+        assert!(frame.contains("noc events/kcycle"), "{frame}");
+        assert!(frame.contains("now 180"), "{frame}");
         assert!(frame.contains("done 9/18"), "{frame}");
         // Sparklines actually vary for the varying series.
         let depth_line = frame.lines().next().unwrap();

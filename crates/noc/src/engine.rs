@@ -1,0 +1,483 @@
+//! The hybrid event-driven engine: next-event skip-ahead over quiescent
+//! regions plus partitioned parallel stepping for big meshes.
+//!
+//! # Next-event invariant
+//!
+//! The wormhole mesh is deadlock-free and ejection is always ready, so
+//! **while any packet is in flight, at least one flit moves every cycle**
+//! (or a stall is accounted, which is itself an observable). With
+//! unit-latency links the in-flight event horizon is therefore one cycle:
+//! there is nothing to skip while traffic is live, and any engine that
+//! skipped a live cycle would diverge from the cycle-exact stepper. The
+//! only legally skippable regions are *quiescent* ones — no flits
+//! buffered, no injections pending — where the next observable event is
+//! the earliest scheduled future injection. [`HybridNetwork::run_to`]
+//! exploits exactly that: while traffic is live it steps (delegating to
+//! the sequential or partitioned stepper), and the moment the mesh drains
+//! it jumps the clock in one hop to the earliest calendar bucket (or the
+//! run target, whichever is sooner). Cost thus scales with *events*
+//! (injections and live cycles), not with wall-clock cycles × routers —
+//! on idle-heavy schedules, the common case in profiled kernel graphs
+//! where compute dominates, nearly all cycles collapse into jumps.
+//!
+//! # Calendar layout
+//!
+//! Scheduled injections live in a calendar of per-cycle buckets
+//! (`BTreeMap<cycle, Vec<send>>`): insertion is O(log buckets) on a
+//! bucket boundary and amortized O(1) within one, the next-event query is
+//! the first key, and a whole bucket injects in insertion order when its
+//! cycle arrives — preserving the packet-id order a cycle-stepped driver
+//! would have produced, which the cycle-exactness proptests rely on. A
+//! ring-of-buckets calendar (classic calendar queue) was considered and
+//! rejected: idle-heavy schedules are sparse and jumps are arbitrary
+//! length, so the ordered index beats scanning ring slots across wraps.
+//!
+//! # Partition handoff
+//!
+//! For meshes at or above the parallel threshold the live-cycle stepper
+//! is [`Network::step_partitioned`]: row strips decide concurrently
+//! against the shared pre-move snapshot, apply their own moves, and buffer
+//! every cross-strip push as a handoff event that the coordinator applies
+//! in ascending strip order — byte-identical to the sequential stepper
+//! for any worker count (see `network/parallel.rs` for the argument).
+
+use crate::network::parallel::PartitionPlan;
+use crate::network::{DeliveredPacket, DrainTimeout, NetMetrics, Network, NocConfig, RecordMode};
+use crate::topology::Coord;
+use crate::PacketId;
+use hic_obs::trace::Tracer;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Which stepping core a caller wants (the CLI's `--engine` flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The cycle stepper: every cycle is simulated, drained gaps are
+    /// jumped only when the caller does so explicitly. The pre-hybrid
+    /// behaviour, kept selectable for A/B runs.
+    Step,
+    /// The hybrid event-driven engine: skip-ahead over quiescent regions
+    /// and partitioned parallel stepping on big meshes.
+    Hybrid,
+    /// Pick per mesh: hybrid skip-ahead everywhere (it is never slower —
+    /// it degenerates to the stepper under continuous load), partitioned
+    /// stepping only where the mesh is big enough to amortize the scopes.
+    #[default]
+    Auto,
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "step" => Ok(EngineKind::Step),
+            "hybrid" => Ok(EngineKind::Hybrid),
+            "auto" => Ok(EngineKind::Auto),
+            other => Err(format!("unknown engine '{other}' (step|hybrid|auto)")),
+        }
+    }
+}
+
+/// Tuning for [`HybridNetwork`].
+#[derive(Debug, Clone, Copy)]
+pub struct HybridConfig {
+    /// Worker threads for partitioned stepping; `1` keeps every live
+    /// cycle on the sequential stepper.
+    pub jobs: usize,
+    /// Minimum router count before partitioned stepping engages — below
+    /// it the per-cycle scope setup costs more than the mesh.
+    pub parallel_threshold: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            jobs: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
+            parallel_threshold: 1024,
+        }
+    }
+}
+
+/// Skip-ahead accounting since engine construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SkipStats {
+    /// Quiescent regions collapsed into a single clock jump.
+    pub skips: u64,
+    /// Cycles those jumps covered (never individually simulated).
+    pub skipped_cycles: u64,
+    /// Cycles actually simulated by the stepper.
+    pub stepped_cycles: u64,
+}
+
+impl SkipStats {
+    /// Fraction of elapsed cycles that were skipped, in permille.
+    pub fn skip_permille(&self) -> u64 {
+        let total = self.skipped_cycles + self.stepped_cycles;
+        (self.skipped_cycles * 1000).checked_div(total).unwrap_or(0)
+    }
+}
+
+/// Per-cycle buckets of scheduled injections (see the module docs for
+/// why a `BTreeMap` beats a ring calendar here).
+#[derive(Debug, Default)]
+struct Calendar {
+    buckets: BTreeMap<u64, Vec<(Coord, Coord, u64)>>,
+    len: usize,
+}
+
+impl Calendar {
+    fn schedule(&mut self, cycle: u64, src: Coord, dst: Coord, bytes: u64) {
+        self.buckets
+            .entry(cycle)
+            .or_default()
+            .push((src, dst, bytes));
+        self.len += 1;
+    }
+
+    fn next_cycle(&self) -> Option<u64> {
+        self.buckets.first_key_value().map(|(&c, _)| c)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Live-gauge handles for `hic top` (skip ratio and event density).
+#[derive(Debug)]
+struct SkipGauges {
+    skip_permille: Arc<hic_obs::Gauge>,
+    events_per_kcycle: Arc<hic_obs::Gauge>,
+}
+
+/// The hybrid event-driven NoC engine: a [`Network`] plus an injection
+/// calendar, next-event skip-ahead, and (for big meshes) partitioned
+/// parallel stepping. Cycle-exact with the stepper and the reference by
+/// construction — skipped regions are exactly the regions where nothing
+/// could have moved.
+#[derive(Debug)]
+pub struct HybridNetwork {
+    net: Network,
+    cal: Calendar,
+    plan: PartitionPlan,
+    jobs: usize,
+    parallel: bool,
+    skips: u64,
+    skipped_cycles: u64,
+    stepped_cycles: u64,
+    gauges: Option<SkipGauges>,
+}
+
+impl HybridNetwork {
+    /// Build an idle hybrid engine with default tuning.
+    pub fn new(cfg: NocConfig) -> Self {
+        Self::with_config(cfg, HybridConfig::default())
+    }
+
+    /// Build an idle hybrid engine with explicit tuning.
+    pub fn with_config(cfg: NocConfig, hc: HybridConfig) -> Self {
+        // Strip count scales with the worker pool (4 strips per worker so
+        // the ready-deque can rebalance) but is capped by the row count.
+        let plan = PartitionPlan::rows(cfg.mesh, hc.jobs.max(1) * 4);
+        let parallel = hc.jobs > 1 && cfg.mesh.len() >= hc.parallel_threshold && plan.len() > 1;
+        HybridNetwork {
+            net: Network::new(cfg),
+            cal: Calendar::default(),
+            plan,
+            jobs: hc.jobs.max(1),
+            parallel,
+            skips: 0,
+            skipped_cycles: 0,
+            stepped_cycles: 0,
+            gauges: None,
+        }
+    }
+
+    /// Inject a message now (same contract as [`Network::send`]).
+    pub fn send(&mut self, src: Coord, dst: Coord, bytes: u64) -> PacketId {
+        self.net.send(src, dst, bytes)
+    }
+
+    /// Schedule a message for injection at `cycle`. A cycle at or before
+    /// the current one saturates to "inject on the next step". Packet ids
+    /// are assigned at injection time, in calendar order (bucket cycle,
+    /// then insertion order within the bucket) — exactly the ids a driver
+    /// stepping every cycle and calling [`Self::send`] would have issued.
+    pub fn send_at(&mut self, cycle: u64, src: Coord, dst: Coord, bytes: u64) {
+        self.cal
+            .schedule(cycle.max(self.net.cycle()), src, dst, bytes);
+    }
+
+    /// Inject every calendar bucket that is due at or before the current
+    /// cycle.
+    fn inject_due(&mut self) {
+        let now = self.net.cycle();
+        while let Some((&c, _)) = self.cal.buckets.first_key_value() {
+            if c > now {
+                break;
+            }
+            let batch = self.cal.buckets.pop_first().expect("checked non-empty").1;
+            self.cal.len -= batch.len();
+            for (src, dst, bytes) in batch {
+                self.net.send(src, dst, bytes);
+            }
+        }
+    }
+
+    /// One simulated cycle on the selected stepper.
+    fn step_live(&mut self) {
+        if self.parallel {
+            self.net.step_partitioned(&self.plan, self.jobs);
+        } else {
+            self.net.step();
+        }
+        self.stepped_cycles += 1;
+    }
+
+    /// Advance one cycle (injecting any due scheduled sends first).
+    pub fn step(&mut self) {
+        self.inject_due();
+        self.step_live();
+    }
+
+    /// Run the clock to `target`: step while traffic is live, jump over
+    /// quiescent regions to the next scheduled injection in one hop.
+    pub fn run_to(&mut self, target: u64) {
+        while self.net.cycle() < target {
+            self.inject_due();
+            if self.net.is_drained() {
+                // Quiescent: nothing can move until the next scheduled
+                // injection. `inject_due` drained every bucket at or
+                // before `now`, so the earliest bucket is strictly in the
+                // future and the jump is non-trivial.
+                let next = self.cal.next_cycle().map_or(target, |c| c.min(target));
+                let now = self.net.cycle();
+                self.net
+                    .advance_idle_to(next)
+                    .expect("skip-ahead only from a drained network");
+                self.skips += 1;
+                self.skipped_cycles += next - now;
+            } else {
+                self.step_live();
+            }
+        }
+        self.update_gauges();
+    }
+
+    /// Step/skip until all traffic — in flight and scheduled — has
+    /// drained. `max_stepped` bounds the *simulated* cycles (skipped
+    /// regions are free, so an idle-heavy schedule cannot spuriously
+    /// exhaust the budget).
+    pub fn run_until_drained(&mut self, max_stepped: u64) -> Result<u64, DrainTimeout> {
+        let start_stepped = self.stepped_cycles;
+        let start = self.net.cycle();
+        while !self.is_drained() {
+            if self.stepped_cycles - start_stepped >= max_stepped {
+                return Err(DrainTimeout {
+                    undelivered: self.net.in_flight() + self.cal.len,
+                });
+            }
+            self.inject_due();
+            if self.net.is_drained() {
+                let next = self
+                    .cal
+                    .next_cycle()
+                    .expect("undrained engine with empty calendar");
+                let now = self.net.cycle();
+                self.net
+                    .advance_idle_to(next)
+                    .expect("skip-ahead only from a drained network");
+                self.skips += 1;
+                self.skipped_cycles += next - now;
+            } else {
+                self.step_live();
+            }
+        }
+        self.update_gauges();
+        Ok(self.net.cycle() - start)
+    }
+
+    /// True when nothing is in flight and nothing is scheduled.
+    pub fn is_drained(&self) -> bool {
+        self.net.is_drained() && self.cal.is_empty()
+    }
+
+    /// Skip-ahead accounting since construction.
+    pub fn skip_stats(&self) -> SkipStats {
+        SkipStats {
+            skips: self.skips,
+            skipped_cycles: self.skipped_cycles,
+            stepped_cycles: self.stepped_cycles,
+        }
+    }
+
+    /// Messages scheduled but not yet injected.
+    pub fn scheduled(&self) -> usize {
+        self.cal.len
+    }
+
+    /// Whether live cycles run on the partitioned parallel stepper.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.net.cycle()
+    }
+
+    /// The wrapped network, for read-side inspection (stats, metrics,
+    /// delivered log).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Per-packet delivery records (see [`Network::delivered`]).
+    pub fn delivered(&self) -> &[DeliveredPacket] {
+        self.net.delivered()
+    }
+
+    /// Remove and return the packets delivered since the last drain.
+    pub fn drain_events(&mut self) -> std::vec::Drain<'_, DeliveredPacket> {
+        self.net.drain_events()
+    }
+
+    /// Streaming delivery statistics (see [`Network::stats`]).
+    pub fn stats(&self) -> &crate::network::NocStats {
+        self.net.stats()
+    }
+
+    /// Aggregate per-router observability counters.
+    pub fn metrics(&self) -> NetMetrics {
+        self.net.metrics()
+    }
+
+    /// Choose how much per-packet information to retain.
+    pub fn set_record_mode(&mut self, mode: RecordMode) {
+        self.net.set_record_mode(mode);
+    }
+
+    /// Route packet-lifecycle events to `tracer`. Tracing forces live
+    /// cycles onto the sequential stepper so per-hop events stay ordered.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.net.attach_tracer(tracer);
+    }
+
+    /// Publish the wrapped network's live gauges plus the engine's own
+    /// `<prefix>.live.skip_permille` and `<prefix>.live.events_per_kcycle`
+    /// (updated at the end of each `run_*` call).
+    pub fn attach_pulse(&mut self, reg: &hic_obs::Registry, prefix: &str, every: u64) {
+        self.net.attach_pulse(reg, prefix, every);
+        self.gauges = Some(SkipGauges {
+            skip_permille: reg.gauge(&format!("{prefix}.live.skip_permille")),
+            events_per_kcycle: reg.gauge(&format!("{prefix}.live.events_per_kcycle")),
+        });
+        self.update_gauges();
+    }
+
+    /// Publish final aggregate metrics (see [`Network::publish_metrics`]).
+    pub fn publish_metrics(&self, reg: &hic_obs::Registry, prefix: &str) {
+        self.net.publish_metrics(reg, prefix);
+    }
+
+    fn update_gauges(&self) {
+        let Some(g) = &self.gauges else { return };
+        let total = self.skipped_cycles + self.stepped_cycles;
+        g.skip_permille
+            .set((self.skipped_cycles * 1000).checked_div(total).unwrap_or(0));
+        let m = self.net.metrics();
+        let events = m.forwarded_flits + m.ejected_flits;
+        g.events_per_kcycle
+            .set((events * 1000).checked_div(total).unwrap_or(0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Mesh;
+
+    fn cfg(side: u16) -> NocConfig {
+        NocConfig::paper_default(Mesh::new(side, side))
+    }
+
+    fn seq() -> HybridConfig {
+        HybridConfig {
+            jobs: 1,
+            parallel_threshold: usize::MAX,
+        }
+    }
+
+    #[test]
+    fn skip_ahead_jumps_quiescent_regions_in_one_hop() {
+        let c = cfg(4);
+        let mut h = HybridNetwork::with_config(c, seq());
+        let mesh = c.mesh;
+        h.send_at(10_000, mesh.coord(0), mesh.coord(15), 64);
+        h.run_until_drained(100_000).expect("drains");
+        let s = h.skip_stats();
+        assert_eq!(s.skips, 1, "one quiescent region, one jump");
+        assert_eq!(s.skipped_cycles, 10_000);
+        assert!(
+            s.stepped_cycles < 100,
+            "only the live burst is simulated, got {}",
+            s.stepped_cycles
+        );
+        assert_eq!(h.delivered().len(), 1);
+    }
+
+    #[test]
+    fn run_to_stops_exactly_at_target_and_saturates_past_sends() {
+        let c = cfg(4);
+        let mut h = HybridNetwork::with_config(c, seq());
+        let mesh = c.mesh;
+        h.run_to(500);
+        assert_eq!(h.cycle(), 500);
+        // Scheduling in the past saturates to "next step" instead of
+        // panicking or rewinding.
+        h.send_at(100, mesh.coord(1), mesh.coord(2), 8);
+        h.run_until_drained(10_000).expect("drains");
+        assert_eq!(h.delivered().len(), 1);
+        assert!(h.delivered()[0].injected >= 500);
+    }
+
+    #[test]
+    fn calendar_preserves_same_cycle_insertion_order() {
+        let c = cfg(4);
+        let mut h = HybridNetwork::with_config(c, seq());
+        let mesh = c.mesh;
+        for k in 0..5 {
+            h.send_at(50, mesh.coord(k), mesh.coord(15 - k), 16);
+        }
+        h.run_until_drained(100_000).expect("drains");
+        let mut ids: Vec<_> = h.delivered().iter().map(|p| (p.src, p.id.0)).collect();
+        ids.sort_by_key(|&(_, id)| id);
+        // Ids were assigned in insertion order: src k got id k.
+        for (k, &(src, id)) in ids.iter().enumerate() {
+            assert_eq!(id, k as u64);
+            assert_eq!(src, mesh.coord(k));
+        }
+    }
+
+    #[test]
+    fn drain_budget_counts_stepped_not_skipped_cycles() {
+        let c = cfg(4);
+        let mut h = HybridNetwork::with_config(c, seq());
+        let mesh = c.mesh;
+        // A send a billion cycles out: free to skip to, so a small
+        // stepped-cycle budget still suffices.
+        h.send_at(1_000_000_000, mesh.coord(0), mesh.coord(5), 8);
+        h.run_until_drained(1_000).expect("skip makes this cheap");
+        assert!(h.cycle() > 1_000_000_000);
+    }
+
+    #[test]
+    fn engine_kind_parses() {
+        assert_eq!("step".parse::<EngineKind>(), Ok(EngineKind::Step));
+        assert_eq!("hybrid".parse::<EngineKind>(), Ok(EngineKind::Hybrid));
+        assert_eq!("auto".parse::<EngineKind>(), Ok(EngineKind::Auto));
+        assert!("fast".parse::<EngineKind>().is_err());
+    }
+}

@@ -13,6 +13,10 @@
 //!   delivery records, latency and throughput statistics. Implemented as a
 //!   zero-allocation fast path (active-router set, slab packet tracking,
 //!   streaming statistics) proven cycle-exact against [`reference`].
+//! * [`engine`] — the hybrid event-driven engine: an injection calendar
+//!   with next-event skip-ahead over quiescent regions, and partitioned
+//!   work-stealing parallel stepping for big meshes. Cycle-exact with
+//!   [`network`] and [`reference`].
 //! * [`reference`] — the original straightforward stepper, kept as the
 //!   executable specification the fast path is property-tested against.
 //! * [`adapter`] — kernel and local-memory network adapters (Table II
@@ -29,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod adapter;
+pub mod engine;
 pub mod flit;
 pub mod latency;
 pub mod network;
@@ -40,10 +45,13 @@ pub mod topology;
 pub mod traffic;
 
 pub use adapter::{AdapterKind, AdapterSpec};
+pub use engine::{EngineKind, HybridConfig, HybridNetwork, SkipStats};
 pub use flit::{Flit, FlitKind, Packet, PacketId};
 pub use latency::LatencyModel;
+pub use network::parallel::PartitionPlan;
 pub use network::{
-    DeliveredPacket, DrainTimeout, NetMetrics, Network, NocConfig, NocStats, RecordMode,
+    DeliveredPacket, DrainTimeout, IdleJumpError, NetMetrics, Network, NocConfig, NocStats,
+    RecordMode,
 };
 pub use placement::{
     place, place_exhaustive, place_greedy, place_naive, NocNode, Placement, Traffic,

@@ -54,6 +54,8 @@
 // naturally than iterator chains here.
 #![allow(clippy::needless_range_loop)]
 
+pub mod parallel;
+
 use crate::flit::{Flit, FlitKind, Packet, PacketId};
 use crate::router::{OutputLock, WrrArbiter, PORTS};
 use crate::topology::{Coord, Direction, Mesh, Routing};
@@ -81,7 +83,7 @@ fn unpack_move(pm: u8) -> (usize, usize, bool) {
 /// The moves one router decided this cycle, packed small so the decide →
 /// apply hand-off copies 12 bytes per router instead of a full `MoveSet`.
 #[derive(Debug, Clone, Copy)]
-struct PackedMoves {
+pub(crate) struct PackedMoves {
     router: u32,
     n: u8,
     moves: [u8; PORTS],
@@ -345,6 +347,211 @@ impl std::fmt::Display for DrainTimeout {
 
 impl std::error::Error for DrainTimeout {}
 
+/// [`Network::advance_idle_to`] refused to jump the clock because traffic
+/// was still in flight: skipping cycles would erase moves those flits were
+/// entitled to make.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdleJumpError {
+    /// Packets in flight when the jump was requested.
+    pub inflight: usize,
+    /// The clock value at the refused jump (unchanged by the call).
+    pub at: u64,
+}
+
+impl std::fmt::Display for IdleJumpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot skip ahead at cycle {}: {} packets in flight",
+            self.at, self.inflight
+        )
+    }
+}
+
+impl std::error::Error for IdleJumpError {}
+
+/// Read-only view of the state the decide phase consults: topology,
+/// routing tables, and the pre-move FIFO snapshot. One `DecideCtx` is
+/// shared by every router deciding in a cycle — sequentially in
+/// [`Network::step`], concurrently across partitions in the hybrid
+/// engine's partitioned stepper — which is what makes the snapshot
+/// semantics (“every router decides against the same pre-move state”)
+/// hold by construction in both.
+pub(crate) struct DecideCtx<'a> {
+    pub mesh: Mesh,
+    pub routing: Routing,
+    pub cap: u32,
+    pub buffer_flits: usize,
+    pub nbr: &'a [[u32; PORTS]],
+    pub coords: &'a [Coord],
+    pub port_occ: &'a [[u32; PORTS]],
+    pub occ_mask: &'a [u8],
+    pub fifo: &'a [Flit],
+    pub fifo_head: &'a [u8],
+}
+
+impl DecideCtx<'_> {
+    /// Front flit of a FIFO the caller knows is non-empty.
+    #[inline(always)]
+    fn front(&self, router: usize, port: usize) -> Flit {
+        debug_assert!(self.port_occ[router][port] > 0, "front of empty FIFO");
+        let rp = router * PORTS + port;
+        self.fifo[rp * self.buffer_flits + self.fifo_head[rp] as usize]
+    }
+}
+
+/// Decide one router's moves for this cycle against the shared pre-move
+/// snapshot. Mutates only state owned by router `i` (its wormhole locks,
+/// arbiter credits, and FIFO high-water marks), so disjoint routers may
+/// decide concurrently. Returns `None` when the router is active but
+/// nothing can move — a stalled cycle the caller accounts for.
+#[inline(always)]
+pub(crate) fn decide_router(
+    cx: &DecideCtx<'_>,
+    i: usize,
+    locks: &mut [Option<OutputLock>; PORTS],
+    lock_mask: &mut u8,
+    arbs: &mut [WrrArbiter; PORTS],
+    hwm: &mut [u8; PORTS],
+) -> Option<PackedMoves> {
+    let local = Direction::Local.index();
+    let occ = cx.occ_mask[i];
+    debug_assert!(occ != 0, "idle router on the active list");
+
+    // High-water marks observed from the post-inject, pre-move snapshot.
+    // Every non-empty FIFO belongs to an active router each cycle it is
+    // non-empty, so the max over these observations equals the max
+    // cycle-boundary occupancy — a definition that, unlike the push-time
+    // transient, does not depend on the order moves are applied in.
+    let mut hm = occ;
+    while hm != 0 {
+        let p = hm.trailing_zeros() as usize;
+        hm &= hm - 1;
+        let o = cx.port_occ[i][p] as u8;
+        if o > hwm[p] {
+            hwm[p] = o;
+        }
+    }
+
+    // Lazy downstream-space snapshot: `space`/`known` bitmaps fill in per
+    // direction on first use. FIFO lengths don't change until apply, so
+    // laziness observes the same snapshot the eager version would.
+    let nbr = cx.nbr[i];
+    let cap = cx.cap;
+    let mut known: u8 = 1 << local; // ejection is always ready
+    let mut space: u8 = 1 << local;
+    macro_rules! has_space {
+        ($d:expr) => {{
+            let d: usize = $d;
+            let bit = 1u8 << d;
+            if known & bit == 0 {
+                known |= bit;
+                let ok = match nbr[d] {
+                    u32::MAX => false,
+                    n => cx.port_occ[n as usize][OPP[d]] < cap,
+                };
+                if ok {
+                    space |= bit;
+                }
+            }
+            space & bit != 0
+        }};
+    }
+
+    let mut busy: u8 = 0;
+    let mut n_moves = 0usize;
+    let mut packed = [0u8; PORTS];
+
+    // Phase 1: continue established wormholes.
+    let mut lm = *lock_mask;
+    while lm != 0 {
+        let d = lm.trailing_zeros() as usize;
+        lm &= lm - 1;
+        let lock = locks[d].expect("lock_mask bit without a lock");
+        let ib = 1u8 << lock.input;
+        if busy & ib != 0 || occ & ib == 0 || !has_space!(d) {
+            continue;
+        }
+        let front = cx.front(i, lock.input);
+        if front.packet == lock.packet {
+            busy |= ib;
+            packed[n_moves] = pack_move(lock.input, d, front.kind.is_tail());
+            n_moves += 1;
+        }
+    }
+
+    // A head flit's requested output depends only on the space snapshot,
+    // so it is computed once per input: `req[d]` collects the requesters
+    // of output `d` as a bitmask of input ports. An input requests exactly
+    // one output, so the masks stay valid through the arbitration phase.
+    let mut req = [0u8; PORTS];
+    let mut req_outs: u8 = 0;
+    let mut rm = occ & !busy;
+    while rm != 0 {
+        let p = rm.trailing_zeros() as usize;
+        rm &= rm - 1;
+        let front = cx.front(i, p);
+        if front.kind.is_head() {
+            let opts = cx.mesh.route_choices(cx.coords[i], front.dst, cx.routing);
+            let sl = opts.as_slice();
+            // First option whose downstream has space, else the first
+            // option (wait there).
+            let mut pick = sl[0].index();
+            for o in sl {
+                let oi = o.index();
+                if has_space!(oi) {
+                    pick = oi;
+                    break;
+                }
+            }
+            req[pick] |= 1 << p;
+            req_outs |= 1 << pick;
+        }
+    }
+
+    // Phase 2: arbitrate free outputs among head flits.
+    let mut am = req_outs & !*lock_mask;
+    while am != 0 {
+        let d = am.trailing_zeros() as usize;
+        am &= am - 1;
+        if !has_space!(d) {
+            continue;
+        }
+        let mask = req[d];
+        let winner = if mask & (mask - 1) == 0 {
+            // Sole requester: it earns its weight and immediately pays the
+            // round total (= its own weight), so granting without
+            // consulting the arbiter leaves its credits exactly as `grant`
+            // would.
+            mask.trailing_zeros() as usize
+        } else {
+            let requesting = std::array::from_fn(|p| mask & (1 << p) != 0);
+            arbs[d].grant(requesting).expect("mask non-empty")
+        };
+        let front = cx.front(i, winner);
+        let tail = front.kind.is_tail();
+        if !tail {
+            locks[d] = Some(OutputLock {
+                input: winner,
+                packet: front.packet,
+            });
+            *lock_mask |= 1 << d;
+        }
+        packed[n_moves] = pack_move(winner, d, tail);
+        n_moves += 1;
+    }
+
+    if n_moves != 0 {
+        Some(PackedMoves {
+            router: i as u32,
+            n: n_moves as u8,
+            moves: packed,
+        })
+    } else {
+        None
+    }
+}
+
 /// The mesh network simulator (see the module docs for the fast-path
 /// design and its cycle-exactness guarantee).
 #[derive(Debug)]
@@ -553,15 +760,6 @@ impl Network {
         self.trace = Some(tracer.recorder());
     }
 
-    /// Front flit of a FIFO the caller knows is non-empty (its `occ_mask`
-    /// bit is set).
-    #[inline]
-    fn fifo_front_unchecked(&self, router: usize, port: usize) -> Flit {
-        debug_assert!(self.port_occ[router][port] > 0, "front of empty FIFO");
-        let rp = router * PORTS + port;
-        self.fifo[rp * self.cfg.buffer_flits + self.fifo_head[rp] as usize]
-    }
-
     #[inline]
     fn fifo_push(&mut self, router: usize, port: usize, flit: Flit) {
         let cap = self.cfg.buffer_flits;
@@ -575,12 +773,12 @@ impl Network {
             slot -= cap;
         }
         self.fifo[rp * cap + slot] = flit;
-        let occ = self.port_occ[router][port] + 1;
-        self.port_occ[router][port] = occ;
+        self.port_occ[router][port] += 1;
         self.occ_mask[router] |= 1 << port;
-        if occ as u8 > self.fifo_hwm[router][port] {
-            self.fifo_hwm[router][port] = occ as u8;
-        }
+        // High-water marks are observed in the decide phase (from the
+        // post-inject, pre-move snapshot) rather than here: the push-time
+        // transient depends on the order moves are applied in, which the
+        // partitioned stepper does not reproduce.
     }
 
     #[inline]
@@ -602,12 +800,21 @@ impl Network {
     /// Jump the clock forward to `cycle` without stepping. Only valid when
     /// the network is completely idle (nothing would have moved anyway).
     ///
-    /// # Panics
-    /// If traffic is in flight, or `cycle` is in the past.
-    pub fn advance_idle_to(&mut self, cycle: u64) {
-        assert!(self.is_drained(), "advance_idle_to with traffic in flight");
-        assert!(cycle >= self.cycle, "cannot rewind the network clock");
-        self.cycle = cycle;
+    /// With traffic in flight the jump is refused with [`IdleJumpError`]
+    /// instead of aborting, so callers — the hybrid engine's skip-ahead,
+    /// cosim's compute-phase fast-forward — can probe eligibility in
+    /// release builds and fall back to stepping. A target at or before the
+    /// current cycle saturates: the clock never rewinds. Returns the clock
+    /// after the (possibly saturated) jump.
+    pub fn advance_idle_to(&mut self, cycle: u64) -> Result<u64, IdleJumpError> {
+        if !self.is_drained() {
+            return Err(IdleJumpError {
+                inflight: self.inflight.len(),
+                at: self.cycle,
+            });
+        }
+        self.cycle = self.cycle.max(cycle);
+        Ok(self.cycle)
     }
 
     /// The configuration.
@@ -732,162 +939,76 @@ impl Network {
         }
     }
 
-    /// Advance one cycle.
-    ///
-    /// One pass over the active bitset fuses injection with the decide
-    /// phase (injection only fills a router's own Local FIFO, which no
-    /// other router's space snapshot reads), then a second pass applies
-    /// the decided moves and retires routers that went idle. Deciding
-    /// never touches FIFOs, so every router still decides against the
-    /// pre-move state; per-router masks (`occ_mask`, `lock_mask`) keep the
-    /// decide work proportional to the ports actually in use, and the
-    /// downstream-space snapshot is computed lazily, one direction at a
-    /// time, as the decision logic first asks for it.
-    pub fn step(&mut self) {
-        let mesh = self.cfg.mesh;
-        let routing = self.cfg.routing;
+    /// Drain pending injections into Local FIFOs (as space allows) for
+    /// every active router. Runs before decide so the space snapshot
+    /// includes this cycle's injections — injection only fills a router's
+    /// own Local FIFO, which no other router's snapshot reads, so a
+    /// separate up-front pass is observationally identical to the old
+    /// fused inject-while-deciding walk.
+    #[inline]
+    pub(crate) fn inject_pending(&mut self) {
         let local = Direction::Local.index();
         let cap = self.cfg.buffer_flits as u32;
-
-        let mut moves = std::mem::take(&mut self.moves_scratch);
-        moves.clear();
         for w in 0..self.active_bits.len() {
             let mut word = self.active_bits[w];
             while word != 0 {
                 let i = (w << 6) | word.trailing_zeros() as usize;
                 word &= word - 1;
-
-                // Injection into the Local FIFO. Every active router has
-                // pending flits or buffered flits, so after this loop its
-                // occupancy mask is necessarily non-empty.
                 while self.pending[i] > 0 && self.port_occ[i][local] < cap {
                     let flit = self.inject[i].pop_front().expect("pending > 0");
                     self.fifo_push(i, local, flit);
                     self.pending[i] -= 1;
                 }
-                let occ = self.occ_mask[i];
-                debug_assert!(occ != 0, "idle router on the active list");
+            }
+        }
+    }
 
-                // Lazy downstream-space snapshot: `space`/`known` bitmaps
-                // fill in per direction on first use. FIFO lengths don't
-                // change until apply, so laziness observes the same
-                // snapshot the eager version would.
-                let nbr = self.nbr[i];
-                let mut known: u8 = 1 << local; // ejection is always ready
-                let mut space: u8 = 1 << local;
-                macro_rules! has_space {
-                    ($d:expr) => {{
-                        let d: usize = $d;
-                        let bit = 1u8 << d;
-                        if known & bit == 0 {
-                            known |= bit;
-                            let ok = match nbr[d] {
-                                u32::MAX => false,
-                                n => self.port_occ[n as usize][OPP[d]] < cap,
-                            };
-                            if ok {
-                                space |= bit;
-                            }
-                        }
-                        space & bit != 0
-                    }};
-                }
+    /// Advance one cycle.
+    ///
+    /// An injection pass over the active bitset, then a decide pass
+    /// ([`decide_router`] per active router, shared with the partitioned
+    /// stepper), then an apply pass that moves the decided flits and
+    /// retires routers that went idle. Deciding never touches FIFOs, so
+    /// every router decides against the pre-move state; per-router masks
+    /// (`occ_mask`, `lock_mask`) keep the decide work proportional to the
+    /// ports actually in use, and the downstream-space snapshot is
+    /// computed lazily, one direction at a time, as the decision logic
+    /// first asks for it.
+    pub fn step(&mut self) {
+        let local = Direction::Local.index();
+        self.inject_pending();
 
-                let mut busy: u8 = 0;
-                let mut n_moves = 0usize;
-                let mut packed = [0u8; PORTS];
-
-                // Phase 1: continue established wormholes.
-                let mut lm = self.lock_mask[i];
-                while lm != 0 {
-                    let d = lm.trailing_zeros() as usize;
-                    lm &= lm - 1;
-                    let lock = self.locks[i][d].expect("lock_mask bit without a lock");
-                    let ib = 1u8 << lock.input;
-                    if busy & ib != 0 || occ & ib == 0 || !has_space!(d) {
-                        continue;
-                    }
-                    let front = self.fifo_front_unchecked(i, lock.input);
-                    if front.packet == lock.packet {
-                        busy |= ib;
-                        packed[n_moves] = pack_move(lock.input, d, front.kind.is_tail());
-                        n_moves += 1;
-                    }
-                }
-
-                // A head flit's requested output depends only on the space
-                // snapshot, so it is computed once per input: `req[d]`
-                // collects the requesters of output `d` as a bitmask of
-                // input ports. An input requests exactly one output, so
-                // the masks stay valid through the arbitration phase.
-                let mut req = [0u8; PORTS];
-                let mut req_outs: u8 = 0;
-                let mut rm = occ & !busy;
-                while rm != 0 {
-                    let p = rm.trailing_zeros() as usize;
-                    rm &= rm - 1;
-                    let front = self.fifo_front_unchecked(i, p);
-                    if front.kind.is_head() {
-                        let opts = mesh.route_choices(self.coords[i], front.dst, routing);
-                        let sl = opts.as_slice();
-                        // First option whose downstream has space, else the
-                        // first option (wait there).
-                        let mut pick = sl[0].index();
-                        for o in sl {
-                            let oi = o.index();
-                            if has_space!(oi) {
-                                pick = oi;
-                                break;
-                            }
-                        }
-                        req[pick] |= 1 << p;
-                        req_outs |= 1 << pick;
-                    }
-                }
-
-                // Phase 2: arbitrate free outputs among head flits.
-                let mut am = req_outs & !self.lock_mask[i];
-                while am != 0 {
-                    let d = am.trailing_zeros() as usize;
-                    am &= am - 1;
-                    if !has_space!(d) {
-                        continue;
-                    }
-                    let mask = req[d];
-                    let winner = if mask & (mask - 1) == 0 {
-                        // Sole requester: it earns its weight and
-                        // immediately pays the round total (= its own
-                        // weight), so granting without consulting the
-                        // arbiter leaves its credits exactly as `grant`
-                        // would.
-                        mask.trailing_zeros() as usize
-                    } else {
-                        let requesting = std::array::from_fn(|p| mask & (1 << p) != 0);
-                        self.arbs[i][d].grant(requesting).expect("mask non-empty")
-                    };
-                    let front = self.fifo_front_unchecked(i, winner);
-                    let tail = front.kind.is_tail();
-                    if !tail {
-                        self.locks[i][d] = Some(OutputLock {
-                            input: winner,
-                            packet: front.packet,
-                        });
-                        self.lock_mask[i] |= 1 << d;
-                    }
-                    packed[n_moves] = pack_move(winner, d, tail);
-                    n_moves += 1;
-                }
-
-                if n_moves != 0 {
-                    moves.push(PackedMoves {
-                        router: i as u32,
-                        n: n_moves as u8,
-                        moves: packed,
-                    });
-                } else {
+        let mut moves = std::mem::take(&mut self.moves_scratch);
+        moves.clear();
+        let cx = DecideCtx {
+            mesh: self.cfg.mesh,
+            routing: self.cfg.routing,
+            cap: self.cfg.buffer_flits as u32,
+            buffer_flits: self.cfg.buffer_flits,
+            nbr: &self.nbr,
+            coords: &self.coords,
+            port_occ: &self.port_occ,
+            occ_mask: &self.occ_mask,
+            fifo: &self.fifo,
+            fifo_head: &self.fifo_head,
+        };
+        for w in 0..self.active_bits.len() {
+            let mut word = self.active_bits[w];
+            while word != 0 {
+                let i = (w << 6) | word.trailing_zeros() as usize;
+                word &= word - 1;
+                match decide_router(
+                    &cx,
+                    i,
+                    &mut self.locks[i],
+                    &mut self.lock_mask[i],
+                    &mut self.arbs[i],
+                    &mut self.fifo_hwm[i],
+                ) {
+                    Some(pm) => moves.push(pm),
                     // Active (it holds flits or pending injections) but
                     // nothing moved: a stalled cycle for this router.
-                    self.stall_cycles[i] += 1;
+                    None => self.stall_cycles[i] += 1,
                 }
             }
         }
@@ -1027,6 +1148,11 @@ impl Network {
             .iter()
             .map(|w| w.count_ones() as usize)
             .sum()
+    }
+
+    /// Packets injected but not yet delivered.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
     }
 
     /// True when no traffic remains anywhere. (Flits only exist on behalf

@@ -1,0 +1,437 @@
+//! Partitioned parallel stepping for [`Network`].
+//!
+//! The mesh is split into contiguous row strips ([`PartitionPlan`]); each
+//! cycle runs as two parallel scopes over the strips plus a short
+//! sequential coordinator tail:
+//!
+//! 1. **Decide** — every strip decides its active routers against the
+//!    shared pre-move snapshot ([`decide_router`], the same function the
+//!    sequential stepper uses, so the two paths cannot diverge). A strip
+//!    mutates only router-local state (locks, arbiter credits, high-water
+//!    marks, stall counters), all handed out as disjoint `split_at_mut`
+//!    chunks — no atomics, no unsafe.
+//! 2. **Apply** — every strip applies its own decided moves to its own
+//!    chunk of the FIFO arrays. Pushes that cross a strip boundary are
+//!    buffered as *handoff events* instead of applied in place, together
+//!    with deliveries and activation notices.
+//! 3. **Coordinator** — boundary pushes are applied strip-by-strip in
+//!    ascending order (each input FIFO receives at most one flit per
+//!    cycle, so cross-FIFO order cannot matter), deliveries are recorded
+//!    in ascending-router order (byte-identical to the sequential log),
+//!    activations are set, movers that emptied retire, and the clock
+//!    advances.
+//!
+//! Strips are pulled from a shared ready-deque by a small scoped worker
+//! pool (the same pool shape as the batch DAG scheduler in
+//! `hic-pipeline`): whichever worker goes idle first steals the next
+//! strip, so imbalanced strips don't serialize the cycle.
+//!
+//! Determinism: decide order within a strip is ascending router index,
+//! strips are reconciled in ascending strip order, and every cross-strip
+//! effect is buffered and applied by the coordinator — so the observable
+//! state after a partitioned cycle is identical for any worker count,
+//! and identical to [`Network::step`]. The property tests in
+//! `tests/cycle_exact.rs` hold the paths to that contract.
+
+use super::*;
+use std::sync::Mutex;
+
+/// A row-aligned split of the mesh into contiguous router-index strips
+/// (router index is `y * w + x`, so a range of rows is a range of
+/// indices). Row alignment keeps every cross-strip link a North/South
+/// mesh edge, minimizing boundary handoffs.
+#[derive(Debug, Clone)]
+pub struct PartitionPlan {
+    /// `[lo, hi)` router-index ranges, ascending and contiguous.
+    bounds: Vec<(usize, usize)>,
+}
+
+impl PartitionPlan {
+    /// Split `mesh` into at most `parts` row strips of near-equal height.
+    /// `parts` is clamped to the number of rows; zero means one strip.
+    pub fn rows(mesh: Mesh, parts: usize) -> Self {
+        let h = mesh.h as usize;
+        let w = mesh.w as usize;
+        let parts = parts.clamp(1, h.max(1));
+        let mut bounds = Vec::with_capacity(parts);
+        let mut row = 0usize;
+        for p in 0..parts {
+            // Distribute the remainder one row at a time so strip heights
+            // differ by at most one.
+            let rows = h / parts + usize::from(p < h % parts);
+            let lo = row * w;
+            row += rows;
+            bounds.push((lo, row * w));
+        }
+        PartitionPlan { bounds }
+    }
+
+    /// Number of strips.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Whether the plan has no strips (only for a zero-router mesh).
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// The `[lo, hi)` router ranges.
+    pub fn bounds(&self) -> &[(usize, usize)] {
+        &self.bounds
+    }
+}
+
+/// Walk the set bits of `bits` restricted to router indices `[lo, hi)`.
+#[inline]
+fn walk_active(bits: &[u64], lo: usize, hi: usize, mut f: impl FnMut(usize)) {
+    if lo >= hi {
+        return;
+    }
+    let (w0, w1) = (lo >> 6, (hi - 1) >> 6);
+    for w in w0..=w1 {
+        let mut word = bits[w];
+        if w == w0 {
+            word &= !0u64 << (lo & 63);
+        }
+        if w == w1 {
+            let top = hi - (w << 6);
+            if top < 64 {
+                word &= (1u64 << top) - 1;
+            }
+        }
+        while word != 0 {
+            let i = (w << 6) | word.trailing_zeros() as usize;
+            word &= word - 1;
+            f(i);
+        }
+    }
+}
+
+/// Run `f` over `tasks` on `jobs` scoped workers pulling from a shared
+/// ready-deque (idle workers steal the next task). Output order is
+/// completion order; callers reorder by task id.
+fn run_pool<T, O, F>(jobs: usize, tasks: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let n = tasks.len();
+    let queue = Mutex::new(tasks);
+    let outs = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..jobs.clamp(1, n.max(1)) {
+            s.spawn(|| loop {
+                let Some(t) = queue.lock().unwrap().pop() else {
+                    break;
+                };
+                let o = f(t);
+                outs.lock().unwrap().push(o);
+            });
+        }
+    });
+    outs.into_inner().unwrap()
+}
+
+/// One strip's mutable decide-phase state: disjoint chunks of the
+/// router-local arrays, indexed relative to `lo`.
+struct DecideTask<'a> {
+    strip: usize,
+    lo: usize,
+    hi: usize,
+    locks: &'a mut [[Option<OutputLock>; PORTS]],
+    lock_mask: &'a mut [u8],
+    arbs: &'a mut [[WrrArbiter; PORTS]],
+    hwm: &'a mut [[u8; PORTS]],
+    stall: &'a mut [u64],
+}
+
+/// One strip's mutable apply-phase state plus its decided moves.
+struct ApplyTask<'a> {
+    strip: usize,
+    lo: usize,
+    hi: usize,
+    cap: usize,
+    fifo: &'a mut [Flit],
+    fifo_head: &'a mut [u8],
+    port_occ: &'a mut [[u32; PORTS]],
+    occ_mask: &'a mut [u8],
+    locks: &'a mut [[Option<OutputLock>; PORTS]],
+    lock_mask: &'a mut [u8],
+    link_flits: &'a mut [[u64; PORTS]],
+    nbr: &'a [[u32; PORTS]],
+    moves: Vec<PackedMoves>,
+}
+
+/// The cross-strip effects a strip's apply pass buffered for the
+/// coordinator, plus the strip's moves (reused for the retirement sweep).
+struct ApplyOut {
+    strip: usize,
+    moves: Vec<PackedMoves>,
+    /// Tail flits that ejected at their destination, in move order.
+    deliveries: Vec<Flit>,
+    /// `(router, input port, flit)` pushes into other strips.
+    boundary: Vec<(u32, u8, Flit)>,
+    /// Routers (own- or other-strip) that received a push this cycle.
+    activations: Vec<u32>,
+}
+
+fn run_apply(t: ApplyTask<'_>) -> ApplyOut {
+    let local = Direction::Local.index();
+    let cap = t.cap;
+    let mut deliveries = Vec::new();
+    let mut boundary = Vec::new();
+    let mut activations = Vec::new();
+    for set in &t.moves {
+        let i = set.router as usize;
+        let r = i - t.lo;
+        for &pm in &set.moves[..set.n as usize] {
+            let (input, output, tail) = unpack_move(pm);
+            // Pop from the strip-relative FIFO chunk (mirrors
+            // `Network::fifo_pop`).
+            let rp = r * PORTS + input;
+            let head = t.fifo_head[rp] as usize;
+            let flit = t.fifo[rp * cap + head];
+            let next = head + 1;
+            t.fifo_head[rp] = if next == cap { 0 } else { next } as u8;
+            t.port_occ[r][input] -= 1;
+            if t.port_occ[r][input] == 0 {
+                t.occ_mask[r] &= !(1 << input);
+            }
+            t.link_flits[r][output] += 1;
+            if tail {
+                t.locks[r][output] = None;
+                t.lock_mask[r] &= !(1 << output);
+            }
+            if output == local {
+                if flit.kind.is_tail() {
+                    deliveries.push(flit);
+                }
+            } else {
+                let n_idx = t.nbr[i][output] as usize;
+                activations.push(n_idx as u32);
+                if n_idx >= t.lo && n_idx < t.hi {
+                    // In-strip push (mirrors `Network::fifo_push`). Push
+                    // and pop commute on a FIFO ring — pop advances the
+                    // head the push offset is computed from — so applying
+                    // a neighbor's push before or after this strip's own
+                    // pops lands the flit in the same slot either way.
+                    let nr = n_idx - t.lo;
+                    let port = OPP[output];
+                    let len = t.port_occ[nr][port] as usize;
+                    debug_assert!(len < cap, "input FIFO overflow");
+                    let nrp = nr * PORTS + port;
+                    let mut slot = t.fifo_head[nrp] as usize + len;
+                    if slot >= cap {
+                        slot -= cap;
+                    }
+                    t.fifo[nrp * cap + slot] = flit;
+                    t.port_occ[nr][port] += 1;
+                    t.occ_mask[nr] |= 1 << port;
+                } else {
+                    boundary.push((n_idx as u32, OPP[output] as u8, flit));
+                }
+            }
+        }
+    }
+    ApplyOut {
+        strip: t.strip,
+        moves: t.moves,
+        deliveries,
+        boundary,
+        activations,
+    }
+}
+
+impl Network {
+    /// Advance one cycle using partitioned parallel stepping (see the
+    /// module docs for the protocol). Observationally identical to
+    /// [`Network::step`] for every worker count; falls back to the
+    /// sequential stepper when the plan has a single strip, `jobs <= 1`,
+    /// or a tracer is attached (per-hop trace events must stay in
+    /// sequential order).
+    pub fn step_partitioned(&mut self, plan: &PartitionPlan, jobs: usize) {
+        if jobs <= 1 || plan.len() <= 1 || self.trace.is_some() {
+            self.step();
+            return;
+        }
+        debug_assert_eq!(
+            plan.bounds.last().map(|&(_, hi)| hi),
+            Some(self.cfg.mesh.len()),
+            "partition plan does not cover the mesh"
+        );
+        let cap = self.cfg.buffer_flits;
+
+        self.inject_pending();
+
+        // Scope A: decide. Strip chunks of the router-local arrays; the
+        // snapshot arrays are shared read-only.
+        let cx = DecideCtx {
+            mesh: self.cfg.mesh,
+            routing: self.cfg.routing,
+            cap: cap as u32,
+            buffer_flits: cap,
+            nbr: &self.nbr,
+            coords: &self.coords,
+            port_occ: &self.port_occ,
+            occ_mask: &self.occ_mask,
+            fifo: &self.fifo,
+            fifo_head: &self.fifo_head,
+        };
+        let active = &self.active_bits;
+        let mut tasks = Vec::with_capacity(plan.len());
+        {
+            let mut locks = &mut self.locks[..];
+            let mut lock_mask = &mut self.lock_mask[..];
+            let mut arbs = &mut self.arbs[..];
+            let mut hwm = &mut self.fifo_hwm[..];
+            let mut stall = &mut self.stall_cycles[..];
+            for (strip, &(lo, hi)) in plan.bounds.iter().enumerate() {
+                let n = hi - lo;
+                let (a, rest) = locks.split_at_mut(n);
+                locks = rest;
+                let (b, rest) = lock_mask.split_at_mut(n);
+                lock_mask = rest;
+                let (c, rest) = arbs.split_at_mut(n);
+                arbs = rest;
+                let (d, rest) = hwm.split_at_mut(n);
+                hwm = rest;
+                let (e, rest) = stall.split_at_mut(n);
+                stall = rest;
+                tasks.push(DecideTask {
+                    strip,
+                    lo,
+                    hi,
+                    locks: a,
+                    lock_mask: b,
+                    arbs: c,
+                    hwm: d,
+                    stall: e,
+                });
+            }
+        }
+        let mut decided = run_pool(jobs, tasks, |t: DecideTask<'_>| {
+            let mut moves = Vec::new();
+            let DecideTask {
+                strip,
+                lo,
+                hi,
+                locks,
+                lock_mask,
+                arbs,
+                hwm,
+                stall,
+            } = t;
+            walk_active(active, lo, hi, |i| {
+                let r = i - lo;
+                match decide_router(
+                    &cx,
+                    i,
+                    &mut locks[r],
+                    &mut lock_mask[r],
+                    &mut arbs[r],
+                    &mut hwm[r],
+                ) {
+                    Some(pm) => moves.push(pm),
+                    None => stall[r] += 1,
+                }
+            });
+            (strip, moves)
+        });
+        decided.sort_unstable_by_key(|&(strip, _)| strip);
+
+        // Scope B: apply each strip's moves to its own chunk, buffering
+        // cross-strip pushes, deliveries, and activations.
+        let nbr = &self.nbr;
+        let mut tasks = Vec::with_capacity(plan.len());
+        {
+            let mut fifo = &mut self.fifo[..];
+            let mut fifo_head = &mut self.fifo_head[..];
+            let mut port_occ = &mut self.port_occ[..];
+            let mut occ_mask = &mut self.occ_mask[..];
+            let mut locks = &mut self.locks[..];
+            let mut lock_mask = &mut self.lock_mask[..];
+            let mut link_flits = &mut self.link_flits[..];
+            for ((strip, &(lo, hi)), (_, moves)) in
+                plan.bounds.iter().enumerate().zip(decided.drain(..))
+            {
+                let n = hi - lo;
+                let (a, rest) = fifo.split_at_mut(n * PORTS * cap);
+                fifo = rest;
+                let (b, rest) = fifo_head.split_at_mut(n * PORTS);
+                fifo_head = rest;
+                let (c, rest) = port_occ.split_at_mut(n);
+                port_occ = rest;
+                let (d, rest) = occ_mask.split_at_mut(n);
+                occ_mask = rest;
+                let (e, rest) = locks.split_at_mut(n);
+                locks = rest;
+                let (f, rest) = lock_mask.split_at_mut(n);
+                lock_mask = rest;
+                let (g, rest) = link_flits.split_at_mut(n);
+                link_flits = rest;
+                tasks.push(ApplyTask {
+                    strip,
+                    lo,
+                    hi,
+                    cap,
+                    fifo: a,
+                    fifo_head: b,
+                    port_occ: c,
+                    occ_mask: d,
+                    locks: e,
+                    lock_mask: f,
+                    link_flits: g,
+                    nbr,
+                    moves,
+                });
+            }
+        }
+        let mut outs = run_pool(jobs, tasks, run_apply);
+        outs.sort_unstable_by_key(|o| o.strip);
+
+        // Coordinator: reconcile boundary handoffs in ascending strip
+        // order. Each input FIFO receives at most one flit per cycle (one
+        // link feeds it), and push/pop commute on the ring, so applying
+        // these after the parallel scope reproduces the sequential state
+        // exactly.
+        for out in &outs {
+            for &(n, port, flit) in &out.boundary {
+                self.fifo_push(n as usize, port as usize, flit);
+            }
+        }
+        // Deliveries in ascending (strip, router) order — exactly the
+        // sequential stepper's log order.
+        for out in &outs {
+            for &flit in &out.deliveries {
+                let fin = self
+                    .inflight
+                    .remove(flit.packet)
+                    .expect("tail of unknown packet");
+                self.deliver(flit.packet, fin);
+            }
+        }
+        for out in &outs {
+            for &n in &out.activations {
+                self.activate(n as usize);
+            }
+        }
+        // Retirement against the final occupancy: a router that was pushed
+        // into this cycle has non-empty occupancy and survives, so the
+        // sweep cannot erase a live activation.
+        for out in &outs {
+            for set in &out.moves {
+                let i = set.router as usize;
+                if self.occ_mask[i] == 0 && self.pending[i] == 0 {
+                    self.active_bits[i >> 6] &= !(1 << (i & 63));
+                }
+            }
+        }
+
+        self.cycle += 1;
+        if self.pulse.as_ref().is_some_and(|p| self.cycle >= p.next) {
+            self.pulse_fire();
+        }
+    }
+}

@@ -208,6 +208,18 @@ impl Stepper for Network {
     }
 }
 
+impl Stepper for crate::engine::HybridNetwork {
+    fn send(&mut self, src: Coord, dst: Coord, bytes: u64) -> PacketId {
+        crate::engine::HybridNetwork::send(self, src, dst, bytes)
+    }
+    fn step(&mut self) {
+        crate::engine::HybridNetwork::step(self)
+    }
+    fn is_drained(&self) -> bool {
+        crate::engine::HybridNetwork::is_drained(self)
+    }
+}
+
 impl Stepper for ReferenceNetwork {
     fn send(&mut self, src: Coord, dst: Coord, bytes: u64) -> PacketId {
         ReferenceNetwork::send(self, src, dst, bytes)
@@ -265,6 +277,96 @@ pub fn drive_schedule<S: Stepper>(
             next += 1;
         }
         net.step();
+    }
+}
+
+/// Bursty on/off schedule: within the first `burst` cycles of each
+/// `period`, uniform Bernoulli traffic at `offered_on` flits/node/cycle;
+/// the remainder of the period is silent. Models the compute-dominated
+/// phases of profiled kernel graphs — short communication bursts
+/// separated by long quiescent gaps — which is the regime the hybrid
+/// engine's skip-ahead collapses.
+#[allow(clippy::too_many_arguments)]
+pub fn bursty_schedule(
+    mesh: Mesh,
+    offered_on: f64,
+    packet_bytes: u64,
+    flit_payload: u32,
+    burst: u64,
+    period: u64,
+    cycles: u64,
+    seed: u64,
+) -> Vec<(u64, Coord, Coord)> {
+    assert!(
+        burst <= period && period > 0,
+        "burst must fit in the period"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let flits_per_packet = packet_bytes.div_ceil(flit_payload as u64).max(1);
+    let p_inject = (offered_on / flits_per_packet as f64).min(1.0);
+    let mut schedule = Vec::new();
+    for c in 0..cycles {
+        if c % period >= burst {
+            continue;
+        }
+        for n in 0..mesh.len() {
+            if rng.gen_bool(p_inject) {
+                let src = mesh.coord(n);
+                let dst = mesh.coord(rng.gen_range(0..mesh.len()));
+                schedule.push((c, src, dst));
+            }
+        }
+    }
+    schedule
+}
+
+/// Hotspot-skewed schedule: Bernoulli injection at `offered`
+/// flits/node/cycle where each packet targets `hotspot` with probability
+/// `bias` and a uniform destination otherwise. Exercises the asymmetric
+/// congestion the uniform generator never produces.
+#[allow(clippy::too_many_arguments)]
+pub fn hotspot_schedule(
+    mesh: Mesh,
+    offered: f64,
+    packet_bytes: u64,
+    flit_payload: u32,
+    hotspot: Coord,
+    bias: f64,
+    cycles: u64,
+    seed: u64,
+) -> Vec<(u64, Coord, Coord)> {
+    assert!(mesh.contains(hotspot), "hotspot off mesh");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let flits_per_packet = packet_bytes.div_ceil(flit_payload as u64).max(1);
+    let p_inject = (offered / flits_per_packet as f64).min(1.0);
+    let mut schedule = Vec::new();
+    for c in 0..cycles {
+        for n in 0..mesh.len() {
+            if rng.gen_bool(p_inject) {
+                let src = mesh.coord(n);
+                let dst = if rng.gen_bool(bias) {
+                    hotspot
+                } else {
+                    mesh.coord(rng.gen_range(0..mesh.len()))
+                };
+                schedule.push((c, src, dst));
+            }
+        }
+    }
+    schedule
+}
+
+/// Load a prebuilt injection schedule into the hybrid engine's calendar.
+/// Packet ids are assigned at injection time, so they match what
+/// [`drive_schedule`] would have issued on a stepper: bucket cycle order,
+/// then schedule order within a cycle.
+pub fn schedule_hybrid(
+    net: &mut crate::engine::HybridNetwork,
+    schedule: &[(u64, Coord, Coord)],
+    packet_bytes: u64,
+) {
+    for &(c, src, dst) in schedule {
+        net.send_at(c, src, dst, packet_bytes);
     }
 }
 

@@ -5,8 +5,10 @@
 //! optimized network, and every per-packet delivery record must match
 //! exactly, including the delivery cycle.
 
-use hic_noc::reference::ReferenceNetwork;
-use hic_noc::{DeliveredPacket, Mesh, Network, NocConfig, Routing};
+use hic_noc::reference::{
+    bursty_schedule, drive_schedule, hotspot_schedule, schedule_hybrid, ReferenceNetwork,
+};
+use hic_noc::{DeliveredPacket, HybridConfig, HybridNetwork, Mesh, Network, NocConfig, Routing};
 use proptest::prelude::*;
 
 fn by_id(log: &[DeliveredPacket]) -> Vec<DeliveredPacket> {
@@ -96,4 +98,167 @@ proptest! {
         prop_assert!(slow.is_drained());
         prop_assert_eq!(by_id(fast.delivered()), by_id(slow.delivered()));
     }
+
+    #[test]
+    fn hybrid_matches_reference_on_bursty_idle_heavy_traffic(
+        seed in 0u64..1_000,
+        burst in 1u64..6,
+        gap in 50u64..4_000,
+        west_first in any::<bool>(),
+    ) {
+        // Long quiescent gaps between injection bursts: the regime where
+        // the hybrid engine skips instead of stepping. Every skip boundary
+        // must land on exactly the cycle a stepping driver would reach.
+        let mesh = Mesh::new(4, 4);
+        let cfg = NocConfig {
+            routing: if west_first { Routing::WestFirst } else { Routing::Xy },
+            ..NocConfig::paper_default(mesh)
+        };
+        let period = burst + gap;
+        let cycles = period * 4;
+        let schedule = bursty_schedule(mesh, 0.3, 16, cfg.flit_payload, burst, period, cycles, seed);
+
+        let mut hybrid = HybridNetwork::with_config(
+            cfg,
+            HybridConfig { jobs: 1, parallel_threshold: usize::MAX },
+        );
+        schedule_hybrid(&mut hybrid, &schedule, 16);
+        hybrid.run_until_drained(2_000_000).expect("hybrid drains");
+        // The engine really skipped the gaps rather than stepping them.
+        if !schedule.is_empty() {
+            prop_assert!(hybrid.skip_stats().skipped_cycles > 0);
+        }
+
+        let mut slow = ReferenceNetwork::new(cfg);
+        drive_schedule(&mut slow, &schedule, 16, cycles);
+        while slow.cycle() < hybrid.cycle() {
+            slow.step();
+        }
+        prop_assert!(slow.is_drained(), "reference must drain by the same cycle");
+        prop_assert_eq!(by_id(hybrid.delivered()), by_id(slow.delivered()));
+        let stats = hybrid.stats();
+        prop_assert_eq!(stats.delivered(), slow.delivered().len() as u64);
+        prop_assert_eq!(
+            stats.latency_sum(),
+            slow.delivered().iter().map(|p| p.latency()).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn parallel_hybrid_matches_reference_on_hotspot_skew(
+        seed in 0u64..1_000,
+        bias in prop_oneof![Just(0.3f64), Just(0.7)],
+        hotspot in 0usize..16,
+        west_first in any::<bool>(),
+    ) {
+        // Hotspot congestion piles worms onto one router — the worst case
+        // for the partition handoff (boundary FIFOs stay full, wormhole
+        // locks span strips for many cycles).
+        let mesh = Mesh::new(4, 4);
+        let cfg = NocConfig {
+            routing: if west_first { Routing::WestFirst } else { Routing::Xy },
+            ..NocConfig::paper_default(mesh)
+        };
+        let schedule = hotspot_schedule(
+            mesh, 0.25, 32, cfg.flit_payload, mesh.coord(hotspot), bias, 120, seed,
+        );
+
+        // Force the partitioned stepper even on this small mesh.
+        let mut hybrid = HybridNetwork::with_config(
+            cfg,
+            HybridConfig { jobs: 2, parallel_threshold: 0 },
+        );
+        prop_assert!(hybrid.is_parallel());
+        schedule_hybrid(&mut hybrid, &schedule, 32);
+        hybrid.run_until_drained(2_000_000).expect("hybrid drains");
+
+        let mut slow = ReferenceNetwork::new(cfg);
+        drive_schedule(&mut slow, &schedule, 32, 120);
+        while slow.cycle() < hybrid.cycle() {
+            slow.step();
+        }
+        prop_assert!(slow.is_drained(), "reference must drain by the same cycle");
+        prop_assert_eq!(by_id(hybrid.delivered()), by_id(slow.delivered()));
+    }
+}
+
+/// The partitioned engine must be byte-identical to its single-threaded
+/// run for every worker count: same delivery log in the same order, same
+/// streaming stats, same per-router counters (stalls, link flits, FIFO
+/// high-water), same final clock.
+#[test]
+fn partitioned_engine_is_byte_identical_across_jobs() {
+    let mesh = Mesh::new(8, 8);
+    let cfg = NocConfig::paper_default(mesh);
+    let schedule = bursty_schedule(mesh, 0.4, 48, cfg.flit_payload, 4, 200, 1_000, 0xDE7E);
+
+    let mut logs = Vec::new();
+    for jobs in [1usize, 2, 4, 7] {
+        let mut h = HybridNetwork::with_config(
+            cfg,
+            HybridConfig {
+                jobs,
+                parallel_threshold: 0,
+            },
+        );
+        assert_eq!(h.is_parallel(), jobs > 1);
+        schedule_hybrid(&mut h, &schedule, 48);
+        h.run_until_drained(2_000_000).expect("drains");
+        let m = h.metrics();
+        logs.push((
+            jobs,
+            h.delivered().to_vec(), // exact order, not sorted
+            h.cycle(),
+            (
+                h.stats().delivered(),
+                h.stats().latency_sum(),
+                h.stats().max_latency(),
+                h.stats().bytes(),
+            ),
+            (
+                m.forwarded_flits,
+                m.ejected_flits,
+                m.busiest_link_flits,
+                m.stall_cycles,
+                m.fifo_high_water,
+            ),
+        ));
+    }
+    let (_, log0, cycle0, stats0, metrics0) = logs[0].clone();
+    for (jobs, log, cycle, stats, metrics) in &logs[1..] {
+        assert_eq!(log, &log0, "delivery log diverged at jobs={jobs}");
+        assert_eq!(cycle, &cycle0, "final clock diverged at jobs={jobs}");
+        assert_eq!(stats, &stats0, "stats diverged at jobs={jobs}");
+        assert_eq!(metrics, &metrics0, "metrics diverged at jobs={jobs}");
+    }
+}
+
+/// Regression for the `advance_idle_to` hardening: misuse reports an
+/// error instead of aborting the process, the past saturates, and a legal
+/// jump still lands exactly on target.
+#[test]
+fn advance_idle_to_is_probe_safe() {
+    let mesh = Mesh::new(4, 4);
+    let cfg = NocConfig::paper_default(mesh);
+    let mut net = Network::new(cfg);
+
+    // Legal jump from a drained network.
+    assert_eq!(net.advance_idle_to(1_000), Ok(1_000));
+    assert_eq!(net.cycle(), 1_000);
+
+    // A target in the past saturates instead of rewinding.
+    assert_eq!(net.advance_idle_to(10), Ok(1_000));
+    assert_eq!(net.cycle(), 1_000);
+
+    // With traffic in flight the jump is refused, the clock untouched,
+    // and the caller can fall back to stepping.
+    net.send(mesh.coord(0), mesh.coord(15), 64);
+    let err = net
+        .advance_idle_to(2_000)
+        .expect_err("in-flight must refuse");
+    assert_eq!(err.inflight, 1);
+    assert_eq!(err.at, 1_000);
+    assert_eq!(net.cycle(), 1_000);
+    net.run_until_drained(10_000).expect("drains");
+    assert_eq!(net.delivered().len(), 1);
 }

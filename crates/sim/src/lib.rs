@@ -22,8 +22,9 @@ pub mod energy;
 pub mod reconfig;
 pub mod system;
 
-pub use cosim::{cosimulate, CosimResult};
+pub use cosim::{cosimulate, cosimulate_with, engine, set_engine, CosimResult};
 pub use energy::PowerModel;
+pub use hic_noc::EngineKind;
 pub use reconfig::{
     compare as compare_reconfig_strategies, evaluate as evaluate_reconfig, union_interconnect,
     AppPhase, ReconfigSpec, Strategy, StrategyReport,
