@@ -68,6 +68,11 @@ fn main() {
         matched = true;
         bench_pipeline();
     }
+    // Wall-clock daemon load test, explicit-only, writes BENCH_serve.json.
+    if what == "bench-serve" {
+        matched = true;
+        bench_serve();
+    }
     // Also explicit-only: the regression sentinel re-runs the wall-clock
     // benches and compares against the committed BENCH_*.json baselines.
     if what == "check" {
@@ -82,14 +87,14 @@ fn main() {
     }
     if !matched {
         eprintln!(
-            "unknown experiment '{what}'; expected one of: all fig4 table2 fig5 fig6 table3 fig7 table4 fig8 fig9 ablations bench-noc bench-pipeline check noc-scale"
+            "unknown experiment '{what}'; expected one of: all fig4 table2 fig5 fig6 table3 fig7 table4 fig8 fig9 ablations bench-noc bench-pipeline bench-serve check noc-scale"
         );
         std::process::exit(2);
     }
 }
 
-/// `repro check [--quick]`: median-of-k re-run of the NoC and pipeline
-/// benchmarks, gated against the committed `BENCH_*.json` baselines with
+/// `repro check [--quick]`: median-of-k re-run of the NoC, pipeline and
+/// serve benchmarks, gated against the committed `BENCH_*.json` baselines with
 /// MAD-based noise bands (see `hic_bench::regress`). Exits 1 when any
 /// gating metric regresses, 2 when the baselines are missing/unreadable.
 fn check(quick: bool) {
@@ -99,7 +104,7 @@ fn check(quick: bool) {
         Err(e) => {
             eprintln!("repro check: {e}");
             eprintln!(
-                "run `repro bench-noc` and `repro bench-pipeline` to (re)create the baselines"
+                "run `repro bench-noc`, `repro bench-pipeline` and `repro bench-serve` to (re)create the baselines"
             );
             std::process::exit(2);
         }
@@ -493,6 +498,38 @@ fn bench_pipeline() {
     let out = serde_json::to_string_pretty(&p).unwrap();
     std::fs::write("BENCH_pipeline.json", &out).expect("write BENCH_pipeline.json");
     println!("\nwrote BENCH_pipeline.json");
+}
+
+fn bench_serve() {
+    let p = hic_bench::serveperf::measure(200, 2);
+    println!("== hic serve: sustained load over apps x knob lattice ==");
+    println!(
+        "{} clients x {} jobs on {} workers (queue cap {})",
+        p.clients, p.jobs_per_client, p.workers, p.queue_cap
+    );
+    println!(
+        "{} submitted, {} completed, {} failed in {:.3}s -> {:.1} jobs/s",
+        p.submitted, p.completed, p.failed, p.wall_secs, p.jobs_per_sec
+    );
+    println!(
+        "latency p50 {:.2}ms  p99 {:.2}ms  hit rate {:.3}  completion {:.4}",
+        p.p50_ms, p.p99_ms, p.hit_rate, p.completion
+    );
+    assert_eq!(p.failed, 0, "no job may fail under load");
+    assert!(
+        (p.completion - 1.0).abs() < 1e-9,
+        "every submitted job must complete (got {:.4})",
+        p.completion
+    );
+    assert!(
+        p.hit_rate > 0.5,
+        "the lattice is far smaller than the job count; the store must \
+         serve most jobs warm (got {:.3})",
+        p.hit_rate
+    );
+    let out = serde_json::to_string_pretty(&p).unwrap();
+    std::fs::write("BENCH_serve.json", &out).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
 }
 
 fn ablations(json: bool) {

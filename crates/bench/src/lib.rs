@@ -15,3 +15,4 @@ pub mod nocperf;
 pub mod paper;
 pub mod pipelineperf;
 pub mod regress;
+pub mod serveperf;

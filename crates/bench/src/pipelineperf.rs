@@ -64,8 +64,7 @@ pub fn measure(jobs: Option<usize>, warm_runs: usize) -> PipelinePerf {
 
     let store_bytes = hic_pipeline::ArtifactStore::open(hic_pipeline::StoreConfig {
         root: root.clone(),
-        max_bytes: None,
-        log_max_bytes: hic_pipeline::store::DEFAULT_LOG_MAX_BYTES,
+        ..hic_pipeline::StoreConfig::default()
     })
     .map(|s| s.total_bytes())
     .unwrap_or(0);

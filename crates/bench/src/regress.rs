@@ -1,10 +1,11 @@
 //! The `repro check` performance-regression sentinel.
 //!
 //! Several `BENCH_*.json` sidecars are committed to the repository
-//! (`repro bench-noc`, `repro bench-pipeline`), but until now nothing
+//! (`repro bench-noc`, `repro bench-pipeline`, `repro bench-serve`),
+//! but until now nothing
 //! ever compared a fresh run against them — throughput could silently
-//! erode between PRs. `repro check` closes the loop: it re-runs the NoC
-//! and pipeline benchmarks a few times, takes the **median** of each
+//! erode between PRs. `repro check` closes the loop: it re-runs the NoC,
+//! pipeline and serve benchmarks a few times, takes the **median** of each
 //! metric, and compares against the committed baseline with a noise band
 //! derived from the run-to-run **MAD** (median absolute deviation —
 //! robust to the one slow outlier a shared CI machine always produces).
@@ -163,6 +164,17 @@ pub struct Baselines {
     pub noc_hybrid: Vec<(String, f64, Option<f64>)>,
     /// Warm-vs-cold speedup from `BENCH_pipeline.json`.
     pub pipeline_speedup: f64,
+    /// Fraction of submitted serve jobs that completed, from
+    /// `BENCH_serve.json` — gates hard at ~1.0.
+    pub serve_completion: f64,
+    /// Store hit rate under serve load, from `BENCH_serve.json`.
+    pub serve_hit_rate: f64,
+    /// Sustained daemon throughput (jobs/s) — informational only.
+    pub serve_jobs_per_sec: f64,
+    /// `(p50, p99)` submit→done latency in ms — informational only
+    /// (the gate machinery treats lower-is-worse; latency is the
+    /// opposite, so it is recorded and printed but never gated).
+    pub serve_latency_ms: (f64, f64),
 }
 
 /// Load the committed sidecars from `dir`. Missing or malformed files
@@ -225,11 +237,24 @@ pub fn load_baselines(dir: &Path) -> Result<Baselines, String> {
     let pipe = read("BENCH_pipeline.json")?;
     let pipeline_speedup = f64_of(&pipe, "speedup", "BENCH_pipeline.json")?;
 
+    let serve = read("BENCH_serve.json")?;
+    let serve_completion = f64_of(&serve, "completion", "BENCH_serve.json")?;
+    let serve_hit_rate = f64_of(&serve, "hit_rate", "BENCH_serve.json")?;
+    let serve_jobs_per_sec = f64_of(&serve, "jobs_per_sec", "BENCH_serve.json")?;
+    let serve_latency_ms = (
+        f64_of(&serve, "p50_ms", "BENCH_serve.json")?,
+        f64_of(&serve, "p99_ms", "BENCH_serve.json")?,
+    );
+
     Ok(Baselines {
         noc_speedups,
         noc_throughput,
         noc_hybrid,
         pipeline_speedup,
+        serve_completion,
+        serve_hit_rate,
+        serve_jobs_per_sec,
+        serve_latency_ms,
     })
 }
 
@@ -292,6 +317,16 @@ pub fn collect_samples(quick: bool) -> Samples {
             .or_default()
             .push(p.speedup);
     }
+    // One serve storm is enough: the gated columns (completion, hit
+    // rate) are structural, not wall-clock, so they don't need the
+    // median-of-k treatment — but they must be measured fresh.
+    let (serve_clients, serve_jobs) = if quick { (24, 2) } else { (64, 2) };
+    let s = crate::serveperf::measure(serve_clients, serve_jobs);
+    samples.insert("serve.completion".into(), vec![s.completion]);
+    samples.insert("serve.hit_rate".into(), vec![s.hit_rate]);
+    samples.insert("serve.jobs_per_sec".into(), vec![s.jobs_per_sec]);
+    samples.insert("serve.p50_ms".into(), vec![s.p50_ms]);
+    samples.insert("serve.p99_ms".into(), vec![s.p99_ms]);
     samples
 }
 
@@ -342,6 +377,46 @@ pub fn gate_specs(b: &Baselines) -> Vec<GateSpec> {
         rel_floor: 0.75,
         abs_min: Some(5.0),
         gating: true,
+    });
+    // Serve gates run on the structural columns: every job must
+    // complete (retries absorb admission rejections, so anything below
+    // ~1.0 means lost jobs) and the store must serve the lattice warm.
+    specs.push(GateSpec {
+        name: "serve.completion".into(),
+        baseline: b.serve_completion,
+        rel_floor: 0.001,
+        abs_min: Some(0.999),
+        gating: true,
+    });
+    specs.push(GateSpec {
+        name: "serve.hit_rate".into(),
+        baseline: b.serve_hit_rate,
+        // The hit rate moves with the clients-to-lattice ratio of the
+        // fresh storm; gate only on a collapse (cache effectively off).
+        rel_floor: 0.5,
+        abs_min: Some(0.25),
+        gating: true,
+    });
+    specs.push(GateSpec {
+        name: "serve.jobs_per_sec".into(),
+        baseline: b.serve_jobs_per_sec,
+        rel_floor: 0.0,
+        abs_min: None,
+        gating: false,
+    });
+    specs.push(GateSpec {
+        name: "serve.p50_ms".into(),
+        baseline: b.serve_latency_ms.0,
+        rel_floor: 0.0,
+        abs_min: None,
+        gating: false,
+    });
+    specs.push(GateSpec {
+        name: "serve.p99_ms".into(),
+        baseline: b.serve_latency_ms.1,
+        rel_floor: 0.0,
+        abs_min: None,
+        gating: false,
     });
     specs
 }
@@ -428,6 +503,10 @@ mod tests {
                 ("bursty-64".into(), 25.0, None),
             ],
             pipeline_speedup: 30.0,
+            serve_completion: 1.0,
+            serve_hit_rate: 0.9,
+            serve_jobs_per_sec: 150.0,
+            serve_latency_ms: (12.0, 80.0),
         }
     }
 
@@ -445,6 +524,11 @@ mod tests {
             s.insert(noc_hybrid_key(label), vec![speedup * 0.95, speedup * 1.01]);
         }
         s.insert("pipeline.speedup".into(), vec![28.0, 31.0]);
+        s.insert("serve.completion".into(), vec![1.0]);
+        s.insert("serve.hit_rate".into(), vec![0.85]);
+        s.insert("serve.jobs_per_sec".into(), vec![140.0]);
+        s.insert("serve.p50_ms".into(), vec![13.0]);
+        s.insert("serve.p99_ms".into(), vec![90.0]);
         s
     }
 
@@ -487,6 +571,44 @@ mod tests {
         assert_eq!(verdict("noc.hybrid_speedup@bursty-32"), Verdict::Pass);
         assert_eq!(verdict("noc.hybrid_speedup@uniform-32"), Verdict::Pass);
         assert_eq!(verdict("noc.hybrid_speedup@bursty-64"), Verdict::Info);
+        // Serve: the structural columns gate, the wall-clock ones don't.
+        assert_eq!(verdict("serve.completion"), Verdict::Pass);
+        assert_eq!(verdict("serve.hit_rate"), Verdict::Pass);
+        assert_eq!(verdict("serve.jobs_per_sec"), Verdict::Info);
+        assert_eq!(verdict("serve.p50_ms"), Verdict::Info);
+        assert_eq!(verdict("serve.p99_ms"), Verdict::Info);
+    }
+
+    #[test]
+    fn lost_serve_jobs_trip_the_completion_floor() {
+        let b = baselines();
+        let mut s = healthy_samples(&b);
+        // 1 of 128 jobs vanished: completion 0.992 < the 0.999 floor.
+        s.insert("serve.completion".into(), vec![0.992]);
+        let report = check(&b, &s);
+        assert!(report.regressed, "{}", render(&report));
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.name == "serve.completion")
+            .unwrap();
+        assert_eq!(row.verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn collapsed_serve_hit_rate_regresses() {
+        let b = baselines();
+        let mut s = healthy_samples(&b);
+        // Cache effectively off: every job recomputed.
+        s.insert("serve.hit_rate".into(), vec![0.05]);
+        let report = check(&b, &s);
+        assert!(report.regressed, "{}", render(&report));
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.name == "serve.hit_rate")
+            .unwrap();
+        assert_eq!(row.verdict, Verdict::Regressed);
     }
 
     #[test]
@@ -595,5 +717,10 @@ mod tests {
         assert_eq!(bursty.2, Some(5.0));
         assert!(bursty.1 >= 5.0, "committed hybrid speedup {}", bursty.1);
         assert!(b.pipeline_speedup > 5.0);
+        // The committed serve record must carry the gated claims.
+        assert!(b.serve_completion >= 0.999, "{}", b.serve_completion);
+        assert!(b.serve_hit_rate > 0.5, "{}", b.serve_hit_rate);
+        assert!(b.serve_jobs_per_sec > 0.0);
+        assert!(b.serve_latency_ms.1 >= b.serve_latency_ms.0);
     }
 }

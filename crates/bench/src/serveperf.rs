@@ -1,0 +1,175 @@
+//! Sustained-load benchmark of the `hic serve` daemon.
+//!
+//! Starts an in-process daemon on an ephemeral port, then hammers it
+//! with many concurrent clients submitting design/profile/cosim jobs
+//! over the paper apps × the 2⁴ knob lattice — the workload the daemon
+//! exists for. Every client measures per-job latency (submit → done);
+//! the run records sustained throughput and the p50/p99 of the pooled
+//! latencies. The `repro` binary's `bench-serve` subcommand writes the
+//! result as `BENCH_serve.json`, and `repro check` gates on the
+//! machine-portable completion and cache-hit-rate columns.
+//!
+//! The queue capacity is deliberately small relative to the client herd
+//! so admission control actually engages: clients see `queue full` and
+//! retry with backoff, exercising the bounded-queue + round-robin
+//! fairness path rather than an infinitely deep mailbox.
+
+use hic_pipeline::PAPER_APPS;
+use hic_serve::{Client, Daemon, ServeOptions};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// The serve-load measurement record (`BENCH_serve.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServePerf {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Jobs each client submitted.
+    pub jobs_per_client: usize,
+    /// Daemon worker threads.
+    pub workers: usize,
+    /// Admission-queue capacity the daemon ran with.
+    pub queue_cap: usize,
+    /// Jobs accepted by the daemon.
+    pub submitted: u64,
+    /// Jobs that reached `done`.
+    pub completed: u64,
+    /// Jobs that reached `failed`.
+    pub failed: u64,
+    /// Wall-clock of the whole storm (first connect to last join).
+    pub wall_secs: f64,
+    /// `completed / wall_secs` — sustained throughput.
+    pub jobs_per_sec: f64,
+    /// Median submit→done latency (milliseconds).
+    pub p50_ms: f64,
+    /// 99th-percentile submit→done latency (milliseconds).
+    pub p99_ms: f64,
+    /// Store hit rate over the run: `hits / (hits + misses)`. High by
+    /// construction — the lattice is far smaller than the job count.
+    pub hit_rate: f64,
+    /// `completed / (clients · jobs_per_client)` — must be 1.0: retries
+    /// absorb admission rejections, so every job eventually lands.
+    pub completion: f64,
+}
+
+/// `sorted` percentile by nearest-rank on a pre-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run `clients` concurrent clients, each submitting `jobs_per_client`
+/// jobs against a fresh in-process daemon, and pool the latencies.
+pub fn measure(clients: usize, jobs_per_client: usize) -> ServePerf {
+    let root = std::env::temp_dir().join(format!("hic-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Cap well below the herd so `queue full` + retry actually happens.
+    let queue_cap = (clients / 2).clamp(8, 64);
+    let opts = ServeOptions {
+        port: 0,
+        queue_cap,
+        cache_dir: Some(root.clone()),
+        ..ServeOptions::default()
+    };
+    let workers = opts.workers;
+    let daemon = Daemon::start(opts).expect("daemon starts");
+    let port = daemon.port();
+
+    let backoff = Duration::from_millis(2);
+    let poll = Duration::from_millis(1);
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(port).expect("client connects");
+                    let name = format!("load-{i}");
+                    let mut lats = Vec::with_capacity(jobs_per_client);
+                    for j in 0..jobs_per_client {
+                        let n = i * jobs_per_client + j;
+                        let app = PAPER_APPS[n % PAPER_APPS.len()];
+                        // Mostly the design lattice; a sprinkle of
+                        // profile and (expensive) cosim jobs so the mix
+                        // resembles real clients, not a single hot key.
+                        let (kind, knobs) = match n % 17 {
+                            0 => ("profile", None),
+                            9 => ("cosim", None),
+                            _ => ("design", Some((n % 16) as u8)),
+                        };
+                        let t = Instant::now();
+                        let job = c
+                            .submit_retrying(kind, app, knobs, &name, backoff)
+                            .expect("submit")
+                            .expect("accepted after retries");
+                        let state = c.wait_done(job, poll).expect("status");
+                        assert_eq!(state, "done", "job {job} ({kind} {app}) failed");
+                        lats.push(t.elapsed().as_secs_f64() * 1e3);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let stats = daemon.cache_stats();
+    let summary = daemon.stop();
+    let _ = std::fs::remove_dir_all(&root);
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    let total = (clients * jobs_per_client) as u64;
+    let lookups = stats.hits + stats.misses;
+    ServePerf {
+        clients,
+        jobs_per_client,
+        workers,
+        queue_cap,
+        submitted: summary.submitted,
+        completed: summary.completed,
+        failed: summary.failed,
+        wall_secs,
+        jobs_per_sec: summary.completed as f64 / wall_secs.max(1e-9),
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        hit_rate: if lookups > 0 {
+            stats.hits as f64 / lookups as f64
+        } else {
+            0.0
+        },
+        completion: summary.completed as f64 / total.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 0.99), 5.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn small_storm_completes_every_job_and_warms_the_cache() {
+        let p = measure(6, 3);
+        assert_eq!(p.completed, 18, "failed={} ", p.failed);
+        assert_eq!(p.failed, 0);
+        assert!((p.completion - 1.0).abs() < 1e-9);
+        // 18 jobs over ≤ a handful of distinct artifacts: must re-hit.
+        assert!(p.hit_rate > 0.0, "hit_rate {}", p.hit_rate);
+        assert!(p.p50_ms > 0.0 && p.p99_ms >= p.p50_ms);
+        assert!(p.jobs_per_sec > 0.0);
+    }
+}

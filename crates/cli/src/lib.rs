@@ -160,6 +160,26 @@ pub enum Command {
         /// Artifact cache settings.
         cache: CacheOpts,
     },
+    /// Run the long-running compilation daemon: accept jobs from many
+    /// clients over the `hic-serve/v1` line-delimited-JSON TCP protocol,
+    /// execute them on a worker pool against the shared artifact store,
+    /// and drain gracefully on SIGTERM/SIGINT.
+    Serve {
+        /// Port to bind on 127.0.0.1.
+        port: u16,
+        /// Worker threads (`None` = available parallelism).
+        jobs: Option<usize>,
+        /// Admission-queue capacity across all clients.
+        queue_cap: usize,
+        /// Also serve Prometheus exposition (with a sampler attached) at
+        /// `127.0.0.1:<port>/metrics` while the daemon runs.
+        metrics_port: Option<u16>,
+        /// Stop (drain, then exit) after this many milliseconds
+        /// (`None` = until signalled) — for scripts and smoke tests.
+        for_ms: Option<u64>,
+        /// Artifact cache settings.
+        cache: CacheOpts,
+    },
     /// Serve the process-global registry as Prometheus exposition — the
     /// ad-hoc scrape target (`--for-ms` bounds the serve for scripts).
     ServeMetrics {
@@ -477,6 +497,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 cache: cache_opts(args),
             })
         }
+        "serve" => Ok(Command::Serve {
+            port: positive_flag::<u16>(args, "--port")?.unwrap_or(9191),
+            jobs: positive_flag::<usize>(args, "--jobs")?,
+            queue_cap: positive_flag::<usize>(args, "--queue-cap")?.unwrap_or(256),
+            metrics_port: positive_flag::<u16>(args, "--metrics-port")?,
+            for_ms: positive_flag::<u64>(args, "--for-ms")?,
+            cache: cache_opts(args),
+        }),
         "serve-metrics" => Ok(Command::ServeMetrics {
             port: positive_flag::<u16>(args, "--port")?.unwrap_or(9184),
             for_ms: positive_flag::<u64>(args, "--for-ms")?,
@@ -540,11 +568,13 @@ USAGE:
   hic dse      <canny|jpeg|klt|fluid> [--json]
   hic batch    <app>... [--jobs N] [--json] [--serve-metrics PORT] [--linger-ms MS]
   hic top      <app>... [--jobs N] [--interval-ms MS]
+  hic serve    [--port PORT] [--jobs N] [--queue-cap N] [--metrics-port PORT]
+               [--for-ms MS]
   hic serve-metrics [--port PORT] [--for-ms MS]
   hic trace    <canny|jpeg|klt|fluid> [--noc|--batch] [--sample N] [-o FILE]
   hic help
 
-CACHE (design, profile, report, dse, batch):
+CACHE (design, profile, report, dse, batch, serve):
   --cache-dir <dir>   artifact store root (default .hic-cache, or HIC_CACHE_DIR)
   --no-cache          skip cache reads; results are still published
 
@@ -560,6 +590,15 @@ TRACE:
   stdout). --noc limits recording to NoC/bus/design/sim, --batch to the
   batch pipeline; --sample N keeps 1 in N NoC packet flows. Cache reads
   are skipped so every stage runs and emits events.
+
+SERVE:
+  a long-running daemon on 127.0.0.1 (default port 9191) speaking the
+  hic-serve/v1 line-delimited-JSON protocol: submit profile/design/
+  cosim/batch jobs, poll status, fetch results. Jobs run on a worker
+  pool against the shared artifact cache; admission is bounded
+  (--queue-cap) with per-client round-robin fairness. SIGTERM/SIGINT
+  drain gracefully: queued work finishes, new submits are refused.
+  --metrics-port serves Prometheus exposition alongside (serve.* gauges).
 
 TELEMETRY:
   batch --serve-metrics PORT serves Prometheus text exposition at
@@ -1036,6 +1075,85 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let out = top::run(&opts, interval_ms)?;
             Ok(batch_table(&out))
         }
+        Command::Serve {
+            port,
+            jobs,
+            queue_cap,
+            metrics_port,
+            for_ms,
+            cache,
+        } => {
+            let opts = hic_serve::ServeOptions {
+                port,
+                workers: jobs.unwrap_or_else(|| hic_serve::ServeOptions::default().workers),
+                queue_cap,
+                cache_dir: cache.dir.as_ref().map(std::path::PathBuf::from),
+                read_cache: cache.read,
+                // Same env knob the one-shot commands honour via
+                // StoreConfig::at.
+                max_bytes: std::env::var("HIC_CACHE_MAX_BYTES")
+                    .ok()
+                    .and_then(|v| v.parse().ok()),
+            };
+            let daemon = hic_serve::Daemon::start(opts)?;
+            hic_serve::signal::install();
+            // Optional Prometheus sidecar: sampler + /metrics endpoint
+            // for the daemon's lifetime (serve.* gauges included).
+            let mut telemetry = metrics_port
+                .map(|mport| -> Result<_, CliError> {
+                    let reg = hic_obs::global().clone();
+                    let store = hic_obs::timeseries::SeriesStore::new(
+                        hic_obs::timeseries::DEFAULT_SERIES_CAPACITY,
+                    );
+                    let sampler = hic_obs::Sampler::start(
+                        reg.clone(),
+                        store.clone(),
+                        std::time::Duration::from_millis(100),
+                    );
+                    let srv = hic_obs::MetricsServer::start(reg, Some(store), mport)?;
+                    eprintln!("serving metrics at http://127.0.0.1:{}/metrics", srv.port());
+                    Ok((sampler, srv))
+                })
+                .transpose()?;
+            eprintln!(
+                "hic serve: listening on 127.0.0.1:{} ({} workers, queue cap {})",
+                daemon.port(),
+                jobs.unwrap_or_else(|| hic_serve::ServeOptions::default().workers),
+                queue_cap
+            );
+            let started = std::time::Instant::now();
+            loop {
+                if hic_serve::signal::term_requested() || daemon.drain_requested() {
+                    break;
+                }
+                if let Some(ms) = for_ms {
+                    if started.elapsed() >= std::time::Duration::from_millis(ms) {
+                        break;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            // Drain first so the cache stats cover every finished job,
+            // then tear down (stop re-checks the already-drained state).
+            daemon.begin_drain();
+            daemon.wait_drained();
+            let stats = daemon.cache_stats();
+            let summary = daemon.stop();
+            if let Some((sampler, srv)) = &mut telemetry {
+                sampler.stop();
+                srv.stop();
+            }
+            Ok(format!(
+                "drained: {} submitted, {} completed, {} failed, {} rejected \
+                 ({} cache hits / {} misses)\n",
+                summary.submitted,
+                summary.completed,
+                summary.failed,
+                summary.rejected,
+                stats.hits,
+                stats.misses
+            ))
+        }
         Command::ServeMetrics { port, for_ms } => {
             let reg = hic_obs::global().clone();
             let store =
@@ -1456,6 +1574,85 @@ mod tests {
             .contains("USAGE"));
         assert_eq!(hic_sim::engine(), hic_sim::EngineKind::Step);
         hic_sim::set_engine(hic_sim::EngineKind::Auto);
+    }
+
+    #[test]
+    fn parses_serve_defaults_and_flags() {
+        match parse(&argv("serve")).unwrap() {
+            Command::Serve {
+                port,
+                jobs,
+                queue_cap,
+                metrics_port,
+                for_ms,
+                cache,
+            } => {
+                assert_eq!(port, 9191);
+                assert_eq!(jobs, None);
+                assert_eq!(queue_cap, 256);
+                assert_eq!(metrics_port, None);
+                assert_eq!(for_ms, None);
+                assert!(cache.dir.is_some(), "parser always resolves a cache dir");
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        match parse(&argv(
+            "serve --port 7000 --jobs 3 --queue-cap 32 --metrics-port 7001 \
+             --for-ms 250 --cache-dir /tmp/s --no-cache",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                port,
+                jobs,
+                queue_cap,
+                metrics_port,
+                for_ms,
+                cache,
+            } => {
+                assert_eq!(port, 7000);
+                assert_eq!(jobs, Some(3));
+                assert_eq!(queue_cap, 32);
+                assert_eq!(metrics_port, Some(7001));
+                assert_eq!(for_ms, Some(250));
+                assert_eq!(cache.dir.as_deref(), Some("/tmp/s"));
+                assert!(!cache.read);
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        // Zero or garbage flag values are command-line mistakes.
+        for bad in [
+            "serve --port 0",
+            "serve --jobs zero",
+            "serve --queue-cap 0",
+            "serve --for-ms soon",
+        ] {
+            assert!(
+                matches!(parse(&argv(bad)), Err(CliError::Usage(_))),
+                "'{bad}' must be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_runs_bounded_and_reports_a_drain_summary() {
+        let dir = std::env::temp_dir().join(format!("hic-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(Command::Serve {
+            port: 0, // ephemeral: this test must not collide with a real daemon
+            jobs: Some(1),
+            queue_cap: 8,
+            metrics_port: None,
+            for_ms: Some(1),
+            cache: CacheOpts {
+                dir: Some(dir.to_string_lossy().into_owned()),
+                read: true,
+            },
+        })
+        .unwrap();
+        assert!(out.contains("drained"), "{out}");
+        assert!(out.contains("0 failed"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

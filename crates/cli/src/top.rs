@@ -155,10 +155,39 @@ pub fn render_frame(store: &SeriesStore, total_jobs: Option<u64>) -> String {
         &history(store, "pipeline.jobs.completed"),
         &jobs_now,
     );
+    // Daemon rows, only when a `hic serve` instance publishes into the
+    // sampled registry (the serve.* gauges exist): queue depth under
+    // admission control and the job ledger. Batch-only runs keep the
+    // classic seven-row frame.
+    if store.get("serve.jobs.submitted").is_some() {
+        let sdepth = history(store, "serve.queue.depth");
+        row(
+            &mut out,
+            "serve queue",
+            &sdepth,
+            &format!("now {}", sdepth.last().copied().unwrap_or(0.0) as u64),
+        );
+        let sdone = history(store, "serve.jobs.completed");
+        let submitted = last(store, "serve.jobs.submitted").unwrap_or(0.0) as u64;
+        let rejected = last(store, "serve.jobs.rejected").unwrap_or(0.0) as u64;
+        row(
+            &mut out,
+            "serve jobs",
+            &sdone,
+            &format!(
+                "done {}/{} ({} rejected)",
+                sdone.last().copied().unwrap_or(0.0) as u64,
+                submitted,
+                rejected
+            ),
+        );
+    }
     out
 }
 
-/// Number of lines [`render_frame`] emits (for the cursor-up redraw).
+/// Number of lines [`render_frame`] emits for a batch-only registry (the
+/// redraw loop measures each frame, so serve rows may come and go).
+#[cfg(test)]
 const FRAME_LINES: usize = 7;
 
 /// Run the batch with a live dashboard on stderr: start a sampler at
@@ -181,6 +210,10 @@ pub fn run(
     let total_jobs = Some((opts.apps.len() as u64) * 18);
     let interval = Duration::from_millis(interval_ms.max(1));
 
+    // The previous frame's height drives the cursor-up redraw: serve
+    // rows appear only when a daemon publishes into the registry, so the
+    // frame is measured rather than assumed to be `FRAME_LINES` tall.
+    let mut prev_lines = 0usize;
     let result = std::thread::scope(|scope| {
         let worker = scope.spawn(|| hic_pipeline::run_batch(opts));
         let mut first = true;
@@ -196,8 +229,9 @@ pub fn run(
             } else {
                 // Cursor up over the previous frame; each row rewrites
                 // its line fully via erase-to-end.
-                eprint!("\x1b[{FRAME_LINES}A");
+                eprint!("\x1b[{prev_lines}A");
             }
+            prev_lines = frame.lines().count();
             for line in frame.lines() {
                 eprintln!("{line}\x1b[K");
             }
@@ -211,7 +245,7 @@ pub fn run(
     sampler.stop();
     // Redraw once from the final stop-time sample so the dashboard's
     // last frame matches the run's end state.
-    eprint!("\x1b[{FRAME_LINES}A");
+    eprint!("\x1b[{prev_lines}A");
     for line in render_frame(&store, total_jobs).lines() {
         eprintln!("{line}\x1b[K");
     }
@@ -273,5 +307,27 @@ mod tests {
         let frame = render_frame(&SeriesStore::new(16), None);
         assert_eq!(frame.lines().count(), FRAME_LINES);
         assert!(frame.contains("done 0"), "{frame}");
+    }
+
+    #[test]
+    fn serve_rows_appear_only_when_a_daemon_publishes() {
+        let store = SeriesStore::new(64);
+        store.record_at("pipeline.jobs.completed", 0, 1.0);
+        let batch_only = render_frame(&store, None);
+        assert_eq!(batch_only.lines().count(), FRAME_LINES);
+        assert!(!batch_only.contains("serve"), "{batch_only}");
+
+        store.record_at("serve.jobs.submitted", 100, 12.0);
+        store.record_at("serve.jobs.completed", 100, 9.0);
+        store.record_at("serve.jobs.rejected", 100, 1.0);
+        store.record_at("serve.queue.depth", 100, 3.0);
+        let with_serve = render_frame(&store, None);
+        assert_eq!(with_serve.lines().count(), FRAME_LINES + 2);
+        assert!(with_serve.contains("serve queue"), "{with_serve}");
+        assert!(with_serve.contains("now 3"), "{with_serve}");
+        assert!(
+            with_serve.contains("done 9/12 (1 rejected)"),
+            "{with_serve}"
+        );
     }
 }

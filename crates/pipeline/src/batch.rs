@@ -26,7 +26,7 @@
 //! not completion order — wins, again matching the sequential run.
 
 use crate::stages;
-use crate::store::{ArtifactStore, CacheStats, StoreConfig, DEFAULT_LOG_MAX_BYTES};
+use crate::store::{ArtifactStore, CacheStats, StoreConfig};
 use crate::PipelineError;
 use hic_core::{pareto_front, point_of, DesignConfig, DsePoint, InterconnectPlan};
 use hic_obs::trace::{self, Category};
@@ -138,7 +138,7 @@ pub fn run_batch(opts: &BatchOptions) -> Result<BatchOutcome, PipelineError> {
         Some(dir) => Some(ArtifactStore::open(StoreConfig {
             root: dir.clone(),
             max_bytes: opts.max_bytes,
-            log_max_bytes: DEFAULT_LOG_MAX_BYTES,
+            ..StoreConfig::default()
         })?),
         None => None,
     };

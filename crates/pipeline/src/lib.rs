@@ -19,15 +19,23 @@
 //! [`stages`] holds the cached stage wrappers shared by both: each
 //! knows how to derive its key and how to compute on a miss.
 //!
+//! [`lock`] makes the store safe across *processes*: per-key compute
+//! leases (cross-process single-flight with crash takeover) plus OS
+//! advisory locks serializing `access.log` compaction and eviction, so
+//! any number of `hic` processes — including the long-running
+//! `hic serve` daemon — can share one cache directory.
+//!
 //! Everything observable is published through `hic-obs` under
 //! `pipeline.*`: per-stage hit/miss counters, single-flight waits,
 //! quarantine/eviction counts, and a queue-depth gauge.
 
 pub mod batch;
+pub mod lock;
 pub mod stages;
 pub mod store;
 
 pub use batch::{run_batch, AppReport, BatchOptions, BatchOutcome};
+pub use lock::{FsLock, Lease, LeaseConfig};
 pub use stages::{ProfileArtifact, PAPER_APPS};
 pub use store::{stage_key, ArtifactStore, CacheStats, StoreConfig, STORE_SALT, STORE_SCHEMA};
 

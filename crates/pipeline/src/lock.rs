@@ -1,0 +1,352 @@
+//! Cross-process coordination primitives for the artifact store.
+//!
+//! Two mechanisms, both built on plain files so they work across any mix
+//! of `hic` processes sharing one `.hic-cache` directory:
+//!
+//! * [`FsLock`] — a thin RAII wrapper over the OS advisory file lock
+//!   (`flock`-style, via `std::fs::File::lock`). Used to serialize
+//!   `access.log` compaction against appenders (shared append lock,
+//!   exclusive compaction lock) and to elect a single evictor. The OS
+//!   releases advisory locks when the holder dies, so a crashed process
+//!   can never wedge the store.
+//!
+//! * [`Lease`] — per-key compute leases (`objects/<kk>/<key>.lease`)
+//!   giving *cross-process single-flight*: the first process to
+//!   `create_new` the lease file computes; everyone else polls, then
+//!   reads the published object. Liveness does not depend on the OS lock
+//!   table: the holder records its pid and start time in the file and a
+//!   background heartbeat thread refreshes the file's mtime every
+//!   `ttl / 4`, so a lease whose mtime is older than `ttl` provably
+//!   belongs to a dead (or stopped) process and may be taken over. The
+//!   takeover itself is race-free: claimants *rename* the stale lease to
+//!   a unique name — exactly one rename wins — re-verify staleness on
+//!   the renamed file, and put it back if the holder heartbeat in the
+//!   window between the staleness check and the rename.
+//!
+//! Worst case (a takeover races a stalled-but-alive holder, or a waiter
+//! barges after `lease_max_wait`) is a duplicate computation, never a
+//! torn or wrong artifact: object publication is an atomic rename and
+//! stage computation is deterministic.
+
+use std::fs::{self, File, OpenOptions, TryLockError};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime};
+
+/// An acquired OS advisory file lock, released on drop (or when the
+/// holding process dies — the OS guarantees cleanup).
+#[derive(Debug)]
+pub struct FsLock {
+    // Held only for its lock; dropping the handle releases it.
+    _file: File,
+}
+
+fn open_lock_file(path: &Path) -> io::Result<File> {
+    OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(path)
+}
+
+impl FsLock {
+    /// Block until the exclusive lock on `path` is held.
+    pub fn exclusive(path: &Path) -> io::Result<FsLock> {
+        let file = open_lock_file(path)?;
+        file.lock()?;
+        Ok(FsLock { _file: file })
+    }
+
+    /// Block until a shared lock on `path` is held (many readers /
+    /// appenders may hold it together; excludes [`FsLock::exclusive`]).
+    pub fn shared(path: &Path) -> io::Result<FsLock> {
+        let file = open_lock_file(path)?;
+        file.lock_shared()?;
+        Ok(FsLock { _file: file })
+    }
+
+    /// Try the exclusive lock without blocking; `None` if another holder
+    /// (any process, including this one on another handle) has it.
+    pub fn try_exclusive(path: &Path) -> io::Result<Option<FsLock>> {
+        let file = open_lock_file(path)?;
+        match file.try_lock() {
+            Ok(()) => Ok(Some(FsLock { _file: file })),
+            Err(TryLockError::WouldBlock) => Ok(None),
+            Err(TryLockError::Error(e)) => Err(e),
+        }
+    }
+}
+
+/// Lease timing knobs (part of `StoreConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseConfig {
+    /// A lease whose mtime is older than this is stale and may be taken
+    /// over. The holder's heartbeat refreshes mtime every `ttl / 4`.
+    pub ttl: Duration,
+    /// How long waiters sleep between poll-then-read attempts.
+    pub poll: Duration,
+    /// Upper bound on total waiting: past this, a waiter gives up on
+    /// deduplication and computes anyway (atomic publish keeps that
+    /// safe), so a pathological lease can delay work but never wedge it.
+    pub max_wait: Duration,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> LeaseConfig {
+        LeaseConfig {
+            ttl: Duration::from_secs(10),
+            poll: Duration::from_millis(20),
+            max_wait: Duration::from_secs(300),
+        }
+    }
+}
+
+/// Shared flag + condvar so [`Lease::release`] can stop the heartbeat
+/// thread promptly instead of waiting out a sleep.
+#[derive(Debug, Default)]
+struct HeartbeatStop {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// A held per-key compute lease. Release (or drop) removes the lease
+/// file and stops the heartbeat.
+#[derive(Debug)]
+pub struct Lease {
+    path: PathBuf,
+    stop: Arc<HeartbeatStop>,
+    heartbeat: Option<JoinHandle<()>>,
+}
+
+/// Monotonic per-process tag source for unique takeover names.
+static TAKEOVER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Lease {
+    /// Try to acquire the lease at `path`. `Ok(None)` means another
+    /// holder's lease file exists (fresh or stale — staleness is the
+    /// *waiter's* concern, via [`takeover_if_stale`]).
+    pub fn try_acquire(path: &Path, ttl: Duration) -> io::Result<Option<Lease>> {
+        let mut attempt = OpenOptions::new().write(true).create_new(true).open(path);
+        if let Err(e) = &attempt {
+            if e.kind() == io::ErrorKind::NotFound {
+                // The fan-out directory may not exist yet.
+                if let Some(dir) = path.parent() {
+                    fs::create_dir_all(dir)?;
+                }
+                attempt = OpenOptions::new().write(true).create_new(true).open(path);
+            }
+        }
+        let mut file = match attempt {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        // Owner record: informational (post-mortems read it); liveness is
+        // judged from mtime alone.
+        use io::Write as _;
+        let _ = writeln!(
+            file,
+            "pid {} start_unix_ms {}",
+            std::process::id(),
+            SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_millis())
+                .unwrap_or(0)
+        );
+        let _ = file.flush();
+
+        let stop = Arc::new(HeartbeatStop::default());
+        let heartbeat = {
+            let stop = Arc::clone(&stop);
+            let beat = ttl.max(Duration::from_millis(4)) / 4;
+            std::thread::spawn(move || loop {
+                let mut stopped = stop.stopped.lock().unwrap();
+                while !*stopped {
+                    let (guard, timeout) = stop.cv.wait_timeout(stopped, beat).unwrap();
+                    stopped = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+                if *stopped {
+                    return;
+                }
+                drop(stopped);
+                let _ = file.set_modified(SystemTime::now());
+            })
+        };
+        Ok(Some(Lease {
+            path: path.to_path_buf(),
+            stop,
+            heartbeat: Some(heartbeat),
+        }))
+    }
+
+    /// Stop the heartbeat and remove the lease file, waking waiters.
+    pub fn release(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        *self.stop.stopped.lock().unwrap() = true;
+        self.stop.cv.notify_all();
+        if let Some(h) = self.heartbeat.take() {
+            let _ = h.join();
+        }
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        if self.heartbeat.is_some() {
+            self.finish();
+        }
+    }
+}
+
+/// Age of the lease file at `path` per its mtime; `None` if it is gone.
+fn lease_age(path: &Path) -> Option<Duration> {
+    let modified = fs::metadata(path).and_then(|m| m.modified()).ok()?;
+    Some(
+        SystemTime::now()
+            .duration_since(modified)
+            .unwrap_or(Duration::ZERO),
+    )
+}
+
+/// If the lease at `path` looks stale (mtime older than `ttl`), try to
+/// take it over: rename it to a unique side name (exactly one claimant
+/// can win the rename), re-verify staleness on the renamed file, and
+/// delete it. Returns `true` when this call removed a stale lease — the
+/// caller should immediately retry acquisition. A holder that heartbeats
+/// between the check and the rename gets its lease renamed back.
+pub fn takeover_if_stale(path: &Path, ttl: Duration) -> bool {
+    match lease_age(path) {
+        Some(age) if age > ttl => {}
+        _ => return false,
+    }
+    let side = path.with_extension(format!(
+        "stale.{}.{}",
+        std::process::id(),
+        TAKEOVER_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    if fs::rename(path, &side).is_err() {
+        return false; // someone else won the takeover, or the holder released
+    }
+    // TOCTOU guard: the holder may have heartbeat after our staleness
+    // check. mtime travels with the rename, so re-check on the side file.
+    match lease_age(&side) {
+        Some(age) if age <= ttl => {
+            // Actually fresh: put it back; the holder never notices
+            // (its heartbeat handle follows the inode, not the name).
+            let _ = fs::rename(&side, path);
+            false
+        }
+        _ => {
+            let _ = fs::remove_file(&side);
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "hic-lock-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn exclusive_lock_excludes_other_handles() {
+        let path = temp_path("excl");
+        let held = FsLock::try_exclusive(&path).unwrap().expect("first wins");
+        assert!(
+            FsLock::try_exclusive(&path).unwrap().is_none(),
+            "second handle must see the lock held"
+        );
+        drop(held);
+        assert!(FsLock::try_exclusive(&path).unwrap().is_some());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shared_locks_coexist_but_block_exclusive() {
+        let path = temp_path("shared");
+        let a = FsLock::shared(&path).unwrap();
+        let b = FsLock::shared(&path).unwrap();
+        assert!(
+            FsLock::try_exclusive(&path).unwrap().is_none(),
+            "exclusive must wait for shared holders"
+        );
+        drop(a);
+        drop(b);
+        assert!(FsLock::try_exclusive(&path).unwrap().is_some());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lease_is_single_holder_and_reacquirable_after_release() {
+        let path = temp_path("lease");
+        let ttl = Duration::from_secs(10);
+        let lease = Lease::try_acquire(&path, ttl).unwrap().expect("acquired");
+        assert!(path.exists());
+        assert!(
+            Lease::try_acquire(&path, ttl).unwrap().is_none(),
+            "held lease must refuse a second acquire"
+        );
+        lease.release();
+        assert!(!path.exists(), "release removes the lease file");
+        let again = Lease::try_acquire(&path, ttl).unwrap();
+        assert!(again.is_some());
+        again.unwrap().release();
+    }
+
+    #[test]
+    fn stale_lease_is_taken_over_fresh_lease_is_not() {
+        let path = temp_path("stale");
+        // Fabricate an orphaned lease (as if its process was kill -9'd):
+        // no heartbeat, mtime pushed into the past.
+        fs::write(&path, "pid 0 start_unix_ms 0\n").unwrap();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_modified(SystemTime::now() - Duration::from_secs(60))
+            .unwrap();
+        drop(f);
+        assert!(
+            !takeover_if_stale(&path, Duration::from_secs(120)),
+            "within ttl: not stale"
+        );
+        assert!(path.exists());
+        assert!(
+            takeover_if_stale(&path, Duration::from_secs(1)),
+            "past ttl: taken over"
+        );
+        assert!(!path.exists(), "takeover removes the stale lease");
+        assert!(!takeover_if_stale(&path, Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn heartbeat_keeps_a_held_lease_fresh() {
+        let path = temp_path("beat");
+        let ttl = Duration::from_millis(80);
+        let lease = Lease::try_acquire(&path, ttl).unwrap().expect("acquired");
+        // Sleep several ttls: the heartbeat (every ttl/4) must keep the
+        // mtime young enough that no waiter can steal the lease.
+        std::thread::sleep(Duration::from_millis(400));
+        assert!(
+            !takeover_if_stale(&path, ttl),
+            "live holder must never be preempted"
+        );
+        assert!(path.exists());
+        lease.release();
+    }
+}

@@ -1,0 +1,259 @@
+//! Multi-process store stress tests.
+//!
+//! The parent tests re-exec this very test binary (`current_exe`) with
+//! `HIC_MP_*` environment variables set, so each child is a genuinely
+//! separate OS process running [`multiprocess_child`] against one shared
+//! cache directory — the exact topology `hic serve` workers and ad-hoc
+//! `hic` invocations create in production. The children share *nothing*
+//! in-process: dedup can only come from the on-disk lease protocol.
+//!
+//! What is proven:
+//! * **exactly-once compute per key** — children hammering the *same*
+//!   key set leave exactly one compute marker per key (lease
+//!   single-flight), and every process observes the same payload;
+//! * **no torn reads** — any torn or corrupt object would fail checksum
+//!   verification and bump the quarantine counter; children assert it
+//!   stays zero even under a tight byte cap with constant eviction;
+//! * **no lost artifacts** — after the dust settles every surviving
+//!   object deserializes to exactly the payload its key demands, and
+//!   every `access.log` line is a well-formed key.
+
+use hic_core::stablehash::{stable_hash_bytes, StableHash};
+use hic_pipeline::store::{stage_key, ArtifactStore, StoreConfig};
+use hic_pipeline::LeaseConfig;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+/// Deterministic job-space key `i` (shared by parents and children).
+fn mp_key(tag: &str, i: u64) -> StableHash {
+    stage_key(
+        "mp-stress",
+        &[
+            stable_hash_bytes(tag.as_bytes()),
+            stable_hash_bytes(&i.to_le_bytes()),
+        ],
+    )
+}
+
+/// The one true payload for a key — every process must agree on it.
+fn expected_payload(key: StableHash) -> String {
+    format!("mp-{}", key.to_hex()).repeat(4)
+}
+
+fn fast_lease() -> LeaseConfig {
+    LeaseConfig {
+        // Generous ttl relative to the ms-scale computes below, so a
+        // scheduling hiccup on a loaded box never masquerades as a dead
+        // holder; heartbeat refreshes every ttl/4.
+        ttl: Duration::from_secs(2),
+        poll: Duration::from_millis(2),
+        max_wait: Duration::from_secs(60),
+    }
+}
+
+fn open_shared(root: &Path, cap: Option<u64>) -> ArtifactStore {
+    ArtifactStore::open(StoreConfig {
+        root: root.to_path_buf(),
+        max_bytes: cap,
+        lease: fast_lease(),
+        ..StoreConfig::default()
+    })
+    .expect("open shared store")
+}
+
+/// Child worker: runs only when the parent set `HIC_MP_ROOT`; a plain
+/// `cargo test` executes it as a no-op.
+#[test]
+fn multiprocess_child() {
+    let Ok(root) = std::env::var("HIC_MP_ROOT") else {
+        return;
+    };
+    let marks = PathBuf::from(std::env::var("HIC_MP_MARKS").expect("HIC_MP_MARKS set"));
+    let tag = std::env::var("HIC_MP_TAG").expect("HIC_MP_TAG set");
+    let keys: u64 = std::env::var("HIC_MP_KEYS").unwrap().parse().unwrap();
+    let cap: Option<u64> = std::env::var("HIC_MP_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let rounds: u64 = std::env::var("HIC_MP_ROUNDS").unwrap().parse().unwrap();
+
+    let store = open_shared(Path::new(&root), cap);
+    for round in 0..rounds {
+        for i in 0..keys {
+            let key = mp_key(&tag, i);
+            let marks = &marks;
+            let got: String = store
+                .get_or_compute("mp", key, true, || {
+                    // One marker file per *actual* computation: the
+                    // exactly-once assertion counts these.
+                    let mark = marks.join(format!(
+                        "{}.{}.{}-{}",
+                        key.to_hex(),
+                        std::process::id(),
+                        round,
+                        i
+                    ));
+                    std::fs::write(&mark, b"computed").expect("write marker");
+                    std::thread::sleep(Duration::from_millis(3));
+                    Ok(expected_payload(key))
+                })
+                .expect("get_or_compute never errors in the stress run");
+            // A torn read or cross-key mixup would surface right here.
+            assert_eq!(got, expected_payload(key), "round {round} key {i}");
+        }
+    }
+    let stats = store.stats();
+    assert_eq!(
+        stats.quarantined, 0,
+        "no object may ever fail verification (torn read): {stats:?}"
+    );
+}
+
+/// Spawn one child process over the shared job space.
+fn spawn_child(
+    root: &Path,
+    marks: &Path,
+    tag: &str,
+    keys: u64,
+    rounds: u64,
+    cap: Option<u64>,
+) -> std::process::Child {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = Command::new(exe);
+    cmd.args([
+        "multiprocess_child",
+        "--exact",
+        "--test-threads",
+        "1",
+        "--nocapture",
+    ])
+    .env("HIC_MP_ROOT", root)
+    .env("HIC_MP_MARKS", marks)
+    .env("HIC_MP_TAG", tag)
+    .env("HIC_MP_KEYS", keys.to_string())
+    .env("HIC_MP_ROUNDS", rounds.to_string())
+    .stdout(std::process::Stdio::piped())
+    .stderr(std::process::Stdio::piped());
+    if let Some(cap) = cap {
+        cmd.env("HIC_MP_CAP", cap.to_string());
+    }
+    cmd.spawn().expect("spawn child process")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hic-mp-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn join_all(children: Vec<std::process::Child>) {
+    for (i, child) in children.into_iter().enumerate() {
+        let out = child.wait_with_output().expect("child exits");
+        assert!(
+            out.status.success(),
+            "child {i} failed:\nstdout:\n{}\nstderr:\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+/// ≥ 4 processes, identical key set, no byte cap: the lease protocol
+/// must hold each computation to exactly one process, and everyone must
+/// read identical bytes.
+#[test]
+fn same_keys_compute_exactly_once_across_processes() {
+    const PROCS: usize = 5;
+    const KEYS: u64 = 10;
+    let root = temp_dir("same-root");
+    let marks = temp_dir("same-marks");
+
+    let children: Vec<_> = (0..PROCS)
+        .map(|_| spawn_child(&root, &marks, "same", KEYS, 1, None))
+        .collect();
+    join_all(children);
+
+    // Exactly one compute marker per key, PROCS processes notwithstanding.
+    for i in 0..KEYS {
+        let hex = mp_key("same", i).to_hex();
+        let markers: Vec<_> = std::fs::read_dir(&marks)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with(hex.as_str()))
+            .collect();
+        assert_eq!(
+            markers.len(),
+            1,
+            "key {i} ({hex}) must be computed exactly once, got {markers:?}"
+        );
+    }
+    // And the store holds every artifact, verbatim.
+    let store = open_shared(&root, None);
+    for i in 0..KEYS {
+        let key = mp_key("same", i);
+        assert_eq!(
+            store.load(key).as_deref(),
+            Some(format!("\"{}\"", expected_payload(key)).as_str()),
+            "artifact {i} must survive intact"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&marks);
+}
+
+/// ≥ 4 processes, disjoint key sets, byte cap tight enough that eviction
+/// runs constantly while others publish and read: nothing may tear, and
+/// whatever survives must be byte-exact.
+#[test]
+fn tight_cap_eviction_never_tears_or_loses_artifacts() {
+    const PROCS: usize = 4;
+    const KEYS: u64 = 8;
+    const ROUNDS: u64 = 3;
+    // Each object is ~260 B payload + ~140 B header; cap ≈ 6 objects
+    // while 32 keys churn, so eviction + recompute is the steady state.
+    const CAP: u64 = 2_400;
+    let root = temp_dir("cap-root");
+    let marks = temp_dir("cap-marks");
+
+    let children: Vec<_> = (0..PROCS)
+        .map(|p| spawn_child(&root, &marks, &format!("cap-{p}"), KEYS, ROUNDS, Some(CAP)))
+        .collect();
+    join_all(children);
+
+    // Children already asserted zero quarantines (no torn reads) and
+    // byte-exact payloads on every access. Post-mortem the directory:
+    // everything still present must verify and match its key.
+    let store = open_shared(&root, None);
+    let mut survivors = 0;
+    for p in 0..PROCS {
+        for i in 0..KEYS {
+            let key = mp_key(&format!("cap-{p}"), i);
+            if let Some(payload) = store.load(key) {
+                assert_eq!(
+                    payload,
+                    format!("\"{}\"", expected_payload(key)),
+                    "surviving artifact {p}/{i} must be byte-exact"
+                );
+                survivors += 1;
+            }
+        }
+    }
+    assert!(survivors > 0, "some artifacts must survive the churn");
+    assert_eq!(
+        store.stats().quarantined,
+        0,
+        "post-mortem scan found torn objects"
+    );
+    // The recency journal must contain only well-formed keys — a torn
+    // append would leave a mangled line.
+    let log = std::fs::read_to_string(root.join("access.log")).unwrap_or_default();
+    for line in log.lines() {
+        assert!(
+            StableHash::from_hex(line.trim()).is_some(),
+            "access.log line must be a valid key: {line:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&marks);
+}

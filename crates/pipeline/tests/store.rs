@@ -23,8 +23,7 @@ fn temp_root(tag: &str) -> PathBuf {
 fn open(tag: &str) -> ArtifactStore {
     ArtifactStore::open(StoreConfig {
         root: temp_root(tag),
-        max_bytes: None,
-        log_max_bytes: hic_pipeline::store::DEFAULT_LOG_MAX_BYTES,
+        ..StoreConfig::default()
     })
     .unwrap()
 }

@@ -1,0 +1,143 @@
+//! A small blocking client for the `hic-serve/v1` protocol.
+//!
+//! Used by the CLI smoke paths, the integration tests, and the
+//! `repro bench-serve` load generator — anything that needs to talk to a
+//! daemon without hand-rolling socket code. One [`Client`] wraps one TCP
+//! connection; requests are strictly request/response in order.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One open connection to a daemon on 127.0.0.1.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A submit refused by the daemon (admission control or drain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// `queue full` — retry after a backoff.
+    Full,
+    /// `draining` — the daemon is shutting down; stop submitting.
+    Draining,
+    /// Anything else (malformed request, unknown app, ...).
+    Other(String),
+}
+
+impl Client {
+    /// Connect to the daemon on `port`.
+    pub fn connect(port: u16) -> io::Result<Client> {
+        let stream = TcpStream::connect(("127.0.0.1", port))?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request line, read one response line.
+    pub fn roundtrip(&mut self, request: &str) -> io::Result<String> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Ok(line.trim().to_string())
+    }
+
+    /// Submit a job; `Ok(job_id)` or why it was refused.
+    pub fn submit(
+        &mut self,
+        kind: &str,
+        app: &str,
+        knobs: Option<u8>,
+        client: &str,
+    ) -> io::Result<Result<u64, SubmitError>> {
+        let knobs_field = knobs.map(|k| format!(",\"knobs\":{k}")).unwrap_or_default();
+        let req = format!(
+            "{{\"cmd\":\"submit\",\"kind\":\"{kind}\",\"app\":\"{app}\"{knobs_field},\"client\":\"{client}\"}}"
+        );
+        let resp = self.roundtrip(&req)?;
+        let v = serde_json::parse(&resp)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if v.get("ok").and_then(|o| o.as_bool()) == Some(true) {
+            let job = v.get("job").and_then(|j| j.as_u64()).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("no job id in {resp}"))
+            })?;
+            return Ok(Ok(job));
+        }
+        let err = v
+            .get("error")
+            .and_then(|e| e.as_str())
+            .unwrap_or("unknown error")
+            .to_string();
+        Ok(Err(match err.as_str() {
+            "queue full" => SubmitError::Full,
+            "draining" => SubmitError::Draining,
+            _ => SubmitError::Other(err),
+        }))
+    }
+
+    /// Submit with retry-on-full (sleeping `backoff` between attempts).
+    pub fn submit_retrying(
+        &mut self,
+        kind: &str,
+        app: &str,
+        knobs: Option<u8>,
+        client: &str,
+        backoff: Duration,
+    ) -> io::Result<Result<u64, SubmitError>> {
+        loop {
+            match self.submit(kind, app, knobs, client)? {
+                Ok(job) => return Ok(Ok(job)),
+                Err(SubmitError::Full) => std::thread::sleep(backoff),
+                Err(other) => return Ok(Err(other)),
+            }
+        }
+    }
+
+    /// Poll `status` until the job reaches `done` / `failed`; returns the
+    /// final state name.
+    pub fn wait_done(&mut self, job: u64, poll: Duration) -> io::Result<String> {
+        loop {
+            let resp = self.roundtrip(&format!("{{\"cmd\":\"status\",\"job\":{job}}}"))?;
+            let v = serde_json::parse(&resp)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            match v.get("state").and_then(|s| s.as_str()) {
+                Some(state @ ("done" | "failed")) => return Ok(state.to_string()),
+                Some(_) => std::thread::sleep(poll),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad status response: {resp}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Fetch a finished job's raw result response (JSON line).
+    pub fn result(&mut self, job: u64) -> io::Result<String> {
+        self.roundtrip(&format!("{{\"cmd\":\"result\",\"job\":{job}}}"))
+    }
+
+    /// Fetch the daemon's stats response (JSON line).
+    pub fn stats(&mut self) -> io::Result<String> {
+        self.roundtrip("{\"cmd\":\"stats\"}")
+    }
+
+    /// Ask the daemon to drain.
+    pub fn shutdown(&mut self) -> io::Result<String> {
+        self.roundtrip("{\"cmd\":\"shutdown\"}")
+    }
+}

@@ -1,0 +1,553 @@
+//! The `hic serve` daemon: accept loop, job table, worker pool, drain.
+//!
+//! Same zero-dependency `std::net` shape as `hic_obs::MetricsServer`:
+//! one non-blocking accept thread polling a [`std::net::TcpListener`],
+//! plus a blocking handler thread per connection (clients hold their
+//! connection open across many requests, unlike the metrics scraper's
+//! one-shot GETs). Submitted jobs flow through the bounded
+//! [`FairQueue`](crate::queue::FairQueue) into `workers` pool threads,
+//! each executing pipeline stages against one shared [`ArtifactStore`] —
+//! which is cross-process safe, so any number of daemons and ad-hoc
+//! `hic` runs can share the cache directory.
+//!
+//! Shutdown is *graceful drain*: [`Daemon::begin_drain`] stops
+//! admission (submits answer `"draining"`), queued jobs finish, workers
+//! exit when the queue runs dry, and clients can keep polling status /
+//! fetching results until [`Daemon::stop`] finally closes the listener.
+//!
+//! Health is published through `hic-obs` under `serve.*`: queue depth,
+//! busy/total workers, active connections, and submitted / completed /
+//! failed / rejected job counters — visible on `/metrics` when the CLI
+//! attaches a `MetricsServer`, and in `hic top`.
+
+use crate::protocol::{error_response, parse_request, JobKind, JobSpec, Request, SERVE_SCHEMA};
+use crate::queue::{FairQueue, PushError};
+use hic_pipeline::stages;
+use hic_pipeline::{ArtifactStore, PipelineError, StoreConfig};
+use serde_json::json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// TCP port on 127.0.0.1 (0 = OS-assigned; see [`Daemon::port`]).
+    pub port: u16,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Admission cap: total jobs queued across all clients.
+    pub queue_cap: usize,
+    /// Artifact store directory (`None` = compute-only, no cache).
+    pub cache_dir: Option<PathBuf>,
+    /// `false` mirrors `--no-cache`: never read, still publish.
+    pub read_cache: bool,
+    /// LRU byte cap handed to the store.
+    pub max_bytes: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            port: 0,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_cap: 256,
+            cache_dir: None,
+            read_cache: true,
+            max_bytes: None,
+        }
+    }
+}
+
+/// Final tallies reported when the daemon stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Jobs admitted over the daemon's lifetime.
+    pub submitted: u64,
+    /// Jobs that finished with a payload.
+    pub completed: u64,
+    /// Jobs that finished with an error.
+    pub failed: u64,
+    /// Submits refused (queue full or draining).
+    pub rejected: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobState {
+    fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    /// Serialized artifact JSON once done.
+    payload: Option<String>,
+    /// Error message once failed.
+    error: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct ServeCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+    busy: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    queue: FairQueue,
+    jobs: Mutex<Vec<JobRecord>>,
+    store: Option<ArtifactStore>,
+    read_cache: bool,
+    workers_total: usize,
+    counters: ServeCounters,
+    /// Set by `begin_drain` / a `shutdown` request: reject new submits.
+    draining: AtomicBool,
+    /// Signals every job-state transition (for `wait_drained`).
+    progress: Condvar,
+    progress_lock: Mutex<()>,
+}
+
+impl Inner {
+    fn gauge_queue_depth(&self) {
+        hic_obs::global()
+            .gauge("serve.queue.depth")
+            .set(self.queue.len() as u64);
+    }
+
+    fn summary(&self) -> DrainSummary {
+        DrainSummary {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    fn notify_progress(&self) {
+        let _g = self.progress_lock.lock().unwrap();
+        self.progress.notify_all();
+    }
+
+    /// Execute one job against the shared store.
+    fn execute(&self, spec: &JobSpec) -> Result<String, PipelineError> {
+        let store = self.store.as_ref();
+        let read = self.read_cache;
+        let cfg = hic_core::DesignConfig::default();
+        let app = spec.app.as_str();
+        match spec.kind {
+            JobKind::Profile => {
+                let p = stages::profile(store, read, app)?;
+                serde_json::to_string(&p)
+                    .map_err(|e| PipelineError::Json(format!("profile payload: {e}")))
+            }
+            JobKind::Design { knobs } => {
+                let p = stages::profile(store, read, app)?;
+                let plan =
+                    stages::design_point(store, read, &p.spec, &cfg, hic_core::knobs_at(knobs))?;
+                serde_json::to_string(&hic_core::PlanArtifact::from(&plan))
+                    .map_err(|e| PipelineError::Json(format!("design payload: {e}")))
+            }
+            JobKind::Cosim => {
+                let p = stages::profile(store, read, app)?;
+                let plan =
+                    stages::design_point(store, read, &p.spec, &cfg, hic_core::DesignKnobs::ALL)?;
+                let sim = stages::cosim(store, read, &plan)?;
+                serde_json::to_string(&sim)
+                    .map_err(|e| PipelineError::Json(format!("cosim payload: {e}")))
+            }
+            JobKind::Batch => {
+                // The full per-app pipeline, stage by stage through the
+                // store — the same artifact set `hic batch` produces.
+                let p = stages::profile(store, read, app)?;
+                let mut hybrid = None;
+                for bits in 0..16u8 {
+                    let plan =
+                        stages::design_point(store, read, &p.spec, &cfg, hic_core::knobs_at(bits))?;
+                    if bits == 15 {
+                        hybrid = Some(plan);
+                    }
+                }
+                let sim = stages::cosim(store, read, &hybrid.expect("lattice point 15"))?;
+                let sim_json = serde_json::to_value(&sim);
+                serde_json::to_string(&json!({
+                    "app": app,
+                    "designs": 16u64,
+                    "cosim": sim_json
+                }))
+                .map_err(|e| PipelineError::Json(format!("batch payload: {e}")))
+            }
+        }
+    }
+}
+
+/// A running daemon. Dropping it without [`Daemon::stop`] aborts
+/// abruptly (threads detach); call `stop` for a graceful drain.
+#[derive(Debug)]
+pub struct Daemon {
+    inner: Arc<Inner>,
+    port: u16,
+    stop_accept: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    worker_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Bind, spawn the accept loop and the worker pool, return.
+    pub fn start(opts: ServeOptions) -> std::io::Result<Daemon> {
+        let store = match &opts.cache_dir {
+            Some(dir) => Some(
+                ArtifactStore::open(StoreConfig {
+                    root: dir.clone(),
+                    max_bytes: opts.max_bytes,
+                    ..StoreConfig::default()
+                })
+                .map_err(|e| std::io::Error::other(e.to_string()))?,
+            ),
+            None => None,
+        };
+        let workers_total = opts.workers.max(1);
+        let inner = Arc::new(Inner {
+            queue: FairQueue::new(opts.queue_cap),
+            jobs: Mutex::new(Vec::new()),
+            store,
+            read_cache: opts.read_cache,
+            workers_total,
+            counters: ServeCounters::default(),
+            draining: AtomicBool::new(false),
+            progress: Condvar::new(),
+            progress_lock: Mutex::new(()),
+        });
+        let reg = hic_obs::global();
+        reg.gauge("serve.workers.total").set(workers_total as u64);
+        reg.gauge("serve.workers.busy").set(0);
+        inner.gauge_queue_depth();
+
+        let listener = TcpListener::bind(("127.0.0.1", opts.port))?;
+        let port = listener.local_addr()?.port();
+        listener.set_nonblocking(true)?;
+        let stop_accept = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let inner = Arc::clone(&inner);
+            let stop = Arc::clone(&stop_accept);
+            std::thread::Builder::new()
+                .name("hic-serve-accept".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let inner = Arc::clone(&inner);
+                                // Detached: the thread exits when the
+                                // client disconnects (read returns 0).
+                                let _ = std::thread::Builder::new()
+                                    .name("hic-serve-conn".into())
+                                    .spawn(move || handle_connection(&inner, stream));
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn serve accept thread")
+        };
+
+        let worker_threads = (0..workers_total)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("hic-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+
+        Ok(Daemon {
+            inner,
+            port,
+            stop_accept,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+        })
+    }
+
+    /// The bound port (useful with `port: 0`).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// True once a `shutdown` request or [`Daemon::begin_drain`] put the
+    /// daemon into drain mode.
+    pub fn drain_requested(&self) -> bool {
+        self.inner.draining.load(Ordering::Relaxed)
+    }
+
+    /// Stop admitting new jobs; queued jobs keep running.
+    pub fn begin_drain(&self) {
+        begin_drain(&self.inner);
+    }
+
+    /// Block until the queue is empty and every worker is idle.
+    pub fn wait_drained(&self) {
+        let mut guard = self.inner.progress_lock.lock().unwrap();
+        loop {
+            let idle = self.inner.queue.is_empty()
+                && self.inner.counters.busy.load(Ordering::Relaxed) == 0;
+            if idle {
+                return;
+            }
+            let (g, _) = self
+                .inner
+                .progress
+                .wait_timeout(guard, Duration::from_millis(100))
+                .unwrap();
+            guard = g;
+        }
+    }
+
+    /// Graceful shutdown: drain, join the workers, close the listener.
+    pub fn stop(mut self) -> DrainSummary {
+        self.begin_drain();
+        self.wait_drained();
+        // Queue is empty and closed: workers' pop() returns None.
+        for w in self.worker_threads.drain(..) {
+            let _ = w.join();
+        }
+        self.stop_accept.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.inner.summary()
+    }
+
+    /// Lifetime tallies so far.
+    pub fn summary(&self) -> DrainSummary {
+        self.inner.summary()
+    }
+
+    /// This run's store statistics (empty when no cache dir is set).
+    pub fn cache_stats(&self) -> hic_pipeline::CacheStats {
+        self.inner
+            .store
+            .as_ref()
+            .map(|s| s.stats())
+            .unwrap_or_default()
+    }
+}
+
+fn begin_drain(inner: &Inner) {
+    inner.draining.store(true, Ordering::Relaxed);
+    inner.queue.close();
+    hic_obs::global().gauge("serve.draining").set(1);
+}
+
+fn worker_loop(inner: &Inner) {
+    let reg = hic_obs::global();
+    while let Some(job) = inner.queue.pop() {
+        inner.gauge_queue_depth();
+        inner.counters.busy.fetch_add(1, Ordering::Relaxed);
+        reg.gauge("serve.workers.busy").inc();
+        let spec = {
+            let mut jobs = inner.jobs.lock().unwrap();
+            let rec = &mut jobs[job as usize];
+            rec.state = JobState::Running;
+            rec.spec.clone()
+        };
+        let outcome = inner.execute(&spec);
+        {
+            let mut jobs = inner.jobs.lock().unwrap();
+            let rec = &mut jobs[job as usize];
+            match outcome {
+                Ok(payload) => {
+                    rec.state = JobState::Done;
+                    rec.payload = Some(payload);
+                    inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    reg.counter("serve.jobs.completed").inc();
+                }
+                Err(e) => {
+                    rec.state = JobState::Failed;
+                    rec.error = Some(e.to_string());
+                    inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    reg.counter("serve.jobs.failed").inc();
+                }
+            }
+        }
+        inner.counters.busy.fetch_sub(1, Ordering::Relaxed);
+        reg.gauge("serve.workers.busy").dec();
+        inner.notify_progress();
+    }
+}
+
+/// Serve one client connection: read request lines, answer each.
+fn handle_connection(inner: &Inner, stream: TcpStream) {
+    let reg = hic_obs::global();
+    reg.gauge("serve.clients.active").inc();
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else {
+        reg.gauge("serve.clients.active").dec();
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break, // client hung up
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = respond(inner, line.trim());
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+    }
+    reg.gauge("serve.clients.active").dec();
+}
+
+/// One request → one response line.
+fn respond(inner: &Inner, line: &str) -> String {
+    let req = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return error_response(&e),
+    };
+    match req {
+        Request::Submit { spec, client } => {
+            if inner.draining.load(Ordering::Relaxed) {
+                inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                hic_obs::global().counter("serve.jobs.rejected").inc();
+                return error_response("draining");
+            }
+            let job = {
+                let mut jobs = inner.jobs.lock().unwrap();
+                jobs.push(JobRecord {
+                    spec,
+                    state: JobState::Queued,
+                    payload: None,
+                    error: None,
+                });
+                (jobs.len() - 1) as u64
+            };
+            match inner.queue.push(&client, job) {
+                Ok(depth) => {
+                    inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                    hic_obs::global().counter("serve.jobs.submitted").inc();
+                    inner.gauge_queue_depth();
+                    serde_json::to_string(&json!({
+                        "ok": true,
+                        "job": job,
+                        "queue_depth": depth as u64
+                    }))
+                    .expect("submit response serializes")
+                }
+                Err(why) => {
+                    // The record stays as a tombstone (ids are table
+                    // indices); mark it failed so status answers sanely.
+                    let mut jobs = inner.jobs.lock().unwrap();
+                    let rec = &mut jobs[job as usize];
+                    rec.state = JobState::Failed;
+                    rec.error = Some("rejected at admission".to_string());
+                    inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    hic_obs::global().counter("serve.jobs.rejected").inc();
+                    error_response(match why {
+                        PushError::Full => "queue full",
+                        PushError::Closed => "draining",
+                    })
+                }
+            }
+        }
+        Request::Status { job } => {
+            let jobs = inner.jobs.lock().unwrap();
+            match jobs.get(job as usize) {
+                None => error_response(&format!("no such job {job}")),
+                Some(rec) => serde_json::to_string(&json!({
+                    "ok": true,
+                    "job": job,
+                    "state": rec.state.name(),
+                    "kind": rec.spec.kind.name(),
+                    "app": rec.spec.app.as_str(),
+                    "error": rec.error.as_deref().unwrap_or("")
+                }))
+                .expect("status response serializes"),
+            }
+        }
+        Request::Result { job } => {
+            let jobs = inner.jobs.lock().unwrap();
+            match jobs.get(job as usize) {
+                None => error_response(&format!("no such job {job}")),
+                Some(rec) => match (&rec.state, &rec.payload) {
+                    (JobState::Done, Some(payload)) => {
+                        format!("{{\"ok\":true,\"job\":{job},\"payload\":{payload}}}")
+                    }
+                    (JobState::Failed, _) => {
+                        error_response(rec.error.as_deref().unwrap_or("job failed"))
+                    }
+                    _ => error_response(&format!(
+                        "job {job} not finished (state {})",
+                        rec.state.name()
+                    )),
+                },
+            }
+        }
+        Request::Stats => {
+            let s = inner.summary();
+            let cache = inner
+                .store
+                .as_ref()
+                .map(|st| st.stats())
+                .unwrap_or_default();
+            serde_json::to_string(&json!({
+                "ok": true,
+                "submitted": s.submitted,
+                "completed": s.completed,
+                "failed": s.failed,
+                "rejected": s.rejected,
+                "queue_depth": inner.queue.len() as u64,
+                "workers": inner.workers_total as u64,
+                "busy": inner.counters.busy.load(Ordering::Relaxed),
+                "draining": inner.draining.load(Ordering::Relaxed),
+                "cache_hits": cache.hits,
+                "cache_misses": cache.misses,
+                "lease_waits": cache.lease_waits
+            }))
+            .expect("stats response serializes")
+        }
+        Request::Ping => serde_json::to_string(&json!({
+            "ok": true,
+            "schema": SERVE_SCHEMA
+        }))
+        .expect("ping response serializes"),
+        Request::Shutdown => {
+            begin_drain(inner);
+            serde_json::to_string(&json!({"ok": true, "draining": true}))
+                .expect("shutdown response serializes")
+        }
+    }
+}

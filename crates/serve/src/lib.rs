@@ -1,0 +1,85 @@
+//! # hic-serve — the long-running HIC compilation daemon
+//!
+//! The batch toolflow (`hic batch`) is one-shot: build a DAG, run it,
+//! exit. This crate turns the same cached stage functions into a
+//! *service*: a daemon that accepts a sustained stream of jobs from many
+//! clients over a line-delimited-JSON TCP protocol, executes them on a
+//! worker pool against one shared [`hic_pipeline::ArtifactStore`], and
+//! drains gracefully on shutdown. Because the store is cross-process
+//! safe (per-key compute leases, see `hic_pipeline::lock`), several
+//! daemons — or a daemon plus ad-hoc `hic` runs — can share a cache
+//! directory without duplicated work or torn artifacts.
+//!
+//! Zero dependencies beyond the workspace: the network layer is plain
+//! [`std::net`], mirroring `hic_obs::MetricsServer`.
+//!
+//! * [`protocol`] — the `hic-serve/v1` wire format.
+//! * [`queue`] — bounded admission with per-client round-robin fairness.
+//! * [`daemon`] — accept loop, job table, worker pool, graceful drain.
+//! * [`client`] — a blocking client (tests, benches, smoke scripts).
+//! * [`signal`] — SIGTERM → drain flag for the CLI front end.
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+pub mod queue;
+
+pub use client::{Client, SubmitError};
+pub use daemon::{Daemon, DrainSummary, ServeOptions};
+pub use protocol::SERVE_SCHEMA;
+pub use queue::{FairQueue, PushError};
+
+/// SIGTERM handling for the `hic serve` front end: a C `signal` handler
+/// flipping a process-global flag the serve loop polls. Declared against
+/// libc directly (every Linux/macOS Rust binary already links it) so no
+/// external crate is needed.
+#[cfg(unix)]
+pub mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    /// Async-signal-safe: one relaxed store, nothing else.
+    extern "C" fn on_term(_signum: i32) {
+        TERM_REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// `SIGTERM` (15) and `SIGINT` (2).
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Install the handler for SIGTERM and SIGINT. Idempotent.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term);
+            signal(SIGINT, on_term);
+        }
+    }
+
+    /// True once a termination signal has arrived.
+    pub fn term_requested() -> bool {
+        TERM_REQUESTED.load(Ordering::Relaxed)
+    }
+
+    /// Reset the flag (tests only — signals are process-global).
+    pub fn reset() {
+        TERM_REQUESTED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Stub for non-unix targets: no signals, never requested.
+#[cfg(not(unix))]
+pub mod signal {
+    /// No-op.
+    pub fn install() {}
+    /// Always false.
+    pub fn term_requested() -> bool {
+        false
+    }
+    /// No-op.
+    pub fn reset() {}
+}

@@ -1,0 +1,255 @@
+//! The `hic-serve/v1` wire protocol.
+//!
+//! Line-delimited JSON over a plain TCP socket: the client writes one
+//! JSON object per line, the daemon answers with one JSON object per
+//! line, in order. No framing beyond `\n`, no versioned handshake — the
+//! `ping` response carries the schema id so clients can check.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"cmd":"submit","kind":"profile","app":"jpeg","client":"c0"}
+//! {"cmd":"submit","kind":"design","app":"canny","knobs":7,"client":"c0"}
+//! {"cmd":"submit","kind":"cosim","app":"klt","client":"c0"}
+//! {"cmd":"submit","kind":"batch","app":"fluid","client":"c0"}
+//! {"cmd":"status","job":12}
+//! {"cmd":"result","job":12}
+//! {"cmd":"stats"}
+//! {"cmd":"ping"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"`: `{"ok":true,...}` or
+//! `{"ok":false,"error":"..."}`. `submit` answers `{"ok":true,"job":N,
+//! "queue_depth":D}`; `status` one of `queued|running|done|failed`;
+//! `result` the artifact payload under `"payload"` (itself a JSON
+//! value); `shutdown` acknowledges and puts the daemon into graceful
+//! drain (queued jobs finish, new submits are rejected).
+
+use hic_pipeline::PAPER_APPS;
+
+/// The wire schema id, reported by `ping`.
+pub const SERVE_SCHEMA: &str = "hic-serve/v1";
+
+/// What a submitted job computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Profile the app (communication graph + measured spec).
+    Profile,
+    /// Profile, then design one knob-lattice point (`knobs` = bit set).
+    Design {
+        /// Lattice point, `0..16`.
+        knobs: u8,
+    },
+    /// Profile, design the hybrid (point 15), co-simulate it.
+    Cosim,
+    /// The full per-app pipeline: profile, all 16 lattice points, cosim.
+    Batch,
+}
+
+impl JobKind {
+    /// Wire name of the kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Profile => "profile",
+            JobKind::Design { .. } => "design",
+            JobKind::Cosim => "cosim",
+            JobKind::Batch => "batch",
+        }
+    }
+}
+
+/// One validated job: a kind applied to a built-in app.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// What to compute.
+    pub kind: JobKind,
+    /// Which application (one of [`PAPER_APPS`]).
+    pub app: String,
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Enqueue a job on behalf of `client` (the fairness key).
+    Submit {
+        /// The job to run.
+        spec: JobSpec,
+        /// Round-robin fairness bucket; independent of the connection.
+        client: String,
+    },
+    /// Job state query.
+    Status {
+        /// Job id from `submit`.
+        job: u64,
+    },
+    /// Fetch a finished job's artifact payload.
+    Result {
+        /// Job id from `submit`.
+        job: u64,
+    },
+    /// Daemon-wide counters.
+    Stats,
+    /// Liveness + schema check.
+    Ping,
+    /// Begin graceful drain.
+    Shutdown,
+}
+
+/// Parse one request line. Errors are human-readable and end up in the
+/// `{"ok":false,"error":...}` response verbatim.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = serde_json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let cmd = v
+        .get("cmd")
+        .and_then(|c| c.as_str())
+        .ok_or("missing \"cmd\"")?;
+    match cmd {
+        "submit" => {
+            let app = v
+                .get("app")
+                .and_then(|a| a.as_str())
+                .ok_or("submit needs \"app\"")?;
+            if !PAPER_APPS.contains(&app) {
+                return Err(format!("unknown app '{app}' (canny|jpeg|klt|fluid)"));
+            }
+            let kind = match v
+                .get("kind")
+                .and_then(|k| k.as_str())
+                .ok_or("submit needs \"kind\"")?
+            {
+                "profile" => JobKind::Profile,
+                "design" => {
+                    let knobs = v
+                        .get("knobs")
+                        .and_then(|k| k.as_u64())
+                        .ok_or("design needs \"knobs\" (0..16)")?;
+                    if knobs >= 16 {
+                        return Err(format!("knobs {knobs} out of range (0..16)"));
+                    }
+                    JobKind::Design { knobs: knobs as u8 }
+                }
+                "cosim" => JobKind::Cosim,
+                "batch" => JobKind::Batch,
+                other => {
+                    return Err(format!(
+                        "unknown kind '{other}' (profile|design|cosim|batch)"
+                    ))
+                }
+            };
+            let client = v
+                .get("client")
+                .and_then(|c| c.as_str())
+                .unwrap_or("anon")
+                .to_string();
+            Ok(Request::Submit {
+                spec: JobSpec {
+                    kind,
+                    app: app.to_string(),
+                },
+                client,
+            })
+        }
+        "status" | "result" => {
+            let job = v
+                .get("job")
+                .and_then(|j| j.as_u64())
+                .ok_or_else(|| format!("{cmd} needs \"job\""))?;
+            Ok(if cmd == "status" {
+                Request::Status { job }
+            } else {
+                Request::Result { job }
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown cmd '{other}'")),
+    }
+}
+
+/// `{"ok":false,"error":...}` with proper string escaping.
+pub fn error_response(msg: &str) -> String {
+    serde_json::to_string(&serde_json::json!({"ok": false, "error": msg}))
+        .expect("error response serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_request_shape() {
+        assert_eq!(
+            parse_request(
+                r#"{"cmd":"submit","kind":"design","app":"jpeg","knobs":7,"client":"c1"}"#
+            ),
+            Ok(Request::Submit {
+                spec: JobSpec {
+                    kind: JobKind::Design { knobs: 7 },
+                    app: "jpeg".into()
+                },
+                client: "c1".into()
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"submit","kind":"profile","app":"canny"}"#),
+            Ok(Request::Submit {
+                spec: JobSpec {
+                    kind: JobKind::Profile,
+                    app: "canny".into()
+                },
+                client: "anon".into()
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"status","job":3}"#),
+            Ok(Request::Status { job: 3 })
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"result","job":4}"#),
+            Ok(Request::Result { job: 4 })
+        );
+        assert_eq!(parse_request(r#"{"cmd":"stats"}"#), Ok(Request::Stats));
+        assert_eq!(parse_request(r#"{"cmd":"ping"}"#), Ok(Request::Ping));
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_reasons() {
+        assert!(parse_request("not json").unwrap_err().contains("bad JSON"));
+        assert!(parse_request("{}").unwrap_err().contains("cmd"));
+        assert!(
+            parse_request(r#"{"cmd":"submit","kind":"design","app":"nope","knobs":1}"#)
+                .unwrap_err()
+                .contains("unknown app")
+        );
+        assert!(
+            parse_request(r#"{"cmd":"submit","kind":"design","app":"jpeg","knobs":16}"#)
+                .unwrap_err()
+                .contains("out of range")
+        );
+        assert!(
+            parse_request(r#"{"cmd":"submit","kind":"zap","app":"jpeg"}"#)
+                .unwrap_err()
+                .contains("unknown kind")
+        );
+        assert!(parse_request(r#"{"cmd":"status"}"#)
+            .unwrap_err()
+            .contains("job"));
+    }
+
+    #[test]
+    fn error_response_escapes_the_message() {
+        let r = error_response("a \"quoted\" problem");
+        assert!(r.contains(r#""ok":false"#), "{r}");
+        let v = serde_json::parse(&r).expect("response is valid JSON");
+        assert_eq!(
+            v.get("error").unwrap().as_str(),
+            Some("a \"quoted\" problem")
+        );
+    }
+}

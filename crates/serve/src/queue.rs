@@ -1,0 +1,195 @@
+//! Bounded admission queue with per-client round-robin fairness.
+//!
+//! The daemon's front door. Each `client` (the fairness key named in the
+//! submit request, not the TCP connection) gets its own FIFO; workers
+//! pop by cycling through the clients that currently have queued jobs,
+//! taking one job per turn. A client that dumps 500 jobs therefore adds
+//! one *slot* of delay per round to everyone else, not 500 — sustained
+//! throughput is shared evenly while each client's own jobs still run in
+//! submission order.
+//!
+//! Admission is bounded by a total-depth cap: past it, submits are
+//! rejected (`Full`) and the client retries — backpressure lives at the
+//! edge instead of an unbounded heap growing inside the daemon.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at its admission cap; retry later.
+    Full,
+    /// The daemon is draining; no new work is accepted.
+    Closed,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Per-client FIFO of job ids.
+    per_client: BTreeMap<String, VecDeque<u64>>,
+    /// Round-robin cycle of clients with at least one queued job.
+    rr: VecDeque<String>,
+    /// Total queued jobs (all clients).
+    len: usize,
+    /// Closed queues reject pushes and let poppers run dry.
+    closed: bool,
+}
+
+/// The bounded fair queue. All methods are `&self`; share via `Arc`.
+#[derive(Debug)]
+pub struct FairQueue {
+    cap: usize,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl FairQueue {
+    /// A queue admitting at most `cap` jobs in total (min 1).
+    pub fn new(cap: usize) -> FairQueue {
+        FairQueue {
+            cap: cap.max(1),
+            inner: Mutex::new(Inner::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueue `job` for `client`; returns the new total depth.
+    pub fn push(&self, client: &str, job: u64) -> Result<usize, PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.len >= self.cap {
+            return Err(PushError::Full);
+        }
+        let fifo = inner.per_client.entry(client.to_string()).or_default();
+        let newly_active = fifo.is_empty();
+        fifo.push_back(job);
+        if newly_active {
+            inner.rr.push_back(client.to_string());
+        }
+        inner.len += 1;
+        let depth = inner.len;
+        drop(inner);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeue the next job round-robin across clients; blocks while the
+    /// queue is open and empty, returns `None` once closed *and* empty.
+    pub fn pop(&self) -> Option<u64> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(client) = inner.rr.pop_front() {
+                let fifo = inner
+                    .per_client
+                    .get_mut(&client)
+                    .expect("rr clients have a fifo");
+                let job = fifo.pop_front().expect("rr clients have a queued job");
+                if fifo.is_empty() {
+                    inner.per_client.remove(&client);
+                } else {
+                    // Back of the cycle: one job per client per round.
+                    inner.rr.push_back(client);
+                }
+                inner.len -= 1;
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cv.wait(inner).unwrap();
+        }
+    }
+
+    /// Total queued jobs right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stop admitting; once drained, poppers get `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_robin_interleaves_a_flood_with_a_single_job() {
+        let q = FairQueue::new(64);
+        for j in 0..10 {
+            q.push("flood", j).unwrap();
+        }
+        q.push("quick", 100).unwrap();
+        // The flood client is mid-cycle; the quick client's job must pop
+        // on the very next round, not after the whole flood.
+        assert_eq!(q.pop(), Some(0), "flood takes its turn");
+        assert_eq!(q.pop(), Some(100), "quick is next despite arriving last");
+        assert_eq!(q.pop(), Some(1), "then the flood resumes");
+    }
+
+    #[test]
+    fn three_clients_share_turns_evenly() {
+        let q = FairQueue::new(64);
+        for (c, base) in [("a", 0u64), ("b", 10), ("c", 20)] {
+            for j in 0..3 {
+                q.push(c, base + j).unwrap();
+            }
+        }
+        let order: Vec<u64> =
+            std::iter::from_fn(|| if q.is_empty() { None } else { q.pop() }).collect();
+        assert_eq!(order, vec![0, 10, 20, 1, 11, 21, 2, 12, 22]);
+    }
+
+    #[test]
+    fn per_client_order_is_fifo() {
+        let q = FairQueue::new(8);
+        q.push("only", 3).unwrap();
+        q.push("only", 1).unwrap();
+        q.push("only", 2).unwrap();
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn admission_is_bounded_and_close_rejects() {
+        let q = FairQueue::new(2);
+        q.push("a", 0).unwrap();
+        assert_eq!(q.push("b", 1), Ok(2));
+        assert_eq!(q.push("c", 2), Err(PushError::Full));
+        q.pop();
+        assert!(q.push("c", 2).is_ok(), "a pop frees a slot");
+        q.close();
+        assert_eq!(q.push("d", 9), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn close_drains_then_releases_blocked_poppers() {
+        let q = Arc::new(FairQueue::new(8));
+        q.push("a", 7).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(7), "queued work still pops after close");
+        assert_eq!(q.pop(), None, "then poppers run dry");
+        // A popper blocked on an empty open queue wakes on close.
+        let q2 = Arc::new(FairQueue::new(8));
+        let waiter = {
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || q2.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        q2.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end daemon tests over real TCP on an ephemeral port.
+
+use hic_serve::{Client, Daemon, ServeOptions, SubmitError};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hic-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(tag: &str, queue_cap: usize) -> (Daemon, PathBuf) {
+    let cache = temp_cache(tag);
+    let daemon = Daemon::start(ServeOptions {
+        port: 0,
+        workers: 2,
+        queue_cap,
+        cache_dir: Some(cache.clone()),
+        read_cache: true,
+        max_bytes: None,
+    })
+    .expect("daemon starts");
+    (daemon, cache)
+}
+
+const POLL: Duration = Duration::from_millis(5);
+
+#[test]
+fn jobs_flow_submit_to_result_and_cache_warms() {
+    let (daemon, cache) = start("flow", 64);
+    let mut c = Client::connect(daemon.port()).expect("connect");
+
+    // Ping carries the schema id.
+    let pong = c.roundtrip("{\"cmd\":\"ping\"}").unwrap();
+    assert!(pong.contains("hic-serve/v1"), "{pong}");
+
+    // Profile job end-to-end.
+    let job = c
+        .submit("profile", "jpeg", None, "t0")
+        .unwrap()
+        .expect("accepted");
+    assert_eq!(c.wait_done(job, POLL).unwrap(), "done");
+    let result = c.result(job).unwrap();
+    let v = serde_json::parse(&result).expect("result is JSON");
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    assert!(
+        v.get("payload").unwrap().get("spec").is_some(),
+        "profile payload carries the spec: {result}"
+    );
+
+    // Design + cosim over the same app share the profile artifact.
+    let design = c.submit("design", "jpeg", Some(15), "t0").unwrap().unwrap();
+    assert_eq!(c.wait_done(design, POLL).unwrap(), "done");
+    let cosim = c.submit("cosim", "jpeg", None, "t0").unwrap().unwrap();
+    assert_eq!(c.wait_done(cosim, POLL).unwrap(), "done");
+
+    // Resubmitting is pure cache: stats must show hits.
+    let again = c.submit("cosim", "jpeg", None, "t0").unwrap().unwrap();
+    assert_eq!(c.wait_done(again, POLL).unwrap(), "done");
+    let stats = c.stats().unwrap();
+    let v = serde_json::parse(&stats).unwrap();
+    assert!(
+        v.get("cache_hits").unwrap().as_u64().unwrap() > 0,
+        "warm resubmit must hit the store: {stats}"
+    );
+    assert_eq!(v.get("failed").unwrap().as_u64(), Some(0), "{stats}");
+
+    let summary = daemon.stop();
+    assert_eq!(summary.completed, 4);
+    assert_eq!(summary.failed, 0);
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn malformed_and_unknown_requests_answer_errors_not_disconnects() {
+    let (daemon, cache) = start("err", 8);
+    let mut c = Client::connect(daemon.port()).expect("connect");
+    let r = c.roundtrip("this is not json").unwrap();
+    assert!(r.contains("\"ok\":false"), "{r}");
+    let r = c.roundtrip("{\"cmd\":\"status\",\"job\":999}").unwrap();
+    assert!(r.contains("no such job"), "{r}");
+    let r = c
+        .roundtrip("{\"cmd\":\"submit\",\"kind\":\"design\",\"app\":\"jpeg\",\"knobs\":99}")
+        .unwrap();
+    assert!(r.contains("out of range"), "{r}");
+    // The connection survived all of it.
+    let r = c.roundtrip("{\"cmd\":\"ping\"}").unwrap();
+    assert!(r.contains("\"ok\":true"), "{r}");
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn drain_rejects_new_submits_but_finishes_queued_work() {
+    let (daemon, cache) = start("drain", 64);
+    let mut c = Client::connect(daemon.port()).expect("connect");
+    let job = c.submit("profile", "canny", None, "t0").unwrap().unwrap();
+    let ack = c.shutdown().unwrap();
+    assert!(ack.contains("draining"), "{ack}");
+    // New work is refused...
+    match c.submit("profile", "klt", None, "t0").unwrap() {
+        Err(SubmitError::Draining) => {}
+        other => panic!("submit during drain must be rejected, got {other:?}"),
+    }
+    // ...but the queued job still completes and its result is readable.
+    assert_eq!(c.wait_done(job, POLL).unwrap(), "done");
+    assert!(daemon.drain_requested());
+    let summary = daemon.stop();
+    assert_eq!(summary.completed, 1);
+    assert_eq!(summary.rejected, 1);
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn many_concurrent_clients_all_complete() {
+    const CLIENTS: usize = 8;
+    let (daemon, cache) = start("many", 256);
+    let port = daemon.port();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(port).expect("connect");
+                    let name = format!("client-{i}");
+                    let app = ["canny", "jpeg", "klt", "fluid"][i % 4];
+                    let knobs = (i % 16) as u8;
+                    let job = c
+                        .submit_retrying("design", app, Some(knobs), &name, POLL)
+                        .unwrap()
+                        .expect("accepted");
+                    assert_eq!(c.wait_done(job, POLL).unwrap(), "done");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+    let summary = daemon.stop();
+    assert_eq!(summary.completed, CLIENTS as u64);
+    assert_eq!(summary.failed, 0);
+    let _ = std::fs::remove_dir_all(&cache);
+}
