@@ -73,6 +73,12 @@ fn main() {
         matched = true;
         bench_serve();
     }
+    // Generated-workload daemon storm, explicit-only, writes
+    // BENCH_workload.json.
+    if what == "bench-workload" {
+        matched = true;
+        bench_workload();
+    }
     // Also explicit-only: the regression sentinel re-runs the wall-clock
     // benches and compares against the committed BENCH_*.json baselines.
     if what == "check" {
@@ -87,7 +93,7 @@ fn main() {
     }
     if !matched {
         eprintln!(
-            "unknown experiment '{what}'; expected one of: all fig4 table2 fig5 fig6 table3 fig7 table4 fig8 fig9 ablations bench-noc bench-pipeline bench-serve check noc-scale"
+            "unknown experiment '{what}'; expected one of: all fig4 table2 fig5 fig6 table3 fig7 table4 fig8 fig9 ablations bench-noc bench-pipeline bench-serve bench-workload check noc-scale"
         );
         std::process::exit(2);
     }
@@ -104,7 +110,8 @@ fn check(quick: bool) {
         Err(e) => {
             eprintln!("repro check: {e}");
             eprintln!(
-                "run `repro bench-noc`, `repro bench-pipeline` and `repro bench-serve` to (re)create the baselines"
+                "run `repro bench-noc`, `repro bench-pipeline`, `repro bench-serve` and \
+                 `repro bench-workload` to (re)create the baselines"
             );
             std::process::exit(2);
         }
@@ -530,6 +537,38 @@ fn bench_serve() {
     let out = serde_json::to_string_pretty(&p).unwrap();
     std::fs::write("BENCH_serve.json", &out).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json");
+}
+
+fn bench_workload() {
+    let p = hic_bench::workloadperf::measure(64, 3);
+    println!("== hic serve: generated-workload storm (gen: seed pool) ==");
+    println!(
+        "{} clients x {} jobs over {} distinct specs on {} workers (queue cap {})",
+        p.clients, p.jobs_per_client, p.spec_pool, p.workers, p.queue_cap
+    );
+    println!(
+        "{} submitted, {} completed, {} failed in {:.3}s -> {:.1} jobs/s ({:.1} graphs/s)",
+        p.submitted, p.completed, p.failed, p.wall_secs, p.jobs_per_sec, p.graphs_per_sec
+    );
+    println!(
+        "latency p50 {:.2}ms  p99 {:.2}ms  hit rate {:.3}  completion {:.4}",
+        p.p50_ms, p.p99_ms, p.hit_rate, p.completion
+    );
+    assert_eq!(p.failed, 0, "no generated job may fail under load");
+    assert!(
+        (p.completion - 1.0).abs() < 1e-9,
+        "every submitted job must complete (got {:.4})",
+        p.completion
+    );
+    assert!(
+        p.hit_rate > 0.5,
+        "the seed pool is far smaller than the job count; the store must \
+         serve most generated jobs warm (got {:.3})",
+        p.hit_rate
+    );
+    let out = serde_json::to_string_pretty(&p).unwrap();
+    std::fs::write("BENCH_workload.json", &out).expect("write BENCH_workload.json");
+    println!("\nwrote BENCH_workload.json");
 }
 
 fn ablations(json: bool) {

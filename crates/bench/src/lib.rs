@@ -16,3 +16,4 @@ pub mod paper;
 pub mod pipelineperf;
 pub mod regress;
 pub mod serveperf;
+pub mod workloadperf;

@@ -5,7 +5,8 @@
 //! but until now nothing
 //! ever compared a fresh run against them — throughput could silently
 //! erode between PRs. `repro check` closes the loop: it re-runs the NoC,
-//! pipeline and serve benchmarks a few times, takes the **median** of each
+//! pipeline, serve and generated-workload benchmarks a few times, takes
+//! the **median** of each
 //! metric, and compares against the committed baseline with a noise band
 //! derived from the run-to-run **MAD** (median absolute deviation —
 //! robust to the one slow outlier a shared CI machine always produces).
@@ -175,6 +176,18 @@ pub struct Baselines {
     /// (the gate machinery treats lower-is-worse; latency is the
     /// opposite, so it is recorded and printed but never gated).
     pub serve_latency_ms: (f64, f64),
+    /// Fraction of submitted generated-workload jobs that completed,
+    /// from `BENCH_workload.json` — gates hard at ~1.0.
+    pub workload_completion: f64,
+    /// Store hit rate under the generated-workload storm, from
+    /// `BENCH_workload.json`.
+    pub workload_hit_rate: f64,
+    /// Sustained generated-job throughput (jobs/s) — informational only.
+    pub workload_jobs_per_sec: f64,
+    /// Graph-delivery rate (graphs/s) — informational only.
+    pub workload_graphs_per_sec: f64,
+    /// `(p50, p99)` submit→done latency in ms — informational only.
+    pub workload_latency_ms: (f64, f64),
 }
 
 /// Load the committed sidecars from `dir`. Missing or malformed files
@@ -246,6 +259,16 @@ pub fn load_baselines(dir: &Path) -> Result<Baselines, String> {
         f64_of(&serve, "p99_ms", "BENCH_serve.json")?,
     );
 
+    let workload = read("BENCH_workload.json")?;
+    let workload_completion = f64_of(&workload, "completion", "BENCH_workload.json")?;
+    let workload_hit_rate = f64_of(&workload, "hit_rate", "BENCH_workload.json")?;
+    let workload_jobs_per_sec = f64_of(&workload, "jobs_per_sec", "BENCH_workload.json")?;
+    let workload_graphs_per_sec = f64_of(&workload, "graphs_per_sec", "BENCH_workload.json")?;
+    let workload_latency_ms = (
+        f64_of(&workload, "p50_ms", "BENCH_workload.json")?,
+        f64_of(&workload, "p99_ms", "BENCH_workload.json")?,
+    );
+
     Ok(Baselines {
         noc_speedups,
         noc_throughput,
@@ -255,6 +278,11 @@ pub fn load_baselines(dir: &Path) -> Result<Baselines, String> {
         serve_hit_rate,
         serve_jobs_per_sec,
         serve_latency_ms,
+        workload_completion,
+        workload_hit_rate,
+        workload_jobs_per_sec,
+        workload_graphs_per_sec,
+        workload_latency_ms,
     })
 }
 
@@ -327,6 +355,16 @@ pub fn collect_samples(quick: bool) -> Samples {
     samples.insert("serve.jobs_per_sec".into(), vec![s.jobs_per_sec]);
     samples.insert("serve.p50_ms".into(), vec![s.p50_ms]);
     samples.insert("serve.p99_ms".into(), vec![s.p99_ms]);
+    // Same discipline for the generated-workload storm: one fresh run,
+    // gated on the structural columns only.
+    let (wl_clients, wl_jobs) = if quick { (16, 2) } else { (48, 3) };
+    let w = crate::workloadperf::measure(wl_clients, wl_jobs);
+    samples.insert("workload.completion".into(), vec![w.completion]);
+    samples.insert("workload.hit_rate".into(), vec![w.hit_rate]);
+    samples.insert("workload.jobs_per_sec".into(), vec![w.jobs_per_sec]);
+    samples.insert("workload.graphs_per_sec".into(), vec![w.graphs_per_sec]);
+    samples.insert("workload.p50_ms".into(), vec![w.p50_ms]);
+    samples.insert("workload.p99_ms".into(), vec![w.p99_ms]);
     samples
 }
 
@@ -414,6 +452,51 @@ pub fn gate_specs(b: &Baselines) -> Vec<GateSpec> {
     specs.push(GateSpec {
         name: "serve.p99_ms".into(),
         baseline: b.serve_latency_ms.1,
+        rel_floor: 0.0,
+        abs_min: None,
+        gating: false,
+    });
+    // Generated-workload gates mirror the serve ones: completion is
+    // structural (retries absorb admission rejections), and the seed
+    // pool guarantees a warm store, so only a collapse gates.
+    specs.push(GateSpec {
+        name: "workload.completion".into(),
+        baseline: b.workload_completion,
+        rel_floor: 0.001,
+        abs_min: Some(0.999),
+        gating: true,
+    });
+    specs.push(GateSpec {
+        name: "workload.hit_rate".into(),
+        baseline: b.workload_hit_rate,
+        rel_floor: 0.5,
+        abs_min: Some(0.25),
+        gating: true,
+    });
+    specs.push(GateSpec {
+        name: "workload.jobs_per_sec".into(),
+        baseline: b.workload_jobs_per_sec,
+        rel_floor: 0.0,
+        abs_min: None,
+        gating: false,
+    });
+    specs.push(GateSpec {
+        name: "workload.graphs_per_sec".into(),
+        baseline: b.workload_graphs_per_sec,
+        rel_floor: 0.0,
+        abs_min: None,
+        gating: false,
+    });
+    specs.push(GateSpec {
+        name: "workload.p50_ms".into(),
+        baseline: b.workload_latency_ms.0,
+        rel_floor: 0.0,
+        abs_min: None,
+        gating: false,
+    });
+    specs.push(GateSpec {
+        name: "workload.p99_ms".into(),
+        baseline: b.workload_latency_ms.1,
         rel_floor: 0.0,
         abs_min: None,
         gating: false,
@@ -507,6 +590,11 @@ mod tests {
             serve_hit_rate: 0.9,
             serve_jobs_per_sec: 150.0,
             serve_latency_ms: (12.0, 80.0),
+            workload_completion: 1.0,
+            workload_hit_rate: 0.85,
+            workload_jobs_per_sec: 120.0,
+            workload_graphs_per_sec: 95.0,
+            workload_latency_ms: (15.0, 95.0),
         }
     }
 
@@ -529,6 +617,12 @@ mod tests {
         s.insert("serve.jobs_per_sec".into(), vec![140.0]);
         s.insert("serve.p50_ms".into(), vec![13.0]);
         s.insert("serve.p99_ms".into(), vec![90.0]);
+        s.insert("workload.completion".into(), vec![1.0]);
+        s.insert("workload.hit_rate".into(), vec![0.8]);
+        s.insert("workload.jobs_per_sec".into(), vec![110.0]);
+        s.insert("workload.graphs_per_sec".into(), vec![90.0]);
+        s.insert("workload.p50_ms".into(), vec![16.0]);
+        s.insert("workload.p99_ms".into(), vec![100.0]);
         s
     }
 
@@ -577,6 +671,45 @@ mod tests {
         assert_eq!(verdict("serve.jobs_per_sec"), Verdict::Info);
         assert_eq!(verdict("serve.p50_ms"), Verdict::Info);
         assert_eq!(verdict("serve.p99_ms"), Verdict::Info);
+        // Generated workload: same split.
+        assert_eq!(verdict("workload.completion"), Verdict::Pass);
+        assert_eq!(verdict("workload.hit_rate"), Verdict::Pass);
+        assert_eq!(verdict("workload.jobs_per_sec"), Verdict::Info);
+        assert_eq!(verdict("workload.graphs_per_sec"), Verdict::Info);
+        assert_eq!(verdict("workload.p50_ms"), Verdict::Info);
+        assert_eq!(verdict("workload.p99_ms"), Verdict::Info);
+    }
+
+    #[test]
+    fn lost_generated_jobs_trip_the_workload_completion_floor() {
+        let b = baselines();
+        let mut s = healthy_samples(&b);
+        s.insert("workload.completion".into(), vec![0.99]);
+        let report = check(&b, &s);
+        assert!(report.regressed, "{}", render(&report));
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.name == "workload.completion")
+            .unwrap();
+        assert_eq!(row.verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn collapsed_workload_hit_rate_regresses() {
+        let b = baselines();
+        let mut s = healthy_samples(&b);
+        // Cache-key canonicalization broke: every respelled/revisited
+        // spec recomputes instead of hitting the store.
+        s.insert("workload.hit_rate".into(), vec![0.1]);
+        let report = check(&b, &s);
+        assert!(report.regressed, "{}", render(&report));
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.name == "workload.hit_rate")
+            .unwrap();
+        assert_eq!(row.verdict, Verdict::Regressed);
     }
 
     #[test]
@@ -722,5 +855,12 @@ mod tests {
         assert!(b.serve_hit_rate > 0.5, "{}", b.serve_hit_rate);
         assert!(b.serve_jobs_per_sec > 0.0);
         assert!(b.serve_latency_ms.1 >= b.serve_latency_ms.0);
+        // The committed generated-workload record carries the same
+        // structural claims as the serve one.
+        assert!(b.workload_completion >= 0.999, "{}", b.workload_completion);
+        assert!(b.workload_hit_rate > 0.5, "{}", b.workload_hit_rate);
+        assert!(b.workload_jobs_per_sec > 0.0);
+        assert!(b.workload_graphs_per_sec > 0.0);
+        assert!(b.workload_latency_ms.1 >= b.workload_latency_ms.0);
     }
 }

@@ -67,6 +67,20 @@ pub enum TraceMode {
     Batch,
 }
 
+/// What a `hic gen` invocation writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenEmit {
+    /// One-line workload summary (the default).
+    Summary,
+    /// The measured `AppSpec` as pretty JSON (feedable back via `file:`).
+    Spec,
+    /// The function-level communication graph as Graphviz DOT.
+    Dot,
+    /// The line-delimited memory-access trace (feedable back via
+    /// `trace:` — built-in apps round-trip exactly).
+    Trace,
+}
+
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -101,6 +115,21 @@ pub enum Command {
         kernels: usize,
         /// RNG seed.
         seed: u64,
+    },
+    /// Inspect or materialize a workload from any app source: emit its
+    /// measured spec, its communication graph as Graphviz DOT, its
+    /// memory-access trace, or a one-line summary.
+    Gen {
+        /// Any app source (`canny`, `gen:<spec>`, `trace:<path>`,
+        /// `file:<path>` — the last has no trace to emit).
+        source: String,
+        /// What to write.
+        emit: GenEmit,
+        /// Output path (`-` = stdout).
+        out: String,
+        /// Artifact cache settings (spec/DOT/summary run the profile
+        /// stage; trace emission is direct and uncached).
+        cache: CacheOpts,
     },
     /// Run one of the built-in profiled applications and emit its measured
     /// spec as JSON.
@@ -253,13 +282,24 @@ impl From<hic_core::DesignError> for CliError {
 }
 impl From<hic_pipeline::PipelineError> for CliError {
     fn from(e: hic_pipeline::PipelineError) -> Self {
-        // An unknown app name is an argument mistake, not a runtime
-        // failure — route it to the usage/exit-2 path.
+        // An unknown app name or a malformed app source (bad `gen:`
+        // grammar, invalid spec file) is an argument mistake, not a
+        // runtime failure — route it to the usage/exit-2 path.
         match e {
-            hic_pipeline::PipelineError::UnknownApp(_) => CliError::Usage(e.to_string()),
+            hic_pipeline::PipelineError::UnknownApp(_)
+            | hic_pipeline::PipelineError::BadSource(_) => CliError::Usage(e.to_string()),
             other => CliError::Pipeline(other),
         }
     }
+}
+
+/// Parse-time validation of an app-source argument: any scheme the
+/// pipeline resolves (built-in name, `gen:`, `trace:`, `file:`). Syntax
+/// mistakes are command-line errors (exit 2); no I/O happens here.
+fn check_app_source(app: &str) -> Result<(), CliError> {
+    hic_pipeline::AppSource::parse(app)
+        .map(|_| ())
+        .map_err(CliError::from)
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -397,6 +437,35 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 seed,
             })
         }
+        "gen" => {
+            let source = args
+                .get(1)
+                .filter(|a| !a.starts_with('-'))
+                .ok_or_else(|| CliError::Usage("gen needs an app source".into()))?
+                .clone();
+            check_app_source(&source)?;
+            let picks: Vec<GenEmit> = [
+                ("--emit-spec", GenEmit::Spec),
+                ("--emit-dot", GenEmit::Dot),
+                ("--emit-trace", GenEmit::Trace),
+                ("--summary", GenEmit::Summary),
+            ]
+            .iter()
+            .filter(|(flag, _)| args.iter().any(|a| a == flag))
+            .map(|&(_, emit)| emit)
+            .collect();
+            if picks.len() > 1 {
+                return Err(CliError::Usage(
+                    "pick one of --emit-spec|--emit-dot|--emit-trace|--summary".into(),
+                ));
+            }
+            Ok(Command::Gen {
+                source,
+                emit: picks.first().copied().unwrap_or(GenEmit::Summary),
+                out: flag_value(args, "-o").unwrap_or("-").to_string(),
+                cache: cache_opts(args),
+            })
+        }
         "profile" => Ok(Command::Profile {
             app: args
                 .get(1)
@@ -419,11 +488,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .filter(|a| !a.starts_with("--"))
                 .ok_or_else(|| CliError::Usage("dse needs an app name".into()))?
                 .clone();
-            if !stages::PAPER_APPS.contains(&app.as_str()) {
-                return Err(CliError::Usage(format!(
-                    "unknown app '{app}' (canny|jpeg|klt|fluid)"
-                )));
-            }
+            check_app_source(&app)?;
             Ok(Command::Dse {
                 app,
                 json: args.iter().any(|a| a == "--json"),
@@ -443,11 +508,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 return Err(CliError::Usage("batch needs at least one app name".into()));
             }
             for app in &apps {
-                if !stages::PAPER_APPS.contains(&app.as_str()) {
-                    return Err(CliError::Usage(format!(
-                        "unknown app '{app}' (canny|jpeg|klt|fluid)"
-                    )));
-                }
+                check_app_source(app)?;
             }
             let jobs = flag_value(args, "--jobs")
                 .map(|v| {
@@ -476,11 +537,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 return Err(CliError::Usage("top needs at least one app name".into()));
             }
             for app in &apps {
-                if !stages::PAPER_APPS.contains(&app.as_str()) {
-                    return Err(CliError::Usage(format!(
-                        "unknown app '{app}' (canny|jpeg|klt|fluid)"
-                    )));
-                }
+                check_app_source(app)?;
             }
             let jobs = flag_value(args, "--jobs")
                 .map(|v| {
@@ -515,11 +572,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .filter(|a| !a.starts_with('-'))
                 .ok_or_else(|| CliError::Usage("trace needs an app name".into()))?
                 .clone();
-            if !stages::PAPER_APPS.contains(&app.as_str()) {
-                return Err(CliError::Usage(format!(
-                    "unknown app '{app}' (canny|jpeg|klt|fluid)"
-                )));
-            }
+            check_app_source(&app)?;
             let noc = args.iter().any(|a| a == "--noc");
             let batch = args.iter().any(|a| a == "--batch");
             if noc && batch {
@@ -563,16 +616,34 @@ USAGE:
   hic estimate <app.json>
   hic simulate <app.json> [--frames N]
   hic generate [--shape chain|fanout|diamond|random] [--kernels N] [--seed S]
-  hic profile  <canny|jpeg|klt|fluid>
-  hic report   <canny|jpeg|klt|fluid> [--metrics] [--json]
-  hic dse      <canny|jpeg|klt|fluid> [--json]
+  hic gen      <app> [--emit-spec|--emit-dot|--emit-trace|--summary] [-o FILE]
+  hic profile  <app>
+  hic report   <app> [--metrics] [--json]
+  hic dse      <app> [--json]
   hic batch    <app>... [--jobs N] [--json] [--serve-metrics PORT] [--linger-ms MS]
   hic top      <app>... [--jobs N] [--interval-ms MS]
   hic serve    [--port PORT] [--jobs N] [--queue-cap N] [--metrics-port PORT]
                [--for-ms MS]
   hic serve-metrics [--port PORT] [--for-ms MS]
-  hic trace    <canny|jpeg|klt|fluid> [--noc|--batch] [--sample N] [-o FILE]
+  hic trace    <app> [--noc|--batch] [--sample N] [-o FILE]
   hic help
+
+APP SOURCES (profile, report, dse, batch, top, trace, gen, serve jobs):
+  canny|jpeg|klt|fluid      built-in profiled paper applications
+  gen:<spec>                seeded synthetic workload, e.g. gen:k=8,seed=7
+                            (keys: k fanout skew comm hostio bytes uma seed)
+  trace:<path>              replay a line-delimited memory-access trace
+                            (func/enter/exit/write/read; see DESIGN.md §15)
+  file:<path>               load an AppSpec JSON verbatim (no profiling)
+  Identical generated specs and identical trace contents share artifact-
+  cache entries regardless of spelling or file name.
+
+GEN:
+  inspects any app source: --summary (default) one-line overview,
+  --emit-spec the measured AppSpec JSON (feed back via file:),
+  --emit-dot the function-level communication graph as Graphviz DOT,
+  --emit-trace the memory-access trace (feed back via trace:; built-in
+  apps round-trip to a byte-identical communication graph).
 
 CACHE (design, profile, report, dse, batch, serve):
   --cache-dir <dir>   artifact store root (default .hic-cache, or HIC_CACHE_DIR)
@@ -696,12 +767,57 @@ fn run_profiled(
     Ok((p.spec, p.graph))
 }
 
+/// Load an `AppSpec` JSON file through the app-resolution layer — the
+/// same `file:` source `batch`/`serve` accept, with the prefix optional
+/// here since `design`/`estimate`/`simulate` take a path positionally.
+/// A missing file is a runtime I/O failure (exit 1); a file that reads
+/// but holds an invalid spec is an argument mistake (exit 2, usage).
 fn load_app(path: &str) -> Result<AppSpec, CliError> {
-    let text = std::fs::read_to_string(path)?;
-    let app: AppSpec = serde_json::from_str(&text)?;
-    app.validate()
-        .map_err(|e| CliError::Usage(format!("invalid app spec: {e}")))?;
-    Ok(app)
+    let bare = path.strip_prefix("file:").unwrap_or(path);
+    let loaded = hic_pipeline::AppSource::File(std::path::PathBuf::from(bare))
+        .load()
+        .map_err(|e| match e {
+            hic_pipeline::PipelineError::Io(m) => CliError::Io(std::io::Error::other(m)),
+            other => CliError::from(other),
+        })?;
+    match loaded {
+        hic_pipeline::LoadedSource::File { spec } => Ok(spec),
+        _ => unreachable!("a File source always loads as File"),
+    }
+}
+
+/// Materialize the memory-access trace of an app source: built-in apps
+/// re-run with the profiler's recording seam armed (so the emitted
+/// trace replays to the exact profiled graph), `gen:` specs synthesize
+/// their trace directly, `trace:` files re-render canonically. `file:`
+/// specs arrive as finished `AppSpec`s — there are no memory accesses
+/// to trace.
+fn emit_trace(source: &str) -> Result<String, CliError> {
+    use hic_pipeline::AppSource;
+    match AppSource::parse(source)? {
+        AppSource::Builtin(name) => {
+            hic_profiling::record::arm();
+            let ran = stages::run_profiled_builtin(&name);
+            // Take unconditionally: the armed flag must not leak into a
+            // later Profiler on this thread if the run failed.
+            let rec = hic_profiling::record::take();
+            ran?;
+            let rec = rec.expect("an armed profiled run deposits a recording");
+            Ok(hic_workload::Trace::from_recording(&rec).render())
+        }
+        AppSource::Gen(spec) => Ok(hic_workload::synthesize_trace(&spec).render()),
+        AppSource::Trace(path) => {
+            let text = std::fs::read_to_string(&path)?;
+            let trace =
+                hic_workload::Trace::parse(&text).map_err(|e| CliError::Usage(e.to_string()))?;
+            Ok(trace.render())
+        }
+        AppSource::File(_) => Err(CliError::Usage(
+            "--emit-trace needs a built-in, gen:, or trace: source \
+             (file: specs carry no memory trace)"
+                .into(),
+        )),
+    }
 }
 
 /// Run the workload a `hic trace` invocation records: the batch pipeline
@@ -923,6 +1039,41 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             };
             let app = generate(&spec, &mut StdRng::seed_from_u64(seed));
             Ok(serde_json::to_string_pretty(&app)?)
+        }
+        Command::Gen {
+            source,
+            emit,
+            out,
+            cache,
+        } => {
+            let text = match emit {
+                GenEmit::Trace => emit_trace(&source)?,
+                _ => {
+                    let store = open_store(&cache)?;
+                    let p = stages::profile(store.as_ref(), cache.read, &source)?;
+                    match emit {
+                        GenEmit::Spec => {
+                            let mut s = serde_json::to_string_pretty(&p.spec)?;
+                            s.push('\n');
+                            s
+                        }
+                        GenEmit::Dot => p.graph.to_dot(&p.spec.name),
+                        _ => {
+                            let w = hic_workload::Workload {
+                                app: p.spec,
+                                graph: p.graph,
+                            };
+                            format!("{}\n", w.summary())
+                        }
+                    }
+                }
+            };
+            if out == "-" {
+                Ok(text)
+            } else {
+                std::fs::write(&out, &text)?;
+                Ok(format!("wrote {} bytes to {out}\n", text.len()))
+            }
         }
         Command::Profile { app, cache } => {
             let store = open_store(&cache)?;
@@ -1471,6 +1622,150 @@ mod tests {
             parse(&argv("batch jpeg --jobs lots")),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parses_gen_and_validates_sources() {
+        match parse(&argv("gen gen:k=4,seed=7 --emit-trace -o /tmp/w.trace")).unwrap() {
+            Command::Gen {
+                source, emit, out, ..
+            } => {
+                assert_eq!(source, "gen:k=4,seed=7");
+                assert_eq!(emit, GenEmit::Trace);
+                assert_eq!(out, "/tmp/w.trace");
+            }
+            other => panic!("expected Gen, got {other:?}"),
+        }
+        match parse(&argv("gen jpeg")).unwrap() {
+            Command::Gen { emit, out, .. } => {
+                assert_eq!(emit, GenEmit::Summary);
+                assert_eq!(out, "-");
+            }
+            other => panic!("expected Gen, got {other:?}"),
+        }
+        // Missing source, unknown app, malformed spec, conflicting emits:
+        // all command-line mistakes.
+        for bad in [
+            "gen",
+            "gen doom",
+            "gen gen:k=0",
+            "gen gen:zap=1",
+            "gen jpeg --emit-spec --emit-dot",
+        ] {
+            assert!(
+                matches!(parse(&argv(bad)), Err(CliError::Usage(_))),
+                "'{bad}' must be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn app_sources_parse_everywhere_an_app_name_does() {
+        for cmd in ["dse", "batch", "top", "trace", "gen", "profile", "report"] {
+            assert!(
+                parse(&argv(&format!("{cmd} gen:k=3,seed=1"))).is_ok(),
+                "{cmd} must accept gen: sources"
+            );
+        }
+        for cmd in ["dse", "batch", "top", "trace", "gen"] {
+            assert!(
+                matches!(
+                    parse(&argv(&format!("{cmd} gen:k=99"))),
+                    Err(CliError::Usage(_))
+                ),
+                "{cmd} must reject malformed gen: specs at parse time"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_emitted_traces_replay_to_the_same_graph() {
+        let dir = std::env::temp_dir().join(format!("hic-cli-gen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Generated source: emit the trace, replay it via trace:, and
+        // the communication graph must match the gen: profile exactly.
+        let text = run(Command::Gen {
+            source: "gen:k=3,seed=5".into(),
+            emit: GenEmit::Trace,
+            out: "-".into(),
+            cache: CacheOpts::disabled(),
+        })
+        .unwrap();
+        let path = dir.join("w.trace");
+        std::fs::write(&path, &text).unwrap();
+        let via_trace = stages::profile(None, false, &format!("trace:{}", path.display())).unwrap();
+        let via_gen = stages::profile(None, false, "gen:k=3,seed=5").unwrap();
+        assert_eq!(via_trace.graph, via_gen.graph);
+        assert_eq!(via_trace.spec.n_kernels(), via_gen.spec.n_kernels());
+
+        // Built-in round trip: jpeg's emitted trace replays to the
+        // profiled graph byte-for-byte.
+        let text = run(Command::Gen {
+            source: "jpeg".into(),
+            emit: GenEmit::Trace,
+            out: "-".into(),
+            cache: CacheOpts::disabled(),
+        })
+        .unwrap();
+        let path = dir.join("jpeg.trace");
+        std::fs::write(&path, &text).unwrap();
+        let replayed = stages::profile(None, false, &format!("trace:{}", path.display())).unwrap();
+        let direct = stages::run_profiled_builtin("jpeg").unwrap();
+        assert_eq!(replayed.graph, direct.graph);
+
+        // file: sources have no trace to emit.
+        assert!(matches!(
+            run(Command::Gen {
+                source: "file:/tmp/spec.json".into(),
+                emit: GenEmit::Trace,
+                out: "-".into(),
+                cache: CacheOpts::disabled(),
+            }),
+            Err(CliError::Usage(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gen_emits_spec_dot_and_summary() {
+        let spec_json = run(Command::Gen {
+            source: "gen:k=4,seed=2".into(),
+            emit: GenEmit::Spec,
+            out: "-".into(),
+            cache: CacheOpts::disabled(),
+        })
+        .unwrap();
+        let v = serde_json::parse(&spec_json).expect("spec is JSON");
+        assert!(v.get("kernels").is_some(), "{spec_json}");
+
+        // The emitted spec feeds back through file: as the same app.
+        let dir = std::env::temp_dir().join(format!("hic-cli-genspec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.json");
+        std::fs::write(&path, &spec_json).unwrap();
+        let reloaded = stages::profile(None, false, &format!("file:{}", path.display())).unwrap();
+        let direct = stages::profile(None, false, "gen:k=4,seed=2").unwrap();
+        assert_eq!(reloaded.spec, direct.spec);
+
+        let dot = run(Command::Gen {
+            source: "gen:k=4,seed=2".into(),
+            emit: GenEmit::Dot,
+            out: "-".into(),
+            cache: CacheOpts::disabled(),
+        })
+        .unwrap();
+        assert!(dot.starts_with("digraph"), "{dot}");
+
+        let summary = run(Command::Gen {
+            source: "gen:k=4,seed=2".into(),
+            emit: GenEmit::Summary,
+            out: "-".into(),
+            cache: CacheOpts::disabled(),
+        })
+        .unwrap();
+        assert!(summary.contains("4 kernels"), "{summary}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -181,6 +181,32 @@ pub fn render_frame(store: &SeriesStore, total_jobs: Option<u64>) -> String {
                 rejected
             ),
         );
+        // Admission by app-source family (serve.jobs.{builtin,gen,...}),
+        // sparklined on the dominant source so storms are visible.
+        let by_source: Vec<(&str, u64)> = ["builtin", "gen", "trace", "file"]
+            .iter()
+            .map(|s| {
+                (
+                    *s,
+                    last(store, &format!("serve.jobs.{s}")).unwrap_or(0.0) as u64,
+                )
+            })
+            .collect();
+        let dominant = by_source
+            .iter()
+            .max_by_key(|(_, n)| *n)
+            .map(|(s, _)| *s)
+            .unwrap_or("builtin");
+        row(
+            &mut out,
+            "serve sources",
+            &history(store, &format!("serve.jobs.{dominant}")),
+            &by_source
+                .iter()
+                .map(|(s, n)| format!("{s} {n}"))
+                .collect::<Vec<_>>()
+                .join(" · "),
+        );
     }
     out
 }
@@ -321,12 +347,19 @@ mod tests {
         store.record_at("serve.jobs.completed", 100, 9.0);
         store.record_at("serve.jobs.rejected", 100, 1.0);
         store.record_at("serve.queue.depth", 100, 3.0);
+        store.record_at("serve.jobs.builtin", 100, 2.0);
+        store.record_at("serve.jobs.gen", 100, 10.0);
         let with_serve = render_frame(&store, None);
-        assert_eq!(with_serve.lines().count(), FRAME_LINES + 2);
+        assert_eq!(with_serve.lines().count(), FRAME_LINES + 3);
         assert!(with_serve.contains("serve queue"), "{with_serve}");
         assert!(with_serve.contains("now 3"), "{with_serve}");
         assert!(
             with_serve.contains("done 9/12 (1 rejected)"),
+            "{with_serve}"
+        );
+        assert!(with_serve.contains("serve sources"), "{with_serve}");
+        assert!(
+            with_serve.contains("builtin 2 · gen 10 · trace 0 · file 0"),
             "{with_serve}"
         );
     }

@@ -25,6 +25,7 @@
 //! or scheduling. On failure the first error — in job creation order,
 //! not completion order — wins, again matching the sequential run.
 
+use crate::source::AppSource;
 use crate::stages;
 use crate::store::{ArtifactStore, CacheStats, StoreConfig};
 use crate::PipelineError;
@@ -39,7 +40,8 @@ use std::sync::{Arc, Condvar, Mutex};
 /// What to run and how.
 #[derive(Debug, Clone)]
 pub struct BatchOptions {
-    /// Applications to compile (built-in profiled apps).
+    /// Applications to compile (any app source: built-in names,
+    /// `gen:<spec>`, `trace:<path>`, `file:<path>`).
     pub apps: Vec<String>,
     /// Worker threads (`None` = available parallelism).
     pub jobs: Option<usize>,
@@ -147,21 +149,28 @@ pub fn run_batch(opts: &BatchOptions) -> Result<BatchOutcome, PipelineError> {
     let read = opts.read_cache;
 
     // --- Build the DAG, deduplicating structurally identical jobs. ---
-    // The built-in apps key purely on their name (the workload params are
-    // a function of it), so name-level dedup equals store-key dedup.
+    // Dedup is by canonical source token (`AppSource::token`), so listing
+    // the same app twice — or the same `gen:` spec with its keys spelled
+    // in a different order — creates each job once. (Two trace files with
+    // identical contents still dedup at the store layer, which keys on
+    // the content digest.)
     let mut nodes: Vec<JobNode> = Vec::new();
     let mut profile_of: HashMap<String, usize> = HashMap::new();
-    // app name -> (profile node, [16 design nodes], cosim node)
+    // source token -> (profile node, [16 design nodes], cosim node)
     let mut plan_of: HashMap<String, (usize, Vec<usize>, usize)> = HashMap::new();
+    // Validate every app string up front (first bad one wins) and keep
+    // the tokens for assembly.
+    let tokens: Vec<String> = opts
+        .apps
+        .iter()
+        .map(|app| AppSource::parse(app).map(|s| s.token()))
+        .collect::<Result<_, _>>()?;
 
-    for app in &opts.apps {
-        if plan_of.contains_key(app) {
+    for (app, token) in opts.apps.iter().zip(&tokens) {
+        if plan_of.contains_key(token) {
             continue;
         }
-        if !stages::PAPER_APPS.contains(&app.as_str()) {
-            return Err(PipelineError::UnknownApp(app.clone()));
-        }
-        let profile = *profile_of.entry(app.clone()).or_insert_with(|| {
+        let profile = *profile_of.entry(token.clone()).or_insert_with(|| {
             nodes.push(JobNode {
                 kind: JobKind::Profile { app: app.clone() },
                 dependents: Vec::new(),
@@ -190,7 +199,7 @@ pub fn run_batch(opts: &BatchOptions) -> Result<BatchOutcome, PipelineError> {
             waiting: 1,
         });
         nodes[hybrid].dependents.push(cosim);
-        plan_of.insert(app.clone(), (profile, designs, cosim));
+        plan_of.insert(token.clone(), (profile, designs, cosim));
     }
 
     // Trace labels per job: a static stage name (the slice name must not
@@ -332,8 +341,8 @@ pub fn run_batch(opts: &BatchOptions) -> Result<BatchOutcome, PipelineError> {
     }
 
     let mut apps = Vec::with_capacity(opts.apps.len());
-    for app in &opts.apps {
-        let (_, designs, cosim_id) = &plan_of[app];
+    for (app, token) in opts.apps.iter().zip(&tokens) {
+        let (_, designs, cosim_id) = &plan_of[token];
         let mut points = Vec::with_capacity(16);
         let mut hybrid: Option<Arc<InterconnectPlan>> = None;
         for (bits, &id) in designs.iter().enumerate() {

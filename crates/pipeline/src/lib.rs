@@ -31,11 +31,13 @@
 
 pub mod batch;
 pub mod lock;
+pub mod source;
 pub mod stages;
 pub mod store;
 
 pub use batch::{run_batch, AppReport, BatchOptions, BatchOutcome};
 pub use lock::{FsLock, Lease, LeaseConfig};
+pub use source::{AppSource, LoadedSource};
 pub use stages::{ProfileArtifact, PAPER_APPS};
 pub use store::{stage_key, ArtifactStore, CacheStats, StoreConfig, STORE_SALT, STORE_SCHEMA};
 
@@ -55,6 +57,9 @@ pub enum PipelineError {
     Design(DesignError),
     /// Not one of the built-in profiled applications.
     UnknownApp(String),
+    /// A `gen:`/`trace:`/`file:` app source is malformed (bad spec
+    /// grammar, unparseable trace, invalid spec file, unknown scheme).
+    BadSource(String),
 }
 
 impl From<std::io::Error> for PipelineError {
@@ -76,8 +81,12 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Json(m) => write!(f, "artifact serialization error: {m}"),
             PipelineError::Design(e) => write!(f, "design error: {e}"),
             PipelineError::UnknownApp(a) => {
-                write!(f, "unknown app '{a}' (canny|jpeg|klt|fluid)")
+                write!(
+                    f,
+                    "unknown app '{a}' (canny|jpeg|klt|fluid, or gen:|trace:|file:)"
+                )
             }
+            PipelineError::BadSource(m) => write!(f, "bad app source: {m}"),
         }
     }
 }

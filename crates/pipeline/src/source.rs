@@ -1,0 +1,359 @@
+//! App-source resolution: one grammar for "which application?".
+//!
+//! Every surface that names an application — `hic profile/report/dse/
+//! batch/trace/top`, `hic serve` job submissions, the benches — accepts
+//! an *app string* and routes it through [`AppSource`]:
+//!
+//! * `canny` (bare name) — a built-in paper application.
+//! * `gen:<spec>` — a synthetic workload generated from the seeded
+//!   [`GenSpec`] grammar (`gen:k=8,seed=7`, see `hic_workload::genspec`).
+//! * `trace:<path>` — a memory-access trace file replayed through the
+//!   profiler (`hic_workload::tracefmt` documents the format).
+//! * `file:<path>` — a JSON [`AppSpec`] loaded verbatim; profiling is
+//!   skipped and the function-level graph is the spec's own edge list.
+//!
+//! [`AppSource::parse`] is syntax-only (no I/O), so CLI front-ends can
+//! reject malformed sources at parse time (exit 2); [`AppSource::load`]
+//! performs the I/O/generation and yields the digest the profile-stage
+//! store key is derived from, giving identical generated workloads and
+//! identical trace contents cache hits regardless of how they were
+//! named.
+
+use crate::stages::{run_profiled_builtin, ProfileArtifact, PAPER_APPS};
+use crate::PipelineError;
+use hic_core::{stable_hash_json, StableHash};
+use hic_fabric::{AppSpec, Endpoint};
+use hic_profiling::{CommGraph, GraphEdge};
+use hic_workload::{GenSpec, Trace};
+use std::path::PathBuf;
+
+/// A parsed (but not yet loaded) application source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppSource {
+    /// One of [`PAPER_APPS`].
+    Builtin(String),
+    /// A generated synthetic workload.
+    Gen(GenSpec),
+    /// A trace file to replay.
+    Trace(PathBuf),
+    /// An `AppSpec` JSON file.
+    File(PathBuf),
+}
+
+impl AppSource {
+    /// Parse an app string. Pure syntax: the `gen:` spec grammar is
+    /// validated, paths only need to be non-empty, bare names must be
+    /// built-in apps.
+    pub fn parse(s: &str) -> Result<AppSource, PipelineError> {
+        if let Some(spec) = s.strip_prefix("gen:") {
+            let spec =
+                GenSpec::parse(spec).map_err(|e| PipelineError::BadSource(format!("{s}: {e}")))?;
+            return Ok(AppSource::Gen(spec));
+        }
+        if let Some(path) = s.strip_prefix("trace:") {
+            if path.is_empty() {
+                return Err(PipelineError::BadSource(format!("{s}: empty trace path")));
+            }
+            return Ok(AppSource::Trace(PathBuf::from(path)));
+        }
+        if let Some(path) = s.strip_prefix("file:") {
+            if path.is_empty() {
+                return Err(PipelineError::BadSource(format!("{s}: empty spec path")));
+            }
+            return Ok(AppSource::File(PathBuf::from(path)));
+        }
+        if s.contains(':') {
+            return Err(PipelineError::BadSource(format!(
+                "{s}: unknown source scheme (expected gen:|trace:|file: or a built-in app name)"
+            )));
+        }
+        if !PAPER_APPS.contains(&s) {
+            return Err(PipelineError::UnknownApp(s.to_string()));
+        }
+        Ok(AppSource::Builtin(s.to_string()))
+    }
+
+    /// The source family, used for per-source accounting
+    /// (`serve.jobs.{builtin,gen,trace,file}`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AppSource::Builtin(_) => "builtin",
+            AppSource::Gen(_) => "gen",
+            AppSource::Trace(_) => "trace",
+            AppSource::File(_) => "file",
+        }
+    }
+
+    /// Canonical identity of the source *before* I/O: two app strings
+    /// with equal tokens always produce the same profile artifact (the
+    /// converse holds only after loading — e.g. two differently-named
+    /// trace files with identical contents share a store key but not a
+    /// token).
+    pub fn token(&self) -> String {
+        match self {
+            AppSource::Builtin(name) => name.clone(),
+            AppSource::Gen(spec) => format!("gen:{}", spec.canonical()),
+            AppSource::Trace(p) => format!("trace:{}", p.display()),
+            AppSource::File(p) => format!("file:{}", p.display()),
+        }
+    }
+
+    /// Perform the source's I/O (read the trace/spec file) or
+    /// generation, yielding the loaded form that knows its store digest
+    /// and how to compute the profile artifact.
+    pub fn load(&self) -> Result<LoadedSource, PipelineError> {
+        match self {
+            AppSource::Builtin(name) => Ok(LoadedSource::Builtin(name.clone())),
+            AppSource::Gen(spec) => Ok(LoadedSource::Gen(*spec)),
+            AppSource::Trace(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| PipelineError::Io(format!("trace {}: {e}", path.display())))?;
+                Ok(LoadedSource::Trace { text })
+            }
+            AppSource::File(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| PipelineError::Io(format!("spec {}: {e}", path.display())))?;
+                let spec: AppSpec = serde_json::from_str(&text).map_err(|e| {
+                    PipelineError::BadSource(format!("{}: invalid app spec: {e}", path.display()))
+                })?;
+                spec.validate().map_err(|e| {
+                    PipelineError::BadSource(format!("{}: invalid app spec: {e}", path.display()))
+                })?;
+                Ok(LoadedSource::File { spec })
+            }
+        }
+    }
+}
+
+/// A source after I/O: owns everything needed to derive the store
+/// digest and to compute the profile artifact.
+#[derive(Debug, Clone)]
+pub enum LoadedSource {
+    /// Built-in app by name.
+    Builtin(String),
+    /// Generated workload.
+    Gen(GenSpec),
+    /// Trace file contents.
+    Trace {
+        /// The raw trace text (digested for the store key).
+        text: String,
+    },
+    /// A validated spec loaded from JSON.
+    File {
+        /// The spec itself.
+        spec: AppSpec,
+    },
+}
+
+impl LoadedSource {
+    /// The single input digest of the profile stage for this source.
+    ///
+    /// Built-ins keep their historical key (name + workload params);
+    /// generated workloads key on the canonical spec string, traces on
+    /// their contents, spec files on the parsed spec — so renaming a
+    /// trace file or reordering `gen:` keys still hits the cache.
+    pub fn digest(&self) -> StableHash {
+        match self {
+            LoadedSource::Builtin(name) => {
+                stable_hash_json(&(name.as_str(), builtin_workload_params(name)))
+            }
+            LoadedSource::Gen(spec) => stable_hash_json(&("gen", spec.canonical())),
+            LoadedSource::Trace { text } => stable_hash_json(&("trace", text.as_str())),
+            LoadedSource::File { spec } => stable_hash_json(&("file", spec)),
+        }
+    }
+
+    /// Compute the profile artifact (uncached).
+    pub fn compute(&self) -> Result<ProfileArtifact, PipelineError> {
+        match self {
+            LoadedSource::Builtin(name) => run_profiled_builtin(name),
+            LoadedSource::Gen(spec) => {
+                let g = hic_workload::generate(spec);
+                Ok(ProfileArtifact {
+                    spec: g.workload.app,
+                    graph: g.workload.graph,
+                })
+            }
+            LoadedSource::Trace { text } => {
+                let trace =
+                    Trace::parse(text).map_err(|e| PipelineError::BadSource(e.to_string()))?;
+                let name = format!("trace-{}", &self.digest().to_hex()[..8]);
+                let w = hic_workload::replay(&trace, &name)
+                    .map_err(|e| PipelineError::BadSource(e.to_string()))?;
+                Ok(ProfileArtifact {
+                    spec: w.app,
+                    graph: w.graph,
+                })
+            }
+            LoadedSource::File { spec } => Ok(ProfileArtifact {
+                graph: graph_of_spec(spec),
+                spec: spec.clone(),
+            }),
+        }
+    }
+}
+
+/// Workload parameters of the built-in apps (part of their profile key).
+fn builtin_workload_params(app: &str) -> &'static [u64] {
+    match app {
+        "canny" => &[64, 64, 42],
+        "jpeg" => &[8, 8, 42],
+        "klt" => &[48, 48, 12, 42],
+        "fluid" => &[24, 42],
+        _ => &[],
+    }
+}
+
+/// Project a spec's kernel-level edge list down to a function-level
+/// [`CommGraph`] (`main` + one function per kernel), for sources that
+/// arrive as a finished [`AppSpec`] with no profiling run behind them.
+fn graph_of_spec(spec: &AppSpec) -> CommGraph {
+    use hic_fabric::FunctionId;
+    let mut functions = Vec::with_capacity(spec.n_kernels() + 1);
+    functions.push("main".to_string());
+    for k in &spec.kernels {
+        functions.push(k.name.clone());
+    }
+    let fid = |e: Endpoint| match e {
+        Endpoint::Host => FunctionId::new(0),
+        Endpoint::Kernel(k) => FunctionId::new(k.index() as u32 + 1),
+    };
+    let mut edges: Vec<GraphEdge> = spec
+        .edges
+        .iter()
+        .map(|e| GraphEdge {
+            src: fid(e.src),
+            dst: fid(e.dst),
+            bytes: e.bytes,
+            umas: e.umas,
+        })
+        .collect();
+    edges.sort_by_key(|e| (e.src, e.dst));
+    CommGraph { functions, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_scheme() {
+        assert_eq!(
+            AppSource::parse("canny").unwrap(),
+            AppSource::Builtin("canny".into())
+        );
+        assert!(matches!(
+            AppSource::parse("gen:k=4,seed=9").unwrap(),
+            AppSource::Gen(s) if s.kernels == 4 && s.seed == 9
+        ));
+        assert_eq!(
+            AppSource::parse("trace:/tmp/t.trace").unwrap(),
+            AppSource::Trace(PathBuf::from("/tmp/t.trace"))
+        );
+        assert_eq!(
+            AppSource::parse("file:app.json").unwrap(),
+            AppSource::File(PathBuf::from("app.json"))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_sources_distinctly_from_unknown_apps() {
+        assert!(matches!(
+            AppSource::parse("doom"),
+            Err(PipelineError::UnknownApp(_))
+        ));
+        assert!(matches!(
+            AppSource::parse("gen:k=0"),
+            Err(PipelineError::BadSource(_))
+        ));
+        assert!(matches!(
+            AppSource::parse("gen:zap=1"),
+            Err(PipelineError::BadSource(_))
+        ));
+        assert!(matches!(
+            AppSource::parse("trace:"),
+            Err(PipelineError::BadSource(_))
+        ));
+        assert!(matches!(
+            AppSource::parse("zip:whatever"),
+            Err(PipelineError::BadSource(_))
+        ));
+    }
+
+    #[test]
+    fn tokens_canonicalize_gen_specs() {
+        let a = AppSource::parse("gen:seed=3,k=8").unwrap();
+        let b = AppSource::parse("gen:k=8,seed=3").unwrap();
+        assert_eq!(a.token(), b.token());
+        assert_eq!(AppSource::parse("jpeg").unwrap().token(), "jpeg");
+        assert_eq!(a.kind(), "gen");
+        assert_eq!(AppSource::parse("jpeg").unwrap().kind(), "builtin");
+    }
+
+    #[test]
+    fn gen_digest_is_spec_not_spelling() {
+        let a = AppSource::parse("gen:seed=3,k=8").unwrap().load().unwrap();
+        let b = AppSource::parse("gen:k=8,seed=3").unwrap().load().unwrap();
+        assert_eq!(a.digest(), b.digest());
+        let c = AppSource::parse("gen:k=8,seed=4").unwrap().load().unwrap();
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn trace_digest_is_content_and_name_is_derived() {
+        let dir = std::env::temp_dir().join(format!("hic-source-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = "func main\nfunc k\nenter main\nwrite 0 32\nexit\nenter k\nread 0 32\nwrite 64 32\nexit\nenter main\nread 64 32\nexit\n";
+        let p1 = dir.join("a.trace");
+        let p2 = dir.join("b.trace");
+        std::fs::write(&p1, text).unwrap();
+        std::fs::write(&p2, text).unwrap();
+        let l1 = AppSource::parse(&format!("trace:{}", p1.display()))
+            .unwrap()
+            .load()
+            .unwrap();
+        let l2 = AppSource::parse(&format!("trace:{}", p2.display()))
+            .unwrap()
+            .load()
+            .unwrap();
+        assert_eq!(l1.digest(), l2.digest(), "same contents, same key");
+        let a1 = l1.compute().unwrap();
+        let a2 = l2.compute().unwrap();
+        assert_eq!(a1, a2, "artifact independent of the file name");
+        assert!(a1.spec.name.starts_with("trace-"), "{}", a1.spec.name);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_sources_validate_and_project_a_graph() {
+        let dir = std::env::temp_dir().join(format!("hic-source-file-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = run_profiled_builtin("jpeg").unwrap().spec;
+        let good = dir.join("good.json");
+        std::fs::write(&good, serde_json::to_string(&spec).unwrap()).unwrap();
+        let loaded = AppSource::parse(&format!("file:{}", good.display()))
+            .unwrap()
+            .load()
+            .unwrap();
+        let art = loaded.compute().unwrap();
+        assert_eq!(art.spec, spec);
+        // main + one function per kernel; one graph edge per spec edge.
+        assert_eq!(art.graph.functions.len(), spec.n_kernels() + 1);
+        assert_eq!(art.graph.edges.len(), spec.edges.len());
+
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{не json").unwrap();
+        let err = AppSource::parse(&format!("file:{}", bad.display()))
+            .unwrap()
+            .load()
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::BadSource(_)), "{err}");
+
+        let missing = AppSource::parse("file:/definitely/not/here.json")
+            .unwrap()
+            .load()
+            .unwrap_err();
+        assert!(matches!(missing, PipelineError::Io(_)), "{missing}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

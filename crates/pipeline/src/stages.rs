@@ -4,9 +4,12 @@
 //! funnels both through [`ArtifactStore::get_or_compute`]. The key
 //! rules (part of the `hic-store/v1` contract, see `DESIGN.md` §10):
 //!
-//! * **profile** — hash of the app name and its fixed workload
-//!   parameters. Profiling the built-in apps is deterministic (seeded),
-//!   so the workload identity is the entire input.
+//! * **profile** — hash of the app source's identity (see
+//!   [`crate::source`]): built-ins key on name + fixed workload
+//!   parameters, `gen:` sources on the canonical spec string, `trace:`
+//!   sources on the trace contents, `file:` sources on the parsed spec.
+//!   Profiling every source is deterministic, so the source identity is
+//!   the entire input.
 //! * **design** — hash of the profiled [`AppSpec`] artifact, the
 //!   [`DesignConfig`], the [`DesignKnobs`], and the variant label. A
 //!   changed budget, bus width, seed, or knob set changes the key.
@@ -20,6 +23,7 @@
 //! computes directly, which keeps the CLI paths usable without a cache
 //! directory (hermetic tests, read-only filesystems).
 
+use crate::source::AppSource;
 use crate::store::{stage_key, ArtifactStore};
 use crate::PipelineError;
 use hic_core::{
@@ -44,8 +48,10 @@ pub struct ProfileArtifact {
     pub graph: CommGraph,
 }
 
-/// Run a built-in profiled application (uncached).
-pub fn run_profiled(app: &str) -> Result<ProfileArtifact, PipelineError> {
+/// Run a built-in profiled application (uncached). Other app sources
+/// (`gen:`/`trace:`/`file:`) resolve through [`crate::source`]; this is
+/// the leaf the `builtin` arm bottoms out in.
+pub fn run_profiled_builtin(app: &str) -> Result<ProfileArtifact, PipelineError> {
     let (spec, graph) = match app {
         "canny" => {
             let r = hic_apps::canny::run_profiled(64, 64, 42);
@@ -68,21 +74,11 @@ pub fn run_profiled(app: &str) -> Result<ProfileArtifact, PipelineError> {
     Ok(ProfileArtifact { spec, graph })
 }
 
-/// Workload parameters of the built-in apps — part of the profile key, so
-/// changing a workload invalidates its profiles.
-fn workload_params(app: &str) -> &'static [u64] {
-    match app {
-        "canny" => &[64, 64, 42],
-        "jpeg" => &[8, 8, 42],
-        "klt" => &[48, 48, 12, 42],
-        "fluid" => &[24, 42],
-        _ => &[],
-    }
-}
-
-/// Store key for the profile stage of `app`.
-pub fn profile_key(app: &str) -> StableHash {
-    stage_key("profile", &[stable_hash_json(&(app, workload_params(app)))])
+/// Store key for the profile stage of the app string `app`. Loads the
+/// source (reads trace/spec files) to derive the content digest.
+pub fn profile_key(app: &str) -> Result<StableHash, PipelineError> {
+    let loaded = AppSource::parse(app)?.load()?;
+    Ok(stage_key("profile", &[loaded.digest()]))
 }
 
 /// Store key for a design of `spec` under `cfg`/`knobs` labeled `label`.
@@ -113,19 +109,19 @@ pub fn dse_key(spec: &AppSpec, cfg: &DesignConfig) -> StableHash {
     stage_key("dse", &[stable_hash_json(spec), stable_hash_json(cfg)])
 }
 
-/// Profile `app`, through the store when one is given.
+/// Profile the app string `app` (any [`AppSource`] scheme), through the
+/// store when one is given.
 pub fn profile(
     store: Option<&ArtifactStore>,
     read_cache: bool,
     app: &str,
 ) -> Result<ProfileArtifact, PipelineError> {
+    let loaded = AppSource::parse(app)?.load()?;
     match store {
-        None => run_profiled(app),
+        None => loaded.compute(),
         Some(s) => {
-            let app = app.to_string();
-            s.get_or_compute("profile", profile_key(&app), read_cache, move || {
-                run_profiled(&app)
-            })
+            let key = stage_key("profile", &[loaded.digest()]);
+            s.get_or_compute("profile", key, read_cache, move || loaded.compute())
         }
     }
 }
@@ -231,13 +227,37 @@ mod tests {
     use super::*;
 
     fn spec_and_cfg() -> (AppSpec, DesignConfig) {
-        let p = run_profiled("jpeg").unwrap();
+        let p = run_profiled_builtin("jpeg").unwrap();
         (p.spec, DesignConfig::default())
     }
 
     #[test]
-    fn profile_keys_separate_apps() {
-        assert_ne!(profile_key("jpeg"), profile_key("canny"));
+    fn profile_keys_separate_apps_and_sources() {
+        assert_ne!(profile_key("jpeg").unwrap(), profile_key("canny").unwrap());
+        assert_ne!(
+            profile_key("gen:k=4,seed=1").unwrap(),
+            profile_key("gen:k=4,seed=2").unwrap()
+        );
+        // Spelling does not matter, parameters do.
+        assert_eq!(
+            profile_key("gen:seed=2,k=4").unwrap(),
+            profile_key("gen:k=4,seed=2").unwrap()
+        );
+    }
+
+    #[test]
+    fn profile_resolves_generated_sources() {
+        let p = profile(None, false, "gen:k=3,seed=7").unwrap();
+        assert_eq!(p.spec.n_kernels(), 3);
+        assert!(p.spec.validate().is_ok());
+        assert!(matches!(
+            profile(None, false, "nope"),
+            Err(PipelineError::UnknownApp(_))
+        ));
+        assert!(matches!(
+            profile(None, false, "gen:k=99"),
+            Err(PipelineError::BadSource(_))
+        ));
     }
 
     #[test]

@@ -108,6 +108,66 @@ fn worker_count_does_not_change_the_output() {
 }
 
 #[test]
+fn generated_sources_batch_deterministically_across_worker_counts() {
+    let root1 = temp_root("gen1");
+    let root4 = temp_root("gen4");
+    let apps = vec!["gen:k=4,seed=9".into(), "gen:k=3,seed=2".into()];
+    let mut one = BatchOptions::new(apps.clone(), Some(root1.clone()));
+    one.jobs = Some(1);
+    let mut four = BatchOptions::new(apps, Some(root4.clone()));
+    four.jobs = Some(4);
+
+    let a = run_batch(&one).unwrap();
+    let b = run_batch(&four).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a.apps).unwrap(),
+        serde_json::to_string(&b.apps).unwrap(),
+        "generated workloads must be byte-identical across --jobs 1 and 4"
+    );
+    // And across repeated runs in a fresh store.
+    let again = run_batch(&one).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a.apps).unwrap(),
+        serde_json::to_string(&again.apps).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&root1);
+    let _ = std::fs::remove_dir_all(&root4);
+}
+
+#[test]
+fn respelled_gen_specs_share_jobs() {
+    // Same canonical GenSpec written two ways: one set of stage jobs,
+    // two report slots.
+    let opts = BatchOptions::new(vec!["gen:k=3,seed=5".into(), "gen:seed=5,k=3".into()], None);
+    let out = run_batch(&opts).unwrap();
+    assert_eq!(
+        out.jobs_run, 18,
+        "respelled gen spec must not duplicate jobs"
+    );
+    assert_eq!(out.apps.len(), 2);
+    // Reports keep the caller's spelling in `app`; everything else is
+    // shared artifact output and must match byte-for-byte.
+    let normalize = |report, spelling: &str| {
+        serde_json::to_string(report)
+            .unwrap()
+            .replace(spelling, "<app>")
+    };
+    assert_eq!(
+        normalize(&out.apps[0], "gen:k=3,seed=5"),
+        normalize(&out.apps[1], "gen:seed=5,k=3")
+    );
+}
+
+#[test]
+fn malformed_gen_source_fails_before_the_pool_starts() {
+    let out = run_batch(&BatchOptions::new(vec!["gen:k=0".into()], None));
+    match out {
+        Err(hic_pipeline::PipelineError::BadSource(_)) => {}
+        other => panic!("expected BadSource, got {other:?}"),
+    }
+}
+
+#[test]
 fn unknown_app_fails_without_touching_the_pool() {
     let out = run_batch(&BatchOptions::new(vec!["doom".into()], None));
     match out {

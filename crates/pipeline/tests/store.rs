@@ -30,7 +30,7 @@ fn open(tag: &str) -> ArtifactStore {
 
 #[test]
 fn design_key_changes_when_the_config_changes() {
-    let p = stages::run_profiled("jpeg").unwrap();
+    let p = stages::run_profiled_builtin("jpeg").unwrap();
     let cfg = DesignConfig::default();
     let base = stages::design_key(&p.spec, &cfg, hic_core::DesignKnobs::ALL, "hybrid");
 
@@ -61,7 +61,7 @@ fn design_key_changes_when_the_config_changes() {
 #[test]
 fn corrupted_blob_is_quarantined_and_recomputed() {
     let s = open("corrupt");
-    let p = stages::run_profiled("canny").unwrap();
+    let p = stages::run_profiled_builtin("canny").unwrap();
     let cfg = DesignConfig::default();
 
     let first =
@@ -102,7 +102,7 @@ fn corrupted_blob_is_quarantined_and_recomputed() {
 #[test]
 fn no_cache_bypasses_reads_but_still_publishes() {
     let s = open("nocache");
-    let p = stages::run_profiled("fluid").unwrap();
+    let p = stages::run_profiled_builtin("fluid").unwrap();
     let cfg = DesignConfig::default();
 
     // Two no-read runs: both compute (miss), neither reads.

@@ -31,7 +31,9 @@
 pub mod buffer;
 pub mod graph;
 pub mod profiler;
+pub mod record;
 
 pub use buffer::{Arena, Buf};
 pub use graph::{CommGraph, GraphEdge};
 pub use profiler::{FnGuard, Profiler};
+pub use record::{Recording, TraceOp};

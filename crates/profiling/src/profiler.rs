@@ -1,6 +1,7 @@
 //! The shadow-memory tracer.
 
 use crate::graph::{CommGraph, GraphEdge};
+use crate::record::{self, Recording, TraceOp};
 use hic_fabric::FunctionId;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -45,12 +46,21 @@ pub struct Profiler {
     shadow: HashMap<u64, FunctionId>,
     pairs: HashMap<(FunctionId, FunctionId), PairAcc>,
     stats: Vec<FnStats>,
+    /// `Some` when this profiler was claimed by [`record::arm`]; filled
+    /// with the operation stream and deposited thread-locally on drop.
+    rec: Option<Vec<TraceOp>>,
 }
 
 impl Profiler {
-    /// A fresh profiler with no functions registered.
+    /// A fresh profiler with no functions registered. If the current
+    /// thread was [`record::arm`]ed, this profiler records its
+    /// operation stream (see [`crate::record`]).
     pub fn new() -> Self {
-        Profiler::default()
+        let mut p = Profiler::default();
+        if record::try_claim() {
+            p.rec = Some(Vec::new());
+        }
+        p
     }
 
     /// Register a function name and get its id. Registering the same name
@@ -77,6 +87,9 @@ impl Profiler {
     /// Enter a function: subsequent accesses are attributed to it.
     pub fn enter(&mut self, f: FunctionId) {
         assert!(f.index() < self.names.len(), "unregistered function {f}");
+        if let Some(rec) = &mut self.rec {
+            rec.push(TraceOp::Enter(f.index() as u32));
+        }
         self.stats[f.index()].calls += 1;
         self.stack.push(f);
     }
@@ -87,6 +100,9 @@ impl Profiler {
     /// If no function is active.
     pub fn exit(&mut self) {
         self.stack.pop().expect("exit() with empty function stack");
+        if let Some(rec) = &mut self.rec {
+            rec.push(TraceOp::Exit);
+        }
     }
 
     /// RAII variant of [`enter`](Self::enter)/[`exit`](Self::exit).
@@ -109,6 +125,9 @@ impl Profiler {
 
     /// Record a write of `len` bytes at virtual address `addr`.
     pub fn write(&mut self, addr: u64, len: u64) {
+        if let Some(rec) = &mut self.rec {
+            rec.push(TraceOp::Write { addr, len });
+        }
         let cur = self.current();
         self.stats[cur.index()].bytes_written += len;
         for a in addr..addr + len {
@@ -119,6 +138,9 @@ impl Profiler {
     /// Record a read of `len` bytes at virtual address `addr`, attributing
     /// each byte to its last writer.
     pub fn read(&mut self, addr: u64, len: u64) {
+        if let Some(rec) = &mut self.rec {
+            rec.push(TraceOp::Read { addr, len });
+        }
         let cur = self.current();
         self.stats[cur.index()].bytes_read += len;
         for a in addr..addr + len {
@@ -188,6 +210,17 @@ impl Profiler {
         CommGraph {
             functions: self.names.clone(),
             edges,
+        }
+    }
+}
+
+impl Drop for Profiler {
+    fn drop(&mut self) {
+        if let Some(ops) = self.rec.take() {
+            record::deposit(Recording {
+                names: std::mem::take(&mut self.names),
+                ops,
+            });
         }
     }
 }

@@ -1,0 +1,157 @@
+//! Thread-local capture of a profiler's operation stream.
+//!
+//! The built-in applications construct their [`Profiler`] internally and
+//! drop it before returning, so there is no seam where a caller could
+//! observe the raw `enter`/`exit`/`write`/`read` sequence. This module
+//! provides that seam without changing any app: [`arm`] marks the
+//! current thread, the *next* [`Profiler::new`] on that thread records
+//! every operation it performs, and when that profiler is dropped the
+//! finished [`Recording`] is deposited for [`take`] to collect.
+//!
+//! The capture is strictly thread-local and one-shot: arming records
+//! exactly one profiler, later profilers on the thread are untouched,
+//! and other threads never observe the flag. Recording costs one
+//! `Vec::push` per operation and nothing at all when disarmed.
+//!
+//! [`Profiler`]: crate::Profiler
+//! [`Profiler::new`]: crate::Profiler::new
+
+use std::cell::RefCell;
+
+/// One profiler operation, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// `enter(f)` — `0` is the function's registration index.
+    Enter(u32),
+    /// `exit()`.
+    Exit,
+    /// `write(addr, len)`.
+    Write {
+        /// Virtual address of the first byte.
+        addr: u64,
+        /// Bytes written.
+        len: u64,
+    },
+    /// `read(addr, len)`.
+    Read {
+        /// Virtual address of the first byte.
+        addr: u64,
+        /// Bytes read.
+        len: u64,
+    },
+}
+
+/// A captured profiler run: the registered function names (in
+/// registration order, so [`TraceOp::Enter`] indexes into them) plus
+/// the full operation stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Recording {
+    /// Function names in registration order.
+    pub names: Vec<String>,
+    /// Every operation the profiler performed, in order.
+    pub ops: Vec<TraceOp>,
+}
+
+thread_local! {
+    /// `true` between [`arm`] and the next `Profiler::new`.
+    static ARMED: RefCell<bool> = const { RefCell::new(false) };
+    /// The finished recording, deposited by the profiler's drop.
+    static CAPTURED: RefCell<Option<Recording>> = const { RefCell::new(None) };
+}
+
+/// Arm recording: the next [`crate::Profiler::new`] on this thread
+/// records its operation stream. Clears any previously captured
+/// recording.
+pub fn arm() {
+    ARMED.with(|a| *a.borrow_mut() = true);
+    CAPTURED.with(|c| *c.borrow_mut() = None);
+}
+
+/// Collect the recording deposited by the armed profiler's drop, if
+/// one has finished. Disarms as a side effect, so a half-done capture
+/// cannot leak into a later run.
+pub fn take() -> Option<Recording> {
+    ARMED.with(|a| *a.borrow_mut() = false);
+    CAPTURED.with(|c| c.borrow_mut().take())
+}
+
+/// Consume the armed flag (called by `Profiler::new`).
+pub(crate) fn try_claim() -> bool {
+    ARMED.with(|a| std::mem::take(&mut *a.borrow_mut()))
+}
+
+/// Deposit a finished recording (called by the profiler's drop).
+pub(crate) fn deposit(rec: Recording) {
+    CAPTURED.with(|c| *c.borrow_mut() = Some(rec));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Profiler;
+
+    #[test]
+    fn arm_captures_exactly_the_next_profiler() {
+        arm();
+        {
+            let mut p = Profiler::new();
+            let a = p.register("alpha");
+            let b = p.register("beta");
+            p.enter(a);
+            p.write(0, 4);
+            p.exit();
+            p.enter(b);
+            p.read(0, 4);
+            p.exit();
+        }
+        {
+            // A second profiler while the capture is pending must not
+            // clobber the recording.
+            let mut q = Profiler::new();
+            let x = q.register("other");
+            q.enter(x);
+            q.write(100, 1);
+            q.exit();
+        }
+        let rec = take().expect("recording deposited on drop");
+        assert_eq!(rec.names, vec!["alpha".to_string(), "beta".to_string()]);
+        assert_eq!(
+            rec.ops,
+            vec![
+                TraceOp::Enter(0),
+                TraceOp::Write { addr: 0, len: 4 },
+                TraceOp::Exit,
+                TraceOp::Enter(1),
+                TraceOp::Read { addr: 0, len: 4 },
+                TraceOp::Exit,
+            ]
+        );
+        assert!(take().is_none(), "take() is one-shot");
+    }
+
+    #[test]
+    fn unarmed_profilers_record_nothing() {
+        {
+            let mut p = Profiler::new();
+            let a = p.register("quiet");
+            p.enter(a);
+            p.write(0, 1);
+            p.exit();
+        }
+        assert!(take().is_none());
+    }
+
+    #[test]
+    fn take_disarms_a_pending_capture() {
+        arm();
+        assert!(take().is_none());
+        {
+            let mut p = Profiler::new();
+            let a = p.register("late");
+            p.enter(a);
+            p.write(0, 1);
+            p.exit();
+        }
+        assert!(take().is_none(), "take() before the profiler disarms");
+    }
+}

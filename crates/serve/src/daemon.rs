@@ -20,7 +20,9 @@
 //! failed / rejected job counters — visible on `/metrics` when the CLI
 //! attaches a `MetricsServer`, and in `hic top`.
 
-use crate::protocol::{error_response, parse_request, JobKind, JobSpec, Request, SERVE_SCHEMA};
+use crate::protocol::{
+    error_response, parse_request, request_error_response, JobKind, JobSpec, Request, SERVE_SCHEMA,
+};
 use crate::queue::{FairQueue, PushError};
 use hic_pipeline::stages;
 use hic_pipeline::{ArtifactStore, PipelineError, StoreConfig};
@@ -113,6 +115,23 @@ struct ServeCounters {
     failed: AtomicU64,
     rejected: AtomicU64,
     busy: AtomicU64,
+    /// Admitted jobs by app-source family (`builtin|gen|trace|file`),
+    /// mirrored into the registry as `serve.jobs.{source}`.
+    by_builtin: AtomicU64,
+    by_gen: AtomicU64,
+    by_trace: AtomicU64,
+    by_file: AtomicU64,
+}
+
+impl ServeCounters {
+    fn by_source(&self, source: &str) -> &AtomicU64 {
+        match source {
+            "gen" => &self.by_gen,
+            "trace" => &self.by_trace,
+            "file" => &self.by_file,
+            _ => &self.by_builtin,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -436,7 +455,7 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
 fn respond(inner: &Inner, line: &str) -> String {
     let req = match parse_request(line) {
         Ok(r) => r,
-        Err(e) => return error_response(&e),
+        Err(e) => return request_error_response(&e),
     };
     match req {
         Request::Submit { spec, client } => {
@@ -445,6 +464,7 @@ fn respond(inner: &Inner, line: &str) -> String {
                 hic_obs::global().counter("serve.jobs.rejected").inc();
                 return error_response("draining");
             }
+            let source = spec.source;
             let job = {
                 let mut jobs = inner.jobs.lock().unwrap();
                 jobs.push(JobRecord {
@@ -458,7 +478,13 @@ fn respond(inner: &Inner, line: &str) -> String {
             match inner.queue.push(&client, job) {
                 Ok(depth) => {
                     inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
-                    hic_obs::global().counter("serve.jobs.submitted").inc();
+                    inner
+                        .counters
+                        .by_source(source)
+                        .fetch_add(1, Ordering::Relaxed);
+                    let reg = hic_obs::global();
+                    reg.counter("serve.jobs.submitted").inc();
+                    reg.counter(&format!("serve.jobs.{source}")).inc();
                     inner.gauge_queue_depth();
                     serde_json::to_string(&json!({
                         "ok": true,
@@ -529,6 +555,10 @@ fn respond(inner: &Inner, line: &str) -> String {
                 "completed": s.completed,
                 "failed": s.failed,
                 "rejected": s.rejected,
+                "jobs_builtin": inner.counters.by_builtin.load(Ordering::Relaxed),
+                "jobs_gen": inner.counters.by_gen.load(Ordering::Relaxed),
+                "jobs_trace": inner.counters.by_trace.load(Ordering::Relaxed),
+                "jobs_file": inner.counters.by_file.load(Ordering::Relaxed),
                 "queue_depth": inner.queue.len() as u64,
                 "workers": inner.workers_total as u64,
                 "busy": inner.counters.busy.load(Ordering::Relaxed),

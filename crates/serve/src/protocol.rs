@@ -20,13 +20,23 @@
 //! ```
 //!
 //! Responses always carry `"ok"`: `{"ok":true,...}` or
-//! `{"ok":false,"error":"..."}`. `submit` answers `{"ok":true,"job":N,
-//! "queue_depth":D}`; `status` one of `queued|running|done|failed`;
-//! `result` the artifact payload under `"payload"` (itself a JSON
-//! value); `shutdown` acknowledges and puts the daemon into graceful
-//! drain (queued jobs finish, new submits are rejected).
+//! `{"ok":false,"error":"..."}`. Request rejections additionally carry a
+//! stable machine-readable `"code"` (`bad_request` for malformed JSON or
+//! shapes, `bad_app_source` for an unknown or malformed app source), so
+//! clients can distinguish a bad submission from a job that ran and
+//! failed. `submit` answers `{"ok":true,"job":N,"queue_depth":D}`;
+//! `status` one of `queued|running|done|failed`; `result` the artifact
+//! payload under `"payload"` (itself a JSON value); `shutdown`
+//! acknowledges and puts the daemon into graceful drain (queued jobs
+//! finish, new submits are rejected).
+//!
+//! `"app"` accepts any app source the pipeline resolves: a built-in name
+//! (`canny|jpeg|klt|fluid`), `gen:<spec>`, `trace:<path>`, or
+//! `file:<path>` (see `hic_pipeline::AppSource`). Source syntax is
+//! validated at parse time — a malformed `gen:` spec or unknown bare
+//! name is rejected before a job record is ever created.
 
-use hic_pipeline::PAPER_APPS;
+use hic_pipeline::AppSource;
 
 /// The wire schema id, reported by `ping`.
 pub const SERVE_SCHEMA: &str = "hic-serve/v1";
@@ -59,13 +69,44 @@ impl JobKind {
     }
 }
 
-/// One validated job: a kind applied to a built-in app.
+/// One validated job: a kind applied to an app source.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {
     /// What to compute.
     pub kind: JobKind,
-    /// Which application (one of [`PAPER_APPS`]).
+    /// The app source string, exactly as submitted (a built-in name,
+    /// `gen:<spec>`, `trace:<path>`, or `file:<path>`).
     pub app: String,
+    /// The source family (`builtin|gen|trace|file`), resolved at parse
+    /// time — drives the `serve.jobs.{source}` accounting.
+    pub source: &'static str,
+}
+
+/// A rejected request: a stable machine-readable `code` plus the
+/// human-readable message that lands in the `"error"` field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// `bad_request` (malformed JSON/shape) or `bad_app_source`
+    /// (unknown or malformed app source).
+    pub code: &'static str,
+    /// Human-readable reason, returned verbatim.
+    pub msg: String,
+}
+
+impl RequestError {
+    fn bad_request(msg: impl Into<String>) -> RequestError {
+        RequestError {
+            code: "bad_request",
+            msg: msg.into(),
+        }
+    }
+
+    fn bad_app_source(msg: impl Into<String>) -> RequestError {
+        RequestError {
+            code: "bad_app_source",
+            msg: msg.into(),
+        }
+    }
 }
 
 /// A parsed client request.
@@ -96,45 +137,52 @@ pub enum Request {
     Shutdown,
 }
 
-/// Parse one request line. Errors are human-readable and end up in the
-/// `{"ok":false,"error":...}` response verbatim.
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let v = serde_json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+/// Parse one request line. The error carries a machine-readable code
+/// and a human-readable message; [`request_error_response`] serializes
+/// both into the `{"ok":false,...}` response.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let v =
+        serde_json::parse(line).map_err(|e| RequestError::bad_request(format!("bad JSON: {e}")))?;
     let cmd = v
         .get("cmd")
         .and_then(|c| c.as_str())
-        .ok_or("missing \"cmd\"")?;
+        .ok_or_else(|| RequestError::bad_request("missing \"cmd\""))?;
     match cmd {
         "submit" => {
             let app = v
                 .get("app")
                 .and_then(|a| a.as_str())
-                .ok_or("submit needs \"app\"")?;
-            if !PAPER_APPS.contains(&app) {
-                return Err(format!("unknown app '{app}' (canny|jpeg|klt|fluid)"));
-            }
+                .ok_or_else(|| RequestError::bad_request("submit needs \"app\""))?;
+            // Syntax-only validation: a malformed source is rejected
+            // here with a structured error, never enqueued. (A `trace:`
+            // or `file:` path that does not exist still fails later, at
+            // execution, like any other job error.)
+            let source = AppSource::parse(app)
+                .map_err(|e| RequestError::bad_app_source(e.to_string()))?
+                .kind();
             let kind = match v
                 .get("kind")
                 .and_then(|k| k.as_str())
-                .ok_or("submit needs \"kind\"")?
+                .ok_or_else(|| RequestError::bad_request("submit needs \"kind\""))?
             {
                 "profile" => JobKind::Profile,
                 "design" => {
-                    let knobs = v
-                        .get("knobs")
-                        .and_then(|k| k.as_u64())
-                        .ok_or("design needs \"knobs\" (0..16)")?;
+                    let knobs = v.get("knobs").and_then(|k| k.as_u64()).ok_or_else(|| {
+                        RequestError::bad_request("design needs \"knobs\" (0..16)")
+                    })?;
                     if knobs >= 16 {
-                        return Err(format!("knobs {knobs} out of range (0..16)"));
+                        return Err(RequestError::bad_request(format!(
+                            "knobs {knobs} out of range (0..16)"
+                        )));
                     }
                     JobKind::Design { knobs: knobs as u8 }
                 }
                 "cosim" => JobKind::Cosim,
                 "batch" => JobKind::Batch,
                 other => {
-                    return Err(format!(
+                    return Err(RequestError::bad_request(format!(
                         "unknown kind '{other}' (profile|design|cosim|batch)"
-                    ))
+                    )))
                 }
             };
             let client = v
@@ -146,6 +194,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 spec: JobSpec {
                     kind,
                     app: app.to_string(),
+                    source,
                 },
                 client,
             })
@@ -154,7 +203,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             let job = v
                 .get("job")
                 .and_then(|j| j.as_u64())
-                .ok_or_else(|| format!("{cmd} needs \"job\""))?;
+                .ok_or_else(|| RequestError::bad_request(format!("{cmd} needs \"job\"")))?;
             Ok(if cmd == "status" {
                 Request::Status { job }
             } else {
@@ -164,7 +213,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "stats" => Ok(Request::Stats),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
-        other => Err(format!("unknown cmd '{other}'")),
+        other => Err(RequestError::bad_request(format!("unknown cmd '{other}'"))),
     }
 }
 
@@ -172,6 +221,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 pub fn error_response(msg: &str) -> String {
     serde_json::to_string(&serde_json::json!({"ok": false, "error": msg}))
         .expect("error response serializes")
+}
+
+/// `{"ok":false,"code":...,"error":...}` for a structured rejection.
+pub fn request_error_response(err: &RequestError) -> String {
+    serde_json::to_string(
+        &serde_json::json!({"ok": false, "code": err.code, "error": err.msg.as_str()}),
+    )
+    .expect("request error response serializes")
 }
 
 #[cfg(test)]
@@ -187,7 +244,8 @@ mod tests {
             Ok(Request::Submit {
                 spec: JobSpec {
                     kind: JobKind::Design { knobs: 7 },
-                    app: "jpeg".into()
+                    app: "jpeg".into(),
+                    source: "builtin"
                 },
                 client: "c1".into()
             })
@@ -197,7 +255,8 @@ mod tests {
             Ok(Request::Submit {
                 spec: JobSpec {
                     kind: JobKind::Profile,
-                    app: "canny".into()
+                    app: "canny".into(),
+                    source: "builtin"
                 },
                 client: "anon".into()
             })
@@ -220,26 +279,55 @@ mod tests {
 
     #[test]
     fn rejects_malformed_requests_with_reasons() {
-        assert!(parse_request("not json").unwrap_err().contains("bad JSON"));
-        assert!(parse_request("{}").unwrap_err().contains("cmd"));
+        let err = |line: &str| parse_request(line).unwrap_err();
+        assert!(err("not json").msg.contains("bad JSON"));
+        assert_eq!(err("not json").code, "bad_request");
+        assert!(err("{}").msg.contains("cmd"));
+        let bad_app = err(r#"{"cmd":"submit","kind":"design","app":"nope","knobs":1}"#);
+        assert!(bad_app.msg.contains("unknown app"), "{}", bad_app.msg);
+        assert_eq!(bad_app.code, "bad_app_source");
         assert!(
-            parse_request(r#"{"cmd":"submit","kind":"design","app":"nope","knobs":1}"#)
-                .unwrap_err()
-                .contains("unknown app")
-        );
-        assert!(
-            parse_request(r#"{"cmd":"submit","kind":"design","app":"jpeg","knobs":16}"#)
-                .unwrap_err()
+            err(r#"{"cmd":"submit","kind":"design","app":"jpeg","knobs":16}"#)
+                .msg
                 .contains("out of range")
         );
-        assert!(
-            parse_request(r#"{"cmd":"submit","kind":"zap","app":"jpeg"}"#)
-                .unwrap_err()
-                .contains("unknown kind")
-        );
-        assert!(parse_request(r#"{"cmd":"status"}"#)
-            .unwrap_err()
-            .contains("job"));
+        assert!(err(r#"{"cmd":"submit","kind":"zap","app":"jpeg"}"#)
+            .msg
+            .contains("unknown kind"));
+        assert!(err(r#"{"cmd":"status"}"#).msg.contains("job"));
+    }
+
+    #[test]
+    fn submit_accepts_every_app_source_scheme() {
+        for (app, source) in [
+            ("jpeg", "builtin"),
+            ("gen:k=4,seed=7", "gen"),
+            ("trace:/tmp/t.trace", "trace"),
+            ("file:/tmp/spec.json", "file"),
+        ] {
+            match parse_request(&format!(
+                r#"{{"cmd":"submit","kind":"profile","app":"{app}"}}"#
+            )) {
+                Ok(Request::Submit { spec, .. }) => {
+                    assert_eq!(spec.app, app);
+                    assert_eq!(spec.source, source);
+                }
+                other => panic!("submit of {app} failed: {other:?}"),
+            }
+        }
+        // Malformed gen specs are rejected at parse time with the
+        // structured code, never enqueued.
+        let e = parse_request(r#"{"cmd":"submit","kind":"profile","app":"gen:k=0"}"#).unwrap_err();
+        assert_eq!(e.code, "bad_app_source");
+    }
+
+    #[test]
+    fn request_error_response_carries_the_code() {
+        let r = request_error_response(&RequestError::bad_app_source("nope"));
+        let v = serde_json::parse(&r).expect("valid JSON");
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("code").unwrap().as_str(), Some("bad_app_source"));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("nope"));
     }
 
     #[test]

@@ -92,6 +92,54 @@ fn malformed_and_unknown_requests_answer_errors_not_disconnects() {
 }
 
 #[test]
+fn generated_sources_run_as_jobs_and_stats_count_by_source() {
+    let (daemon, cache) = start("gen", 64);
+    let mut c = Client::connect(daemon.port()).expect("connect");
+
+    // A generated workload flows through the same job path as a
+    // built-in, and the artifact it computes is cache-shared with a
+    // respelled-but-identical spec.
+    let job = c
+        .submit("profile", "gen:k=4,seed=7", None, "t0")
+        .unwrap()
+        .expect("accepted");
+    assert_eq!(c.wait_done(job, POLL).unwrap(), "done");
+    let result = c.result(job).unwrap();
+    let v = serde_json::parse(&result).expect("result is JSON");
+    assert!(v.get("payload").unwrap().get("spec").is_some(), "{result}");
+
+    let respelled = c
+        .submit("profile", "gen:seed=7,k=4", None, "t0")
+        .unwrap()
+        .unwrap();
+    assert_eq!(c.wait_done(respelled, POLL).unwrap(), "done");
+    let builtin = c.submit("profile", "jpeg", None, "t0").unwrap().unwrap();
+    assert_eq!(c.wait_done(builtin, POLL).unwrap(), "done");
+
+    let stats = c.stats().unwrap();
+    let v = serde_json::parse(&stats).unwrap();
+    assert_eq!(v.get("jobs_gen").unwrap().as_u64(), Some(2), "{stats}");
+    assert_eq!(v.get("jobs_builtin").unwrap().as_u64(), Some(1), "{stats}");
+    assert_eq!(v.get("jobs_trace").unwrap().as_u64(), Some(0), "{stats}");
+    assert!(
+        v.get("cache_hits").unwrap().as_u64().unwrap() > 0,
+        "respelled gen spec must hit the store: {stats}"
+    );
+
+    // A malformed source is rejected at submission with the structured
+    // code — no job record, no generic job failure.
+    let r = c
+        .roundtrip("{\"cmd\":\"submit\",\"kind\":\"profile\",\"app\":\"gen:k=0\"}")
+        .unwrap();
+    assert!(r.contains("\"code\":\"bad_app_source\""), "{r}");
+
+    let summary = daemon.stop();
+    assert_eq!(summary.completed, 3);
+    assert_eq!(summary.failed, 0);
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
 fn drain_rejects_new_submits_but_finishes_queued_work() {
     let (daemon, cache) = start("drain", 64);
     let mut c = Client::connect(daemon.port()).expect("connect");

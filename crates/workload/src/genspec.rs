@@ -1,0 +1,227 @@
+//! [`GenSpec`] — the parameter block of the synthetic workload
+//! generator, with a compact `key=value` surface syntax.
+//!
+//! A spec is written (after the `gen:` scheme prefix used in app
+//! strings) as a comma-separated list of `key=value` pairs, any subset,
+//! any order; omitted keys take their defaults:
+//!
+//! ```text
+//! gen:k=8,fanout=2,skew=30,comm=4,hostio=40,bytes=2048,uma=50,seed=7
+//! ```
+//!
+//! | key      | meaning                                             | range        | default |
+//! |----------|-----------------------------------------------------|--------------|---------|
+//! | `k`      | kernel count                                        | 1..=64       | 6       |
+//! | `fanout` | max extra producers per kernel (fan-in/fan-out)     | 0..=8        | 2       |
+//! | `skew`   | % chance an edge is a hotspot carrying 8× volume    | 0..=100      | 25      |
+//! | `comm`   | compute/comm ratio: kernel-private traffic multiple | 0..=64       | 4       |
+//! | `hostio` | % chance a kernel gets a host input / output edge   | 0..=100      | 40      |
+//! | `bytes`  | mean bytes per edge before jitter/skew              | 16..=1048576 | 2048    |
+//! | `uma`    | unique addresses as % of edge bytes (re-read rate)  | 1..=100      | 50      |
+//! | `seed`   | RNG seed                                            | any u64      | 1       |
+//!
+//! [`GenSpec::canonical`] renders every field in a fixed order — two
+//! spec strings that parse to the same parameters have the same
+//! canonical form, which is what artifact-store keys are derived from
+//! (`gen:k=8,seed=1` and `gen:seed=1,k=8` hit the same cache entry).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one synthetic workload. See the module docs for the
+/// surface syntax and ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenSpec {
+    /// Number of hardware kernels (`k`).
+    pub kernels: u32,
+    /// Maximum extra producers drawn per kernel (`fanout`).
+    pub fanout: u32,
+    /// Percent chance an edge is a hotspot with 8× volume (`skew`).
+    pub skew_pct: u32,
+    /// Kernel-private traffic as a multiple of input volume (`comm`).
+    pub comm_ratio: u32,
+    /// Percent chance of a host input/output edge per kernel (`hostio`).
+    pub host_io_pct: u32,
+    /// Mean bytes per edge before jitter and skew (`bytes`).
+    pub edge_bytes: u64,
+    /// Unique addresses as a percentage of edge bytes (`uma`).
+    pub uma_pct: u32,
+    /// Seed for the structure/volume RNG (`seed`).
+    pub seed: u64,
+}
+
+impl Default for GenSpec {
+    fn default() -> Self {
+        GenSpec {
+            kernels: 6,
+            fanout: 2,
+            skew_pct: 25,
+            comm_ratio: 4,
+            host_io_pct: 40,
+            edge_bytes: 2048,
+            uma_pct: 50,
+            seed: 1,
+        }
+    }
+}
+
+/// A malformed or out-of-range spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenSpecError(pub String);
+
+impl std::fmt::Display for GenSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad gen spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for GenSpecError {}
+
+impl GenSpec {
+    /// Parse the `key=value` list (without the `gen:` prefix). The
+    /// empty string yields the default spec.
+    pub fn parse(s: &str) -> Result<GenSpec, GenSpecError> {
+        let mut spec = GenSpec::default();
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(spec);
+        }
+        for part in s.split(',') {
+            let part = part.trim();
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| GenSpecError(format!("expected key=value, got '{part}'")))?;
+            let num = |name: &str| -> Result<u64, GenSpecError> {
+                value.trim().parse::<u64>().map_err(|_| {
+                    GenSpecError(format!("{name} needs an unsigned integer, got '{value}'"))
+                })
+            };
+            match key.trim() {
+                "k" => spec.kernels = in_range(num("k")?, 1, 64, "k")? as u32,
+                "fanout" => spec.fanout = in_range(num("fanout")?, 0, 8, "fanout")? as u32,
+                "skew" => spec.skew_pct = in_range(num("skew")?, 0, 100, "skew")? as u32,
+                "comm" => spec.comm_ratio = in_range(num("comm")?, 0, 64, "comm")? as u32,
+                "hostio" => spec.host_io_pct = in_range(num("hostio")?, 0, 100, "hostio")? as u32,
+                "bytes" => spec.edge_bytes = in_range(num("bytes")?, 16, 1 << 20, "bytes")?,
+                "uma" => spec.uma_pct = in_range(num("uma")?, 1, 100, "uma")? as u32,
+                "seed" => spec.seed = num("seed")?,
+                other => {
+                    return Err(GenSpecError(format!(
+                        "unknown key '{other}' (k|fanout|skew|comm|hostio|bytes|uma|seed)"
+                    )))
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The canonical spec string: every field, fixed order. Parsing it
+    /// back yields `self`; identical parameters always render
+    /// identically (the basis of the artifact-store key).
+    pub fn canonical(&self) -> String {
+        format!(
+            "k={},fanout={},skew={},comm={},hostio={},bytes={},uma={},seed={}",
+            self.kernels,
+            self.fanout,
+            self.skew_pct,
+            self.comm_ratio,
+            self.host_io_pct,
+            self.edge_bytes,
+            self.uma_pct,
+            self.seed
+        )
+    }
+
+    /// Short display name for the generated application: the kernel
+    /// count, the seed, and a digest of the full canonical form so
+    /// specs differing only in distribution knobs stay distinguishable.
+    pub fn app_name(&self) -> String {
+        let c = self.canonical();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in c.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("gen-k{}-s{}-{:04x}", self.kernels, self.seed, h & 0xffff)
+    }
+}
+
+impl std::fmt::Display for GenSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.canonical())
+    }
+}
+
+fn in_range(v: u64, lo: u64, hi: u64, name: &str) -> Result<u64, GenSpecError> {
+    if v < lo || v > hi {
+        return Err(GenSpecError(format!(
+            "{name}={v} out of range ({lo}..={hi})"
+        )));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_the_default() {
+        assert_eq!(GenSpec::parse("").unwrap(), GenSpec::default());
+        assert_eq!(GenSpec::parse("  ").unwrap(), GenSpec::default());
+    }
+
+    #[test]
+    fn order_does_not_matter_for_the_canonical_form() {
+        let a = GenSpec::parse("k=8,seed=3").unwrap();
+        let b = GenSpec::parse("seed=3, k=8").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(GenSpec::parse(&a.canonical()).unwrap(), a);
+    }
+
+    #[test]
+    fn canonical_lists_every_field_in_fixed_order() {
+        let c = GenSpec::default().canonical();
+        assert_eq!(
+            c,
+            "k=6,fanout=2,skew=25,comm=4,hostio=40,bytes=2048,uma=50,seed=1"
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_values() {
+        assert!(GenSpec::parse("zap=1")
+            .unwrap_err()
+            .0
+            .contains("unknown key"));
+        assert!(GenSpec::parse("k").unwrap_err().0.contains("key=value"));
+        assert!(GenSpec::parse("k=zero")
+            .unwrap_err()
+            .0
+            .contains("unsigned integer"));
+        assert!(GenSpec::parse("k=0")
+            .unwrap_err()
+            .0
+            .contains("out of range"));
+        assert!(GenSpec::parse("k=65")
+            .unwrap_err()
+            .0
+            .contains("out of range"));
+        assert!(GenSpec::parse("uma=0")
+            .unwrap_err()
+            .0
+            .contains("out of range"));
+        assert!(GenSpec::parse("bytes=8")
+            .unwrap_err()
+            .0
+            .contains("out of range"));
+    }
+
+    #[test]
+    fn app_names_distinguish_distribution_knobs() {
+        let a = GenSpec::parse("k=6,seed=1").unwrap().app_name();
+        let b = GenSpec::parse("k=6,seed=1,uma=10").unwrap().app_name();
+        assert_ne!(a, b);
+        assert!(a.starts_with("gen-k6-s1-"), "{a}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the generator's two load-bearing guarantees:
+//! identical `GenSpec` ⇒ byte-identical output, and every generated
+//! spec is a valid application.
+
+use hic_workload::{generate, GenSpec, Trace};
+use proptest::prelude::*;
+
+/// Assemble a spec from two strategy tuples (the vendored proptest
+/// shim implements `Strategy` for tuples of up to six elements).
+fn spec_from(
+    (k, fanout, skew, comm): (u32, u32, u32, u32),
+    (hostio, bytes, uma, seed): (u32, u64, u32, u64),
+) -> GenSpec {
+    GenSpec {
+        kernels: k,
+        fanout,
+        skew_pct: skew,
+        comm_ratio: comm,
+        host_io_pct: hostio,
+        edge_bytes: bytes,
+        uma_pct: uma,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_specs_are_always_valid(
+        shape in (1u32..17, 0u32..9, 0u32..101, 0u32..17),
+        volume in (0u32..101, 16u64..4096, 1u32..101, any::<u64>()),
+    ) {
+        let spec = spec_from(shape, volume);
+        let g = generate(&spec);
+        prop_assert!(g.workload.app.validate().is_ok());
+        prop_assert_eq!(g.workload.app.n_kernels(), spec.kernels as usize);
+        // The canonical form round-trips through the parser.
+        prop_assert_eq!(GenSpec::parse(&spec.canonical()).unwrap(), spec);
+    }
+
+    #[test]
+    fn same_spec_is_byte_identical(
+        shape in (1u32..13, 0u32..9, 0u32..101, 0u32..9),
+        volume in (0u32..101, 16u64..2048, 1u32..101, any::<u64>()),
+    ) {
+        let spec = spec_from(shape, volume);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        prop_assert_eq!(a.trace.render(), b.trace.render());
+        prop_assert_eq!(
+            serde_json::to_string(&a.workload.app).unwrap(),
+            serde_json::to_string(&b.workload.app).unwrap()
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&a.workload.graph).unwrap(),
+            serde_json::to_string(&b.workload.graph).unwrap()
+        );
+    }
+
+    #[test]
+    fn trace_round_trip_reproduces_the_workload(
+        shape in (1u32..9, 0u32..9, 0u32..101, 0u32..9),
+        volume in (0u32..101, 16u64..2048, 1u32..101, any::<u64>()),
+    ) {
+        let spec = spec_from(shape, volume);
+        let g = generate(&spec);
+        let reparsed = Trace::parse(&g.trace.render()).unwrap();
+        let again = hic_workload::replay(&reparsed, &spec.app_name()).unwrap();
+        prop_assert_eq!(again.graph, g.workload.graph);
+        prop_assert_eq!(again.app, g.workload.app);
+    }
+}

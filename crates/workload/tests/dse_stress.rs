@@ -1,0 +1,45 @@
+//! Property stress of Algorithm 1 over random generated graphs: every
+//! knob-lattice point of every generated workload must design to a plan
+//! that passes its structural invariants, and every such plan must
+//! co-simulate. This is the "unbounded inputs" counterpart to the
+//! four-app regression tests in `hic-core`/`hic-sim`.
+
+use hic_core::{design_custom, knobs_at, DesignConfig};
+use hic_workload::{generate, GenSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn every_lattice_point_designs_validates_and_cosimulates(
+        (k, fanout, skew, hostio, uma, seed) in
+            (1u32..11, 0u32..5, 0u32..101, 0u32..101, 1u32..101, any::<u64>())
+    ) {
+        let spec = GenSpec {
+            kernels: k,
+            fanout,
+            skew_pct: skew,
+            comm_ratio: 2,
+            host_io_pct: hostio,
+            edge_bytes: 1024,
+            uma_pct: uma,
+            seed,
+        };
+        let app = generate(&spec).workload.app;
+        let cfg = DesignConfig::default();
+        for bits in 0u8..16 {
+            let plan = design_custom(&app, &cfg, knobs_at(bits)).unwrap_or_else(|e| {
+                panic!("design failed at lattice point {bits} for {spec}: {e}")
+            });
+            prop_assert!(
+                plan.check_invariants().is_ok(),
+                "plan at lattice point {} violates invariants: {:?}",
+                bits,
+                plan.check_invariants()
+            );
+            let sim = hic_sim::cosimulate(&plan);
+            prop_assert!(sim.app_time.as_ps() > 0, "cosim at point {} ran no time", bits);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Replay fidelity: capturing a built-in application's operation
+//! stream, round-tripping it through the text trace format, and
+//! replaying it through a fresh profiler must reproduce the app's
+//! profiled `CommGraph` byte-identically — same function table order,
+//! same edges, same byte/UMA counts. The workload parameters match the
+//! pipeline's canonical ones (`hic_pipeline::stages`).
+
+use hic_profiling::{record, CommGraph};
+use hic_workload::{replay, Trace};
+
+fn round_trip(name: &str, run: impl FnOnce() -> CommGraph) {
+    record::arm();
+    let profiled = run();
+    let rec = record::take().unwrap_or_else(|| panic!("{name}: no recording captured"));
+    let text = Trace::from_recording(&rec).render();
+    let trace =
+        Trace::parse(&text).unwrap_or_else(|e| panic!("{name}: emitted trace unparseable: {e}"));
+    let replayed = replay(&trace, name).unwrap_or_else(|e| panic!("{name}: replay failed: {e}"));
+    assert_eq!(
+        replayed.graph, profiled,
+        "{name}: replayed CommGraph differs from the profiled one"
+    );
+    // Byte-identical, not just structurally equal.
+    assert_eq!(
+        serde_json::to_string(&replayed.graph).unwrap(),
+        serde_json::to_string(&profiled).unwrap(),
+        "{name}: serialized CommGraph differs"
+    );
+    assert_eq!(replayed.graph.to_dot(name), profiled.to_dot(name));
+}
+
+#[test]
+fn canny_round_trips_byte_identically() {
+    round_trip("canny", || hic_apps::canny::run_profiled(64, 64, 42).graph);
+}
+
+#[test]
+fn jpeg_round_trips_byte_identically() {
+    round_trip("jpeg", || hic_apps::jpeg::run_profiled(8, 8, 42).graph);
+}
+
+#[test]
+fn klt_round_trips_byte_identically() {
+    round_trip("klt", || hic_apps::klt::run_profiled(48, 48, 12, 42).graph);
+}
+
+#[test]
+fn fluid_round_trips_byte_identically() {
+    round_trip("fluid", || hic_apps::fluid::run_profiled(24, 42).graph);
+}
