@@ -508,7 +508,7 @@ fn bench_pipeline() {
 }
 
 fn bench_serve() {
-    let p = hic_bench::serveperf::measure(200, 2);
+    let p = hic_bench::serveperf::measure_log_overhead(200, 2);
     println!("== hic serve: sustained load over apps x knob lattice ==");
     println!(
         "{} clients x {} jobs on {} workers (queue cap {})",
@@ -521,6 +521,10 @@ fn bench_serve() {
     println!(
         "latency p50 {:.2}ms  p99 {:.2}ms  hit rate {:.3}  completion {:.4}",
         p.p50_ms, p.p99_ms, p.hit_rate, p.completion
+    );
+    println!(
+        "with info logging on: {:.1} jobs/s ({:.3}x of logging-disabled)",
+        p.jobs_per_sec_logged, p.log_ratio
     );
     assert_eq!(p.failed, 0, "no job may fail under load");
     assert!(

@@ -176,6 +176,9 @@ pub struct Baselines {
     /// (the gate machinery treats lower-is-worse; latency is the
     /// opposite, so it is recorded and printed but never gated).
     pub serve_latency_ms: (f64, f64),
+    /// Logged-vs-unlogged jobs/s ratio from `BENCH_serve.json` — gates
+    /// hard at ≥ 0.95 (info logging may not cost >5% throughput).
+    pub serve_log_ratio: f64,
     /// Fraction of submitted generated-workload jobs that completed,
     /// from `BENCH_workload.json` — gates hard at ~1.0.
     pub workload_completion: f64,
@@ -258,6 +261,7 @@ pub fn load_baselines(dir: &Path) -> Result<Baselines, String> {
         f64_of(&serve, "p50_ms", "BENCH_serve.json")?,
         f64_of(&serve, "p99_ms", "BENCH_serve.json")?,
     );
+    let serve_log_ratio = f64_of(&serve, "log_ratio", "BENCH_serve.json")?;
 
     let workload = read("BENCH_workload.json")?;
     let workload_completion = f64_of(&workload, "completion", "BENCH_workload.json")?;
@@ -278,6 +282,7 @@ pub fn load_baselines(dir: &Path) -> Result<Baselines, String> {
         serve_hit_rate,
         serve_jobs_per_sec,
         serve_latency_ms,
+        serve_log_ratio,
         workload_completion,
         workload_hit_rate,
         workload_jobs_per_sec,
@@ -355,6 +360,18 @@ pub fn collect_samples(quick: bool) -> Samples {
     samples.insert("serve.jobs_per_sec".into(), vec![s.jobs_per_sec]);
     samples.insert("serve.p50_ms".into(), vec![s.p50_ms]);
     samples.insert("serve.p99_ms".into(), vec![s.p99_ms]);
+    // The logging-overhead ratio gates hard at ≥0.95, so it gets the
+    // interleaved median estimator, not a one-shot pair (±15% noisy on
+    // short storms).
+    let ratio_rounds = if quick { 4 } else { 5 };
+    samples.insert(
+        "serve.log_ratio".into(),
+        vec![crate::serveperf::measure_log_ratio(
+            serve_clients,
+            serve_jobs,
+            ratio_rounds,
+        )],
+    );
     // Same discipline for the generated-workload storm: one fresh run,
     // gated on the structural columns only.
     let (wl_clients, wl_jobs) = if quick { (16, 2) } else { (48, 3) };
@@ -455,6 +472,16 @@ pub fn gate_specs(b: &Baselines) -> Vec<GateSpec> {
         rel_floor: 0.0,
         abs_min: None,
         gating: false,
+    });
+    // Logging overhead: the ≥0.95 absolute floor carries the claim
+    // (info logging may not cost the daemon >5% throughput); the
+    // relative band is loose since the ratio is noisy on shared hosts.
+    specs.push(GateSpec {
+        name: "serve.log_ratio".into(),
+        baseline: b.serve_log_ratio,
+        rel_floor: 0.5,
+        abs_min: Some(0.95),
+        gating: true,
     });
     // Generated-workload gates mirror the serve ones: completion is
     // structural (retries absorb admission rejections), and the seed
@@ -590,6 +617,7 @@ mod tests {
             serve_hit_rate: 0.9,
             serve_jobs_per_sec: 150.0,
             serve_latency_ms: (12.0, 80.0),
+            serve_log_ratio: 0.99,
             workload_completion: 1.0,
             workload_hit_rate: 0.85,
             workload_jobs_per_sec: 120.0,
@@ -617,6 +645,7 @@ mod tests {
         s.insert("serve.jobs_per_sec".into(), vec![140.0]);
         s.insert("serve.p50_ms".into(), vec![13.0]);
         s.insert("serve.p99_ms".into(), vec![90.0]);
+        s.insert("serve.log_ratio".into(), vec![0.98]);
         s.insert("workload.completion".into(), vec![1.0]);
         s.insert("workload.hit_rate".into(), vec![0.8]);
         s.insert("workload.jobs_per_sec".into(), vec![110.0]);
@@ -671,6 +700,7 @@ mod tests {
         assert_eq!(verdict("serve.jobs_per_sec"), Verdict::Info);
         assert_eq!(verdict("serve.p50_ms"), Verdict::Info);
         assert_eq!(verdict("serve.p99_ms"), Verdict::Info);
+        assert_eq!(verdict("serve.log_ratio"), Verdict::Pass);
         // Generated workload: same split.
         assert_eq!(verdict("workload.completion"), Verdict::Pass);
         assert_eq!(verdict("workload.hit_rate"), Verdict::Pass);
@@ -678,6 +708,22 @@ mod tests {
         assert_eq!(verdict("workload.graphs_per_sec"), Verdict::Info);
         assert_eq!(verdict("workload.p50_ms"), Verdict::Info);
         assert_eq!(verdict("workload.p99_ms"), Verdict::Info);
+    }
+
+    #[test]
+    fn costly_logging_trips_the_log_ratio_floor() {
+        let b = baselines();
+        let mut s = healthy_samples(&b);
+        // 8% throughput loss with logging on: past the 5% budget.
+        s.insert("serve.log_ratio".into(), vec![0.92]);
+        let report = check(&b, &s);
+        assert!(report.regressed, "{}", render(&report));
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.name == "serve.log_ratio")
+            .unwrap();
+        assert_eq!(row.verdict, Verdict::Regressed);
     }
 
     #[test]

@@ -206,8 +206,34 @@ pub enum Command {
         /// Stop (drain, then exit) after this many milliseconds
         /// (`None` = until signalled) — for scripts and smoke tests.
         for_ms: Option<u64>,
+        /// Minimum level for the structured `hic-log/v1` layer
+        /// (`None` = logging off; costs one atomic load per site).
+        log_level: Option<hic_obs::log::Level>,
+        /// Append structured log records to this file.
+        log_file: Option<String>,
         /// Artifact cache settings.
         cache: CacheOpts,
+    },
+    /// List recent finished jobs on a running daemon (`jobs` verb).
+    Jobs {
+        /// Daemon port on 127.0.0.1.
+        port: u16,
+        /// Only failed jobs.
+        failed_only: bool,
+        /// Sort by end-to-end latency (descending) and keep this many.
+        slowest: Option<usize>,
+        /// Emit the raw response JSON instead of the table.
+        json: bool,
+    },
+    /// Show the full stage timeline of a finished job on a running
+    /// daemon (`inspect` verb).
+    Inspect {
+        /// Job id from `submit` / `hic jobs`.
+        job: u64,
+        /// Daemon port on 127.0.0.1.
+        port: u16,
+        /// Emit the raw timeline JSON instead of the rendering.
+        json: bool,
     },
     /// Serve the process-global registry as Prometheus exposition — the
     /// ad-hoc scrape target (`--for-ms` bounds the serve for scripts).
@@ -560,8 +586,36 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             queue_cap: positive_flag::<usize>(args, "--queue-cap")?.unwrap_or(256),
             metrics_port: positive_flag::<u16>(args, "--metrics-port")?,
             for_ms: positive_flag::<u64>(args, "--for-ms")?,
+            log_level: flag_value(args, "--log-level")
+                .map(|v| {
+                    hic_obs::log::Level::parse(v).ok_or_else(|| {
+                        CliError::Usage(format!("bad --log-level '{v}' (debug|info|warn|error)"))
+                    })
+                })
+                .transpose()?,
+            log_file: flag_value(args, "--log-file").map(String::from),
             cache: cache_opts(args),
         }),
+        "jobs" => Ok(Command::Jobs {
+            port: positive_flag::<u16>(args, "--port")?.unwrap_or(9191),
+            failed_only: args.iter().any(|a| a == "--failed"),
+            slowest: positive_flag::<usize>(args, "--slowest")?,
+            json: args.iter().any(|a| a == "--json"),
+        }),
+        "inspect" => {
+            let job = args
+                .get(1)
+                .filter(|a| !a.starts_with('-'))
+                .ok_or_else(|| CliError::Usage("inspect needs a job id".into()))?;
+            let job = job
+                .parse::<u64>()
+                .map_err(|_| CliError::Usage(format!("bad job id '{job}'")))?;
+            Ok(Command::Inspect {
+                job,
+                port: positive_flag::<u16>(args, "--port")?.unwrap_or(9191),
+                json: args.iter().any(|a| a == "--json"),
+            })
+        }
         "serve-metrics" => Ok(Command::ServeMetrics {
             port: positive_flag::<u16>(args, "--port")?.unwrap_or(9184),
             for_ms: positive_flag::<u64>(args, "--for-ms")?,
@@ -623,7 +677,9 @@ USAGE:
   hic batch    <app>... [--jobs N] [--json] [--serve-metrics PORT] [--linger-ms MS]
   hic top      <app>... [--jobs N] [--interval-ms MS]
   hic serve    [--port PORT] [--jobs N] [--queue-cap N] [--metrics-port PORT]
-               [--for-ms MS]
+               [--for-ms MS] [--log-level debug|info|warn|error] [--log-file F]
+  hic jobs     [--port PORT] [--failed] [--slowest N] [--json]
+  hic inspect  <job-id> [--port PORT] [--json]
   hic serve-metrics [--port PORT] [--for-ms MS]
   hic trace    <app> [--noc|--batch] [--sample N] [-o FILE]
   hic help
@@ -669,7 +725,19 @@ SERVE:
   pool against the shared artifact cache; admission is bounded
   (--queue-cap) with per-client round-robin fairness. SIGTERM/SIGINT
   drain gracefully: queued work finishes, new submits are refused.
-  --metrics-port serves Prometheus exposition alongside (serve.* gauges).
+  --metrics-port serves Prometheus exposition alongside (serve.* gauges),
+  plus /healthz (503 `draining` once drain begins) and /statusz (build
+  info, uptime, queue/worker snapshot, recent jobs as hic-statusz/v1).
+  --log-level turns on the structured hic-log/v1 layer (one JSON record
+  per line, tagged with the job id); --log-file appends records to a
+  file instead of stderr.
+
+JOBS / INSPECT (against a running daemon):
+  every finished job leaves a timeline: queue wait, per-stage spans with
+  cache hit/miss and lease waits, outcome and error code. `hic jobs`
+  lists recent ones (--failed filters, --slowest N sorts by latency);
+  `hic inspect <job-id>` renders one job's full timeline. Job ids come
+  from submit responses or the jobs listing.
 
 TELEMETRY:
   batch --serve-metrics PORT serves Prometheus text exposition at
@@ -945,6 +1013,163 @@ fn batch_table(out: &hic_pipeline::BatchOutcome) -> String {
             a.speedup_vs_sw,
             a.speedup_vs_baseline,
             a.solution
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Connect to a running daemon, turning connection refusal into a
+/// message that names the port (the usual mistake is no daemon there).
+fn connect_daemon(port: u16) -> Result<hic_serve::Client, CliError> {
+    hic_serve::Client::connect(port).map_err(|e| {
+        CliError::Io(std::io::Error::other(format!(
+            "cannot reach a daemon on 127.0.0.1:{port} ({e}) — is `hic serve` running?"
+        )))
+    })
+}
+
+/// Parse a daemon response line and require `"ok":true`; an `ok:false`
+/// answer becomes a runtime error carrying the daemon's message.
+fn daemon_ok(resp: &str) -> Result<serde_json::Value, CliError> {
+    let v = serde_json::parse(resp)?;
+    if v.get("ok").and_then(|o| o.as_bool()) == Some(true) {
+        return Ok(v);
+    }
+    let msg = v
+        .get("error")
+        .and_then(|e| e.as_str())
+        .unwrap_or("daemon answered an error")
+        .to_string();
+    Err(CliError::Io(std::io::Error::other(msg)))
+}
+
+/// The human-readable `hic jobs` table.
+fn jobs_table(v: &serde_json::Value) -> String {
+    let Some(jobs) = v.get("jobs").and_then(|j| j.as_array()) else {
+        return "no job listing in response\n".to_string();
+    };
+    if jobs.is_empty() {
+        return "no finished jobs retained\n".to_string();
+    }
+    let mut s = String::new();
+    writeln!(
+        s,
+        "{:>5} {:<10} {:<8} {:<16} {:<8} {:>9} {:>9} {:>9}  error",
+        "job", "client", "kind", "app", "outcome", "queue ms", "exec ms", "total ms"
+    )
+    .unwrap();
+    for j in jobs {
+        let gs = |k: &str| j.get(k).and_then(|x| x.as_str()).unwrap_or("");
+        let gf = |k: &str| j.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+        let code = gs("error_code");
+        let stage = gs("failing_stage");
+        let err = match (code.is_empty(), stage.is_empty()) {
+            (true, _) => String::new(),
+            (false, true) => code.to_string(),
+            (false, false) => format!("{code} @ {stage}"),
+        };
+        writeln!(
+            s,
+            "{:>5} {:<10} {:<8} {:<16} {:<8} {:>9.1} {:>9.1} {:>9.1}  {}",
+            j.get("job").and_then(|x| x.as_u64()).unwrap_or(0),
+            gs("client"),
+            gs("kind"),
+            gs("app"),
+            gs("outcome"),
+            gf("queue_wait_ms"),
+            gf("exec_ms"),
+            gf("total_ms"),
+            err
+        )
+        .unwrap();
+    }
+    if let Some(evicted) = v.get("evicted").and_then(|x| x.as_u64()) {
+        if evicted > 0 {
+            writeln!(s, "({evicted} older timelines evicted from the ring)").unwrap();
+        }
+    }
+    s
+}
+
+/// The human-readable `hic inspect` rendering of one job timeline.
+fn timeline_render(t: &serde_json::Value) -> String {
+    let gs = |k: &str| t.get(k).and_then(|x| x.as_str()).unwrap_or("");
+    let gu = |k: &str| t.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut s = String::new();
+    let code = gs("error_code");
+    writeln!(
+        s,
+        "job {}: {} {} ({}) — {}{} on worker {}, client {}",
+        gu("job"),
+        gs("kind"),
+        gs("app"),
+        gs("source"),
+        gs("outcome"),
+        if code.is_empty() {
+            String::new()
+        } else {
+            format!(" [{code}]")
+        },
+        gu("worker"),
+        gs("client"),
+    )
+    .unwrap();
+    if !gs("error").is_empty() {
+        writeln!(
+            s,
+            "error: {} (failing stage: {})",
+            gs("error"),
+            gs("failing_stage")
+        )
+        .unwrap();
+    }
+    let exec = gu("exec_ns");
+    let sum = gu("stage_sum_ns");
+    let coverage = if exec == 0 {
+        0.0
+    } else {
+        sum as f64 / exec as f64 * 100.0
+    };
+    writeln!(
+        s,
+        "queue wait {:.2} ms, exec {:.2} ms, total {:.2} ms (stages cover {coverage:.1}% of exec)",
+        ms(gu("queue_wait_ns")),
+        ms(exec),
+        ms(gu("total_ns")),
+    )
+    .unwrap();
+    let Some(stages) = t.get("stages").and_then(|x| x.as_array()) else {
+        return s;
+    };
+    if stages.is_empty() {
+        writeln!(s, "(no stage spans recorded)").unwrap();
+        return s;
+    }
+    writeln!(
+        s,
+        "{:<12} {:<22} {:<6} {:>10} {:>10} {:>10}",
+        "stage", "detail", "cache", "start ms", "dur ms", "lease ms"
+    )
+    .unwrap();
+    for st in stages {
+        let depth = st.get("depth").and_then(|x| x.as_u64()).unwrap_or(0) as usize;
+        let name = format!(
+            "{}{}",
+            "  ".repeat(depth),
+            st.get("name").and_then(|x| x.as_str()).unwrap_or("?")
+        );
+        let nsf = |k: &str| st.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+        writeln!(
+            s,
+            "{:<12} {:<22} {:<6} {:>10.2} {:>10.2} {:>10.2}",
+            name,
+            st.get("detail").and_then(|x| x.as_str()).unwrap_or(""),
+            st.get("cache").and_then(|x| x.as_str()).unwrap_or(""),
+            ms(nsf("start_ns")),
+            ms(nsf("dur_ns")),
+            ms(nsf("lease_wait_ns")),
         )
         .unwrap();
     }
@@ -1232,8 +1457,23 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             queue_cap,
             metrics_port,
             for_ms,
+            log_level,
+            log_file,
             cache,
         } => {
+            // Structured logging is off unless asked for (the disabled
+            // layer costs one atomic load per record site). `--log-file`
+            // alone implies info level; `--log-level` alone logs to
+            // stderr. init() writes the hic-log/v1 header (build info)
+            // to every sink.
+            if log_level.is_some() || log_file.is_some() {
+                hic_obs::log::init(&hic_obs::log::LogConfig {
+                    level: Some(log_level.unwrap_or(hic_obs::log::Level::Info)),
+                    stderr: log_file.is_none(),
+                    file: log_file.as_ref().map(std::path::PathBuf::from),
+                    ..hic_obs::log::LogConfig::default()
+                })?;
+            }
             let opts = hic_serve::ServeOptions {
                 port,
                 workers: jobs.unwrap_or_else(|| hic_serve::ServeOptions::default().workers),
@@ -1249,7 +1489,10 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let daemon = hic_serve::Daemon::start(opts)?;
             hic_serve::signal::install();
             // Optional Prometheus sidecar: sampler + /metrics endpoint
-            // for the daemon's lifetime (serve.* gauges included).
+            // for the daemon's lifetime (serve.* gauges included), with
+            // the daemon as the /healthz + /statusz source — health
+            // flips to 503 `draining` the moment drain begins, before
+            // the job listener ever closes.
             let mut telemetry = metrics_port
                 .map(|mport| -> Result<_, CliError> {
                     let reg = hic_obs::global().clone();
@@ -1261,7 +1504,12 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                         store.clone(),
                         std::time::Duration::from_millis(100),
                     );
-                    let srv = hic_obs::MetricsServer::start(reg, Some(store), mport)?;
+                    let srv = hic_obs::MetricsServer::start_with_status(
+                        reg,
+                        Some(store),
+                        mport,
+                        Some(daemon.status_source()),
+                    )?;
                     eprintln!("serving metrics at http://127.0.0.1:{}/metrics", srv.port());
                     Ok((sampler, srv))
                 })
@@ -1294,6 +1542,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 sampler.stop();
                 srv.stop();
             }
+            // Flush and detach the log sinks (no-op when logging is off).
+            hic_obs::log::shutdown();
             Ok(format!(
                 "drained: {} submitted, {} completed, {} failed, {} rejected \
                  ({} cache hits / {} misses)\n",
@@ -1304,6 +1554,36 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 stats.hits,
                 stats.misses
             ))
+        }
+        Command::Jobs {
+            port,
+            failed_only,
+            slowest,
+            json,
+        } => {
+            let mut c = connect_daemon(port)?;
+            let resp = c.jobs(failed_only, slowest)?;
+            let v = daemon_ok(&resp)?;
+            if json {
+                Ok(resp)
+            } else {
+                Ok(jobs_table(&v))
+            }
+        }
+        Command::Inspect { job, port, json } => {
+            let mut c = connect_daemon(port)?;
+            let resp = c.inspect(job)?;
+            let v = daemon_ok(&resp)?;
+            let t = v.get("timeline").ok_or_else(|| {
+                CliError::Io(std::io::Error::other(format!(
+                    "malformed inspect response: {resp}"
+                )))
+            })?;
+            if json {
+                Ok(serde_json::to_string_pretty(t)?)
+            } else {
+                Ok(timeline_render(t))
+            }
         }
         Command::ServeMetrics { port, for_ms } => {
             let reg = hic_obs::global().clone();
@@ -1880,6 +2160,8 @@ mod tests {
                 queue_cap,
                 metrics_port,
                 for_ms,
+                log_level,
+                log_file,
                 cache,
             } => {
                 assert_eq!(port, 9191);
@@ -1887,13 +2169,16 @@ mod tests {
                 assert_eq!(queue_cap, 256);
                 assert_eq!(metrics_port, None);
                 assert_eq!(for_ms, None);
+                assert_eq!(log_level, None, "logging is off by default");
+                assert_eq!(log_file, None);
                 assert!(cache.dir.is_some(), "parser always resolves a cache dir");
             }
             other => panic!("expected Serve, got {other:?}"),
         }
         match parse(&argv(
             "serve --port 7000 --jobs 3 --queue-cap 32 --metrics-port 7001 \
-             --for-ms 250 --cache-dir /tmp/s --no-cache",
+             --for-ms 250 --log-level debug --log-file /tmp/s.log \
+             --cache-dir /tmp/s --no-cache",
         ))
         .unwrap()
         {
@@ -1903,6 +2188,8 @@ mod tests {
                 queue_cap,
                 metrics_port,
                 for_ms,
+                log_level,
+                log_file,
                 cache,
             } => {
                 assert_eq!(port, 7000);
@@ -1910,6 +2197,8 @@ mod tests {
                 assert_eq!(queue_cap, 32);
                 assert_eq!(metrics_port, Some(7001));
                 assert_eq!(for_ms, Some(250));
+                assert_eq!(log_level, Some(hic_obs::log::Level::Debug));
+                assert_eq!(log_file.as_deref(), Some("/tmp/s.log"));
                 assert_eq!(cache.dir.as_deref(), Some("/tmp/s"));
                 assert!(!cache.read);
             }
@@ -1921,12 +2210,123 @@ mod tests {
             "serve --jobs zero",
             "serve --queue-cap 0",
             "serve --for-ms soon",
+            "serve --log-level loud",
         ] {
             assert!(
                 matches!(parse(&argv(bad)), Err(CliError::Usage(_))),
                 "'{bad}' must be a usage error"
             );
         }
+    }
+
+    #[test]
+    fn parses_jobs_and_inspect() {
+        assert_eq!(
+            parse(&argv("jobs")).unwrap(),
+            Command::Jobs {
+                port: 9191,
+                failed_only: false,
+                slowest: None,
+                json: false
+            }
+        );
+        assert_eq!(
+            parse(&argv("jobs --failed --slowest 5 --port 7000 --json")).unwrap(),
+            Command::Jobs {
+                port: 7000,
+                failed_only: true,
+                slowest: Some(5),
+                json: true
+            }
+        );
+        assert_eq!(
+            parse(&argv("inspect 12")).unwrap(),
+            Command::Inspect {
+                job: 12,
+                port: 9191,
+                json: false
+            }
+        );
+        assert_eq!(
+            parse(&argv("inspect 3 --port 7000 --json")).unwrap(),
+            Command::Inspect {
+                job: 3,
+                port: 7000,
+                json: true
+            }
+        );
+        for bad in ["inspect", "inspect twelve", "jobs --slowest none"] {
+            assert!(
+                matches!(parse(&argv(bad)), Err(CliError::Usage(_))),
+                "'{bad}' must be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn jobs_and_inspect_against_a_live_daemon() {
+        let dir = std::env::temp_dir().join(format!("hic-cli-jobsit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let daemon = hic_serve::Daemon::start(hic_serve::ServeOptions {
+            port: 0,
+            workers: 1,
+            queue_cap: 8,
+            cache_dir: Some(dir.clone()),
+            read_cache: true,
+            max_bytes: None,
+        })
+        .expect("daemon starts");
+        let port = daemon.port();
+        let mut c = hic_serve::Client::connect(port).expect("connect");
+        let job = c.submit("profile", "canny", None, "cli").unwrap().unwrap();
+        assert_eq!(
+            c.wait_done(job, std::time::Duration::from_millis(5))
+                .unwrap(),
+            "done"
+        );
+
+        let table = run(Command::Jobs {
+            port,
+            failed_only: false,
+            slowest: None,
+            json: false,
+        })
+        .unwrap();
+        assert!(table.contains("profile"), "{table}");
+        assert!(table.contains("canny"), "{table}");
+        assert!(table.contains("done"), "{table}");
+
+        let rendered = run(Command::Inspect {
+            job,
+            port,
+            json: false,
+        })
+        .unwrap();
+        assert!(rendered.contains(&format!("job {job}:")), "{rendered}");
+        assert!(rendered.contains("queue wait"), "{rendered}");
+        assert!(rendered.contains("profile"), "{rendered}");
+
+        let j = run(Command::Inspect {
+            job,
+            port,
+            json: true,
+        })
+        .unwrap();
+        let v = serde_json::parse(&j).expect("inspect --json is JSON");
+        assert_eq!(v.get("outcome").unwrap().as_str(), Some("done"));
+
+        // Unknown job: a runtime failure carrying the daemon's message.
+        match run(Command::Inspect {
+            job: 9999,
+            port,
+            json: false,
+        }) {
+            Err(CliError::Io(e)) => assert!(e.to_string().contains("no such job"), "{e}"),
+            other => panic!("expected the daemon's error, got {other:?}"),
+        }
+
+        daemon.stop();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1939,6 +2339,8 @@ mod tests {
             queue_cap: 8,
             metrics_port: None,
             for_ms: Some(1),
+            log_level: None,
+            log_file: None,
             cache: CacheOpts {
                 dir: Some(dir.to_string_lossy().into_owned()),
                 read: true,

@@ -207,6 +207,43 @@ pub fn render_frame(store: &SeriesStore, total_jobs: Option<u64>) -> String {
                 .collect::<Vec<_>>()
                 .join(" · "),
         );
+        // Failure breakdown by structured error code (serve.errors.*),
+        // sparklined on the dominant code so an error storm is visible
+        // at a glance; "none" while the daemon is clean.
+        const ERROR_CODES: [&str; 8] = [
+            "queue_full",
+            "draining",
+            "bad_request",
+            "bad_app_source",
+            "io",
+            "json",
+            "design",
+            "unknown_app",
+        ];
+        let by_code: Vec<(&str, u64)> = ERROR_CODES
+            .iter()
+            .map(|c| {
+                (
+                    *c,
+                    last(store, &format!("serve.errors.{c}")).unwrap_or(0.0) as u64,
+                )
+            })
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        let dominant_code = by_code.iter().max_by_key(|(_, n)| *n).map(|(c, _)| *c);
+        let errors_now = if by_code.is_empty() {
+            "none".to_string()
+        } else {
+            by_code
+                .iter()
+                .map(|(c, n)| format!("{c} {n}"))
+                .collect::<Vec<_>>()
+                .join(" · ")
+        };
+        let errors_hist = dominant_code
+            .map(|c| history(store, &format!("serve.errors.{c}")))
+            .unwrap_or_default();
+        row(&mut out, "serve errors", &errors_hist, &errors_now);
     }
     out
 }
@@ -350,7 +387,7 @@ mod tests {
         store.record_at("serve.jobs.builtin", 100, 2.0);
         store.record_at("serve.jobs.gen", 100, 10.0);
         let with_serve = render_frame(&store, None);
-        assert_eq!(with_serve.lines().count(), FRAME_LINES + 3);
+        assert_eq!(with_serve.lines().count(), FRAME_LINES + 4);
         assert!(with_serve.contains("serve queue"), "{with_serve}");
         assert!(with_serve.contains("now 3"), "{with_serve}");
         assert!(
@@ -362,5 +399,15 @@ mod tests {
             with_serve.contains("builtin 2 · gen 10 · trace 0 · file 0"),
             "{with_serve}"
         );
+        // No serve.errors.* series yet: the row reads "none".
+        assert!(with_serve.contains("serve errors"), "{with_serve}");
+        assert!(with_serve.contains("none"), "{with_serve}");
+
+        // Errors appear broken down by code, zero codes suppressed.
+        store.record_at("serve.errors.queue_full", 100, 5.0);
+        store.record_at("serve.errors.io", 100, 2.0);
+        let with_errors = render_frame(&store, None);
+        assert!(with_errors.contains("queue_full 5 · io 2"), "{with_errors}");
+        assert!(!with_errors.contains("draining"), "{with_errors}");
     }
 }

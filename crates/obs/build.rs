@@ -1,0 +1,42 @@
+//! Capture build provenance at compile time so the running binary can
+//! report exactly what it is: the `hic_build_info` metric, the
+//! `/statusz` page and every `hic-log/v1` header line all read these.
+//!
+//! Zero-dependency like the crate itself: the git sha comes from
+//! invoking `git rev-parse` (falling back to `"unknown"` outside a
+//! checkout or without git), the profile from Cargo's `PROFILE` env.
+
+use std::process::Command;
+
+fn main() {
+    let sha = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=HIC_GIT_SHA={sha}");
+    let profile = std::env::var("PROFILE").unwrap_or_else(|_| "unknown".to_string());
+    println!("cargo:rustc-env=HIC_BUILD_PROFILE={profile}");
+    // Re-run when HEAD moves so the sha stays honest across commits.
+    if let Some(dir) = git_dir() {
+        println!("cargo:rerun-if-changed={dir}/HEAD");
+    }
+}
+
+fn git_dir() -> Option<String> {
+    let out = Command::new("git")
+        .args(["rev-parse", "--git-dir"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())?;
+    let dir = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    if dir.is_empty() {
+        None
+    } else {
+        Some(dir)
+    }
+}

@@ -74,6 +74,17 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
     let mut out = String::with_capacity(1024);
     out.push_str("# HELP hic_up 1 while this process exposes metrics\n");
     out.push_str("# TYPE hic_up gauge\nhic_up 1\n");
+    let b = crate::build_info();
+    out.push_str("# HELP hic_build_info build provenance of this binary\n");
+    out.push_str("# TYPE hic_build_info gauge\n");
+    writeln!(
+        out,
+        "hic_build_info{{version=\"{}\",git_sha=\"{}\",profile=\"{}\"}} 1",
+        escape_label(b.version),
+        escape_label(b.git_sha),
+        escape_label(b.profile)
+    )
+    .unwrap();
     for (name, v) in &snap.counters {
         let m = metric_name(name);
         writeln!(out, "# TYPE {m} counter").unwrap();
@@ -122,8 +133,24 @@ pub fn render_prometheus_with_rates(snap: &Snapshot, store: Option<&SeriesStore>
     out
 }
 
+/// What a process plugs into the metrics server to answer `/healthz`
+/// and `/statusz` — the serve daemon implements this; simple commands
+/// run without one and get liveness-only defaults.
+pub trait StatusSource: Send + Sync {
+    /// Liveness: `Ok(())` → `200 ok`; `Err(state)` → `503` with the
+    /// state word as the body (e.g. `draining`). A process that can
+    /// still answer at all is alive; the error form is for "up but
+    /// winding down — stop sending traffic".
+    fn healthz(&self) -> Result<(), &'static str>;
+
+    /// The `/statusz` body: a JSON object (build info, uptime, queue
+    /// and worker snapshot, recent jobs — whatever the process knows).
+    fn statusz(&self) -> String;
+}
+
 /// A minimal single-threaded HTTP responder serving the registry (and
-/// optional sampler store) at `GET /metrics`. Binds on localhost only.
+/// optional sampler store) at `GET /metrics`, plus `/healthz` and
+/// `/statusz`. Binds on localhost only.
 #[derive(Debug)]
 pub struct MetricsServer {
     addr: SocketAddr,
@@ -139,6 +166,19 @@ impl MetricsServer {
         store: Option<SeriesStore>,
         port: u16,
     ) -> std::io::Result<MetricsServer> {
+        MetricsServer::start_with_status(reg, store, port, None)
+    }
+
+    /// [`MetricsServer::start`] with a [`StatusSource`] answering
+    /// `/healthz` and `/statusz`. Without one, `/healthz` is always
+    /// `200 ok` (process liveness) and `/statusz` reports build info
+    /// only.
+    pub fn start_with_status(
+        reg: Registry,
+        store: Option<SeriesStore>,
+        port: u16,
+        status: Option<Arc<dyn StatusSource>>,
+    ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -153,7 +193,7 @@ impl MetricsServer {
                             Ok((stream, _)) => {
                                 // Serve inline: one scrape at a time is
                                 // the whole design point.
-                                let _ = respond(stream, &reg, store.as_ref());
+                                let _ = respond(stream, &reg, store.as_ref(), status.as_deref());
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                                 std::thread::sleep(Duration::from_millis(10));
@@ -203,6 +243,7 @@ fn respond(
     mut stream: TcpStream,
     reg: &Registry,
     store: Option<&SeriesStore>,
+    status_src: Option<&dyn StatusSource>,
 ) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
@@ -212,15 +253,34 @@ fn respond(
     let head = String::from_utf8_lossy(&buf[..n]);
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let (status, ctype, body) = match (method, path) {
+    // HEAD is GET minus the body: same status, same headers (including
+    // Content-Length of the body we did not send).
+    let body_suppressed = method == "HEAD";
+    let lookup = if body_suppressed { "GET" } else { method };
+    let (status, ctype, body) = match (lookup, path) {
         ("GET", "/metrics") => {
             let body = render_prometheus_with_rates(&reg.snapshot(), store);
             ("200 OK", PROMETHEUS_CONTENT_TYPE, body)
         }
+        ("GET", "/healthz") => match status_src.map_or(Ok(()), |s| s.healthz()) {
+            Ok(()) => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            Err(state) => (
+                "503 Service Unavailable",
+                "text/plain; charset=utf-8",
+                format!("{state}\n"),
+            ),
+        },
+        ("GET", "/statusz") => {
+            let body = match status_src {
+                Some(s) => s.statusz(),
+                None => default_statusz(),
+            };
+            ("200 OK", "application/json; charset=utf-8", body)
+        }
         ("GET", "/") => (
             "200 OK",
             "text/plain; charset=utf-8",
-            "hic metrics endpoint — scrape /metrics\n".to_string(),
+            "hic metrics endpoint — /metrics /healthz /statusz\n".to_string(),
         ),
         ("GET", _) => (
             "404 Not Found",
@@ -233,33 +293,63 @@ fn respond(
             "bad request\n".into(),
         ),
     };
-    let mut resp = String::with_capacity(body.len() + 128);
+    let mut resp = String::with_capacity(if body_suppressed {
+        128
+    } else {
+        body.len() + 128
+    });
     write!(
         resp,
-        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     )
     .unwrap();
+    if !body_suppressed {
+        resp.push_str(&body);
+    }
     stream.write_all(resp.as_bytes())?;
     stream.flush()
+}
+
+/// The `/statusz` body when no [`StatusSource`] is plugged in: build
+/// provenance only.
+fn default_statusz() -> String {
+    let b = crate::build_info();
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"schema\":\"hic-statusz/v1\",\"version\":");
+    crate::snapshot::push_json_str(&mut out, b.version);
+    out.push_str(",\"git_sha\":");
+    crate::snapshot::push_json_str(&mut out, b.git_sha);
+    out.push_str(",\"profile\":");
+    crate::snapshot::push_json_str(&mut out, b.profile);
+    out.push_str("}\n");
+    out
 }
 
 /// Fetch `path` from a local [`MetricsServer`] over one blocking
 /// connection — the scrape client used by tests and `hic top`'s
 /// self-checks; returns the response body.
 pub fn http_get_local(port: u16, path: &str) -> std::io::Result<String> {
+    let raw = http_request_local(port, "GET", path)?;
+    match raw.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Ok(raw),
+    }
+}
+
+/// Issue one `method path` request against a local server and return
+/// the **raw** response — status line, headers and body — for callers
+/// that care about the status code or headers (`HEAD`, `/healthz`).
+pub fn http_request_local(port: u16, method: &str, path: &str) -> std::io::Result<String> {
     let mut stream = TcpStream::connect(("127.0.0.1", port))?;
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     write!(
         stream,
-        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
     )?;
     let mut out = String::new();
     stream.read_to_string(&mut out)?;
-    match out.split_once("\r\n\r\n") {
-        Some((_, body)) => Ok(body.to_string()),
-        None => Ok(out),
-    }
+    Ok(out)
 }
 
 /// Validate one exposition document line-by-line: every line must be a
@@ -369,10 +459,91 @@ mod tests {
         validate_exposition(&body).unwrap();
         let index = http_get_local(srv.port(), "/").unwrap();
         assert!(index.contains("/metrics"));
-        let missing = http_get_local(srv.port(), "/nope").unwrap();
-        assert!(missing.contains("not found"));
+        let raw = http_request_local(srv.port(), "GET", "/nope").unwrap();
+        assert!(raw.starts_with("HTTP/1.1 404"), "{raw}");
+        assert!(raw.contains("not found"));
         srv.stop();
         // After stop, connecting fails (listener closed) or is refused.
         assert!(TcpStream::connect(("127.0.0.1", srv.port())).is_err());
+    }
+
+    #[test]
+    fn exposition_carries_build_info_labels() {
+        let body = render_prometheus(&sample_registry().snapshot());
+        let b = crate::build_info();
+        assert!(
+            body.contains(&format!(
+                "hic_build_info{{version=\"{}\",git_sha=\"{}\",profile=\"{}\"}} 1",
+                b.version, b.git_sha, b.profile
+            )),
+            "{body}"
+        );
+        validate_exposition(&body).unwrap();
+    }
+
+    #[test]
+    fn head_metrics_sends_headers_and_length_but_no_body() {
+        let mut srv = MetricsServer::start(sample_registry(), None, 0).unwrap();
+        let raw = http_request_local(srv.port(), "HEAD", "/metrics").unwrap();
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header terminator");
+        assert_eq!(body, "", "HEAD must not carry a body: {raw:?}");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length header")
+            .parse()
+            .unwrap();
+        assert!(len > 0, "advertises the GET body length");
+        // HEAD of an unknown path is still a 404.
+        let missing = http_request_local(srv.port(), "HEAD", "/nope").unwrap();
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        srv.stop();
+    }
+
+    #[test]
+    fn healthz_and_statusz_without_a_source_are_liveness_only() {
+        let mut srv = MetricsServer::start(sample_registry(), None, 0).unwrap();
+        let health = http_request_local(srv.port(), "GET", "/healthz").unwrap();
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        assert!(health.ends_with("ok\n"));
+        let statusz = http_get_local(srv.port(), "/statusz").unwrap();
+        assert!(statusz.contains("hic-statusz/v1"), "{statusz}");
+        assert!(statusz.contains("git_sha"), "{statusz}");
+        srv.stop();
+    }
+
+    #[test]
+    fn healthz_reports_draining_from_the_status_source() {
+        struct Src(std::sync::atomic::AtomicBool);
+        impl StatusSource for Src {
+            fn healthz(&self) -> Result<(), &'static str> {
+                if self.0.load(Ordering::Relaxed) {
+                    Err("draining")
+                } else {
+                    Ok(())
+                }
+            }
+            fn statusz(&self) -> String {
+                "{\"schema\":\"hic-statusz/v1\",\"custom\":true}".to_string()
+            }
+        }
+        let src = Arc::new(Src(AtomicBool::new(false)));
+        let mut srv = MetricsServer::start_with_status(
+            sample_registry(),
+            None,
+            0,
+            Some(Arc::clone(&src) as Arc<dyn StatusSource>),
+        )
+        .unwrap();
+        let up = http_request_local(srv.port(), "GET", "/healthz").unwrap();
+        assert!(up.starts_with("HTTP/1.1 200"), "{up}");
+        src.0.store(true, Ordering::Relaxed);
+        let drain = http_request_local(srv.port(), "GET", "/healthz").unwrap();
+        assert!(drain.starts_with("HTTP/1.1 503"), "{drain}");
+        assert!(drain.ends_with("draining\n"), "{drain}");
+        let statusz = http_get_local(srv.port(), "/statusz").unwrap();
+        assert!(statusz.contains("\"custom\":true"), "{statusz}");
+        srv.stop();
     }
 }

@@ -43,13 +43,36 @@
 #![warn(missing_docs)]
 
 pub mod expo;
+pub mod job;
+pub mod log;
 mod metrics;
 mod registry;
 mod snapshot;
 pub mod timeseries;
 pub mod trace;
 
-pub use expo::{render_prometheus, validate_exposition, MetricsServer};
+/// Build provenance captured at compile time (see `build.rs`): what
+/// `hic_build_info`, `/statusz` and every `hic-log/v1` header report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// Crate/workspace version (`CARGO_PKG_VERSION`).
+    pub version: &'static str,
+    /// Short git commit sha, or `"unknown"` outside a checkout.
+    pub git_sha: &'static str,
+    /// Cargo build profile (`debug`/`release`).
+    pub profile: &'static str,
+}
+
+/// The build provenance of this binary.
+pub fn build_info() -> BuildInfo {
+    BuildInfo {
+        version: env!("CARGO_PKG_VERSION"),
+        git_sha: env!("HIC_GIT_SHA"),
+        profile: env!("HIC_BUILD_PROFILE"),
+    }
+}
+
+pub use expo::{render_prometheus, validate_exposition, MetricsServer, StatusSource};
 pub use metrics::{bucket_bounds, bucket_of, Counter, Gauge, Histogram, BUCKETS};
 pub use registry::{global, Registry, Span};
 pub use snapshot::{BucketValue, GaugeValue, HistogramValue, Snapshot, SCHEMA};

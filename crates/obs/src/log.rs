@@ -1,0 +1,582 @@
+//! `hic-log/v1` — a zero-dependency leveled structured-JSON log layer.
+//!
+//! One JSON object per line. The first line a sink sees is a header
+//! carrying the schema id and build provenance; every following record
+//! is
+//!
+//! ```text
+//! {"ts":<unix-ms>,"level":"info","job":12,"stage":"serve","msg":"...", <fields...>}
+//! ```
+//!
+//! `job` comes from the armed [`crate::job`] context (omitted when no
+//! job is in scope), `stage` names the subsystem emitting the record,
+//! and `fields` are typed key/values flattened into the object (keys
+//! must not collide with `ts|level|job|stage|msg`).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled cost is one atomic load.** The level gate is a single
+//!    relaxed `AtomicU8`; when the layer is off (the default) a record
+//!    site does no formatting, takes no lock, reads no clock.
+//! 2. **Bounded everywhere.** The in-process buffer is a fixed-capacity
+//!    ring that overwrites oldest and counts what it lost (same
+//!    flight-recorder semantics as [`crate::trace`]); stderr and file
+//!    sinks are rate-limited per second with a suppressed count, so a
+//!    log storm cannot saturate a disk or a terminal.
+//! 3. **No dependencies.** Records are rendered with the same hand
+//!    JSON writer the snapshot module uses.
+//!
+//! The buffer sink is always on while the layer is enabled — it is what
+//! `/statusz` and the drain report read via [`recent`].
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::job;
+use crate::snapshot::push_json_str;
+
+/// The log wire schema id, carried by every header line.
+pub const LOG_SCHEMA: &str = "hic-log/v1";
+
+/// Default capacity of the in-process record ring.
+pub const DEFAULT_BUFFER_CAP: usize = 512;
+
+/// Default per-sink rate limit (records per second) for stderr/file.
+pub const DEFAULT_RATE_PER_SEC: u32 = 200;
+
+/// Record severity. Ordering is by seriousness: `Debug < Info < Warn <
+/// Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// High-volume diagnostics.
+    Debug = 1,
+    /// Normal operational records.
+    Info = 2,
+    /// Something unexpected but handled.
+    Warn = 3,
+    /// A request or subsystem failed.
+    Error = 4,
+}
+
+impl Level {
+    /// Lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parse a level name (`debug|info|warn|error`).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+/// A typed field value; borrows strings so a record site allocates
+/// nothing until the level gate has passed.
+#[derive(Debug, Clone, Copy)]
+pub enum Val<'a> {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed integer.
+    I(i64),
+    /// Float (rendered with up to 6 significant decimals).
+    F(f64),
+    /// Boolean.
+    B(bool),
+    /// String (JSON-escaped).
+    S(&'a str),
+}
+
+impl Val<'_> {
+    fn render(&self, out: &mut String) {
+        match self {
+            Val::U(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Val::I(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Val::F(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:.6}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Val::B(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Val::S(v) => push_json_str(out, v),
+        }
+    }
+}
+
+// 0 = off; otherwise the minimum Level that passes.
+static GATE: AtomicU8 = AtomicU8::new(0);
+
+/// True when a record at `level` would be kept. **This is the whole
+/// disabled-path cost**: one relaxed atomic load and a compare.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    let gate = GATE.load(Ordering::Relaxed);
+    gate != 0 && level as u8 >= gate
+}
+
+struct RateWindow {
+    second: u64,
+    emitted: u32,
+    suppressed: u64,
+}
+
+impl RateWindow {
+    const fn new() -> RateWindow {
+        RateWindow {
+            second: 0,
+            emitted: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// Admit one record at time `now_s`; returns how many records were
+    /// suppressed in the window that just closed (report then reset),
+    /// or `None` when this record itself is over budget.
+    fn admit(&mut self, now_s: u64, cap: u32) -> Option<u64> {
+        if now_s != self.second {
+            let lost = self.suppressed;
+            self.second = now_s;
+            self.emitted = 0;
+            self.suppressed = 0;
+            self.emitted += 1;
+            return Some(lost);
+        }
+        if self.emitted >= cap {
+            self.suppressed += 1;
+            return None;
+        }
+        self.emitted += 1;
+        Some(0)
+    }
+}
+
+struct Sinks {
+    stderr: Option<RateWindow>,
+    file: Option<(File, RateWindow)>,
+    ring: VecDeque<String>,
+    ring_cap: usize,
+    overwritten: u64,
+    suppressed_total: u64,
+    rate_per_sec: u32,
+}
+
+impl Sinks {
+    const fn new() -> Sinks {
+        Sinks {
+            stderr: None,
+            file: None,
+            ring: VecDeque::new(),
+            ring_cap: DEFAULT_BUFFER_CAP,
+            overwritten: 0,
+            suppressed_total: 0,
+            rate_per_sec: DEFAULT_RATE_PER_SEC,
+        }
+    }
+}
+
+static SINKS: Mutex<Sinks> = Mutex::new(Sinks::new());
+
+/// How the layer is wired up by [`init`].
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Minimum level kept, or `None` to leave the layer off.
+    pub level: Option<Level>,
+    /// Mirror records to stderr.
+    pub stderr: bool,
+    /// Append records to this file.
+    pub file: Option<std::path::PathBuf>,
+    /// In-process ring capacity (records).
+    pub buffer_cap: usize,
+    /// Per-sink records/second budget for stderr and file.
+    pub rate_per_sec: u32,
+}
+
+impl Default for LogConfig {
+    fn default() -> LogConfig {
+        LogConfig {
+            level: Some(Level::Info),
+            stderr: false,
+            file: None,
+            buffer_cap: DEFAULT_BUFFER_CAP,
+            rate_per_sec: DEFAULT_RATE_PER_SEC,
+        }
+    }
+}
+
+/// The `hic-log/v1` header line: schema + build provenance. Written as
+/// the first line of every sink; also what `hic serve` prints when
+/// logging starts.
+pub fn header_line() -> String {
+    let b = crate::build_info();
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"schema\":");
+    push_json_str(&mut out, LOG_SCHEMA);
+    out.push_str(",\"ts\":");
+    let _ = write!(out, "{}", unix_ms());
+    out.push_str(",\"version\":");
+    push_json_str(&mut out, b.version);
+    out.push_str(",\"git_sha\":");
+    push_json_str(&mut out, b.git_sha);
+    out.push_str(",\"profile\":");
+    push_json_str(&mut out, b.profile);
+    out.push('}');
+    out
+}
+
+/// Install sinks and open the gate. Idempotent in the sense that a
+/// second call rewires the sinks; the file is opened in append mode.
+pub fn init(cfg: &LogConfig) -> std::io::Result<()> {
+    let header = header_line();
+    let mut s = SINKS.lock().unwrap();
+    s.ring.clear();
+    s.ring_cap = cfg.buffer_cap.max(1);
+    s.overwritten = 0;
+    s.suppressed_total = 0;
+    s.rate_per_sec = cfg.rate_per_sec.max(1);
+    s.stderr = cfg.stderr.then(RateWindow::new);
+    s.file = None;
+    if let Some(path) = &cfg.file {
+        let mut f = open_append(path)?;
+        let _ = writeln!(f, "{header}");
+        s.file = Some((f, RateWindow::new()));
+    }
+    if s.stderr.is_some() {
+        eprintln!("{header}");
+    }
+    push_ring(&mut s, header);
+    drop(s);
+    GATE.store(cfg.level.map(|l| l as u8).unwrap_or(0), Ordering::Relaxed);
+    Ok(())
+}
+
+fn open_append(path: &Path) -> std::io::Result<File> {
+    OpenOptions::new().create(true).append(true).open(path)
+}
+
+/// Change (or close, with `None`) the level gate at runtime.
+pub fn set_level(level: Option<Level>) {
+    GATE.store(level.map(|l| l as u8).unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The current gate, if open.
+pub fn level() -> Option<Level> {
+    match GATE.load(Ordering::Relaxed) {
+        1 => Some(Level::Debug),
+        2 => Some(Level::Info),
+        3 => Some(Level::Warn),
+        4 => Some(Level::Error),
+        _ => None,
+    }
+}
+
+/// Close the gate and drop all sinks (tests, daemon teardown).
+pub fn shutdown() {
+    GATE.store(0, Ordering::Relaxed);
+    let mut s = SINKS.lock().unwrap();
+    *s = Sinks::new();
+}
+
+/// The newest `n` buffered lines, oldest first.
+pub fn recent(n: usize) -> Vec<String> {
+    let s = SINKS.lock().unwrap();
+    let skip = s.ring.len().saturating_sub(n);
+    s.ring.iter().skip(skip).cloned().collect()
+}
+
+/// Records lost to ring overwrite since [`init`].
+pub fn overwritten() -> u64 {
+    SINKS.lock().unwrap().overwritten
+}
+
+/// Records suppressed by per-sink rate limiting since [`init`].
+pub fn suppressed() -> u64 {
+    SINKS.lock().unwrap().suppressed_total
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+fn push_ring(s: &mut Sinks, line: String) {
+    if s.ring.len() == s.ring_cap {
+        s.ring.pop_front();
+        s.overwritten += 1;
+    }
+    s.ring.push_back(line);
+}
+
+/// Emit one record if `level` passes the gate. Prefer the level-named
+/// wrappers ([`debug`], [`info`], [`warn`], [`error`]).
+pub fn record(level: Level, stage: &str, msg: &str, fields: &[(&str, Val)]) {
+    if !enabled(level) {
+        return;
+    }
+    let mut line = String::with_capacity(96 + 24 * fields.len());
+    line.push_str("{\"ts\":");
+    let _ = write!(line, "{}", unix_ms());
+    line.push_str(",\"level\":");
+    push_json_str(&mut line, level.as_str());
+    if let Some(id) = job::current_id() {
+        let _ = write!(line, ",\"job\":{id}");
+    }
+    line.push_str(",\"stage\":");
+    push_json_str(&mut line, stage);
+    line.push_str(",\"msg\":");
+    push_json_str(&mut line, msg);
+    for (k, v) in fields {
+        line.push(',');
+        push_json_str(&mut line, k);
+        line.push(':');
+        v.render(&mut line);
+    }
+    line.push('}');
+
+    let now_s = unix_ms() / 1000;
+    let mut s = SINKS.lock().unwrap();
+    let cap = s.rate_per_sec;
+    if let Some(win) = &mut s.stderr {
+        match win.admit(now_s, cap) {
+            Some(lost) => {
+                if lost > 0 {
+                    eprintln!("{}", suppressed_line(lost, "stderr"));
+                }
+                eprintln!("{line}");
+            }
+            None => s.suppressed_total += 1,
+        }
+    }
+    if let Some((file, win)) = &mut s.file {
+        match win.admit(now_s, cap) {
+            Some(lost) => {
+                if lost > 0 {
+                    let note = suppressed_line(lost, "file");
+                    let _ = writeln!(file, "{note}");
+                }
+                let _ = writeln!(file, "{line}");
+            }
+            None => s.suppressed_total += 1,
+        }
+    }
+    push_ring(&mut s, line);
+}
+
+fn suppressed_line(lost: u64, sink: &str) -> String {
+    format!(
+        "{{\"ts\":{},\"level\":\"warn\",\"stage\":\"log\",\"msg\":\"rate limit: records suppressed\",\"suppressed\":{lost},\"sink\":\"{sink}\"}}",
+        unix_ms()
+    )
+}
+
+/// [`record`] at [`Level::Debug`].
+#[inline]
+pub fn debug(stage: &str, msg: &str, fields: &[(&str, Val)]) {
+    if enabled(Level::Debug) {
+        record(Level::Debug, stage, msg, fields);
+    }
+}
+
+/// [`record`] at [`Level::Info`].
+#[inline]
+pub fn info(stage: &str, msg: &str, fields: &[(&str, Val)]) {
+    if enabled(Level::Info) {
+        record(Level::Info, stage, msg, fields);
+    }
+}
+
+/// [`record`] at [`Level::Warn`].
+#[inline]
+pub fn warn(stage: &str, msg: &str, fields: &[(&str, Val)]) {
+    if enabled(Level::Warn) {
+        record(Level::Warn, stage, msg, fields);
+    }
+}
+
+/// [`record`] at [`Level::Error`].
+#[inline]
+pub fn error(stage: &str, msg: &str, fields: &[(&str, Val)]) {
+    if enabled(Level::Error) {
+        record(Level::Error, stage, msg, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as StdMutex, MutexGuard, OnceLock};
+
+    /// The log layer is process-global; tests that touch it serialize.
+    fn lock() -> MutexGuard<'static, ()> {
+        static M: OnceLock<StdMutex<()>> = OnceLock::new();
+        M.get_or_init(|| StdMutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn init_buffer(level: Level, cap: usize) {
+        init(&LogConfig {
+            level: Some(level),
+            stderr: false,
+            file: None,
+            buffer_cap: cap,
+            rate_per_sec: 1_000_000,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn off_by_default_and_gate_orders_levels() {
+        let _l = lock();
+        shutdown();
+        assert!(!enabled(Level::Error));
+        set_level(Some(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(enabled(Level::Warn));
+        assert!(enabled(Level::Error));
+        shutdown();
+    }
+
+    #[test]
+    fn records_render_valid_json_with_fields_and_job_id() {
+        let _l = lock();
+        init_buffer(Level::Debug, 64);
+        {
+            let _g = crate::job::start(99);
+            info(
+                "serve",
+                "picked \"up\"",
+                &[
+                    ("client", Val::S("c-1")),
+                    ("depth", Val::U(3)),
+                    ("delta", Val::I(-2)),
+                    ("ratio", Val::F(0.5)),
+                    ("hit", Val::B(true)),
+                ],
+            );
+        }
+        let lines = recent(1);
+        let v = serde_json::parse(&lines[0]).expect("record is valid JSON");
+        assert_eq!(v.get("level").unwrap().as_str(), Some("info"));
+        assert_eq!(v.get("job").unwrap().as_u64(), Some(99));
+        assert_eq!(v.get("stage").unwrap().as_str(), Some("serve"));
+        assert_eq!(v.get("msg").unwrap().as_str(), Some("picked \"up\""));
+        assert_eq!(v.get("client").unwrap().as_str(), Some("c-1"));
+        assert_eq!(v.get("depth").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("hit").unwrap().as_bool(), Some(true));
+        assert!(v.get("ts").unwrap().as_u64().unwrap() > 0);
+        shutdown();
+    }
+
+    #[test]
+    fn header_line_carries_schema_and_build_info() {
+        let _l = lock();
+        let v = serde_json::parse(&header_line()).expect("header is valid JSON");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(LOG_SCHEMA));
+        for key in ["version", "git_sha", "profile"] {
+            assert!(
+                v.get(key).and_then(|x| x.as_str()).is_some(),
+                "missing {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts() {
+        let _l = lock();
+        init_buffer(Level::Info, 4);
+        for i in 0..10 {
+            info("t", "m", &[("i", Val::U(i))]);
+        }
+        let lines = recent(16);
+        assert_eq!(lines.len(), 4);
+        assert!(lines.last().unwrap().contains("\"i\":9"));
+        // 11 pushes (header + 10 records) into a 4-slot ring.
+        assert_eq!(overwritten(), 7);
+        shutdown();
+    }
+
+    #[test]
+    fn file_sink_writes_header_then_records() {
+        let _l = lock();
+        let dir = std::env::temp_dir().join(format!("hic-log-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.log");
+        let _ = std::fs::remove_file(&path);
+        init(&LogConfig {
+            level: Some(Level::Info),
+            stderr: false,
+            file: Some(path.clone()),
+            buffer_cap: 8,
+            rate_per_sec: 1000,
+        })
+        .unwrap();
+        warn("serve", "draining", &[("jobs", Val::U(2))]);
+        shutdown(); // closes the file
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        let header = serde_json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(header.get("schema").unwrap().as_str(), Some(LOG_SCHEMA));
+        let rec = serde_json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(rec.get("level").unwrap().as_str(), Some("warn"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rate_limit_suppresses_and_reports() {
+        let _l = lock();
+        let dir = std::env::temp_dir().join(format!("hic-log-rate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rate.log");
+        let _ = std::fs::remove_file(&path);
+        init(&LogConfig {
+            level: Some(Level::Info),
+            stderr: false,
+            file: Some(path.clone()),
+            buffer_cap: 64,
+            rate_per_sec: 3,
+        })
+        .unwrap();
+        for i in 0..10 {
+            info("t", "m", &[("i", Val::U(i))]);
+        }
+        // The ring is not rate limited — all 10 records are there.
+        assert_eq!(recent(64).len(), 11);
+        let lost = suppressed();
+        shutdown();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // 3 records/sec budget: with the loop running in microseconds
+        // at most two wall-clock windows are touched, so 3–6 records
+        // land in the file and the rest are counted as suppressed.
+        let admitted = text.lines().filter(|l| l.contains("\"i\":")).count() as u64;
+        assert!(admitted < 10, "rate limit must bite: {text}");
+        assert_eq!(admitted + lost, 10, "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

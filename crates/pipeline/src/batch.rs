@@ -272,56 +272,64 @@ pub fn run_batch(opts: &BatchOptions) -> Result<BatchOutcome, PipelineError> {
         }
     }
 
+    // If the batch runs on behalf of a serve job, carry its context
+    // across the pool: each worker re-arms the captured JobCtx so the
+    // stage scopes it executes (possibly stolen from other lanes) land
+    // in the submitting job's timeline.
+    let jobctx = hic_obs::job::current();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let job = {
+            scope.spawn(|| {
+                let _job_guard = jobctx.clone().map(hic_obs::job::adopt);
+                loop {
+                    let job = {
+                        let mut st = state.lock().unwrap();
+                        loop {
+                            if let Some(j) = st.ready.pop_front() {
+                                depth.dec();
+                                break j;
+                            }
+                            if st.done == st.total {
+                                return;
+                            }
+                            st = wake.wait(st).unwrap();
+                        }
+                    };
+
+                    // The slice runs on this worker's lane (its thread-local
+                    // recorder), so the trace shows per-lane occupancy.
+                    let (stage, detail) = &labels[job];
+                    busy.inc();
+                    trace::begin(Category::Batch, stage, detail);
+                    let out = execute(&nodes[job].kind, &results, store, read, &cfg);
+                    trace::end(Category::Batch, stage);
+                    busy.dec();
+                    completed.inc();
+
+                    *results[job].lock().unwrap() = Some(out);
                     let mut st = state.lock().unwrap();
-                    loop {
-                        if let Some(j) = st.ready.pop_front() {
-                            depth.dec();
-                            break j;
-                        }
-                        if st.done == st.total {
-                            return;
-                        }
-                        st = wake.wait(st).unwrap();
-                    }
-                };
-
-                // The slice runs on this worker's lane (its thread-local
-                // recorder), so the trace shows per-lane occupancy.
-                let (stage, detail) = &labels[job];
-                busy.inc();
-                trace::begin(Category::Batch, stage, detail);
-                let out = execute(&nodes[job].kind, &results, store, read, &cfg);
-                trace::end(Category::Batch, stage);
-                busy.dec();
-                completed.inc();
-
-                *results[job].lock().unwrap() = Some(out);
-                let mut st = state.lock().unwrap();
-                st.done += 1;
-                for &dep in &nodes[job].dependents {
-                    let mut w = waiting[dep].lock().unwrap();
-                    *w -= 1;
-                    if *w == 0 {
-                        st.ready.push_back(dep);
-                        depth.inc();
-                        if trace::enabled(Category::Batch) {
-                            let (ds, dd) = &labels[dep];
-                            trace::instant(
-                                Category::Batch,
-                                "job.ready",
-                                &format!("{ds} {dd}"),
-                                dep as u64,
-                            );
+                    st.done += 1;
+                    for &dep in &nodes[job].dependents {
+                        let mut w = waiting[dep].lock().unwrap();
+                        *w -= 1;
+                        if *w == 0 {
+                            st.ready.push_back(dep);
+                            depth.inc();
+                            if trace::enabled(Category::Batch) {
+                                let (ds, dd) = &labels[dep];
+                                trace::instant(
+                                    Category::Batch,
+                                    "job.ready",
+                                    &format!("{ds} {dd}"),
+                                    dep as u64,
+                                );
+                            }
                         }
                     }
+                    // Every finisher wakes the pool: dependents may be ready,
+                    // and the last job must release the idle waiters.
+                    wake.notify_all();
                 }
-                // Every finisher wakes the pool: dependents may be ready,
-                // and the last job must release the idle waiters.
-                wake.notify_all();
             });
         }
     });

@@ -116,6 +116,7 @@ pub fn profile(
     read_cache: bool,
     app: &str,
 ) -> Result<ProfileArtifact, PipelineError> {
+    let _obs = hic_obs::job::stage("profile", app);
     let loaded = AppSource::parse(app)?.load()?;
     match store {
         None => loaded.compute(),
@@ -170,6 +171,17 @@ fn cached_design(
     label: &str,
     compute: impl FnOnce() -> Result<InterconnectPlan, PipelineError>,
 ) -> Result<InterconnectPlan, PipelineError> {
+    // Detail is only formatted when a job context is armed — the common
+    // CLI path pays one TLS read here.
+    let _obs = if hic_obs::job::active() {
+        let bits = (knobs.duplication as u8)
+            | (knobs.shared_memory as u8) << 1
+            | (knobs.noc as u8) << 2
+            | (knobs.parallel as u8) << 3;
+        hic_obs::job::stage("design", &format!("{label}#{bits}"))
+    } else {
+        None
+    };
     match store {
         None => compute(),
         Some(s) => {
@@ -191,6 +203,7 @@ pub fn cosim(
     read_cache: bool,
     plan: &InterconnectPlan,
 ) -> Result<CosimResult, PipelineError> {
+    let _obs = hic_obs::job::stage("cosim", &plan.app.name);
     match store {
         None => Ok(hic_sim::cosimulate(plan)),
         Some(s) => {
@@ -211,6 +224,7 @@ pub fn dse_points(
     spec: &AppSpec,
     cfg: &DesignConfig,
 ) -> Result<Vec<DsePoint>, PipelineError> {
+    let _obs = hic_obs::job::stage("dse", "");
     match store {
         None => hic_core::explore(spec, cfg).map_err(PipelineError::from),
         Some(s) => {

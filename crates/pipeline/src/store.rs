@@ -352,6 +352,9 @@ impl ArtifactStore {
     }
 
     fn count(&self, stage: &str, hit: bool) {
+        // Attribute the outcome to the job's innermost open stage scope
+        // (a no-op when no job context is armed).
+        hic_obs::job::note_cache(hit);
         hic_obs::trace::instant(
             hic_obs::trace::Category::Batch,
             if hit { "cache.hit" } else { "cache.miss" },
@@ -579,6 +582,29 @@ impl ArtifactStore {
         let deadline = Instant::now() + self.lease.max_wait;
         let mut compute = Some(compute);
         let mut waiting = false;
+        // Wall-clock spent blocked on another process's lease, reported
+        // to the armed job context (if any). Stopped explicitly before
+        // we compute ourselves so compute time never counts as waiting;
+        // the Drop covers the wait-then-read-a-hit exits.
+        struct LeaseWaitObs {
+            begin: Option<Instant>,
+        }
+        impl LeaseWaitObs {
+            fn start(&mut self) {
+                self.begin.get_or_insert_with(Instant::now);
+            }
+            fn stop(&mut self) {
+                if let Some(b) = self.begin.take() {
+                    hic_obs::job::note_lease_wait(b.elapsed().as_nanos() as u64);
+                }
+            }
+        }
+        impl Drop for LeaseWaitObs {
+            fn drop(&mut self) {
+                self.stop();
+            }
+        }
+        let mut wait_obs = LeaseWaitObs { begin: None };
         loop {
             // Poll-then-read: any process (or a previous iteration's
             // holder) may have published the object by now. A file that
@@ -596,6 +622,7 @@ impl ArtifactStore {
             }
             match Lease::try_acquire(&lease_path, self.lease.ttl) {
                 Ok(Some(lease)) => {
+                    wait_obs.stop();
                     // Double-check under the lease: a publish may have
                     // landed between the miss above and winning it.
                     if let Some(payload) = self.load(key) {
@@ -611,6 +638,7 @@ impl ArtifactStore {
                 }
                 Ok(None) => {
                     // Another process is computing this key.
+                    wait_obs.start();
                     if !waiting {
                         waiting = true;
                         self.counters.lease_waits.fetch_add(1, Ordering::Relaxed);
@@ -631,6 +659,7 @@ impl ArtifactStore {
                     if Instant::now() >= deadline {
                         // Liveness over dedup: a lease held this long is
                         // pathological — barge and compute without it.
+                        wait_obs.stop();
                         return run(compute.take().expect("compute consumed once"));
                     }
                     std::thread::sleep(self.lease.poll);
@@ -639,6 +668,7 @@ impl ArtifactStore {
                     // Lease file unusable (e.g. directory races). Dedup
                     // is an optimization, correctness is the atomic
                     // publish — compute without coordination.
+                    wait_obs.stop();
                     return run(compute.take().expect("compute consumed once"));
                 }
             }

@@ -81,9 +81,12 @@ impl Client {
             .and_then(|e| e.as_str())
             .unwrap_or("unknown error")
             .to_string();
-        Ok(Err(match err.as_str() {
-            "queue full" => SubmitError::Full,
-            "draining" => SubmitError::Draining,
+        // Prefer the structured rejection code; fall back to matching
+        // the message for daemons predating it.
+        let code = v.get("code").and_then(|c| c.as_str()).unwrap_or("");
+        Ok(Err(match (code, err.as_str()) {
+            ("queue_full", _) | ("", "queue full") => SubmitError::Full,
+            ("draining", _) | ("", "draining") => SubmitError::Draining,
             _ => SubmitError::Other(err),
         }))
     }
@@ -134,6 +137,26 @@ impl Client {
     /// Fetch the daemon's stats response (JSON line).
     pub fn stats(&mut self) -> io::Result<String> {
         self.roundtrip("{\"cmd\":\"stats\"}")
+    }
+
+    /// Fetch a finished job's full timeline (`inspect` verb, JSON line).
+    pub fn inspect(&mut self, job: u64) -> io::Result<String> {
+        self.roundtrip(&format!("{{\"cmd\":\"inspect\",\"job\":{job}}}"))
+    }
+
+    /// List recent finished-job summaries (`jobs` verb, JSON line).
+    /// `failed_only` filters to failures; `slowest` sorts by end-to-end
+    /// latency and truncates.
+    pub fn jobs(&mut self, failed_only: bool, slowest: Option<usize>) -> io::Result<String> {
+        let mut req = String::from("{\"cmd\":\"jobs\"");
+        if failed_only {
+            req.push_str(",\"failed\":true");
+        }
+        if let Some(n) = slowest {
+            req.push_str(&format!(",\"slowest\":{n}"));
+        }
+        req.push('}');
+        self.roundtrip(&req)
     }
 
     /// Ask the daemon to drain.

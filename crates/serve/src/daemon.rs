@@ -18,21 +18,35 @@
 //! Health is published through `hic-obs` under `serve.*`: queue depth,
 //! busy/total workers, active connections, and submitted / completed /
 //! failed / rejected job counters — visible on `/metrics` when the CLI
-//! attaches a `MetricsServer`, and in `hic top`.
+//! attaches a `MetricsServer`, and in `hic top`. Failures are
+//! additionally broken down by structured code (`serve.errors.{code}`),
+//! end-to-end latency lands in the `serve.job.e2e_ms` histogram, and
+//! SLO burn shows up as `serve.slo.latency_breaches` /
+//! `serve.slo.errors` against the `HIC_SERVE_SLO_MS` target (default
+//! 30000 ms). Every finished job leaves a [`JobTimeline`] in a bounded
+//! ring, served through the `jobs` / `inspect` verbs; the daemon also
+//! implements [`hic_obs::StatusSource`] so `/healthz` flips to 503
+//! `draining` the moment drain begins and `/statusz` reports build
+//! info, uptime, and a live queue/worker snapshot.
 
 use crate::protocol::{
-    error_response, parse_request, request_error_response, JobKind, JobSpec, Request, SERVE_SCHEMA,
+    error_response, parse_request, request_error_response, JobKind, JobSpec, Request, RequestError,
+    SERVE_SCHEMA,
 };
 use crate::queue::{FairQueue, PushError};
+use crate::timeline::{JobTimeline, TimelineStore, DEFAULT_TIMELINE_CAP};
+use hic_obs::log::{self, Val};
+use hic_obs::StatusSource;
 use hic_pipeline::stages;
 use hic_pipeline::{ArtifactStore, PipelineError, StoreConfig};
 use serde_json::json;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -101,11 +115,28 @@ impl JobState {
 #[derive(Debug)]
 struct JobRecord {
     spec: JobSpec,
+    /// Fairness key the job was submitted under (for the timeline).
+    client: String,
     state: JobState,
+    /// Admission time; the worker reads it at pickup to measure the
+    /// queue wait.
+    submitted_at: Instant,
     /// Serialized artifact JSON once done.
     payload: Option<String>,
     /// Error message once failed.
     error: Option<String>,
+}
+
+/// The stable wire code for a pipeline failure, mirrored into
+/// `serve.errors.{code}` and the job timeline.
+fn error_code(e: &PipelineError) -> &'static str {
+    match e {
+        PipelineError::Io(_) => "io",
+        PipelineError::Json(_) => "json",
+        PipelineError::Design(_) => "design",
+        PipelineError::UnknownApp(_) => "unknown_app",
+        PipelineError::BadSource(_) => "bad_app_source",
+    }
 }
 
 #[derive(Debug, Default)]
@@ -142,6 +173,16 @@ struct Inner {
     read_cache: bool,
     workers_total: usize,
     counters: ServeCounters,
+    /// Finished-job timelines (the `jobs` / `inspect` verbs).
+    timelines: TimelineStore,
+    /// Failures and rejections by structured code, for the `stats`
+    /// breakdown. The same codes also increment `serve.errors.{code}`
+    /// registry counters.
+    errors: Mutex<BTreeMap<&'static str, u64>>,
+    /// End-to-end latency target for the SLO burn counters, ms.
+    slo_ms: u64,
+    /// Daemon start time (uptime in `/statusz`).
+    started: Instant,
     /// Set by `begin_drain` / a `shutdown` request: reject new submits.
     draining: AtomicBool,
     /// Signals every job-state transition (for `wait_drained`).
@@ -154,6 +195,15 @@ impl Inner {
         hic_obs::global()
             .gauge("serve.queue.depth")
             .set(self.queue.len() as u64);
+    }
+
+    /// Count one structured error code: the per-daemon breakdown map
+    /// plus the `serve.errors.{code}` registry counter.
+    fn count_error(&self, code: &'static str) {
+        *self.errors.lock().unwrap().entry(code).or_insert(0) += 1;
+        hic_obs::global()
+            .counter(&format!("serve.errors.{code}"))
+            .inc();
     }
 
     fn summary(&self) -> DrainSummary {
@@ -248,6 +298,11 @@ impl Daemon {
             None => None,
         };
         let workers_total = opts.workers.max(1);
+        let slo_ms = std::env::var("HIC_SERVE_SLO_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .unwrap_or(30_000);
         let inner = Arc::new(Inner {
             queue: FairQueue::new(opts.queue_cap),
             jobs: Mutex::new(Vec::new()),
@@ -255,6 +310,10 @@ impl Daemon {
             read_cache: opts.read_cache,
             workers_total,
             counters: ServeCounters::default(),
+            timelines: TimelineStore::new(DEFAULT_TIMELINE_CAP),
+            errors: Mutex::new(BTreeMap::new()),
+            slo_ms,
+            started: Instant::now(),
             draining: AtomicBool::new(false),
             progress: Condvar::new(),
             progress_lock: Mutex::new(()),
@@ -262,6 +321,7 @@ impl Daemon {
         let reg = hic_obs::global();
         reg.gauge("serve.workers.total").set(workers_total as u64);
         reg.gauge("serve.workers.busy").set(0);
+        reg.gauge("serve.slo.target_ms").set(slo_ms);
         inner.gauge_queue_depth();
 
         let listener = TcpListener::bind(("127.0.0.1", opts.port))?;
@@ -299,10 +359,21 @@ impl Daemon {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("hic-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, i))
                     .expect("spawn serve worker")
             })
             .collect();
+
+        log::info(
+            "serve",
+            "daemon listening",
+            &[
+                ("port", Val::U(port as u64)),
+                ("workers", Val::U(workers_total as u64)),
+                ("queue_cap", Val::U(opts.queue_cap as u64)),
+                ("slo_ms", Val::U(slo_ms)),
+            ],
+        );
 
         Ok(Daemon {
             inner,
@@ -375,27 +446,178 @@ impl Daemon {
             .map(|s| s.stats())
             .unwrap_or_default()
     }
+
+    /// A [`StatusSource`] view of this daemon, for
+    /// [`hic_obs::MetricsServer::start_with_status`]: `/healthz` answers
+    /// 503 `draining` the moment drain begins (before the listener ever
+    /// closes), `/statusz` the full daemon snapshot.
+    pub fn status_source(&self) -> Arc<dyn StatusSource> {
+        Arc::new(DaemonStatus {
+            inner: Arc::clone(&self.inner),
+        })
+    }
+}
+
+/// The daemon's `/healthz` + `/statusz` implementation.
+#[derive(Debug)]
+struct DaemonStatus {
+    inner: Arc<Inner>,
+}
+
+impl StatusSource for DaemonStatus {
+    fn healthz(&self) -> Result<(), &'static str> {
+        if self.inner.draining.load(Ordering::Relaxed) {
+            Err("draining")
+        } else {
+            Ok(())
+        }
+    }
+
+    fn statusz(&self) -> String {
+        statusz_json(&self.inner)
+    }
+}
+
+/// Render the `hic-statusz/v1` body: build info, uptime, queue/worker
+/// snapshot, counters, error breakdown, SLO burn, recent jobs.
+fn statusz_json(inner: &Inner) -> String {
+    let reg = hic_obs::global();
+    let bi = hic_obs::build_info();
+    let s = inner.summary();
+    let errors = inner.errors.lock().unwrap().clone();
+    let recent: Vec<serde_json::Value> = inner
+        .timelines
+        .list(false, None)
+        .into_iter()
+        .take(8)
+        .map(|t| t.summary_json())
+        .collect();
+    let e2e = reg.histogram("serve.job.e2e_ms");
+    serde_json::to_string(&json!({
+        "schema": "hic-statusz/v1",
+        "version": bi.version,
+        "git_sha": bi.git_sha,
+        "profile": bi.profile,
+        "uptime_s": inner.started.elapsed().as_secs(),
+        "draining": inner.draining.load(Ordering::Relaxed),
+        "queue_depth": inner.queue.len() as u64,
+        "queue_clients": inner.queue.client_count() as u64,
+        "workers": inner.workers_total as u64,
+        "busy": inner.counters.busy.load(Ordering::Relaxed),
+        "submitted": s.submitted,
+        "completed": s.completed,
+        "failed": s.failed,
+        "rejected": s.rejected,
+        "errors": errors,
+        "slo": json!({
+            "target_ms": inner.slo_ms,
+            "e2e_p99_ms": e2e.quantile(0.99),
+            "latency_breaches": reg.counter("serve.slo.latency_breaches").get(),
+            "errors": reg.counter("serve.slo.errors").get()
+        }),
+        "timelines_evicted": inner.timelines.evicted(),
+        "recent_jobs": recent
+    }))
+    .expect("statusz serializes")
 }
 
 fn begin_drain(inner: &Inner) {
-    inner.draining.store(true, Ordering::Relaxed);
+    let already = inner.draining.swap(true, Ordering::Relaxed);
     inner.queue.close();
     hic_obs::global().gauge("serve.draining").set(1);
+    if !already {
+        log::warn(
+            "serve",
+            "drain requested",
+            &[("queued", Val::U(inner.queue.len() as u64))],
+        );
+    }
 }
 
-fn worker_loop(inner: &Inner) {
+fn worker_loop(inner: &Inner, worker: usize) {
     let reg = hic_obs::global();
     while let Some(job) = inner.queue.pop() {
         inner.gauge_queue_depth();
         inner.counters.busy.fetch_add(1, Ordering::Relaxed);
         reg.gauge("serve.workers.busy").inc();
-        let spec = {
+        let (spec, client, queue_wait) = {
             let mut jobs = inner.jobs.lock().unwrap();
             let rec = &mut jobs[job as usize];
             rec.state = JobState::Running;
-            rec.spec.clone()
+            (
+                rec.spec.clone(),
+                rec.client.clone(),
+                rec.submitted_at.elapsed(),
+            )
         };
+        // Arm the per-job causal context: every stage span, cache
+        // outcome, and lease wait below execute() — even on stolen
+        // batch-pool threads — lands in this job's observation set, and
+        // every log record carries its id.
+        let guard = hic_obs::job::start(job);
+        log::debug(
+            "serve",
+            "job picked up",
+            &[
+                ("worker", Val::U(worker as u64)),
+                ("kind", Val::S(spec.kind.name())),
+                ("app", Val::S(spec.app.as_str())),
+                ("queue_wait_ms", Val::F(queue_wait.as_secs_f64() * 1e3)),
+            ],
+        );
+        let exec_start = Instant::now();
         let outcome = inner.execute(&spec);
+        let exec = exec_start.elapsed();
+        let e2e_ms = (queue_wait + exec).as_millis() as u64;
+        let (outcome_name, code) = match &outcome {
+            Ok(_) => ("done", ""),
+            Err(e) => ("failed", error_code(e)),
+        };
+        match &outcome {
+            Ok(_) => log::info(
+                "serve",
+                "job done",
+                &[
+                    ("worker", Val::U(worker as u64)),
+                    ("exec_ms", Val::F(exec.as_secs_f64() * 1e3)),
+                    ("e2e_ms", Val::U(e2e_ms)),
+                ],
+            ),
+            Err(e) => log::warn(
+                "serve",
+                "job failed",
+                &[
+                    ("worker", Val::U(worker as u64)),
+                    ("code", Val::S(code)),
+                    ("error", Val::S(&e.to_string())),
+                    ("e2e_ms", Val::U(e2e_ms)),
+                ],
+            ),
+        }
+        let obs = guard.finish();
+        let timeline = JobTimeline {
+            id: job,
+            client,
+            kind: spec.kind.name(),
+            app: spec.app.clone(),
+            source: spec.source,
+            outcome: outcome_name,
+            error_code: code,
+            error: match &outcome {
+                Ok(_) => String::new(),
+                Err(e) => e.to_string(),
+            },
+            worker,
+            queue_wait_ns: queue_wait.as_nanos() as u64,
+            exec_ns: exec.as_nanos() as u64,
+            stages: Vec::new(),
+        }
+        .with_stages(obs);
+        inner.timelines.push(timeline);
+        reg.histogram("serve.job.e2e_ms").record(e2e_ms);
+        if e2e_ms > inner.slo_ms {
+            reg.counter("serve.slo.latency_breaches").inc();
+        }
         {
             let mut jobs = inner.jobs.lock().unwrap();
             let rec = &mut jobs[job as usize];
@@ -411,6 +633,8 @@ fn worker_loop(inner: &Inner) {
                     rec.error = Some(e.to_string());
                     inner.counters.failed.fetch_add(1, Ordering::Relaxed);
                     reg.counter("serve.jobs.failed").inc();
+                    reg.counter("serve.slo.errors").inc();
+                    inner.count_error(code);
                 }
             }
         }
@@ -455,25 +679,41 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
 fn respond(inner: &Inner, line: &str) -> String {
     let req = match parse_request(line) {
         Ok(r) => r,
-        Err(e) => return request_error_response(&e),
+        Err(e) => {
+            inner.count_error(e.code);
+            log::debug(
+                "serve",
+                "request rejected",
+                &[("code", Val::S(e.code)), ("error", Val::S(&e.msg))],
+            );
+            return request_error_response(&e);
+        }
     };
     match req {
         Request::Submit { spec, client } => {
             if inner.draining.load(Ordering::Relaxed) {
                 inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
                 hic_obs::global().counter("serve.jobs.rejected").inc();
-                return error_response("draining");
+                inner.count_error("draining");
+                return request_error_response(&RequestError {
+                    code: "draining",
+                    msg: "draining".to_string(),
+                });
             }
             let source = spec.source;
-            let job = {
+            let (job, kind, app) = {
                 let mut jobs = inner.jobs.lock().unwrap();
+                let kind = spec.kind.name();
+                let app = spec.app.clone();
                 jobs.push(JobRecord {
                     spec,
+                    client: client.clone(),
                     state: JobState::Queued,
+                    submitted_at: Instant::now(),
                     payload: None,
                     error: None,
                 });
-                (jobs.len() - 1) as u64
+                ((jobs.len() - 1) as u64, kind, app)
             };
             match inner.queue.push(&client, job) {
                 Ok(depth) => {
@@ -486,6 +726,17 @@ fn respond(inner: &Inner, line: &str) -> String {
                     reg.counter("serve.jobs.submitted").inc();
                     reg.counter(&format!("serve.jobs.{source}")).inc();
                     inner.gauge_queue_depth();
+                    log::info(
+                        "serve",
+                        "job admitted",
+                        &[
+                            ("job", Val::U(job)),
+                            ("client", Val::S(&client)),
+                            ("kind", Val::S(kind)),
+                            ("app", Val::S(&app)),
+                            ("queue_depth", Val::U(depth as u64)),
+                        ],
+                    );
                     serde_json::to_string(&json!({
                         "ok": true,
                         "job": job,
@@ -502,9 +753,29 @@ fn respond(inner: &Inner, line: &str) -> String {
                     rec.error = Some("rejected at admission".to_string());
                     inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
                     hic_obs::global().counter("serve.jobs.rejected").inc();
-                    error_response(match why {
-                        PushError::Full => "queue full",
-                        PushError::Closed => "draining",
+                    let (code, msg) = match why {
+                        PushError::Full => ("queue_full", "queue full"),
+                        PushError::Closed => ("draining", "draining"),
+                    };
+                    inner.count_error(code);
+                    // Debug, not warn: rejections are routine backpressure
+                    // and arrive at the *client retry rate* — a per-record
+                    // level above debug would turn overload into a log
+                    // storm (and measurably tax the daemon exactly when
+                    // it is busiest). serve.errors.queue_full carries the
+                    // aggregate signal.
+                    log::debug(
+                        "serve",
+                        "submit rejected",
+                        &[
+                            ("job", Val::U(job)),
+                            ("client", Val::S(&client)),
+                            ("code", Val::S(code)),
+                        ],
+                    );
+                    request_error_response(&RequestError {
+                        code,
+                        msg: msg.to_string(),
                     })
                 }
             }
@@ -542,6 +813,44 @@ fn respond(inner: &Inner, line: &str) -> String {
                 },
             }
         }
+        Request::Inspect { job } => {
+            match inner.timelines.get(job) {
+                Some(t) => serde_json::to_string(&json!({
+                    "ok": true,
+                    "timeline": t.to_json()
+                }))
+                .expect("inspect response serializes"),
+                None => {
+                    // Distinguish "not finished yet" (and evicted
+                    // tombstones) from an id that never existed.
+                    let jobs = inner.jobs.lock().unwrap();
+                    match jobs.get(job as usize) {
+                        None => error_response(&format!("no such job {job}")),
+                        Some(rec) => error_response(&format!(
+                            "no timeline for job {job} (state {})",
+                            rec.state.name()
+                        )),
+                    }
+                }
+            }
+        }
+        Request::Jobs {
+            failed_only,
+            slowest,
+        } => {
+            let summaries: Vec<serde_json::Value> = inner
+                .timelines
+                .list(failed_only, slowest)
+                .iter()
+                .map(|t| t.summary_json())
+                .collect();
+            serde_json::to_string(&json!({
+                "ok": true,
+                "evicted": inner.timelines.evicted(),
+                "jobs": summaries
+            }))
+            .expect("jobs response serializes")
+        }
         Request::Stats => {
             let s = inner.summary();
             let cache = inner
@@ -549,12 +858,14 @@ fn respond(inner: &Inner, line: &str) -> String {
                 .as_ref()
                 .map(|st| st.stats())
                 .unwrap_or_default();
+            let errors = inner.errors.lock().unwrap().clone();
             serde_json::to_string(&json!({
                 "ok": true,
                 "submitted": s.submitted,
                 "completed": s.completed,
                 "failed": s.failed,
                 "rejected": s.rejected,
+                "errors": errors,
                 "jobs_builtin": inner.counters.by_builtin.load(Ordering::Relaxed),
                 "jobs_gen": inner.counters.by_gen.load(Ordering::Relaxed),
                 "jobs_trace": inner.counters.by_trace.load(Ordering::Relaxed),

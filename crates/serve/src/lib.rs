@@ -16,6 +16,7 @@
 //! * [`protocol`] — the `hic-serve/v1` wire format.
 //! * [`queue`] — bounded admission with per-client round-robin fairness.
 //! * [`daemon`] — accept loop, job table, worker pool, graceful drain.
+//! * [`timeline`] — per-job timeline ring behind `jobs` / `inspect`.
 //! * [`client`] — a blocking client (tests, benches, smoke scripts).
 //! * [`signal`] — SIGTERM → drain flag for the CLI front end.
 
@@ -23,11 +24,13 @@ pub mod client;
 pub mod daemon;
 pub mod protocol;
 pub mod queue;
+pub mod timeline;
 
 pub use client::{Client, SubmitError};
 pub use daemon::{Daemon, DrainSummary, ServeOptions};
 pub use protocol::SERVE_SCHEMA;
 pub use queue::{FairQueue, PushError};
+pub use timeline::{JobTimeline, TimelineStore, DEFAULT_TIMELINE_CAP};
 
 /// SIGTERM handling for the `hic serve` front end: a C `signal` handler
 /// flipping a process-global flag the serve loop polls. Declared against

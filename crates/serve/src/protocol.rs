@@ -14,6 +14,10 @@
 //! {"cmd":"submit","kind":"batch","app":"fluid","client":"c0"}
 //! {"cmd":"status","job":12}
 //! {"cmd":"result","job":12}
+//! {"cmd":"inspect","job":12}
+//! {"cmd":"jobs"}
+//! {"cmd":"jobs","failed":true}
+//! {"cmd":"jobs","slowest":5}
 //! {"cmd":"stats"}
 //! {"cmd":"ping"}
 //! {"cmd":"shutdown"}
@@ -129,6 +133,19 @@ pub enum Request {
         /// Job id from `submit`.
         job: u64,
     },
+    /// Fetch a finished job's full timeline (stage spans, cache
+    /// outcomes, lease waits, error attribution).
+    Inspect {
+        /// Job id from `submit`.
+        job: u64,
+    },
+    /// List recent finished-job summaries.
+    Jobs {
+        /// Only failed jobs.
+        failed_only: bool,
+        /// Sort by end-to-end latency (descending) and keep this many.
+        slowest: Option<usize>,
+    },
     /// Daemon-wide counters.
     Stats,
     /// Liveness + schema check.
@@ -199,15 +216,28 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 client,
             })
         }
-        "status" | "result" => {
+        "status" | "result" | "inspect" => {
             let job = v
                 .get("job")
                 .and_then(|j| j.as_u64())
                 .ok_or_else(|| RequestError::bad_request(format!("{cmd} needs \"job\"")))?;
-            Ok(if cmd == "status" {
-                Request::Status { job }
-            } else {
-                Request::Result { job }
+            Ok(match cmd {
+                "status" => Request::Status { job },
+                "result" => Request::Result { job },
+                _ => Request::Inspect { job },
+            })
+        }
+        "jobs" => {
+            let failed_only = v.get("failed").and_then(|f| f.as_bool()).unwrap_or(false);
+            let slowest = match v.get("slowest") {
+                None => None,
+                Some(n) => Some(n.as_u64().ok_or_else(|| {
+                    RequestError::bad_request("jobs \"slowest\" must be a non-negative integer")
+                })? as usize),
+            };
+            Ok(Request::Jobs {
+                failed_only,
+                slowest,
             })
         }
         "stats" => Ok(Request::Stats),
@@ -269,6 +299,31 @@ mod tests {
             parse_request(r#"{"cmd":"result","job":4}"#),
             Ok(Request::Result { job: 4 })
         );
+        assert_eq!(
+            parse_request(r#"{"cmd":"inspect","job":7}"#),
+            Ok(Request::Inspect { job: 7 })
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"jobs"}"#),
+            Ok(Request::Jobs {
+                failed_only: false,
+                slowest: None
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"jobs","failed":true}"#),
+            Ok(Request::Jobs {
+                failed_only: true,
+                slowest: None
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"jobs","slowest":5}"#),
+            Ok(Request::Jobs {
+                failed_only: false,
+                slowest: Some(5)
+            })
+        );
         assert_eq!(parse_request(r#"{"cmd":"stats"}"#), Ok(Request::Stats));
         assert_eq!(parse_request(r#"{"cmd":"ping"}"#), Ok(Request::Ping));
         assert_eq!(
@@ -295,6 +350,10 @@ mod tests {
             .msg
             .contains("unknown kind"));
         assert!(err(r#"{"cmd":"status"}"#).msg.contains("job"));
+        assert!(err(r#"{"cmd":"inspect"}"#).msg.contains("job"));
+        assert!(err(r#"{"cmd":"jobs","slowest":"x"}"#)
+            .msg
+            .contains("slowest"));
     }
 
     #[test]

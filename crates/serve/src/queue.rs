@@ -108,6 +108,15 @@ impl FairQueue {
         self.inner.lock().unwrap().len
     }
 
+    /// Clients with at least one queued job right now. Bounded by the
+    /// live queue contents: a client whose jobs all popped leaves no
+    /// residue in either the FIFO map or the round-robin cycle.
+    pub fn client_count(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        debug_assert_eq!(inner.per_client.len(), inner.rr.len());
+        inner.per_client.len()
+    }
+
     /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -173,6 +182,58 @@ mod tests {
         assert!(q.push("c", 2).is_ok(), "a pop frees a slot");
         q.close();
         assert_eq!(q.push("d", 9), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn client_churn_leaks_no_rr_slots_and_keeps_len_exact() {
+        let q = FairQueue::new(1024);
+        // Many generations of short-lived clients: each submits a couple
+        // of jobs that fully drain before the next generation arrives.
+        for generation in 0..50u64 {
+            for c in 0..4u64 {
+                let client = format!("gen{generation}-c{c}");
+                q.push(&client, generation * 100 + c * 10).unwrap();
+                q.push(&client, generation * 100 + c * 10 + 1).unwrap();
+            }
+            assert_eq!(q.len(), 8);
+            assert_eq!(q.client_count(), 4);
+            for _ in 0..8 {
+                q.pop().unwrap();
+            }
+            // Fully drained: no per-client entry and no rr slot may
+            // survive the generation, else depth accounting skews and
+            // dead clients keep taking round-robin turns.
+            assert_eq!(q.len(), 0, "generation {generation} leaked depth");
+            assert_eq!(
+                q.client_count(),
+                0,
+                "generation {generation} leaked a client slot"
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_churn_keeps_depth_and_clients_consistent() {
+        let q = FairQueue::new(1024);
+        // A persistent client interleaved with churning ones: pops in
+        // between must only retire the drained clients.
+        q.push("steady", 1).unwrap();
+        q.push("steady", 2).unwrap();
+        for round in 0..20u64 {
+            q.push("churn", 1000 + round).unwrap();
+            assert_eq!(q.client_count(), 2);
+            // Two pops: one steady turn, one churn turn (rr order), so
+            // the churn client fully drains each round...
+            let popped = [q.pop().unwrap(), q.pop().unwrap()];
+            assert!(popped.contains(&(1000 + round)), "churn job popped");
+            // ...and must not linger in the cycle.
+            let expect = if q.is_empty() { 0 } else { 1 };
+            assert_eq!(q.client_count(), expect, "round {round}");
+            // Keep the steady client topped up with the job we consumed.
+            if !q.is_empty() {
+                q.push("steady", popped[0].min(popped[1])).unwrap();
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Per-job timeline store: the daemon's flight recorder of *finished*
+//! jobs.
+//!
+//! Every job that reaches a terminal state leaves one [`JobTimeline`]:
+//! queue wait, execution time, the per-stage spans collected through
+//! the `hic_obs::job` context (cache hit/miss and lease wait per
+//! stage), the outcome and — for failures — the structured error code
+//! plus the stage that was running when the pipeline bailed. The store
+//! is a fixed-capacity ring with overwrite-oldest semantics and an
+//! eviction count, same discipline as the trace rings: bounded memory,
+//! recent history always available.
+//!
+//! Surfaced through the `jobs` / `inspect` protocol verbs (and from
+//! there `hic jobs` / `hic inspect`), and in `/statusz`.
+
+use hic_obs::job::{JobObs, StageObs};
+use serde_json::{json, Value};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default ring capacity (completed jobs retained).
+pub const DEFAULT_TIMELINE_CAP: usize = 1024;
+
+/// Everything recorded about one finished job.
+#[derive(Debug, Clone)]
+pub struct JobTimeline {
+    /// Daemon-unique job id (the table index `submit` returned).
+    pub id: u64,
+    /// Fairness key the job was submitted under.
+    pub client: String,
+    /// Job kind wire name (`profile|design|cosim|batch`).
+    pub kind: &'static str,
+    /// App source string as submitted.
+    pub app: String,
+    /// Source family (`builtin|gen|trace|file`).
+    pub source: &'static str,
+    /// `done` or `failed`.
+    pub outcome: &'static str,
+    /// Structured error code (empty for `done`).
+    pub error_code: &'static str,
+    /// Human-readable error (empty for `done`).
+    pub error: String,
+    /// Index of the worker thread that executed the job.
+    pub worker: usize,
+    /// Admission → worker pickup, nanoseconds.
+    pub queue_wait_ns: u64,
+    /// Worker pickup → terminal state, nanoseconds.
+    pub exec_ns: u64,
+    /// Stage spans, in completion order (nested spans carry depth ≥ 1).
+    pub stages: Vec<StageObs>,
+}
+
+impl JobTimeline {
+    /// End-to-end latency: queue wait plus execution.
+    pub fn total_ns(&self) -> u64 {
+        self.queue_wait_ns + self.exec_ns
+    }
+
+    /// Sum of the top-level (depth 0) stage spans — the part of
+    /// execution the pipeline accounts for. Nested spans are skipped so
+    /// nothing double-counts.
+    pub fn stage_sum_ns(&self) -> u64 {
+        self.stages
+            .iter()
+            .filter(|s| s.depth == 0)
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+
+    /// The stage that was running when a failed job bailed: stage scopes
+    /// complete inner-first, so the last recorded top-level span is the
+    /// one the error propagated out of. Empty for successful jobs or
+    /// when the failure happened outside any stage scope.
+    pub fn failing_stage(&self) -> &'static str {
+        if self.outcome != "failed" {
+            return "";
+        }
+        self.stages
+            .iter()
+            .rev()
+            .find(|s| s.depth == 0)
+            .map(|s| s.name)
+            .unwrap_or("")
+    }
+
+    /// Attach the collected stage observations of `obs` (consumes them).
+    pub fn with_stages(mut self, obs: JobObs) -> JobTimeline {
+        self.stages = obs.stages;
+        self
+    }
+
+    /// One-line summary object (the `jobs` verb / `statusz` shape).
+    pub fn summary_json(&self) -> Value {
+        json!({
+            "job": self.id,
+            "client": self.client.as_str(),
+            "kind": self.kind,
+            "app": self.app.as_str(),
+            "source": self.source,
+            "outcome": self.outcome,
+            "error_code": self.error_code,
+            "failing_stage": self.failing_stage(),
+            "queue_wait_ms": ns_to_ms(self.queue_wait_ns),
+            "exec_ms": ns_to_ms(self.exec_ns),
+            "total_ms": ns_to_ms(self.total_ns()),
+            "stages": self.stages.iter().filter(|s| s.depth == 0).count() as u64
+        })
+    }
+
+    /// Full timeline object (the `inspect` verb shape).
+    pub fn to_json(&self) -> Value {
+        let stages: Vec<Value> = self
+            .stages
+            .iter()
+            .map(|s| {
+                json!({
+                    "name": s.name,
+                    "detail": s.detail.as_str(),
+                    "depth": s.depth as u64,
+                    "start_ns": s.start_ns,
+                    "dur_ns": s.dur_ns,
+                    "cache": s.cache.as_str(),
+                    "lease_wait_ns": s.lease_wait_ns
+                })
+            })
+            .collect();
+        json!({
+            "job": self.id,
+            "client": self.client.as_str(),
+            "kind": self.kind,
+            "app": self.app.as_str(),
+            "source": self.source,
+            "outcome": self.outcome,
+            "error_code": self.error_code,
+            "error": self.error.as_str(),
+            "failing_stage": self.failing_stage(),
+            "worker": self.worker as u64,
+            "queue_wait_ns": self.queue_wait_ns,
+            "exec_ns": self.exec_ns,
+            "total_ns": self.total_ns(),
+            "stage_sum_ns": self.stage_sum_ns(),
+            "stages": stages
+        })
+    }
+}
+
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    buf: VecDeque<JobTimeline>,
+    evicted: u64,
+}
+
+/// Fixed-capacity ring of finished-job timelines.
+#[derive(Debug)]
+pub struct TimelineStore {
+    cap: usize,
+    ring: Mutex<Ring>,
+}
+
+impl TimelineStore {
+    /// A store retaining the last `cap` finished jobs (min 1).
+    pub fn new(cap: usize) -> TimelineStore {
+        TimelineStore {
+            cap: cap.max(1),
+            ring: Mutex::new(Ring::default()),
+        }
+    }
+
+    /// Record a finished job, evicting the oldest past capacity.
+    pub fn push(&self, t: JobTimeline) {
+        let mut r = self.ring.lock().unwrap();
+        if r.buf.len() == self.cap {
+            r.buf.pop_front();
+            r.evicted += 1;
+        }
+        r.buf.push_back(t);
+    }
+
+    /// The timeline of `job`, if still retained.
+    pub fn get(&self, job: u64) -> Option<JobTimeline> {
+        let r = self.ring.lock().unwrap();
+        r.buf.iter().rev().find(|t| t.id == job).cloned()
+    }
+
+    /// Retained timelines, newest first. `failed_only` filters to
+    /// failures; `slowest` instead sorts by total latency (descending)
+    /// and truncates.
+    pub fn list(&self, failed_only: bool, slowest: Option<usize>) -> Vec<JobTimeline> {
+        let r = self.ring.lock().unwrap();
+        let mut out: Vec<JobTimeline> = r
+            .buf
+            .iter()
+            .rev()
+            .filter(|t| !failed_only || t.outcome == "failed")
+            .cloned()
+            .collect();
+        if let Some(n) = slowest {
+            out.sort_by(|a, b| b.total_ns().cmp(&a.total_ns()).then(a.id.cmp(&b.id)));
+            out.truncate(n);
+        }
+        out
+    }
+
+    /// Timelines evicted by ring overwrite so far.
+    pub fn evicted(&self) -> u64 {
+        self.ring.lock().unwrap().evicted
+    }
+
+    /// Retained count.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().buf.len()
+    }
+
+    /// True when nothing is retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hic_obs::job::CacheOutcome;
+
+    fn t(id: u64, outcome: &'static str, total_ms: u64) -> JobTimeline {
+        JobTimeline {
+            id,
+            client: "c".into(),
+            kind: "profile",
+            app: "jpeg".into(),
+            source: "builtin",
+            outcome,
+            error_code: if outcome == "failed" { "io" } else { "" },
+            error: String::new(),
+            worker: 0,
+            queue_wait_ns: 0,
+            exec_ns: total_ms * 1_000_000,
+            stages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_evictions() {
+        let store = TimelineStore::new(3);
+        for id in 0..5 {
+            store.push(t(id, "done", id));
+        }
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.evicted(), 2);
+        assert!(store.get(0).is_none(), "evicted");
+        assert!(store.get(4).is_some());
+        let ids: Vec<u64> = store.list(false, None).iter().map(|x| x.id).collect();
+        assert_eq!(ids, vec![4, 3, 2], "newest first");
+    }
+
+    #[test]
+    fn list_filters_failures_and_sorts_slowest() {
+        let store = TimelineStore::new(8);
+        store.push(t(0, "done", 5));
+        store.push(t(1, "failed", 1));
+        store.push(t(2, "done", 50));
+        store.push(t(3, "failed", 20));
+        let failed: Vec<u64> = store.list(true, None).iter().map(|x| x.id).collect();
+        assert_eq!(failed, vec![3, 1]);
+        let slowest: Vec<u64> = store.list(false, Some(2)).iter().map(|x| x.id).collect();
+        assert_eq!(slowest, vec![2, 3]);
+    }
+
+    #[test]
+    fn stage_sum_skips_nested_spans_and_failing_stage_is_last_top_level() {
+        let mk = |name: &'static str, depth: u32, dur: u64| StageObs {
+            name,
+            detail: String::new(),
+            depth,
+            start_ns: 0,
+            dur_ns: dur,
+            cache: CacheOutcome::Uncached,
+            lease_wait_ns: 0,
+        };
+        let mut tl = t(9, "failed", 1);
+        tl.stages = vec![mk("profile", 0, 100), mk("noc", 1, 40), mk("cosim", 0, 60)];
+        assert_eq!(tl.stage_sum_ns(), 160, "depth-1 noc span not re-counted");
+        assert_eq!(tl.failing_stage(), "cosim");
+        let v = tl.to_json();
+        assert_eq!(v.get("stage_sum_ns").unwrap().as_u64(), Some(160));
+        assert_eq!(v.get("failing_stage").unwrap().as_str(), Some("cosim"));
+        let s = tl.summary_json();
+        assert_eq!(s.get("stages").unwrap().as_u64(), Some(2));
+    }
+}

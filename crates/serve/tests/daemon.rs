@@ -161,6 +161,206 @@ fn drain_rejects_new_submits_but_finishes_queued_work() {
 }
 
 #[test]
+fn inspect_reconstructs_the_stage_timeline_of_a_finished_job() {
+    let (daemon, cache) = start("inspect", 64);
+    let mut c = Client::connect(daemon.port()).expect("connect");
+    let job = c
+        .submit("cosim", "jpeg", None, "t0")
+        .unwrap()
+        .expect("accepted");
+    assert_eq!(c.wait_done(job, POLL).unwrap(), "done");
+
+    let r = c.inspect(job).unwrap();
+    let v = serde_json::parse(&r).expect("inspect is JSON");
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{r}");
+    let t = v.get("timeline").expect("timeline object");
+    assert_eq!(t.get("job").unwrap().as_u64(), Some(job));
+    assert_eq!(t.get("outcome").unwrap().as_str(), Some("done"));
+    assert_eq!(t.get("error_code").unwrap().as_str(), Some(""));
+    assert_eq!(t.get("kind").unwrap().as_str(), Some("cosim"));
+
+    // The cosim pipeline runs profile → design → cosim; each leaves a
+    // top-level span, in order, and the spans account for (almost) all
+    // of the measured execution time.
+    let stages = t.get("stages").unwrap().as_array().expect("stage list");
+    let top: Vec<&str> = stages
+        .iter()
+        .filter(|s| s.get("depth").unwrap().as_u64() == Some(0))
+        .map(|s| s.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(top, vec!["profile", "design", "cosim"], "{r}");
+    let exec = t.get("exec_ns").unwrap().as_u64().unwrap();
+    let sum = t.get("stage_sum_ns").unwrap().as_u64().unwrap();
+    assert!(sum > 0 && sum <= exec, "span sum {sum} vs exec {exec}");
+    assert!(
+        sum as f64 >= exec as f64 * 0.75,
+        "stage spans must account for execution: sum {sum} exec {exec}"
+    );
+    let total = t.get("total_ns").unwrap().as_u64().unwrap();
+    let qw = t.get("queue_wait_ns").unwrap().as_u64().unwrap();
+    assert_eq!(total, qw + exec, "{r}");
+
+    // A warm resubmit's timeline shows cache hits on its stages.
+    let again = c.submit("cosim", "jpeg", None, "t0").unwrap().unwrap();
+    assert_eq!(c.wait_done(again, POLL).unwrap(), "done");
+    let r = c.inspect(again).unwrap();
+    let v = serde_json::parse(&r).unwrap();
+    let stages = v
+        .get("timeline")
+        .unwrap()
+        .get("stages")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    assert!(
+        stages
+            .iter()
+            .any(|s| s.get("cache").unwrap().as_str() == Some("hit")),
+        "warm rerun records stage-level cache hits: {r}"
+    );
+
+    // Unknown and unfinished ids answer errors, not junk.
+    let r = c.inspect(9999).unwrap();
+    assert!(r.contains("no such job"), "{r}");
+
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn failed_job_timeline_carries_error_code_and_failing_stage() {
+    let (daemon, cache) = start("failcode", 64);
+    let mut c = Client::connect(daemon.port()).expect("connect");
+    // Syntax-valid trace source pointing nowhere: admitted, fails at
+    // execution inside the profile stage with an I/O error.
+    let job = c
+        .submit("profile", "trace:/nonexistent/q.trace", None, "t0")
+        .unwrap()
+        .expect("admitted — syntax is fine");
+    assert_eq!(c.wait_done(job, POLL).unwrap(), "failed");
+
+    let r = c.inspect(job).unwrap();
+    let v = serde_json::parse(&r).expect("inspect is JSON");
+    let t = v
+        .get("timeline")
+        .expect("failed jobs still leave timelines");
+    assert_eq!(t.get("outcome").unwrap().as_str(), Some("failed"));
+    assert_eq!(t.get("error_code").unwrap().as_str(), Some("io"), "{r}");
+    assert_eq!(
+        t.get("failing_stage").unwrap().as_str(),
+        Some("profile"),
+        "{r}"
+    );
+    assert!(!t.get("error").unwrap().as_str().unwrap().is_empty(), "{r}");
+
+    // The failure shows up in the jobs listing filter and the stats
+    // error breakdown.
+    let r = c.jobs(true, None).unwrap();
+    let v = serde_json::parse(&r).unwrap();
+    let listed = v.get("jobs").unwrap().as_array().unwrap();
+    assert!(
+        listed
+            .iter()
+            .any(|j| j.get("job").unwrap().as_u64() == Some(job)
+                && j.get("error_code").unwrap().as_str() == Some("io")),
+        "{r}"
+    );
+    let stats = c.stats().unwrap();
+    let v = serde_json::parse(&stats).unwrap();
+    assert_eq!(
+        v.get("errors").unwrap().get("io").unwrap().as_u64(),
+        Some(1),
+        "{stats}"
+    );
+
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn timeline_queue_wait_matches_wall_clock() {
+    // One worker: the second job's queue wait is the first job's
+    // remaining execution time.
+    let cache = temp_cache("qwait");
+    let daemon = Daemon::start(ServeOptions {
+        port: 0,
+        workers: 1,
+        queue_cap: 64,
+        cache_dir: Some(cache.clone()),
+        read_cache: true,
+        max_bytes: None,
+    })
+    .expect("daemon starts");
+    let mut c = Client::connect(daemon.port()).expect("connect");
+
+    let first = c.submit("batch", "fluid", None, "t0").unwrap().unwrap();
+    let second = c.submit("profile", "canny", None, "t0").unwrap().unwrap();
+    let submitted = std::time::Instant::now();
+    assert_eq!(c.wait_done(second, POLL).unwrap(), "done");
+    let waited_bound = submitted.elapsed();
+
+    let parse_tl = |raw: &str| serde_json::parse(raw).unwrap();
+    let t1 = parse_tl(&c.inspect(first).unwrap());
+    let t2 = parse_tl(&c.inspect(second).unwrap());
+    let exec1 = t1
+        .get("timeline")
+        .unwrap()
+        .get("exec_ns")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let qw2 = t2
+        .get("timeline")
+        .unwrap()
+        .get("queue_wait_ns")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(qw2 > 0, "second job must have queued behind the first");
+    // It cannot have waited longer than the wall clock we measured from
+    // just after its submission to its completion...
+    assert!(
+        qw2 <= waited_bound.as_nanos() as u64,
+        "queue_wait {qw2} exceeds observed wall clock {waited_bound:?}"
+    );
+    // ...and it waited out (most of) the first job's execution: both
+    // were admitted back-to-back, so within a generous scheduling
+    // tolerance queue_wait(second) tracks exec(first).
+    let tolerance = exec1 / 2 + 40_000_000; // half + 40ms scheduling slack
+    assert!(
+        qw2 + tolerance >= exec1,
+        "queue_wait(second) {qw2} should track exec(first) {exec1}"
+    );
+
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn jobs_listing_orders_and_slowest_filters() {
+    let (daemon, cache) = start("joblist", 64);
+    let mut c = Client::connect(daemon.port()).expect("connect");
+    for app in ["canny", "jpeg"] {
+        let j = c.submit("profile", app, None, "t0").unwrap().unwrap();
+        assert_eq!(c.wait_done(j, POLL).unwrap(), "done");
+    }
+    let r = c.jobs(false, None).unwrap();
+    let v = serde_json::parse(&r).unwrap();
+    let jobs = v.get("jobs").unwrap().as_array().unwrap();
+    assert_eq!(jobs.len(), 2, "{r}");
+    // Newest first.
+    assert!(
+        jobs[0].get("job").unwrap().as_u64() > jobs[1].get("job").unwrap().as_u64(),
+        "{r}"
+    );
+    let r = c.jobs(false, Some(1)).unwrap();
+    let v = serde_json::parse(&r).unwrap();
+    assert_eq!(v.get("jobs").unwrap().as_array().unwrap().len(), 1, "{r}");
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
 fn many_concurrent_clients_all_complete() {
     const CLIENTS: usize = 8;
     let (daemon, cache) = start("many", 256);

@@ -112,6 +112,10 @@ pub fn cosimulate_with(plan: &InterconnectPlan, kind: EngineKind) -> CosimResult
         plan.variant != Variant::Baseline,
         "baseline plans have no NoC"
     );
+    // A nested scope inside the enclosing "cosim" stage: how much of
+    // co-simulation was the NoC engine run (per-job timelines show it
+    // indented; depth-0 sums skip it, so nothing double-counts).
+    let _noc_obs = hic_obs::job::stage("noc", &plan.app.name);
 
     let app = &plan.app;
     let bus = plan.config.bus;
