@@ -425,9 +425,63 @@ fn bench_noc() {
     let sampler_sidecar = serde_json::to_string_pretty(&sampler).unwrap();
     std::fs::write("BENCH_noc_sampler.json", &sampler_sidecar)
         .expect("write BENCH_noc_sampler.json");
+
+    // Spatial-accounting overhead: the heatmap layer must be cheap
+    // enough to leave compiled in (attached-but-inert within 2%) and
+    // usable on every cosim run (full windowed accounting within 10%).
+    let spatial = hic_bench::nocperf::measure_spatial_overhead(8, 20_000, 7, &run.points);
+    println!("\n== Spatial-accounting overhead (8x8 uniform, 1024-cycle windows) ==");
+    println!(
+        "{:<8} {:>16} {:>16} {:>16} {:>9} {:>9} {:>8} {:>6}",
+        "offered",
+        "baseline cyc/s",
+        "off cyc/s",
+        "windowed cyc/s",
+        "off",
+        "windowed",
+        "windows",
+        "flows"
+    );
+    for p in &spatial {
+        println!(
+            "{:<8.2} {:>16.0} {:>16.0} {:>16.0} {:>8.2}x {:>8.2}x {:>8} {:>6}",
+            p.offered,
+            p.baseline_cycles_per_sec,
+            p.off_cycles_per_sec,
+            p.windowed_cycles_per_sec,
+            p.off_ratio,
+            p.windowed_ratio,
+            p.windowed_windows,
+            p.windowed_flows
+        );
+        assert!(
+            p.off_ratio >= 0.98 - p.off_noise,
+            "inert spatial accounting must stay within 2% of the unaccounted \
+             fast path (got {:.3}, noise band {:.3}, at load {})",
+            p.off_ratio,
+            p.off_noise,
+            p.offered
+        );
+        assert!(
+            p.windowed_ratio >= 0.90 - p.windowed_noise,
+            "windowed spatial accounting must stay within 10% of the \
+             unaccounted fast path (got {:.3}, noise band {:.3}, at load {})",
+            p.windowed_ratio,
+            p.windowed_noise,
+            p.offered
+        );
+        assert!(
+            p.windowed_windows > 0 && p.windowed_flows > 0,
+            "windowed run must retain windows and attribute flows at load {}",
+            p.offered
+        );
+    }
+    let spatial_sidecar = serde_json::to_string_pretty(&spatial).unwrap();
+    std::fs::write("BENCH_noc_heatmap.json", &spatial_sidecar)
+        .expect("write BENCH_noc_heatmap.json");
     println!(
         "\nwrote BENCH_noc.json + BENCH_noc_metrics.json + BENCH_noc_hybrid.json \
-         + BENCH_noc_trace.json + BENCH_noc_sampler.json"
+         + BENCH_noc_trace.json + BENCH_noc_sampler.json + BENCH_noc_heatmap.json"
     );
 }
 

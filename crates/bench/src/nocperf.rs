@@ -460,6 +460,133 @@ pub fn measure_sampler_overhead(
     out
 }
 
+/// One load point of the spatial-accounting overhead measurement — the
+/// `BENCH_noc_heatmap.json` sidecar of `repro bench-noc`.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpatialOverheadPoint {
+    /// Stable gate-key suffix (`noc.spatial_off@{label}` and
+    /// `noc.spatial_windowed@{label}` in `repro check`).
+    pub label: String,
+    /// Offered load in flits/node/cycle.
+    pub offered: f64,
+    /// Simulated cycles per run.
+    pub cycles: u64,
+    /// The unaccounted fast path at this load, re-timed round-robin with
+    /// the spatial configurations so all three share machine conditions.
+    pub baseline_cycles_per_sec: f64,
+    /// Spatial layer attached but inert ([`SpatialConfig::minimal`]):
+    /// no windows, no flow map — only the per-step branch.
+    pub off_cycles_per_sec: f64,
+    /// Full windowed accounting ([`SpatialConfig::windowed`] at 1024):
+    /// per-link matrices, window closing, and flow attribution.
+    pub windowed_cycles_per_sec: f64,
+    /// Median of the per-round paired `baseline/off` time ratios — the
+    /// acceptance bar is ≥ 0.98 minus [`SpatialOverheadPoint::off_noise`].
+    pub off_ratio: f64,
+    /// Median of the per-round paired `baseline/windowed` time ratios —
+    /// the acceptance bar is ≥ 0.90 minus
+    /// [`SpatialOverheadPoint::windowed_noise`].
+    pub windowed_ratio: f64,
+    /// MAD-derived noise band of the paired off ratios (`3·1.4826·MAD`,
+    /// the `repro check` discipline).
+    pub off_noise: f64,
+    /// MAD-derived noise band of the paired windowed ratios.
+    pub windowed_noise: f64,
+    /// Closed windows the windowed run retained (sanity: nonzero when
+    /// the run spans at least one window).
+    pub windowed_windows: usize,
+    /// Distinct (src, dst) flows the windowed run attributed
+    /// (sanity: nonzero).
+    pub windowed_flows: usize,
+}
+
+/// Measure the wall-clock cost of the spatial accounting layer on the
+/// same traffic [`measure`] times: once attached but inert
+/// ([`SpatialConfig::minimal`] — the always-compiled-in price of the
+/// per-step branch), once with full windowed matrices plus flow
+/// attribution ([`SpatialConfig::windowed`] at the default 1024-cycle
+/// window the cosim heatmap uses).
+///
+/// The unaccounted baseline is re-timed here, round-robin with the two
+/// spatial configurations, rather than reusing `baseline`'s rates:
+/// interleaving keeps all three configurations under the same machine
+/// conditions, so the ratios measure accounting cost instead of drift
+/// between benchmark phases. `baseline` supplies the load points; as
+/// with [`measure_trace_overhead`], only the classic uniform trio.
+pub fn measure_spatial_overhead(
+    side: u16,
+    cycles: u64,
+    repeats: u32,
+    baseline: &[NocPerfPoint],
+) -> Vec<SpatialOverheadPoint> {
+    use hic_noc::SpatialConfig;
+    assert!(repeats >= 1);
+    let mesh = Mesh::new(side, side);
+    let cfg = NocConfig::paper_default(mesh);
+    let mut out = Vec::new();
+    for base in classic_uniform(baseline) {
+        let offered = base.offered;
+        let seed = 0xB0C0 ^ (offered * 100.0) as u64;
+        let schedule = uniform_schedule(mesh, offered, 16, cfg.flit_payload, cycles, seed);
+
+        let mut rounds: Vec<(f64, f64, f64)> = Vec::with_capacity(repeats as usize);
+        let mut windowed_windows = 0usize;
+        let mut windowed_flows = 0usize;
+        for _ in 0..repeats {
+            // Baseline: no spatial layer at all.
+            let mut net = Network::new(cfg);
+            net.set_record_mode(RecordMode::Stats);
+            let t = Instant::now();
+            drive_schedule(&mut net, &schedule, 16, cycles);
+            let base_secs = t.elapsed().as_secs_f64();
+
+            // Off-but-armed: the layer is attached so the per-step site
+            // pays its branch, but no windows close and no flows record.
+            let mut net = Network::new(cfg);
+            net.set_record_mode(RecordMode::Stats);
+            net.enable_spatial(SpatialConfig::minimal());
+            let t = Instant::now();
+            drive_schedule(&mut net, &schedule, 16, cycles);
+            let off_secs = t.elapsed().as_secs_f64();
+
+            // Windowed: full matrices + flow attribution, 1024-cycle
+            // windows (what `hic heatmap` and the cosim artifact use).
+            let mut net = Network::new(cfg);
+            net.set_record_mode(RecordMode::Stats);
+            net.enable_spatial(SpatialConfig::windowed(1024));
+            let t = Instant::now();
+            drive_schedule(&mut net, &schedule, 16, cycles);
+            let windowed_secs = t.elapsed().as_secs_f64();
+            windowed_windows = net.spatial_windows().len();
+            windowed_flows = net.flow_totals().map_or(0, |m| m.len());
+
+            rounds.push((base_secs, off_secs, windowed_secs));
+        }
+
+        let best =
+            |f: fn(&(f64, f64, f64)) -> f64| rounds.iter().map(f).fold(f64::INFINITY, f64::min);
+        let (off_ratio, off_noise) =
+            paired_ratio(&rounds.iter().map(|r| (r.0, r.1)).collect::<Vec<_>>());
+        let (windowed_ratio, windowed_noise) =
+            paired_ratio(&rounds.iter().map(|r| (r.0, r.2)).collect::<Vec<_>>());
+        out.push(SpatialOverheadPoint {
+            label: base.label.clone(),
+            offered,
+            cycles,
+            baseline_cycles_per_sec: cycles as f64 / best(|r| r.0),
+            off_cycles_per_sec: cycles as f64 / best(|r| r.1),
+            windowed_cycles_per_sec: cycles as f64 / best(|r| r.2),
+            off_ratio,
+            windowed_ratio,
+            off_noise,
+            windowed_noise,
+            windowed_windows,
+            windowed_flows,
+        });
+    }
+    out
+}
+
 /// One configuration of the hybrid-engine vs per-cycle-stepper
 /// comparison — the `BENCH_noc_hybrid.json` sidecar of `repro bench-noc`.
 #[derive(Debug, Clone, Serialize)]
@@ -707,6 +834,30 @@ mod tests {
                 p.offered
             );
             assert_eq!(p.sampled_dropped, 0, "ring must not overflow");
+        }
+    }
+
+    #[test]
+    fn spatial_overhead_harness_reports_every_load_point() {
+        // Tiny run: harness correctness only — the ≥0.98x/≥0.90x
+        // acceptance bars are wall-clock claims asserted by `repro
+        // bench-noc`, where run sizes are large enough for stable timing.
+        let run = measure(4, 200, 1);
+        let overhead = measure_spatial_overhead(4, 200, 1, &run.points);
+        assert_eq!(overhead.len(), 3);
+        for p in &overhead {
+            assert!(p.baseline_cycles_per_sec > 0.0);
+            assert!(p.off_cycles_per_sec > 0.0);
+            assert!(p.windowed_cycles_per_sec > 0.0);
+            assert!(p.off_ratio > 0.0);
+            assert!(p.windowed_ratio > 0.0);
+            // 200 cycles never closes a 1024-cycle window, but flow
+            // attribution records at injection, so flows must appear.
+            assert!(
+                p.windowed_flows > 0,
+                "windowed run attributed no flows at load {}",
+                p.offered
+            );
         }
     }
 

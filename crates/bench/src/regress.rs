@@ -163,6 +163,10 @@ pub struct Baselines {
     /// `(point label, hybrid-vs-stepper speedup, hard floor)` from
     /// `BENCH_noc_hybrid.json`; `floor: None` rows are informational.
     pub noc_hybrid: Vec<(String, f64, Option<f64>)>,
+    /// `(point label, off ratio, windowed ratio)` from
+    /// `BENCH_noc_heatmap.json` — the spatial-accounting overhead of the
+    /// heatmap layer, attached-but-inert and fully windowed.
+    pub noc_spatial: Vec<(String, f64, f64)>,
     /// Warm-vs-cold speedup from `BENCH_pipeline.json`.
     pub pipeline_speedup: f64,
     /// Fraction of submitted serve jobs that completed, from
@@ -250,6 +254,21 @@ pub fn load_baselines(dir: &Path) -> Result<Baselines, String> {
         return Err("BENCH_noc_hybrid.json: no points".into());
     }
 
+    let spatial = read("BENCH_noc_heatmap.json")?;
+    let points = spatial
+        .as_seq()
+        .ok_or_else(|| "BENCH_noc_heatmap.json: expected an array of points".to_string())?;
+    let mut noc_spatial = Vec::new();
+    for p in points {
+        let label = label_of(p, "BENCH_noc_heatmap.json point")?;
+        let off = f64_of(p, "off_ratio", "BENCH_noc_heatmap.json point")?;
+        let windowed = f64_of(p, "windowed_ratio", "BENCH_noc_heatmap.json point")?;
+        noc_spatial.push((label, off, windowed));
+    }
+    if noc_spatial.is_empty() {
+        return Err("BENCH_noc_heatmap.json: no points".into());
+    }
+
     let pipe = read("BENCH_pipeline.json")?;
     let pipeline_speedup = f64_of(&pipe, "speedup", "BENCH_pipeline.json")?;
 
@@ -277,6 +296,7 @@ pub fn load_baselines(dir: &Path) -> Result<Baselines, String> {
         noc_speedups,
         noc_throughput,
         noc_hybrid,
+        noc_spatial,
         pipeline_speedup,
         serve_completion,
         serve_hit_rate,
@@ -309,6 +329,14 @@ fn noc_hybrid_key(label: &str) -> String {
     format!("noc.hybrid_speedup@{label}")
 }
 
+fn noc_spatial_off_key(label: &str) -> String {
+    format!("noc.spatial_off@{label}")
+}
+
+fn noc_spatial_windowed_key(label: &str) -> String {
+    format!("noc.spatial_windowed@{label}")
+}
+
 /// Re-run the benchmarks and collect per-gate samples. `quick` trades
 /// statistical depth for CI latency: fewer and shorter runs (the
 /// rel_floor part of the band carries the verdict when MAD has little
@@ -331,6 +359,19 @@ pub fn collect_samples(quick: bool) -> Samples {
                 .entry(noc_tput_key(&p.label))
                 .or_default()
                 .push(p.fast_cycles_per_sec);
+        }
+        // Spatial-accounting overhead rides each NoC round: one paired
+        // ratio per load point per round, so MAD sees real run-to-run
+        // scatter and widens the band on noisy machines.
+        for p in crate::nocperf::measure_spatial_overhead(8, cycles, 1, &run.points) {
+            samples
+                .entry(noc_spatial_off_key(&p.label))
+                .or_default()
+                .push(p.off_ratio);
+            samples
+                .entry(noc_spatial_windowed_key(&p.label))
+                .or_default()
+                .push(p.windowed_ratio);
         }
     }
     // The hybrid points are self-sized (mostly-idle spans are nearly
@@ -422,6 +463,28 @@ pub fn gate_specs(b: &Baselines) -> Vec<GateSpec> {
             rel_floor: 0.5,
             abs_min: *floor,
             gating: floor.is_some(),
+        });
+    }
+    for (label, off, windowed) in &b.noc_spatial {
+        // The bench-time bars (≥0.98x inert, ≥0.90x windowed, minus the
+        // run's own noise band) carry the tight claim with 7 interleaved
+        // repeats; the check-time floors are looser because each fresh
+        // sample here is a single paired round — they catch structural
+        // regressions (accounting accidentally always-on, a lock on the
+        // step path), not percent-level drift.
+        specs.push(GateSpec {
+            name: noc_spatial_off_key(label),
+            baseline: *off,
+            rel_floor: 0.07,
+            abs_min: Some(0.90),
+            gating: true,
+        });
+        specs.push(GateSpec {
+            name: noc_spatial_windowed_key(label),
+            baseline: *windowed,
+            rel_floor: 0.12,
+            abs_min: Some(0.75),
+            gating: true,
         });
     }
     specs.push(GateSpec {
@@ -612,6 +675,11 @@ mod tests {
                 ("uniform-32".into(), 1.0, Some(0.7)),
                 ("bursty-64".into(), 25.0, None),
             ],
+            noc_spatial: vec![
+                ("0.1".into(), 0.99, 0.96),
+                ("0.5".into(), 0.99, 0.95),
+                ("0.9".into(), 0.98, 0.94),
+            ],
             pipeline_speedup: 30.0,
             serve_completion: 1.0,
             serve_hit_rate: 0.9,
@@ -638,6 +706,16 @@ mod tests {
         }
         for (label, speedup, _) in &b.noc_hybrid {
             s.insert(noc_hybrid_key(label), vec![speedup * 0.95, speedup * 1.01]);
+        }
+        for (label, off, windowed) in &b.noc_spatial {
+            s.insert(
+                noc_spatial_off_key(label),
+                vec![off * 0.99, off * 1.01, *off],
+            );
+            s.insert(
+                noc_spatial_windowed_key(label),
+                vec![windowed * 0.98, windowed * 1.02, *windowed],
+            );
         }
         s.insert("pipeline.speedup".into(), vec![28.0, 31.0]);
         s.insert("serve.completion".into(), vec![1.0]);
@@ -694,6 +772,9 @@ mod tests {
         assert_eq!(verdict("noc.hybrid_speedup@bursty-32"), Verdict::Pass);
         assert_eq!(verdict("noc.hybrid_speedup@uniform-32"), Verdict::Pass);
         assert_eq!(verdict("noc.hybrid_speedup@bursty-64"), Verdict::Info);
+        // Spatial-accounting overhead gates at every load point.
+        assert_eq!(verdict("noc.spatial_off@0.5"), Verdict::Pass);
+        assert_eq!(verdict("noc.spatial_windowed@0.5"), Verdict::Pass);
         // Serve: the structural columns gate, the wall-clock ones don't.
         assert_eq!(verdict("serve.completion"), Verdict::Pass);
         assert_eq!(verdict("serve.hit_rate"), Verdict::Pass);
@@ -786,6 +867,41 @@ mod tests {
             .rows
             .iter()
             .find(|r| r.name == "serve.hit_rate")
+            .unwrap();
+        assert_eq!(row.verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn spatial_accounting_gone_always_on_regresses() {
+        let b = baselines();
+        let mut s = healthy_samples(&b);
+        // The inert configuration now pays the full windowed cost: a
+        // structural regression (the off-switch broke), well below the
+        // 0.90 hard floor.
+        s.insert(noc_spatial_off_key("0.5"), vec![0.84, 0.86, 0.85]);
+        let report = check(&b, &s);
+        assert!(report.regressed, "{}", render(&report));
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.name == "noc.spatial_off@0.5")
+            .unwrap();
+        assert_eq!(row.verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn collapsed_windowed_spatial_throughput_regresses() {
+        let b = baselines();
+        let mut s = healthy_samples(&b);
+        // Windowed accounting fell to ~60% of baseline throughput —
+        // below the 0.75 hard floor no noise band can excuse.
+        s.insert(noc_spatial_windowed_key("0.9"), vec![0.61, 0.59, 0.60]);
+        let report = check(&b, &s);
+        assert!(report.regressed, "{}", render(&report));
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.name == "noc.spatial_windowed@0.9")
             .unwrap();
         assert_eq!(row.verdict, Verdict::Regressed);
     }
@@ -895,6 +1011,16 @@ mod tests {
             .expect("bursty-32 point");
         assert_eq!(bursty.2, Some(5.0));
         assert!(bursty.1 >= 5.0, "committed hybrid speedup {}", bursty.1);
+        // The committed spatial-overhead record carries the heatmap
+        // layer's cost claims at every classic-uniform load point.
+        assert_eq!(b.noc_spatial.len(), 3);
+        for (label, off, windowed) in &b.noc_spatial {
+            assert!(*off >= 0.9, "committed off ratio {off} at {label}");
+            assert!(
+                *windowed >= 0.8,
+                "committed windowed ratio {windowed} at {label}"
+            );
+        }
         assert!(b.pipeline_speedup > 5.0);
         // The committed serve record must carry the gated claims.
         assert!(b.serve_completion >= 0.999, "{}", b.serve_completion);

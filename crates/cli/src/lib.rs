@@ -67,6 +67,17 @@ pub enum TraceMode {
     Batch,
 }
 
+/// How a `hic heatmap` invocation renders the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeatmapEmit {
+    /// ANSI mesh heatmap plus flow summary (the default).
+    Ansi,
+    /// The full `hic-heatmap/v1` artifact as pretty JSON.
+    Json,
+    /// Graphviz DOT overlay (neato, pinned mesh positions).
+    Dot,
+}
+
 /// What a `hic gen` invocation writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GenEmit {
@@ -146,6 +157,22 @@ pub enum Command {
         app: String,
         /// Emit the `hic-obs/v1` JSON snapshot instead of the table.
         json: bool,
+        /// Append a headline-metrics summary (busiest NoC link with
+        /// coordinates and port) after the table.
+        metrics: bool,
+        /// Artifact cache settings.
+        cache: CacheOpts,
+    },
+    /// Co-simulate an app and render its spatial communication heatmap:
+    /// per-link utilization, kernel-pair flows, ranked bottlenecks.
+    Heatmap {
+        /// Any app source (`canny`, `gen:<spec>`, `trace:<path>`,
+        /// `file:<path>`).
+        app: String,
+        /// Spatial accounting window in cycles (`None` = default 1024).
+        window: Option<u64>,
+        /// Output format.
+        emit: HeatmapEmit,
         /// Artifact cache settings.
         cache: CacheOpts,
     },
@@ -506,8 +533,35 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| CliError::Usage("report needs an app name".into()))?
                 .clone(),
             json: args.iter().any(|a| a == "--json"),
+            metrics: args.iter().any(|a| a == "--metrics"),
             cache: cache_opts(args),
         }),
+        "heatmap" => {
+            let app = args
+                .get(1)
+                .filter(|a| !a.starts_with('-'))
+                .ok_or_else(|| CliError::Usage("heatmap needs an app source".into()))?
+                .clone();
+            check_app_source(&app)?;
+            let picks: Vec<HeatmapEmit> = [
+                ("--json", HeatmapEmit::Json),
+                ("--dot", HeatmapEmit::Dot),
+                ("--ansi", HeatmapEmit::Ansi),
+            ]
+            .iter()
+            .filter(|(flag, _)| args.iter().any(|a| a == flag))
+            .map(|&(_, emit)| emit)
+            .collect();
+            if picks.len() > 1 {
+                return Err(CliError::Usage("pick one of --json|--dot|--ansi".into()));
+            }
+            Ok(Command::Heatmap {
+                app,
+                window: positive_flag::<u64>(args, "--window")?,
+                emit: picks.first().copied().unwrap_or(HeatmapEmit::Ansi),
+                cache: cache_opts(args),
+            })
+        }
         "dse" => {
             let app = args
                 .get(1)
@@ -673,6 +727,7 @@ USAGE:
   hic gen      <app> [--emit-spec|--emit-dot|--emit-trace|--summary] [-o FILE]
   hic profile  <app>
   hic report   <app> [--metrics] [--json]
+  hic heatmap  <app> [--window N] [--json|--dot|--ansi]
   hic dse      <app> [--json]
   hic batch    <app>... [--jobs N] [--json] [--serve-metrics PORT] [--linger-ms MS]
   hic top      <app>... [--jobs N] [--interval-ms MS]
@@ -684,7 +739,7 @@ USAGE:
   hic trace    <app> [--noc|--batch] [--sample N] [-o FILE]
   hic help
 
-APP SOURCES (profile, report, dse, batch, top, trace, gen, serve jobs):
+APP SOURCES (profile, report, heatmap, dse, batch, top, trace, gen, serve jobs):
   canny|jpeg|klt|fluid      built-in profiled paper applications
   gen:<spec>                seeded synthetic workload, e.g. gen:k=8,seed=7
                             (keys: k fanout skew comm hostio bytes uma seed)
@@ -701,11 +756,20 @@ GEN:
   --emit-trace the memory-access trace (feed back via trace:; built-in
   apps round-trip to a byte-identical communication graph).
 
-CACHE (design, profile, report, dse, batch, serve):
+HEATMAP:
+  co-simulates the app's hybrid plan (noc-only when the hybrid is
+  SM-only) and renders the hic-heatmap/v1 spatial report: per-link peak
+  utilization over --window N cycle windows (default 1024), kernel-pair
+  flow attribution, and a ranked bottleneck report with a plain-language
+  verdict. --ansi (default) draws the mesh in the terminal, --dot emits
+  a Graphviz overlay, --json the full artifact. `hic report --metrics`
+  appends the busiest-link headline to the metric table.
+
+CACHE (design, profile, report, heatmap, dse, batch, serve):
   --cache-dir <dir>   artifact store root (default .hic-cache, or HIC_CACHE_DIR)
   --no-cache          skip cache reads; results are still published
 
-ENGINE (any command that co-simulates: report, dse, batch, top, trace):
+ENGINE (any command that co-simulates: report, heatmap, dse, batch, top, trace):
   --engine step|hybrid|auto   NoC engine: 'step' pins the sequential
   cycle stepper, 'hybrid' forces event-driven skip-ahead + partitioned
   parallel stepping, 'auto' (default) engages parallelism by mesh size.
@@ -1140,6 +1204,9 @@ fn timeline_render(t: &serde_json::Value) -> String {
         ms(gu("total_ns")),
     )
     .unwrap();
+    if !gs("heatmap").is_empty() {
+        writeln!(s, "heatmap: {}", gs("heatmap")).unwrap();
+    }
     let Some(stages) = t.get("stages").and_then(|x| x.as_array()) else {
         return s;
     };
@@ -1174,6 +1241,24 @@ fn timeline_render(t: &serde_json::Value) -> String {
         .unwrap();
     }
     s
+}
+
+/// The `hic report --metrics` headline: which inter-router link was
+/// busiest in the co-simulated mesh, by coordinates and exit port (from
+/// the `noc.link.busiest_*` gauges the network publishes).
+fn busiest_link_line(snap: &hic_obs::Snapshot) -> String {
+    let g = |name: &str| snap.gauges.get(name).map(|v| v.last);
+    let (Some(x), Some(y), Some(port), Some(flits)) = (
+        g("noc.link.busiest_x"),
+        g("noc.link.busiest_y"),
+        g("noc.link.busiest_port"),
+        g("noc.link.busiest_flits"),
+    ) else {
+        return "busiest link: none (no NoC traffic observed)\n".to_string();
+    };
+    const PORTS: [&str; 5] = ["north", "east", "south", "west", "local"];
+    let port = PORTS.get(port as usize).copied().unwrap_or("?");
+    format!("busiest link: ({x},{y}) {port} — {flits} flits\n")
 }
 
 /// Execute a command, returning the text to print.
@@ -1311,7 +1396,12 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             out.push_str(&serde_json::to_string_pretty(&spec)?);
             Ok(out)
         }
-        Command::Report { app, json, cache } => {
+        Command::Report {
+            app,
+            json,
+            metrics,
+            cache,
+        } => {
             let reg = hic_obs::global();
             let store = open_store(&cache)?;
             let store = store.as_ref();
@@ -1343,7 +1433,50 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             if json {
                 Ok(snap.to_json())
             } else {
-                Ok(snap.render_table())
+                let mut out = snap.render_table();
+                if metrics {
+                    out.push_str(&busiest_link_line(&snap));
+                }
+                Ok(out)
+            }
+        }
+        Command::Heatmap {
+            app,
+            window,
+            emit,
+            cache,
+        } => {
+            if let Some(w) = window {
+                hic_sim::set_heatmap_window(w);
+            }
+            let store = open_store(&cache)?;
+            let store = store.as_ref();
+            let p = stages::profile(store, cache.read, &app)?;
+            // The heatmap needs a mesh: fall back to the noc-only
+            // variant when the hybrid plan is SM-only (same rule as
+            // `hic trace --noc`).
+            let plan = stages::design_variant(store, cache.read, &p.spec, &cfg, Variant::Hybrid)?;
+            let plan = if plan.noc.is_some() {
+                plan
+            } else {
+                stages::design_variant(store, cache.read, &p.spec, &cfg, Variant::NocOnly)?
+            };
+            let res = stages::cosim(store, cache.read, &plan)?;
+            let Some(report) = res.heatmap else {
+                return Err(CliError::Io(std::io::Error::other(
+                    "co-simulation produced no heatmap (spatial accounting disabled)",
+                )));
+            };
+            match emit {
+                HeatmapEmit::Json => Ok(serde_json::to_string_pretty(&report)?),
+                HeatmapEmit::Dot => Ok(hic_sim::render_dot(&report)),
+                HeatmapEmit::Ansi => {
+                    use std::io::IsTerminal as _;
+                    let color = std::io::stdout().is_terminal();
+                    let mut out = hic_sim::render_ansi(&report, color);
+                    out.push_str(&hic_sim::render_summary(&report));
+                    Ok(out)
+                }
             }
         }
         Command::Dse { app, json, cache } => {
@@ -1504,11 +1637,15 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                         store.clone(),
                         std::time::Duration::from_millis(100),
                     );
-                    let srv = hic_obs::MetricsServer::start_with_status(
+                    // start_full: the daemon's labeled store rides along,
+                    // so the hottest-link rows of the latest cosim job
+                    // (hic_noc_link_util{x,y,port}) appear on /metrics.
+                    let srv = hic_obs::MetricsServer::start_full(
                         reg,
                         Some(store),
                         mport,
                         Some(daemon.status_source()),
+                        Some(daemon.labeled_store()),
                     )?;
                     eprintln!("serving metrics at http://127.0.0.1:{}/metrics", srv.port());
                     Ok((sampler, srv))
@@ -1859,6 +1996,42 @@ mod tests {
     }
 
     #[test]
+    fn parses_heatmap_with_flags() {
+        let cmd = parse(&argv("heatmap jpeg --window 256 --dot")).unwrap();
+        match cmd {
+            Command::Heatmap {
+                app, window, emit, ..
+            } => {
+                assert_eq!(app, "jpeg");
+                assert_eq!(window, Some(256));
+                assert_eq!(emit, HeatmapEmit::Dot);
+            }
+            other => panic!("expected Heatmap, got {other:?}"),
+        }
+        match parse(&argv("heatmap gen:k=4,seed=7")).unwrap() {
+            Command::Heatmap { window, emit, .. } => {
+                assert_eq!(window, None);
+                assert_eq!(emit, HeatmapEmit::Ansi);
+            }
+            other => panic!("expected Heatmap, got {other:?}"),
+        }
+        // Missing source, unknown app, conflicting emits, bad window:
+        // all command-line mistakes.
+        for bad in [
+            "heatmap",
+            "heatmap doom",
+            "heatmap jpeg --json --dot",
+            "heatmap jpeg --window 0",
+            "heatmap jpeg --window soon",
+        ] {
+            assert!(
+                matches!(parse(&argv(bad)), Err(CliError::Usage(_))),
+                "'{bad}' must be a usage error"
+            );
+        }
+    }
+
+    #[test]
     fn parses_dse_and_rejects_missing_app() {
         let cmd = parse(&argv("dse canny --json")).unwrap();
         match cmd {
@@ -1941,13 +2114,15 @@ mod tests {
 
     #[test]
     fn app_sources_parse_everywhere_an_app_name_does() {
-        for cmd in ["dse", "batch", "top", "trace", "gen", "profile", "report"] {
+        for cmd in [
+            "dse", "batch", "top", "trace", "gen", "profile", "report", "heatmap",
+        ] {
             assert!(
                 parse(&argv(&format!("{cmd} gen:k=3,seed=1"))).is_ok(),
                 "{cmd} must accept gen: sources"
             );
         }
-        for cmd in ["dse", "batch", "top", "trace", "gen"] {
+        for cmd in ["dse", "batch", "top", "trace", "gen", "heatmap"] {
             assert!(
                 matches!(
                     parse(&argv(&format!("{cmd} gen:k=99"))),

@@ -143,6 +143,27 @@ pub fn render_frame(store: &SeriesStore, total_jobs: Option<u64>) -> String {
         &events,
         &format!("now {}", events.last().copied().unwrap_or(0.0) as u64),
     );
+    // Hottest-link row, only when a co-simulation has published the
+    // spatial busiest-link gauges (noc.link.busiest_*): which
+    // inter-router link carried the most flits, by coordinates and exit
+    // port. Runs without NoC traffic keep the classic frame height.
+    if store.get("noc.link.busiest_flits").is_some() {
+        const PORT_NAMES: [&str; 5] = ["north", "east", "south", "west", "local"];
+        let hist = history(store, "noc.link.busiest_flits");
+        let x = last(store, "noc.link.busiest_x").unwrap_or(0.0) as u64;
+        let y = last(store, "noc.link.busiest_y").unwrap_or(0.0) as u64;
+        let port = last(store, "noc.link.busiest_port").unwrap_or(0.0) as usize;
+        let port = PORT_NAMES.get(port).copied().unwrap_or("?");
+        row(
+            &mut out,
+            "noc hottest link",
+            &hist,
+            &format!(
+                "({x},{y}) {port} — {} flits",
+                hist.last().copied().unwrap_or(0.0) as u64
+            ),
+        );
+    }
     let jobs_now = match (total_jobs, jobs_rate) {
         (Some(t), Some(r)) => format!("done {done}/{t} ({r:.1} jobs/s)"),
         (Some(t), None) => format!("done {done}/{t}"),
@@ -370,6 +391,24 @@ mod tests {
         let frame = render_frame(&SeriesStore::new(16), None);
         assert_eq!(frame.lines().count(), FRAME_LINES);
         assert!(frame.contains("done 0"), "{frame}");
+    }
+
+    #[test]
+    fn hottest_link_row_appears_only_after_a_cosim_publishes() {
+        let store = SeriesStore::new(64);
+        store.record_at("pipeline.jobs.completed", 0, 1.0);
+        let without = render_frame(&store, None);
+        assert_eq!(without.lines().count(), FRAME_LINES);
+        assert!(!without.contains("hottest link"), "{without}");
+
+        store.record_at("noc.link.busiest_x", 100, 2.0);
+        store.record_at("noc.link.busiest_y", 100, 1.0);
+        store.record_at("noc.link.busiest_port", 100, 1.0);
+        store.record_at("noc.link.busiest_flits", 100, 4200.0);
+        let with_link = render_frame(&store, None);
+        assert_eq!(with_link.lines().count(), FRAME_LINES + 1);
+        assert!(with_link.contains("noc hottest link"), "{with_link}");
+        assert!(with_link.contains("(2,1) east — 4200 flits"), "{with_link}");
     }
 
     #[test]

@@ -9,6 +9,7 @@ fn report_json_covers_every_metric_family() {
     let out = run(Command::Report {
         app: "jpeg".into(),
         json: true,
+        metrics: false,
         cache: CacheOpts::disabled(),
     })
     .expect("report runs");
@@ -72,6 +73,7 @@ fn report_table_renders_the_same_families() {
     let out = run(Command::Report {
         app: "jpeg".into(),
         json: false,
+        metrics: true,
         cache: CacheOpts::disabled(),
     })
     .expect("report runs");
@@ -84,4 +86,8 @@ fn report_table_renders_the_same_families() {
     ] {
         assert!(out.contains(needle), "table missing {needle}:\n{out}");
     }
+    // --metrics appends the busiest-link headline, naming coordinates
+    // and the exit port of the hottest inter-router link.
+    assert!(out.contains("busiest link: ("), "{out}");
+    assert!(out.contains("flits\n"), "{out}");
 }

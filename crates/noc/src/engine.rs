@@ -359,6 +359,22 @@ impl HybridNetwork {
         self.net.set_record_mode(mode);
     }
 
+    /// Turn on spatial accounting (see [`Network::enable_spatial`]).
+    /// Window boundaries are cycle-aligned and quiet windows are never
+    /// recorded, so the collected windows, matrices, and flows are
+    /// identical whether quiescent regions are stepped or skipped — and
+    /// identical to the plain stepper's.
+    pub fn enable_spatial(&mut self, cfg: crate::network::SpatialConfig) {
+        self.net.enable_spatial(cfg);
+    }
+
+    /// Close the open spatial window (see
+    /// [`Network::flush_spatial_window`]). Call after the run completes
+    /// and before reading the windows through [`Self::network`].
+    pub fn flush_spatial_window(&mut self) {
+        self.net.flush_spatial_window();
+    }
+
     /// Route packet-lifecycle events to `tracer`. Tracing forces live
     /// cycles onto the sequential stepper so per-hop events stay ordered.
     pub fn attach_tracer(&mut self, tracer: &Tracer) {

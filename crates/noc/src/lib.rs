@@ -50,8 +50,8 @@ pub use flit::{Flit, FlitKind, Packet, PacketId};
 pub use latency::LatencyModel;
 pub use network::parallel::PartitionPlan;
 pub use network::{
-    DeliveredPacket, DrainTimeout, IdleJumpError, NetMetrics, Network, NocConfig, NocStats,
-    RecordMode,
+    DeliveredPacket, DrainTimeout, FlowTotals, IdleJumpError, LinkRef, NetMetrics, Network,
+    NocConfig, NocStats, RecordMode, SpatialConfig, SpatialWindow,
 };
 pub use placement::{
     place, place_exhaustive, place_greedy, place_naive, NocNode, Placement, Traffic,

@@ -266,6 +266,33 @@ pub struct NetMetrics {
     pub stall_cycles: u64,
     /// Deepest input-FIFO occupancy seen on any (router, port).
     pub fifo_high_water: u32,
+    /// Identity of the busiest inter-router link (`None` when no flit has
+    /// crossed a link). Ties break to the lowest (router, port) index, so
+    /// the answer is deterministic. (Missing in older serialized metrics;
+    /// the serde shim defaults an absent `Option` field to `None`.)
+    pub busiest_link: Option<LinkRef>,
+}
+
+/// A directed inter-router link, named by the router it exits, the router
+/// it enters, and the output port it leaves through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkRef {
+    /// Router the link exits.
+    pub from: Coord,
+    /// Router the link enters.
+    pub to: Coord,
+    /// Output direction at `from`.
+    pub dir: Direction,
+}
+
+impl std::fmt::Display for LinkRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "({},{})->({},{}) {:?}",
+            self.from.x, self.from.y, self.to.x, self.to.y, self.dir
+        )
+    }
 }
 
 impl NetMetrics {
@@ -284,6 +311,182 @@ impl NetMetrics {
         }
         self.busiest_link_flits as f64 / self.cycles as f64
     }
+}
+
+/// Configuration for the opt-in spatial accounting layer (see
+/// [`Network::enable_spatial`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpatialConfig {
+    /// Close a per-link utilization/stall/FIFO-high-water window every
+    /// this many cycles. `0` disables windowing: only the cumulative
+    /// matrices and flow totals are maintained.
+    pub window: u64,
+    /// Record per-(src, dst) flow totals at injection and delivery.
+    pub flows: bool,
+    /// Retain at most this many closed windows; older ones are dropped
+    /// (counted by [`Network::spatial_evicted`]). Windows with no traffic,
+    /// stalls, or buffered flits are never recorded at all, so a long
+    /// idle span costs nothing.
+    pub max_windows: usize,
+}
+
+impl Default for SpatialConfig {
+    fn default() -> Self {
+        SpatialConfig {
+            window: 1024,
+            flows: true,
+            max_windows: 256,
+        }
+    }
+}
+
+impl SpatialConfig {
+    /// Spatial accounting attached but inert: no windows, no flow map.
+    /// Pays only the per-step/per-send `Option` branch — the configuration
+    /// the `noc_spatial_off` bench gate holds to ≥0.98x of baseline.
+    pub fn minimal() -> Self {
+        SpatialConfig {
+            window: 0,
+            flows: false,
+            max_windows: 0,
+        }
+    }
+
+    /// Windowed matrices plus flow accounting with the given window size
+    /// (clamped to at least 1).
+    pub fn windowed(window: u64) -> Self {
+        SpatialConfig {
+            window: window.max(1),
+            ..SpatialConfig::default()
+        }
+    }
+}
+
+/// Per-(source, destination) traffic totals, keyed by router coordinates
+/// and accumulated on the shared injection/delivery paths — so the map is
+/// identical across the sequential, partitioned, and hybrid engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowTotals {
+    /// Packets injected.
+    pub packets: u64,
+    /// Payload bytes injected.
+    pub bytes: u64,
+    /// Flits injected (`ceil(bytes / flit_payload)`, min 1 per packet).
+    pub flits: u64,
+    /// Packets delivered so far.
+    pub delivered: u64,
+    /// Sum of end-to-end latencies of delivered packets, in cycles.
+    pub latency_sum: u64,
+}
+
+/// One closed spatial-accounting window: per-(router, output-port) deltas
+/// over `[start, end)` cycles. Only windows with activity are recorded.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpatialWindow {
+    /// First cycle covered.
+    pub start: u64,
+    /// One past the last cycle covered (`start + window`).
+    pub end: u64,
+    /// Flits moved per (router, output port) during the window.
+    pub link_flits: Vec<[u64; PORTS]>,
+    /// Stalled cycles per router during the window.
+    pub stall_cycles: Vec<u64>,
+    /// Input-FIFO high-water mark per (router, port) observed during the
+    /// window (occupancy resets the mark at each window boundary).
+    pub fifo_hwm: Vec<[u8; PORTS]>,
+}
+
+/// Per-(src, dst) flow storage behind [`Network::flow_totals`]. The
+/// send/deliver paths update it once per packet, so lookups must be O(1)
+/// — a tree lookup here cost double-digit percent of wall-clock at light
+/// load. Meshes whose n² pair count fits a sane memory budget get a
+/// dense table with one slot per ordered pair; larger meshes fall back
+/// to a map keyed by the packed pair index (cheaper to compare than the
+/// (Coord, Coord) tuples it replaces).
+#[derive(Debug)]
+enum FlowStore {
+    /// One [`FlowTotals`] slot per (src, dst) pair, indexed
+    /// `src_idx · n + dst_idx`. Empty when flow accounting is off.
+    Dense(Vec<FlowTotals>),
+    /// Sparse fallback keyed `src_idx · n + dst_idx`.
+    Sparse(std::collections::BTreeMap<u64, FlowTotals>),
+}
+
+impl FlowStore {
+    /// Densest table we are willing to allocate: 2²⁰ pairs ≈ 48 MB,
+    /// reached at a 32×32 mesh. Beyond that (the pair count grows with
+    /// the *fourth* power of the mesh side) traffic is sparse in the
+    /// pair space anyway, so the map fallback stays small.
+    const DENSE_LIMIT: usize = 1 << 20;
+
+    fn new(n: usize, enabled: bool) -> FlowStore {
+        if !enabled {
+            // Never indexed: every update site is gated on `cfg.flows`.
+            FlowStore::Dense(Vec::new())
+        } else if n * n <= Self::DENSE_LIMIT {
+            FlowStore::Dense(vec![FlowTotals::default(); n * n])
+        } else {
+            FlowStore::Sparse(std::collections::BTreeMap::new())
+        }
+    }
+
+    /// The totals slot for a packed `src_idx · n + dst_idx` pair index.
+    #[inline]
+    fn at(&mut self, key: u64) -> &mut FlowTotals {
+        match self {
+            FlowStore::Dense(v) => &mut v[key as usize],
+            FlowStore::Sparse(m) => m.entry(key).or_default(),
+        }
+    }
+
+    /// Materialize the coordinate-keyed view: touched pairs only, in
+    /// canonical [`Coord`] order. O(n²) for the dense store — call at
+    /// end of run, not per cycle.
+    fn snapshot(&self, mesh: Mesh) -> std::collections::BTreeMap<(Coord, Coord), FlowTotals> {
+        let n = mesh.len() as u64;
+        let unpack = |key: u64| {
+            (
+                mesh.coord((key / n) as usize),
+                mesh.coord((key % n) as usize),
+            )
+        };
+        match self {
+            FlowStore::Dense(v) => v
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| **t != FlowTotals::default())
+                .map(|(i, &t)| (unpack(i as u64), t))
+                .collect(),
+            FlowStore::Sparse(m) => m.iter().map(|(&k, &t)| (unpack(k), t)).collect(),
+        }
+    }
+}
+
+/// State for [`Network::enable_spatial`]: window baselines (the cumulative
+/// counters at the last window close), the retained closed windows, the
+/// lifetime FIFO high-water marks displaced by per-window resets, and the
+/// flow map.
+#[derive(Debug)]
+struct Spatial {
+    cfg: SpatialConfig,
+    /// First cycle of the currently open window.
+    window_start: u64,
+    /// Cycle at which the open window closes (`u64::MAX` when windowing
+    /// is off, so the hot-loop check never fires).
+    next_window: u64,
+    /// `link_flits` totals at the last window close.
+    base_flits: Vec<[u64; PORTS]>,
+    /// `stall_cycles` totals at the last window close.
+    base_stalls: Vec<u64>,
+    /// Lifetime FIFO high-water marks accumulated across window resets;
+    /// [`Network::metrics`] folds these back into `fifo_high_water`.
+    hwm_merge: Vec<[u8; PORTS]>,
+    /// Closed windows with activity, oldest first.
+    windows: Vec<SpatialWindow>,
+    /// Closed windows dropped to honour `max_windows`.
+    evicted: u64,
+    /// Per-(src, dst) totals (unused unless `cfg.flows`).
+    flows: FlowStore,
 }
 
 /// In-flight packet table exploiting monotonic [`PacketId`] assignment: a
@@ -617,6 +820,10 @@ pub struct Network {
     /// hot loop pays one `Option` check per step). See
     /// [`Network::attach_pulse`].
     pulse: Option<Box<Pulse>>,
+    /// Spatial accounting hook (`None` by default — disabled cost is one
+    /// `Option` check per step/send/deliver). See
+    /// [`Network::enable_spatial`].
+    spatial: Option<Box<Spatial>>,
 }
 
 /// State for [`Network::attach_pulse`]: pre-resolved gauge handles plus
@@ -695,7 +902,184 @@ impl Network {
                 .enabled(Category::Noc)
                 .then(hic_obs::trace::recorder),
             pulse: None,
+            spatial: None,
         }
+    }
+
+    /// Turn on spatial accounting: windowed per-link matrices and/or the
+    /// per-flow traffic map, per `cfg`. The cumulative per-link counters
+    /// are always on regardless ([`Network::link_flit_matrix`]); this
+    /// adds the windowed views and flow attribution on top. Enabling is
+    /// idempotent in effect but resets any previously collected windows
+    /// and flows; enable before injecting traffic.
+    pub fn enable_spatial(&mut self, cfg: SpatialConfig) {
+        let n = self.cfg.mesh.len();
+        self.spatial = Some(Box::new(Spatial {
+            cfg,
+            window_start: self.cycle,
+            next_window: if cfg.window == 0 {
+                u64::MAX
+            } else {
+                self.cycle + cfg.window
+            },
+            base_flits: self.link_flits.clone(),
+            base_stalls: self.stall_cycles.clone(),
+            hwm_merge: vec![[0; PORTS]; n],
+            windows: Vec::new(),
+            evicted: 0,
+            flows: FlowStore::new(n, cfg.flows),
+        }));
+    }
+
+    /// Whether spatial accounting is attached.
+    pub fn spatial_enabled(&self) -> bool {
+        self.spatial.is_some()
+    }
+
+    /// The cumulative flits-moved matrix per (router, output port). The
+    /// Local column counts ejections; the other columns count link
+    /// traversals. Always maintained (this is the always-on counter
+    /// [`Network::metrics`] aggregates), independent of
+    /// [`Network::enable_spatial`].
+    pub fn link_flit_matrix(&self) -> &[[u64; PORTS]] {
+        &self.link_flits
+    }
+
+    /// Cumulative stalled cycles per router.
+    pub fn stall_matrix(&self) -> &[u64] {
+        &self.stall_cycles
+    }
+
+    /// Lifetime input-FIFO high-water mark per (router, port), merging the
+    /// live marks with any displaced by spatial-window resets.
+    pub fn fifo_hwm_matrix(&self) -> Vec<[u8; PORTS]> {
+        let mut out = self.fifo_hwm.clone();
+        if let Some(sp) = &self.spatial {
+            for (row, merge) in out.iter_mut().zip(&sp.hwm_merge) {
+                for p in 0..PORTS {
+                    row[p] = row[p].max(merge[p]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-(src, dst) flow totals, if spatial flow accounting is on.
+    /// Materialized on demand from the O(1) store the send/deliver paths
+    /// update — call at end of run, not per cycle.
+    pub fn flow_totals(&self) -> Option<std::collections::BTreeMap<(Coord, Coord), FlowTotals>> {
+        match &self.spatial {
+            Some(sp) if sp.cfg.flows => Some(sp.flows.snapshot(self.cfg.mesh)),
+            _ => None,
+        }
+    }
+
+    /// The retained closed spatial windows (oldest first; quiet windows
+    /// are never recorded).
+    pub fn spatial_windows(&self) -> &[SpatialWindow] {
+        self.spatial.as_ref().map_or(&[], |sp| &sp.windows)
+    }
+
+    /// Closed windows dropped to honour
+    /// [`max_windows`](SpatialConfig::max_windows).
+    pub fn spatial_evicted(&self) -> u64 {
+        self.spatial.as_ref().map_or(0, |sp| sp.evicted)
+    }
+
+    /// Record the window `[sp.window_start, end)` if it saw any activity
+    /// (flits moved, stalls accrued, or buffered flits observed), updating
+    /// the baselines and the high-water merge. Returns whether a window
+    /// was recorded; a quiet window leaves every baseline untouched.
+    fn spatial_close_at(&mut self, sp: &mut Spatial, end: u64) -> bool {
+        let mut link_flits = Vec::new();
+        let mut stall_cycles = Vec::new();
+        let mut fifo_hwm = Vec::new();
+        let mut any = false;
+        for r in 0..self.link_flits.len() {
+            let mut row = [0u64; PORTS];
+            for p in 0..PORTS {
+                row[p] = self.link_flits[r][p] - sp.base_flits[r][p];
+            }
+            any |= row.iter().any(|&f| f != 0);
+            link_flits.push(row);
+            let stalls = self.stall_cycles[r] - sp.base_stalls[r];
+            any |= stalls != 0;
+            stall_cycles.push(stalls);
+            let hwm = self.fifo_hwm[r];
+            any |= hwm.iter().any(|&h| h != 0);
+            fifo_hwm.push(hwm);
+        }
+        if !any {
+            return false;
+        }
+        sp.base_flits.copy_from_slice(&self.link_flits);
+        sp.base_stalls.copy_from_slice(&self.stall_cycles);
+        for r in 0..self.fifo_hwm.len() {
+            for p in 0..PORTS {
+                sp.hwm_merge[r][p] = sp.hwm_merge[r][p].max(self.fifo_hwm[r][p]);
+            }
+            self.fifo_hwm[r] = [0; PORTS];
+        }
+        sp.windows.push(SpatialWindow {
+            start: sp.window_start,
+            end,
+            link_flits,
+            stall_cycles,
+            fifo_hwm,
+        });
+        if sp.windows.len() > sp.cfg.max_windows {
+            let drop = sp.windows.len() - sp.cfg.max_windows;
+            sp.windows.drain(..drop);
+            sp.evicted += drop as u64;
+        }
+        true
+    }
+
+    /// Cold path of the spatial hook: close every window whose boundary
+    /// the clock has reached. Called from the steppers (at most one
+    /// boundary per call) and from [`Network::advance_idle_to`], where the
+    /// open window is closed once and the remaining jumped span — idle by
+    /// definition — is skipped in O(1).
+    #[cold]
+    fn spatial_roll(&mut self) {
+        let Some(mut sp) = self.spatial.take() else {
+            return;
+        };
+        let w = sp.cfg.window;
+        while sp.next_window <= self.cycle {
+            let end = sp.next_window;
+            let recorded = self.spatial_close_at(&mut sp, end);
+            sp.window_start = end;
+            sp.next_window = end + w;
+            if !recorded && self.is_drained() {
+                // The closed window was quiet and nothing can move until
+                // the next injection: realign the open window to the last
+                // boundary at or before the clock in O(1) instead of
+                // iterating per skipped window.
+                let skipped = (self.cycle - sp.window_start) / w;
+                sp.window_start += skipped * w;
+                sp.next_window = sp.window_start + w;
+                break;
+            }
+        }
+        self.spatial = Some(sp);
+    }
+
+    /// Close the currently open spatial window immediately, recording a
+    /// partial window `[start, cycle)` if anything happened in it. Call
+    /// at end of run before reading [`Network::spatial_windows`] so the
+    /// tail of the traffic is not lost in a never-closed window; the next
+    /// window (if the run continues) restarts at the current cycle.
+    pub fn flush_spatial_window(&mut self) {
+        let Some(mut sp) = self.spatial.take() else {
+            return;
+        };
+        if sp.cfg.window != 0 && self.cycle > sp.window_start {
+            self.spatial_close_at(&mut sp, self.cycle);
+            sp.window_start = self.cycle;
+            sp.next_window = self.cycle + sp.cfg.window;
+        }
+        self.spatial = Some(sp);
     }
 
     /// Publish live gauges into `reg` every `every` cycles while the
@@ -814,6 +1198,16 @@ impl Network {
             });
         }
         self.cycle = self.cycle.max(cycle);
+        if self
+            .spatial
+            .as_ref()
+            .is_some_and(|s| self.cycle >= s.next_window)
+        {
+            // Close the window that was open when traffic drained, then
+            // realign past the idle span — so the recorded window sequence
+            // is identical whether the quiet region was stepped or jumped.
+            self.spatial_roll();
+        }
         Ok(self.cycle)
     }
 
@@ -864,6 +1258,16 @@ impl Network {
         for flit in pkt.flitize(self.cfg.flit_payload) {
             self.inject[node].push_back(flit);
             self.pending[node] += 1;
+        }
+        if let Some(sp) = &mut self.spatial {
+            if sp.cfg.flows {
+                let key =
+                    node as u64 * self.cfg.mesh.len() as u64 + self.cfg.mesh.index(dst) as u64;
+                let f = sp.flows.at(key);
+                f.packets += 1;
+                f.bytes += bytes;
+                f.flits += pkt.flit_count(self.cfg.flit_payload);
+            }
         }
         self.inflight.insert(
             id,
@@ -922,6 +1326,15 @@ impl Network {
             }
         }
         self.stats.record(latency, fin.bytes);
+        if let Some(sp) = &mut self.spatial {
+            if sp.cfg.flows {
+                let key = self.cfg.mesh.index(fin.src) as u64 * self.cfg.mesh.len() as u64
+                    + self.cfg.mesh.index(fin.dst) as u64;
+                let f = sp.flows.at(key);
+                f.delivered += 1;
+                f.latency_sum += latency;
+            }
+        }
         if let Some(from) = self.window_from {
             if fin.injected >= from {
                 self.window.record(latency, fin.bytes);
@@ -1082,6 +1495,13 @@ impl Network {
         if self.pulse.as_ref().is_some_and(|p| self.cycle >= p.next) {
             self.pulse_fire();
         }
+        if self
+            .spatial
+            .as_ref()
+            .is_some_and(|s| self.cycle >= s.next_window)
+        {
+            self.spatial_roll();
+        }
     }
 
     /// Aggregate the always-on per-router observability counters (see
@@ -1099,7 +1519,16 @@ impl Network {
                     m.ejected_flits += flits;
                 } else {
                     m.forwarded_flits += flits;
-                    m.busiest_link_flits = m.busiest_link_flits.max(flits);
+                    if flits > m.busiest_link_flits {
+                        m.busiest_link_flits = flits;
+                        if self.nbr[r][p] != u32::MAX {
+                            m.busiest_link = Some(LinkRef {
+                                from: self.coords[r],
+                                to: self.coords[self.nbr[r][p] as usize],
+                                dir: Direction::ALL[p],
+                            });
+                        }
+                    }
                     if self.nbr[r][p] != u32::MAX {
                         m.links += 1;
                     }
@@ -1107,6 +1536,16 @@ impl Network {
                 m.fifo_high_water = m.fifo_high_water.max(self.fifo_hwm[r][p] as u32);
             }
             m.stall_cycles += self.stall_cycles[r];
+        }
+        if let Some(sp) = &self.spatial {
+            // Window resets displace high-water marks into the spatial
+            // merge array; fold them back so the lifetime answer is
+            // unchanged by windowing.
+            for row in &sp.hwm_merge {
+                for &h in row {
+                    m.fifo_high_water = m.fifo_high_water.max(h as u32);
+                }
+            }
         }
         m
     }
@@ -1134,6 +1573,16 @@ impl Network {
             .set((m.mean_link_utilization() * 1000.0).round() as u64);
         reg.gauge(&format!("{prefix}.link.util_max_permille"))
             .set((m.max_link_utilization() * 1000.0).round() as u64);
+        if let Some(b) = m.busiest_link {
+            reg.gauge(&format!("{prefix}.link.busiest_x"))
+                .set(b.from.x as u64);
+            reg.gauge(&format!("{prefix}.link.busiest_y"))
+                .set(b.from.y as u64);
+            reg.gauge(&format!("{prefix}.link.busiest_port"))
+                .set(b.dir.index() as u64);
+            reg.gauge(&format!("{prefix}.link.busiest_flits"))
+                .set(m.busiest_link_flits);
+        }
         let lat = reg.histogram(&format!("{prefix}.latency_cycles"));
         for (latency, &n) in self.stats.histogram().iter().enumerate() {
             lat.record_n(latency as u64, n);
@@ -1610,6 +2059,189 @@ mod tests {
         }
         let s = reg.snapshot();
         assert_eq!(s.gauges["noc.live.inflight_packets"].last, 0);
+    }
+
+    #[test]
+    fn busiest_link_identity_matches_the_flit_count() {
+        let mut n = net(3, 1);
+        // All traffic funnels east into (2,0): the (1,0)→(2,0) East link
+        // carries everything from both sources.
+        n.send(Coord::new(0, 0), Coord::new(2, 0), 32);
+        n.send(Coord::new(1, 0), Coord::new(2, 0), 32);
+        n.run_until_drained(1000).unwrap();
+        let m = n.metrics();
+        let b = m.busiest_link.expect("traffic crossed links");
+        assert_eq!(b.from, Coord::new(1, 0));
+        assert_eq!(b.to, Coord::new(2, 0));
+        assert_eq!(b.dir, Direction::East);
+        let idx = n.cfg.mesh.index(b.from);
+        assert_eq!(n.link_flits[idx][b.dir.index()], m.busiest_link_flits);
+        assert_eq!(format!("{b}"), "(1,0)->(2,0) East");
+    }
+
+    #[test]
+    fn link_matrix_sums_match_aggregate_metrics() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut n = net(4, 4);
+        let mesh = Mesh::new(4, 4);
+        for _ in 0..100 {
+            let s = mesh.coord(rng.gen_range(0..mesh.len()));
+            let d = mesh.coord(rng.gen_range(0..mesh.len()));
+            n.send(s, d, rng.gen_range(0..64));
+            for _ in 0..rng.gen_range(0..3) {
+                n.step();
+            }
+        }
+        n.run_until_drained(100_000).unwrap();
+        let m = n.metrics();
+        let local = Direction::Local.index();
+        let mut forwarded = 0;
+        let mut ejected = 0;
+        for row in n.link_flit_matrix() {
+            for (p, &f) in row.iter().enumerate() {
+                if p == local {
+                    ejected += f;
+                } else {
+                    forwarded += f;
+                }
+            }
+        }
+        assert_eq!(forwarded, m.forwarded_flits);
+        assert_eq!(ejected, m.ejected_flits);
+        assert_eq!(n.stall_matrix().iter().sum::<u64>(), m.stall_cycles);
+    }
+
+    #[test]
+    fn flow_totals_conserve_injected_bytes_and_packets() {
+        let mut n = net(3, 3);
+        n.enable_spatial(SpatialConfig::default());
+        let mut injected = 0u64;
+        for (s, d, b) in [
+            (Coord::new(0, 0), Coord::new(2, 2), 40u64),
+            (Coord::new(0, 0), Coord::new(2, 2), 8),
+            (Coord::new(1, 0), Coord::new(0, 2), 16),
+            (Coord::new(2, 2), Coord::new(2, 2), 0),
+        ] {
+            n.send(s, d, b);
+            injected += b;
+        }
+        n.run_until_drained(10_000).unwrap();
+        let flows = n.flow_totals().expect("flow accounting on");
+        assert_eq!(flows.len(), 3);
+        assert_eq!(flows.values().map(|f| f.bytes).sum::<u64>(), injected);
+        assert_eq!(flows.values().map(|f| f.packets).sum::<u64>(), 4);
+        assert_eq!(flows.values().map(|f| f.delivered).sum::<u64>(), 4);
+        let hot = flows[&(Coord::new(0, 0), Coord::new(2, 2))];
+        assert_eq!(hot.packets, 2);
+        assert_eq!(hot.bytes, 48);
+        // 40 bytes = 10 flits, 8 bytes = 2 flits at 4-byte payloads.
+        assert_eq!(hot.flits, 12);
+        assert!(hot.latency_sum > 0);
+    }
+
+    #[test]
+    fn spatial_windows_partition_the_cumulative_matrix() {
+        let mut n = net(3, 1);
+        n.enable_spatial(SpatialConfig::windowed(8));
+        n.send(Coord::new(0, 0), Coord::new(2, 0), 64);
+        n.run_until_drained(1000).unwrap();
+        // Step past the last boundary so the final window closes too.
+        let end = n.cycle().next_multiple_of(8);
+        while n.cycle() < end {
+            n.step();
+        }
+        let windows = n.spatial_windows();
+        assert!(!windows.is_empty());
+        let mut summed = [[0u64; PORTS]; 3];
+        for w in windows {
+            assert_eq!(w.end - w.start, 8);
+            for (r, row) in w.link_flits.iter().enumerate() {
+                for p in 0..PORTS {
+                    summed[r][p] += row[p];
+                }
+            }
+        }
+        assert_eq!(&summed[..], n.link_flit_matrix());
+        // Window resets displaced the high-water marks; the lifetime
+        // answers still come back merged.
+        assert!(n.metrics().fifo_high_water >= 1);
+        assert!(n.fifo_hwm_matrix().iter().flatten().any(|&h| h > 0));
+    }
+
+    #[test]
+    fn quiet_windows_are_skipped_and_jumps_match_stepping() {
+        // Same schedule, one run stepping through the idle gap, one
+        // jumping it: recorded windows must be identical.
+        let run = |jump: bool| {
+            let mut n = net(3, 1);
+            n.enable_spatial(SpatialConfig::windowed(16));
+            n.send(Coord::new(0, 0), Coord::new(2, 0), 32);
+            n.run_until_drained(1000).unwrap();
+            if jump {
+                n.advance_idle_to(500).unwrap();
+            } else {
+                while n.cycle() < 500 {
+                    n.step();
+                }
+            }
+            n.send(Coord::new(2, 0), Coord::new(0, 0), 32);
+            n.run_until_drained(1000).unwrap();
+            let end = n.cycle().next_multiple_of(16);
+            if jump {
+                n.advance_idle_to(end).unwrap();
+            } else {
+                while n.cycle() < end {
+                    n.step();
+                }
+            }
+            (n.spatial_windows().to_vec(), n.metrics())
+        };
+        let (stepped, ms) = run(false);
+        let (jumped, mj) = run(true);
+        assert_eq!(stepped, jumped);
+        assert_eq!(ms, mj);
+        // The idle gap produced no windows at all.
+        assert!(stepped.windows(2).all(|w| w[1].start >= w[0].end));
+        assert!(stepped.len() < 500 / 16);
+    }
+
+    #[test]
+    fn window_eviction_is_counted() {
+        let mut n = net(2, 1);
+        n.enable_spatial(SpatialConfig {
+            window: 4,
+            flows: false,
+            max_windows: 2,
+        });
+        for _ in 0..8 {
+            n.send(Coord::new(0, 0), Coord::new(1, 0), 16);
+            n.run_until_drained(100).unwrap();
+        }
+        let end = n.cycle().next_multiple_of(4);
+        while n.cycle() < end {
+            n.step();
+        }
+        assert_eq!(n.spatial_windows().len(), 2);
+        assert!(n.spatial_evicted() > 0);
+        assert!(n.flow_totals().is_none(), "flows disabled by config");
+    }
+
+    #[test]
+    fn spatial_does_not_change_cycle_semantics() {
+        let mk = |spatial: bool| {
+            let mut n = net(4, 4);
+            if spatial {
+                n.enable_spatial(SpatialConfig::windowed(32));
+            }
+            for x in 0..4u16 {
+                n.send(Coord::new(x, 0), Coord::new(3 - x, 3), 48);
+            }
+            n.run_until_drained(10_000).unwrap();
+            (n.cycle, n.stats.delivered(), n.metrics())
+        };
+        assert_eq!(mk(false), mk(true));
     }
 
     #[test]

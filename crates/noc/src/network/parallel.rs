@@ -433,5 +433,16 @@ impl Network {
         if self.pulse.as_ref().is_some_and(|p| self.cycle >= p.next) {
             self.pulse_fire();
         }
+        if self
+            .spatial
+            .as_ref()
+            .is_some_and(|s| self.cycle >= s.next_window)
+        {
+            // Window boundaries are observed by the coordinator after the
+            // parallel scopes, against the same reconciled counters the
+            // sequential stepper sees — so closed windows are identical
+            // for every worker count.
+            self.spatial_roll();
+        }
     }
 }

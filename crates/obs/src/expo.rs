@@ -113,22 +113,153 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
 /// `hic_rate_per_sec{series="<name>"}` gauge per store series that has
 /// a defined rate over the trailing [`RATE_WINDOW_MS`].
 pub fn render_prometheus_with_rates(snap: &Snapshot, store: Option<&SeriesStore>) -> String {
+    render_prometheus_full(snap, store, None)
+}
+
+/// [`render_prometheus_with_rates`] plus the labeled-gauge store: one
+/// `hic_<name>{label="…",…} value` row per published [`LabeledRow`].
+pub fn render_prometheus_full(
+    snap: &Snapshot,
+    store: Option<&SeriesStore>,
+    labeled: Option<&LabeledStore>,
+) -> String {
     let mut out = render_prometheus(snap);
-    let Some(store) = store else { return out };
-    let mut wrote_type = false;
-    for name in store.names() {
-        if let Some(rate) = store.rate_per_sec(&name, RATE_WINDOW_MS) {
-            if !wrote_type {
-                out.push_str("# TYPE hic_rate_per_sec gauge\n");
-                wrote_type = true;
+    if let Some(store) = store {
+        let mut wrote_type = false;
+        for name in store.names() {
+            if let Some(rate) = store.rate_per_sec(&name, RATE_WINDOW_MS) {
+                if !wrote_type {
+                    out.push_str("# TYPE hic_rate_per_sec gauge\n");
+                    wrote_type = true;
+                }
+                writeln!(
+                    out,
+                    "hic_rate_per_sec{{series=\"{}\"}} {rate}",
+                    escape_label(&name)
+                )
+                .unwrap();
             }
-            writeln!(
-                out,
-                "hic_rate_per_sec{{series=\"{}\"}} {rate}",
-                escape_label(&name)
-            )
-            .unwrap();
         }
+    }
+    if let Some(labeled) = labeled {
+        labeled.render_into(&mut out);
+    }
+    out
+}
+
+/// One row of a labeled gauge series: a label set and its value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledRow {
+    /// Label key/value pairs, rendered in the given order.
+    pub labels: Vec<(String, String)>,
+    /// The gauge value.
+    pub value: f64,
+}
+
+impl LabeledRow {
+    /// Build a row from `(key, value)` pairs.
+    pub fn new<K: Into<String>, V: Into<String>>(labels: Vec<(K, V)>, value: f64) -> LabeledRow {
+        LabeledRow {
+            labels: labels
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+            value,
+        }
+    }
+}
+
+/// A shared store of labeled gauge series for the `/metrics` endpoint.
+///
+/// The scalar [`Registry`] cannot carry per-label dimensions (its keys
+/// are flat names); this store holds the few series that need labels —
+/// e.g. the top-N hottest NoC links as
+/// `hic_noc_link_util{x="2",y="1",port="east"}` — and renders them after
+/// the registry-derived body. Series are keyed by metric name in a
+/// `BTreeMap`, and a series' rows keep their published order, so the
+/// exposition is deterministic: same store contents, same bytes.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledStore {
+    series: Arc<std::sync::Mutex<std::collections::BTreeMap<String, Vec<LabeledRow>>>>,
+}
+
+impl LabeledStore {
+    /// An empty store.
+    pub fn new() -> LabeledStore {
+        LabeledStore::default()
+    }
+
+    /// Replace the rows of series `name` (a registry-style dotted name;
+    /// it is sanitized through [`metric_name`] at render time).
+    pub fn set(&self, name: &str, rows: Vec<LabeledRow>) {
+        let mut map = self.series.lock().expect("labeled store lock");
+        if rows.is_empty() {
+            map.remove(name);
+        } else {
+            map.insert(name.to_string(), rows);
+        }
+    }
+
+    /// Remove series `name`.
+    pub fn clear(&self, name: &str) {
+        self.series.lock().expect("labeled store lock").remove(name);
+    }
+
+    /// Names of the stored series, in exposition order.
+    pub fn names(&self) -> Vec<String> {
+        self.series
+            .lock()
+            .expect("labeled store lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// The rows of series `name`, if present.
+    pub fn get(&self, name: &str) -> Option<Vec<LabeledRow>> {
+        self.series
+            .lock()
+            .expect("labeled store lock")
+            .get(name)
+            .cloned()
+    }
+
+    /// Append the store's series to an exposition document.
+    pub fn render_into(&self, out: &mut String) {
+        let map = self.series.lock().expect("labeled store lock");
+        for (name, rows) in map.iter() {
+            let m = metric_name(name);
+            writeln!(out, "# TYPE {m} gauge").unwrap();
+            for row in rows {
+                out.push_str(&m);
+                if !row.labels.is_empty() {
+                    out.push('{');
+                    for (i, (k, v)) in row.labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        write!(out, "{}=\"{}\"", label_key(k), escape_label(v)).unwrap();
+                    }
+                    out.push('}');
+                }
+                writeln!(out, " {}", row.value).unwrap();
+            }
+        }
+    }
+}
+
+/// Sanitize a label key into `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn label_key(k: &str) -> String {
+    let mut out = String::with_capacity(k.len());
+    for (i, c) in k.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' => out.push(c),
+            '0'..='9' if i > 0 => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
     }
     out
 }
@@ -166,7 +297,7 @@ impl MetricsServer {
         store: Option<SeriesStore>,
         port: u16,
     ) -> std::io::Result<MetricsServer> {
-        MetricsServer::start_with_status(reg, store, port, None)
+        MetricsServer::start_full(reg, store, port, None, None)
     }
 
     /// [`MetricsServer::start`] with a [`StatusSource`] answering
@@ -178,6 +309,19 @@ impl MetricsServer {
         store: Option<SeriesStore>,
         port: u16,
         status: Option<Arc<dyn StatusSource>>,
+    ) -> std::io::Result<MetricsServer> {
+        MetricsServer::start_full(reg, store, port, status, None)
+    }
+
+    /// The full constructor: registry, sampler store, status source,
+    /// and a [`LabeledStore`] whose series (e.g. the top-N hottest NoC
+    /// links) are appended to every `/metrics` scrape.
+    pub fn start_full(
+        reg: Registry,
+        store: Option<SeriesStore>,
+        port: u16,
+        status: Option<Arc<dyn StatusSource>>,
+        labeled: Option<LabeledStore>,
     ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
@@ -193,7 +337,13 @@ impl MetricsServer {
                             Ok((stream, _)) => {
                                 // Serve inline: one scrape at a time is
                                 // the whole design point.
-                                let _ = respond(stream, &reg, store.as_ref(), status.as_deref());
+                                let _ = respond(
+                                    stream,
+                                    &reg,
+                                    store.as_ref(),
+                                    status.as_deref(),
+                                    labeled.as_ref(),
+                                );
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                                 std::thread::sleep(Duration::from_millis(10));
@@ -244,6 +394,7 @@ fn respond(
     reg: &Registry,
     store: Option<&SeriesStore>,
     status_src: Option<&dyn StatusSource>,
+    labeled: Option<&LabeledStore>,
 ) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
@@ -259,7 +410,7 @@ fn respond(
     let lookup = if body_suppressed { "GET" } else { method };
     let (status, ctype, body) = match (lookup, path) {
         ("GET", "/metrics") => {
-            let body = render_prometheus_with_rates(&reg.snapshot(), store);
+            let body = render_prometheus_full(&reg.snapshot(), store, labeled);
             ("200 OK", PROMETHEUS_CONTENT_TYPE, body)
         }
         ("GET", "/healthz") => match status_src.map_or(Ok(()), |s| s.healthz()) {
@@ -439,6 +590,105 @@ mod tests {
             "{body}"
         );
         validate_exposition(&body).unwrap();
+    }
+
+    #[test]
+    fn labeled_series_round_trip_through_the_exposition_format() {
+        let store = LabeledStore::new();
+        // Published hottest-first; the renderer must preserve row order
+        // and sanitize names/labels without altering values.
+        let rows = vec![
+            LabeledRow::new(vec![("x", "2"), ("y", "1"), ("port", "east")], 930.0),
+            LabeledRow::new(vec![("x", "2"), ("y", "0"), ("port", "south")], 715.0),
+            LabeledRow::new(vec![("x", "0"), ("y", "1"), ("port", "east")], 402.5),
+        ];
+        store.set("noc.link.util", rows.clone());
+        store.set(
+            "noc.link.flits",
+            vec![LabeledRow::new(vec![("x", "2")], 640.0)],
+        );
+
+        let body = render_prometheus_full(&sample_registry().snapshot(), None, Some(&store));
+        validate_exposition(&body).unwrap();
+
+        // Parse every labeled row back out of the document.
+        let mut parsed: Vec<(String, LabeledRow)> = Vec::new();
+        for line in body.lines() {
+            if line.starts_with('#') || !line.contains('{') || line.contains("build_info") {
+                continue;
+            }
+            let (name_labels, value) = line.rsplit_once(' ').unwrap();
+            let (name, labels) = name_labels.split_once('{').unwrap();
+            if line.contains("quantile") {
+                continue;
+            }
+            let labels: Vec<(String, String)> = labels
+                .trim_end_matches('}')
+                .split(',')
+                .map(|kv| {
+                    let (k, v) = kv.split_once('=').unwrap();
+                    (k.to_string(), v.trim_matches('"').to_string())
+                })
+                .collect();
+            parsed.push((
+                name.to_string(),
+                LabeledRow {
+                    labels,
+                    value: value.parse().unwrap(),
+                },
+            ));
+        }
+        // Series render in BTreeMap (name) order: flits before util.
+        let flits: Vec<_> = parsed
+            .iter()
+            .filter(|(n, _)| n == "hic_noc_link_flits")
+            .collect();
+        let util: Vec<_> = parsed
+            .iter()
+            .filter(|(n, _)| n == "hic_noc_link_util")
+            .collect();
+        assert_eq!(flits.len(), 1);
+        assert_eq!(util.len(), 3);
+        for (got, want) in util.iter().zip(&rows) {
+            assert_eq!(&got.1, want);
+        }
+        // Two renders of the same store are byte-identical.
+        let again = render_prometheus_full(&sample_registry().snapshot(), None, Some(&store));
+        assert_eq!(body, again);
+
+        // Empty replacement removes the series.
+        store.set("noc.link.flits", vec![]);
+        assert_eq!(store.names(), vec!["noc.link.util".to_string()]);
+    }
+
+    #[test]
+    fn labeled_store_serves_through_the_http_endpoint() {
+        let store = LabeledStore::new();
+        store.set(
+            "noc.link.util",
+            vec![LabeledRow::new(
+                vec![("x", "1"), ("y", "0"), ("port", "east")],
+                1000.0,
+            )],
+        );
+        let mut srv =
+            MetricsServer::start_full(sample_registry(), None, 0, None, Some(store.clone()))
+                .unwrap();
+        let body = http_get_local(srv.port(), "/metrics").unwrap();
+        assert!(
+            body.contains("hic_noc_link_util{x=\"1\",y=\"0\",port=\"east\"} 1000"),
+            "{body}"
+        );
+        validate_exposition(&body).unwrap();
+        srv.stop();
+    }
+
+    #[test]
+    fn label_keys_are_sanitized() {
+        assert_eq!(label_key("port"), "port");
+        assert_eq!(label_key("2bad"), "_bad");
+        assert_eq!(label_key("a-b.c"), "a_b_c");
+        assert_eq!(label_key(""), "_");
     }
 
     #[test]

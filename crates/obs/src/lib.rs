@@ -72,7 +72,10 @@ pub fn build_info() -> BuildInfo {
     }
 }
 
-pub use expo::{render_prometheus, validate_exposition, MetricsServer, StatusSource};
+pub use expo::{
+    render_prometheus, render_prometheus_full, validate_exposition, LabeledRow, LabeledStore,
+    MetricsServer, StatusSource,
+};
 pub use metrics::{bucket_bounds, bucket_of, Counter, Gauge, Histogram, BUCKETS};
 pub use registry::{global, Registry, Span};
 pub use snapshot::{BucketValue, GaugeValue, HistogramValue, Snapshot, SCHEMA};

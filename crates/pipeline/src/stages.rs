@@ -99,9 +99,26 @@ pub fn design_key(
     )
 }
 
-/// Store key for the co-simulation of `plan`.
+/// Store key for the co-simulation of `plan` at the current
+/// process-wide heatmap window (see [`hic_sim::set_heatmap_window`]).
 pub fn cosim_key(plan: &PlanArtifact) -> StableHash {
-    stage_key("cosim", &[stable_hash_json(plan)])
+    cosim_key_for(plan, hic_sim::heatmap_window())
+}
+
+/// Store key for the co-simulation of `plan` at an explicit spatial
+/// window. The cosim artifact embeds the `hic-heatmap/v1` report, whose
+/// content depends on the window; salting the key with the schema tag
+/// and the window keeps pre-heatmap cache entries — and runs at other
+/// windows — from being served for this configuration.
+pub fn cosim_key_for(plan: &PlanArtifact, window: u64) -> StableHash {
+    stage_key(
+        "cosim",
+        &[
+            stable_hash_json(plan),
+            stable_hash_json(&hic_sim::HEATMAP_SCHEMA),
+            stable_hash_json(&window),
+        ],
+    )
 }
 
 /// Store key for the DSE sweep of `spec` under `cfg`.
@@ -283,6 +300,24 @@ mod tests {
         assert_ne!(k0, design_key(&spec, &fatter, DesignKnobs::ALL, "hybrid"));
         assert_ne!(k0, design_key(&spec, &cfg, DesignKnobs::NONE, "hybrid"));
         assert_eq!(k0, design_key(&spec, &cfg, DesignKnobs::ALL, "hybrid"));
+    }
+
+    #[test]
+    fn cosim_key_tracks_the_heatmap_window() {
+        let (spec, cfg) = spec_and_cfg();
+        let plan = design_variant(None, true, &spec, &cfg, Variant::Hybrid).unwrap();
+        let artifact = PlanArtifact::from(&plan);
+        // Different windows produce different artifacts, so they must
+        // key separately; and neither collides with the pre-heatmap key
+        // shape (plan hash alone).
+        let k1024 = cosim_key_for(&artifact, 1024);
+        assert_ne!(k1024, cosim_key_for(&artifact, 256));
+        assert_ne!(k1024, cosim_key_for(&artifact, 0));
+        assert_ne!(k1024, stage_key("cosim", &[stable_hash_json(&artifact)]));
+        assert_eq!(
+            cosim_key(&artifact),
+            cosim_key_for(&artifact, hic_sim::heatmap_window())
+        );
     }
 
     #[test]

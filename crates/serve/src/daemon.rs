@@ -179,6 +179,10 @@ struct Inner {
     /// breakdown. The same codes also increment `serve.errors.{code}`
     /// registry counters.
     errors: Mutex<BTreeMap<&'static str, u64>>,
+    /// Labeled Prometheus series (the hottest NoC links of the most
+    /// recent cosim-bearing job), served when the CLI attaches a
+    /// metrics endpoint via [`Daemon::labeled_store`].
+    labeled: hic_obs::LabeledStore,
     /// End-to-end latency target for the SLO burn counters, ms.
     slo_ms: u64,
     /// Daemon start time (uptime in `/statusz`).
@@ -220,8 +224,13 @@ impl Inner {
         self.progress.notify_all();
     }
 
-    /// Execute one job against the shared store.
-    fn execute(&self, spec: &JobSpec) -> Result<String, PipelineError> {
+    /// Execute one job against the shared store. Cosim-bearing jobs
+    /// also return the run's spatial heatmap (when enabled) so the
+    /// worker can publish the hottest links and stamp the timeline.
+    fn execute(
+        &self,
+        spec: &JobSpec,
+    ) -> Result<(String, Option<hic_sim::HeatmapReport>), PipelineError> {
         let store = self.store.as_ref();
         let read = self.read_cache;
         let cfg = hic_core::DesignConfig::default();
@@ -229,23 +238,26 @@ impl Inner {
         match spec.kind {
             JobKind::Profile => {
                 let p = stages::profile(store, read, app)?;
-                serde_json::to_string(&p)
-                    .map_err(|e| PipelineError::Json(format!("profile payload: {e}")))
+                let payload = serde_json::to_string(&p)
+                    .map_err(|e| PipelineError::Json(format!("profile payload: {e}")))?;
+                Ok((payload, None))
             }
             JobKind::Design { knobs } => {
                 let p = stages::profile(store, read, app)?;
                 let plan =
                     stages::design_point(store, read, &p.spec, &cfg, hic_core::knobs_at(knobs))?;
-                serde_json::to_string(&hic_core::PlanArtifact::from(&plan))
-                    .map_err(|e| PipelineError::Json(format!("design payload: {e}")))
+                let payload = serde_json::to_string(&hic_core::PlanArtifact::from(&plan))
+                    .map_err(|e| PipelineError::Json(format!("design payload: {e}")))?;
+                Ok((payload, None))
             }
             JobKind::Cosim => {
                 let p = stages::profile(store, read, app)?;
                 let plan =
                     stages::design_point(store, read, &p.spec, &cfg, hic_core::DesignKnobs::ALL)?;
                 let sim = stages::cosim(store, read, &plan)?;
-                serde_json::to_string(&sim)
-                    .map_err(|e| PipelineError::Json(format!("cosim payload: {e}")))
+                let payload = serde_json::to_string(&sim)
+                    .map_err(|e| PipelineError::Json(format!("cosim payload: {e}")))?;
+                Ok((payload, sim.heatmap))
             }
             JobKind::Batch => {
                 // The full per-app pipeline, stage by stage through the
@@ -261,12 +273,13 @@ impl Inner {
                 }
                 let sim = stages::cosim(store, read, &hybrid.expect("lattice point 15"))?;
                 let sim_json = serde_json::to_value(&sim);
-                serde_json::to_string(&json!({
+                let payload = serde_json::to_string(&json!({
                     "app": app,
                     "designs": 16u64,
                     "cosim": sim_json
                 }))
-                .map_err(|e| PipelineError::Json(format!("batch payload: {e}")))
+                .map_err(|e| PipelineError::Json(format!("batch payload: {e}")))?;
+                Ok((payload, sim.heatmap))
             }
         }
     }
@@ -312,6 +325,7 @@ impl Daemon {
             counters: ServeCounters::default(),
             timelines: TimelineStore::new(DEFAULT_TIMELINE_CAP),
             errors: Mutex::new(BTreeMap::new()),
+            labeled: hic_obs::LabeledStore::new(),
             slo_ms,
             started: Instant::now(),
             draining: AtomicBool::new(false),
@@ -445,6 +459,14 @@ impl Daemon {
             .as_ref()
             .map(|s| s.stats())
             .unwrap_or_default()
+    }
+
+    /// The daemon's labeled-series store: the hottest NoC links of the
+    /// most recent cosim-bearing job, as `hic_noc_link_util{x,y,port}`
+    /// rows. Hand it to [`hic_obs::MetricsServer::start_full`] to serve
+    /// them on `/metrics`.
+    pub fn labeled_store(&self) -> hic_obs::LabeledStore {
+        self.inner.labeled.clone()
     }
 
     /// A [`StatusSource`] view of this daemon, for
@@ -595,6 +617,16 @@ fn worker_loop(inner: &Inner, worker: usize) {
             ),
         }
         let obs = guard.finish();
+        // Cosim-bearing jobs carry a spatial heatmap: publish its hottest
+        // links as labeled series (/metrics) and put the plain-language
+        // verdict on the timeline for `hic jobs` / `hic inspect`.
+        let heatmap_verdict = match &outcome {
+            Ok((_, Some(hm))) => {
+                hic_sim::publish_series(hm, &inner.labeled, 8);
+                hm.verdict.clone()
+            }
+            _ => String::new(),
+        };
         let timeline = JobTimeline {
             id: job,
             client,
@@ -611,6 +643,7 @@ fn worker_loop(inner: &Inner, worker: usize) {
             queue_wait_ns: queue_wait.as_nanos() as u64,
             exec_ns: exec.as_nanos() as u64,
             stages: Vec::new(),
+            heatmap: heatmap_verdict,
         }
         .with_stages(obs);
         inner.timelines.push(timeline);
@@ -622,7 +655,7 @@ fn worker_loop(inner: &Inner, worker: usize) {
             let mut jobs = inner.jobs.lock().unwrap();
             let rec = &mut jobs[job as usize];
             match outcome {
-                Ok(payload) => {
+                Ok((payload, _)) => {
                     rec.state = JobState::Done;
                     rec.payload = Some(payload);
                     inner.counters.completed.fetch_add(1, Ordering::Relaxed);

@@ -48,6 +48,9 @@ pub struct JobTimeline {
     pub exec_ns: u64,
     /// Stage spans, in completion order (nested spans carry depth ≥ 1).
     pub stages: Vec<StageObs>,
+    /// Spatial-heatmap verdict for jobs whose result embeds a
+    /// `hic-heatmap/v1` artifact (cosim/batch); empty otherwise.
+    pub heatmap: String,
 }
 
 impl JobTimeline {
@@ -103,7 +106,8 @@ impl JobTimeline {
             "queue_wait_ms": ns_to_ms(self.queue_wait_ns),
             "exec_ms": ns_to_ms(self.exec_ns),
             "total_ms": ns_to_ms(self.total_ns()),
-            "stages": self.stages.iter().filter(|s| s.depth == 0).count() as u64
+            "stages": self.stages.iter().filter(|s| s.depth == 0).count() as u64,
+            "heatmap": self.heatmap.as_str()
         })
     }
 
@@ -139,7 +143,8 @@ impl JobTimeline {
             "exec_ns": self.exec_ns,
             "total_ns": self.total_ns(),
             "stage_sum_ns": self.stage_sum_ns(),
-            "stages": stages
+            "stages": stages,
+            "heatmap": self.heatmap.as_str()
         })
     }
 }
@@ -240,6 +245,7 @@ mod tests {
             queue_wait_ns: 0,
             exec_ns: total_ms * 1_000_000,
             stages: Vec::new(),
+            heatmap: String::new(),
         }
     }
 

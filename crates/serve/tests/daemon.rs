@@ -390,3 +390,61 @@ fn many_concurrent_clients_all_complete() {
     assert_eq!(summary.failed, 0);
     let _ = std::fs::remove_dir_all(&cache);
 }
+
+#[test]
+fn cosim_jobs_stamp_heatmap_verdicts_and_publish_hottest_links() {
+    let (daemon, cache) = start("heat", 16);
+    let mut c = Client::connect(daemon.port()).expect("connect");
+
+    // A profile job carries no NoC traffic, so no verdict.
+    let profile = c.submit("profile", "jpeg", None, "t0").unwrap().unwrap();
+    assert_eq!(c.wait_done(profile, POLL).unwrap(), "done");
+    let r = c.inspect(profile).unwrap();
+    let v = serde_json::parse(&r).unwrap();
+    let verdict = v
+        .get("timeline")
+        .unwrap()
+        .get("heatmap")
+        .expect("timelines carry a heatmap field")
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert!(verdict.is_empty(), "profile jobs have no heatmap: {r}");
+
+    // A cosim job embeds the hic-heatmap/v1 artifact in its payload,
+    // stamps the plain-language verdict on the timeline, and publishes
+    // the hottest links as labeled series.
+    let cosim = c.submit("cosim", "jpeg", None, "t0").unwrap().unwrap();
+    assert_eq!(c.wait_done(cosim, POLL).unwrap(), "done");
+    let result = c.result(cosim).unwrap();
+    let v = serde_json::parse(&result).unwrap();
+    let hm = v.get("payload").unwrap().get("heatmap").unwrap();
+    assert_eq!(
+        hm.get("schema").unwrap().as_str(),
+        Some("hic-heatmap/v1"),
+        "{result}"
+    );
+    let r = c.inspect(cosim).unwrap();
+    let v = serde_json::parse(&r).unwrap();
+    let verdict = v
+        .get("timeline")
+        .unwrap()
+        .get("heatmap")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert!(!verdict.is_empty(), "cosim timelines carry a verdict: {r}");
+
+    let labeled = daemon.labeled_store();
+    let rows = labeled
+        .get("noc.link.util")
+        .expect("hottest links published after a cosim job");
+    assert!(!rows.is_empty() && rows.len() <= 8, "{rows:?}");
+    // The `jobs` summary listing carries the same verdict.
+    let r = c.jobs(false, None).unwrap();
+    assert!(r.contains(&verdict[..verdict.len().min(24)]), "{r}");
+
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&cache);
+}

@@ -15,17 +15,18 @@
 //! Δn assumes); widening the flits recovers the analytic behaviour. The
 //! `cosim` tests and the EXPERIMENTS.md ablation quantify this.
 
+use crate::heatmap::{self, HeatmapReport};
 use crate::system::{simulate, KernelTiming};
 use hic_core::{InterconnectPlan, Variant};
 use hic_fabric::time::Time;
 use hic_fabric::{KernelId, MemoryId};
 use hic_noc::{
     AdapterKind, AdapterSpec, EngineKind, HybridConfig, HybridNetwork, NocNode, PacketId,
-    RecordMode,
+    RecordMode, SpatialConfig,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Process-wide engine preference (set from the CLI's `--engine` flag).
 /// A preference rather than a parameter because co-simulation runs deep
@@ -53,6 +54,26 @@ pub fn engine() -> EngineKind {
     }
 }
 
+/// Process-wide spatial-accounting window for co-simulation, in NoC
+/// cycles (the CLI's `--window` flag). Like the engine preference it is
+/// a process global rather than a parameter because co-simulation runs
+/// deep inside cached pipeline stages; unlike the engine it *does*
+/// change the produced artifact, so the stage layer salts its cache
+/// keys with this value. `0` disables spatial accounting entirely and
+/// the result carries no heatmap.
+static HEATMAP_WINDOW: AtomicU64 = AtomicU64::new(1024);
+
+/// Set the spatial-accounting window (cycles) for subsequent
+/// [`cosimulate`] calls. `0` disables the heatmap.
+pub fn set_heatmap_window(cycles: u64) {
+    HEATMAP_WINDOW.store(cycles, Ordering::Relaxed);
+}
+
+/// The currently selected spatial-accounting window.
+pub fn heatmap_window() -> u64 {
+    HEATMAP_WINDOW.load(Ordering::Relaxed)
+}
+
 /// Result of a co-simulated run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CosimResult {
@@ -68,6 +89,12 @@ pub struct CosimResult {
     pub per_kernel: BTreeMap<KernelId, KernelTiming>,
     /// The transfer-level result for the same plan (for comparison).
     pub analytic_kernel_time: Time,
+    /// Spatial observability: the `hic-heatmap/v1` artifact assembled
+    /// from the run's per-link and per-flow accounting. `None` for plans
+    /// without a NoC or when [`set_heatmap_window`] disabled it. Absent
+    /// in artifacts serialized before this field existed; those
+    /// deserialize as `None`.
+    pub heatmap: Option<HeatmapReport>,
 }
 
 impl CosimResult {
@@ -106,6 +133,7 @@ pub fn cosimulate_with(plan: &InterconnectPlan, kind: EngineKind) -> CosimResult
             packets: 0,
             per_kernel: analytic.per_kernel.clone(),
             analytic_kernel_time: analytic.kernel_time,
+            heatmap: None,
         };
     };
     assert!(
@@ -142,6 +170,14 @@ pub fn cosimulate_with(plan: &InterconnectPlan, kind: EngineKind) -> CosimResult
     // The co-simulation consumes each delivery exactly once; event mode
     // lets the network recycle its log instead of retaining every packet.
     net.set_record_mode(RecordMode::Events);
+    // Spatial observability: windowed per-link matrices plus per-flow
+    // totals, assembled into the heatmap artifact after the run. The
+    // matrices are engine-invariant, so this never perturbs the
+    // engines-agree guarantee.
+    let spatial_window = heatmap_window();
+    if spatial_window != 0 {
+        net.enable_spatial(SpatialConfig::windowed(spatial_window));
+    }
     // Live flit-rate feed for the continuous-telemetry sampler: windowed
     // gauges every 1024 cycles, so `hic top` and `/metrics` can watch
     // flits/cycle mid-run instead of waiting for the end-of-run totals.
@@ -284,6 +320,16 @@ pub fn cosimulate_with(plan: &InterconnectPlan, kind: EngineKind) -> CosimResult
     }
 
     let host = app.host.clock.cycles(app.host_cycles);
+    let hm = if spatial_window != 0 {
+        // Close the trailing partial window so end-of-run traffic is
+        // attributed before assembly.
+        net.flush_spatial_window();
+        let names: BTreeMap<KernelId, String> =
+            app.kernels.iter().map(|k| (k.id, k.name.clone())).collect();
+        Some(heatmap::assemble(net.network(), &noc.placement, &names))
+    } else {
+        None
+    };
     let result = CosimResult {
         kernel_time: makespan,
         app_time: makespan + host,
@@ -291,6 +337,7 @@ pub fn cosimulate_with(plan: &InterconnectPlan, kind: EngineKind) -> CosimResult
         packets: net.stats().delivered() as usize,
         per_kernel: timing,
         analytic_kernel_time: analytic.kernel_time,
+        heatmap: hm,
     };
     // End-to-end run metrics plus the network's own aggregates.
     net.publish_metrics(reg, "noc");
@@ -314,6 +361,19 @@ fn topo(app: &hic_fabric::AppSpec) -> Vec<KernelId> {
 mod tests {
     use super::*;
     use hic_core::{design, DesignConfig, Variant};
+    use std::sync::Mutex;
+
+    /// Serializes tests that read or toggle the process-global heatmap
+    /// window: unlike the engine preference, the window *does* change
+    /// the produced artifact, so concurrent toggling would make the
+    /// cross-engine comparisons flaky.
+    static HEATMAP_WINDOW_LOCK: Mutex<()> = Mutex::new(());
+
+    fn heatmap_lock() -> std::sync::MutexGuard<'static, ()> {
+        HEATMAP_WINDOW_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
 
     fn jpeg_like(flit_payload: u32) -> (InterconnectPlan, CosimResult) {
         let app = hic_apps::calib::jpeg();
@@ -366,13 +426,85 @@ mod tests {
     #[test]
     fn engines_agree_exactly() {
         // The engine choice may only change wall-clock speed, never the
-        // simulated result: all three must agree bit-for-bit.
+        // simulated result: all three must agree bit-for-bit — including
+        // the spatial heatmap artifact (matrices, windows, flows,
+        // bottleneck ranking, verdict text).
+        let _g = heatmap_lock();
         let (plan, _) = jpeg_like(4);
         let step = cosimulate_with(&plan, EngineKind::Step);
         let hybrid = cosimulate_with(&plan, EngineKind::Hybrid);
         let auto = cosimulate_with(&plan, EngineKind::Auto);
+        assert!(step.heatmap.is_some());
         assert_eq!(step, hybrid);
         assert_eq!(step, auto);
+    }
+
+    #[test]
+    fn heatmap_flow_bytes_sum_to_the_injected_noc_bytes() {
+        // The acceptance check of the spatial layer: kernel-pair flow
+        // attribution accounts for every byte the adapter injected into
+        // the mesh — no more, no less.
+        let _g = heatmap_lock();
+        let (plan, res) = jpeg_like(4);
+        let hm = res.heatmap.as_ref().expect("NoC plan yields a heatmap");
+        assert_eq!(hm.schema, crate::heatmap::HEATMAP_SCHEMA);
+
+        // Reconstruct the injected byte total the same way the driver
+        // decides what goes over the mesh: k2k edges that are neither
+        // shared-memory pairs nor bus fallback, with both endpoints
+        // placed.
+        let noc = plan.noc.as_ref().unwrap();
+        let sm: BTreeSet<(KernelId, KernelId)> = plan
+            .sm_pairs
+            .iter()
+            .map(|p| (p.producer, p.consumer))
+            .collect();
+        let fallback: BTreeSet<(KernelId, KernelId)> = plan
+            .bus_fallback
+            .iter()
+            .filter_map(|e| Some((e.src.kernel()?, e.dst.kernel()?)))
+            .collect();
+        let mut injected = 0u64;
+        for e in plan.app.k2k_edges() {
+            let (Some(i), Some(j)) = (e.src.kernel(), e.dst.kernel()) else {
+                continue;
+            };
+            if sm.contains(&(i, j)) || fallback.contains(&(i, j)) {
+                continue;
+            }
+            let placed = noc.placement.slots.contains_key(&NocNode::Kernel(i))
+                && noc
+                    .placement
+                    .slots
+                    .contains_key(&NocNode::Memory(MemoryId(j.0)));
+            if placed {
+                injected += e.bytes;
+            }
+        }
+        let flow_bytes: u64 = hm.flows.iter().map(|f| f.totals.bytes).sum();
+        assert!(injected > 0, "jpeg hybrid should use the NoC");
+        assert_eq!(flow_bytes, injected);
+
+        // Every injected packet was delivered, and the flow map agrees
+        // with the aggregate delivery count.
+        let delivered: u64 = hm.flows.iter().map(|f| f.totals.delivered).sum();
+        assert_eq!(delivered as usize, res.packets);
+        assert!(hm.hottest().is_some());
+        assert!(!hm.verdict.is_empty());
+    }
+
+    #[test]
+    fn heatmap_window_zero_disables_the_artifact() {
+        let _g = heatmap_lock();
+        let before = heatmap_window();
+        set_heatmap_window(0);
+        let (_, res) = jpeg_like(4);
+        set_heatmap_window(before);
+        assert!(res.heatmap.is_none());
+        // And the window preference round-trips.
+        set_heatmap_window(256);
+        assert_eq!(heatmap_window(), 256);
+        set_heatmap_window(before);
     }
 
     #[test]

@@ -14,16 +14,27 @@
 //! * [`cosim`] — flit-level co-simulation: kernel traffic runs through the
 //!   real wormhole mesh instead of the closed-form residual, quantifying
 //!   when the paper's Δn full-hiding assumption actually holds.
+//! * [`heatmap`] — the `hic-heatmap/v1` spatial-observability artifact
+//!   assembled from co-simulation: per-link utilization heatmaps,
+//!   kernel-pair flow attribution, and a ranked bottleneck report.
 
 #![warn(missing_docs)]
 
 pub mod cosim;
 pub mod energy;
+pub mod heatmap;
 pub mod reconfig;
 pub mod system;
 
-pub use cosim::{cosimulate, cosimulate_with, engine, set_engine, CosimResult};
+pub use cosim::{
+    cosimulate, cosimulate_with, engine, heatmap_window, set_engine, set_heatmap_window,
+    CosimResult,
+};
 pub use energy::PowerModel;
+pub use heatmap::{
+    publish_series, render_ansi, render_dot, render_summary, Bottleneck, FlowHeat, FlowShare,
+    HeatmapReport, LinkHeat, NodeLabel, HEATMAP_SCHEMA, LINK_UTIL_SERIES,
+};
 pub use hic_noc::EngineKind;
 pub use reconfig::{
     compare as compare_reconfig_strategies, evaluate as evaluate_reconfig, union_interconnect,
